@@ -1,0 +1,118 @@
+// Ablation benchmarks for the sweeping engine's design choices (DESIGN.md
+// section 3, extensions beyond the paper's tables):
+//
+//   * SimWords -- how much parallel random simulation to run before SAT.
+//     Too little: coarse classes, wasted SAT calls refuted by
+//     counterexamples. Too much: simulation time with diminishing class
+//     refinement.
+//   * PairBudget -- the per-candidate conflict budget. Small budgets skip
+//     hard candidates (fewer merges, bigger final call); large budgets
+//     spend conflicts on pairs that rarely pay off.
+//   * ProofPipeline -- raw vs. trimmed vs. trimmed+compressed proof sizes,
+//     quantifying each post-processing stage.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/compress.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+// Simulation-width ablation wants coarse initial classes: the large
+// restructured random graph has thousands of candidates whose signatures
+// need many patterns to separate.
+constexpr std::size_t kSimWorkload = 10;   // random24_restructured
+// Budget ablation wants candidates that are hard to prove: the multiplier
+// miter's internal XOR/carry pairs need real search.
+constexpr std::size_t kBudgetWorkload = 3;  // mul5_array_wallace
+
+void BM_SimWords(benchmark::State& state) {
+  const aig::Aig& miter = miterFor(kSimWorkload);
+  cec::SweepOptions options;
+  options.simWords = static_cast<std::uint32_t>(state.range(0));
+  state.SetLabel(suite()[kSimWorkload].name);
+  std::uint64_t satCalls = 0, cexes = 0, merges = 0;
+  for (auto _ : state) {
+    const cec::CecResult r = cec::sweepingCheck(miter, options);
+    if (r.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    satCalls = r.stats.satCalls;
+    cexes = r.stats.counterexamples;
+    merges = r.stats.satMerges;
+    benchmark::DoNotOptimize(satCalls);
+  }
+  state.counters["satCalls"] = static_cast<double>(satCalls);
+  state.counters["cexRefinements"] = static_cast<double>(cexes);
+  state.counters["satMerges"] = static_cast<double>(merges);
+}
+
+void BM_PairBudget(benchmark::State& state) {
+  const aig::Aig& miter = miterFor(kBudgetWorkload);
+  cec::SweepOptions options;
+  options.pairConflictBudget = state.range(0);
+  state.SetLabel(suite()[kBudgetWorkload].name);
+  std::uint64_t merges = 0, skipped = 0, conflicts = 0;
+  for (auto _ : state) {
+    const cec::CecResult r = cec::sweepingCheck(miter, options);
+    if (r.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    merges = r.stats.satMerges;
+    skipped = r.stats.skippedCandidates;
+    conflicts = r.stats.conflicts;
+    benchmark::DoNotOptimize(conflicts);
+  }
+  state.counters["satMerges"] = static_cast<double>(merges);
+  state.counters["skipped"] = static_cast<double>(skipped);
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+
+void BM_ProofPipeline(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+
+  proof::ProofLog log;
+  const cec::CecResult r =
+      cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  if (r.verdict != cec::Verdict::kEquivalent) {
+    state.SkipWithError("expected equivalent");
+    return;
+  }
+  std::uint64_t rawClauses = log.numClauses();
+  std::uint64_t trimmedClauses = 0, compressedClauses = 0, fused = 0;
+  for (auto _ : state) {
+    const proof::TrimmedProof trimmed = proof::trimProof(log);
+    const proof::CompressedProof compressed =
+        proof::compressProof(trimmed.log);
+    trimmedClauses = trimmed.log.numClauses();
+    compressedClauses = compressed.log.numClauses();
+    fused = compressed.stats.fused;
+    benchmark::DoNotOptimize(compressedClauses);
+  }
+  state.counters["rawClauses"] = static_cast<double>(rawClauses);
+  state.counters["trimmedClauses"] = static_cast<double>(trimmedClauses);
+  state.counters["compressedClauses"] =
+      static_cast<double>(compressedClauses);
+  state.counters["fusedSteps"] = static_cast<double>(fused);
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_SimWords)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_PairBudget)
+    ->Arg(10)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_ProofPipeline)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

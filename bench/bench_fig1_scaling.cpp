@@ -1,0 +1,69 @@
+// R-Fig1: scaling of certified-CEC time and proof size with instance size.
+// Two series:
+//   * adder miters (ripple vs. lookahead), width 8..64 -- the
+//     equivalence-rich regime where sweeping scales near-linearly and
+//     proofs stay small;
+//   * multiplier miters (array vs. wallace), width 3..6 -- the hard
+//     regime where proof size grows steeply with width.
+#include <benchmark/benchmark.h>
+
+#include "src/cec/miter.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+void runAndReport(benchmark::State& state, const aig::Aig& miter) {
+  std::uint64_t trimmedResolutions = 0, rawResolutions = 0, conflicts = 0;
+  for (auto _ : state) {
+    proof::ProofLog log;
+    const cec::CecResult result =
+        cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+    if (result.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    rawResolutions = log.numResolutions();
+    conflicts = result.stats.conflicts;
+    benchmark::DoNotOptimize(rawResolutions);
+  }
+  {
+    // One untimed run for the trimmed-size counter.
+    proof::ProofLog log;
+    (void)cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+    trimmedResolutions = proof::trimProof(log).log.numResolutions();
+  }
+  state.counters["miterAnds"] = static_cast<double>(miter.numAnds());
+  state.counters["rawResolutions"] = static_cast<double>(rawResolutions);
+  state.counters["trimmedResolutions"] =
+      static_cast<double>(trimmedResolutions);
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+
+void BM_AdderWidthSweep(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(width),
+                                         gen::carryLookaheadAdder(width, 4));
+  runAndReport(state, miter);
+}
+
+void BM_MultiplierWidthSweep(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const aig::Aig miter = cec::buildMiter(gen::arrayMultiplier(width),
+                                         gen::wallaceMultiplier(width));
+  runAndReport(state, miter);
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_AdderWidthSweep)
+    ->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_MultiplierWidthSweep)
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// R-Fig2: the effect of backward proof trimming. For every workload:
+// fraction of clauses/resolutions the empty clause actually depends on,
+// and the checking-time ratio between the raw and the trimmed proof.
+// The paper's observation: a CDCL run records far more than the
+// refutation needs, so trimming shrinks proofs substantially and speeds
+// up checking proportionally.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "src/base/stopwatch.h"
+#include "src/cec/certify.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+void BM_Trimming(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+
+  proof::ProofLog log;
+  const cec::CecResult result =
+      cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  if (result.verdict != cec::Verdict::kEquivalent) {
+    state.SkipWithError("expected equivalent");
+    return;
+  }
+
+  proof::TrimStats stats;
+  for (auto _ : state) {
+    const proof::TrimmedProof trimmed = proof::trimProof(log);
+    stats = trimmed.stats;
+    benchmark::DoNotOptimize(trimmed.log.numClauses());
+  }
+
+  // Checking cost raw (onlyNeeded=false, no root requirement shortcut)
+  // vs. trimmed, measured once outside the timed loop.
+  proof::CheckOptions rawOptions;
+  rawOptions.axiomValidator = cec::miterAxiomValidator(miter);
+  Stopwatch rawTimer;
+  const auto rawCheck = proof::checkProof(log, rawOptions);
+  const double rawSeconds = rawTimer.seconds();
+  const proof::TrimmedProof trimmed = proof::trimProof(log);
+  Stopwatch trimmedTimer;
+  const auto trimmedCheck = proof::checkProof(trimmed.log, rawOptions);
+  const double trimmedSeconds = trimmedTimer.seconds();
+  if (!rawCheck.ok || !trimmedCheck.ok) {
+    state.SkipWithError("proof rejected");
+    return;
+  }
+
+  state.counters["keptClausesPct"] = 100.0 * stats.keptClauseFraction();
+  state.counters["keptResolutionsPct"] =
+      100.0 * stats.keptResolutionFraction();
+  state.counters["checkRawMs"] = rawSeconds * 1e3;
+  state.counters["checkTrimmedMs"] = trimmedSeconds * 1e3;
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_Trimming)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// R-Fig3: anatomy of stitched proofs. Splits each workload's raw proof
+// into: axioms (the miter CNF), structural-justification steps recorded by
+// the proof composer (image clauses, strash merges, folds, transitivity),
+// and solver-side derivations (learned clauses, root-level units, final
+// conflict lemmas). The paper's point: the structural share is linear in
+// circuit size and cheap, while the solver share tracks search effort --
+// equivalence-rich miters are dominated by structure, multiplier miters by
+// search.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "src/cec/sweeping_cec.h"
+
+namespace cp::bench {
+namespace {
+
+void BM_ProofAnatomy(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+
+  std::uint64_t axioms = 0, structural = 0, solver = 0, lemmaClauses = 0;
+  for (auto _ : state) {
+    proof::ProofLog log;
+    const cec::CecResult result =
+        cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+    if (result.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    axioms = log.numAxioms();
+    structural = result.stats.proofStructuralSteps;
+    solver = log.numDerived() - structural;
+    lemmaClauses = 2 * result.stats.satMerges;
+    benchmark::DoNotOptimize(solver);
+  }
+  state.counters["axioms"] = static_cast<double>(axioms);
+  state.counters["structuralSteps"] = static_cast<double>(structural);
+  state.counters["solverSteps"] = static_cast<double>(solver);
+  state.counters["equivLemmas"] = static_cast<double>(lemmaClauses);
+  state.counters["structuralSharePct"] =
+      structural + solver == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(structural) /
+                static_cast<double>(structural + solver);
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_ProofAnatomy)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

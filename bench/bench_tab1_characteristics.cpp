@@ -1,0 +1,49 @@
+// R-Tab1: benchmark characteristics. For every workload miter: size of the
+// AIG, logic depth, and the candidate-equivalence structure random
+// simulation exposes (class count, candidate nodes). This is the
+// reproduction of the paper's benchmark-description table: the candidate
+// density column explains where SAT sweeping is expected to win.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "src/sim/equiv_classes.h"
+#include "src/sim/simulator.h"
+
+namespace cp::bench {
+namespace {
+
+void BM_Characteristics(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+
+  std::uint64_t classes = 0;
+  std::uint64_t candidates = 0;
+  for (auto _ : state) {
+    Rng rng(0xC0FFEEULL);
+    sim::AigSimulator sim(miter, 8);
+    sim.randomizeInputs(rng);
+    sim.simulate();
+    const sim::EquivClasses eq(sim);
+    classes = eq.numClasses();
+    candidates = eq.numCandidateNodes();
+    benchmark::DoNotOptimize(candidates);
+  }
+
+  state.counters["inputs"] = static_cast<double>(miter.numInputs());
+  state.counters["ands"] = static_cast<double>(miter.numAnds());
+  state.counters["depth"] = static_cast<double>(miter.depth());
+  state.counters["simClasses"] = static_cast<double>(classes);
+  state.counters["candidateNodes"] = static_cast<double>(candidates);
+  state.counters["candidateDensityPct"] =
+      100.0 * static_cast<double>(candidates) / miter.numAnds();
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_Characteristics)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// R-Tab2: the cost of certification. For every workload, three rows:
+//   * NoProof    -- SAT sweeping with proof logging disabled (baseline),
+//   * WithProof  -- the same run recording the full resolution proof
+//                   (wall-clock ratio to NoProof is the logging overhead
+//                   the paper reports as a small constant factor),
+//   * CheckTrimmed -- trimming plus the independent checker on the result
+//                   (the paper's claim: checking is much cheaper than
+//                   solving).
+// Counters carry proof sizes so the table can be assembled from one run.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "src/cec/certify.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+void BM_Sweep_NoProof(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+  for (auto _ : state) {
+    const cec::CecResult result = cec::sweepingCheck(miter);
+    if (result.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    benchmark::DoNotOptimize(result.stats.satCalls);
+  }
+}
+
+void BM_Sweep_WithProof(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+  std::uint64_t rawClauses = 0, rawResolutions = 0;
+  for (auto _ : state) {
+    proof::ProofLog log;
+    const cec::CecResult result =
+        cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+    if (result.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    rawClauses = log.numClauses();
+    rawResolutions = log.numResolutions();
+    benchmark::DoNotOptimize(rawResolutions);
+  }
+  state.counters["rawClauses"] = static_cast<double>(rawClauses);
+  state.counters["rawResolutions"] = static_cast<double>(rawResolutions);
+}
+
+void BM_TrimAndCheck(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(suite()[index].name);
+  // Produce the proof once; time only trimming + checking.
+  proof::ProofLog log;
+  const cec::CecResult result =
+      cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  if (result.verdict != cec::Verdict::kEquivalent) {
+    state.SkipWithError("expected equivalent");
+    return;
+  }
+  std::uint64_t trimmedClauses = 0, trimmedResolutions = 0;
+  proof::CheckOptions options;
+  options.axiomValidator = cec::miterAxiomValidator(miter);
+  for (auto _ : state) {
+    const proof::TrimmedProof trimmed = proof::trimProof(log);
+    const proof::CheckResult check = proof::checkProof(trimmed.log, options);
+    if (!check.ok) {
+      state.SkipWithError("proof rejected");
+      return;
+    }
+    trimmedClauses = trimmed.log.numClauses();
+    trimmedResolutions = trimmed.log.numResolutions();
+  }
+  state.counters["trimmedClauses"] = static_cast<double>(trimmedClauses);
+  state.counters["trimmedResolutions"] =
+      static_cast<double>(trimmedResolutions);
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_Sweep_NoProof)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_Sweep_WithProof)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_TrimAndCheck)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

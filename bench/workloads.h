@@ -1,0 +1,101 @@
+// Shared benchmark workload registry: the miter suite every experiment
+// binary indexes into. Mirrors the paper's benchmark table with synthetic
+// circuit families (see DESIGN.md, "Substitutions"): each workload is a
+// pair of structurally different, functionally identical circuits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/base/rng.h"
+#include "src/cec/miter.h"
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::bench {
+
+struct Workload {
+  std::string name;
+  aig::Aig (*build)();
+};
+
+inline aig::Aig miterAdd16RcaCla() {
+  return cec::buildMiter(gen::rippleCarryAdder(16),
+                         gen::carryLookaheadAdder(16, 4));
+}
+inline aig::Aig miterAdd32RcaCsel() {
+  return cec::buildMiter(gen::rippleCarryAdder(32),
+                         gen::carrySelectAdder(32, 4));
+}
+inline aig::Aig miterAdd32ClaCskip() {
+  return cec::buildMiter(gen::carryLookaheadAdder(32, 4),
+                         gen::carrySkipAdder(32, 4));
+}
+inline aig::Aig miterMul5() {
+  return cec::buildMiter(gen::arrayMultiplier(5), gen::wallaceMultiplier(5));
+}
+inline aig::Aig miterMul6() {
+  return cec::buildMiter(gen::arrayMultiplier(6), gen::wallaceMultiplier(6));
+}
+inline aig::Aig miterCmp24() {
+  return cec::buildMiter(gen::rippleComparator(24), gen::treeComparator(24));
+}
+inline aig::Aig miterShift16() {
+  return cec::buildMiter(gen::barrelShifterLsbFirst(16),
+                         gen::barrelShifterMsbFirst(16));
+}
+inline aig::Aig miterAlu8() {
+  return cec::buildMiter(gen::aluVariantA(8), gen::aluVariantB(8));
+}
+inline aig::Aig miterParity32() {
+  return cec::buildMiter(gen::parityChain(32), gen::parityTree(32));
+}
+inline aig::Aig miterRestructuredCla24() {
+  const aig::Aig base = gen::carryLookaheadAdder(24, 4);
+  Rng rng(7);
+  return cec::buildMiter(base, rewrite::restructure(base, rng));
+}
+inline aig::Aig miterRestructuredRandom() {
+  Rng rng(11);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 24;
+  opt.numAnds = 1200;
+  opt.numOutputs = 8;
+  const aig::Aig g = gen::randomAig(opt, rng);
+  return cec::buildMiter(g, rewrite::restructure(g, rng));
+}
+
+/// The benchmark suite, index-stable (bench binaries use the position as
+/// the google-benchmark argument).
+inline const std::vector<Workload>& suite() {
+  static const std::vector<Workload> workloads = {
+      {"add16_rca_cla", miterAdd16RcaCla},
+      {"add32_rca_csel", miterAdd32RcaCsel},
+      {"add32_cla_cskip", miterAdd32ClaCskip},
+      {"mul5_array_wallace", miterMul5},
+      {"mul6_array_wallace", miterMul6},
+      {"cmp24_ripple_tree", miterCmp24},
+      {"shift16_lsb_msb", miterShift16},
+      {"alu8_a_b", miterAlu8},
+      {"parity32_chain_tree", miterParity32},
+      {"cla24_restructured", miterRestructuredCla24},
+      {"random24_restructured", miterRestructuredRandom},
+  };
+  return workloads;
+}
+
+/// Builds (and memoizes) the miter for suite()[index].
+inline const aig::Aig& miterFor(std::size_t index) {
+  static std::map<std::size_t, aig::Aig> cache;
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    it = cache.emplace(index, suite()[index].build()).first;
+  }
+  return it->second;
+}
+
+}  // namespace cp::bench

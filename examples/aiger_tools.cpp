@@ -1,0 +1,99 @@
+// AIGER swiss-army knife: stats / convert / miter / certified check on
+// circuit files, so the library is usable on external benchmarks without
+// writing any code.
+//
+//   $ ./aiger_tools stats    a.aig
+//   $ ./aiger_tools convert  a.aig out.aag        (binary <-> ascii by extension)
+//   $ ./aiger_tools miter    a.aig b.aig out.aig
+//   $ ./aiger_tools cec      a.aig b.aig          (certified sweeping CEC)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/aig/aiger.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+
+namespace {
+
+bool endsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s stats   a.aig\n"
+               "  %s convert a.aig out.aag\n"
+               "  %s miter   a.aig b.aig out.aig\n"
+               "  %s cec     a.aig b.aig\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    if (command == "stats" && argc == 3) {
+      const cp::aig::Aig g = cp::aig::readAigerFile(argv[2]);
+      std::printf("%s: %s\n", argv[2], g.statsString().c_str());
+      const auto levels = g.levels();
+      // Level histogram in 8 buckets.
+      const std::uint32_t depth = g.depth();
+      std::uint32_t buckets[8] = {};
+      for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+        if (!g.isAnd(n)) continue;
+        buckets[depth ? (levels[n] - 1) * 8 / depth : 0]++;
+      }
+      std::printf("level histogram:");
+      for (const std::uint32_t b : buckets) std::printf(" %u", b);
+      std::printf("\n");
+      return 0;
+    }
+    if (command == "convert" && argc == 4) {
+      const cp::aig::Aig g = cp::aig::readAigerFile(argv[2]);
+      cp::aig::writeAigerFile(g, argv[3], /*binary=*/!endsWith(argv[3], ".aag"));
+      std::printf("wrote %s (%s)\n", argv[3], g.statsString().c_str());
+      return 0;
+    }
+    if (command == "miter" && argc == 5) {
+      const cp::aig::Aig a = cp::aig::readAigerFile(argv[2]);
+      const cp::aig::Aig b = cp::aig::readAigerFile(argv[3]);
+      const cp::aig::Aig miter = cp::cec::buildMiter(a, b);
+      cp::aig::writeAigerFile(miter, argv[4],
+                              /*binary=*/!endsWith(argv[4], ".aag"));
+      std::printf("wrote %s (%s)\n", argv[4], miter.statsString().c_str());
+      return 0;
+    }
+    if (command == "cec" && argc == 4) {
+      const cp::aig::Aig a = cp::aig::readAigerFile(argv[2]);
+      const cp::aig::Aig b = cp::aig::readAigerFile(argv[3]);
+      const cp::aig::Aig miter = cp::cec::buildMiter(a, b);
+      const cp::cec::CertifyReport report = cp::cec::certifyMiter(miter);
+      std::printf("verdict: %s\n", cp::cec::toString(report.cec.verdict));
+      if (report.cec.verdict == cp::cec::Verdict::kEquivalent) {
+        std::printf("proof: %llu resolutions (trimmed), checker %s\n",
+                    (unsigned long long)report.trimmedResolutions,
+                    report.proofChecked ? "ACCEPTED" : "REJECTED");
+        return report.proofChecked ? 0 : 1;
+      }
+      if (report.cec.verdict == cp::cec::Verdict::kInequivalent) {
+        std::printf("counterexample:");
+        for (const bool bit : report.cec.counterexample) {
+          std::printf(" %d", bit ? 1 : 0);
+        }
+        std::printf("\n");
+        return 1;
+      }
+      return 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,80 @@
+// Standalone proof-logging SAT solver for DIMACS files.
+//
+//   $ ./dimacs_prover problem.cnf [proof.trace]
+//
+// Solves the CNF. On SAT, prints a model. On UNSAT, writes a TRACECHECK
+// resolution proof (trimmed) to the given path (default: stdout is used
+// for status only, proof written when a path is given), then re-verifies
+// it with the independent checker.
+#include <cstdio>
+#include <fstream>
+
+#include "src/base/stopwatch.h"
+#include "src/cnf/dimacs.h"
+#include "src/proof/checker.h"
+#include "src/proof/tracecheck.h"
+#include "src/proof/trim.h"
+#include "src/sat/solver.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s problem.cnf [proof.trace]\n", argv[0]);
+    return 2;
+  }
+
+  cp::cnf::Cnf cnf;
+  try {
+    cnf = cp::cnf::readDimacsFile(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("c %u variables, %zu clauses\n", cnf.numVars,
+              cnf.clauses.size());
+
+  cp::proof::ProofLog log;
+  cp::sat::Solver solver(&log);
+  for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
+  bool consistent = true;
+  for (const auto& clause : cnf.clauses) {
+    consistent = solver.addClause(clause);
+    if (!consistent) break;
+  }
+
+  cp::Stopwatch timer;
+  const cp::sat::LBool verdict =
+      consistent ? solver.solve() : cp::sat::LBool::kFalse;
+  std::printf("c solved in %.3fs, %llu conflicts\n", timer.seconds(),
+              (unsigned long long)solver.stats().conflicts);
+
+  if (verdict == cp::sat::LBool::kTrue) {
+    std::printf("s SATISFIABLE\nv");
+    for (std::uint32_t v = 0; v < cnf.numVars; ++v) {
+      const auto value = solver.modelValue(v);
+      std::printf(" %s%u",
+                  value == cp::sat::LBool::kFalse ? "-" : "", v + 1);
+    }
+    std::printf(" 0\n");
+    return 10;
+  }
+
+  std::printf("s UNSATISFIABLE\n");
+  const auto trimmed = cp::proof::trimProof(log);
+  std::printf("c proof: %llu resolutions raw, %llu trimmed\n",
+              (unsigned long long)log.numResolutions(),
+              (unsigned long long)trimmed.log.numResolutions());
+
+  const auto check = cp::proof::checkProof(trimmed.log);
+  std::printf("c checker: %s\n", check.ok ? "ACCEPTED" : check.error.c_str());
+
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+      return 2;
+    }
+    cp::proof::writeTracecheck(trimmed.log, out);
+    std::printf("c trace written to %s\n", argv[2]);
+  }
+  return check.ok ? 20 : 1;
+}

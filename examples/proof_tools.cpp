@@ -1,0 +1,142 @@
+// Proof-file swiss-army knife for TRACECHECK resolution proofs:
+//
+//   $ ./proof_tools check    proof.trace [problem.cnf]
+//   $ ./proof_tools metrics  proof.trace
+//   $ ./proof_tools compress proof.trace out.trace
+//   $ ./proof_tools core     proof.trace              (prints core axioms)
+//   $ ./proof_tools drat     proof.trace out.drat
+//
+// With a DIMACS file, `check` additionally validates every axiom against
+// the CNF -- the full trust chain for proofs produced elsewhere (e.g. by
+// dimacs_prover on another machine).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "src/cnf/dimacs.h"
+#include "src/proof/analysis.h"
+#include "src/proof/checker.h"
+#include "src/proof/compress.h"
+#include "src/proof/tracecheck.h"
+#include "src/proof/trim.h"
+
+namespace {
+
+cp::proof::ProofLog readTrace(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    std::exit(2);
+  }
+  return cp::proof::readTracecheck(in);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s check|metrics|compress|core|drat proof.trace "
+               "[extra]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    const cp::proof::ProofLog log = readTrace(argv[2]);
+
+    if (command == "check") {
+      cp::proof::CheckOptions options;
+      if (argc > 3) {
+        const cp::cnf::Cnf cnf = cp::cnf::readDimacsFile(argv[3]);
+        // Admit exactly the CNF's clauses (as sets).
+        auto clauses = std::make_shared<
+            std::vector<std::vector<cp::sat::Lit>>>();
+        for (const auto& clause : cnf.clauses) {
+          auto sorted = clause;
+          std::sort(sorted.begin(), sorted.end());
+          clauses->push_back(std::move(sorted));
+        }
+        options.axiomValidator =
+            [clauses](std::span<const cp::sat::Lit> lits) {
+              std::vector<cp::sat::Lit> sorted(lits.begin(), lits.end());
+              std::sort(sorted.begin(), sorted.end());
+              for (const auto& candidate : *clauses) {
+                if (candidate == sorted) return true;
+              }
+              return false;
+            };
+      }
+      const auto result = cp::proof::checkProof(log, options);
+      std::printf("%s\n", result.ok ? "ACCEPTED" : result.error.c_str());
+      std::printf("axioms checked: %llu, derived checked: %llu, "
+                  "resolutions replayed: %llu\n",
+                  (unsigned long long)result.axiomsChecked,
+                  (unsigned long long)result.derivedChecked,
+                  (unsigned long long)result.resolutions);
+      return result.ok ? 0 : 1;
+    }
+
+    if (command == "metrics") {
+      const auto m = cp::proof::analyzeProof(log);
+      std::printf("axioms:            %llu (core: %llu)\n",
+                  (unsigned long long)m.axioms,
+                  (unsigned long long)m.coreAxioms);
+      std::printf("derived clauses:   %llu (core: %llu)\n",
+                  (unsigned long long)m.derived,
+                  (unsigned long long)m.coreDerived);
+      std::printf("resolutions:       %llu\n",
+                  (unsigned long long)m.resolutions);
+      std::printf("DAG depth:         %u\n", m.dagDepth);
+      std::printf("clause width:      max %u, avg %.2f\n", m.maxClauseWidth,
+                  m.avgClauseWidth);
+      std::printf("chain length:      max %u, avg %.2f\n", m.maxChainLength,
+                  m.avgChainLength);
+      return 0;
+    }
+
+    if (command == "compress" && argc > 3) {
+      const auto trimmed = cp::proof::trimProof(log);
+      const auto compressed = cp::proof::compressProof(trimmed.log);
+      std::ofstream out(argv[3]);
+      cp::proof::writeTracecheck(compressed.log, out);
+      std::printf("%llu -> %llu clauses (trim), -> %llu (fuse %llu)\n",
+                  (unsigned long long)log.numClauses(),
+                  (unsigned long long)trimmed.log.numClauses(),
+                  (unsigned long long)compressed.log.numClauses(),
+                  (unsigned long long)compressed.stats.fused);
+      return 0;
+    }
+
+    if (command == "core") {
+      const auto core = cp::proof::unsatCore(log);
+      std::printf("c %zu of %llu axioms in the core\n", core.size(),
+                  (unsigned long long)log.numAxioms());
+      for (const auto id : core) {
+        std::printf("%s\n",
+                    cp::sat::toDimacs(std::vector<cp::sat::Lit>(
+                                          log.lits(id).begin(),
+                                          log.lits(id).end()))
+                        .c_str());
+      }
+      return 0;
+    }
+
+    if (command == "drat" && argc > 3) {
+      std::ofstream out(argv[3]);
+      cp::proof::writeDrat(log, out);
+      std::printf("wrote DRAT additions for %llu derived clauses\n",
+                  (unsigned long long)log.numDerived());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,47 @@
+// Quickstart: prove two structurally different adders equivalent and emit
+// a machine-checkable resolution proof.
+//
+//   $ ./quickstart [width]
+//
+// Builds a ripple-carry and a carry-lookahead adder of the given width
+// (default 16), forms their miter, runs certified SAT sweeping, trims the
+// proof, re-checks it with the independent checker, and prints statistics.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/gen/arith.h"
+
+int main(int argc, char** argv) {
+  const std::uint32_t width =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+
+  const cp::aig::Aig ripple = cp::gen::rippleCarryAdder(width);
+  const cp::aig::Aig lookahead = cp::gen::carryLookaheadAdder(width);
+  std::printf("ripple-carry adder:    %s\n", ripple.statsString().c_str());
+  std::printf("carry-lookahead adder: %s\n", lookahead.statsString().c_str());
+
+  const cp::aig::Aig miter = cp::cec::buildMiter(ripple, lookahead);
+  std::printf("miter:                 %s\n", miter.statsString().c_str());
+
+  const cp::cec::CertifyReport report = cp::cec::certifyMiter(miter);
+  std::printf("\nverdict: %s\n", cp::cec::toString(report.cec.verdict));
+  const auto& s = report.cec.stats;
+  std::printf("SAT calls: %llu (unsat %llu, sat %llu), merges: %llu sat + "
+              "%llu structural + %llu fold\n",
+              (unsigned long long)s.satCalls, (unsigned long long)s.satUnsat,
+              (unsigned long long)s.satSat, (unsigned long long)s.satMerges,
+              (unsigned long long)s.structuralMerges,
+              (unsigned long long)s.foldMerges);
+  std::printf("proof: %llu clauses / %llu resolutions raw, "
+              "%llu / %llu after trimming\n",
+              (unsigned long long)report.rawClauses,
+              (unsigned long long)report.rawResolutions,
+              (unsigned long long)report.trimmedClauses,
+              (unsigned long long)report.trimmedResolutions);
+  std::printf("independent checker: %s (%.3f ms)\n",
+              report.proofChecked ? "ACCEPTED" : "REJECTED",
+              report.checkSeconds * 1e3);
+  return report.proofChecked ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+#include "src/aig/aig.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace cp::aig {
+
+namespace {
+constexpr std::uint32_t kNoInput = 0xFFFFFFFFu;
+}
+
+Aig::Aig() {
+  // Node 0: the constant-FALSE node.
+  fanin0_.push_back(Edge());
+  fanin1_.push_back(Edge());
+  inputIndex_.push_back(kNoInput);
+}
+
+Edge Aig::addInput() {
+  const std::uint32_t node = numNodes();
+  fanin0_.push_back(Edge());
+  fanin1_.push_back(Edge());
+  inputIndex_.push_back(static_cast<std::uint32_t>(inputs_.size()));
+  inputs_.push_back(node);
+  return Edge::make(node, false);
+}
+
+void Aig::normalizeAnd(Edge& a, Edge& b) {
+  if (b.raw() < a.raw()) std::swap(a, b);
+}
+
+AndCase Aig::classifyAnd(Edge a, Edge b) const {
+  normalizeAnd(a, b);
+  // After normalization a.raw() <= b.raw(), so any constant operand is `a`.
+  if (a == kFalse) return AndCase::kConstFalse;
+  if (a == !b) return AndCase::kConstFalse;
+  if (a == kTrue) return AndCase::kConstLeft;
+  if (a == b) return AndCase::kIdentical;
+  return strash_.count(strashKey(a, b)) ? AndCase::kStrashHit
+                                        : AndCase::kNewNode;
+}
+
+Edge Aig::addAnd(Edge a, Edge b) {
+  assert(a.valid() && b.valid());
+  assert(a.node() < numNodes() && b.node() < numNodes());
+  normalizeAnd(a, b);
+  if (a == kFalse || a == !b) return kFalse;
+  if (a == kTrue) return b;
+  if (a == b) return a;
+  return lookupOrCreateAnd(a, b);
+}
+
+Edge Aig::lookupOrCreateAnd(Edge a, Edge b) {
+  const std::uint64_t key = strashKey(a, b);
+  auto [it, inserted] = strash_.try_emplace(key, numNodes());
+  if (!inserted) return Edge::make(it->second, false);
+  fanin0_.push_back(a);
+  fanin1_.push_back(b);
+  inputIndex_.push_back(kNoInput);
+  return Edge::make(it->second, false);
+}
+
+Edge Aig::addXor(Edge a, Edge b) {
+  // a XOR b == NOT(NOT(a AND !b) AND NOT(!a AND b)).
+  const Edge onlyA = addAnd(a, !b);
+  const Edge onlyB = addAnd(!a, b);
+  return addOr(onlyA, onlyB);
+}
+
+Edge Aig::addMux(Edge sel, Edge whenTrue, Edge whenFalse) {
+  const Edge hi = addAnd(sel, whenTrue);
+  const Edge lo = addAnd(!sel, whenFalse);
+  return addOr(hi, lo);
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+  std::vector<std::uint32_t> level(numNodes(), 0);
+  for (std::uint32_t n = 0; n < numNodes(); ++n) {
+    if (!isAnd(n)) continue;
+    level[n] = 1 + std::max(level[fanin0_[n].node()], level[fanin1_[n].node()]);
+  }
+  return level;
+}
+
+std::uint32_t Aig::depth() const {
+  const auto level = levels();
+  std::uint32_t best = 0;
+  for (const Edge e : outputs_) best = std::max(best, level[e.node()]);
+  return best;
+}
+
+std::vector<std::uint32_t> Aig::coneOf(const std::vector<Edge>& roots) const {
+  std::vector<bool> marked(numNodes(), false);
+  std::vector<std::uint32_t> stack;
+  for (const Edge e : roots) {
+    if (!marked[e.node()]) {
+      marked[e.node()] = true;
+      stack.push_back(e.node());
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!isAnd(n)) continue;
+    for (const Edge f : {fanin0_[n], fanin1_[n]}) {
+      if (!marked[f.node()]) {
+        marked[f.node()] = true;
+        stack.push_back(f.node());
+      }
+    }
+  }
+  std::vector<std::uint32_t> cone;
+  for (std::uint32_t n = 0; n < numNodes(); ++n) {
+    if (marked[n]) cone.push_back(n);
+  }
+  return cone;  // ascending index == topological order
+}
+
+std::vector<std::uint32_t> Aig::supportOf(
+    const std::vector<Edge>& roots) const {
+  std::vector<std::uint32_t> support;
+  for (const std::uint32_t n : coneOf(roots)) {
+    if (isInput(n)) support.push_back(n);
+  }
+  return support;
+}
+
+std::vector<bool> Aig::evaluate(const std::vector<bool>& inputValues) const {
+  if (inputValues.size() != numInputs()) {
+    throw std::invalid_argument("evaluate: wrong number of input values");
+  }
+  std::vector<bool> value(numNodes(), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[inputs_[i]] = inputValues[i];
+  }
+  for (std::uint32_t n = 0; n < numNodes(); ++n) {
+    if (!isAnd(n)) continue;
+    const Edge a = fanin0_[n];
+    const Edge b = fanin1_[n];
+    const bool va = value[a.node()] != a.complemented();
+    const bool vb = value[b.node()] != b.complemented();
+    value[n] = va && vb;
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const Edge e : outputs_) {
+    out.push_back(value[e.node()] != e.complemented());
+  }
+  return out;
+}
+
+Aig Aig::compacted() const {
+  Aig fresh;
+  std::vector<Edge> image(numNodes(), Edge());
+  image[0] = kFalse;
+  for (std::uint32_t i = 0; i < numInputs(); ++i) {
+    image[inputs_[i]] = fresh.addInput();
+  }
+  const auto cone = coneOf(outputs_);
+  for (const std::uint32_t n : cone) {
+    if (!isAnd(n)) continue;
+    const Edge a = fanin0_[n];
+    const Edge b = fanin1_[n];
+    image[n] = fresh.addAnd(image[a.node()] ^ a.complemented(),
+                            image[b.node()] ^ b.complemented());
+  }
+  for (const Edge e : outputs_) {
+    fresh.addOutput(image[e.node()] ^ e.complemented());
+  }
+  return fresh;
+}
+
+std::vector<Edge> Aig::append(const Aig& other,
+                              const std::vector<Edge>& inputMap) {
+  if (inputMap.size() != other.numInputs()) {
+    throw std::invalid_argument("append: inputMap size mismatch");
+  }
+  std::vector<Edge> image(other.numNodes(), Edge());
+  image[0] = kFalse;
+  for (std::uint32_t i = 0; i < other.numInputs(); ++i) {
+    image[other.inputs_[i]] = inputMap[i];
+  }
+  for (std::uint32_t n = 0; n < other.numNodes(); ++n) {
+    if (!other.isAnd(n)) continue;
+    const Edge a = other.fanin0_[n];
+    const Edge b = other.fanin1_[n];
+    image[n] = addAnd(image[a.node()] ^ a.complemented(),
+                      image[b.node()] ^ b.complemented());
+  }
+  std::vector<Edge> outs;
+  outs.reserve(other.outputs_.size());
+  for (const Edge e : other.outputs_) {
+    outs.push_back(image[e.node()] ^ e.complemented());
+  }
+  return outs;
+}
+
+std::string Aig::statsString() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "in=%u out=%u and=%u depth=%u",
+                numInputs(), numOutputs(), numAnds(), depth());
+  return buffer;
+}
+
+}  // namespace cp::aig

@@ -1,0 +1,202 @@
+// And-Inverter Graph (AIG) package.
+//
+// An AIG represents a combinational circuit with two-input AND nodes and
+// complemented ("inverter") edges. It is the working representation of every
+// circuit in this library: generators build AIGs, the CEC engines sweep
+// them, and the Tseitin encoder turns them into CNF.
+//
+// Representation
+//   * Node 0 is the constant-FALSE node. Edge 0 is constant false, edge 1
+//     (node 0 complemented) is constant true.
+//   * Inputs and AND nodes share one index space; an Edge packs a node
+//     index and a complement bit: edge = (index << 1) | complement.
+//   * Construction is bottom-up, so fanin indices are always smaller than
+//     the node's own index. Iterating indices 0..numNodes() is therefore a
+//     topological order -- an invariant much of the library leans on.
+//   * addAnd() performs structural hashing: two AND nodes with identical
+//     (normalized) fanin edges are the same node. Constant/trivial cases
+//     fold to an existing edge without creating a node. classifyAnd()
+//     exposes which case fires; the certified CEC proof composer needs this
+//     to justify each structural simplification by resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cp::aig {
+
+/// A directed edge into an AIG node, with a complement bit in the LSB.
+class Edge {
+ public:
+  constexpr Edge() : raw_(kInvalidRaw) {}
+  constexpr static Edge make(std::uint32_t node, bool complement) {
+    return Edge((node << 1) | (complement ? 1u : 0u));
+  }
+  constexpr static Edge fromRaw(std::uint32_t raw) { return Edge(raw); }
+
+  constexpr std::uint32_t node() const { return raw_ >> 1; }
+  constexpr bool complemented() const { return (raw_ & 1u) != 0; }
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr bool valid() const { return raw_ != kInvalidRaw; }
+
+  /// The same edge with the complement bit flipped.
+  constexpr Edge operator!() const { return Edge(raw_ ^ 1u); }
+  /// Complement iff `c` is true.
+  constexpr Edge operator^(bool c) const { return Edge(raw_ ^ (c ? 1u : 0u)); }
+
+  constexpr bool operator==(const Edge&) const = default;
+  constexpr bool operator<(const Edge& o) const { return raw_ < o.raw_; }
+
+ private:
+  constexpr explicit Edge(std::uint32_t raw) : raw_(raw) {}
+  static constexpr std::uint32_t kInvalidRaw = 0xFFFFFFFFu;
+  std::uint32_t raw_;
+};
+
+/// Edge to the constant-FALSE node, plain and complemented.
+inline constexpr Edge kFalse = Edge::make(0, false);
+inline constexpr Edge kTrue = Edge::make(0, true);
+
+/// How addAnd(a, b) resolves, after normalizing so that a.raw() <= b.raw().
+/// The certified proof composer replays this classification to decide which
+/// resolution derivation justifies the resulting edge.
+enum class AndCase {
+  kConstFalse,   ///< a is constant false, or a == !b: result kFalse
+  kConstLeft,    ///< a is constant true: result b
+  kIdentical,    ///< a == b: result a
+  kStrashHit,    ///< an AND node with these fanins already exists
+  kNewNode,      ///< a fresh AND node is created
+};
+
+class Aig {
+ public:
+  Aig();
+
+  Aig(const Aig&) = default;
+  Aig& operator=(const Aig&) = default;
+  Aig(Aig&&) = default;
+  Aig& operator=(Aig&&) = default;
+
+  // ---- construction -------------------------------------------------------
+
+  /// Creates a new primary input and returns its (uncomplemented) edge.
+  Edge addInput();
+
+  /// Returns the AND of two edges, folding constants and duplicates and
+  /// structurally hashing. May return a complemented edge only through the
+  /// folding cases (a new node's edge is never complemented).
+  Edge addAnd(Edge a, Edge b);
+
+  /// Classifies what addAnd(a, b) would do, without modifying the graph.
+  /// Postcondition: for kStrashHit/kNewNode the pair has been normalized
+  /// (use normalizeAnd to obtain the normalized operands).
+  AndCase classifyAnd(Edge a, Edge b) const;
+
+  /// Normalizes an AND fanin pair exactly as addAnd does: swaps so that
+  /// a.raw() <= b.raw().
+  static void normalizeAnd(Edge& a, Edge& b);
+
+  // Derived connectives, built from AND nodes.
+  Edge addOr(Edge a, Edge b) { return !addAnd(!a, !b); }
+  Edge addXor(Edge a, Edge b);
+  Edge addMux(Edge sel, Edge whenTrue, Edge whenFalse);
+
+  /// Registers a primary output.
+  void addOutput(Edge e) { outputs_.push_back(e); }
+  void setOutput(std::size_t index, Edge e) { outputs_.at(index) = e; }
+
+  // ---- inspection ---------------------------------------------------------
+
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(fanin0_.size());
+  }
+  std::uint32_t numInputs() const {
+    return static_cast<std::uint32_t>(inputs_.size());
+  }
+  std::uint32_t numOutputs() const {
+    return static_cast<std::uint32_t>(outputs_.size());
+  }
+  /// Number of AND nodes (total minus constant minus inputs).
+  std::uint32_t numAnds() const {
+    return numNodes() - 1 - numInputs();
+  }
+
+  bool isConst(std::uint32_t node) const { return node == 0; }
+  bool isInput(std::uint32_t node) const {
+    return node != 0 && !fanin0_[node].valid();
+  }
+  bool isAnd(std::uint32_t node) const {
+    return node != 0 && fanin0_[node].valid();
+  }
+
+  /// Fanins of an AND node. Precondition: isAnd(node).
+  Edge fanin0(std::uint32_t node) const { return fanin0_[node]; }
+  Edge fanin1(std::uint32_t node) const { return fanin1_[node]; }
+
+  /// Node index of the i-th primary input.
+  std::uint32_t inputNode(std::size_t i) const { return inputs_[i]; }
+  /// Edge of the i-th primary input.
+  Edge inputEdge(std::size_t i) const { return Edge::make(inputs_[i], false); }
+  /// Position of an input node among the primary inputs.
+  /// Precondition: isInput(node).
+  std::uint32_t inputIndex(std::uint32_t node) const {
+    return inputIndex_[node];
+  }
+
+  Edge output(std::size_t i) const { return outputs_[i]; }
+  const std::vector<Edge>& outputs() const { return outputs_; }
+
+  // ---- analysis -----------------------------------------------------------
+
+  /// Logic depth of every node (inputs and constant are level 0).
+  std::vector<std::uint32_t> levels() const;
+
+  /// Maximum level over the outputs; 0 for a constant-only graph.
+  std::uint32_t depth() const;
+
+  /// Node indices of the transitive fanin cone of `roots`, in topological
+  /// order, including input and constant nodes that are reached.
+  std::vector<std::uint32_t> coneOf(const std::vector<Edge>& roots) const;
+
+  /// Indices of primary inputs in the support of `roots`.
+  std::vector<std::uint32_t> supportOf(const std::vector<Edge>& roots) const;
+
+  /// Evaluates all outputs for one input assignment (reference semantics
+  /// used by tests; the sim module is the fast path).
+  std::vector<bool> evaluate(const std::vector<bool>& inputValues) const;
+
+  // ---- restructuring ------------------------------------------------------
+
+  /// Copies the cone of this graph's outputs into a fresh, compacted AIG
+  /// (drops dangling nodes). Inputs are preserved positionally even if
+  /// unreferenced, so equivalence checking against the original is
+  /// well-formed.
+  Aig compacted() const;
+
+  /// Appends a copy of `other` into this graph. `inputMap[i]` gives the
+  /// edge in *this* graph substituted for other's input i. Returns the
+  /// images of other's outputs. Does not register outputs on this graph.
+  std::vector<Edge> append(const Aig& other,
+                           const std::vector<Edge>& inputMap);
+
+  /// One-line statistics summary, e.g. "in=8 out=1 and=57 depth=9".
+  std::string statsString() const;
+
+ private:
+  Edge lookupOrCreateAnd(Edge a, Edge b);
+  static std::uint64_t strashKey(Edge a, Edge b) {
+    return (static_cast<std::uint64_t>(a.raw()) << 32) | b.raw();
+  }
+
+  // Parallel arrays indexed by node. For inputs, fanin edges are invalid.
+  std::vector<Edge> fanin0_;
+  std::vector<Edge> fanin1_;
+  std::vector<std::uint32_t> inputs_;      // node index per PI position
+  std::vector<std::uint32_t> inputIndex_;  // PI position per node (or ~0)
+  std::vector<Edge> outputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace cp::aig

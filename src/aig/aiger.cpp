@@ -1,0 +1,191 @@
+#include "src/aig/aiger.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cp::aig {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("aiger: " + what);
+}
+
+std::uint64_t parseUnsigned(std::istream& in, const char* what) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) fail(std::string("expected unsigned value for ") + what);
+  return value;
+}
+
+/// AIGER literal -> edge, given the node image per AIGER variable.
+Edge literalToEdge(std::uint64_t literal, const std::vector<Edge>& nodeOf) {
+  const std::uint64_t var = literal >> 1;
+  if (var >= nodeOf.size() || !nodeOf[var].valid()) {
+    fail("literal " + std::to_string(literal) + " used before definition");
+  }
+  return nodeOf[var] ^ ((literal & 1) != 0);
+}
+
+std::uint64_t decodeDelta(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte < 0) fail("truncated binary delta encoding");
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) fail("binary delta encoding overflows 64 bits");
+  }
+}
+
+void encodeDelta(std::uint64_t value, std::ostream& out) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>(0x80 | (value & 0x7F)));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+}  // namespace
+
+Aig readAiger(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic)) fail("empty stream");
+  const bool binary = magic == "aig";
+  if (!binary && magic != "aag") fail("bad magic '" + magic + "'");
+
+  const std::uint64_t maxVar = parseUnsigned(in, "M");
+  const std::uint64_t numIn = parseUnsigned(in, "I");
+  const std::uint64_t numLatch = parseUnsigned(in, "L");
+  const std::uint64_t numOut = parseUnsigned(in, "O");
+  const std::uint64_t numAnd = parseUnsigned(in, "A");
+  if (numLatch != 0) fail("sequential AIGER (latches) is not supported");
+  if (maxVar < numIn + numAnd) fail("header M smaller than I+A");
+
+  Aig graph;
+  std::vector<Edge> nodeOf(maxVar + 1, Edge());
+  nodeOf[0] = kFalse;
+
+  if (binary) {
+    for (std::uint64_t i = 0; i < numIn; ++i) {
+      nodeOf[i + 1] = graph.addInput();
+    }
+  } else {
+    for (std::uint64_t i = 0; i < numIn; ++i) {
+      const std::uint64_t lit = parseUnsigned(in, "input literal");
+      if ((lit & 1) || lit == 0 || (lit >> 1) > maxVar) {
+        fail("bad input literal " + std::to_string(lit));
+      }
+      if (nodeOf[lit >> 1].valid()) fail("input literal defined twice");
+      nodeOf[lit >> 1] = graph.addInput();
+    }
+  }
+
+  std::vector<std::uint64_t> outputLiterals(numOut);
+  for (auto& lit : outputLiterals) lit = parseUnsigned(in, "output literal");
+
+  if (binary) {
+    // Skip exactly one newline before the delta-coded section.
+    int c = in.get();
+    while (c == '\r') c = in.get();
+    if (c != '\n') fail("expected newline before binary and-gate section");
+    std::uint64_t previousLhs = 2 * numIn;
+    for (std::uint64_t i = 0; i < numAnd; ++i) {
+      const std::uint64_t lhs = previousLhs + 2;
+      previousLhs = lhs;
+      const std::uint64_t delta0 = decodeDelta(in);
+      if (delta0 > lhs) fail("delta0 exceeds lhs");
+      const std::uint64_t rhs0 = lhs - delta0;
+      const std::uint64_t delta1 = decodeDelta(in);
+      if (delta1 > rhs0) fail("delta1 exceeds rhs0");
+      const std::uint64_t rhs1 = rhs0 - delta1;
+      nodeOf[lhs >> 1] = graph.addAnd(literalToEdge(rhs0, nodeOf),
+                                      literalToEdge(rhs1, nodeOf));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < numAnd; ++i) {
+      const std::uint64_t lhs = parseUnsigned(in, "and lhs");
+      const std::uint64_t rhs0 = parseUnsigned(in, "and rhs0");
+      const std::uint64_t rhs1 = parseUnsigned(in, "and rhs1");
+      if ((lhs & 1) || (lhs >> 1) > maxVar) fail("bad and lhs");
+      if (nodeOf[lhs >> 1].valid()) fail("and literal defined twice");
+      nodeOf[lhs >> 1] = graph.addAnd(literalToEdge(rhs0, nodeOf),
+                                      literalToEdge(rhs1, nodeOf));
+    }
+  }
+
+  for (const std::uint64_t lit : outputLiterals) {
+    graph.addOutput(literalToEdge(lit, nodeOf));
+  }
+  return graph;
+}
+
+Aig readAigerFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open file " + path);
+  return readAiger(in);
+}
+
+namespace {
+
+/// AIGER literal of an edge under the dense numbering of a compacted graph.
+std::uint64_t edgeLiteral(Edge e) {
+  return (static_cast<std::uint64_t>(e.node()) << 1) |
+         (e.complemented() ? 1 : 0);
+}
+
+}  // namespace
+
+void writeAscii(const Aig& original, std::ostream& out) {
+  const Aig graph = original.compacted();
+  const std::uint64_t maxVar = graph.numNodes() - 1;
+  out << "aag " << maxVar << ' ' << graph.numInputs() << " 0 "
+      << graph.numOutputs() << ' ' << graph.numAnds() << '\n';
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    out << edgeLiteral(graph.inputEdge(i)) << '\n';
+  }
+  for (const Edge e : graph.outputs()) out << edgeLiteral(e) << '\n';
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    out << edgeLiteral(Edge::make(n, false)) << ' '
+        << edgeLiteral(graph.fanin0(n)) << ' ' << edgeLiteral(graph.fanin1(n))
+        << '\n';
+  }
+}
+
+void writeBinary(const Aig& original, std::ostream& out) {
+  // The binary format additionally requires inputs to occupy variables
+  // 1..I and ANDs to follow in topological order; compacted() guarantees
+  // exactly that numbering.
+  const Aig graph = original.compacted();
+  const std::uint64_t maxVar = graph.numNodes() - 1;
+  out << "aig " << maxVar << ' ' << graph.numInputs() << " 0 "
+      << graph.numOutputs() << ' ' << graph.numAnds() << '\n';
+  for (const Edge e : graph.outputs()) out << edgeLiteral(e) << '\n';
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    const std::uint64_t lhs = edgeLiteral(Edge::make(n, false));
+    std::uint64_t rhs0 = edgeLiteral(graph.fanin0(n));
+    std::uint64_t rhs1 = edgeLiteral(graph.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);  // format wants rhs0 >= rhs1
+    encodeDelta(lhs - rhs0, out);
+    encodeDelta(rhs0 - rhs1, out);
+  }
+}
+
+void writeAigerFile(const Aig& graph, const std::string& path, bool binary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open file for writing: " + path);
+  if (binary) {
+    writeBinary(graph, out);
+  } else {
+    writeAscii(graph, out);
+  }
+}
+
+}  // namespace cp::aig

@@ -1,0 +1,31 @@
+// Reader and writer for the AIGER combinational circuit exchange format
+// (both the ASCII "aag" and the binary "aig" variants, per the AIGER 1.9
+// specification). Only combinational circuits are supported: a file with
+// latches is rejected with an explanatory error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/aig/aig.h"
+
+namespace cp::aig {
+
+/// Parses an AIGER stream ("aag" or "aig" header). Throws std::runtime_error
+/// with a line/byte-position diagnostic on malformed input.
+Aig readAiger(std::istream& in);
+
+/// Convenience wrapper: opens and parses a file.
+Aig readAigerFile(const std::string& path);
+
+/// Writes the graph in ASCII AIGER ("aag") form. The graph is compacted
+/// first so the literal numbering is dense as the format requires.
+void writeAscii(const Aig& graph, std::ostream& out);
+
+/// Writes the graph in binary AIGER ("aig") form.
+void writeBinary(const Aig& graph, std::ostream& out);
+
+void writeAigerFile(const Aig& graph, const std::string& path,
+                    bool binary = true);
+
+}  // namespace cp::aig

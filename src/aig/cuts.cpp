@@ -1,0 +1,197 @@
+#include "src/aig/cuts.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cp::aig {
+
+namespace {
+
+/// Truth-table masks for leaf positions 0..5 over 64 replicated rows.
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+/// Union of two ascending leaf vectors; empty result signals > k leaves.
+std::vector<std::uint32_t> mergeLeaves(const std::vector<std::uint32_t>& a,
+                                       const std::vector<std::uint32_t>& b,
+                                       std::uint32_t k, bool& ok) {
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    std::uint32_t next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    if (out.size() == k) {
+      ok = false;
+      return out;
+    }
+    out.push_back(next);
+  }
+  ok = true;
+  return out;
+}
+
+/// Re-expresses `truth` (over `from` leaves) over the superset `to`.
+std::uint64_t expandTruth(std::uint64_t truth,
+                          const std::vector<std::uint32_t>& from,
+                          const std::vector<std::uint32_t>& to) {
+  // Position of each `from` leaf within `to`.
+  std::uint32_t position[6];
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    position[i] = static_cast<std::uint32_t>(
+        std::find(to.begin(), to.end(), from[i]) - to.begin());
+  }
+  std::uint64_t out = 0;
+  for (std::uint32_t row = 0; row < 64; ++row) {
+    std::uint32_t subRow = 0;
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      subRow |= ((row >> position[i]) & 1u) << i;
+    }
+    out |= static_cast<std::uint64_t>((truth >> subRow) & 1u) << row;
+  }
+  return out;
+}
+
+bool sameLeaves(const Cut& a, const Cut& b) { return a.leaves == b.leaves; }
+
+}  // namespace
+
+std::vector<std::vector<Cut>> enumerateCuts(const Aig& graph,
+                                            const CutOptions& options) {
+  if (options.k > 6 || options.k == 0) {
+    throw std::invalid_argument("enumerateCuts: k must be in 1..6");
+  }
+  std::vector<std::vector<Cut>> cuts(graph.numNodes());
+
+  // Constant node: empty-leaf cut, constant-false truth.
+  cuts[0].push_back(Cut{{}, 0});
+
+  for (std::uint32_t n = 1; n < graph.numNodes(); ++n) {
+    auto& set = cuts[n];
+    if (graph.isInput(n)) {
+      set.push_back(Cut{{n}, kVarMask[0]});
+      continue;
+    }
+    const Edge ea = graph.fanin0(n);
+    const Edge eb = graph.fanin1(n);
+    for (const Cut& ca : cuts[ea.node()]) {
+      for (const Cut& cb : cuts[eb.node()]) {
+        bool ok = false;
+        auto leaves = mergeLeaves(ca.leaves, cb.leaves, options.k, ok);
+        if (!ok) continue;
+        std::uint64_t ta = expandTruth(ca.truth, ca.leaves, leaves);
+        std::uint64_t tb = expandTruth(cb.truth, cb.leaves, leaves);
+        if (ea.complemented()) ta = ~ta;
+        if (eb.complemented()) tb = ~tb;
+        Cut merged{std::move(leaves), ta & tb};
+        // Deduplicate by leaf set (first wins: fanin cut order prefers
+        // smaller cuts first because sets are built smallest-first).
+        bool duplicate = false;
+        for (const Cut& existing : set) {
+          if (sameLeaves(existing, merged)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) set.push_back(std::move(merged));
+        if (set.size() >= options.maxCutsPerNode) break;
+      }
+      if (set.size() >= options.maxCutsPerNode) break;
+    }
+    // Trivial cut last (always present, never counted against the limit).
+    set.push_back(Cut{{n}, kVarMask[0]});
+  }
+  return cuts;
+}
+
+CutSweepResult cutSweep(const Aig& graph, const CutOptions& options) {
+  const auto cuts = enumerateCuts(graph, options);
+
+  // Signature -> first node with that (leaves, canonical truth).
+  struct Match {
+    std::uint32_t node;
+    bool complemented;
+  };
+  auto hashCut = [](const std::vector<std::uint32_t>& leaves,
+                    std::uint64_t truth) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint32_t l : leaves) {
+      h = (h ^ l) * 0x100000001B3ULL;
+    }
+    h ^= truth;
+    h *= 0x100000001B3ULL;
+    return h;
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::pair<Cut, Match>>>
+      table;
+
+  // replacement[n]: edge (target original node, complement) for merged n.
+  std::vector<Edge> replacement(graph.numNodes(), Edge());
+
+  for (std::uint32_t n = 1; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    bool merged = false;
+    for (const Cut& cut : cuts[n]) {
+      if (cut.leaves.size() == 1 && cut.leaves[0] == n) continue;  // trivial
+      const bool polarity = (cut.truth & 1) != 0;
+      const std::uint64_t canon = polarity ? ~cut.truth : cut.truth;
+      const std::uint64_t h = hashCut(cut.leaves, canon);
+      auto& bucket = table[h];
+      for (const auto& [storedCut, match] : bucket) {
+        if (storedCut.leaves != cut.leaves) continue;
+        const bool storedPolarity = (storedCut.truth & 1) != 0;
+        const std::uint64_t storedCanon =
+            storedPolarity ? ~storedCut.truth : storedCut.truth;
+        if (storedCanon != canon) continue;
+        if (match.node == n) continue;
+        replacement[n] =
+            Edge::make(match.node, polarity != storedPolarity);
+        merged = true;
+        break;
+      }
+      if (merged) break;
+      bucket.push_back({cut, Match{n, false}});
+    }
+  }
+
+  // Rebuild with replacements applied.
+  CutSweepResult result;
+  result.stats.andsBefore = graph.numAnds();
+  Aig& out = result.graph;
+  std::vector<Edge> image(graph.numNodes(), Edge());
+  image[0] = kFalse;
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    image[graph.inputNode(i)] = out.addInput();
+  }
+  for (std::uint32_t n = 1; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    if (replacement[n].valid()) {
+      const Edge target = replacement[n];
+      image[n] = image[target.node()] ^ target.complemented();
+      ++result.stats.merges;
+      continue;
+    }
+    const Edge a = graph.fanin0(n);
+    const Edge b = graph.fanin1(n);
+    image[n] = out.addAnd(image[a.node()] ^ a.complemented(),
+                          image[b.node()] ^ b.complemented());
+  }
+  for (const Edge e : graph.outputs()) {
+    out.addOutput(image[e.node()] ^ e.complemented());
+  }
+  result.graph = result.graph.compacted();
+  result.stats.andsAfter = result.graph.numAnds();
+  return result;
+}
+
+}  // namespace cp::aig

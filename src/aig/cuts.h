@@ -1,0 +1,63 @@
+// K-feasible cut enumeration with truth tables, and cut sweeping.
+//
+// A *cut* of node n is a set of nodes (leaves) such that every path from
+// the inputs to n passes through a leaf; a cut is k-feasible if it has at
+// most k leaves. Cuts of n are built by merging the cuts of its fanins.
+// Each cut carries the truth table of n as a function of its leaves
+// (k <= 6 fits one 64-bit word), which makes cuts the standard currency of
+// technology mapping and rewriting.
+//
+// Cut sweeping (Kuehlmann's lightweight equivalence detection) merges
+// nodes that share a cut with identical truth tables over identical
+// leaves: cheaper than SAT sweeping, catches the easy internal
+// equivalences, and is exact (no verification needed -- the truth table
+// *is* the proof over that cut).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+
+namespace cp::aig {
+
+struct Cut {
+  /// Leaf node indices, ascending, at most k entries.
+  std::vector<std::uint32_t> leaves;
+  /// Truth table of the node over the leaves: bit j is the node value
+  /// when leaf i carries bit i of j. Rows beyond 2^|leaves| replicate.
+  /// Leaves may be interdependent (one leaf in another's cone); the truth
+  /// is guaranteed correct on *feasible* leaf assignments -- the ones that
+  /// actually occur under some primary-input assignment. Unrealizable rows
+  /// carry an arbitrary-but-consistent value, which keeps every use here
+  /// (matching, sweeping) sound.
+  std::uint64_t truth = 0;
+};
+
+struct CutOptions {
+  std::uint32_t k = 4;             ///< max leaves per cut (<= 6)
+  std::uint32_t maxCutsPerNode = 8;
+};
+
+/// Per-node cut sets for the whole graph; index = node. Every node has at
+/// least its trivial cut {n} (identity truth table).
+std::vector<std::vector<Cut>> enumerateCuts(const Aig& graph,
+                                            const CutOptions& options = {});
+
+struct CutSweepStats {
+  std::uint32_t merges = 0;
+  std::uint32_t andsBefore = 0;
+  std::uint32_t andsAfter = 0;
+};
+
+struct CutSweepResult {
+  Aig graph;
+  CutSweepStats stats;
+};
+
+/// Rebuilds the graph merging nodes proved equal (or complementary) by a
+/// shared cut with matching truth tables. Function-preserving by
+/// construction.
+CutSweepResult cutSweep(const Aig& graph, const CutOptions& options = {});
+
+}  // namespace cp::aig

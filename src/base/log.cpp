@@ -1,0 +1,19 @@
+#include "src/base/log.h"
+
+namespace cp {
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+}
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+namespace detail {
+void logLine(LogLevel level, const std::string& text) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace cp

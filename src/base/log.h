@@ -1,0 +1,34 @@
+// Minimal leveled logging. The library is quiet by default; drivers and
+// examples raise the level when the user asks for progress output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace cp {
+
+enum class LogLevel : int { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Process-wide verbosity. Not thread-safe by design: the library is
+/// single-threaded (CDCL and AIG construction are inherently sequential).
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void logLine(LogLevel level, const std::string& text);
+}
+
+/// Formats with std::snprintf semantics and emits at the given level.
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (static_cast<int>(level) > static_cast<int>(logLevel())) return;
+  char buffer[1024];
+  std::snprintf(buffer, sizeof buffer, fmt, args...);
+  detail::logLine(level, buffer);
+}
+
+inline void logInfo(const std::string& text) {
+  detail::logLine(LogLevel::kInfo, text);
+}
+
+}  // namespace cp

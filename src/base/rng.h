@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for simulation, benchmark
+// workload construction and property tests.
+//
+// All randomness in the library flows through Xoshiro256StarStar so that a
+// run is reproducible from a single 64-bit seed. We deliberately do not use
+// std::mt19937: its state is large, its seeding is easy to get subtly wrong,
+// and identical cross-platform streams are a hard requirement for the
+// benchmark harness (EXPERIMENTS.md records concrete numbers).
+#pragma once
+
+#include <cstdint>
+
+namespace cp {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit value via SplitMix64,
+  /// which guarantees a non-zero, well-mixed state for any seed.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next64();
+
+  /// Uniform 32-bit word.
+  std::uint32_t next32() { return static_cast<std::uint32_t>(next64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be non-zero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Fair coin.
+  bool flip() { return (next64() >> 63) != 0; }
+
+  /// Biased coin: true with probability numer/denom.
+  bool chance(std::uint64_t numer, std::uint64_t denom) {
+    return below(denom) < numer;
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace cp

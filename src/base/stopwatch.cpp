@@ -1,0 +1,12 @@
+#include "src/base/stopwatch.h"
+
+namespace cp {
+
+void Stopwatch::restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  const auto delta = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(delta).count();
+}
+
+}  // namespace cp

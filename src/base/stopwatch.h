@@ -1,0 +1,25 @@
+// Wall-clock timing used by the CEC drivers and the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace cp {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { restart(); }
+
+  void restart();
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const;
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cp

@@ -1,0 +1,118 @@
+#include "src/bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace cp::bdd {
+
+namespace {
+constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFu;
+}
+
+BddManager::BddManager(std::uint64_t nodeLimit) : nodeLimit_(nodeLimit) {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true
+}
+
+BddRef BddManager::var(std::uint32_t index) {
+  numVars_ = std::max(numVars_, index + 1);
+  return mk(index, kFalse, kTrue);
+}
+
+BddRef BddManager::mk(std::uint32_t v, BddRef low, BddRef high) {
+  if (low == high) return low;
+  const Triple key = {v, low, high};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= nodeLimit_) throw BddLimitExceeded();
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({v, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal rules.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const Triple key = {f, g, h};
+  if (const auto it = iteCache_.find(key); it != iteCache_.end()) {
+    return it->second;
+  }
+
+  // Split on the topmost variable among the operands.
+  std::uint32_t top = level(f);
+  if (!isTerminal(g)) top = std::min(top, level(g));
+  if (!isTerminal(h)) top = std::min(top, level(h));
+
+  auto cofactor = [&](BddRef x, bool positive) {
+    if (isTerminal(x) || level(x) != top) return x;
+    return positive ? nodes_[x].high : nodes_[x].low;
+  };
+
+  const BddRef hi = ite(cofactor(f, true), cofactor(g, true),
+                        cofactor(h, true));
+  const BddRef lo = ite(cofactor(f, false), cofactor(g, false),
+                        cofactor(h, false));
+  const BddRef result = mk(top, lo, hi);
+  iteCache_.emplace(key, result);
+  return result;
+}
+
+bool BddManager::evaluate(BddRef f, const std::vector<bool>& inputs) const {
+  while (!isTerminal(f)) {
+    const Node& n = nodes_[f];
+    f = inputs.at(n.var) ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+std::uint64_t BddManager::coneSize(BddRef f) const {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack = {f};
+  while (!stack.empty()) {
+    const BddRef x = stack.back();
+    stack.pop_back();
+    if (isTerminal(x) || !seen.insert(x).second) continue;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  return seen.size();
+}
+
+double BddManager::satCount(BddRef f, std::uint32_t overVars) const {
+  std::unordered_map<BddRef, double> memo;
+  // fraction(f) = satisfying fraction of the input space.
+  auto fraction = [&](auto&& self, BddRef x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    if (const auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    const double value =
+        0.5 * self(self, n.low) + 0.5 * self(self, n.high);
+    memo.emplace(x, value);
+    return value;
+  };
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < overVars; ++i) scale *= 2.0;
+  return fraction(fraction, f) * scale;
+}
+
+std::vector<bool> BddManager::anySat(BddRef f, std::uint32_t overVars) const {
+  assert(f != kFalse);
+  std::vector<bool> assignment(overVars, false);
+  while (!isTerminal(f)) {
+    const Node& n = nodes_[f];
+    // Prefer a branch that is not constant-false.
+    const bool takeHigh = n.high != kFalse;
+    if (n.var < overVars) assignment[n.var] = takeHigh;
+    f = takeHigh ? n.high : n.low;
+  }
+  return assignment;
+}
+
+}  // namespace cp::bdd

@@ -1,0 +1,113 @@
+#include "src/bdd/isop.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cp::bdd {
+
+namespace {
+
+struct IsopResult {
+  Cover cover;
+  BddRef function;  // BDD of the cover
+};
+
+class IsopComputer {
+ public:
+  explicit IsopComputer(BddManager& manager) : m_(manager) {}
+
+  IsopResult run(BddRef lower, BddRef upper) {
+    if (lower == kFalse) return {{}, kFalse};
+    if (upper == kTrue) return {{Cube{}}, kTrue};
+
+    const std::uint32_t x = topVar(lower, upper);
+    if (x >= 64) {
+      throw std::invalid_argument("isop: variable index above 63");
+    }
+    const auto [l0, l1] = cofactors(lower, x);
+    const auto [u0, u1] = cofactors(upper, x);
+
+    // Cubes that must carry literal ~x: needed where the function is on
+    // with x=0 but cannot be covered by x-independent cubes (upper bound
+    // with x=1 is off).
+    IsopResult offPart = run(m_.bddAnd(l0, m_.bddNot(u1)), u0);
+    // Cubes that must carry literal x.
+    IsopResult onPart = run(m_.bddAnd(l1, m_.bddNot(u0)), u1);
+
+    // What remains to cover, x-independently.
+    const BddRef remaining0 = m_.bddAnd(l0, m_.bddNot(offPart.function));
+    const BddRef remaining1 = m_.bddAnd(l1, m_.bddNot(onPart.function));
+    IsopResult dontPart =
+        run(m_.bddOr(remaining0, remaining1), m_.bddAnd(u0, u1));
+
+    IsopResult result;
+    result.cover.reserve(offPart.cover.size() + onPart.cover.size() +
+                         dontPart.cover.size());
+    for (Cube c : offPart.cover) {
+      c.negMask |= 1ULL << x;
+      result.cover.push_back(c);
+    }
+    for (Cube c : onPart.cover) {
+      c.posMask |= 1ULL << x;
+      result.cover.push_back(c);
+    }
+    for (const Cube& c : dontPart.cover) result.cover.push_back(c);
+
+    const BddRef vx = m_.var(x);
+    result.function = m_.bddOr(
+        dontPart.function,
+        m_.ite(vx, onPart.function, offPart.function));
+    return result;
+  }
+
+ private:
+  std::uint32_t topVar(BddRef a, BddRef b) const {
+    std::uint32_t top = 0xFFFFFFFFu;
+    if (a > kTrue) top = std::min(top, m_.topVar(a));
+    if (b > kTrue) top = std::min(top, m_.topVar(b));
+    return top;
+  }
+  std::pair<BddRef, BddRef> cofactors(BddRef f, std::uint32_t x) {
+    return {m_.cofactor(f, x, false), m_.cofactor(f, x, true)};
+  }
+
+  BddManager& m_;
+};
+
+}  // namespace
+
+Cover isop(BddManager& manager, BddRef f) {
+  IsopComputer computer(manager);
+  return computer.run(f, f).cover;
+}
+
+BddRef coverToBdd(BddManager& manager, const Cover& cover) {
+  BddRef result = kFalse;
+  for (const Cube& cube : cover) {
+    BddRef term = kTrue;
+    for (std::uint32_t v = 0; v < 64; ++v) {
+      if (cube.posMask & (1ULL << v)) {
+        term = manager.bddAnd(term, manager.var(v));
+      }
+      if (cube.negMask & (1ULL << v)) {
+        term = manager.bddAnd(term, manager.bddNot(manager.var(v)));
+      }
+    }
+    result = manager.bddOr(result, term);
+  }
+  return result;
+}
+
+bool evaluateCover(const Cover& cover, const std::vector<bool>& inputs) {
+  for (const Cube& cube : cover) {
+    bool holds = true;
+    for (std::uint32_t v = 0; v < inputs.size() && holds; ++v) {
+      if ((cube.posMask & (1ULL << v)) && !inputs[v]) holds = false;
+      if ((cube.negMask & (1ULL << v)) && inputs[v]) holds = false;
+    }
+    if (holds) return true;
+  }
+  return false;
+}
+
+}  // namespace cp::bdd

@@ -1,0 +1,42 @@
+// Irredundant sum-of-products extraction from BDDs (Minato-Morreale).
+//
+// Computes an irredundant prime-ish cover of a function given as a BDD:
+// the classic bridge from canonical form back to structural logic, used by
+// the collapse-refactor resynthesis pass. The recursion maintains a lower
+// and upper bound [L, U] on the function being covered and splits on the
+// top variable; cubes are emitted for the off-branch, on-branch, and
+// don't-branch parts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bdd/bdd.h"
+
+namespace cp::bdd {
+
+/// A product term over BDD variables: variable v appears positively if
+/// bit v of posMask is set, negatively if bit v of negMask is set.
+/// Supports up to 64 variables.
+struct Cube {
+  std::uint64_t posMask = 0;
+  std::uint64_t negMask = 0;
+
+  bool operator==(const Cube&) const = default;
+};
+
+/// Cover of a function: OR of cubes (empty cover = constant false; a cover
+/// containing the empty cube computes constant true).
+using Cover = std::vector<Cube>;
+
+/// Computes an irredundant SOP cover of `f`. Variables must be < 64.
+/// The cover satisfies: OR of cubes == f exactly (verified by rebuilding).
+Cover isop(BddManager& manager, BddRef f);
+
+/// Rebuilds a cover as a BDD (for verification and tests).
+BddRef coverToBdd(BddManager& manager, const Cover& cover);
+
+/// Evaluates a cover under an assignment.
+bool evaluateCover(const Cover& cover, const std::vector<bool>& inputs);
+
+}  // namespace cp::bdd

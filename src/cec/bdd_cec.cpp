@@ -1,0 +1,85 @@
+#include "src/cec/bdd_cec.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/bdd/bdd.h"
+
+namespace cp::cec {
+
+namespace {
+
+/// Builds BDDs for every output of `graph`; input i uses BDD variable
+/// varOf[i].
+std::vector<bdd::BddRef> buildOutputs(bdd::BddManager& manager,
+                                      const aig::Aig& graph,
+                                      const std::vector<std::uint32_t>& varOf) {
+  std::vector<bdd::BddRef> node(graph.numNodes(), bdd::kFalse);
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    node[graph.inputNode(i)] = manager.var(varOf[i]);
+  }
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    const aig::Edge a = graph.fanin0(n);
+    const aig::Edge b = graph.fanin1(n);
+    const bdd::BddRef fa = a.complemented() ? manager.bddNot(node[a.node()])
+                                            : node[a.node()];
+    const bdd::BddRef fb = b.complemented() ? manager.bddNot(node[b.node()])
+                                            : node[b.node()];
+    node[n] = manager.bddAnd(fa, fb);
+  }
+  std::vector<bdd::BddRef> outs;
+  for (const aig::Edge e : graph.outputs()) {
+    outs.push_back(e.complemented() ? manager.bddNot(node[e.node()])
+                                    : node[e.node()]);
+  }
+  return outs;
+}
+
+}  // namespace
+
+BddCecResult bddCheck(const aig::Aig& left, const aig::Aig& right,
+                      const BddCecOptions& options) {
+  if (left.numInputs() != right.numInputs() ||
+      left.numOutputs() != right.numOutputs()) {
+    throw std::invalid_argument("bddCheck: interface mismatch");
+  }
+  BddCecResult result;
+  bdd::BddManager manager(options.nodeLimit);
+  // Variable order: interleave the two operand halves when requested.
+  const std::uint32_t n = left.numInputs();
+  std::vector<std::uint32_t> varOf(n);
+  for (std::uint32_t i = 0; i < n; ++i) varOf[i] = i;
+  if (options.interleaveOperands && n >= 2 && n % 2 == 0) {
+    const std::uint32_t half = n / 2;
+    for (std::uint32_t i = 0; i < half; ++i) {
+      varOf[i] = 2 * i;
+      varOf[half + i] = 2 * i + 1;
+    }
+  }
+  try {
+    const auto leftOuts = buildOutputs(manager, left, varOf);
+    const auto rightOuts = buildOutputs(manager, right, varOf);
+    result.bddNodes = manager.numNodes();
+    for (std::size_t o = 0; o < leftOuts.size(); ++o) {
+      if (leftOuts[o] == rightOuts[o]) continue;  // canonical: equal fn
+      // Different nodes: the XOR is non-false and any minterm of it is a
+      // counterexample.
+      const bdd::BddRef diff = manager.bddXor(leftOuts[o], rightOuts[o]);
+      result.verdict = Verdict::kInequivalent;
+      const auto byVar = manager.anySat(diff, n);
+      result.counterexample.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        result.counterexample[i] = byVar[varOf[i]];
+      }
+      return result;
+    }
+    result.verdict = Verdict::kEquivalent;
+  } catch (const bdd::BddLimitExceeded&) {
+    result.verdict = Verdict::kUndecided;
+    result.bddNodes = manager.numNodes();
+  }
+  return result;
+}
+
+}  // namespace cp::cec

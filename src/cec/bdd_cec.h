@@ -1,0 +1,40 @@
+// BDD-based combinational equivalence checking: the canonical-form
+// baseline SAT sweeping displaced. Builds BDDs for both circuits under a
+// shared input variable order; equivalence is pointer equality per output.
+//
+// No proof is produced -- canonicity IS the argument, which is exactly the
+// trust weakness the paper's resolution-proof pipeline addresses (the BDD
+// package itself must be trusted). A node limit turns the expected blowup
+// on multiplier-class circuits into a kUndecided verdict.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+
+namespace cp::cec {
+
+struct BddCecOptions {
+  /// Manager node limit; hitting it yields kUndecided.
+  std::uint64_t nodeLimit = 1u << 22;
+  /// Operand-interleaving variable order heuristic: input i of each half
+  /// is placed adjacent to input i of the other half. Crucial for
+  /// two-operand datapath circuits (a blocked a..b order makes even an
+  /// adder's BDD exponential); harmless otherwise.
+  bool interleaveOperands = true;
+};
+
+struct BddCecResult {
+  Verdict verdict = Verdict::kUndecided;
+  /// For kInequivalent: input assignment separating the circuits.
+  std::vector<bool> counterexample;
+  /// Peak BDD nodes (0 when the limit was hit during construction).
+  std::uint64_t bddNodes = 0;
+};
+
+/// Checks all output pairs of two circuits with identical interfaces.
+BddCecResult bddCheck(const aig::Aig& left, const aig::Aig& right,
+                      const BddCecOptions& options = {});
+
+}  // namespace cp::cec

@@ -1,0 +1,90 @@
+#include "src/cec/certify.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <stdexcept>
+
+#include <vector>
+
+#include "src/base/stopwatch.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/cnf/cnf.h"
+
+namespace cp::cec {
+
+std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
+    const aig::Aig& miter) {
+  // Hash every admissible clause as a sorted literal tuple.
+  auto hashClause = [](const std::vector<sat::Lit>& sorted) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const sat::Lit l : sorted) {
+      h ^= l.index();
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  };
+  using Bucket = std::vector<std::vector<sat::Lit>>;
+  auto buckets =
+      std::make_shared<std::unordered_map<std::uint64_t, Bucket>>();
+  const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+  for (const auto& clause : cnf.clauses) {
+    std::vector<sat::Lit> sorted(clause);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    (*buckets)[hashClause(sorted)].push_back(std::move(sorted));
+  }
+  // Collision safety: on a hash hit, confirm by exact comparison within
+  // the bucket.
+  return [buckets, hashClause](std::span<const sat::Lit> lits) {
+    std::vector<sat::Lit> sorted(lits.begin(), lits.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    const auto it = buckets->find(hashClause(sorted));
+    if (it == buckets->end()) return false;
+    for (const auto& candidate : it->second) {
+      if (candidate == sorted) return true;
+    }
+    return false;
+  };
+}
+
+CertifyReport certifyMiter(const aig::Aig& miter, Engine engine,
+                           const SweepOptions& sweepOptions) {
+  CertifyReport report;
+  proof::ProofLog log;
+  report.cec = engine == Engine::kSweeping
+                   ? sweepingCheck(miter, sweepOptions, &log)
+                   : monolithicCheck(miter, MonolithicOptions(), &log);
+
+  if (report.cec.verdict == Verdict::kInequivalent) {
+    // No proof to check; validate the counterexample instead.
+    const auto out = miter.evaluate(report.cec.counterexample);
+    if (!out.at(0)) {
+      throw std::logic_error(
+          "certifyMiter: counterexample does not set the miter output");
+    }
+    return report;
+  }
+  if (report.cec.verdict != Verdict::kEquivalent) return report;
+
+  report.rawClauses = log.numClauses();
+  report.rawResolutions = log.numResolutions();
+
+  proof::TrimmedProof trimmed = proof::trimProof(log);
+  report.trim = trimmed.stats;
+  report.trimmedClauses = trimmed.log.numClauses();
+  report.trimmedResolutions = trimmed.log.numResolutions();
+
+  Stopwatch checkTimer;
+  proof::CheckOptions options;
+  options.requireRoot = true;
+  options.axiomValidator = miterAxiomValidator(miter);
+  report.check = proof::checkProof(trimmed.log, options);
+  report.checkSeconds = checkTimer.seconds();
+  report.proofChecked = report.check.ok;
+  return report;
+}
+
+}  // namespace cp::cec

@@ -1,0 +1,48 @@
+// End-to-end certification helpers: run a CEC engine with proof logging,
+// trim the proof, and check it with the independent checker against the
+// miter's own CNF as the only admissible axioms.
+//
+// This is the complete trust chain of the paper: even if the AIG package,
+// the simulator, the solver and the composer were all buggy, an accepted
+// certificate still guarantees the miter CNF is unsatisfiable.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+
+namespace cp::cec {
+
+/// Builds a validator admitting exactly the clauses of the miter's Tseitin
+/// CNF plus the output-assertion unit (as sets of literals).
+std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
+    const aig::Aig& miter);
+
+enum class Engine { kSweeping, kMonolithic };
+
+struct CertifyReport {
+  CecResult cec;
+  bool proofChecked = false;       ///< checker accepted (equivalent only)
+  proof::CheckResult check;        ///< checker detail
+  proof::TrimStats trim;           ///< raw-vs-trimmed proof sizes
+  std::uint64_t rawClauses = 0;
+  std::uint64_t rawResolutions = 0;
+  std::uint64_t trimmedClauses = 0;
+  std::uint64_t trimmedResolutions = 0;
+  double checkSeconds = 0.0;
+};
+
+/// Runs the selected engine with proof logging on the given miter,
+/// trims the proof and verifies it (axioms validated against the miter).
+/// For inequivalent verdicts, verifies the counterexample by evaluation.
+/// `sweepOptions` applies to the sweeping engine only.
+CertifyReport certifyMiter(const aig::Aig& miter,
+                           Engine engine = Engine::kSweeping,
+                           const SweepOptions& sweepOptions = SweepOptions());
+
+}  // namespace cp::cec

@@ -1,0 +1,52 @@
+#include "src/cec/miter.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cp::cec {
+
+namespace {
+
+aig::Aig buildMiterOver(const aig::Aig& left, const aig::Aig& right,
+                        const std::vector<std::size_t>& leftOutputs,
+                        const std::vector<std::size_t>& rightOutputs) {
+  if (left.numInputs() != right.numInputs()) {
+    throw std::invalid_argument("miter: circuits have different input counts");
+  }
+  aig::Aig miter;
+  std::vector<aig::Edge> inputs;
+  inputs.reserve(left.numInputs());
+  for (std::uint32_t i = 0; i < left.numInputs(); ++i) {
+    inputs.push_back(miter.addInput());
+  }
+  const std::vector<aig::Edge> leftOuts = miter.append(left, inputs);
+  const std::vector<aig::Edge> rightOuts = miter.append(right, inputs);
+
+  aig::Edge any = aig::kFalse;
+  for (std::size_t k = 0; k < leftOutputs.size(); ++k) {
+    const aig::Edge diff = miter.addXor(leftOuts[leftOutputs[k]],
+                                        rightOuts[rightOutputs[k]]);
+    any = miter.addOr(any, diff);
+  }
+  miter.addOutput(any);
+  return miter;
+}
+
+}  // namespace
+
+aig::Aig buildMiter(const aig::Aig& left, const aig::Aig& right) {
+  if (left.numOutputs() != right.numOutputs()) {
+    throw std::invalid_argument(
+        "miter: circuits have different output counts");
+  }
+  std::vector<std::size_t> outs(left.numOutputs());
+  for (std::size_t i = 0; i < outs.size(); ++i) outs[i] = i;
+  return buildMiterOver(left, right, outs, outs);
+}
+
+aig::Aig buildMiter(const aig::Aig& left, std::size_t leftIndex,
+                    const aig::Aig& right, std::size_t rightIndex) {
+  return buildMiterOver(left, right, {leftIndex}, {rightIndex});
+}
+
+}  // namespace cp::cec

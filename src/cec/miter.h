@@ -1,0 +1,25 @@
+// Miter construction: the reduction from "are these two circuits
+// equivalent?" to "is this one-output circuit constant false?".
+//
+// The miter shares the primary inputs, XORs each corresponding output pair
+// and ORs the XORs into a single output. The circuits are equivalent iff no
+// input assignment sets the miter output -- i.e. iff the Tseitin CNF of the
+// miter plus the unit clause asserting its output is unsatisfiable. That
+// CNF is the axiom set every proof in this library is ultimately checked
+// against.
+#pragma once
+
+#include "src/aig/aig.h"
+
+namespace cp::cec {
+
+/// Builds the miter of two circuits with identical input/output counts.
+/// Throws std::invalid_argument on interface mismatch.
+aig::Aig buildMiter(const aig::Aig& left, const aig::Aig& right);
+
+/// Builds a one-output miter for a single output pair (outputs
+/// `leftIndex` of `left` vs `rightIndex` of `right`).
+aig::Aig buildMiter(const aig::Aig& left, std::size_t leftIndex,
+                    const aig::Aig& right, std::size_t rightIndex);
+
+}  // namespace cp::cec

@@ -1,0 +1,55 @@
+#include "src/cec/monolithic_cec.h"
+
+#include <stdexcept>
+
+#include "src/base/stopwatch.h"
+#include "src/cnf/cnf.h"
+#include "src/sat/solver.h"
+
+namespace cp::cec {
+
+CecResult monolithicCheck(const aig::Aig& miter,
+                          const MonolithicOptions& options,
+                          proof::ProofLog* log) {
+  Stopwatch total;
+  if (miter.numOutputs() != 1) {
+    throw std::invalid_argument("monolithicCheck expects a one-output miter");
+  }
+
+  sat::Solver solver(log);
+  const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+  for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
+  bool consistent = true;
+  for (const auto& clause : cnf.clauses) {
+    consistent = solver.addClause(clause);
+    if (!consistent) break;
+  }
+
+  CecResult result;
+  ++result.stats.satCalls;
+  const sat::LBool status =
+      consistent ? solver.solveLimited({}, options.conflictBudget)
+                 : sat::LBool::kFalse;
+  if (status == sat::LBool::kTrue) {
+    ++result.stats.satSat;
+    result.verdict = Verdict::kInequivalent;
+    result.counterexample.resize(miter.numInputs());
+    for (std::uint32_t i = 0; i < miter.numInputs(); ++i) {
+      result.counterexample[i] =
+          solver.modelValue(static_cast<sat::Var>(miter.inputNode(i))) ==
+          sat::LBool::kTrue;
+    }
+  } else if (status == sat::LBool::kFalse) {
+    ++result.stats.satUnsat;
+    result.verdict = Verdict::kEquivalent;
+    result.proofRoot = solver.emptyClauseId();
+  } else {
+    ++result.stats.satUndecided;
+    result.verdict = Verdict::kUndecided;
+  }
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.totalSeconds = total.seconds();
+  return result;
+}
+
+}  // namespace cp::cec

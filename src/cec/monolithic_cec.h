@@ -1,0 +1,30 @@
+// Baseline CEC: hand the entire miter CNF to a single SAT call.
+//
+// This is the comparison point of the paper's evaluation: on miters with
+// many internal equivalences it is dramatically slower than SAT sweeping
+// and its resolution proofs are much larger, because the solver must
+// rediscover every internal equivalence through conflict clauses instead
+// of short certified merges.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+struct MonolithicOptions {
+  /// Conflict budget; -1 = unlimited.
+  std::int64_t conflictBudget = -1;
+};
+
+/// Decides whether `miter`'s single output is constant false with one SAT
+/// call over its full Tseitin CNF. With `log` attached, an equivalent
+/// verdict carries a resolution proof (root in the result and in the log).
+CecResult monolithicCheck(const aig::Aig& miter,
+                          const MonolithicOptions& options = {},
+                          proof::ProofLog* log = nullptr);
+
+}  // namespace cp::cec

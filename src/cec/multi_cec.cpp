@@ -1,0 +1,92 @@
+#include "src/cec/multi_cec.h"
+
+#include <stdexcept>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/sim/simulator.h"
+
+namespace cp::cec {
+
+MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
+                            const MultiCecOptions& options) {
+  if (left.numInputs() != right.numInputs() ||
+      left.numOutputs() != right.numOutputs()) {
+    throw std::invalid_argument("checkOutputs: interface mismatch");
+  }
+  const std::uint32_t numOutputs = left.numOutputs();
+  MultiCecResult result;
+  result.outputs.resize(numOutputs);
+
+  // Joint circuit: shared inputs, both cones side by side.
+  aig::Aig joint;
+  std::vector<aig::Edge> inputs;
+  for (std::uint32_t i = 0; i < left.numInputs(); ++i) {
+    inputs.push_back(joint.addInput());
+  }
+  const std::vector<aig::Edge> leftOuts = joint.append(left, inputs);
+  const std::vector<aig::Edge> rightOuts = joint.append(right, inputs);
+
+  // One simulation pass refutes outputs that differ on a random pattern.
+  Rng rng(options.simSeed);
+  sim::AigSimulator sim(joint, options.simWords);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+
+  bool sawDifference = false;
+  bool sawUndecided = false;
+  for (std::uint32_t o = 0; o < numOutputs; ++o) {
+    OutputVerdict& out = result.outputs[o];
+    for (std::uint32_t p = 0; p < sim.numPatterns(); ++p) {
+      if (sim.edgeBit(leftOuts[o], p) == sim.edgeBit(rightOuts[o], p)) {
+        continue;
+      }
+      out.verdict = Verdict::kInequivalent;
+      out.refutedBySimulation = true;
+      out.counterexample.resize(left.numInputs());
+      for (std::uint32_t i = 0; i < left.numInputs(); ++i) {
+        out.counterexample[i] = sim.bit(joint.inputNode(i), p);
+      }
+      ++result.simulationRefuted;
+      sawDifference = true;
+      break;
+    }
+  }
+
+  for (std::uint32_t o = 0; o < numOutputs; ++o) {
+    OutputVerdict& out = result.outputs[o];
+    if (out.verdict == Verdict::kInequivalent) continue;
+    if (sawDifference && options.stopAtFirstDifference) {
+      sawUndecided = true;
+      continue;  // stays kUndecided
+    }
+
+    const aig::Aig miter = buildMiter(left, o, right, o);
+    ++result.satChecked;
+    if (options.certify) {
+      const CertifyReport report =
+          certifyMiter(miter, Engine::kSweeping, options.sweep);
+      out.verdict = report.cec.verdict;
+      out.counterexample = report.cec.counterexample;
+      out.proofChecked = report.proofChecked;
+    } else {
+      const CecResult r = sweepingCheck(miter, options.sweep);
+      out.verdict = r.verdict;
+      out.counterexample = r.counterexample;
+    }
+    if (out.verdict == Verdict::kInequivalent) {
+      sawDifference = true;
+      if (options.stopAtFirstDifference) continue;
+    }
+    if (out.verdict == Verdict::kUndecided) sawUndecided = true;
+  }
+
+  result.overall = sawDifference
+                       ? Verdict::kInequivalent
+                       : (sawUndecided ? Verdict::kUndecided
+                                       : Verdict::kEquivalent);
+  return result;
+}
+
+}  // namespace cp::cec

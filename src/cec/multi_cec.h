@@ -1,0 +1,55 @@
+// Multi-output equivalence checking.
+//
+// Real netlists have many outputs, and a CEC tool triages them before any
+// SAT call: one joint random-simulation pass over both circuits refutes
+// most broken outputs with a concrete counterexample for free, and only
+// the survivors get a per-output certified miter check. This driver
+// implements that flow on top of sweepingCheck.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+#include "src/cec/sweeping_cec.h"
+
+namespace cp::cec {
+
+struct OutputVerdict {
+  Verdict verdict = Verdict::kUndecided;
+  /// For kInequivalent: inputs on which this output pair differs.
+  std::vector<bool> counterexample;
+  /// True when a proof was produced, trimmed and accepted by the
+  /// independent checker (only with MultiCecOptions::certify).
+  bool proofChecked = false;
+  /// How the verdict was reached.
+  bool refutedBySimulation = false;
+};
+
+struct MultiCecOptions {
+  SweepOptions sweep;
+  /// Produce and check a resolution proof per equivalent output.
+  bool certify = true;
+  /// Stop after the first inequivalent output (remaining outputs are
+  /// reported kUndecided).
+  bool stopAtFirstDifference = false;
+  std::uint32_t simWords = 8;
+  std::uint64_t simSeed = 0xFEEDFACEULL;
+};
+
+struct MultiCecResult {
+  /// kEquivalent iff every output pair is equivalent; kInequivalent if
+  /// any differs; kUndecided otherwise.
+  Verdict overall = Verdict::kUndecided;
+  std::vector<OutputVerdict> outputs;
+  std::uint64_t simulationRefuted = 0;  ///< outputs settled without SAT
+  std::uint64_t satChecked = 0;         ///< outputs that needed a miter run
+};
+
+/// Checks every output pair of two circuits with identical interfaces.
+/// Throws std::invalid_argument on interface mismatch.
+MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
+                            const MultiCecOptions& options = {});
+
+}  // namespace cp::cec

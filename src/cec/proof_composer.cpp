@@ -1,0 +1,253 @@
+#include "src/cec/proof_composer.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/cnf/cnf.h"
+
+namespace cp::cec {
+
+using proof::ClauseId;
+using proof::kNoClause;
+using sat::Lit;
+
+ProofComposer::ProofComposer(const aig::Aig& original, proof::ProofLog* log,
+                             std::size_t outputIndex)
+    : original_(original), log_(log) {
+  cert_.assign(original.numNodes(), Cert{});
+  outputLit_ = cnf::litOf(original.output(outputIndex));
+  if (!log_) return;
+
+  andAxioms_.assign(original.numNodes(),
+                    {kNoClause, kNoClause, kNoClause});
+  const Lit constFalse = cnf::litOf(aig::kFalse);
+  constUnit_ = log_->addAxiom(std::array<Lit, 1>{~constFalse});
+  for (std::uint32_t n = 0; n < original.numNodes(); ++n) {
+    if (!original.isAnd(n)) continue;
+    const auto gate = cnf::andGateClauses(varLit(n),
+                                          cnf::litOf(original.fanin0(n)),
+                                          cnf::litOf(original.fanin1(n)));
+    for (int k = 0; k < 3; ++k) andAxioms_[n][k] = log_->addAxiom(gate[k]);
+  }
+  outputUnit_ = log_->addAxiom(std::array<Lit, 1>{outputLit_});
+}
+
+ClauseId ProofComposer::resolveOn(ClauseId c1, ClauseId c2, Lit pivotInC1) {
+  if (!log_) return kNoClause;
+  const auto lits1 = log_->lits(c1);
+  const auto lits2 = log_->lits(c2);
+
+  bool pivotPresent = false;
+  for (const Lit l : lits1) pivotPresent |= (l == pivotInC1);
+  if (!pivotPresent) return c1;  // c1 already subsumes the resolvent
+  bool negPresent = false;
+  for (const Lit l : lits2) negPresent |= (l == ~pivotInC1);
+  if (!negPresent) return c2;  // c2 already subsumes the resolvent
+
+  std::vector<Lit> resolvent;
+  resolvent.reserve(lits1.size() + lits2.size() - 2);
+  auto push = [&](Lit l) {
+    for (const Lit existing : resolvent) {
+      if (existing == l) return;
+      if (existing == ~l) {
+        std::string msg =
+            "ProofComposer::resolveOn produced a tautological resolvent: c1=";
+        for (const Lit x : lits1) msg += sat::toDimacs(x) + " ";
+        msg += "c2=";
+        for (const Lit x : lits2) msg += sat::toDimacs(x) + " ";
+        msg += "pivot=" + sat::toDimacs(pivotInC1);
+        throw std::logic_error(msg);
+      }
+    }
+    resolvent.push_back(l);
+  };
+  for (const Lit l : lits1) {
+    if (l != pivotInC1) push(l);
+  }
+  for (const Lit l : lits2) {
+    if (l != ~pivotInC1) push(l);
+  }
+  const ClauseId chain[2] = {c1, c2};
+  ++derivedSteps_;
+  return log_->addDerived(resolvent, chain);
+}
+
+ClauseId ProofComposer::substThroughCert(ClauseId c, std::uint32_t node,
+                                         bool sign) {
+  if (!log_) return kNoClause;
+  const Cert& crt = cert_[node];
+  if (crt.identity) return c;
+  const ClauseId bridge = sign ? crt.bwd : crt.fwd;
+  return resolveOn(c, bridge, Lit::make(node, sign));
+}
+
+ClauseId ProofComposer::imageClause(std::uint32_t n, int k) {
+  if (!log_) return kNoClause;
+  const aig::Edge a = original_.fanin0(n);
+  const aig::Edge b = original_.fanin1(n);
+  switch (k) {
+    case 0:
+      return substThroughCert(andAxioms_[n][0], a.node(), a.complemented());
+    case 1:
+      return substThroughCert(andAxioms_[n][1], b.node(), b.complemented());
+    default: {
+      // Substitute the smaller-indexed fanin first. An image literal always
+      // satisfies canon(image[x]) <= x, so the literal introduced by the
+      // first substitution (var <= min) cannot clash with the still-raw
+      // literal of the other fanin (var == max); substituting in the other
+      // order can produce a tautological intermediate when the smaller
+      // fanin's node created the larger fanin's image.
+      const bool aFirst = a.node() < b.node();
+      const aig::Edge first = aFirst ? a : b;
+      const aig::Edge second = aFirst ? b : a;
+      return substThroughCert(
+          substThroughCert(andAxioms_[n][2], first.node(),
+                           !first.complemented()),
+          second.node(), !second.complemented());
+    }
+  }
+}
+
+std::array<ClauseId, 3> ProofComposer::deriveImageClauses(std::uint32_t n) {
+  return {imageClause(n, 0), imageClause(n, 1), imageClause(n, 2)};
+}
+
+std::array<ClauseId, 3> ProofComposer::onNewNode(std::uint32_t n) {
+  cert_[n] = Cert{};  // identity: the F node is named after n itself
+  return deriveImageClauses(n);
+}
+
+void ProofComposer::onStrashHit(std::uint32_t n, std::uint32_t n0,
+                                const std::array<ClauseId, 3>& dOfM,
+                                Lit ta, Lit tb) {
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  const auto e = deriveImageClauses(n);
+  // fwd: (~v(n) | v(n0)) from (v(n0) | ~ta | ~tb) x (~v(n) | ta) x (~v(n) | tb)
+  ClauseId fwd = resolveOn(dOfM[2], e[0], ~ta);
+  fwd = resolveOn(fwd, e[1], ~tb);
+  // bwd: (v(n) | ~v(n0)) from (v(n) | ~ta | ~tb) x (~v(n0) | ta) x (~v(n0) | tb).
+  // The hit node's stored fanin order need not match (ta, tb): pair its two
+  // binary image clauses with ta/tb by literal membership (a strong clause
+  // that dropped its fanin literal pairs arbitrarily; the resolveOn
+  // fallbacks then still yield a clause subsuming the goal).
+  auto contains = [this](ClauseId id, Lit l) {
+    for (const Lit x : log_->lits(id)) {
+      if (x == l) return true;
+    }
+    return false;
+  };
+  ClauseId dForTa = dOfM[0];
+  ClauseId dForTb = dOfM[1];
+  if (contains(dOfM[1], ta) || contains(dOfM[0], tb)) {
+    std::swap(dForTa, dForTb);
+  }
+  ClauseId bwd = resolveOn(e[2], dForTa, ~ta);
+  bwd = resolveOn(bwd, dForTb, ~tb);
+  (void)n0;
+  cert_[n] = Cert{fwd, bwd, /*identity=*/false};
+}
+
+void ProofComposer::onConstFalseOperand(std::uint32_t n, bool falseIsFanin0) {
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  const Lit constFalse = cnf::litOf(aig::kFalse);
+  // (~v(n) | v0) x (~v0)  ->  (~v(n));  bwd (v(n) | ~v0) is subsumed by (~v0).
+  const ClauseId fwd =
+      resolveOn(imageClause(n, falseIsFanin0 ? 0 : 1), constUnit_, constFalse);
+  cert_[n] = Cert{fwd, constUnit_, /*identity=*/false};
+}
+
+void ProofComposer::onComplementaryOperands(std::uint32_t n, Lit ta) {
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  // (~v(n) | ta) x (~v(n) | ~ta)  ->  (~v(n)). The third image clause is
+  // tautological in this case and must not be derived.
+  const ClauseId fwd = resolveOn(imageClause(n, 0), imageClause(n, 1), ta);
+  cert_[n] = Cert{fwd, constUnit_, /*identity=*/false};
+}
+
+void ProofComposer::onConstTrueOperand(std::uint32_t n, bool trueIsFanin0) {
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  const Lit constFalse = cnf::litOf(aig::kFalse);
+  // fwd: (~v(n) | tOther) is the image clause of the non-constant fanin.
+  const ClauseId fwd = imageClause(n, trueIsFanin0 ? 1 : 0);
+  // bwd: (v(n) | ~ta | ~tb) with ~tTrue == v0, resolved against (~v0).
+  const ClauseId bwd = resolveOn(imageClause(n, 2), constUnit_, constFalse);
+  cert_[n] = Cert{fwd, bwd, /*identity=*/false};
+}
+
+void ProofComposer::onIdenticalOperands(std::uint32_t n) {
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  // Both fanin images are the same literal t: clause 0 is (~v(n) | t) and
+  // clause 2 deduplicates to (v(n) | ~t).
+  cert_[n] = Cert{imageClause(n, 0), imageClause(n, 2), /*identity=*/false};
+}
+
+void ProofComposer::onSatMerge(std::uint32_t n, Lit tn, Lit tr,
+                               ClauseId lemmaFwd, ClauseId lemmaBwd) {
+  (void)tr;
+  if (!log_) {
+    cert_[n].identity = false;
+    return;
+  }
+  const Cert old = cert_[n];
+  Cert merged;
+  merged.identity = false;
+  if (old.identity) {
+    // tn == v(n): the lemma clauses already are the certificate.
+    merged.fwd = lemmaFwd;
+    merged.bwd = lemmaBwd;
+  } else {
+    // Transitivity: (~v(n) | tn) x (~tn | tr) and (tn | ~tr) x (v(n) | ~tn).
+    merged.fwd = resolveOn(old.fwd, lemmaFwd, tn);
+    merged.bwd = resolveOn(lemmaBwd, old.bwd, tn);
+  }
+  cert_[n] = merged;
+}
+
+ClauseId ProofComposer::finalizeEquivalent(ClauseId finalLemma, Lit tOut) {
+  if (!log_) return kNoClause;
+  const Lit lo = outputLit_;
+  const std::uint32_t no = lo.var();
+  const bool co = lo.negated();
+  const Lit constFalse = cnf::litOf(aig::kFalse);
+
+  if (tOut != constFalse && finalLemma == kNoClause) {
+    throw std::logic_error(
+        "finalizeEquivalent: non-constant output image needs a lemma");
+  }
+
+  // Derive a clause subsuming (~lo).
+  ClauseId notLo;
+  if (cert_[no].identity) {
+    notLo = (tOut == constFalse) ? constUnit_ : finalLemma;
+  } else {
+    const ClauseId base = co ? cert_[no].bwd : cert_[no].fwd;  // (~lo | tOut)
+    notLo = tOut == constFalse ? resolveOn(base, constUnit_, tOut)
+                               : resolveOn(base, finalLemma, tOut);
+  }
+
+  const ClauseId root = resolveOn(outputUnit_, notLo, lo);
+  if (!log_->lits(root).empty()) {
+    throw std::logic_error(
+        "finalizeEquivalent: final resolution did not yield the empty "
+        "clause");
+  }
+  log_->setRoot(root);
+  return root;
+}
+
+}  // namespace cp::cec

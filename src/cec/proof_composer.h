@@ -1,0 +1,168 @@
+// Proof composition for certified SAT sweeping -- the paper's core
+// contribution.
+//
+// Setting. The axioms are the Tseitin clauses of the *original* miter AIG
+// (variable v(n) per node n) plus the unit clause asserting the miter
+// output. The sweeping engine builds a second, fraiged AIG F; every F node
+// is the image of at least one original node, and we name its SAT variable
+// after its first ("canonical") preimage. All clauses the solver ever sees
+// are therefore over original variables -- but the clauses describing F
+// nodes are not axioms, and neither are the equivalences that justify
+// merging. This class derives them by resolution:
+//
+//   * Certificates. For every original node n the composer maintains a
+//     pair of clause ids proving v(n) == t(n), where t(n) is the literal of
+//     n's current image: fwd subsumes (~v(n) | t(n)) and bwd subsumes
+//     (v(n) | ~t(n)). Identity certificates (t(n) == v(n)) are implicit.
+//
+//   * Image clauses. When the image of n = AND(a, b) is a fresh F node,
+//     its three defining clauses are obtained from n's axiom clauses by
+//     substituting each fanin literal with its image literal through the
+//     fanin certificate (one resolution per substitution).
+//
+//   * Structural merges. When the image strash-hits an existing F node
+//     with canonical preimage n0, the "two AND gates with pairwise
+//     equivalent fanins are equivalent" argument becomes a six-resolution
+//     derivation of v(n) == v(n0).
+//
+//   * Constant folds. When the image folds (x & ~x, constant operands,
+//     identical operands), short dedicated chains produce the certificate.
+//
+//   * SAT merges. When the solver proves a candidate pair under
+//     assumptions, its final-conflict clauses are the equivalence lemma;
+//     certificates compose transitively with two more resolutions.
+//
+//   * Finalization. When the miter output's image is constant false (or a
+//     last SAT call refutes it), the certificate resolves against the
+//     output-assertion axiom into the empty clause -- the proof root.
+//
+// Subsumption discipline. Solver lemmas can be *stronger* than the ideal
+// binary implication (e.g. a unit clause). Every derivation here therefore
+// works with "a clause subsuming X" instead of "exactly X": the primitive
+// resolveOn() falls back to the stronger operand when the pivot has
+// already disappeared. Since subsumption is preserved by resolution, every
+// derived certificate subsumes its ideal, and the final chain still ends
+// in the (unique, strongest) empty clause.
+//
+// All methods are no-ops returning kNoClause when constructed without a
+// log, so the sweeping engine runs identically with proofs disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+/// Certificate that v(node) is equivalent to its image literal.
+struct Cert {
+  proof::ClauseId fwd = proof::kNoClause;  ///< subsumes (~v(n) | t)
+  proof::ClauseId bwd = proof::kNoClause;  ///< subsumes ( v(n) | ~t)
+  bool identity = true;                    ///< t == +v(n); ids unused
+};
+
+class ProofComposer {
+ public:
+  /// Registers the axioms of `original`'s CNF in `log` (which may be null
+  /// for a non-certifying run): the constant-node unit, three clauses per
+  /// AND node, and the output-assertion unit for output `outputIndex`.
+  ProofComposer(const aig::Aig& original, proof::ProofLog* log,
+                std::size_t outputIndex = 0);
+
+  bool logging() const { return log_ != nullptr; }
+  proof::ProofLog* log() const { return log_; }
+
+  /// Number of derived clauses this composer recorded (structural
+  /// justifications, as opposed to the solver's search lemmas). Drives the
+  /// proof-anatomy breakdown (R-Fig3).
+  std::uint64_t derivedSteps() const { return derivedSteps_; }
+
+  proof::ClauseId constUnit() const { return constUnit_; }
+  proof::ClauseId outputUnit() const { return outputUnit_; }
+  proof::ClauseId andAxiom(std::uint32_t node, int k) const {
+    return andAxioms_[node][k];
+  }
+
+  const Cert& cert(std::uint32_t node) const { return cert_[node]; }
+
+  // ---- case handlers, mirroring the sweeping engine's image construction.
+  // Each derives and installs cert_[n]; `n` must be an AND node of the
+  // original graph whose fanin certificates are already installed.
+
+  /// Image is a fresh F node: identity certificate; returns the derived
+  /// image ("D") clauses for the solver.
+  std::array<proof::ClauseId, 3> onNewNode(std::uint32_t n);
+
+  /// Image strash-hit an existing F node with canonical preimage `n0` and
+  /// image clauses `dOfM`. `ta`/`tb` are the image literals of n's fanin
+  /// edges (in n's original fanin order).
+  void onStrashHit(std::uint32_t n, std::uint32_t n0,
+                   const std::array<proof::ClauseId, 3>& dOfM, sat::Lit ta,
+                   sat::Lit tb);
+
+  /// One fanin image is constant false: v(n) == false.
+  void onConstFalseOperand(std::uint32_t n, bool falseIsFanin0);
+
+  /// Fanin images are complementary: v(n) == false. `ta` is the image
+  /// literal of fanin 0.
+  void onComplementaryOperands(std::uint32_t n, sat::Lit ta);
+
+  /// One fanin image is constant true: v(n) == other image literal.
+  void onConstTrueOperand(std::uint32_t n, bool trueIsFanin0);
+
+  /// Fanin images coincide: v(n) == that image literal.
+  void onIdenticalOperands(std::uint32_t n);
+
+  /// The solver proved tn == tr under assumptions; `lemmaFwd` subsumes
+  /// (~tn | tr) and `lemmaBwd` subsumes (tn | ~tr). Composes with n's
+  /// current certificate so that v(n) == tr afterwards.
+  void onSatMerge(std::uint32_t n, sat::Lit tn, sat::Lit tr,
+                  proof::ClauseId lemmaFwd, proof::ClauseId lemmaBwd);
+
+  /// Derives the empty clause and sets the log root. The miter output is
+  /// edge (outNode, outCompl); its image must be constant false -- either
+  /// structurally (pass kNoClause) or by a final solver lemma subsuming
+  /// (~tOut) for the output-image literal tOut. Returns the root id.
+  proof::ClauseId finalizeEquivalent(proof::ClauseId finalLemma,
+                                     sat::Lit tOut);
+
+  // ---- primitives (exposed for tests) --------------------------------------
+
+  /// Subsumption-aware binary resolution: returns an id whose clause
+  /// subsumes resolve(c1, c2) on `pivotInC1`. Falls back to c1 (pivot
+  /// absent) or c2 (negated pivot absent) without recording a step.
+  proof::ClauseId resolveOn(proof::ClauseId c1, proof::ClauseId c2,
+                            sat::Lit pivotInC1);
+
+  /// Replaces the literal Lit(node, sign) in clause C by the node's image
+  /// literal with the same sign, through the node's certificate. Identity
+  /// certificates make this a no-op.
+  proof::ClauseId substThroughCert(proof::ClauseId c, std::uint32_t node,
+                                   bool sign);
+
+ private:
+  sat::Lit varLit(std::uint32_t node) const {
+    return sat::Lit::make(static_cast<sat::Var>(node), false);
+  }
+  /// Derives the k-th image-AND clause of n (see deriveImageClauses).
+  /// Fold handlers derive only the clauses that are non-tautological in
+  /// their case.
+  proof::ClauseId imageClause(std::uint32_t n, int k);
+  /// Derives n's image-AND clauses (~v(n)|ta), (~v(n)|tb), (v(n)|~ta|~tb)
+  /// from its axioms through the fanin certificates.
+  std::array<proof::ClauseId, 3> deriveImageClauses(std::uint32_t n);
+
+  const aig::Aig& original_;
+  proof::ProofLog* log_;
+  proof::ClauseId constUnit_ = proof::kNoClause;
+  proof::ClauseId outputUnit_ = proof::kNoClause;
+  std::vector<std::array<proof::ClauseId, 3>> andAxioms_;
+  std::vector<Cert> cert_;
+  sat::Lit outputLit_;
+  std::uint64_t derivedSteps_ = 0;
+};
+
+}  // namespace cp::cec

@@ -1,0 +1,62 @@
+// Shared result and statistics types for the CEC engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+enum class Verdict {
+  kEquivalent,    ///< proved: miter unsatisfiable
+  kInequivalent,  ///< disproved: counterexample available
+  kUndecided,     ///< resource limit hit
+};
+
+inline const char* toString(Verdict v) {
+  switch (v) {
+    case Verdict::kEquivalent: return "equivalent";
+    case Verdict::kInequivalent: return "inequivalent";
+    default: return "undecided";
+  }
+}
+
+struct CecStats {
+  std::uint64_t satCalls = 0;
+  std::uint64_t satUnsat = 0;
+  std::uint64_t satSat = 0;
+  std::uint64_t satUndecided = 0;
+  std::uint64_t conflicts = 0;
+
+  // Sweeping-specific.
+  std::uint64_t candidateNodes = 0;   ///< nodes in initial classes
+  std::uint64_t initialClasses = 0;
+  std::uint64_t satMerges = 0;        ///< merges proved by the solver
+  std::uint64_t structuralMerges = 0; ///< strash hits during image build
+  std::uint64_t foldMerges = 0;       ///< constant/identical folds
+  std::uint64_t skippedCandidates = 0;
+  std::uint64_t counterexamples = 0;  ///< simulation refinements from cexes
+  std::uint64_t sweptNodes = 0;       ///< AND nodes of the swept graph
+
+  /// Derived clauses recorded by the proof composer (structural
+  /// justifications); the remaining derived clauses in the log are solver
+  /// search lemmas and root-level unit derivations. Zero when not logging.
+  std::uint64_t proofStructuralSteps = 0;
+
+  double totalSeconds = 0.0;
+};
+
+struct CecResult {
+  Verdict verdict = Verdict::kUndecided;
+  /// For kInequivalent: a primary-input assignment on which the circuits
+  /// differ (i.e. the miter output is 1).
+  std::vector<bool> counterexample;
+  /// Proof id of the empty clause when a proof log was attached and the
+  /// verdict is kEquivalent.
+  proof::ClauseId proofRoot = proof::kNoClause;
+  CecStats stats;
+};
+
+}  // namespace cp::cec

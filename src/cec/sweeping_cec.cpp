@@ -1,0 +1,451 @@
+#include "src/cec/sweeping_cec.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/base/stopwatch.h"
+#include "src/cec/proof_composer.h"
+#include "src/cnf/cnf.h"
+#include "src/sat/solver.h"
+#include "src/sim/equiv_classes.h"
+#include "src/sim/simulator.h"
+
+namespace cp::cec {
+
+namespace {
+
+using aig::Edge;
+using proof::ClauseId;
+using sat::Lit;
+
+/// All mutable state of one sweeping run.
+class SweepRun {
+ public:
+  SweepRun(const aig::Aig& miter, const SweepOptions& options,
+           proof::ProofLog* log)
+      : original_(miter),
+        options_(options),
+        log_(log),
+        composer_(miter, log),
+        solver_(log),
+        rng_(options.randomSeed),
+        sim_(miter, options.simWords),
+        classes_((sim_.randomizeInputs(rng_), sim_.simulate(), sim_)) {}
+
+  CecResult run();
+  FraigResult reduce();
+
+ private:
+  void sweepAllNodes();
+  /// Literal of an F edge in the canonical (original-node) variable space.
+  Lit litOfF(Edge e) const {
+    return Lit::make(static_cast<sat::Var>(canon_[e.node()]),
+                     e.complemented());
+  }
+
+  void growFMaps() {
+    // Keep per-F-node tables in lock step with the fraiged graph.
+    canon_.resize(fraig_.numNodes(), 0);
+    dClauses_.resize(fraig_.numNodes(),
+                     {proof::kNoClause, proof::kNoClause, proof::kNoClause});
+    loaded_.resize(fraig_.numNodes(), 0);
+  }
+
+  void buildImage(std::uint32_t n);
+  void checkCandidate(std::uint32_t n);
+  /// Debug-only: verifies cert(n) subsumes the ideal implication pair
+  /// (~v(n) | t) / (v(n) | ~t) for t = lit(image[n]).
+  void verifyCertInvariant(std::uint32_t n, const char* where) const;
+  void loadCone(Edge root);
+  void injectCounterexample();
+  std::vector<bool> modelInputs() const;
+  CecResult finalize();
+
+  const aig::Aig& original_;
+  const SweepOptions options_;
+  proof::ProofLog* log_;
+  ProofComposer composer_;
+  sat::Solver solver_;
+  Rng rng_;
+  sim::AigSimulator sim_;
+  sim::EquivClasses classes_;
+
+  aig::Aig fraig_;
+  std::vector<Edge> image_;                      // original node -> F edge
+  std::vector<std::uint32_t> canon_;             // F node -> original node
+  std::vector<std::array<ClauseId, 3>> dClauses_;  // F node -> image clauses
+  std::vector<char> loaded_;                     // F node -> CNF in solver
+  std::uint32_t cexSlot_ = 0;
+  CecStats stats_;
+  /// Set CP_SWEEP_DEBUG=1 for an image-construction trace plus certificate
+  /// invariant checking after every node.
+  const bool debug_ = [] {
+    const char* dbg = getenv("CP_SWEEP_DEBUG");
+    return dbg && *dbg == '1';
+  }();
+};
+
+void SweepRun::buildImage(std::uint32_t n) {
+  const Edge fa = original_.fanin0(n);
+  const Edge fb = original_.fanin1(n);
+  const Edge ea = image_[fa.node()] ^ fa.complemented();
+  const Edge eb = image_[fb.node()] ^ fb.complemented();
+
+  if (debug_) {
+    fprintf(stderr, "buildImage n=%u fanins=(%u^%d,%u^%d) ea=%u.%d eb=%u.%d\n",
+            n, fa.node(), fa.complemented(), fb.node(), fb.complemented(),
+            ea.node(), ea.complemented(), eb.node(), eb.complemented());
+  }
+  Edge img;
+  if (ea == aig::kFalse || eb == aig::kFalse) {
+    composer_.onConstFalseOperand(n, ea == aig::kFalse);
+    img = aig::kFalse;
+    ++stats_.foldMerges;
+  } else if (ea == !eb) {
+    composer_.onComplementaryOperands(n, litOfF(ea));
+    img = aig::kFalse;
+    ++stats_.foldMerges;
+  } else if (ea == aig::kTrue) {
+    composer_.onConstTrueOperand(n, /*trueIsFanin0=*/true);
+    img = eb;
+    ++stats_.foldMerges;
+  } else if (eb == aig::kTrue) {
+    composer_.onConstTrueOperand(n, /*trueIsFanin0=*/false);
+    img = ea;
+    ++stats_.foldMerges;
+  } else if (ea == eb) {
+    composer_.onIdenticalOperands(n);
+    img = ea;
+    ++stats_.foldMerges;
+  } else {
+    const std::uint32_t before = fraig_.numNodes();
+    img = fraig_.addAnd(ea, eb);
+    assert(!img.complemented());
+    if (fraig_.numNodes() > before) {
+      growFMaps();
+      canon_[img.node()] = n;
+      dClauses_[img.node()] = composer_.onNewNode(n);
+    } else {
+      if (debug_) {
+        fprintf(stderr,
+                "  strashHit n=%u m=%u canon(m)=%u ta=%s tb=%s mfanins=%u.%d "
+                "%u.%d\n",
+                n, img.node(), canon_[img.node()],
+                sat::toDimacs(litOfF(ea)).c_str(),
+                sat::toDimacs(litOfF(eb)).c_str(),
+                fraig_.fanin0(img.node()).node(),
+                fraig_.fanin0(img.node()).complemented(),
+                fraig_.fanin1(img.node()).node(),
+                fraig_.fanin1(img.node()).complemented());
+        if (log_) {
+          for (int k = 0; k < 3; ++k) {
+            fprintf(stderr, "    dOfM[%d]:", k);
+            for (const Lit l : log_->lits(dClauses_[img.node()][k])) {
+              fprintf(stderr, " %s", sat::toDimacs(l).c_str());
+            }
+            fprintf(stderr, "\n");
+          }
+        }
+      }
+      composer_.onStrashHit(n, canon_[img.node()], dClauses_[img.node()],
+                            litOfF(ea), litOfF(eb));
+      ++stats_.structuralMerges;
+    }
+  }
+  image_[n] = img;
+}
+
+void SweepRun::verifyCertInvariant(std::uint32_t n, const char* where) const {
+  if (!log_) return;
+  const Cert& crt = composer_.cert(n);
+  const Lit vn = Lit::make(static_cast<sat::Var>(n), false);
+  const Lit t = litOfF(image_[n]);
+  if (crt.identity) {
+    if (t != vn) {
+      fprintf(stderr, "CERT DESYNC (%s) n=%u identity but t=%s\n", where, n,
+              sat::toDimacs(t).c_str());
+      abort();
+    }
+    return;
+  }
+  auto subsumes = [&](proof::ClauseId id, Lit x, Lit y) {
+    for (const Lit l : log_->lits(id)) {
+      if (l != x && l != y) return false;
+    }
+    return true;
+  };
+  if (!subsumes(crt.fwd, ~vn, t) || !subsumes(crt.bwd, vn, ~t)) {
+    fprintf(stderr, "CERT DESYNC (%s) n=%u t=%s fwd=", where, n,
+            sat::toDimacs(t).c_str());
+    for (const Lit l : log_->lits(crt.fwd))
+      fprintf(stderr, "%s ", sat::toDimacs(l).c_str());
+    fprintf(stderr, "bwd=");
+    for (const Lit l : log_->lits(crt.bwd))
+      fprintf(stderr, "%s ", sat::toDimacs(l).c_str());
+    fprintf(stderr, "\n");
+    abort();
+  }
+}
+
+void SweepRun::loadCone(Edge root) {
+  std::vector<std::uint32_t> stack = {root.node()};
+  while (!stack.empty()) {
+    const std::uint32_t m = stack.back();
+    stack.pop_back();
+    if (loaded_[m]) continue;
+    loaded_[m] = 1;
+    if (!fraig_.isAnd(m)) continue;
+    if (log_) {
+      for (const ClauseId id : dClauses_[m]) {
+        solver_.addClauseWithProof(log_->lits(id), id);
+      }
+    } else {
+      const Lit out = Lit::make(static_cast<sat::Var>(canon_[m]), false);
+      const auto gate = cnf::andGateClauses(out, litOfF(fraig_.fanin0(m)),
+                                            litOfF(fraig_.fanin1(m)));
+      for (const auto& clause : gate) solver_.addClause(clause);
+    }
+    if (!solver_.okay()) {
+      throw std::logic_error(
+          "sweeping: solver became unsatisfiable while loading derived "
+          "clauses (composer bug)");
+    }
+    stack.push_back(fraig_.fanin0(m).node());
+    stack.push_back(fraig_.fanin1(m).node());
+  }
+}
+
+std::vector<bool> SweepRun::modelInputs() const {
+  std::vector<bool> values(original_.numInputs());
+  for (std::uint32_t i = 0; i < original_.numInputs(); ++i) {
+    // Inputs outside the loaded cone are unconstrained (kUndef): any value
+    // works, pick false.
+    values[i] = solver_.modelValue(
+                    static_cast<sat::Var>(original_.inputNode(i))) ==
+                sat::LBool::kTrue;
+  }
+  return values;
+}
+
+void SweepRun::injectCounterexample() {
+  std::vector<bool> cex = modelInputs();
+  sim_.setInputPattern(cexSlot_++ % sim_.numPatterns(), cex);
+  // Distance-1 neighbourhood: single-bit flips of the counterexample.
+  if (!cex.empty()) {
+    for (std::uint32_t k = 0; k < options_.cexNeighborhood; ++k) {
+      const std::uint32_t bit =
+          static_cast<std::uint32_t>(rng_.below(cex.size()));
+      cex[bit] = !cex[bit];
+      sim_.setInputPattern(cexSlot_++ % sim_.numPatterns(), cex);
+      cex[bit] = !cex[bit];
+    }
+  }
+  sim_.simulate();
+  classes_.refine(sim_);
+  ++stats_.counterexamples;
+}
+
+void SweepRun::checkCandidate(std::uint32_t n) {
+  std::uint32_t retries = 0;
+  while (classes_.classOf(n) != sim::EquivClasses::kNoClass) {
+    const std::uint32_t rep = classes_.representative(n);
+    if (rep == n) return;  // later members check against n
+    const bool pol =
+        sim_.canonicalPolarity(n) != sim_.canonicalPolarity(rep);
+    const Edge repImg = image_[rep] ^ pol;
+    if (image_[n] == repImg || image_[n] == !repImg) {
+      // Already merged structurally, or structurally refuted (signature
+      // hash collision); either way this candidate is settled.
+      classes_.remove(n);
+      return;
+    }
+    const Lit tn = litOfF(image_[n]);
+    const Lit tr = litOfF(repImg);
+    loadCone(image_[n]);
+    loadCone(repImg);
+
+    // Call 1: can tn be true while tr is false?
+    ++stats_.satCalls;
+    const Lit assume1[2] = {tn, ~tr};
+    const sat::LBool r1 =
+        solver_.solveLimited(assume1, options_.pairConflictBudget);
+    if (r1 == sat::LBool::kTrue) {
+      ++stats_.satSat;
+      injectCounterexample();
+      if (++retries > options_.maxCexRetries) break;
+      continue;
+    }
+    if (r1 == sat::LBool::kUndef) {
+      ++stats_.satUndecided;
+      break;
+    }
+    ++stats_.satUnsat;
+    const ClauseId lemmaFwd = solver_.conflictProofId();
+
+    // Call 2: can tn be false while tr is true?
+    ++stats_.satCalls;
+    const Lit assume2[2] = {~tn, tr};
+    const sat::LBool r2 =
+        solver_.solveLimited(assume2, options_.pairConflictBudget);
+    if (r2 == sat::LBool::kTrue) {
+      ++stats_.satSat;
+      injectCounterexample();
+      if (++retries > options_.maxCexRetries) break;
+      continue;
+    }
+    if (r2 == sat::LBool::kUndef) {
+      ++stats_.satUndecided;
+      break;
+    }
+    ++stats_.satUnsat;
+    const ClauseId lemmaBwd = solver_.conflictProofId();
+
+    composer_.onSatMerge(n, tn, tr, lemmaFwd, lemmaBwd);
+    image_[n] = repImg;
+    ++stats_.satMerges;
+    classes_.remove(n);
+    return;
+  }
+  ++stats_.skippedCandidates;
+  classes_.remove(n);
+}
+
+CecResult SweepRun::finalize() {
+  CecResult result;
+  const Edge outEdge = original_.output(0);
+  const Edge outImg = image_[outEdge.node()] ^ outEdge.complemented();
+
+  if (outImg == aig::kFalse) {
+    result.verdict = Verdict::kEquivalent;
+    result.proofRoot =
+        composer_.finalizeEquivalent(proof::kNoClause, litOfF(aig::kFalse));
+  } else if (outImg == aig::kTrue) {
+    // The miter output is constant true: every input is a counterexample.
+    result.verdict = Verdict::kInequivalent;
+    result.counterexample.assign(original_.numInputs(), false);
+  } else {
+    loadCone(outImg);
+    const Lit tOut = litOfF(outImg);
+    ++stats_.satCalls;
+    const Lit assume[1] = {tOut};
+    const sat::LBool r =
+        solver_.solveLimited(assume, options_.finalConflictBudget);
+    if (r == sat::LBool::kTrue) {
+      ++stats_.satSat;
+      result.verdict = Verdict::kInequivalent;
+      result.counterexample = modelInputs();
+    } else if (r == sat::LBool::kFalse) {
+      ++stats_.satUnsat;
+      result.verdict = Verdict::kEquivalent;
+      result.proofRoot =
+          composer_.finalizeEquivalent(solver_.conflictProofId(), tOut);
+    } else {
+      ++stats_.satUndecided;
+      result.verdict = Verdict::kUndecided;
+    }
+  }
+
+  stats_.sweptNodes = fraig_.numAnds();
+  stats_.conflicts = solver_.stats().conflicts;
+  stats_.proofStructuralSteps = composer_.derivedSteps();
+  result.stats = stats_;
+  return result;
+}
+
+void SweepRun::sweepAllNodes() {
+  for (std::uint32_t n = 0; n < original_.numNodes(); ++n) {
+    (void)solver_.newVar();
+  }
+  {
+    const Lit notConst[1] = {~cnf::litOf(aig::kFalse)};
+    if (log_) {
+      solver_.addClauseWithProof(notConst, composer_.constUnit());
+    } else {
+      solver_.addClause(notConst);
+    }
+  }
+
+  stats_.initialClasses = classes_.numClasses();
+  stats_.candidateNodes = classes_.numCandidateNodes();
+  logf(LogLevel::kInfo,
+       "sweep: %u nodes, %u candidate classes (%llu nodes)",
+       original_.numNodes(), classes_.numClasses(),
+       (unsigned long long)stats_.candidateNodes);
+
+  image_.assign(original_.numNodes(), Edge());
+  image_[0] = aig::kFalse;
+  growFMaps();
+  loaded_[0] = 1;
+  for (std::uint32_t i = 0; i < original_.numInputs(); ++i) {
+    const Edge e = fraig_.addInput();
+    growFMaps();
+    image_[original_.inputNode(i)] = e;
+    canon_[e.node()] = original_.inputNode(i);
+    loaded_[e.node()] = 1;
+  }
+
+  for (std::uint32_t n = 0; n < original_.numNodes(); ++n) {
+    if (!original_.isAnd(n)) continue;
+    buildImage(n);
+    if (debug_) verifyCertInvariant(n, "buildImage");
+    if (classes_.classOf(n) != sim::EquivClasses::kNoClass) {
+      checkCandidate(n);
+      if (debug_) verifyCertInvariant(n, "checkCandidate");
+    }
+  }
+  logf(LogLevel::kInfo,
+       "sweep: merges sat=%llu structural=%llu fold=%llu, "
+       "satCalls=%llu (unsat=%llu sat=%llu undecided=%llu)",
+       (unsigned long long)stats_.satMerges,
+       (unsigned long long)stats_.structuralMerges,
+       (unsigned long long)stats_.foldMerges,
+       (unsigned long long)stats_.satCalls,
+       (unsigned long long)stats_.satUnsat,
+       (unsigned long long)stats_.satSat,
+       (unsigned long long)stats_.satUndecided);
+}
+
+CecResult SweepRun::run() {
+  Stopwatch total;
+  if (original_.numOutputs() != 1) {
+    throw std::invalid_argument("sweepingCheck expects a one-output miter");
+  }
+  sweepAllNodes();
+  CecResult result = finalize();
+  result.stats.totalSeconds = total.seconds();
+  return result;
+}
+
+FraigResult SweepRun::reduce() {
+  Stopwatch total;
+  sweepAllNodes();
+  for (const Edge out : original_.outputs()) {
+    fraig_.addOutput(image_[out.node()] ^ out.complemented());
+  }
+  FraigResult result;
+  result.reduced = fraig_.compacted();
+  stats_.sweptNodes = result.reduced.numAnds();
+  stats_.conflicts = solver_.stats().conflicts;
+  stats_.totalSeconds = total.seconds();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace
+
+CecResult sweepingCheck(const aig::Aig& miter, const SweepOptions& options,
+                        proof::ProofLog* log) {
+  SweepRun run(miter, options, log);
+  return run.run();
+}
+
+FraigResult fraigReduce(const aig::Aig& graph, const SweepOptions& options) {
+  SweepRun run(graph, options, /*log=*/nullptr);
+  return run.reduce();
+}
+
+}  // namespace cp::cec

@@ -1,0 +1,66 @@
+// SAT-sweeping (fraig-style) combinational equivalence checking with
+// optional end-to-end proof logging.
+//
+// The engine processes the miter's nodes in topological order, maintaining
+// a second, fraiged AIG ("F") in which functionally equivalent nodes are
+// merged. Random simulation partitions nodes into candidate classes; each
+// candidate is validated against its class representative with two
+// incremental SAT calls; counterexamples refine the classes. If the miter
+// output's image collapses to constant false (or a final SAT call refutes
+// it), the circuits are equivalent.
+//
+// With a proof log attached, every structural step and every SAT lemma is
+// recorded through the ProofComposer, and the run ends with a single
+// resolution proof of the original miter CNF's unsatisfiability.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+struct SweepOptions {
+  /// 64-bit words of parallel random simulation (64*words patterns).
+  std::uint32_t simWords = 8;
+  /// Conflict budget per candidate-pair SAT call; pairs exceeding it are
+  /// skipped (sound: they simply stay unmerged).
+  std::int64_t pairConflictBudget = 1000;
+  /// Conflict budget for the final output check; -1 = unlimited.
+  std::int64_t finalConflictBudget = -1;
+  /// Maximum counterexample-refinement retries per node.
+  std::uint32_t maxCexRetries = 16;
+  /// Besides each SAT counterexample, inject this many distance-1
+  /// neighbours (random single-bit flips of the counterexample) into the
+  /// simulation patterns. Counterexamples cluster near class-splitting
+  /// inputs, so their neighbourhood refines classes that pure random
+  /// patterns miss (classic fraig heuristic).
+  std::uint32_t cexNeighborhood = 4;
+  std::uint64_t randomSeed = 0xC0FFEEULL;
+};
+
+/// Checks whether `miter`'s single output is constant false. When `log` is
+/// non-null, an equivalent verdict comes with a resolution proof rooted at
+/// result.proofRoot, whose axioms are exactly the miter's Tseitin CNF plus
+/// the output-assertion unit.
+CecResult sweepingCheck(const aig::Aig& miter,
+                        const SweepOptions& options = SweepOptions(),
+                        proof::ProofLog* log = nullptr);
+
+struct FraigResult {
+  /// Functionally equivalent graph with proved-equivalent nodes merged.
+  aig::Aig reduced;
+  CecStats stats;
+};
+
+/// Functional reduction ("fraiging") of an arbitrary multi-output circuit:
+/// runs the same sweep as sweepingCheck but, instead of deciding a miter,
+/// returns the merged graph. The result is equivalent output-for-output
+/// (the test suite verifies this by certified CEC) and never larger than
+/// the structural-hash of the input.
+FraigResult fraigReduce(const aig::Aig& graph,
+                        const SweepOptions& options = SweepOptions());
+
+}  // namespace cp::cec

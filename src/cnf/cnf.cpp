@@ -1,0 +1,33 @@
+#include "src/cnf/cnf.h"
+
+namespace cp::cnf {
+
+std::array<std::vector<sat::Lit>, 3> andGateClauses(sat::Lit out, sat::Lit a,
+                                                    sat::Lit b) {
+  return {std::vector<sat::Lit>{~out, a},
+          std::vector<sat::Lit>{~out, b},
+          std::vector<sat::Lit>{out, ~a, ~b}};
+}
+
+Cnf encode(const aig::Aig& graph) {
+  Cnf cnf;
+  cnf.numVars = graph.numNodes();
+  // Pin the constant node to false.
+  cnf.clauses.push_back({~litOf(aig::kFalse)});
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    const sat::Lit out = litOf(aig::Edge::make(n, false));
+    const auto gate =
+        andGateClauses(out, litOf(graph.fanin0(n)), litOf(graph.fanin1(n)));
+    for (const auto& clause : gate) cnf.clauses.push_back(clause);
+  }
+  return cnf;
+}
+
+Cnf encodeWithOutputAssertion(const aig::Aig& graph, std::size_t outputIndex) {
+  Cnf cnf = encode(graph);
+  cnf.clauses.push_back({litOf(graph.output(outputIndex))});
+  return cnf;
+}
+
+}  // namespace cp::cnf

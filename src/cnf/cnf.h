@@ -1,0 +1,46 @@
+// Tseitin encoding of AIGs into CNF, plus the gate-clause building blocks
+// shared with the CEC proof composer.
+//
+// Variable discipline: SAT variable v corresponds one-to-one to AIG node v
+// (the constant node 0 included, pinned false by a unit clause). This
+// identity mapping is what lets the proof composer speak about "the clause
+// set of the original miter" without any translation table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/sat/types.h"
+
+namespace cp::cnf {
+
+/// SAT literal corresponding to an AIG edge under the identity node->var
+/// mapping.
+inline sat::Lit litOf(aig::Edge e) {
+  return sat::Lit::make(static_cast<sat::Var>(e.node()), e.complemented());
+}
+
+/// The three Tseitin clauses defining out = AND(a, b):
+///   (~out | a), (~out | b), (out | ~a | ~b).
+std::array<std::vector<sat::Lit>, 3> andGateClauses(sat::Lit out, sat::Lit a,
+                                                    sat::Lit b);
+
+/// A CNF formula with explicit variable count.
+struct Cnf {
+  std::uint32_t numVars = 0;
+  std::vector<std::vector<sat::Lit>> clauses;
+};
+
+/// Encodes the whole graph: the constant-node unit plus three clauses per
+/// AND node. Does not assert any output value.
+Cnf encode(const aig::Aig& graph);
+
+/// Encodes the graph and asserts that output `outputIndex` is true -- the
+/// standard satisfiability question for a miter ("is there an input on
+/// which the two circuits differ?"). Unsatisfiable iff equivalent.
+Cnf encodeWithOutputAssertion(const aig::Aig& graph,
+                              std::size_t outputIndex = 0);
+
+}  // namespace cp::cnf

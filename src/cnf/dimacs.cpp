@@ -1,0 +1,67 @@
+#include "src/cnf/dimacs.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cp::cnf {
+
+void writeDimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.numVars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    out << sat::toDimacs(clause) << '\n';
+  }
+}
+
+Cnf readDimacs(std::istream& in) {
+  Cnf cnf;
+  bool sawHeader = false;
+  std::uint64_t declaredClauses = 0;
+  std::string line;
+  std::vector<sat::Lit> clause;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      if (!(header >> p >> fmt >> cnf.numVars >> declaredClauses) ||
+          fmt != "cnf") {
+        throw std::runtime_error("dimacs: malformed problem line: " + line);
+      }
+      sawHeader = true;
+      continue;
+    }
+    if (!sawHeader) {
+      throw std::runtime_error("dimacs: clause before problem line");
+    }
+    std::istringstream body(line);
+    long long token = 0;
+    while (body >> token) {
+      if (token == 0) {
+        cnf.clauses.push_back(clause);
+        clause.clear();
+        continue;
+      }
+      const std::uint64_t var = (token > 0 ? token : -token) - 1;
+      if (var >= cnf.numVars) {
+        throw std::runtime_error("dimacs: variable out of declared range");
+      }
+      clause.push_back(sat::Lit::make(static_cast<sat::Var>(var), token < 0));
+    }
+  }
+  if (!clause.empty()) {
+    throw std::runtime_error("dimacs: last clause not zero-terminated");
+  }
+  if (!sawHeader) throw std::runtime_error("dimacs: missing problem line");
+  return cnf;
+}
+
+Cnf readDimacsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dimacs: cannot open " + path);
+  return readDimacs(in);
+}
+
+}  // namespace cp::cnf

@@ -1,0 +1,21 @@
+// DIMACS CNF reader/writer, for interoperating with external SAT tooling
+// (the dimacs_prover example reads these and emits checkable proofs).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/cnf/cnf.h"
+
+namespace cp::cnf {
+
+/// Writes "p cnf <vars> <clauses>" followed by one clause per line.
+void writeDimacs(const Cnf& cnf, std::ostream& out);
+
+/// Parses a DIMACS file. Accepts comment lines anywhere before/between
+/// clauses. Throws std::runtime_error on malformed input.
+Cnf readDimacs(std::istream& in);
+
+Cnf readDimacsFile(const std::string& path);
+
+}  // namespace cp::cnf

@@ -1,0 +1,462 @@
+#include "src/gen/arith.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cp::gen {
+
+using aig::Aig;
+using aig::Edge;
+using aig::kFalse;
+
+namespace {
+
+struct Operands {
+  std::vector<Edge> a;
+  std::vector<Edge> b;
+};
+
+Operands twoOperands(Aig& g, std::uint32_t width) {
+  Operands ops;
+  ops.a.reserve(width);
+  ops.b.reserve(width);
+  for (std::uint32_t i = 0; i < width; ++i) ops.a.push_back(g.addInput());
+  for (std::uint32_t i = 0; i < width; ++i) ops.b.push_back(g.addInput());
+  return ops;
+}
+
+/// Full adder: returns {sum, carry}.
+std::pair<Edge, Edge> fullAdder(Aig& g, Edge a, Edge b, Edge c) {
+  const Edge axb = g.addXor(a, b);
+  const Edge sum = g.addXor(axb, c);
+  const Edge carry = g.addOr(g.addAnd(a, b), g.addAnd(axb, c));
+  return {sum, carry};
+}
+
+/// Half adder: returns {sum, carry}.
+std::pair<Edge, Edge> halfAdder(Aig& g, Edge a, Edge b) {
+  return {g.addXor(a, b), g.addAnd(a, b)};
+}
+
+/// Ripple-carry addition of equal-width vectors; returns width+1 bits.
+std::vector<Edge> rippleAdd(Aig& g, const std::vector<Edge>& a,
+                            const std::vector<Edge>& b, Edge carryIn) {
+  std::vector<Edge> out;
+  out.reserve(a.size() + 1);
+  Edge carry = carryIn;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [sum, c] = fullAdder(g, a[i], b[i], carry);
+    out.push_back(sum);
+    carry = c;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+std::uint32_t checkWidth(std::uint32_t width) {
+  if (width == 0) throw std::invalid_argument("generator width must be > 0");
+  return width;
+}
+
+}  // namespace
+
+Aig rippleCarryAdder(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+  for (const Edge s : rippleAdd(g, ops.a, ops.b, kFalse)) g.addOutput(s);
+  return g;
+}
+
+Aig carryLookaheadAdder(std::uint32_t width, std::uint32_t blockSize) {
+  checkWidth(width);
+  if (blockSize == 0) throw std::invalid_argument("blockSize must be > 0");
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  std::vector<Edge> generate(width);
+  std::vector<Edge> propagate(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    generate[i] = g.addAnd(ops.a[i], ops.b[i]);
+    propagate[i] = g.addXor(ops.a[i], ops.b[i]);
+  }
+
+  std::vector<Edge> carry(width + 1);
+  carry[0] = kFalse;
+  for (std::uint32_t base = 0; base < width; base += blockSize) {
+    const std::uint32_t end = std::min(width, base + blockSize);
+    // Expanded lookahead products within the block:
+    //   c[i+1] = g_i | p_i g_{i-1} | ... | p_i ... p_base c[base].
+    for (std::uint32_t i = base; i < end; ++i) {
+      Edge c = generate[i];
+      Edge prefix = propagate[i];
+      for (std::uint32_t j = i; j-- > base;) {
+        c = g.addOr(c, g.addAnd(prefix, generate[j]));
+        prefix = g.addAnd(prefix, propagate[j]);
+      }
+      c = g.addOr(c, g.addAnd(prefix, carry[base]));
+      carry[i + 1] = c;
+    }
+  }
+
+  for (std::uint32_t i = 0; i < width; ++i) {
+    g.addOutput(g.addXor(propagate[i], carry[i]));
+  }
+  g.addOutput(carry[width]);
+  return g;
+}
+
+Aig carrySelectAdder(std::uint32_t width, std::uint32_t blockSize) {
+  checkWidth(width);
+  if (blockSize == 0) throw std::invalid_argument("blockSize must be > 0");
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  std::vector<Edge> sums(width);
+  Edge carry = kFalse;
+  for (std::uint32_t base = 0; base < width; base += blockSize) {
+    const std::uint32_t end = std::min(width, base + blockSize);
+    // Compute the block twice, for carry-in 0 and 1, then select.
+    std::vector<Edge> sum0, sum1;
+    Edge c0 = kFalse;
+    Edge c1 = !kFalse;
+    for (std::uint32_t i = base; i < end; ++i) {
+      auto [s0, n0] = fullAdder(g, ops.a[i], ops.b[i], c0);
+      auto [s1, n1] = fullAdder(g, ops.a[i], ops.b[i], c1);
+      sum0.push_back(s0);
+      sum1.push_back(s1);
+      c0 = n0;
+      c1 = n1;
+    }
+    for (std::uint32_t i = base; i < end; ++i) {
+      sums[i] = g.addMux(carry, sum1[i - base], sum0[i - base]);
+    }
+    carry = g.addMux(carry, c1, c0);
+  }
+  for (const Edge s : sums) g.addOutput(s);
+  g.addOutput(carry);
+  return g;
+}
+
+Aig carrySkipAdder(std::uint32_t width, std::uint32_t blockSize) {
+  checkWidth(width);
+  if (blockSize == 0) throw std::invalid_argument("blockSize must be > 0");
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  std::vector<Edge> sums(width);
+  Edge carry = kFalse;
+  for (std::uint32_t base = 0; base < width; base += blockSize) {
+    const std::uint32_t end = std::min(width, base + blockSize);
+    Edge blockPropagate = !kFalse;
+    Edge c = carry;
+    for (std::uint32_t i = base; i < end; ++i) {
+      const Edge p = g.addXor(ops.a[i], ops.b[i]);
+      blockPropagate = g.addAnd(blockPropagate, p);
+      auto [s, nc] = fullAdder(g, ops.a[i], ops.b[i], c);
+      sums[i] = s;
+      c = nc;
+    }
+    // If every position propagates, the carry-in skips the block (the
+    // rippled carry equals it anyway -- same function, different
+    // structure).
+    carry = g.addMux(blockPropagate, carry, c);
+  }
+  for (const Edge s : sums) g.addOutput(s);
+  g.addOutput(carry);
+  return g;
+}
+
+Aig arrayMultiplier(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  // Accumulate partial product rows with ripple adders.
+  std::vector<Edge> acc(2 * width, kFalse);
+  for (std::uint32_t row = 0; row < width; ++row) {
+    Edge carry = kFalse;
+    for (std::uint32_t col = 0; col < width; ++col) {
+      const Edge pp = g.addAnd(ops.a[col], ops.b[row]);
+      auto [sum, c] = fullAdder(g, acc[row + col], pp, carry);
+      acc[row + col] = sum;
+      carry = c;
+    }
+    acc[row + width] = carry;  // previous content is always 0 here
+  }
+  for (const Edge p : acc) g.addOutput(p);
+  return g;
+}
+
+Aig wallaceMultiplier(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  // Column-wise partial products.
+  std::vector<std::vector<Edge>> columns(2 * width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    for (std::uint32_t j = 0; j < width; ++j) {
+      columns[i + j].push_back(g.addAnd(ops.a[i], ops.b[j]));
+    }
+  }
+
+  // 3:2 / 2:2 compression until every column has at most two entries.
+  bool compressing = true;
+  while (compressing) {
+    compressing = false;
+    std::vector<std::vector<Edge>> next(columns.size());
+    for (std::size_t col = 0; col < columns.size(); ++col) {
+      auto& bits = columns[col];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        auto [sum, carry] = fullAdder(g, bits[i], bits[i + 1], bits[i + 2]);
+        next[col].push_back(sum);
+        if (col + 1 < next.size()) next[col + 1].push_back(carry);
+        i += 3;
+        compressing = true;
+      }
+      if (bits.size() - i == 2 && bits.size() > 2) {
+        auto [sum, carry] = halfAdder(g, bits[i], bits[i + 1]);
+        next[col].push_back(sum);
+        if (col + 1 < next.size()) next[col + 1].push_back(carry);
+        i += 2;
+        compressing = true;
+      }
+      for (; i < bits.size(); ++i) next[col].push_back(bits[i]);
+    }
+    columns.swap(next);
+    // Columns can exceed two entries again after receiving carries.
+    for (const auto& bits : columns) compressing |= bits.size() > 2;
+  }
+
+  // Final carry-propagate addition of the two remaining rows.
+  Edge carry = kFalse;
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    const auto& bits = columns[col];
+    const Edge x = bits.size() > 0 ? bits[0] : kFalse;
+    const Edge y = bits.size() > 1 ? bits[1] : kFalse;
+    auto [sum, c] = fullAdder(g, x, y, carry);
+    g.addOutput(sum);
+    carry = c;
+  }
+  return g;
+}
+
+Aig carrySaveMultiplier(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+
+  // Redundant accumulator: per column a sum bit and a carry bit. Each row
+  // is folded in with one full adder per live column; the carry feeds the
+  // next-higher column of the next stage.
+  const std::uint32_t cols = 2 * width;
+  std::vector<Edge> sum(cols, kFalse);
+  std::vector<Edge> car(cols, kFalse);
+  for (std::uint32_t row = 0; row < width; ++row) {
+    std::vector<Edge> nextCar(cols, kFalse);
+    for (std::uint32_t c = row; c + 1 < cols; ++c) {
+      const Edge pp = (c - row < width)
+                          ? g.addAnd(ops.a[c - row], ops.b[row])
+                          : kFalse;
+      auto [s, cy] = fullAdder(g, sum[c], car[c], pp);
+      sum[c] = s;
+      nextCar[c + 1] = cy;
+    }
+    car.swap(nextCar);
+  }
+
+  // Final carry-propagate addition of the redundant form.
+  Edge carry = kFalse;
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    auto [s, cy] = fullAdder(g, sum[c], car[c], carry);
+    g.addOutput(s);
+    carry = cy;
+  }
+  return g;
+}
+
+Aig rippleComparator(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+  // borrow_{i+1} = (~a_i & b_i) | (~(a_i ^ b_i) & borrow_i)
+  Edge borrow = kFalse;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const Edge lessHere = g.addAnd(!ops.a[i], ops.b[i]);
+    const Edge equalHere = !g.addXor(ops.a[i], ops.b[i]);
+    borrow = g.addOr(lessHere, g.addAnd(equalHere, borrow));
+  }
+  g.addOutput(borrow);
+  return g;
+}
+
+namespace {
+
+/// Returns {less, equal} of a[lo..hi) vs b[lo..hi) recursively.
+std::pair<Edge, Edge> compareRange(Aig& g, const std::vector<Edge>& a,
+                                   const std::vector<Edge>& b,
+                                   std::uint32_t lo, std::uint32_t hi) {
+  if (hi - lo == 1) {
+    const Edge less = g.addAnd(!a[lo], b[lo]);
+    const Edge equal = !g.addXor(a[lo], b[lo]);
+    return {less, equal};
+  }
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  const auto low = compareRange(g, a, b, lo, mid);
+  const auto high = compareRange(g, a, b, mid, hi);
+  const Edge less = g.addOr(high.first, g.addAnd(high.second, low.first));
+  const Edge equal = g.addAnd(high.second, low.second);
+  return {less, equal};
+}
+
+}  // namespace
+
+Aig treeComparator(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+  g.addOutput(compareRange(g, ops.a, ops.b, 0, width).first);
+  return g;
+}
+
+Aig parityChain(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  Edge acc = kFalse;
+  for (std::uint32_t i = 0; i < width; ++i) acc = g.addXor(acc, g.addInput());
+  g.addOutput(acc);
+  return g;
+}
+
+Aig parityTree(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  std::vector<Edge> layer;
+  for (std::uint32_t i = 0; i < width; ++i) layer.push_back(g.addInput());
+  while (layer.size() > 1) {
+    std::vector<Edge> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(g.addXor(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer.swap(next);
+  }
+  g.addOutput(layer.front());
+  return g;
+}
+
+namespace {
+
+std::uint32_t log2Exact(std::uint32_t width) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < width) ++bits;
+  if ((1u << bits) != width) {
+    throw std::invalid_argument("barrel shifter width must be a power of 2");
+  }
+  return bits;
+}
+
+Aig barrelShifter(std::uint32_t width, bool lsbStageFirst) {
+  Aig g;
+  const std::uint32_t stages = log2Exact(width);
+  std::vector<Edge> data;
+  for (std::uint32_t i = 0; i < width; ++i) data.push_back(g.addInput());
+  std::vector<Edge> select;
+  for (std::uint32_t s = 0; s < stages; ++s) select.push_back(g.addInput());
+
+  for (std::uint32_t k = 0; k < stages; ++k) {
+    const std::uint32_t stage = lsbStageFirst ? k : stages - 1 - k;
+    const std::uint32_t amount = 1u << stage;
+    std::vector<Edge> shifted(width);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      const Edge moved = i >= amount ? data[i - amount] : kFalse;
+      shifted[i] = g.addMux(select[stage], moved, data[i]);
+    }
+    data.swap(shifted);
+  }
+  for (const Edge d : data) g.addOutput(d);
+  return g;
+}
+
+}  // namespace
+
+Aig barrelShifterLsbFirst(std::uint32_t width) {
+  return barrelShifter(width, true);
+}
+
+Aig barrelShifterMsbFirst(std::uint32_t width) {
+  return barrelShifter(width, false);
+}
+
+Aig aluVariantA(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+  const Edge sel0 = g.addInput();
+  const Edge sel1 = g.addInput();
+
+  // a + b (ripple) and a - b as a + ~b + 1 (ripple, carry-in 1).
+  std::vector<Edge> notB;
+  for (const Edge b : ops.b) notB.push_back(!b);
+  const std::vector<Edge> add = rippleAdd(g, ops.a, ops.b, kFalse);
+  const std::vector<Edge> sub = rippleAdd(g, ops.a, notB, !kFalse);
+
+  // One-hot op selection.
+  const Edge isAdd = g.addAnd(!sel1, !sel0);
+  const Edge isSub = g.addAnd(!sel1, sel0);
+  const Edge isAnd = g.addAnd(sel1, !sel0);
+  const Edge isOr = g.addAnd(sel1, sel0);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    Edge out = g.addAnd(isAdd, add[i]);
+    out = g.addOr(out, g.addAnd(isSub, sub[i]));
+    out = g.addOr(out, g.addAnd(isAnd, g.addAnd(ops.a[i], ops.b[i])));
+    out = g.addOr(out, g.addAnd(isOr, g.addOr(ops.a[i], ops.b[i])));
+    g.addOutput(out);
+  }
+  return g;
+}
+
+Aig aluVariantB(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const Operands ops = twoOperands(g, width);
+  const Edge sel0 = g.addInput();
+  const Edge sel1 = g.addInput();
+
+  // Lookahead-style adder core (expanded products, single block).
+  std::vector<Edge> addBits;
+  {
+    Edge carry = kFalse;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      const Edge p = g.addXor(ops.a[i], ops.b[i]);
+      addBits.push_back(g.addXor(p, carry));
+      carry = g.addOr(g.addAnd(ops.a[i], ops.b[i]), g.addAnd(p, carry));
+    }
+  }
+  // Dedicated borrow subtractor: diff = a ^ b ^ borrow,
+  // borrow' = (~a & b) | (~(a^b) & borrow).
+  std::vector<Edge> subBits;
+  {
+    Edge borrow = kFalse;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      const Edge axb = g.addXor(ops.a[i], ops.b[i]);
+      subBits.push_back(g.addXor(axb, borrow));
+      borrow = g.addOr(g.addAnd(!ops.a[i], ops.b[i]),
+                       g.addAnd(!axb, borrow));
+    }
+  }
+
+  // Nested mux tree: sel1 picks logic vs arithmetic, sel0 picks within.
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const Edge arith = g.addMux(sel0, subBits[i], addBits[i]);
+    const Edge logic = g.addMux(sel0, g.addOr(ops.a[i], ops.b[i]),
+                                g.addAnd(ops.a[i], ops.b[i]));
+    g.addOutput(g.addMux(sel1, logic, arith));
+  }
+  return g;
+}
+
+}  // namespace cp::gen

@@ -1,0 +1,80 @@
+// Parameterized arithmetic circuit generators.
+//
+// These families substitute for the paper's (unavailable) industrial
+// benchmark miters; see DESIGN.md for the substitution argument. Each
+// function family comes in at least two structurally different but
+// functionally identical variants, so that miters over variant pairs
+// exercise exactly the regime SAT sweeping targets: many internal
+// equivalences between the two cones.
+//
+// Conventions: multi-bit operands are LSB-first; inputs are registered in
+// the order documented per function; outputs are LSB-first.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+
+namespace cp::gen {
+
+// ---- adders: inputs a[0..w-1], b[0..w-1]; outputs sum[0..w-1], carryOut --
+
+/// Ripple-carry adder: a chain of full adders.
+aig::Aig rippleCarryAdder(std::uint32_t width);
+
+/// Block carry-lookahead adder: generate/propagate products inside each
+/// block, ripple between blocks.
+aig::Aig carryLookaheadAdder(std::uint32_t width, std::uint32_t blockSize = 4);
+
+/// Carry-select adder: each block computes both carry-in cases and muxes.
+aig::Aig carrySelectAdder(std::uint32_t width, std::uint32_t blockSize = 4);
+
+/// Carry-skip adder: ripple blocks with a propagate-controlled bypass mux.
+aig::Aig carrySkipAdder(std::uint32_t width, std::uint32_t blockSize = 4);
+
+// ---- multipliers: inputs a[0..w-1], b[0..w-1]; outputs p[0..2w-1] --------
+
+/// Row-by-row array multiplier (ripple-carry accumulation of partial
+/// product rows).
+aig::Aig arrayMultiplier(std::uint32_t width);
+
+/// Wallace-style multiplier: 3:2 column compression followed by a final
+/// ripple-carry addition.
+aig::Aig wallaceMultiplier(std::uint32_t width);
+
+/// Carry-save array multiplier: rows are accumulated in redundant
+/// (sum, carry) form and resolved by one final carry-propagate adder --
+/// structurally between the array and Wallace variants.
+aig::Aig carrySaveMultiplier(std::uint32_t width);
+
+// ---- comparison: inputs a, b; output 1 bit ("a < b", unsigned) -----------
+
+/// Borrow-ripple comparator.
+aig::Aig rippleComparator(std::uint32_t width);
+
+/// Divide-and-conquer (tree) comparator.
+aig::Aig treeComparator(std::uint32_t width);
+
+// ---- parity: inputs x[0..w-1]; output 1 bit ------------------------------
+
+aig::Aig parityChain(std::uint32_t width);
+aig::Aig parityTree(std::uint32_t width);
+
+// ---- barrel shifter: inputs x[0..w-1], s[0..log2w-1]; outputs w bits -----
+// Logical left shift by s, zero fill. width must be a power of two.
+
+/// Mux stages ordered shift-by-1 first.
+aig::Aig barrelShifterLsbFirst(std::uint32_t width);
+/// Mux stages ordered shift-by-(w/2) first.
+aig::Aig barrelShifterMsbFirst(std::uint32_t width);
+
+// ---- ALU: inputs a, b, sel[0..1]; outputs w bits --------------------------
+// sel: 0 -> a+b, 1 -> a-b (two's complement, modulo 2^w), 2 -> a&b,
+//      3 -> a|b.
+
+/// Ripple adder core, subtraction via a + ~b + 1, flat one-hot mux.
+aig::Aig aluVariantA(std::uint32_t width);
+/// Lookahead adder core, dedicated borrow subtractor, nested mux tree.
+aig::Aig aluVariantB(std::uint32_t width);
+
+}  // namespace cp::gen

@@ -1,0 +1,188 @@
+#include "src/gen/misc_logic.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cp::gen {
+
+using aig::Aig;
+using aig::Edge;
+using aig::kFalse;
+
+namespace {
+
+std::uint32_t checkWidth(std::uint32_t width) {
+  if (width == 0) throw std::invalid_argument("generator width must be > 0");
+  return width;
+}
+
+/// Adds `bit` to the little-endian counter `count` (increment-if circuit).
+void addBitToCounter(Aig& g, std::vector<Edge>& count, Edge bit) {
+  Edge carry = bit;
+  for (auto& c : count) {
+    const Edge sum = g.addXor(c, carry);
+    carry = g.addAnd(c, carry);
+    c = sum;
+  }
+}
+
+/// Ripple-adds two little-endian vectors of possibly different lengths.
+std::vector<Edge> addVectors(Aig& g, const std::vector<Edge>& a,
+                             const std::vector<Edge>& b) {
+  std::vector<Edge> out;
+  const std::size_t n = std::max(a.size(), b.size());
+  Edge carry = kFalse;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge x = i < a.size() ? a[i] : kFalse;
+    const Edge y = i < b.size() ? b[i] : kFalse;
+    const Edge xy = g.addXor(x, y);
+    out.push_back(g.addXor(xy, carry));
+    carry = g.addOr(g.addAnd(x, y), g.addAnd(xy, carry));
+  }
+  out.push_back(carry);
+  return out;
+}
+
+std::uint32_t log2Exact(std::uint32_t width) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < width) ++bits;
+  if ((1u << bits) != width) {
+    throw std::invalid_argument("width must be a power of 2");
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::uint32_t popcountBits(std::uint32_t width) {
+  std::uint32_t bits = 1;
+  while ((1u << bits) <= width) ++bits;
+  return bits;
+}
+
+Aig popcountChain(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  std::vector<Edge> count(popcountBits(width), kFalse);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    addBitToCounter(g, count, g.addInput());
+  }
+  for (const Edge c : count) g.addOutput(c);
+  return g;
+}
+
+Aig popcountTree(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  // Leaves: one-bit vectors; combine pairwise with ripple adders.
+  std::vector<std::vector<Edge>> layer;
+  for (std::uint32_t i = 0; i < width; ++i) layer.push_back({g.addInput()});
+  while (layer.size() > 1) {
+    std::vector<std::vector<Edge>> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(addVectors(g, layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer.swap(next);
+  }
+  // Normalize to the canonical output width (truncate always-zero tops or
+  // pad with constants).
+  std::vector<Edge> count = layer.front();
+  count.resize(popcountBits(width), kFalse);
+  for (const Edge c : count) g.addOutput(c);
+  return g;
+}
+
+Aig majorityViaCount(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  std::vector<Edge> count(popcountBits(width), kFalse);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    addBitToCounter(g, count, g.addInput());
+  }
+  // count > width/2  <=>  count >= floor(width/2) + 1.
+  const std::uint32_t threshold = width / 2 + 1;
+  // Compare the counter against the constant: borrow-ripple of
+  // (count - threshold) and check no borrow.
+  Edge borrow = kFalse;
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    const bool t = (threshold >> i) & 1;
+    const Edge ti = t ? !kFalse : kFalse;
+    const Edge diff = g.addXor(count[i], ti);
+    borrow = g.addOr(g.addAnd(!count[i], ti), g.addAnd(!diff, borrow));
+  }
+  g.addOutput(!borrow);
+  return g;
+}
+
+Aig majorityViaThreshold(std::uint32_t width) {
+  checkWidth(width);
+  Aig g;
+  const std::uint32_t k = width / 2 + 1;
+  // atLeast[j] = "at least j of the inputs seen so far are 1", j in 0..k.
+  std::vector<Edge> atLeast(k + 1, kFalse);
+  atLeast[0] = !kFalse;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const Edge x = g.addInput();
+    for (std::uint32_t j = k; j >= 1; --j) {
+      atLeast[j] = g.addOr(atLeast[j], g.addAnd(atLeast[j - 1], x));
+    }
+  }
+  g.addOutput(atLeast[k]);
+  return g;
+}
+
+Aig priorityEncoderChain(std::uint32_t width) {
+  const std::uint32_t bits = log2Exact(checkWidth(width));
+  Aig g;
+  std::vector<Edge> in;
+  for (std::uint32_t i = 0; i < width; ++i) in.push_back(g.addInput());
+
+  // Scan from the top; the first set bit freezes the index.
+  std::vector<Edge> index(bits, kFalse);
+  Edge found = kFalse;
+  for (std::uint32_t i = width; i-- > 0;) {
+    const Edge take = g.addAnd(!found, in[i]);
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if ((i >> b) & 1) index[b] = g.addOr(index[b], take);
+    }
+    found = g.addOr(found, in[i]);
+  }
+  for (const Edge b : index) g.addOutput(b);
+  g.addOutput(found);
+  return g;
+}
+
+namespace {
+
+/// Returns {index bits (size log2(n)), any} for in[lo..hi).
+std::pair<std::vector<Edge>, Edge> encodeRange(Aig& g,
+                                               const std::vector<Edge>& in,
+                                               std::uint32_t lo,
+                                               std::uint32_t hi) {
+  if (hi - lo == 1) return {{}, in[lo]};
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  auto low = encodeRange(g, in, lo, mid);
+  auto high = encodeRange(g, in, mid, hi);
+  std::vector<Edge> index;
+  for (std::size_t b = 0; b < low.first.size(); ++b) {
+    index.push_back(g.addMux(high.second, high.first[b], low.first[b]));
+  }
+  index.push_back(high.second);  // the new top bit: "winner in upper half"
+  return {index, g.addOr(low.second, high.second)};
+}
+
+}  // namespace
+
+Aig priorityEncoderTree(std::uint32_t width) {
+  (void)log2Exact(checkWidth(width));
+  Aig g;
+  std::vector<Edge> in;
+  for (std::uint32_t i = 0; i < width; ++i) in.push_back(g.addInput());
+  auto [index, any] = encodeRange(g, in, 0, width);
+  for (const Edge b : index) g.addOutput(b);
+  g.addOutput(any);
+  return g;
+}
+
+}  // namespace cp::gen

@@ -1,0 +1,44 @@
+// Miscellaneous control/datapath generators, each in two structurally
+// different variants (miters between variants are certified-CEC
+// workloads).
+//
+// Conventions: inputs x[0..w-1] LSB-first where applicable; outputs as
+// documented per family.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+
+namespace cp::gen {
+
+// ---- population count: inputs x[0..w-1]; outputs ceil(log2(w+1)) bits ---
+
+/// Sequential increment chain: a +1 circuit applied per set bit.
+aig::Aig popcountChain(std::uint32_t width);
+
+/// Divide-and-conquer adder tree over single-bit leaves.
+aig::Aig popcountTree(std::uint32_t width);
+
+/// Output width of the popcount families.
+std::uint32_t popcountBits(std::uint32_t width);
+
+// ---- majority: inputs x[0..w-1]; one output ("more than w/2 ones") -----
+
+/// Majority via popcount-chain and a comparison against w/2.
+aig::Aig majorityViaCount(std::uint32_t width);
+
+/// Majority via dynamic-programming threshold network
+/// (t[i][k] = "at least k of the first i inputs").
+aig::Aig majorityViaThreshold(std::uint32_t width);
+
+// ---- priority encoder: inputs x[0..w-1]; outputs log2(w) index bits +
+//      one "valid" bit. Highest set index wins. width must be a power of 2.
+
+/// Linear scan from the top.
+aig::Aig priorityEncoderChain(std::uint32_t width);
+
+/// Recursive divide-and-conquer encoder.
+aig::Aig priorityEncoderTree(std::uint32_t width);
+
+}  // namespace cp::gen

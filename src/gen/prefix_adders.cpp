@@ -1,0 +1,117 @@
+#include "src/gen/prefix_adders.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cp::gen {
+
+using aig::Aig;
+using aig::Edge;
+using aig::kFalse;
+
+namespace {
+
+/// A (generate, propagate) pair covering some bit span.
+struct GP {
+  Edge g;
+  Edge p;
+};
+
+/// Prefix operator: (hi) o (lo) covers the concatenated span.
+GP combine(Aig& g, const GP& hi, const GP& lo) {
+  return {g.addOr(hi.g, g.addAnd(hi.p, lo.g)), g.addAnd(hi.p, lo.p)};
+}
+
+struct PrefixInputs {
+  std::vector<Edge> a;
+  std::vector<Edge> b;
+  std::vector<GP> leaf;       // per-bit (g_i, p_i)
+  std::vector<Edge> halfSum;  // p_i, reused for the final sum XOR
+};
+
+PrefixInputs makeLeaves(Aig& g, std::uint32_t width) {
+  if (width == 0) throw std::invalid_argument("adder width must be > 0");
+  PrefixInputs in;
+  for (std::uint32_t i = 0; i < width; ++i) in.a.push_back(g.addInput());
+  for (std::uint32_t i = 0; i < width; ++i) in.b.push_back(g.addInput());
+  for (std::uint32_t i = 0; i < width; ++i) {
+    in.leaf.push_back(
+        {g.addAnd(in.a[i], in.b[i]), g.addXor(in.a[i], in.b[i])});
+    in.halfSum.push_back(in.leaf.back().p);
+  }
+  return in;
+}
+
+/// Emits sum bits and carry-out from the inclusive prefixes
+/// prefix[i] = (G[0..i], P[0..i]).
+void emitOutputs(Aig& g, const PrefixInputs& in,
+                 const std::vector<GP>& prefix) {
+  const std::uint32_t width = static_cast<std::uint32_t>(in.leaf.size());
+  g.addOutput(in.halfSum[0]);  // c_0 = 0
+  for (std::uint32_t i = 1; i < width; ++i) {
+    g.addOutput(g.addXor(in.halfSum[i], prefix[i - 1].g));
+  }
+  g.addOutput(prefix[width - 1].g);
+}
+
+}  // namespace
+
+Aig koggeStoneAdder(std::uint32_t width) {
+  Aig g;
+  const PrefixInputs in = makeLeaves(g, width);
+  std::vector<GP> prefix = in.leaf;
+  for (std::uint32_t dist = 1; dist < width; dist *= 2) {
+    std::vector<GP> next = prefix;
+    for (std::uint32_t i = dist; i < width; ++i) {
+      next[i] = combine(g, prefix[i], prefix[i - dist]);
+    }
+    prefix.swap(next);
+  }
+  emitOutputs(g, in, prefix);
+  return g;
+}
+
+Aig sklanskyAdder(std::uint32_t width) {
+  Aig g;
+  const PrefixInputs in = makeLeaves(g, width);
+  std::vector<GP> prefix = in.leaf;
+  // Level k joins blocks of size 2^k: every position in the upper half of
+  // a 2^(k+1) block combines with the top of the lower half.
+  for (std::uint32_t size = 1; size < width; size *= 2) {
+    for (std::uint32_t block = size; block < width; block += 2 * size) {
+      const std::uint32_t lowTop = block - 1;
+      const std::uint32_t end = std::min(width, block + size);
+      for (std::uint32_t i = block; i < end; ++i) {
+        prefix[i] = combine(g, prefix[i], prefix[lowTop]);
+      }
+    }
+  }
+  emitOutputs(g, in, prefix);
+  return g;
+}
+
+Aig brentKungAdder(std::uint32_t width) {
+  Aig g;
+  const PrefixInputs in = makeLeaves(g, width);
+  std::vector<GP> node = in.leaf;  // node[i] covers a growing span ending at i
+
+  // Up-sweep: after level d (d = 2, 4, ...), node[i] for i ≡ d-1 (mod d)
+  // covers the d-wide block ending at i.
+  for (std::uint32_t d = 2; d / 2 < width; d *= 2) {
+    for (std::uint32_t i = d - 1; i < width; i += d) {
+      node[i] = combine(g, node[i], node[i - d / 2]);
+    }
+  }
+  // Down-sweep: fill in the remaining prefixes from coarse to fine.
+  for (std::uint32_t d = 1u << 30; d >= 2; d /= 2) {
+    if (d > width) continue;
+    for (std::uint32_t i = d + d / 2 - 1; i < width; i += d) {
+      node[i] = combine(g, node[i], node[i - d / 2]);
+    }
+  }
+  emitOutputs(g, in, node);
+  return g;
+}
+
+}  // namespace cp::gen

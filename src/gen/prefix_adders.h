@@ -1,0 +1,30 @@
+// Parallel-prefix adder generators.
+//
+// All three compute the same function as rippleCarryAdder (inputs
+// a[0..w-1], b[0..w-1]; outputs sum[0..w-1], carryOut) through classic
+// prefix networks over (generate, propagate) pairs:
+//
+//   * Kogge-Stone: minimal depth, maximal wiring -- log2(w) levels of
+//     distance-doubling combines at every position.
+//   * Sklansky: minimal depth divide-and-conquer with high-fanout root
+//     combines.
+//   * Brent-Kung: near-minimal area -- an up-sweep tree followed by a
+//     down-sweep fill.
+//
+// Miters between any two of these (or against the ripple/lookahead
+// families in arith.h) are equivalence-rich: every prefix cell's generate
+// signal equals the corresponding carry, so SAT sweeping collapses them
+// quickly. That makes them ideal R-Tab2/R-Tab3 workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+
+namespace cp::gen {
+
+aig::Aig koggeStoneAdder(std::uint32_t width);
+aig::Aig sklanskyAdder(std::uint32_t width);
+aig::Aig brentKungAdder(std::uint32_t width);
+
+}  // namespace cp::gen

@@ -1,0 +1,38 @@
+#include "src/gen/random_aig.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cp::gen {
+
+aig::Aig randomAig(const RandomAigOptions& options, Rng& rng) {
+  if (options.numInputs == 0) {
+    throw std::invalid_argument("randomAig: need at least one input");
+  }
+  aig::Aig g;
+  for (std::uint32_t i = 0; i < options.numInputs; ++i) (void)g.addInput();
+
+  auto pickEdge = [&]() {
+    const std::uint32_t n = g.numNodes();
+    std::uint32_t node;
+    if (options.localityWindow > 0 && rng.flip()) {
+      const std::uint32_t window =
+          std::min<std::uint32_t>(options.localityWindow, n - 1);
+      node = n - 1 - static_cast<std::uint32_t>(rng.below(window));
+    } else {
+      node = 1 + static_cast<std::uint32_t>(rng.below(n - 1));  // skip const
+    }
+    const bool complement = rng.chance(options.complementPercent, 100);
+    return aig::Edge::make(node, complement);
+  };
+
+  for (std::uint32_t k = 0; k < options.numAnds; ++k) {
+    (void)g.addAnd(pickEdge(), pickEdge());
+  }
+  for (std::uint32_t o = 0; o < options.numOutputs; ++o) {
+    g.addOutput(pickEdge());
+  }
+  return g;
+}
+
+}  // namespace cp::gen

@@ -1,0 +1,28 @@
+// Random AIG generation, for property tests and stress workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/base/rng.h"
+
+namespace cp::gen {
+
+struct RandomAigOptions {
+  std::uint32_t numInputs = 8;
+  std::uint32_t numAnds = 64;
+  std::uint32_t numOutputs = 1;
+  /// Probability (percent) of complementing each chosen fanin edge.
+  std::uint32_t complementPercent = 50;
+  /// Bias toward recent nodes, making deep rather than shallow graphs:
+  /// each fanin is drawn from the most recent `localityWindow` nodes with
+  /// 50% probability (0 = uniform over all nodes).
+  std::uint32_t localityWindow = 16;
+};
+
+/// Generates a random structurally hashed AIG. The requested AND count is
+/// an upper bound: folds and strash hits can make the result smaller.
+/// Outputs are random edges biased toward the deepest nodes.
+aig::Aig randomAig(const RandomAigOptions& options, Rng& rng);
+
+}  // namespace cp::gen

@@ -1,0 +1,91 @@
+#include "src/proof/analysis.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace cp::proof {
+
+namespace {
+
+std::vector<char> reachableFromRoot(const ProofLog& log) {
+  std::vector<char> needed(log.numClauses() + 1, 0);
+  if (!log.hasRoot()) return needed;
+  std::vector<ClauseId> stack = {log.root()};
+  needed[log.root()] = 1;
+  while (!stack.empty()) {
+    const ClauseId id = stack.back();
+    stack.pop_back();
+    for (const ClauseId parent : log.chain(id)) {
+      if (!needed[parent]) {
+        needed[parent] = 1;
+        stack.push_back(parent);
+      }
+    }
+  }
+  return needed;
+}
+
+}  // namespace
+
+std::vector<ClauseId> unsatCore(const ProofLog& log) {
+  if (!log.hasRoot()) {
+    throw std::invalid_argument("unsatCore: log has no root");
+  }
+  const std::vector<char> needed = reachableFromRoot(log);
+  std::vector<ClauseId> core;
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (needed[id] && log.isAxiom(id)) core.push_back(id);
+  }
+  return core;
+}
+
+ProofMetrics analyzeProof(const ProofLog& log) {
+  ProofMetrics m;
+  m.axioms = log.numAxioms();
+  m.derived = log.numDerived();
+  m.resolutions = log.numResolutions();
+
+  const std::vector<char> needed = reachableFromRoot(log);
+  std::vector<std::uint32_t> depth(log.numClauses() + 1, 0);
+  std::uint64_t totalWidth = 0;
+  std::uint64_t totalChain = 0;
+
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    const auto width = static_cast<std::uint32_t>(log.lits(id).size());
+    m.maxClauseWidth = std::max(m.maxClauseWidth, width);
+    totalWidth += width;
+
+    if (log.isAxiom(id)) {
+      if (!needed.empty() && needed[id]) ++m.coreAxioms;
+      continue;
+    }
+    if (!needed.empty() && needed[id]) ++m.coreDerived;
+    const auto chain = log.chain(id);
+    m.maxChainLength =
+        std::max(m.maxChainLength, static_cast<std::uint32_t>(chain.size()));
+    totalChain += chain.size();
+    // Ids are topologically ordered (chains reference earlier ids), so a
+    // single forward pass computes longest paths.
+    std::uint32_t best = 0;
+    for (const ClauseId parent : chain) best = std::max(best, depth[parent]);
+    depth[id] = best + 1;
+    m.dagDepth = std::max(m.dagDepth, depth[id]);
+  }
+
+  m.avgClauseWidth =
+      log.numClauses() ? double(totalWidth) / log.numClauses() : 0.0;
+  m.avgChainLength = m.derived ? double(totalChain) / m.derived : 0.0;
+  return m;
+}
+
+void writeDrat(const ProofLog& log, std::ostream& out) {
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (log.isAxiom(id)) continue;
+    out << sat::toDimacs(std::vector<sat::Lit>(log.lits(id).begin(),
+                                               log.lits(id).end()))
+        << '\n';
+  }
+}
+
+}  // namespace cp::proof

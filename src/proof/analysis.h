@@ -1,0 +1,48 @@
+// Proof analysis utilities: UNSAT-core extraction, structural metrics of
+// the resolution DAG, and DRAT export for external checkers.
+//
+// These are the measurement tools behind the evaluation figures (R-Fig2/3
+// cite sizes; the metrics here add DAG depth and width distributions) and
+// the practical companions a proof-producing tool ships with: the core
+// tells the user *which* axioms mattered, DRAT lets drat-trim and friends
+// revalidate our proofs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+/// Ids of the axioms the proof root transitively depends on, ascending.
+/// The conjunction of these clauses is already unsatisfiable: a minimal
+/// explanation candidate (not minimized further).
+/// Throws std::invalid_argument if the log has no root.
+std::vector<ClauseId> unsatCore(const ProofLog& log);
+
+struct ProofMetrics {
+  std::uint64_t axioms = 0;
+  std::uint64_t derived = 0;
+  std::uint64_t resolutions = 0;
+  std::uint64_t coreAxioms = 0;       ///< axioms reachable from the root
+  std::uint64_t coreDerived = 0;      ///< derived clauses reachable
+  std::uint32_t dagDepth = 0;         ///< longest axiom->root chain path
+  std::uint32_t maxClauseWidth = 0;   ///< literals in the widest clause
+  double avgClauseWidth = 0.0;
+  std::uint32_t maxChainLength = 0;   ///< antecedents in the longest chain
+  double avgChainLength = 0.0;        ///< over derived clauses
+};
+
+/// Computes metrics over the whole log (core fields need a root; they are
+/// zero without one).
+ProofMetrics analyzeProof(const ProofLog& log);
+
+/// Writes the derived clauses in DRAT format ("<lits> 0" per line,
+/// additions only). Every clause derived by sequential resolution is RUP
+/// with respect to the preceding clauses, so the output is checkable by
+/// standard DRAT tools given the axioms as the input CNF.
+void writeDrat(const ProofLog& log, std::ostream& out);
+
+}  // namespace cp::proof

@@ -1,0 +1,161 @@
+#include "src/proof/checker.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cp::proof {
+namespace {
+
+/// Epoch-stamped literal set: O(1) insert/erase/test without clearing
+/// between clauses. Indexed by Lit::index().
+class LitSet {
+ public:
+  void ensure(std::uint32_t maxLitIndex) {
+    if (stamp_.size() <= maxLitIndex) stamp_.resize(maxLitIndex + 1, 0);
+  }
+  void clear() { ++epoch_; size_ = 0; }
+  bool contains(sat::Lit l) const { return stamp_[l.index()] == epoch_; }
+  void insert(sat::Lit l) {
+    if (!contains(l)) {
+      stamp_[l.index()] = epoch_;
+      ++size_;
+    }
+  }
+  void erase(sat::Lit l) {
+    if (contains(l)) {
+      stamp_[l.index()] = 0;
+      --size_;
+    }
+  }
+  std::uint32_t size() const { return size_; }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+std::uint32_t maxLitIndexOf(const ProofLog& log) {
+  std::uint32_t maxIndex = 1;
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    for (const sat::Lit l : log.lits(id)) {
+      maxIndex = std::max(maxIndex, l.index() | 1u);
+    }
+  }
+  return maxIndex;
+}
+
+/// Marks all clauses the root transitively depends on.
+std::vector<char> neededSet(const ProofLog& log) {
+  std::vector<char> needed(log.numClauses() + 1, 0);
+  if (!log.hasRoot()) return needed;
+  std::vector<ClauseId> stack = {log.root()};
+  needed[log.root()] = 1;
+  while (!stack.empty()) {
+    const ClauseId id = stack.back();
+    stack.pop_back();
+    for (const ClauseId parent : log.chain(id)) {
+      if (!needed[parent]) {
+        needed[parent] = 1;
+        stack.push_back(parent);
+      }
+    }
+  }
+  return needed;
+}
+
+CheckResult failAt(ClauseId id, std::string message) {
+  CheckResult r;
+  r.ok = false;
+  r.failedClause = id;
+  r.error = "clause " + std::to_string(id) + ": " + std::move(message);
+  return r;
+}
+
+}  // namespace
+
+CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
+  CheckResult result;
+  if (options.requireRoot && !log.hasRoot()) {
+    result.error = "proof has no empty-clause root";
+    return result;
+  }
+  if (options.onlyNeeded && !log.hasRoot()) {
+    result.error = "onlyNeeded requires a root";
+    return result;
+  }
+
+  const std::vector<char> needed =
+      options.onlyNeeded ? neededSet(log) : std::vector<char>();
+
+  LitSet resolvent;
+  LitSet recorded;
+  const std::uint32_t maxLit = maxLitIndexOf(log);
+  resolvent.ensure(maxLit);
+  recorded.ensure(maxLit);
+
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (options.onlyNeeded && !needed[id]) continue;
+
+    if (log.isAxiom(id)) {
+      if (options.axiomValidator && !options.axiomValidator(log.lits(id))) {
+        return failAt(id, "axiom rejected by validator");
+      }
+      ++result.axiomsChecked;
+      continue;
+    }
+
+    const auto chain = log.chain(id);
+    resolvent.clear();
+    for (const sat::Lit l : log.lits(chain[0])) {
+      if (resolvent.contains(~l)) {
+        return failAt(id, "chain starts from a tautological clause");
+      }
+      resolvent.insert(l);
+    }
+
+    for (std::size_t step = 1; step < chain.size(); ++step) {
+      const auto antecedent = log.lits(chain[step]);
+      // Identify the unique pivot: the literal of the antecedent whose
+      // negation is currently in the resolvent.
+      sat::Lit pivot = sat::kUndefLit;
+      for (const sat::Lit l : antecedent) {
+        if (resolvent.contains(~l)) {
+          if (pivot.valid()) {
+            return failAt(id, "resolution step " + std::to_string(step) +
+                                  " has more than one pivot");
+          }
+          pivot = l;
+        }
+      }
+      if (!pivot.valid()) {
+        return failAt(id, "resolution step " + std::to_string(step) +
+                              " has no pivot");
+      }
+      resolvent.erase(~pivot);
+      for (const sat::Lit l : antecedent) {
+        if (l != pivot) resolvent.insert(l);
+      }
+      ++result.resolutions;
+    }
+
+    // The final resolvent must equal the recorded clause as a set.
+    recorded.clear();
+    for (const sat::Lit l : log.lits(id)) recorded.insert(l);
+    if (recorded.size() != resolvent.size()) {
+      return failAt(id, "derived clause does not match its chain resolvent");
+    }
+    for (const sat::Lit l : log.lits(id)) {
+      if (!resolvent.contains(l)) {
+        return failAt(id, "derived clause contains literal " + toDimacs(l) +
+                              " absent from the chain resolvent");
+      }
+    }
+    ++result.derivedChecked;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace cp::proof

@@ -1,0 +1,48 @@
+// Independent resolution proof checker.
+//
+// This is the trusted core of the whole certification story: a small,
+// self-contained replayer that shares no state with the SAT solver or the
+// CEC engine. It accepts a proof log if and only if
+//   * every checked derived clause is obtained from its chain by sequential
+//     resolution, each step resolving on exactly one pivot variable, and
+//     the final resolvent equals the recorded clause as a set of literals;
+//   * (optionally) every axiom the proof depends on is blessed by a
+//     caller-supplied validator -- for CEC certification the validator
+//     admits exactly the Tseitin clauses of the original miter plus the
+//     output assertion unit;
+//   * (optionally) a declared empty-clause root exists, which makes the log
+//     a proof of unsatisfiability of the axiom set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+struct CheckOptions {
+  /// Require the log to declare an empty-clause root (refutation check).
+  bool requireRoot = true;
+  /// Replay only clauses the root depends on instead of the whole log.
+  /// Requires a root. This is the paper's use case: certify the verdict,
+  /// not every byproduct lemma.
+  bool onlyNeeded = false;
+  /// If set, called for every (checked) axiom; must return true to admit it.
+  std::function<bool(std::span<const sat::Lit>)> axiomValidator;
+};
+
+struct CheckResult {
+  bool ok = false;
+  std::string error;          ///< empty when ok
+  ClauseId failedClause = kNoClause;
+  std::uint64_t derivedChecked = 0;
+  std::uint64_t axiomsChecked = 0;
+  std::uint64_t resolutions = 0;
+};
+
+CheckResult checkProof(const ProofLog& log, const CheckOptions& options = {});
+
+}  // namespace cp::proof

@@ -1,0 +1,75 @@
+#include "src/proof/compress.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace cp::proof {
+
+CompressedProof compressProof(const ProofLog& log) {
+  if (!log.hasRoot()) {
+    throw std::invalid_argument("compressProof: log has no root");
+  }
+
+  // Count, for every clause, total chain references and base (position-0)
+  // references.
+  const std::uint32_t n = log.numClauses();
+  std::vector<std::uint32_t> uses(n + 1, 0);
+  std::vector<std::uint32_t> baseUses(n + 1, 0);
+  for (ClauseId id = 1; id <= n; ++id) {
+    const auto chain = log.chain(id);
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      ++uses[chain[k]];
+      if (k == 0) ++baseUses[chain[k]];
+    }
+  }
+
+  // Fusable: derived, not the root, and referenced exactly once -- as a
+  // base.
+  std::vector<char> fuse(n + 1, 0);
+  for (ClauseId id = 1; id <= n; ++id) {
+    fuse[id] = !log.isAxiom(id) && id != log.root() && uses[id] == 1 &&
+               baseUses[id] == 1;
+  }
+
+  CompressedProof out;
+  out.stats.clausesBefore = n;
+  std::vector<ClauseId> remap(n + 1, kNoClause);
+  // For fused clauses: their fully expanded chain (in new-id space),
+  // stored for splicing into the consumer.
+  std::unordered_map<ClauseId, std::vector<ClauseId>> expanded;
+
+  std::vector<ClauseId> newChain;
+  for (ClauseId id = 1; id <= n; ++id) {
+    if (log.isAxiom(id)) {
+      remap[id] = out.log.addAxiom(log.lits(id));
+      continue;
+    }
+    const auto chain = log.chain(id);
+    newChain.clear();
+    // Base position: splice if the base was fused.
+    if (const auto it = expanded.find(chain[0]); it != expanded.end()) {
+      newChain.insert(newChain.end(), it->second.begin(), it->second.end());
+      ++out.stats.fused;
+    } else {
+      newChain.push_back(remap[chain[0]]);
+    }
+    for (std::size_t k = 1; k < chain.size(); ++k) {
+      // Non-base antecedents are never fused (their unique use would have
+      // to be a base use).
+      newChain.push_back(remap[chain[k]]);
+    }
+
+    if (fuse[id]) {
+      expanded.emplace(id, newChain);
+    } else {
+      remap[id] = out.log.addDerived(log.lits(id), newChain);
+    }
+  }
+
+  out.log.setRoot(remap[log.root()]);
+  out.stats.clausesAfter = out.log.numClauses();
+  return out;
+}
+
+}  // namespace cp::proof

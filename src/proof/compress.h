@@ -1,0 +1,39 @@
+// Proof compression by linear chain fusion.
+//
+// Both the solver and the proof composer produce many *single-use
+// intermediate* clauses: a resolvent recorded only to serve as the base
+// (first antecedent) of exactly one later chain. Such a clause need not be
+// recorded at all -- sequential resolution is associative in its base
+// position, so the intermediate's chain can be spliced verbatim into the
+// consumer's chain:
+//
+//     c = resolve(c1, ..., ck)           [used only as base of d]
+//     d = resolve(c, e1, ..., em)   ==>  d = resolve(c1, ..., ck, e1, ..., em)
+//
+// The result has the same resolution count but fewer recorded clauses and
+// literal copies, shrinking the serialized proof. Typically applied after
+// trimming.
+#pragma once
+
+#include <cstdint>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+struct CompressStats {
+  std::uint64_t clausesBefore = 0;
+  std::uint64_t clausesAfter = 0;
+  std::uint64_t fused = 0;  ///< intermediate clauses spliced away
+};
+
+struct CompressedProof {
+  ProofLog log;
+  CompressStats stats;
+};
+
+/// Fuses all single-base-use derived clauses. The log must have a root
+/// (compress after trimming); throws std::invalid_argument otherwise.
+CompressedProof compressProof(const ProofLog& log);
+
+}  // namespace cp::proof

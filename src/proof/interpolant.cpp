@@ -1,0 +1,175 @@
+#include "src/proof/interpolant.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cp::proof {
+
+namespace {
+
+/// Variable occurrence sides, as a bitmask.
+enum : std::uint8_t { kInA = 1, kInB = 2 };
+
+}  // namespace
+
+Interpolant computeInterpolant(const ProofLog& log,
+                               const std::vector<char>& axiomInA,
+                               InterpolationSystem system) {
+  if (!log.hasRoot()) {
+    throw std::invalid_argument("computeInterpolant: log has no root");
+  }
+
+  // Classify variables by which partitions their axioms touch. Only
+  // root-reachable axioms define the partitions' variable sets.
+  std::vector<char> needed(log.numClauses() + 1, 0);
+  {
+    std::vector<ClauseId> stack = {log.root()};
+    needed[log.root()] = 1;
+    while (!stack.empty()) {
+      const ClauseId id = stack.back();
+      stack.pop_back();
+      for (const ClauseId parent : log.chain(id)) {
+        if (!needed[parent]) {
+          needed[parent] = 1;
+          stack.push_back(parent);
+        }
+      }
+    }
+  }
+
+  std::unordered_map<sat::Var, std::uint8_t> side;
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (!needed[id] || !log.isAxiom(id)) continue;
+    if (id >= axiomInA.size()) {
+      throw std::invalid_argument(
+          "computeInterpolant: axiomInA does not cover axiom " +
+          std::to_string(id));
+    }
+    const std::uint8_t mask = axiomInA[id] ? kInA : kInB;
+    for (const sat::Lit l : log.lits(id)) side[l.var()] |= mask;
+  }
+
+  Interpolant result;
+  for (const auto& [var, mask] : side) {
+    if (mask == (kInA | kInB)) result.sharedVars.push_back(var);
+  }
+  std::sort(result.sharedVars.begin(), result.sharedVars.end());
+
+  std::unordered_map<sat::Var, aig::Edge> inputOf;
+  for (const sat::Var v : result.sharedVars) {
+    inputOf.emplace(v, result.circuit.addInput());
+  }
+  auto litEdge = [&](sat::Lit l) {
+    return inputOf.at(l.var()) ^ l.negated();
+  };
+
+  // Replay every needed clause, maintaining its partial interpolant.
+  // The resolvent set is tracked with an epoch-stamped marker so pivots
+  // can be identified exactly as the checker does.
+  const std::uint32_t numClausesTotal = log.numClauses();
+  std::vector<aig::Edge> itp(numClausesTotal + 1, aig::kFalse);
+  std::uint32_t maxLitIndex = 1;
+  for (ClauseId id = 1; id <= numClausesTotal; ++id) {
+    if (!needed[id]) continue;
+    for (const sat::Lit l : log.lits(id)) {
+      maxLitIndex = std::max(maxLitIndex, l.index() | 1u);
+    }
+  }
+  std::vector<std::uint32_t> stamp(maxLitIndex + 1, 0);
+  std::uint32_t epoch = 0;
+  std::vector<sat::Lit> resolvent;
+
+  for (ClauseId id = 1; id <= numClausesTotal; ++id) {
+    if (!needed[id]) continue;
+    if (log.isAxiom(id)) {
+      if (axiomInA[id]) {
+        if (system == InterpolationSystem::kPudlak) {
+          itp[id] = aig::kFalse;
+        } else {
+          aig::Edge disj = aig::kFalse;
+          for (const sat::Lit l : log.lits(id)) {
+            const auto it = side.find(l.var());
+            if (it != side.end() && it->second == (kInA | kInB)) {
+              disj = result.circuit.addOr(disj, litEdge(l));
+            }
+          }
+          itp[id] = disj;
+        }
+      } else {
+        itp[id] = aig::kTrue;
+      }
+      continue;
+    }
+
+    const auto chain = log.chain(id);
+    ++epoch;
+    resolvent.clear();
+    aig::Edge current = itp[chain[0]];
+    for (const sat::Lit l : log.lits(chain[0])) {
+      if (stamp[l.index()] != epoch) {
+        stamp[l.index()] = epoch;
+        resolvent.push_back(l);
+      }
+    }
+    for (std::size_t step = 1; step < chain.size(); ++step) {
+      const auto antecedent = log.lits(chain[step]);
+      sat::Lit pivot = sat::kUndefLit;
+      for (const sat::Lit l : antecedent) {
+        if (stamp[(~l).index()] == epoch) {
+          if (pivot.valid()) {
+            throw std::logic_error(
+                "computeInterpolant: multiple pivots in chain of clause " +
+                std::to_string(id));
+          }
+          pivot = l;
+        }
+      }
+      if (!pivot.valid()) {
+        throw std::logic_error(
+            "computeInterpolant: no pivot in chain of clause " +
+            std::to_string(id));
+      }
+      // Update the resolvent set.
+      stamp[(~pivot).index()] = 0;
+      resolvent.erase(
+          std::find(resolvent.begin(), resolvent.end(), ~pivot));
+      for (const sat::Lit l : antecedent) {
+        if (l != pivot && stamp[l.index()] != epoch) {
+          stamp[l.index()] = epoch;
+          resolvent.push_back(l);
+        }
+      }
+      // Combination rule per labeled system. The pivot literal in the
+      // antecedent is the POSITIVE occurrence there; `current` held its
+      // negation, so `current` is the "pivot false" branch and the
+      // antecedent the "pivot true" branch of the Pudlak mux.
+      const auto it = side.find(pivot.var());
+      const std::uint8_t mask =
+          it == side.end() ? static_cast<std::uint8_t>(kInA) : it->second;
+      if (mask == kInA) {
+        current = result.circuit.addOr(current, itp[chain[step]]);
+      } else if (mask == kInB ||
+                 system == InterpolationSystem::kMcMillan) {
+        current = result.circuit.addAnd(current, itp[chain[step]]);
+      } else {
+        // Shared pivot, Pudlak: mux on the pivot variable. When the pivot
+        // evaluates true, the parent containing the pivot positively is
+        // satisfied by it, so the refutation obligation falls on the other
+        // parent -- its partial interpolant is selected.
+        const aig::Edge sel = litEdge(sat::Lit::make(pivot.var(), false));
+        const aig::Edge positiveParent =
+            pivot.negated() ? current : itp[chain[step]];
+        const aig::Edge negativeParent =
+            pivot.negated() ? itp[chain[step]] : current;
+        current = result.circuit.addMux(sel, negativeParent, positiveParent);
+      }
+    }
+    itp[id] = current;
+  }
+
+  result.circuit.addOutput(itp[log.root()]);
+  return result;
+}
+
+}  // namespace cp::proof

@@ -1,0 +1,60 @@
+// Craig interpolation from resolution proofs (McMillan's labeling).
+//
+// Given a refutation of A ∧ B where every axiom is assigned to partition A
+// or B, a single pass over the proof DAG yields a circuit I -- the
+// interpolant -- such that
+//
+//     A  implies  I,      I ∧ B is unsatisfiable,
+//     and I mentions only variables shared between A and B.
+//
+// This is the classic payoff of resolution proof logging beyond
+// certification: interpolants extracted from CEC/BMC proofs drive
+// abstraction and unbounded model checking. The construction (McMillan,
+// CAV'03) per proof node:
+//
+//   * axiom c ∈ A:  I(c) = OR of c's literals over shared variables
+//   * axiom c ∈ B:  I(c) = true
+//   * resolution on pivot x:
+//         x local to A:  I = I(left) OR I(right)
+//         otherwise:     I = I(left) AND I(right)
+//
+// The result is built directly as an AIG whose primary input k corresponds
+// to sharedVars[k].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+struct Interpolant {
+  /// One-output circuit over the shared variables.
+  aig::Aig circuit;
+  /// sharedVars[k] is the SAT variable feeding circuit input k
+  /// (ascending).
+  std::vector<sat::Var> sharedVars;
+};
+
+/// Labeled interpolation system. Both produce valid Craig interpolants;
+/// they differ in strength and shape:
+///   * kMcMillan: A-axioms contribute their shared literals, shared pivots
+///     combine with AND -- yields the *strongest* interpolant of the
+///     standard family.
+///   * kPudlak: A-axioms contribute false, B-axioms true, shared pivots
+///     combine with a MUX selected by the pivot variable -- the symmetric
+///     system.
+enum class InterpolationSystem { kMcMillan, kPudlak };
+
+/// Computes the interpolant of the refutation in `log`.
+/// `axiomInA[id]` must be set for every axiom id (1-based, true = A).
+/// Requirements: the log has a root and every chain replays with exactly
+/// one pivot per step (i.e. the checker accepts it). Throws
+/// std::invalid_argument / std::logic_error on violations.
+Interpolant computeInterpolant(
+    const ProofLog& log, const std::vector<char>& axiomInA,
+    InterpolationSystem system = InterpolationSystem::kMcMillan);
+
+}  // namespace cp::proof

@@ -1,0 +1,74 @@
+#include "src/proof/proof_log.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cp::proof {
+
+ClauseId ProofLog::record(std::span<const sat::Lit> lits,
+                          std::span<const ClauseId> chain) {
+  litsPool_.insert(litsPool_.end(), lits.begin(), lits.end());
+  chainPool_.insert(chainPool_.end(), chain.begin(), chain.end());
+  litsEnd_.push_back(litsPool_.size());
+  chainEnd_.push_back(chainPool_.size());
+  return static_cast<ClauseId>(litsEnd_.size());  // ids are 1-based
+}
+
+ClauseId ProofLog::addAxiom(std::span<const sat::Lit> lits) {
+  ++axiomCount_;
+  return record(lits, {});
+}
+
+ClauseId ProofLog::addDerived(std::span<const sat::Lit> lits,
+                              std::span<const ClauseId> chain) {
+  if (chain.empty()) {
+    throw std::invalid_argument("addDerived: a derived clause needs a chain");
+  }
+  const ClauseId next = numClauses() + 1;
+  for (const ClauseId c : chain) {
+    if (c == kNoClause || c >= next) {
+      throw std::invalid_argument(
+          "addDerived: chain references an id not yet recorded");
+    }
+  }
+  resolutionCount_ += chain.size() - 1;
+  return record(lits, chain);
+}
+
+void ProofLog::setRoot(ClauseId id) {
+  if (id == kNoClause || id > numClauses()) {
+    throw std::invalid_argument("setRoot: unknown clause id");
+  }
+  if (!lits(id).empty()) {
+    throw std::invalid_argument("setRoot: root clause is not empty");
+  }
+  root_ = id;
+}
+
+std::span<const sat::Lit> ProofLog::lits(ClauseId id) const {
+  assert(id != kNoClause && id <= numClauses());
+  const std::uint64_t begin = (id == 1) ? 0 : litsEnd_[id - 2];
+  return {litsPool_.data() + begin,
+          static_cast<std::size_t>(litsEnd_[id - 1] - begin)};
+}
+
+std::span<const ClauseId> ProofLog::chain(ClauseId id) const {
+  assert(id != kNoClause && id <= numClauses());
+  const std::uint64_t begin = (id == 1) ? 0 : chainEnd_[id - 2];
+  return {chainPool_.data() + begin,
+          static_cast<std::size_t>(chainEnd_[id - 1] - begin)};
+}
+
+std::uint32_t ProofLog::chainLength(ClauseId id) const {
+  assert(id != kNoClause && id <= numClauses());
+  const std::uint64_t begin = (id == 1) ? 0 : chainEnd_[id - 2];
+  return static_cast<std::uint32_t>(chainEnd_[id - 1] - begin);
+}
+
+std::uint64_t ProofLog::memoryBytes() const {
+  return litsPool_.size() * sizeof(sat::Lit) +
+         chainPool_.size() * sizeof(ClauseId) +
+         litsEnd_.size() * sizeof(std::uint64_t) * 2;
+}
+
+}  // namespace cp::proof

@@ -1,0 +1,105 @@
+// The resolution proof log: the central artifact of this library.
+//
+// A proof log is an append-only table of clauses. Every clause is either an
+// *axiom* (a clause of the input CNF, taken on trust by the checker's
+// caller) or a *derived* clause carrying a resolution chain: an ordered list
+// of previously recorded clause ids. The semantics of a chain
+// [c1, c2, ..., ck] is sequential ("trivial" / input) resolution:
+//
+//     R := lits(c1)
+//     for i in 2..k:  R := resolve(R, lits(ci))   // on exactly one pivot
+//     result == lits of the recorded clause (as a set)
+//
+// The SAT solver appends one derived clause per learned clause (plus unit
+// derivations at decision level zero), and the CEC proof composer appends
+// the structural "image" and equivalence-lemma derivations. A proof of
+// unsatisfiability is complete once a derived clause with zero literals is
+// recorded; its id is stored as the root.
+//
+// The log never rewrites history: clause deletion in the solver is recorded
+// only as a statistic (deletion cannot unsound a resolution proof; it just
+// means the trimmed proof will be smaller).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sat/types.h"
+
+namespace cp::proof {
+
+/// Identifier of a clause in a proof log. Ids start at 1; 0 is "none".
+using ClauseId = std::uint32_t;
+inline constexpr ClauseId kNoClause = 0;
+
+class ProofLog {
+ public:
+  ProofLog() = default;
+
+  // ---- recording ----------------------------------------------------------
+
+  /// Records an input clause. Returns its id.
+  ClauseId addAxiom(std::span<const sat::Lit> lits);
+
+  /// Records a clause derived by the sequential resolution of `chain`
+  /// (chain ids must be smaller than the new id). A single-element chain
+  /// asserts that the clause equals (as a set) the referenced clause; the
+  /// checker treats it as a copy.
+  ClauseId addDerived(std::span<const sat::Lit> lits,
+                      std::span<const ClauseId> chain);
+
+  /// Notes that the producer discarded this clause (statistics only).
+  void markDeleted(ClauseId id) {
+    (void)id;
+    ++deletedCount_;
+  }
+
+  /// Declares the empty-clause root of an unsatisfiability proof.
+  /// Precondition: the clause has no literals.
+  void setRoot(ClauseId id);
+
+  // ---- access -------------------------------------------------------------
+
+  std::uint32_t numClauses() const {
+    return static_cast<std::uint32_t>(litsEnd_.size());
+  }
+  bool isAxiom(ClauseId id) const { return chainLength(id) == 0; }
+
+  std::span<const sat::Lit> lits(ClauseId id) const;
+  std::span<const ClauseId> chain(ClauseId id) const;
+  std::uint32_t chainLength(ClauseId id) const;
+
+  ClauseId root() const { return root_; }
+  bool hasRoot() const { return root_ != kNoClause; }
+
+  // ---- statistics ---------------------------------------------------------
+
+  std::uint64_t numAxioms() const { return axiomCount_; }
+  std::uint64_t numDerived() const { return numClauses() - axiomCount_; }
+  std::uint64_t numDeleted() const { return deletedCount_; }
+  /// Total number of binary resolution steps encoded in all chains
+  /// (each chain of length k encodes k-1 resolutions).
+  std::uint64_t numResolutions() const { return resolutionCount_; }
+  /// Total literal count over all recorded clauses.
+  std::uint64_t numLiterals() const { return litsPool_.size(); }
+  /// Approximate memory footprint of the log in bytes.
+  std::uint64_t memoryBytes() const;
+
+ private:
+  ClauseId record(std::span<const sat::Lit> lits,
+                  std::span<const ClauseId> chain);
+
+  // Pooled storage: clause id -> [litsEnd_[id-1], litsEnd_[id]) in litsPool_,
+  // same scheme for chains.
+  std::vector<sat::Lit> litsPool_;
+  std::vector<ClauseId> chainPool_;
+  std::vector<std::uint64_t> litsEnd_;
+  std::vector<std::uint64_t> chainEnd_;
+  ClauseId root_ = kNoClause;
+  std::uint64_t axiomCount_ = 0;
+  std::uint64_t deletedCount_ = 0;
+  std::uint64_t resolutionCount_ = 0;
+};
+
+}  // namespace cp::proof

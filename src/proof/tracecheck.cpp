@@ -1,0 +1,79 @@
+#include "src/proof/tracecheck.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace cp::proof {
+
+void writeTracecheck(const ProofLog& log, std::ostream& out) {
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (log.hasRoot() && id == log.root()) continue;  // emitted last
+    out << id;
+    for (const sat::Lit l : log.lits(id)) out << ' ' << toDimacs(l);
+    out << " 0";
+    for (const ClauseId parent : log.chain(id)) out << ' ' << parent;
+    out << " 0\n";
+  }
+  if (log.hasRoot()) {
+    const ClauseId id = log.root();
+    out << id << " 0";
+    for (const ClauseId parent : log.chain(id)) out << ' ' << parent;
+    out << " 0\n";
+  }
+}
+
+ProofLog readTracecheck(std::istream& in) {
+  ProofLog log;
+  std::unordered_map<long long, ClauseId> idMap;
+  ClauseId lastEmpty = kNoClause;
+
+  long long token = 0;
+  while (in >> token) {
+    const long long externalId = token;
+    if (externalId <= 0) {
+      throw std::runtime_error("tracecheck: clause id must be positive");
+    }
+    if (idMap.count(externalId)) {
+      throw std::runtime_error("tracecheck: duplicate clause id " +
+                               std::to_string(externalId));
+    }
+
+    std::vector<sat::Lit> lits;
+    for (;;) {
+      if (!(in >> token)) {
+        throw std::runtime_error("tracecheck: truncated literal list");
+      }
+      if (token == 0) break;
+      const long long var = (token > 0 ? token : -token) - 1;
+      lits.push_back(sat::Lit::make(static_cast<sat::Var>(var), token < 0));
+    }
+
+    std::vector<ClauseId> chain;
+    for (;;) {
+      if (!(in >> token)) {
+        throw std::runtime_error("tracecheck: truncated antecedent list");
+      }
+      if (token == 0) break;
+      const auto it = idMap.find(token);
+      if (it == idMap.end()) {
+        throw std::runtime_error("tracecheck: antecedent " +
+                                 std::to_string(token) + " used before "
+                                 "definition");
+      }
+      chain.push_back(it->second);
+    }
+
+    const ClauseId internal =
+        chain.empty() ? log.addAxiom(lits) : log.addDerived(lits, chain);
+    idMap.emplace(externalId, internal);
+    if (lits.empty() && !chain.empty()) lastEmpty = internal;
+  }
+
+  if (lastEmpty != kNoClause) log.setRoot(lastEmpty);
+  return log;
+}
+
+}  // namespace cp::proof

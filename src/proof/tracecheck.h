@@ -1,0 +1,28 @@
+// TRACECHECK-style text serialization of resolution proofs.
+//
+// Line format (one clause per line):
+//     <id> <lit>* 0 <antecedent-id>* 0
+// Literals use DIMACS numbering (variable v prints as v+1, negative for
+// complemented). Axioms have an empty antecedent list. This is the
+// interchange format the 2007-era tracecheck tool consumed; writing it lets
+// an external checker independently validate our proofs, and reading it
+// lets our checker validate foreign traces.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+/// Writes the whole log. If the log has a root, the root clause is
+/// guaranteed to be on the last line (TRACECHECK convention).
+void writeTracecheck(const ProofLog& log, std::ostream& out);
+
+/// Parses a trace. Ids may be arbitrary positive integers but must be
+/// defined before use; they are renumbered densely. If an empty clause is
+/// present, the last one becomes the root. Throws std::runtime_error on
+/// malformed input.
+ProofLog readTracecheck(std::istream& in);
+
+}  // namespace cp::proof

@@ -1,0 +1,50 @@
+#include "src/proof/trim.h"
+
+#include <stdexcept>
+
+namespace cp::proof {
+
+TrimmedProof trimProof(const ProofLog& log) {
+  if (!log.hasRoot()) {
+    throw std::invalid_argument("trimProof: log has no empty-clause root");
+  }
+
+  std::vector<char> needed(log.numClauses() + 1, 0);
+  std::vector<ClauseId> stack = {log.root()};
+  needed[log.root()] = 1;
+  while (!stack.empty()) {
+    const ClauseId id = stack.back();
+    stack.pop_back();
+    for (const ClauseId parent : log.chain(id)) {
+      if (!needed[parent]) {
+        needed[parent] = 1;
+        stack.push_back(parent);
+      }
+    }
+  }
+
+  TrimmedProof out;
+  out.oldToNew.assign(log.numClauses() + 1, kNoClause);
+  std::vector<ClauseId> remappedChain;
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (!needed[id]) continue;
+    if (log.isAxiom(id)) {
+      out.oldToNew[id] = out.log.addAxiom(log.lits(id));
+    } else {
+      remappedChain.clear();
+      for (const ClauseId parent : log.chain(id)) {
+        remappedChain.push_back(out.oldToNew[parent]);
+      }
+      out.oldToNew[id] = out.log.addDerived(log.lits(id), remappedChain);
+    }
+  }
+  out.log.setRoot(out.oldToNew[log.root()]);
+
+  out.stats.clausesBefore = log.numClauses();
+  out.stats.clausesAfter = out.log.numClauses();
+  out.stats.resolutionsBefore = log.numResolutions();
+  out.stats.resolutionsAfter = out.log.numResolutions();
+  return out;
+}
+
+}  // namespace cp::proof

@@ -1,0 +1,43 @@
+// Backward proof trimming.
+//
+// A CDCL run records every learned clause, but the final refutation
+// typically depends on a small fraction of them. Trimming walks the chain
+// graph backward from the empty-clause root and produces a compact copy of
+// the log containing only the clauses the root depends on (axioms
+// included), with ids renumbered densely. R-Fig2 quantifies the effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+struct TrimStats {
+  std::uint64_t clausesBefore = 0;
+  std::uint64_t clausesAfter = 0;
+  std::uint64_t resolutionsBefore = 0;
+  std::uint64_t resolutionsAfter = 0;
+
+  double keptClauseFraction() const {
+    return clausesBefore ? double(clausesAfter) / double(clausesBefore) : 1.0;
+  }
+  double keptResolutionFraction() const {
+    return resolutionsBefore
+               ? double(resolutionsAfter) / double(resolutionsBefore)
+               : 1.0;
+  }
+};
+
+struct TrimmedProof {
+  ProofLog log;
+  /// oldToNew[id] is the new id of old clause `id`, or kNoClause if dropped.
+  std::vector<ClauseId> oldToNew;
+  TrimStats stats;
+};
+
+/// Copies the sub-proof rooted at log.root(). Throws if the log has no root.
+TrimmedProof trimProof(const ProofLog& log);
+
+}  // namespace cp::proof

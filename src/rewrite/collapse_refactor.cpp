@@ -1,0 +1,181 @@
+#include "src/rewrite/collapse_refactor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cp::rewrite {
+
+using aig::Aig;
+using aig::Edge;
+using bdd::Cover;
+using bdd::Cube;
+
+namespace {
+
+/// Literal key for occurrence counting: 2v for positive, 2v+1 negative.
+std::uint32_t bestLiteral(const Cover& cover, std::uint32_t numVars,
+                          std::uint32_t& bestCount) {
+  std::vector<std::uint32_t> count(2 * numVars, 0);
+  for (const Cube& cube : cover) {
+    for (std::uint32_t v = 0; v < numVars; ++v) {
+      if (cube.posMask & (1ULL << v)) ++count[2 * v];
+      if (cube.negMask & (1ULL << v)) ++count[2 * v + 1];
+    }
+  }
+  std::uint32_t best = 0;
+  bestCount = 0;
+  for (std::uint32_t k = 0; k < count.size(); ++k) {
+    if (count[k] > bestCount) {
+      bestCount = count[k];
+      best = k;
+    }
+  }
+  return best;
+}
+
+Edge cubeToAig(Aig& g, const Cube& cube, const std::vector<Edge>& inputs) {
+  // Balanced AND tree over the cube's literals.
+  std::vector<Edge> lits;
+  for (std::uint32_t v = 0; v < inputs.size(); ++v) {
+    if (cube.posMask & (1ULL << v)) lits.push_back(inputs[v]);
+    if (cube.negMask & (1ULL << v)) lits.push_back(!inputs[v]);
+  }
+  if (lits.empty()) return aig::kTrue;
+  while (lits.size() > 1) {
+    std::vector<Edge> next;
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      next.push_back(g.addAnd(lits[i], lits[i + 1]));
+    }
+    if (lits.size() % 2) next.push_back(lits.back());
+    lits.swap(next);
+  }
+  return lits.front();
+}
+
+Edge orBalanced(Aig& g, std::vector<Edge> terms) {
+  if (terms.empty()) return aig::kFalse;
+  while (terms.size() > 1) {
+    std::vector<Edge> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(g.addOr(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms.swap(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+Edge buildFactored(Aig& g, const Cover& cover,
+                   const std::vector<Edge>& inputs) {
+  if (cover.empty()) return aig::kFalse;
+  for (const Cube& cube : cover) {
+    if (cube.posMask == 0 && cube.negMask == 0) return aig::kTrue;
+  }
+
+  std::uint32_t occurrences = 0;
+  const std::uint32_t lit = bestLiteral(
+      cover, static_cast<std::uint32_t>(inputs.size()), occurrences);
+  if (occurrences <= 1) {
+    // No common factor: flat OR of cube ANDs.
+    std::vector<Edge> terms;
+    terms.reserve(cover.size());
+    for (const Cube& cube : cover) terms.push_back(cubeToAig(g, cube, inputs));
+    return orBalanced(g, std::move(terms));
+  }
+
+  // Divide by the most frequent literal: F = lit * Q + R.
+  const std::uint32_t v = lit / 2;
+  const bool positive = (lit % 2) == 0;
+  const std::uint64_t mask = 1ULL << v;
+  Cover quotient, remainder;
+  for (const Cube& cube : cover) {
+    const bool has = positive ? (cube.posMask & mask) : (cube.negMask & mask);
+    if (has) {
+      Cube reduced = cube;
+      (positive ? reduced.posMask : reduced.negMask) &= ~mask;
+      quotient.push_back(reduced);
+    } else {
+      remainder.push_back(cube);
+    }
+  }
+  const Edge litEdge = inputs[v] ^ !positive;
+  const Edge qEdge = g.addAnd(litEdge, buildFactored(g, quotient, inputs));
+  if (remainder.empty()) return qEdge;
+  return g.addOr(qEdge, buildFactored(g, remainder, inputs));
+}
+
+RefactorResult collapseRefactor(const aig::Aig& graph,
+                                const RefactorOptions& options) {
+  RefactorResult result;
+  Aig& out = result.graph;
+  std::vector<Edge> inputs;
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    inputs.push_back(out.addInput());
+  }
+
+  // Structural images, built lazily for outputs that are not refactored.
+  std::vector<Edge> image(graph.numNodes(), Edge());
+  image[0] = aig::kFalse;
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    image[graph.inputNode(i)] = inputs[i];
+  }
+  auto structuralCopy = [&](Edge root) {
+    for (const std::uint32_t n : graph.coneOf({root})) {
+      if (!graph.isAnd(n) || image[n].valid()) continue;
+      const Edge a = graph.fanin0(n);
+      const Edge b = graph.fanin1(n);
+      image[n] = out.addAnd(image[a.node()] ^ a.complemented(),
+                            image[b.node()] ^ b.complemented());
+    }
+    return image[root.node()] ^ root.complemented();
+  };
+
+  for (const Edge root : graph.outputs()) {
+    const auto support = graph.supportOf({root});
+    if (support.size() > options.maxSupport || support.size() > 60) {
+      out.addOutput(structuralCopy(root));
+      ++result.stats.outputsCopied;
+      continue;
+    }
+    try {
+      // Collapse the cone into a BDD over its support.
+      bdd::BddManager manager(options.bddNodeLimit);
+      std::vector<bdd::BddRef> nodeBdd(graph.numNodes(), bdd::kFalse);
+      for (std::size_t k = 0; k < support.size(); ++k) {
+        nodeBdd[support[k]] = manager.var(static_cast<std::uint32_t>(k));
+      }
+      for (const std::uint32_t n : graph.coneOf({root})) {
+        if (!graph.isAnd(n)) continue;
+        const Edge a = graph.fanin0(n);
+        const Edge b = graph.fanin1(n);
+        const bdd::BddRef fa = a.complemented()
+                                   ? manager.bddNot(nodeBdd[a.node()])
+                                   : nodeBdd[a.node()];
+        const bdd::BddRef fb = b.complemented()
+                                   ? manager.bddNot(nodeBdd[b.node()])
+                                   : nodeBdd[b.node()];
+        nodeBdd[n] = manager.bddAnd(fa, fb);
+      }
+      bdd::BddRef f = nodeBdd[root.node()];
+      if (root.complemented()) f = manager.bddNot(f);
+
+      const Cover cover = bdd::isop(manager, f);
+      result.stats.totalCubes += cover.size();
+      std::vector<Edge> supportEdges;
+      for (const std::uint32_t n : support) {
+        supportEdges.push_back(image[n]);
+      }
+      out.addOutput(buildFactored(out, cover, supportEdges));
+      ++result.stats.outputsRefactored;
+    } catch (const bdd::BddLimitExceeded&) {
+      out.addOutput(structuralCopy(root));
+      ++result.stats.outputsCopied;
+    }
+  }
+  result.graph = result.graph.compacted();
+  return result;
+}
+
+}  // namespace cp::rewrite

@@ -1,0 +1,52 @@
+// Collapse-and-refactor resynthesis (SIS-style).
+//
+// For each output whose support is small enough: collapse the cone to a
+// BDD, extract an irredundant SOP cover (Minato-Morreale), algebraically
+// factor it (quick-factor: recursive division by the most frequent
+// literal), and rebuild the factored form as AIG structure. Outputs with
+// larger supports are copied structurally. Structural hashing across the
+// rebuilt outputs recovers sharing.
+//
+// This is the complementary optimization to fraigReduce: fraiging merges
+// what is already equivalent, collapse-refactor re-derives structure from
+// the function and can escape a bad initial decomposition entirely. It
+// also makes an excellent CEC workload generator -- the result is
+// equivalent by construction but can be structurally unrecognizable.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/bdd/isop.h"
+
+namespace cp::rewrite {
+
+struct RefactorOptions {
+  /// Outputs with more support variables than this are copied unchanged.
+  std::uint32_t maxSupport = 14;
+  /// BDD node budget; exceeding it falls back to a structural copy.
+  std::uint64_t bddNodeLimit = 1u << 20;
+};
+
+struct RefactorStats {
+  std::uint32_t outputsRefactored = 0;
+  std::uint32_t outputsCopied = 0;
+  std::uint64_t totalCubes = 0;
+};
+
+struct RefactorResult {
+  aig::Aig graph;
+  RefactorStats stats;
+};
+
+/// Resynthesizes `graph` output by output. The result computes identical
+/// functions (the tests verify by certified CEC and brute force).
+RefactorResult collapseRefactor(const aig::Aig& graph,
+                                const RefactorOptions& options = {});
+
+/// Builds a factored-form AIG for a cover over `inputs[v]` edges
+/// (quick-factor heuristic). Exposed for tests.
+aig::Edge buildFactored(aig::Aig& g, const bdd::Cover& cover,
+                        const std::vector<aig::Edge>& inputs);
+
+}  // namespace cp::rewrite

@@ -1,0 +1,89 @@
+#include "src/rewrite/restructure.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cp::rewrite {
+
+using aig::Aig;
+using aig::Edge;
+
+namespace {
+
+/// Collects the conjunction leaves of `root` in the source graph,
+/// expanding through uncomplemented AND edges while the budget lasts.
+void collectLeaves(const Aig& src, Edge root, std::uint32_t maxLeaves,
+                   std::vector<Edge>& leaves) {
+  if (leaves.size() + 1 >= maxLeaves || root.complemented() ||
+      !src.isAnd(root.node())) {
+    leaves.push_back(root);
+    return;
+  }
+  collectLeaves(src, src.fanin0(root.node()), maxLeaves, leaves);
+  collectLeaves(src, src.fanin1(root.node()), maxLeaves, leaves);
+}
+
+/// ANDs the mapped leaves together with a randomized tree shape.
+Edge rebuildConjunction(Aig& dst, std::vector<Edge> operands, Rng& rng,
+                        bool balanced) {
+  // Shuffle operand order (Fisher-Yates).
+  for (std::size_t i = operands.size(); i > 1; --i) {
+    std::swap(operands[i - 1], operands[rng.below(i)]);
+  }
+  if (balanced) {
+    // Pairwise layers.
+    while (operands.size() > 1) {
+      std::vector<Edge> next;
+      for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+        next.push_back(dst.addAnd(operands[i], operands[i + 1]));
+      }
+      if (operands.size() % 2) next.push_back(operands.back());
+      operands.swap(next);
+    }
+    return operands.front();
+  }
+  // Random shape: combine two random elements until one remains.
+  while (operands.size() > 1) {
+    const std::size_t i = rng.below(operands.size());
+    std::swap(operands[i], operands.back());
+    const Edge x = operands.back();
+    operands.pop_back();
+    const std::size_t j = rng.below(operands.size());
+    operands[j] = dst.addAnd(operands[j], x);
+  }
+  return operands.front();
+}
+
+}  // namespace
+
+Aig restructure(const Aig& graph, Rng& rng,
+                const RestructureOptions& options) {
+  Aig dst;
+  std::vector<Edge> image(graph.numNodes(), Edge());
+  image[0] = aig::kFalse;
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    image[graph.inputNode(i)] = dst.addInput();
+  }
+
+  std::vector<Edge> leaves;
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    leaves.clear();
+    collectLeaves(graph, Edge::make(n, false),
+                  std::max<std::uint32_t>(2, options.maxLeaves), leaves);
+    std::vector<Edge> mapped;
+    mapped.reserve(leaves.size());
+    for (const Edge leaf : leaves) {
+      mapped.push_back(image[leaf.node()] ^ leaf.complemented());
+    }
+    const bool balanced = rng.chance(options.balancePercent, 100);
+    image[n] = rebuildConjunction(dst, std::move(mapped), rng, balanced);
+  }
+
+  for (const Edge out : graph.outputs()) {
+    dst.addOutput(image[out.node()] ^ out.complemented());
+  }
+  return dst.compacted();
+}
+
+}  // namespace cp::rewrite

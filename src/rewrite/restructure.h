@@ -1,0 +1,35 @@
+// Functionality-preserving AIG restructuring.
+//
+// Used to manufacture CEC workloads: given any circuit, produce a copy that
+// computes the same outputs through different structure. The transformer
+// decomposes each AND node into its multi-input conjunction (following
+// uncomplemented AND edges), then rebuilds the conjunction with a shuffled
+// operand order and a randomized tree shape. Complemented edges act as
+// decomposition barriers, so every rebuilt node is function-identical to
+// its original -- the miter of input and output is equivalent by
+// construction, which the test suite verifies exhaustively on small
+// circuits and by certified CEC on large ones.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aig/aig.h"
+#include "src/base/rng.h"
+
+namespace cp::rewrite {
+
+struct RestructureOptions {
+  /// Maximum conjunction leaves gathered per node. Larger values detach
+  /// the result further from the original structure (and can duplicate
+  /// logic across fanouts).
+  std::uint32_t maxLeaves = 8;
+  /// Percent probability of rebuilding a conjunction as a balanced tree
+  /// (otherwise a random tree shape is drawn).
+  std::uint32_t balancePercent = 50;
+};
+
+/// Returns a new AIG with identical input/output behaviour.
+aig::Aig restructure(const aig::Aig& graph, Rng& rng,
+                     const RestructureOptions& options = {});
+
+}  // namespace cp::rewrite

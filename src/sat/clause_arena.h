@@ -1,0 +1,118 @@
+// Region-based clause storage (MiniSat-style arena).
+//
+// Clauses live in one contiguous uint32 buffer and are referenced by CRef
+// offsets, which keeps the watch lists cache-friendly and makes garbage
+// collection a linear relocation pass. Layout per clause, in 32-bit words:
+//
+//   [0] header: size << 2 | learnt << 1 | relocated
+//   [1] proof id (cp::proof clause id of this clause; 0 when not logging)
+//   [2] activity (float bits; meaningful for learnt clauses)
+//   [3...] literals
+//
+// When a clause is relocated during GC, its header gains the `relocated`
+// bit and word [1] is reused as the forwarding CRef.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/sat/types.h"
+
+namespace cp::sat {
+
+using CRef = std::uint32_t;
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+class ClauseArena;
+
+/// A non-owning view of a clause inside an arena.
+class Clause {
+ public:
+  std::uint32_t size() const { return words_[0] >> 2; }
+  bool learnt() const { return (words_[0] & 2u) != 0; }
+  bool relocated() const { return (words_[0] & 1u) != 0; }
+
+  std::uint32_t proofId() const { return words_[1]; }
+  void setProofId(std::uint32_t id) { words_[1] = id; }
+
+  float activity() const {
+    float a;
+    std::memcpy(&a, &words_[2], sizeof a);
+    return a;
+  }
+  void setActivity(float a) { std::memcpy(&words_[2], &a, sizeof a); }
+
+  Lit operator[](std::uint32_t i) const {
+    return Lit::fromIndex(words_[3 + i]);
+  }
+  void setLit(std::uint32_t i, Lit l) { words_[3 + i] = l.index(); }
+
+  std::span<const Lit> lits() const {
+    return {reinterpret_cast<const Lit*>(words_ + 3), size()};
+  }
+
+ private:
+  friend class ClauseArena;
+  explicit Clause(std::uint32_t* words) : words_(words) {}
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+  std::uint32_t* words_;
+};
+
+class ClauseArena {
+ public:
+  CRef alloc(std::span<const Lit> lits, bool learnt, std::uint32_t proofId) {
+    const CRef ref = static_cast<CRef>(memory_.size());
+    memory_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                      (learnt ? 2u : 0u));
+    memory_.push_back(proofId);
+    memory_.push_back(0);  // activity = 0.0f
+    for (const Lit l : lits) memory_.push_back(l.index());
+    return ref;
+  }
+
+  Clause get(CRef ref) {
+    assert(ref < memory_.size());
+    return Clause(memory_.data() + ref);
+  }
+  const Clause get(CRef ref) const {
+    return Clause(const_cast<std::uint32_t*>(memory_.data() + ref));
+  }
+
+  /// Marks a clause as logically freed (space reclaimed at next GC).
+  void free(CRef ref) {
+    wasted_ += Clause::kHeaderWords + get(ref).size();
+  }
+
+  std::uint64_t wastedWords() const { return wasted_; }
+  std::uint64_t usedWords() const { return memory_.size(); }
+
+  /// Moves the clause at `ref` into `target` (unless already moved) and
+  /// returns the new CRef, installing a forwarding pointer for subsequent
+  /// calls. The caller drives relocation from all live roots.
+  CRef relocate(CRef ref, ClauseArena& target) {
+    Clause c = get(ref);
+    if (c.relocated()) return c.words_[1];
+    const CRef moved = target.alloc(c.lits(), c.learnt(), c.proofId());
+    target.get(moved).setActivity(c.activity());
+    c.words_[0] |= 1u;   // relocated
+    c.words_[1] = moved;  // forwarding pointer
+    return moved;
+  }
+
+  void swap(ClauseArena& other) {
+    memory_.swap(other.memory_);
+    std::swap(wasted_, other.wasted_);
+  }
+
+  void reserve(std::size_t words) { memory_.reserve(words); }
+
+ private:
+  std::vector<std::uint32_t> memory_;
+  std::uint64_t wasted_ = 0;
+};
+
+}  // namespace cp::sat

@@ -1,0 +1,99 @@
+// Indexed binary max-heap over variable activities, used for VSIDS
+// branching order. Supports O(log n) insert / extract-max and O(log n)
+// priority increase for an element already in the heap, with O(1)
+// membership queries via a position map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sat/types.h"
+
+namespace cp::sat {
+
+class VarOrderHeap {
+ public:
+  /// `activity` must outlive the heap and be indexable by every inserted var.
+  explicit VarOrderHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(Var v) const {
+    return v < position_.size() && position_[v] != kAbsent;
+  }
+
+  void insert(Var v) {
+    if (contains(v)) return;
+    if (v >= position_.size()) position_.resize(v + 1, kAbsent);
+    position_[v] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(v);
+    siftUp(position_[v]);
+  }
+
+  Var extractMax() {
+    const Var top = heap_[0];
+    position_[top] = kAbsent;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      position_[last] = 0;
+      siftDown(0);
+    }
+    return top;
+  }
+
+  /// Restores heap order after activity_[v] increased.
+  void increased(Var v) {
+    if (contains(v)) siftUp(position_[v]);
+  }
+
+  /// Rebuilds the heap after a global rescale (relative order unchanged,
+  /// so this is a no-op structurally; kept for API clarity).
+  void rebuild() {
+    for (std::size_t i = heap_.size(); i-- > 0;) siftDown(i);
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+  bool higher(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  void siftUp(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!higher(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      position_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    position_[v] = static_cast<std::uint32_t>(i);
+  }
+
+  void siftDown(std::size_t i) {
+    const Var v = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= heap_.size()) break;
+      if (child + 1 < heap_.size() && higher(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!higher(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      position_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    position_[v] = static_cast<std::uint32_t>(i);
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> position_;  // var -> heap slot or kAbsent
+};
+
+}  // namespace cp::sat

@@ -1,0 +1,741 @@
+#include "src/sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cp::sat {
+
+namespace {
+
+/// Finite subsequences of the Luby sequence, used for restart scheduling.
+double luby(double y, int x) {
+  int size = 1;
+  int seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+}  // namespace
+
+Solver::Solver(proof::ProofLog* log, const SolverOptions& options)
+    : options_(options),
+      proof_(log),
+      order_(activity_),
+      rngState_(options.randomSeed | 1) {}
+
+Var Solver::newVar() {
+  const Var v = numVars();
+  assigns_.push_back(LBool::kUndef);
+  decision_.push_back(0);
+  polarity_.push_back(1);  // branch false first, like MiniSat
+  level_.push_back(0);
+  reason_.push_back(kCRefUndef);
+  trailPos_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  zeroSeen_.push_back(0);
+  unitProofId_.push_back(proof::kNoClause);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void Solver::setDecisionVar(Var v) {
+  if (decision_[v]) return;
+  decision_[v] = 1;
+  insertVarOrder(v);
+}
+
+// --------------------------------------------------------------------------
+// Clause management
+
+void Solver::attachClause(CRef cref) {
+  const Clause c = arena_.get(cref);
+  assert(c.size() >= 2);
+  watches_[(~c[0]).index()].push_back({cref, c[1]});
+  watches_[(~c[1]).index()].push_back({cref, c[0]});
+}
+
+void Solver::detachClause(CRef cref) {
+  const Clause c = arena_.get(cref);
+  for (const Lit w : {c[0], c[1]}) {
+    auto& list = watches_[(~w).index()];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].cref == cref) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::locked(CRef cref) const {
+  const Clause c = arena_.get(cref);
+  return value(c[0]) == LBool::kTrue && reason(c[0].var()) == cref;
+}
+
+void Solver::removeClause(CRef cref) {
+  Clause c = arena_.get(cref);
+  detachClause(cref);
+  if (locked(cref)) reason_[c[0].var()] = kCRefUndef;
+  if (proof_ && c.proofId() != proof::kNoClause) {
+    proof_->markDeleted(c.proofId());
+  }
+  arena_.free(cref);
+}
+
+bool Solver::addClause(std::span<const Lit> lits) {
+  return addClauseWithProof(lits, proof::kNoClause);
+}
+
+bool Solver::addClauseWithProof(std::span<const Lit> lits,
+                                proof::ClauseId givenId) {
+  assert(decisionLevel() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, deduplicate, detect tautology.
+  std::vector<Lit> sorted(lits.begin(), lits.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == ~sorted[i - 1]) return true;  // tautology: ignore
+  }
+
+  proof::ClauseId id = givenId;
+  if (proof_ && id == proof::kNoClause) id = proof_->addAxiom(sorted);
+
+  // Root-level simplification, justified by unit resolutions when logging.
+  std::vector<Lit> simplified;
+  chain_.clear();
+  if (proof_) chain_.push_back(id);
+  bool removedAny = false;
+  for (const Lit l : sorted) {
+    const LBool v = value(l);
+    if (v == LBool::kTrue) return true;  // already satisfied at level 0
+    if (v == LBool::kFalse) {
+      removedAny = true;
+      if (proof_) chain_.push_back(unitProofId_[l.var()]);
+    } else {
+      simplified.push_back(l);
+    }
+  }
+  if (proof_ && removedAny) id = proof_->addDerived(simplified, chain_);
+
+  if (simplified.empty()) {
+    ok_ = false;
+    if (proof_) {
+      emptyClauseId_ = id;
+      proof_->setRoot(id);
+    }
+    return false;
+  }
+  if (simplified.size() == 1) {
+    if (proof_) unitProofId_[simplified[0].var()] = id;
+    uncheckedEnqueue(simplified[0], kCRefUndef);
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      recordLevelZeroConflict(confl);
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  for (const Lit l : simplified) setDecisionVar(l.var());
+  const CRef cref = arena_.alloc(simplified, /*learnt=*/false, id);
+  clauses_.push_back(cref);
+  attachClause(cref);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Assignment and propagation
+
+void Solver::uncheckedEnqueue(Lit p, CRef from) {
+  assert(value(p) == LBool::kUndef);
+  if (proof_ && decisionLevel() == 0) {
+    if (from != kCRefUndef) {
+      deriveLevelZeroUnit(p, from);
+    } else {
+      // Unit axioms and learned units pre-register their proof id.
+      assert(unitProofId_[p.var()] != proof::kNoClause);
+    }
+  }
+  const Var v = p.var();
+  assigns_[v] = toLBool(!p.negated());
+  level_[v] = decisionLevel();
+  reason_[v] = from;
+  trailPos_[v] = static_cast<std::uint32_t>(trail_.size());
+  trail_.push_back(p);
+}
+
+void Solver::deriveLevelZeroUnit(Lit p, CRef from) {
+  const Clause c = arena_.get(from);
+  chain_.clear();
+  chain_.push_back(c.proofId());
+  for (const Lit q : c.lits()) {
+    if (q == p) continue;
+    assert(value(q) == LBool::kFalse && level(q.var()) == 0);
+    assert(unitProofId_[q.var()] != proof::kNoClause);
+    chain_.push_back(unitProofId_[q.var()]);
+  }
+  const Lit unit[1] = {p};
+  unitProofId_[p.var()] = proof_->addDerived(unit, chain_);
+}
+
+CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      // Fast path: the blocker literal is already true.
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+
+      const CRef cref = w.cref;
+      Clause c = arena_.get(cref);
+      // Ensure the false literal ~p sits at position 1.
+      const Lit falseLit = ~p;
+      if (c[0] == falseLit) {
+        c.setLit(0, c[1]);
+        c.setLit(1, falseLit);
+      }
+      assert(c[1] == falseLit);
+      ++i;
+
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = {cref, first};
+        continue;
+      }
+
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::kFalse) {
+          c.setLit(1, c[k]);
+          c.setLit(k, falseLit);
+          watches_[(~c[1]).index()].push_back({cref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting.
+      ws[j++] = {cref, first};
+      if (value(first) == LBool::kFalse) {
+        confl = cref;
+        qhead_ = static_cast<std::uint32_t>(trail_.size());
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(first, cref);
+      }
+    }
+    ws.resize(j);
+  }
+  return confl;
+}
+
+void Solver::cancelUntil(std::uint32_t target) {
+  if (decisionLevel() <= target) return;
+  for (std::size_t c = trail_.size(); c-- > trailLim_[target];) {
+    const Var v = trail_[c].var();
+    assigns_[v] = LBool::kUndef;
+    if (options_.phaseSaving) polarity_[v] = trail_[c].negated() ? 1 : 0;
+    insertVarOrder(v);
+  }
+  qhead_ = trailLim_[target];
+  trail_.resize(trailLim_[target]);
+  trailLim_.resize(target);
+}
+
+// --------------------------------------------------------------------------
+// Branching
+
+void Solver::insertVarOrder(Var v) {
+  if (decision_[v]) order_.insert(v);
+}
+
+void Solver::varBumpActivity(Var v) {
+  activity_[v] += varInc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    varInc_ *= 1e-100;
+  }
+  order_.increased(v);
+}
+
+void Solver::claBumpActivity(Clause c) {
+  c.setActivity(c.activity() + static_cast<float>(claInc_));
+  if (c.activity() > 1e20f) {
+    for (const CRef cref : learnts_) {
+      Clause lc = arena_.get(cref);
+      lc.setActivity(lc.activity() * 1e-20f);
+    }
+    claInc_ *= 1e-20;
+  }
+}
+
+Lit Solver::pickBranchLit() {
+  // Occasional random decisions diversify the search (off by default).
+  if (options_.randomFreq > 0.0) {
+    rngState_ = rngState_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double r = double(rngState_ >> 11) / double(1ULL << 53);
+    if (r < options_.randomFreq && numVars() > 0) {
+      const Var v = static_cast<Var>((rngState_ >> 32) % numVars());
+      if (decision_[v] && value(v) == LBool::kUndef) {
+        return Lit::make(v, polarity_[v] != 0);
+      }
+    }
+  }
+  for (;;) {
+    if (order_.empty()) return kUndefLit;
+    const Var v = order_.extractMax();
+    if (value(v) == LBool::kUndef) return Lit::make(v, polarity_[v] != 0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Conflict analysis
+
+void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
+                     std::uint32_t& outBtLevel) {
+  int pathC = 0;
+  Lit p = kUndefLit;
+  outLearnt.clear();
+  outLearnt.push_back(kUndefLit);  // slot for the asserting (UIP) literal
+  std::size_t index = trail_.size() - 1;
+  chain_.clear();
+  assert(zeroVars_.empty());
+
+  do {
+    assert(confl != kCRefUndef);
+    Clause c = arena_.get(confl);
+    if (c.learnt()) claBumpActivity(c);
+    if (proof_) chain_.push_back(c.proofId());
+
+    for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < c.size(); ++j) {
+      const Lit q = c[j];
+      if (seen_[q.var()]) continue;
+      if (level(q.var()) > 0) {
+        varBumpActivity(q.var());
+        seen_[q.var()] = 1;
+        if (level(q.var()) >= decisionLevel()) {
+          ++pathC;
+        } else {
+          outLearnt.push_back(q);
+        }
+      } else if (proof_ && !zeroSeen_[q.var()]) {
+        // Root-level literals are dropped from the learnt clause; the unit
+        // clauses cancelling them are appended to the chain at the end.
+        zeroSeen_[q.var()] = 1;
+        zeroVars_.push_back(q.var());
+      }
+    }
+
+    while (!seen_[trail_[index--].var()]) {}
+    p = trail_[index + 1];
+    confl = reason(p.var());
+    seen_[p.var()] = 0;
+    --pathC;
+  } while (pathC > 0);
+  outLearnt[0] = ~p;
+
+  // Conflict-clause minimization (recursive / "deep" mode).
+  analyzeToClear_.assign(outLearnt.begin(), outLearnt.end());
+  std::uint32_t abstractLevels = 0;
+  for (std::size_t i = 1; i < outLearnt.size(); ++i) {
+    abstractLevels |= abstractLevel(outLearnt[i].var());
+  }
+  std::size_t i = 1;
+  std::size_t j = 1;
+  for (i = 1; i < outLearnt.size(); ++i) {
+    const Var v = outLearnt[i].var();
+    if (reason(v) == kCRefUndef || !litRedundant(outLearnt[i], abstractLevels)) {
+      outLearnt[j++] = outLearnt[i];
+    }
+  }
+  stats_.minimizedLiterals += i - j;
+  outLearnt.resize(j);
+
+  if (proof_) {
+    // Justify minimization: resolve out every removed literal (clause
+    // literals and auxiliary redundant literals marked by litRedundant)
+    // with its reason, in decreasing trail order so each step has exactly
+    // one pivot.
+    for (const Lit l : outLearnt) seen_[l.var()] |= 2;  // tag final lits
+    std::vector<Var> removed;
+    for (const Lit l : analyzeToClear_) {
+      if (seen_[l.var()] == 1) removed.push_back(l.var());
+    }
+    for (const Lit l : outLearnt) seen_[l.var()] &= 1;
+    std::sort(removed.begin(), removed.end(), [this](Var a, Var b) {
+      return trailPos_[a] > trailPos_[b];
+    });
+    for (const Var v : removed) {
+      assert(reason(v) != kCRefUndef);
+      chain_.push_back(arena_.get(reason(v)).proofId());
+    }
+    for (const Var v : zeroVars_) {
+      chain_.push_back(unitProofId_[v]);
+      zeroSeen_[v] = 0;
+    }
+    zeroVars_.clear();
+  }
+
+  // Find the backtrack level and place its literal at position 1.
+  if (outLearnt.size() == 1) {
+    outBtLevel = 0;
+  } else {
+    std::size_t maxIdx = 1;
+    for (std::size_t k = 2; k < outLearnt.size(); ++k) {
+      if (level(outLearnt[k].var()) > level(outLearnt[maxIdx].var())) {
+        maxIdx = k;
+      }
+    }
+    std::swap(outLearnt[1], outLearnt[maxIdx]);
+    outBtLevel = level(outLearnt[1].var());
+  }
+
+  for (const Lit l : analyzeToClear_) seen_[l.var()] = 0;
+}
+
+bool Solver::litRedundant(Lit p, std::uint32_t abstractLevels) {
+  analyzeStack_.clear();
+  analyzeStack_.push_back(p);
+  const std::size_t top = analyzeToClear_.size();
+  const std::size_t zeroTop = zeroVarsPending_.size();
+  while (!analyzeStack_.empty()) {
+    const Lit current = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    assert(reason(current.var()) != kCRefUndef);
+    const Clause c = arena_.get(reason(current.var()));
+    for (std::uint32_t i = 1; i < c.size(); ++i) {
+      const Lit q = c[i];
+      if (seen_[q.var()]) continue;
+      if (level(q.var()) == 0) {
+        if (proof_) zeroVarsPending_.push_back(q.var());
+        continue;
+      }
+      if (reason(q.var()) != kCRefUndef &&
+          (abstractLevel(q.var()) & abstractLevels) != 0) {
+        seen_[q.var()] = 1;
+        analyzeStack_.push_back(q);
+        analyzeToClear_.push_back(q);
+      } else {
+        // Not removable: undo the markings added by this attempt.
+        for (std::size_t k = top; k < analyzeToClear_.size(); ++k) {
+          seen_[analyzeToClear_[k].var()] = 0;
+        }
+        analyzeToClear_.resize(top);
+        zeroVarsPending_.resize(zeroTop);
+        return false;
+      }
+    }
+  }
+  // Success: commit the root-level literals discovered along the way.
+  if (proof_) {
+    for (std::size_t k = zeroTop; k < zeroVarsPending_.size(); ++k) {
+      const Var v = zeroVarsPending_[k];
+      if (!zeroSeen_[v]) {
+        zeroSeen_[v] = 1;
+        zeroVars_.push_back(v);
+      }
+    }
+    zeroVarsPending_.resize(zeroTop);
+  }
+  return true;
+}
+
+void Solver::analyzeFinal(Lit p) {
+  // `p` is true on the trail and entails the conflict with the remaining
+  // assumptions: derive a clause {p} ∪ {negations of assumption decisions}.
+  finalConflict_.clear();
+  finalConflict_.push_back(p);
+  finalConflictId_ = proof::kNoClause;
+
+  if (level(p.var()) == 0) {
+    if (proof_) finalConflictId_ = unitProofId_[p.var()];
+    return;
+  }
+
+  chain_.clear();
+  assert(zeroVars_.empty());
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i-- > trailLim_[0];) {
+    const Var x = trail_[i].var();
+    if (!seen_[x]) continue;
+    seen_[x] = 0;
+    if (reason(x) == kCRefUndef) {
+      assert(level(x) > 0);
+      // An assumption decision; it stays in the conflict clause. The
+      // queried literal itself cannot be expanded if it was a decision
+      // (complementary assumptions) -- it is already in the clause.
+      if (x != p.var()) finalConflict_.push_back(~trail_[i]);
+    } else {
+      const Clause c = arena_.get(reason(x));
+      if (proof_) chain_.push_back(c.proofId());
+      for (std::uint32_t j = 1; j < c.size(); ++j) {
+        const Lit q = c[j];
+        if (level(q.var()) > 0) {
+          seen_[q.var()] = 1;
+        } else if (proof_ && !zeroSeen_[q.var()]) {
+          zeroSeen_[q.var()] = 1;
+          zeroVars_.push_back(q.var());
+        }
+      }
+    }
+  }
+  seen_[p.var()] = 0;
+
+  if (proof_) {
+    for (const Var v : zeroVars_) {
+      chain_.push_back(unitProofId_[v]);
+      zeroSeen_[v] = 0;
+    }
+    zeroVars_.clear();
+    // chain_ can only be empty for complementary assumptions, where the
+    // "conflict clause" is tautological and carries no proof content.
+    if (!chain_.empty()) {
+      finalConflictId_ = proof_->addDerived(finalConflict_, chain_);
+    }
+  }
+}
+
+void Solver::recordLevelZeroConflict(CRef confl) {
+  if (!proof_ || emptyClauseId_ != proof::kNoClause) return;
+  const Clause c = arena_.get(confl);
+  chain_.clear();
+  chain_.push_back(c.proofId());
+  for (const Lit q : c.lits()) {
+    assert(level(q.var()) == 0 && value(q) == LBool::kFalse);
+    chain_.push_back(unitProofId_[q.var()]);
+  }
+  emptyClauseId_ = proof_->addDerived({}, chain_);
+  proof_->setRoot(emptyClauseId_);
+}
+
+// --------------------------------------------------------------------------
+// Learnt database maintenance
+
+void Solver::reduceDB() {
+  ++stats_.dbReductions;
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    const Clause ca = arena_.get(a);
+    const Clause cb = arena_.get(b);
+    if ((ca.size() > 2) != (cb.size() > 2)) return ca.size() > 2;
+    return ca.activity() < cb.activity();
+  });
+  const double extraLim = claInc_ / std::max<std::size_t>(learnts_.size(), 1);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const CRef cref = learnts_[i];
+    const Clause c = arena_.get(cref);
+    if (c.size() > 2 && !locked(cref) &&
+        (i < learnts_.size() / 2 || c.activity() < extraLim)) {
+      removeClause(cref);
+    } else {
+      learnts_[j++] = cref;
+    }
+  }
+  learnts_.resize(j);
+  garbageCollectIfNeeded();
+}
+
+void Solver::removeSatisfiedLearnts() {
+  assert(decisionLevel() == 0);
+  if (static_cast<std::int64_t>(trail_.size()) == simpDBAssigns_) return;
+  simpDBAssigns_ = static_cast<std::int64_t>(trail_.size());
+  std::size_t j = 0;
+  for (const CRef cref : learnts_) {
+    const Clause c = arena_.get(cref);
+    bool satisfied = false;
+    for (const Lit l : c.lits()) {
+      if (value(l) == LBool::kTrue && level(l.var()) == 0) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied && !locked(cref)) {
+      removeClause(cref);
+    } else {
+      learnts_[j++] = cref;
+    }
+  }
+  learnts_.resize(j);
+  garbageCollectIfNeeded();
+}
+
+void Solver::garbageCollectIfNeeded() {
+  if (arena_.wastedWords() * 5 < arena_.usedWords()) return;
+  ClauseArena fresh;
+  fresh.reserve(arena_.usedWords() - arena_.wastedWords());
+  relocAll(fresh);
+  arena_.swap(fresh);
+}
+
+void Solver::relocAll(ClauseArena& to) {
+  for (auto& list : watches_) {
+    for (auto& w : list) w.cref = arena_.relocate(w.cref, to);
+  }
+  for (const Lit l : trail_) {
+    const Var v = l.var();
+    if (reason_[v] != kCRefUndef) {
+      reason_[v] = arena_.relocate(reason_[v], to);
+    }
+  }
+  for (auto& cref : clauses_) cref = arena_.relocate(cref, to);
+  for (auto& cref : learnts_) cref = arena_.relocate(cref, to);
+}
+
+// --------------------------------------------------------------------------
+// Search
+
+LBool Solver::search(std::int64_t& conflictBudget,
+                     std::uint32_t restartBudget,
+                     const std::vector<Lit>& assumptions, bool& restarted) {
+  std::uint32_t conflictsThisRestart = 0;
+  std::vector<Lit> learnt;
+  restarted = false;
+
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      ++stats_.conflicts;
+      ++conflictsThisRestart;
+      if (conflictBudget > 0) --conflictBudget;
+      if (decisionLevel() == 0) {
+        recordLevelZeroConflict(confl);
+        ok_ = false;
+        finalConflict_.clear();
+        finalConflictId_ = proof::kNoClause;
+        return LBool::kFalse;
+      }
+
+      std::uint32_t btLevel = 0;
+      analyze(confl, learnt, btLevel);
+      cancelUntil(btLevel);
+
+      proof::ClauseId pid = proof::kNoClause;
+      if (proof_) pid = proof_->addDerived(learnt, chain_);
+      ++stats_.learnedClauses;
+      stats_.learnedLiterals += learnt.size();
+
+      if (learnt.size() == 1) {
+        if (proof_) unitProofId_[learnt[0].var()] = pid;
+        uncheckedEnqueue(learnt[0], kCRefUndef);
+      } else {
+        const CRef cref = arena_.alloc(learnt, /*learnt=*/true, pid);
+        learnts_.push_back(cref);
+        attachClause(cref);
+        claBumpActivity(arena_.get(cref));
+        uncheckedEnqueue(learnt[0], cref);
+      }
+
+      varDecayActivity();
+      claDecayActivity();
+
+      if (--learntAdjustCnt_ <= 0) {
+        learntAdjustConfl_ *= 1.5;
+        learntAdjustCnt_ = learntAdjustConfl_;
+        maxLearnts_ *= options_.learntSizeInc;
+      }
+    } else {
+      if (conflictBudget == 0 || conflictsThisRestart >= restartBudget) {
+        restarted = conflictsThisRestart >= restartBudget;
+        cancelUntil(0);
+        return LBool::kUndef;
+      }
+      if (decisionLevel() == 0) removeSatisfiedLearnts();
+      if (static_cast<double>(learnts_.size()) - (trail_.size()) >=
+          maxLearnts_) {
+        reduceDB();
+      }
+
+      Lit next = kUndefLit;
+      while (decisionLevel() < assumptions.size()) {
+        const Lit p = assumptions[decisionLevel()];
+        if (value(p) == LBool::kTrue) {
+          trailLim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+        } else if (value(p) == LBool::kFalse) {
+          analyzeFinal(~p);
+          return LBool::kFalse;
+        } else {
+          next = p;
+          break;
+        }
+      }
+
+      if (next == kUndefLit) {
+        ++stats_.decisions;
+        next = pickBranchLit();
+        if (next == kUndefLit) {
+          model_.assign(assigns_.begin(), assigns_.end());
+          return LBool::kTrue;
+        }
+      }
+      trailLim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      uncheckedEnqueue(next, kCRefUndef);
+    }
+  }
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  return solveLimited(assumptions, -1);
+}
+
+LBool Solver::solveLimited(std::span<const Lit> assumptions,
+                           std::int64_t conflictBudget) {
+  model_.clear();
+  finalConflict_.clear();
+  finalConflictId_ = proof::kNoClause;
+  if (!ok_) return LBool::kFalse;
+
+  const std::vector<Lit> assump(assumptions.begin(), assumptions.end());
+  maxLearnts_ =
+      std::max(100.0, clauses_.size() * options_.learntSizeFactor);
+  learntAdjustConfl_ = 100;
+  learntAdjustCnt_ = 100;
+
+  std::int64_t budget = conflictBudget < 0 ? -1 : conflictBudget;
+  LBool status = LBool::kUndef;
+  int restarts = 0;
+  while (status == LBool::kUndef) {
+    const double rest = luby(options_.restartInc, restarts++);
+    const std::uint32_t restartBudget =
+        static_cast<std::uint32_t>(rest * options_.restartFirst);
+    bool restarted = false;
+    status = search(budget, restartBudget, assump, restarted);
+    if (status == LBool::kUndef && !restarted) break;  // budget exhausted
+    if (status == LBool::kUndef) ++stats_.restarts;
+  }
+  cancelUntil(0);
+  return status;
+}
+
+LBool Solver::modelValue(Lit l) const {
+  if (l.var() >= model_.size()) return LBool::kUndef;
+  const LBool b = model_[l.var()];
+  return b == LBool::kUndef ? b : (l.negated() ? negate(b) : b);
+}
+
+}  // namespace cp::sat

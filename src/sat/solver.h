@@ -1,0 +1,246 @@
+// CDCL SAT solver with resolution proof logging.
+//
+// Architecture follows MiniSat 2.2: two-watched-literal propagation, VSIDS
+// branching with phase saving, first-UIP conflict analysis with recursive
+// clause minimization, Luby restarts, activity-based learnt-clause database
+// reduction, and an assumptions interface for incremental solving.
+//
+// The addition over MiniSat -- and the reason this solver exists in this
+// repository -- is *resolution proof logging* in the style the DAC'07 paper
+// relies on. When constructed with a proof::ProofLog, the solver records:
+//
+//   * every input clause as an axiom (or accepts a pre-registered id from
+//     the caller, which is how the CEC proof composer feeds it clauses that
+//     are themselves derived);
+//   * for every learnt clause, the trivial-resolution chain that derives
+//     it: conflict clause, then the reasons resolved during first-UIP
+//     analysis in resolution order, then the reasons that justify
+//     minimization removals (in decreasing trail-position order), then the
+//     level-zero unit clauses that cancel dropped root-level literals;
+//   * a derived unit clause for every literal fixed at decision level zero,
+//     so root-level simplifications stay justified;
+//   * on UNSAT without assumptions, the chain of the empty clause (the log
+//     root);
+//   * on UNSAT under assumptions, a derived "final conflict" clause over
+//     the failed assumptions -- exactly the equivalence lemma the CEC
+//     engine needs.
+//
+// Every recorded chain resolves on exactly one pivot per step (see
+// proof/checker.h), a property the implementation maintains by appending
+// unit resolutions last and minimization reasons in decreasing trail order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+#include "src/sat/clause_arena.h"
+#include "src/sat/heap.h"
+#include "src/sat/types.h"
+
+namespace cp::sat {
+
+struct SolverOptions {
+  double varDecay = 0.95;
+  double clauseDecay = 0.999;
+  int restartFirst = 100;       ///< conflicts before the first restart
+  double restartInc = 2.0;      ///< Luby sequence unit multiplier
+  double learntSizeFactor = 1.0 / 3.0;
+  double learntSizeInc = 1.1;
+  bool phaseSaving = true;
+  std::uint32_t randomSeed = 91648253;
+  double randomFreq = 0.0;      ///< fraction of random decisions
+};
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnedClauses = 0;
+  std::uint64_t learnedLiterals = 0;
+  std::uint64_t minimizedLiterals = 0;  ///< removed by clause minimization
+  std::uint64_t dbReductions = 0;
+};
+
+class Solver {
+ public:
+  /// `log` may be null (no proof logging). The log must outlive the solver.
+  explicit Solver(proof::ProofLog* log = nullptr,
+                  const SolverOptions& options = SolverOptions());
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- problem construction ----------------------------------------------
+
+  /// New variables start as non-decision variables: the branching heuristic
+  /// ignores them until they occur in an attached clause. This keeps
+  /// incremental solving cost proportional to the loaded sub-formula even
+  /// when the variable space is pre-allocated for a whole circuit.
+  Var newVar();
+  std::uint32_t numVars() const {
+    return static_cast<std::uint32_t>(assigns_.size());
+  }
+
+  /// Manually makes a variable eligible for branching.
+  void setDecisionVar(Var v);
+
+  /// Adds a clause; registers it as a proof axiom when logging. Returns
+  /// false if the solver state became (or already was) unsatisfiable.
+  bool addClause(std::span<const Lit> lits);
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Adds a clause whose proof id is already recorded in the log by the
+  /// caller (axiom or derived). The literals must match the logged clause.
+  bool addClauseWithProof(std::span<const Lit> lits, proof::ClauseId id);
+
+  // ---- solving -------------------------------------------------------------
+
+  /// Complete search. kTrue = satisfiable (model available), kFalse =
+  /// unsatisfiable (empty clause or final conflict clause available).
+  LBool solve(std::span<const Lit> assumptions = {});
+
+  /// Search with a conflict budget; returns kUndef if the budget is
+  /// exhausted first. A negative budget means unlimited.
+  LBool solveLimited(std::span<const Lit> assumptions,
+                     std::int64_t conflictBudget);
+
+  /// False once an empty clause has been derived; the solver is then dead.
+  bool okay() const { return ok_; }
+
+  // ---- results -------------------------------------------------------------
+
+  /// Model value of a literal after solve() returned kTrue.
+  LBool modelValue(Lit l) const;
+  LBool modelValue(Var v) const { return modelValue(Lit::make(v, false)); }
+
+  /// After UNSAT under assumptions: a clause over negated failed
+  /// assumptions (possibly with the propagated literal first). Empty after
+  /// a global (assumption-free) UNSAT.
+  const std::vector<Lit>& conflictClause() const { return finalConflict_; }
+
+  /// Proof id of conflictClause(), or kNoClause when not logging or when
+  /// the conflict was tautological (complementary assumptions).
+  proof::ClauseId conflictProofId() const { return finalConflictId_; }
+
+  /// Proof id of the empty clause after a global UNSAT (also set as the
+  /// log root).
+  proof::ClauseId emptyClauseId() const { return emptyClauseId_; }
+
+  /// Proof id of the unit clause fixing `v` at level zero, if any.
+  proof::ClauseId unitProofId(Var v) const { return unitProofId_[v]; }
+
+  const SolverStats& stats() const { return stats_; }
+  bool logging() const { return proof_ != nullptr; }
+
+ private:
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // Assignment access.
+  LBool value(Lit l) const {
+    const LBool b = assigns_[l.var()];
+    return b == LBool::kUndef ? b : (l.negated() ? negate(b) : b);
+  }
+  LBool value(Var v) const { return assigns_[v]; }
+  std::uint32_t level(Var v) const { return level_[v]; }
+  CRef reason(Var v) const { return reason_[v]; }
+  std::uint32_t decisionLevel() const {
+    return static_cast<std::uint32_t>(trailLim_.size());
+  }
+
+  // Core CDCL.
+  void uncheckedEnqueue(Lit p, CRef from);
+  CRef propagate();
+  void analyze(CRef confl, std::vector<Lit>& outLearnt,
+               std::uint32_t& outBtLevel);
+  bool litRedundant(Lit p, std::uint32_t abstractLevels);
+  void analyzeFinal(Lit p);
+  void cancelUntil(std::uint32_t level);
+  Lit pickBranchLit();
+  LBool search(std::int64_t& conflictBudget, std::uint32_t restartBudget,
+               const std::vector<Lit>& assumptions, bool& restarted);
+  void reduceDB();
+  void removeSatisfiedLearnts();
+  void attachClause(CRef cref);
+  void detachClause(CRef cref);
+  void removeClause(CRef cref);
+  bool locked(CRef cref) const;
+  void garbageCollectIfNeeded();
+  void relocAll(ClauseArena& to);
+
+  // Activities.
+  void varBumpActivity(Var v);
+  void varDecayActivity() { varInc_ /= options_.varDecay; }
+  void claBumpActivity(Clause c);
+  void claDecayActivity() { claInc_ /= options_.clauseDecay; }
+  void insertVarOrder(Var v);
+
+  // Proof helpers.
+  void deriveLevelZeroUnit(Lit p, CRef from);
+  void recordLevelZeroConflict(CRef confl);
+  std::uint32_t abstractLevel(Var v) const {
+    return 1u << (level_[v] & 31);
+  }
+
+  // Configuration and logging.
+  SolverOptions options_;
+  proof::ProofLog* proof_;
+
+  // Clause database.
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
+  double maxLearnts_ = 0;
+  double learntAdjustCnt_ = 100;
+  double learntAdjustConfl_ = 100;
+
+  // Assignment trail.
+  std::vector<LBool> assigns_;
+  std::vector<std::uint8_t> decision_;   // eligible for branching
+  std::vector<std::uint8_t> polarity_;   // saved phase (1 = last was false)
+  std::vector<std::uint32_t> level_;
+  std::vector<CRef> reason_;
+  std::vector<std::uint32_t> trailPos_;  // position of var on the trail
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trailLim_;
+  std::uint32_t qhead_ = 0;
+
+  // Watches, indexed by Lit::index().
+  std::vector<std::vector<Watcher>> watches_;
+
+  // Branching.
+  std::vector<double> activity_;
+  VarOrderHeap order_;
+  double varInc_ = 1.0;
+  double claInc_ = 1.0;
+  std::uint64_t rngState_;
+
+  // Conflict analysis scratch.
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyzeToClear_;
+  std::vector<Lit> analyzeStack_;
+
+  // Proof scratch and results.
+  std::vector<proof::ClauseId> unitProofId_;
+  std::vector<std::uint8_t> zeroSeen_;
+  std::vector<Var> zeroVars_;          // committed level-0 cancellations
+  std::vector<Var> zeroVarsPending_;   // collected during litRedundant
+  std::vector<proof::ClauseId> chain_;
+  proof::ClauseId emptyClauseId_ = proof::kNoClause;
+  proof::ClauseId finalConflictId_ = proof::kNoClause;
+  std::vector<Lit> finalConflict_;
+
+  bool ok_ = true;
+  std::int64_t simpDBAssigns_ = -1;  // trail size at last learnt cleanup
+  std::vector<LBool> model_;
+  SolverStats stats_;
+};
+
+}  // namespace cp::sat

@@ -1,0 +1,22 @@
+#include "src/sat/types.h"
+
+namespace cp::sat {
+
+std::string toDimacs(Lit l) {
+  std::string s;
+  if (l.negated()) s += '-';
+  s += std::to_string(l.var() + 1);
+  return s;
+}
+
+std::string toDimacs(const std::vector<Lit>& clause) {
+  std::string s;
+  for (const Lit l : clause) {
+    s += toDimacs(l);
+    s += ' ';
+  }
+  s += '0';
+  return s;
+}
+
+}  // namespace cp::sat

@@ -1,0 +1,68 @@
+// Fundamental SAT domain types shared by the solver and the proof engine.
+//
+// Encoding conventions (MiniSat heritage):
+//   * Variables are dense indices 0, 1, 2, ...
+//   * A literal packs a variable and a sign: index = 2*var + (negated ? 1:0).
+//     The positive literal of variable v is index 2v.
+//   * LBool is the three-valued assignment domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cp::sat {
+
+using Var = std::uint32_t;
+inline constexpr Var kNoVar = 0xFFFFFFFFu;
+
+class Lit {
+ public:
+  constexpr Lit() : index_(kUndefIndex) {}
+  constexpr static Lit make(Var v, bool negated) {
+    return Lit((v << 1) | (negated ? 1u : 0u));
+  }
+  constexpr static Lit fromIndex(std::uint32_t index) { return Lit(index); }
+
+  constexpr Var var() const { return index_ >> 1; }
+  constexpr bool negated() const { return (index_ & 1u) != 0; }
+  /// Dense index usable for watch lists and marker arrays.
+  constexpr std::uint32_t index() const { return index_; }
+  constexpr bool valid() const { return index_ != kUndefIndex; }
+
+  constexpr Lit operator~() const { return Lit(index_ ^ 1u); }
+  constexpr Lit operator^(bool flip) const {
+    return Lit(index_ ^ (flip ? 1u : 0u));
+  }
+
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr bool operator<(const Lit& o) const { return index_ < o.index_; }
+
+ private:
+  constexpr explicit Lit(std::uint32_t index) : index_(index) {}
+  static constexpr std::uint32_t kUndefIndex = 0xFFFFFFFFu;
+  std::uint32_t index_;
+};
+
+inline constexpr Lit kUndefLit{};
+
+/// Three-valued logic for partial assignments.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool negate(LBool b) {
+  switch (b) {
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kTrue: return LBool::kFalse;
+    default: return LBool::kUndef;
+  }
+}
+
+/// LBool of a boolean.
+inline LBool toLBool(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+
+/// Renders a literal as in DIMACS: variable v is printed as v+1, negation
+/// as a leading minus.
+std::string toDimacs(Lit l);
+std::string toDimacs(const std::vector<Lit>& clause);
+
+}  // namespace cp::sat

@@ -1,0 +1,104 @@
+#include "src/sim/equiv_classes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace cp::sim {
+
+EquivClasses::EquivClasses(const AigSimulator& sim) {
+  const std::uint32_t n = sim.graph().numNodes();
+  classOf_.assign(n, kNoClass);
+
+  // Bucket all nodes by canonical signature hash, then split buckets by
+  // exact signature comparison to be collision-safe.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  buckets.reserve(n * 2);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    buckets[sim.canonicalHash(node)].push_back(node);
+  }
+
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (auto& [hash, bucket] : buckets) {
+    (void)hash;
+    if (bucket.size() < 2) continue;
+    // Exact-compare split within the hash bucket.
+    std::vector<std::vector<std::uint32_t>> sub;
+    for (const std::uint32_t node : bucket) {
+      bool placed = false;
+      for (auto& group : sub) {
+        if (sim.canonicalEqual(group.front(), node)) {
+          group.push_back(node);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) sub.push_back({node});
+    }
+    for (auto& group : sub) {
+      if (group.size() >= 2) groups.push_back(std::move(group));
+    }
+  }
+  rebuildFrom(sim, groups);
+}
+
+std::uint32_t EquivClasses::refine(const AigSimulator& sim) {
+  std::uint32_t splits = 0;
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (auto& cls : classes_) {
+    std::vector<std::vector<std::uint32_t>> sub;
+    for (const std::uint32_t node : cls) {
+      bool placed = false;
+      for (auto& group : sub) {
+        if (sim.canonicalEqual(group.front(), node)) {
+          group.push_back(node);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) sub.push_back({node});
+    }
+    const bool unchanged = sub.size() == 1 && sub.front().size() == cls.size();
+    if (!unchanged) ++splits;
+    for (auto& group : sub) {
+      if (group.size() >= 2) groups.push_back(std::move(group));
+    }
+  }
+  rebuildFrom(sim, groups);
+  return splits;
+}
+
+void EquivClasses::rebuildFrom(
+    const AigSimulator& sim,
+    const std::vector<std::vector<std::uint32_t>>& groups) {
+  (void)sim;
+  classOf_.assign(classOf_.size(), kNoClass);
+  classes_.clear();
+  for (const auto& group : groups) {
+    assert(group.size() >= 2);
+    const std::int32_t id = static_cast<std::int32_t>(classes_.size());
+    classes_.push_back(group);
+    std::sort(classes_.back().begin(), classes_.back().end());
+    for (const std::uint32_t node : classes_.back()) classOf_[node] = id;
+  }
+}
+
+void EquivClasses::remove(std::uint32_t node) {
+  const std::int32_t id = classOf_[node];
+  if (id == kNoClass) return;
+  auto& cls = classes_[id];
+  cls.erase(std::find(cls.begin(), cls.end(), node));
+  classOf_[node] = kNoClass;
+  if (cls.size() == 1) {
+    classOf_[cls.front()] = kNoClass;
+    cls.clear();
+  }
+}
+
+std::uint64_t EquivClasses::numCandidateNodes() const {
+  std::uint64_t total = 0;
+  for (const auto& cls : classes_) total += cls.size();
+  return total;
+}
+
+}  // namespace cp::sim

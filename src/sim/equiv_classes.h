@@ -1,0 +1,64 @@
+// Candidate equivalence classes from simulation signatures.
+//
+// A class groups nodes whose canonical (polarity-normalized) signatures
+// agree on every simulated pattern. Classes are *candidates*: simulation
+// can only refute equivalence, never prove it -- proving is the SAT
+// sweeper's job. The representative of a class is its lowest node index,
+// which in a topologically numbered AIG is the node whose image is built
+// first during sweeping.
+//
+// The constant node 0 participates like any other node, so nodes that
+// simulate to a constant land in its class and get checked against
+// constant-false/true.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace cp::sim {
+
+class EquivClasses {
+ public:
+  static constexpr std::int32_t kNoClass = -1;
+
+  /// Builds the initial partition from current simulation values.
+  explicit EquivClasses(const AigSimulator& sim);
+
+  /// Splits every class according to the (presumably refreshed) simulation
+  /// values. Nodes left alone become singletons and leave the partition.
+  /// Returns the number of classes that actually split.
+  std::uint32_t refine(const AigSimulator& sim);
+
+  std::uint32_t numClasses() const {
+    return static_cast<std::uint32_t>(classes_.size());
+  }
+  std::span<const std::uint32_t> members(std::uint32_t classId) const {
+    return classes_[classId];
+  }
+  /// Class of a node or kNoClass for singletons.
+  std::int32_t classOf(std::uint32_t node) const { return classOf_[node]; }
+  /// Lowest-index member of the node's class. Precondition: classOf >= 0.
+  std::uint32_t representative(std::uint32_t node) const {
+    return classes_[classOf_[node]].front();
+  }
+
+  /// Removes a node from its class (after it was proved or disproved
+  /// against the representative). Classes shrinking to one member
+  /// dissolve.
+  void remove(std::uint32_t node);
+
+  /// Total nodes currently in some class.
+  std::uint64_t numCandidateNodes() const;
+
+ private:
+  void rebuildFrom(const AigSimulator& sim,
+                   const std::vector<std::vector<std::uint32_t>>& groups);
+
+  std::vector<std::vector<std::uint32_t>> classes_;
+  std::vector<std::int32_t> classOf_;
+};
+
+}  // namespace cp::sim

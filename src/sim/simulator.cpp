@@ -1,0 +1,78 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cp::sim {
+
+AigSimulator::AigSimulator(const aig::Aig& graph, std::uint32_t numWords)
+    : graph_(graph), numWords_(numWords) {
+  if (numWords_ == 0) throw std::invalid_argument("numWords must be > 0");
+  words_.assign(std::size_t(graph.numNodes()) * numWords_, 0);
+}
+
+void AigSimulator::randomizeInputs(Rng& rng) {
+  for (std::uint32_t i = 0; i < graph_.numInputs(); ++i) {
+    std::uint64_t* w = mutableValues(graph_.inputNode(i));
+    for (std::uint32_t k = 0; k < numWords_; ++k) w[k] = rng.next64();
+  }
+}
+
+void AigSimulator::setInputBit(std::uint32_t inputIdx,
+                               std::uint32_t patternIdx, bool value) {
+  assert(inputIdx < graph_.numInputs() && patternIdx < numPatterns());
+  std::uint64_t& word =
+      mutableValues(graph_.inputNode(inputIdx))[patternIdx / 64];
+  const std::uint64_t mask = 1ULL << (patternIdx % 64);
+  word = value ? (word | mask) : (word & ~mask);
+}
+
+void AigSimulator::setInputPattern(std::uint32_t patternIdx,
+                                   const std::vector<bool>& inputValues) {
+  assert(inputValues.size() == graph_.numInputs());
+  for (std::uint32_t i = 0; i < graph_.numInputs(); ++i) {
+    setInputBit(i, patternIdx, inputValues[i]);
+  }
+}
+
+void AigSimulator::simulate() {
+  // Constant node stays all-zero; inputs hold user/random data; ANDs are
+  // evaluated in index (= topological) order.
+  for (std::uint32_t n = 0; n < graph_.numNodes(); ++n) {
+    if (!graph_.isAnd(n)) continue;
+    const aig::Edge a = graph_.fanin0(n);
+    const aig::Edge b = graph_.fanin1(n);
+    const std::uint64_t* wa = words_.data() + std::size_t(a.node()) * numWords_;
+    const std::uint64_t* wb = words_.data() + std::size_t(b.node()) * numWords_;
+    std::uint64_t* wo = mutableValues(n);
+    const std::uint64_t maskA = a.complemented() ? ~0ULL : 0ULL;
+    const std::uint64_t maskB = b.complemented() ? ~0ULL : 0ULL;
+    for (std::uint32_t k = 0; k < numWords_; ++k) {
+      wo[k] = (wa[k] ^ maskA) & (wb[k] ^ maskB);
+    }
+  }
+}
+
+std::uint64_t AigSimulator::canonicalHash(std::uint32_t node) const {
+  const auto v = values(node);
+  const std::uint64_t flip = (v[0] & 1) ? ~0ULL : 0ULL;
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint64_t w : v) {
+    h ^= (w ^ flip);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool AigSimulator::canonicalEqual(std::uint32_t a, std::uint32_t b) const {
+  const auto va = values(a);
+  const auto vb = values(b);
+  const std::uint64_t flip =
+      ((va[0] ^ vb[0]) & 1) ? ~0ULL : 0ULL;  // differing polarity
+  for (std::uint32_t k = 0; k < numWords_; ++k) {
+    if (va[k] != (vb[k] ^ flip)) return false;
+  }
+  return true;
+}
+
+}  // namespace cp::sim

@@ -1,0 +1,84 @@
+// Bit-parallel random simulation of AIGs.
+//
+// Each node carries W 64-bit words, so one sweep over the graph evaluates
+// 64*W input patterns at once. Random simulation is the cheap filter in
+// front of SAT in the sweeping CEC engine: nodes whose signatures differ
+// are certainly inequivalent, nodes whose signatures match (up to
+// complementation) become candidate pairs for the solver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/base/rng.h"
+
+namespace cp::sim {
+
+class AigSimulator {
+ public:
+  /// Simulates 64 * numWords patterns per sweep. The graph reference must
+  /// remain valid for the simulator's lifetime.
+  AigSimulator(const aig::Aig& graph, std::uint32_t numWords);
+
+  std::uint32_t numWords() const { return numWords_; }
+  std::uint32_t numPatterns() const { return numWords_ * 64; }
+
+  /// Fills all input words with fresh random patterns.
+  void randomizeInputs(Rng& rng);
+
+  /// Sets one input bit of one pattern (used to inject counterexamples).
+  void setInputBit(std::uint32_t inputIdx, std::uint32_t patternIdx,
+                   bool value);
+
+  /// Writes a full input assignment into pattern `patternIdx`.
+  void setInputPattern(std::uint32_t patternIdx,
+                       const std::vector<bool>& inputValues);
+
+  /// Propagates input values through every AND node.
+  void simulate();
+
+  /// Signature words of a node (valid after simulate()).
+  std::span<const std::uint64_t> values(std::uint32_t node) const {
+    return {words_.data() + std::size_t(node) * numWords_, numWords_};
+  }
+
+  /// Value of one node under one pattern.
+  bool bit(std::uint32_t node, std::uint32_t patternIdx) const {
+    return (words_[std::size_t(node) * numWords_ + patternIdx / 64] >>
+            (patternIdx % 64)) & 1;
+  }
+
+  /// Value of an edge (complement applied) under one pattern.
+  bool edgeBit(aig::Edge e, std::uint32_t patternIdx) const {
+    return bit(e.node(), patternIdx) != e.complemented();
+  }
+
+  /// Whether the node's signature is complemented by canonicalization
+  /// (bit 0 of word 0 set). Two nodes are candidate-equivalent with
+  /// polarity p iff their canonical signatures match and their
+  /// canonical polarities differ by p.
+  bool canonicalPolarity(std::uint32_t node) const {
+    return (words_[std::size_t(node) * numWords_] & 1) != 0;
+  }
+
+  /// 64-bit hash of the canonical (polarity-normalized) signature.
+  std::uint64_t canonicalHash(std::uint32_t node) const;
+
+  /// Exact canonical signature comparison of two nodes.
+  bool canonicalEqual(std::uint32_t a, std::uint32_t b) const;
+
+  const aig::Aig& graph() const { return graph_; }
+
+ private:
+  std::uint64_t* mutableValues(std::uint32_t node) {
+    return words_.data() + std::size_t(node) * numWords_;
+  }
+
+  const aig::Aig& graph_;
+  std::uint32_t numWords_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cp::sim

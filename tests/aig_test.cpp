@@ -1,0 +1,233 @@
+#include "src/aig/aig.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/gen/random_aig.h"
+
+namespace cp::aig {
+namespace {
+
+TEST(Edge, PackingRoundTrips) {
+  const Edge e = Edge::make(123, true);
+  EXPECT_EQ(e.node(), 123u);
+  EXPECT_TRUE(e.complemented());
+  EXPECT_EQ((!e).node(), 123u);
+  EXPECT_FALSE((!e).complemented());
+  EXPECT_EQ(e ^ true, !e);
+  EXPECT_EQ(e ^ false, e);
+  EXPECT_EQ(!!e, e);
+}
+
+TEST(Edge, ConstantsAreNodeZero) {
+  EXPECT_EQ(kFalse.node(), 0u);
+  EXPECT_FALSE(kFalse.complemented());
+  EXPECT_EQ(kTrue, !kFalse);
+}
+
+TEST(Aig, FreshGraphHasOnlyConstant) {
+  Aig g;
+  EXPECT_EQ(g.numNodes(), 1u);
+  EXPECT_EQ(g.numInputs(), 0u);
+  EXPECT_EQ(g.numAnds(), 0u);
+  EXPECT_TRUE(g.isConst(0));
+}
+
+TEST(Aig, InputsAreRegisteredInOrder) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  EXPECT_TRUE(g.isInput(a.node()));
+  EXPECT_EQ(g.inputIndex(a.node()), 0u);
+  EXPECT_EQ(g.inputIndex(b.node()), 1u);
+  EXPECT_EQ(g.inputEdge(1), b);
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig g;
+  const Edge x = g.addInput();
+  EXPECT_EQ(g.addAnd(x, kFalse), kFalse);
+  EXPECT_EQ(g.addAnd(kFalse, x), kFalse);
+  EXPECT_EQ(g.addAnd(x, kTrue), x);
+  EXPECT_EQ(g.addAnd(kTrue, x), x);
+  EXPECT_EQ(g.addAnd(x, x), x);
+  EXPECT_EQ(g.addAnd(x, !x), kFalse);
+  EXPECT_EQ(g.addAnd(!x, x), kFalse);
+  EXPECT_EQ(g.numAnds(), 0u);  // no nodes created
+}
+
+TEST(Aig, StructuralHashingSharesNodes) {
+  Aig g;
+  const Edge x = g.addInput();
+  const Edge y = g.addInput();
+  const Edge n1 = g.addAnd(x, y);
+  const Edge n2 = g.addAnd(y, x);  // commuted
+  const Edge n3 = g.addAnd(!x, y);
+  EXPECT_EQ(n1, n2);
+  EXPECT_NE(n1, n3);
+  EXPECT_EQ(g.numAnds(), 2u);
+}
+
+TEST(Aig, ClassifyAndMatchesAddAnd) {
+  Aig g;
+  const Edge x = g.addInput();
+  const Edge y = g.addInput();
+  EXPECT_EQ(g.classifyAnd(x, kFalse), AndCase::kConstFalse);
+  EXPECT_EQ(g.classifyAnd(x, !x), AndCase::kConstFalse);
+  EXPECT_EQ(g.classifyAnd(kTrue, y), AndCase::kConstLeft);
+  EXPECT_EQ(g.classifyAnd(y, y), AndCase::kIdentical);
+  EXPECT_EQ(g.classifyAnd(x, y), AndCase::kNewNode);
+  (void)g.addAnd(x, y);
+  EXPECT_EQ(g.classifyAnd(y, x), AndCase::kStrashHit);
+}
+
+TEST(Aig, TopologicalInvariant) {
+  Rng rng(3);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 6;
+  opt.numAnds = 200;
+  const Aig g = gen::randomAig(opt, rng);
+  for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+    if (!g.isAnd(n)) continue;
+    EXPECT_LT(g.fanin0(n).node(), n);
+    EXPECT_LT(g.fanin1(n).node(), n);
+  }
+}
+
+TEST(Aig, EvaluateBasicGates) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  g.addOutput(g.addAnd(a, b));
+  g.addOutput(g.addOr(a, b));
+  g.addOutput(g.addXor(a, b));
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      const auto out = g.evaluate({va, vb});
+      EXPECT_EQ(out[0], va && vb);
+      EXPECT_EQ(out[1], va || vb);
+      EXPECT_EQ(out[2], va != vb);
+    }
+  }
+}
+
+TEST(Aig, EvaluateMux) {
+  Aig g;
+  const Edge s = g.addInput();
+  const Edge t = g.addInput();
+  const Edge f = g.addInput();
+  g.addOutput(g.addMux(s, t, f));
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool vs = bits & 1, vt = bits & 2, vf = bits & 4;
+    EXPECT_EQ(g.evaluate({vs, vt, vf})[0], vs ? vt : vf);
+  }
+}
+
+TEST(Aig, EvaluateRejectsWrongArity) {
+  Aig g;
+  (void)g.addInput();
+  EXPECT_THROW((void)g.evaluate({}), std::invalid_argument);
+  EXPECT_THROW((void)g.evaluate({true, false}), std::invalid_argument);
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge c = g.addInput();
+  const Edge ab = g.addAnd(a, b);
+  const Edge abc = g.addAnd(ab, c);
+  g.addOutput(abc);
+  const auto level = g.levels();
+  EXPECT_EQ(level[a.node()], 0u);
+  EXPECT_EQ(level[ab.node()], 1u);
+  EXPECT_EQ(level[abc.node()], 2u);
+  EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(Aig, ConeAndSupport) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge c = g.addInput();
+  const Edge ab = g.addAnd(a, b);
+  (void)g.addAnd(ab, c);  // dangling
+  const auto cone = g.coneOf({ab});
+  // Cone contains a, b, ab but not c.
+  EXPECT_EQ(cone.size(), 3u);
+  const auto support = g.supportOf({ab});
+  EXPECT_EQ(support.size(), 2u);
+}
+
+TEST(Aig, CompactedDropsDanglingNodes) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge keep = g.addAnd(a, b);
+  (void)g.addAnd(a, !b);  // dangling
+  g.addOutput(!keep);
+  const Aig c = g.compacted();
+  EXPECT_EQ(c.numAnds(), 1u);
+  EXPECT_EQ(c.numInputs(), 2u);
+  // Function preserved.
+  for (int bits = 0; bits < 4; ++bits) {
+    const std::vector<bool> in = {(bits & 1) != 0, (bits & 2) != 0};
+    EXPECT_EQ(g.evaluate(in), c.evaluate(in));
+  }
+}
+
+TEST(Aig, CompactedPreservesUnusedInputs) {
+  Aig g;
+  (void)g.addInput();
+  const Edge b = g.addInput();
+  g.addOutput(b);
+  const Aig c = g.compacted();
+  EXPECT_EQ(c.numInputs(), 2u);
+  EXPECT_EQ(c.evaluate({false, true})[0], true);
+  EXPECT_EQ(c.evaluate({true, false})[0], false);
+}
+
+TEST(Aig, AppendComposesFunctions) {
+  // inner: XOR of two inputs; outer feeds (a AND b, a OR b) into it.
+  Aig inner;
+  const Edge x = inner.addInput();
+  const Edge y = inner.addInput();
+  inner.addOutput(inner.addXor(x, y));
+
+  Aig outer;
+  const Edge a = outer.addInput();
+  const Edge b = outer.addInput();
+  const auto outs =
+      outer.append(inner, {outer.addAnd(a, b), outer.addOr(a, b)});
+  ASSERT_EQ(outs.size(), 1u);
+  outer.addOutput(outs[0]);
+  for (int bits = 0; bits < 4; ++bits) {
+    const bool va = bits & 1, vb = bits & 2;
+    EXPECT_EQ(outer.evaluate({va, vb})[0], (va && vb) != (va || vb));
+  }
+}
+
+TEST(Aig, AppendRejectsWrongMapSize) {
+  Aig inner;
+  (void)inner.addInput();
+  Aig outer;
+  EXPECT_THROW((void)outer.append(inner, {}), std::invalid_argument);
+}
+
+TEST(Aig, RandomGraphEvaluateMatchesCompacted) {
+  Rng rng(77);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 5;
+  opt.numAnds = 80;
+  opt.numOutputs = 3;
+  const Aig g = gen::randomAig(opt, rng);
+  const Aig c = g.compacted();
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (bits >> i) & 1;
+    EXPECT_EQ(g.evaluate(in), c.evaluate(in));
+  }
+}
+
+}  // namespace
+}  // namespace cp::aig

@@ -1,0 +1,123 @@
+#include "src/aig/aiger.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/base/rng.h"
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+
+namespace cp::aig {
+namespace {
+
+void expectSameFunction(const Aig& a, const Aig& b, int samples = 64) {
+  ASSERT_EQ(a.numInputs(), b.numInputs());
+  ASSERT_EQ(a.numOutputs(), b.numOutputs());
+  Rng rng(123);
+  for (int s = 0; s < samples; ++s) {
+    std::vector<bool> in(a.numInputs());
+    for (auto&& bit : in) bit = rng.flip();
+    EXPECT_EQ(a.evaluate(in), b.evaluate(in));
+  }
+}
+
+TEST(Aiger, AsciiRoundTripAdder) {
+  const Aig g = gen::rippleCarryAdder(4);
+  std::stringstream ss;
+  writeAscii(g, ss);
+  const Aig back = readAiger(ss);
+  expectSameFunction(g, back);
+}
+
+TEST(Aiger, BinaryRoundTripAdder) {
+  const Aig g = gen::carryLookaheadAdder(6);
+  std::stringstream ss;
+  writeBinary(g, ss);
+  const Aig back = readAiger(ss);
+  expectSameFunction(g, back);
+}
+
+TEST(Aiger, RoundTripRandomGraphs) {
+  Rng rng(9);
+  for (int iter = 0; iter < 10; ++iter) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 4 + iter;
+    opt.numAnds = 30 + 10 * iter;
+    opt.numOutputs = 2;
+    const Aig g = gen::randomAig(opt, rng);
+    std::stringstream ascii, binary;
+    writeAscii(g, ascii);
+    writeBinary(g, binary);
+    expectSameFunction(g, readAiger(ascii), 32);
+    expectSameFunction(g, readAiger(binary), 32);
+  }
+}
+
+TEST(Aiger, ConstantOutputs) {
+  Aig g;
+  (void)g.addInput();
+  g.addOutput(kFalse);
+  g.addOutput(kTrue);
+  std::stringstream ss;
+  writeAscii(g, ss);
+  const Aig back = readAiger(ss);
+  EXPECT_EQ(back.evaluate({false})[0], false);
+  EXPECT_EQ(back.evaluate({false})[1], true);
+}
+
+TEST(Aiger, ComplementedOutputRoundTrip) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  g.addOutput(!g.addAnd(a, b));  // NAND
+  std::stringstream ss;
+  writeBinary(g, ss);
+  expectSameFunction(g, readAiger(ss), 8);
+}
+
+TEST(Aiger, RejectsLatches) {
+  std::stringstream ss("aag 2 1 1 0 0\n2\n4 2\n");
+  EXPECT_THROW((void)readAiger(ss), std::runtime_error);
+}
+
+TEST(Aiger, RejectsBadMagic) {
+  std::stringstream ss("xyz 0 0 0 0 0\n");
+  EXPECT_THROW((void)readAiger(ss), std::runtime_error);
+}
+
+TEST(Aiger, RejectsTruncatedHeader) {
+  std::stringstream ss("aag 2 1\n");
+  EXPECT_THROW((void)readAiger(ss), std::runtime_error);
+}
+
+TEST(Aiger, RejectsUseBeforeDefinition) {
+  // AND gate references literal 6 (variable 3) which is never defined.
+  std::stringstream ss("aag 3 1 0 1 1\n2\n4\n4 2 6\n");
+  EXPECT_THROW((void)readAiger(ss), std::runtime_error);
+}
+
+TEST(Aiger, RejectsOddInputLiteral) {
+  std::stringstream ss("aag 1 1 0 0 0\n3\n");
+  EXPECT_THROW((void)readAiger(ss), std::runtime_error);
+}
+
+TEST(Aiger, ParsesHandWrittenAscii) {
+  // Single AND of two inputs, output complemented (NAND).
+  std::stringstream ss("aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n");
+  const Aig g = readAiger(ss);
+  EXPECT_EQ(g.numInputs(), 2u);
+  EXPECT_EQ(g.numAnds(), 1u);
+  EXPECT_EQ(g.evaluate({true, true})[0], false);
+  EXPECT_EQ(g.evaluate({true, false})[0], true);
+}
+
+TEST(Aiger, FileRoundTrip) {
+  const Aig g = gen::parityTree(5);
+  const std::string path = testing::TempDir() + "/parity.aig";
+  writeAigerFile(g, path, /*binary=*/true);
+  expectSameFunction(g, readAigerFile(path), 32);
+}
+
+}  // namespace
+}  // namespace cp::aig

@@ -1,0 +1,164 @@
+#include "src/bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/bdd_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/prefix_adders.h"
+#include "src/gen/random_aig.h"
+
+namespace cp::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  BddManager m;
+  EXPECT_EQ(m.numNodes(), 2u);
+  const BddRef x = m.var(0);
+  EXPECT_NE(x, kFalse);
+  EXPECT_NE(x, kTrue);
+  EXPECT_EQ(m.var(0), x);  // canonical
+  EXPECT_TRUE(m.evaluate(x, {true}));
+  EXPECT_FALSE(m.evaluate(x, {false}));
+}
+
+TEST(Bdd, BasicOperatorsTruthTables) {
+  BddManager m;
+  const BddRef a = m.var(0);
+  const BddRef b = m.var(1);
+  const BddRef andAB = m.bddAnd(a, b);
+  const BddRef orAB = m.bddOr(a, b);
+  const BddRef xorAB = m.bddXor(a, b);
+  const BddRef notA = m.bddNot(a);
+  for (int bits = 0; bits < 4; ++bits) {
+    const bool va = bits & 1, vb = bits & 2;
+    const std::vector<bool> in = {va, vb};
+    EXPECT_EQ(m.evaluate(andAB, in), va && vb);
+    EXPECT_EQ(m.evaluate(orAB, in), va || vb);
+    EXPECT_EQ(m.evaluate(xorAB, in), va != vb);
+    EXPECT_EQ(m.evaluate(notA, in), !va);
+  }
+}
+
+TEST(Bdd, CanonicityMergesEqualFunctions) {
+  BddManager m;
+  const BddRef a = m.var(0);
+  const BddRef b = m.var(1);
+  // De Morgan: ~(a & b) == ~a | ~b.
+  EXPECT_EQ(m.bddNot(m.bddAnd(a, b)), m.bddOr(m.bddNot(a), m.bddNot(b)));
+  // Double negation.
+  EXPECT_EQ(m.bddNot(m.bddNot(a)), a);
+  // x ^ x == 0.
+  EXPECT_EQ(m.bddXor(b, b), kFalse);
+  // ite(a, b, b) == b.
+  EXPECT_EQ(m.ite(a, b, b), b);
+}
+
+TEST(Bdd, SatCountAndAnySat) {
+  BddManager m;
+  const BddRef a = m.var(0);
+  const BddRef b = m.var(1);
+  const BddRef c = m.var(2);
+  const BddRef f = m.bddOr(m.bddAnd(a, b), c);
+  // |ab + c| over 3 vars: ab=2 assignments, c=4, overlap ab*c=1 -> 5.
+  EXPECT_DOUBLE_EQ(m.satCount(f, 3), 5.0);
+  const auto witness = m.anySat(f, 3);
+  EXPECT_TRUE(m.evaluate(f, witness));
+}
+
+TEST(Bdd, MatchesAigEvaluationOnRandomCircuits) {
+  Rng rng(91);
+  for (int round = 0; round < 6; ++round) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 7;
+    opt.numAnds = 70;
+    opt.numOutputs = 3;
+    const aig::Aig g = gen::randomAig(opt, rng);
+
+    BddManager m;
+    std::vector<BddRef> node(g.numNodes(), kFalse);
+    for (std::uint32_t i = 0; i < g.numInputs(); ++i) {
+      node[g.inputNode(i)] = m.var(i);
+    }
+    for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+      if (!g.isAnd(n)) continue;
+      const auto a = g.fanin0(n);
+      const auto b = g.fanin1(n);
+      node[n] = m.bddAnd(
+          a.complemented() ? m.bddNot(node[a.node()]) : node[a.node()],
+          b.complemented() ? m.bddNot(node[b.node()]) : node[b.node()]);
+    }
+    for (int bits = 0; bits < 128; ++bits) {
+      std::vector<bool> in(7);
+      for (int i = 0; i < 7; ++i) in[i] = (bits >> i) & 1;
+      const auto expected = g.evaluate(in);
+      for (std::uint32_t o = 0; o < g.numOutputs(); ++o) {
+        const auto e = g.output(o);
+        const bool value = m.evaluate(node[e.node()], in) != e.complemented();
+        ASSERT_EQ(value, expected[o]);
+      }
+    }
+  }
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  BddManager m(/*nodeLimit=*/64);
+  // A multiplier output needs far more than 64 nodes.
+  EXPECT_THROW(
+      {
+        BddRef acc = kFalse;
+        for (std::uint32_t i = 0; i < 16; ++i) {
+          acc = m.bddXor(acc, m.bddAnd(m.var(2 * i), m.var(2 * i + 1)));
+        }
+      },
+      BddLimitExceeded);
+}
+
+}  // namespace
+}  // namespace cp::bdd
+
+namespace cp::cec {
+namespace {
+
+TEST(BddCec, ProvesAdderFamiliesEquivalent) {
+  const BddCecResult r =
+      bddCheck(gen::rippleCarryAdder(16), gen::koggeStoneAdder(16));
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_GT(r.bddNodes, 2u);
+}
+
+TEST(BddCec, FindsCounterexamples) {
+  aig::Aig broken = gen::rippleCarryAdder(8);
+  broken.setOutput(4, !broken.output(4));
+  const aig::Aig good = gen::rippleCarryAdder(8);
+  const BddCecResult r = bddCheck(good, broken);
+  ASSERT_EQ(r.verdict, Verdict::kInequivalent);
+  const auto lv = good.evaluate(r.counterexample);
+  const auto rv = broken.evaluate(r.counterexample);
+  EXPECT_NE(lv, rv);
+}
+
+TEST(BddCec, MultiplierBlowsUpGracefully) {
+  BddCecOptions options;
+  options.nodeLimit = 5000;  // far too small for a 12-bit multiplier
+  const BddCecResult r = bddCheck(gen::arrayMultiplier(12),
+                                  gen::wallaceMultiplier(12), options);
+  EXPECT_EQ(r.verdict, Verdict::kUndecided);
+}
+
+TEST(BddCec, AgreesWithParityAndComparator) {
+  EXPECT_EQ(bddCheck(gen::parityChain(16), gen::parityTree(16)).verdict,
+            Verdict::kEquivalent);
+  EXPECT_EQ(bddCheck(gen::rippleComparator(12), gen::treeComparator(12))
+                .verdict,
+            Verdict::kEquivalent);
+}
+
+TEST(BddCec, RejectsInterfaceMismatch) {
+  EXPECT_THROW(
+      (void)bddCheck(gen::rippleCarryAdder(4), gen::rippleCarryAdder(5)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::cec

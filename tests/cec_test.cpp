@@ -1,0 +1,240 @@
+// Cross-engine CEC tests: the monolithic and sweeping engines must agree
+// on every workload; inequivalent verdicts must carry valid
+// counterexamples; equivalence on small circuits is cross-checked against
+// brute-force miter enumeration.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/miter.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+
+/// Brute-force ground truth for small miters.
+bool miterConstantFalse(const Aig& miter) {
+  for (std::uint64_t bits = 0; bits < (1ULL << miter.numInputs()); ++bits) {
+    std::vector<bool> in(miter.numInputs());
+    for (std::uint32_t i = 0; i < miter.numInputs(); ++i) {
+      in[i] = (bits >> i) & 1;
+    }
+    if (miter.evaluate(in)[0]) return false;
+  }
+  return true;
+}
+
+void expectBothEnginesAgree(const Aig& miter, Verdict expected) {
+  const CecResult mono = monolithicCheck(miter);
+  const CecResult sweep = sweepingCheck(miter);
+  EXPECT_EQ(mono.verdict, expected);
+  EXPECT_EQ(sweep.verdict, expected);
+  if (expected == Verdict::kInequivalent) {
+    EXPECT_TRUE(miter.evaluate(mono.counterexample).at(0));
+    EXPECT_TRUE(miter.evaluate(sweep.counterexample).at(0));
+  }
+}
+
+struct PairCase {
+  const char* name;
+  Aig (*left)();
+  Aig (*right)();
+};
+
+Aig rca8() { return gen::rippleCarryAdder(8); }
+Aig cla8() { return gen::carryLookaheadAdder(8, 4); }
+Aig csel8() { return gen::carrySelectAdder(8, 3); }
+Aig cskip8() { return gen::carrySkipAdder(8, 2); }
+Aig arr4() { return gen::arrayMultiplier(4); }
+Aig wal4() { return gen::wallaceMultiplier(4); }
+Aig cmpR6() { return gen::rippleComparator(6); }
+Aig cmpT6() { return gen::treeComparator(6); }
+Aig parC9() { return gen::parityChain(9); }
+Aig parT9() { return gen::parityTree(9); }
+Aig bsL8() { return gen::barrelShifterLsbFirst(8); }
+Aig bsM8() { return gen::barrelShifterMsbFirst(8); }
+Aig aluA4() { return gen::aluVariantA(4); }
+Aig aluB4() { return gen::aluVariantB(4); }
+
+class EquivalentPairs : public testing::TestWithParam<PairCase> {};
+
+TEST_P(EquivalentPairs, BothEnginesProveEquivalence) {
+  const auto& param = GetParam();
+  const Aig miter = buildMiter(param.left(), param.right());
+  expectBothEnginesAgree(miter, Verdict::kEquivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EquivalentPairs,
+    testing::Values(PairCase{"adders_rca_cla", rca8, cla8},
+                    PairCase{"adders_rca_csel", rca8, csel8},
+                    PairCase{"adders_cla_cskip", cla8, cskip8},
+                    PairCase{"mult_array_wallace", arr4, wal4},
+                    PairCase{"comparators", cmpR6, cmpT6},
+                    PairCase{"parity", parC9, parT9},
+                    PairCase{"barrel_shifters", bsL8, bsM8},
+                    PairCase{"alus", aluA4, aluB4}),
+    [](const auto& info) { return info.param.name; });
+
+class InequivalentPairs : public testing::TestWithParam<PairCase> {};
+
+Aig rcaBadLsb() {
+  Aig g = gen::rippleCarryAdder(8);
+  g.setOutput(0, !g.output(0));
+  return g;
+}
+Aig rcaBadCarry() {
+  Aig g = gen::rippleCarryAdder(8);
+  g.setOutput(8, !g.output(8));
+  return g;
+}
+Aig cmpT6offByOne() {
+  // "a <= b" instead of "a < b": differs exactly on a == b.
+  Aig g;
+  std::vector<aig::Edge> a, b;
+  for (int i = 0; i < 6; ++i) a.push_back(g.addInput());
+  for (int i = 0; i < 6; ++i) b.push_back(g.addInput());
+  const Aig less = gen::treeComparator(6);
+  std::vector<aig::Edge> ins(a);
+  ins.insert(ins.end(), b.begin(), b.end());
+  aig::Edge eq = aig::kTrue;
+  for (int i = 0; i < 6; ++i) eq = g.addAnd(eq, !g.addXor(a[i], b[i]));
+  const auto louts = g.append(less, ins);
+  g.addOutput(g.addOr(louts[0], eq));
+  return g;
+}
+Aig parC9dropped() {
+  // Parity of only 8 of the 9 inputs.
+  Aig g;
+  aig::Edge acc = aig::kFalse;
+  std::vector<aig::Edge> ins;
+  for (int i = 0; i < 9; ++i) ins.push_back(g.addInput());
+  for (int i = 0; i < 8; ++i) acc = g.addXor(acc, ins[i]);
+  g.addOutput(acc);
+  return g;
+}
+
+TEST_P(InequivalentPairs, BothEnginesFindCounterexamples) {
+  const auto& param = GetParam();
+  const Aig miter = buildMiter(param.left(), param.right());
+  expectBothEnginesAgree(miter, Verdict::kInequivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, InequivalentPairs,
+    testing::Values(PairCase{"adder_lsb_fault", rca8, rcaBadLsb},
+                    PairCase{"adder_carry_fault", rca8, rcaBadCarry},
+                    PairCase{"comparator_off_by_one", cmpT6, cmpT6offByOne},
+                    PairCase{"parity_dropped_input", parC9, parC9dropped}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Cec, AgreesWithBruteForceOnRandomRestructuredCircuits) {
+  Rng rng(50);
+  for (int round = 0; round < 15; ++round) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 6;
+    opt.numAnds = 40 + 5 * round;
+    opt.numOutputs = 2;
+    const Aig g = gen::randomAig(opt, rng);
+    const Aig r = rewrite::restructure(g, rng);
+    const Aig miter = buildMiter(g, r);
+    const bool equivalent = miterConstantFalse(miter);
+    ASSERT_TRUE(equivalent);  // restructure preserves function
+    expectBothEnginesAgree(miter, Verdict::kEquivalent);
+  }
+}
+
+TEST(Cec, AgreesWithBruteForceOnRandomPairs) {
+  // Independent random circuit pairs are (almost always) inequivalent;
+  // verify engines agree with brute force either way.
+  Rng rng(51);
+  for (int round = 0; round < 10; ++round) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 5;
+    opt.numAnds = 25;
+    opt.numOutputs = 1;
+    const Aig g1 = gen::randomAig(opt, rng);
+    const Aig g2 = gen::randomAig(opt, rng);
+    const Aig miter = buildMiter(g1, g2);
+    const Verdict expected = miterConstantFalse(miter)
+                                 ? Verdict::kEquivalent
+                                 : Verdict::kInequivalent;
+    expectBothEnginesAgree(miter, expected);
+  }
+}
+
+TEST(Cec, SelfMiterIsAlwaysEquivalent) {
+  const Aig g = gen::carrySelectAdder(10, 4);
+  const Aig miter = buildMiter(g, g);
+  // Structural hashing should collapse the two cones almost entirely; the
+  // sweeping engine must finish with zero or near-zero SAT effort.
+  const CecResult sweep = sweepingCheck(miter);
+  EXPECT_EQ(sweep.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(sweep.stats.satCalls, 0u);
+}
+
+TEST(Cec, ConstantTrueMiterIsInequivalent) {
+  // left = a, right = !a: miter output constant true.
+  Aig left;
+  left.addOutput(left.addInput());
+  Aig right;
+  right.addOutput(!right.addInput());
+  const Aig miter = buildMiter(left, right);
+  const CecResult sweep = sweepingCheck(miter);
+  ASSERT_EQ(sweep.verdict, Verdict::kInequivalent);
+  EXPECT_TRUE(miter.evaluate(sweep.counterexample).at(0));
+  const CecResult mono = monolithicCheck(miter);
+  EXPECT_EQ(mono.verdict, Verdict::kInequivalent);
+}
+
+TEST(Cec, UndecidedOnTinyBudget) {
+  const Aig left = gen::arrayMultiplier(6);
+  const Aig right = gen::wallaceMultiplier(6);
+  const Aig miter = buildMiter(left, right);
+  MonolithicOptions mono;
+  mono.conflictBudget = 3;
+  EXPECT_EQ(monolithicCheck(miter, mono).verdict, Verdict::kUndecided);
+  SweepOptions sweep;
+  sweep.pairConflictBudget = 1;
+  sweep.finalConflictBudget = 3;
+  EXPECT_EQ(sweepingCheck(miter, sweep).verdict, Verdict::kUndecided);
+}
+
+TEST(Cec, SweepingStatsAreCoherent) {
+  const Aig miter =
+      buildMiter(gen::rippleCarryAdder(8), gen::carryLookaheadAdder(8));
+  const CecResult r = sweepingCheck(miter);
+  ASSERT_EQ(r.verdict, Verdict::kEquivalent);
+  const auto& s = r.stats;
+  EXPECT_EQ(s.satCalls, s.satUnsat + s.satSat + s.satUndecided);
+  EXPECT_GT(s.satMerges + s.structuralMerges + s.foldMerges, 0u);
+  EXPECT_LE(s.sweptNodes, miter.numAnds());
+  EXPECT_GT(s.initialClasses, 0u);
+}
+
+TEST(Cec, RejectsMultiOutputMiter) {
+  Aig g;
+  const auto a = g.addInput();
+  g.addOutput(a);
+  g.addOutput(!a);
+  EXPECT_THROW((void)sweepingCheck(g), std::invalid_argument);
+  EXPECT_THROW((void)monolithicCheck(g), std::invalid_argument);
+}
+
+TEST(Cec, DeterministicAcrossRuns) {
+  const Aig miter =
+      buildMiter(gen::barrelShifterLsbFirst(8), gen::barrelShifterMsbFirst(8));
+  const CecResult r1 = sweepingCheck(miter);
+  const CecResult r2 = sweepingCheck(miter);
+  EXPECT_EQ(r1.verdict, r2.verdict);
+  EXPECT_EQ(r1.stats.satCalls, r2.stats.satCalls);
+  EXPECT_EQ(r1.stats.satMerges, r2.stats.satMerges);
+}
+
+}  // namespace
+}  // namespace cp::cec

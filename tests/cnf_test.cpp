@@ -1,0 +1,129 @@
+#include "src/cnf/cnf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cnf/dimacs.h"
+#include "src/gen/arith.h"
+#include "src/sat/solver.h"
+
+namespace cp::cnf {
+namespace {
+
+using aig::Aig;
+using aig::Edge;
+using sat::LBool;
+using sat::Lit;
+
+TEST(Cnf, LitOfMapsNodeAndComplement) {
+  const Edge e = Edge::make(5, true);
+  EXPECT_EQ(litOf(e).var(), 5u);
+  EXPECT_TRUE(litOf(e).negated());
+  EXPECT_EQ(litOf(!e), ~litOf(e));
+}
+
+TEST(Cnf, AndGateClausesEncodeConjunction) {
+  // Check the three clauses against the full truth table of out = a & b.
+  const Lit out = Lit::make(0, false);
+  const Lit a = Lit::make(1, false);
+  const Lit b = Lit::make(2, true);  // complemented input
+  const auto gate = andGateClauses(out, a, b);
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool vo = bits & 1, va = bits & 2, vb = bits & 4;
+    auto litTrue = [&](Lit l) {
+      const bool base = l.var() == 0 ? vo : (l.var() == 1 ? va : vb);
+      return base != l.negated();
+    };
+    bool allClausesHold = true;
+    for (const auto& clause : gate) {
+      bool any = false;
+      for (const Lit l : clause) any |= litTrue(l);
+      allClausesHold &= any;
+    }
+    const bool functional = vo == (va && !vb);
+    EXPECT_EQ(allClausesHold, functional) << "bits=" << bits;
+  }
+}
+
+TEST(Cnf, EncodeCountsAreExact) {
+  const Aig g = gen::rippleCarryAdder(4);
+  const Cnf cnf = encode(g);
+  EXPECT_EQ(cnf.numVars, g.numNodes());
+  EXPECT_EQ(cnf.clauses.size(), 1u + 3u * g.numAnds());
+  const Cnf asserted = encodeWithOutputAssertion(g);
+  EXPECT_EQ(asserted.clauses.size(), cnf.clauses.size() + 1);
+}
+
+TEST(Cnf, EncodingIsEquisatisfiableWithCircuit) {
+  // For a small circuit, every satisfying assignment of the CNF restricted
+  // to the inputs matches circuit evaluation, and forcing an output value
+  // consistent/inconsistent with the function flips satisfiability.
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  g.addOutput(g.addXor(a, b));
+
+  for (int bits = 0; bits < 4; ++bits) {
+    const bool va = bits & 1, vb = bits & 2;
+    const bool expected = g.evaluate({va, vb})[0];
+    for (bool asserted : {false, true}) {
+      sat::Solver s;
+      const Cnf cnf = encode(g);
+      for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)s.newVar();
+      for (const auto& clause : cnf.clauses) ASSERT_TRUE(s.addClause(clause));
+      // Pin the inputs and the output.
+      ASSERT_TRUE(s.addClause(
+          {Lit::make(static_cast<sat::Var>(a.node()), !va)}));
+      ASSERT_TRUE(s.addClause(
+          {Lit::make(static_cast<sat::Var>(b.node()), !vb)}));
+      const Lit outLit = litOf(g.output(0)) ^ !asserted;
+      const bool consistent = s.addClause({outLit});
+      const LBool verdict = consistent ? s.solve() : LBool::kFalse;
+      EXPECT_EQ(verdict == LBool::kTrue, expected == asserted)
+          << "inputs " << va << vb << " asserted " << asserted;
+    }
+  }
+}
+
+TEST(Dimacs, RoundTrip) {
+  const Aig g = gen::parityTree(4);
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  std::stringstream ss;
+  writeDimacs(cnf, ss);
+  const Cnf back = readDimacs(ss);
+  EXPECT_EQ(back.numVars, cnf.numVars);
+  ASSERT_EQ(back.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
+  }
+}
+
+TEST(Dimacs, ParsesCommentsAndMultiClauseLines) {
+  std::stringstream ss(
+      "c a comment\np cnf 3 3\nc another\n1 -2 0 2 3 0\n-1 0\n");
+  const Cnf cnf = readDimacs(ss);
+  EXPECT_EQ(cnf.numVars, 3u);
+  ASSERT_EQ(cnf.clauses.size(), 3u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[1].size(), 2u);
+  EXPECT_EQ(cnf.clauses[2].size(), 1u);
+}
+
+TEST(Dimacs, RejectsMissingHeader) {
+  std::stringstream ss("1 2 0\n");
+  EXPECT_THROW((void)readDimacs(ss), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsVariableOutOfRange) {
+  std::stringstream ss("p cnf 2 1\n3 0\n");
+  EXPECT_THROW((void)readDimacs(ss), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  std::stringstream ss("p cnf 2 1\n1 2\n");
+  EXPECT_THROW((void)readDimacs(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cp::cnf

@@ -1,0 +1,138 @@
+// Unit tests of the proof composer's resolution primitive and its
+// subsumption fallbacks.
+#include "src/cec/proof_composer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+
+namespace cp::cec {
+namespace {
+
+using proof::ClauseId;
+using sat::Lit;
+
+Lit pos(sat::Var v) { return Lit::make(v, false); }
+Lit neg(sat::Var v) { return Lit::make(v, true); }
+
+/// A tiny graph giving the composer something to register axioms for.
+aig::Aig tinyGraph() {
+  aig::Aig g;
+  const auto a = g.addInput();
+  const auto b = g.addInput();
+  g.addOutput(g.addAnd(a, b));
+  return g;
+}
+
+std::vector<Lit> sortedLits(const proof::ProofLog& log, ClauseId id) {
+  auto span = log.lits(id);
+  std::vector<Lit> lits(span.begin(), span.end());
+  std::sort(lits.begin(), lits.end());
+  return lits;
+}
+
+TEST(Composer, RegistersExactlyTheMiterAxioms) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  const ProofComposer composer(g, &log);
+  // constant unit + 3 clauses for one AND + output unit.
+  EXPECT_EQ(log.numAxioms(), 5u);
+  EXPECT_EQ(log.numDerived(), 0u);
+  EXPECT_EQ(log.lits(composer.constUnit()).size(), 1u);
+  EXPECT_EQ(log.lits(composer.outputUnit()).size(), 1u);
+}
+
+TEST(Composer, NullLogIsNoOp) {
+  const aig::Aig g = tinyGraph();
+  ProofComposer composer(g, nullptr);
+  EXPECT_FALSE(composer.logging());
+  const auto d = composer.onNewNode(3);
+  EXPECT_EQ(d[0], proof::kNoClause);
+}
+
+TEST(Composer, ResolveOnNormalCase) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(10), pos(11)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(10), pos(12)});
+  const ClauseId r = composer.resolveOn(c1, c2, pos(10));
+  const std::vector<Lit> expected = {pos(11), pos(12)};
+  EXPECT_EQ(sortedLits(log, r), expected);
+}
+
+TEST(Composer, ResolveOnFallbackPivotAbsent) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 1>{pos(11)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(10), pos(12)});
+  // Pivot pos(10) does not occur in c1: c1 subsumes the resolvent.
+  EXPECT_EQ(composer.resolveOn(c1, c2, pos(10)), c1);
+}
+
+TEST(Composer, ResolveOnFallbackNegPivotAbsent) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(10), pos(11)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 1>{pos(12)});
+  // ~pivot does not occur in c2: c2 subsumes the resolvent.
+  EXPECT_EQ(composer.resolveOn(c1, c2, pos(10)), c2);
+}
+
+TEST(Composer, ResolveOnDeduplicates) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(10), pos(11)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(10), pos(11)});
+  const ClauseId r = composer.resolveOn(c1, c2, pos(10));
+  const std::vector<Lit> expected = {pos(11)};
+  EXPECT_EQ(sortedLits(log, r), expected);
+}
+
+TEST(Composer, ResolveOnDetectsTautology) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(10), pos(11)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(10), neg(11)});
+  EXPECT_THROW((void)composer.resolveOn(c1, c2, pos(10)), std::logic_error);
+}
+
+TEST(Composer, ResolveOnChainIsCheckable) {
+  const aig::Aig g = tinyGraph();
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(10)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(10), pos(11)});
+  const ClauseId bc = log.addAxiom(std::array<Lit, 2>{neg(11), pos(12)});
+  const ClauseId b = composer.resolveOn(a, ab, pos(10));
+  (void)composer.resolveOn(b, bc, pos(11));
+  proof::CheckOptions options;
+  options.requireRoot = false;
+  const auto check = proof::checkProof(log, options);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Composer, FinalizeRequiresLemmaForNonConstantOutput) {
+  // Graph whose output is its AND node: with an identity certificate and
+  // a non-constant image, finalize needs a lemma; kNoClause must throw.
+  aig::Aig g;
+  const auto a = g.addInput();
+  const auto b = g.addInput();
+  g.addOutput(g.addAnd(a, b));
+  proof::ProofLog log;
+  ProofComposer composer(g, &log);
+  (void)composer.onNewNode(3);
+  EXPECT_THROW(
+      (void)composer.finalizeEquivalent(proof::kNoClause, pos(3)),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace cp::cec

@@ -1,0 +1,143 @@
+#include "src/proof/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+#include "src/sat/solver.h"
+
+namespace cp::proof {
+namespace {
+
+using sat::Lit;
+
+Lit pos(sat::Var v) { return Lit::make(v, false); }
+Lit neg(sat::Var v) { return Lit::make(v, true); }
+
+TEST(Compress, FusesLinearChain) {
+  // (a)(~a|b)(~b|c)(~c): the two intermediates are single-base-use.
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId bc = log.addAxiom(std::array<Lit, 2>{neg(1), pos(2)});
+  const ClauseId nc = log.addAxiom(std::array<Lit, 1>{neg(2)});
+  const ClauseId b =
+      log.addDerived(std::array<Lit, 1>{pos(1)}, std::array<ClauseId, 2>{a, ab});
+  const ClauseId c =
+      log.addDerived(std::array<Lit, 1>{pos(2)}, std::array<ClauseId, 2>{b, bc});
+  const ClauseId empty =
+      log.addDerived(std::span<const Lit>{}, std::array<ClauseId, 2>{c, nc});
+  log.setRoot(empty);
+
+  const CompressedProof compressed = compressProof(log);
+  EXPECT_EQ(compressed.stats.fused, 2u);
+  // 4 axioms + 1 derived (the root with the fully fused chain).
+  EXPECT_EQ(compressed.log.numClauses(), 5u);
+  EXPECT_EQ(compressed.log.chain(compressed.log.root()).size(), 4u);
+  // Same number of resolutions, fewer clauses.
+  EXPECT_EQ(compressed.log.numResolutions(), log.numResolutions());
+  const auto check = checkProof(compressed.log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Compress, KeepsMultiUseClauses) {
+  // A derived clause used twice must remain recorded.
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId bOnce =
+      log.addDerived(std::array<Lit, 1>{pos(1)}, std::array<ClauseId, 2>{a, ab});
+  const ClauseId bc = log.addAxiom(std::array<Lit, 2>{neg(1), pos(2)});
+  const ClauseId bd = log.addAxiom(std::array<Lit, 2>{neg(1), pos(3)});
+  const ClauseId c = log.addDerived(std::array<Lit, 1>{pos(2)},
+                                    std::array<ClauseId, 2>{bOnce, bc});
+  const ClauseId d = log.addDerived(std::array<Lit, 1>{pos(3)},
+                                    std::array<ClauseId, 2>{bOnce, bd});
+  const ClauseId ncd = log.addAxiom(std::array<Lit, 2>{neg(2), neg(3)});
+  const ClauseId nd = log.addDerived(std::array<Lit, 1>{neg(3)},
+                                     std::array<ClauseId, 2>{c, ncd});
+  const ClauseId empty =
+      log.addDerived(std::span<const Lit>{}, std::array<ClauseId, 2>{d, nd});
+  log.setRoot(empty);
+
+  const CompressedProof compressed = compressProof(log);
+  const auto check = checkProof(compressed.log);
+  EXPECT_TRUE(check.ok) << check.error;
+  // bOnce is used twice (both as base) so it cannot be fused.
+  EXPECT_LE(compressed.stats.fused, 3u);
+  EXPECT_GE(compressed.log.numDerived(), 3u);
+}
+
+TEST(Compress, RequiresRoot) {
+  ProofLog log;
+  (void)log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW((void)compressProof(log), std::invalid_argument);
+}
+
+TEST(Compress, SolverProofStaysValid) {
+  ProofLog log;
+  sat::Solver s(&log);
+  // Pigeonhole 5/4 gives a non-trivial proof with learned clauses.
+  constexpr int P = 5, H = 4;
+  sat::Var p[P][H];
+  for (auto& row : p) {
+    for (auto& x : row) x = s.newVar();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < H; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.addClause(clause));
+  }
+  for (int j = 0; j < H; ++j) {
+    for (int i1 = 0; i1 < P; ++i1) {
+      for (int i2 = i1 + 1; i2 < P; ++i2) {
+        ASSERT_TRUE(s.addClause({neg(p[i1][j]), neg(p[i2][j])}));
+      }
+    }
+  }
+  ASSERT_EQ(s.solve(), sat::LBool::kFalse);
+
+  const TrimmedProof trimmed = trimProof(log);
+  const CompressedProof compressed = compressProof(trimmed.log);
+  EXPECT_LE(compressed.log.numClauses(), trimmed.log.numClauses());
+  EXPECT_EQ(compressed.log.numResolutions(), trimmed.log.numResolutions());
+  const auto check = checkProof(compressed.log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Compress, CecProofShrinksAndStaysValid) {
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(8),
+                                         gen::carryLookaheadAdder(8, 4));
+  ProofLog log;
+  const auto result = cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  ASSERT_EQ(result.verdict, cec::Verdict::kEquivalent);
+
+  const TrimmedProof trimmed = trimProof(log);
+  const CompressedProof compressed = compressProof(trimmed.log);
+  EXPECT_GT(compressed.stats.fused, 0u);
+  EXPECT_LT(compressed.log.numClauses(), trimmed.log.numClauses());
+
+  CheckOptions options;
+  options.axiomValidator = cec::miterAxiomValidator(miter);
+  const auto check = checkProof(compressed.log, options);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Compress, IdempotentOnSecondPass) {
+  const aig::Aig miter =
+      cec::buildMiter(gen::parityChain(8), gen::parityTree(8));
+  ProofLog log;
+  const auto result = cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  ASSERT_EQ(result.verdict, cec::Verdict::kEquivalent);
+  const CompressedProof once = compressProof(trimProof(log).log);
+  const CompressedProof twice = compressProof(once.log);
+  EXPECT_EQ(twice.stats.fused, 0u);
+  EXPECT_EQ(twice.log.numClauses(), once.log.numClauses());
+}
+
+}  // namespace
+}  // namespace cp::proof

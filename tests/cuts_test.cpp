@@ -1,0 +1,178 @@
+#include "src/aig/cuts.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::aig {
+namespace {
+
+/// Evaluates a cut's truth-table claim on *feasible* leaf assignments:
+/// for every primary-input assignment, the node's value must equal the
+/// truth bit indexed by the observed leaf values. (Leaves may be
+/// interdependent, so not every 2^k row is realizable; on unrealizable
+/// rows different valid cut merges may legitimately disagree.)
+void verifyCut(const Aig& g, std::uint32_t node, const Cut& cut) {
+  ASSERT_LE(cut.leaves.size(), 6u);
+  ASSERT_LE(g.numInputs(), 16u);
+  std::vector<bool> value(g.numNodes(), false);
+  for (std::uint64_t bits = 0; bits < (1ULL << g.numInputs()); ++bits) {
+    for (std::uint32_t i = 0; i < g.numInputs(); ++i) {
+      value[g.inputNode(i)] = (bits >> i) & 1;
+    }
+    for (std::uint32_t n = 1; n <= node; ++n) {
+      if (!g.isAnd(n)) continue;
+      const Edge a = g.fanin0(n);
+      const Edge b = g.fanin1(n);
+      value[n] = (value[a.node()] != a.complemented()) &&
+                 (value[b.node()] != b.complemented());
+    }
+    std::uint32_t row = 0;
+    for (std::size_t i = 0; i < cut.leaves.size(); ++i) {
+      row |= static_cast<std::uint32_t>(value[cut.leaves[i]]) << i;
+    }
+    const bool claimed = (cut.truth >> row) & 1;
+    ASSERT_EQ(claimed, static_cast<bool>(value[node]))
+        << "node " << node << " inputs " << bits << " row " << row;
+  }
+}
+
+TEST(Cuts, TrivialAndInputCuts) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge n = g.addAnd(a, !b);
+  g.addOutput(n);
+  const auto cuts = enumerateCuts(g);
+  // Input: one trivial cut.
+  ASSERT_EQ(cuts[a.node()].size(), 1u);
+  EXPECT_EQ(cuts[a.node()][0].leaves, std::vector<std::uint32_t>{a.node()});
+  // AND node: {a, b} cut plus its trivial cut.
+  bool sawPair = false;
+  for (const Cut& cut : cuts[n.node()]) {
+    verifyCut(g, n.node(), cut);
+    if (cut.leaves.size() == 2) sawPair = true;
+  }
+  EXPECT_TRUE(sawPair);
+}
+
+TEST(Cuts, TruthTablesMatchEvaluationOnAdder) {
+  const Aig g = gen::rippleCarryAdder(3);
+  const auto cuts = enumerateCuts(g);
+  for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+    if (!g.isAnd(n)) continue;
+    for (const Cut& cut : cuts[n]) verifyCut(g, n, cut);
+  }
+}
+
+TEST(Cuts, TruthTablesMatchOnRandomGraphs) {
+  Rng rng(77);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 8;
+  opt.numAnds = 60;
+  const Aig g = gen::randomAig(opt, rng);
+  CutOptions cutOpt;
+  cutOpt.k = 5;
+  const auto cuts = enumerateCuts(g, cutOpt);
+  for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+    if (!g.isAnd(n)) continue;
+    for (const Cut& cut : cuts[n]) verifyCut(g, n, cut);
+  }
+}
+
+TEST(Cuts, RespectsLimits) {
+  const Aig g = gen::carryLookaheadAdder(8, 4);
+  CutOptions options;
+  options.k = 3;
+  options.maxCutsPerNode = 4;
+  const auto cuts = enumerateCuts(g, options);
+  for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+    EXPECT_LE(cuts[n].size(), options.maxCutsPerNode + 1);  // + trivial
+    for (const Cut& cut : cuts[n]) {
+      EXPECT_LE(cut.leaves.size(), 3u);
+    }
+  }
+}
+
+TEST(Cuts, RejectsBadK) {
+  Aig g;
+  (void)g.addInput();
+  CutOptions options;
+  options.k = 7;
+  EXPECT_THROW((void)enumerateCuts(g, options), std::invalid_argument);
+}
+
+void expectSameFunctionCertified(const Aig& a, const Aig& b) {
+  const Aig miter = cec::buildMiter(a, b);
+  const cec::CertifyReport report = cec::certifyMiter(miter);
+  ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+  ASSERT_TRUE(report.proofChecked) << report.check.error;
+}
+
+TEST(CutSweep, MergesRestructuredDuplicates) {
+  const Aig base = gen::carrySelectAdder(8, 2);
+  Rng rng(78);
+  const Aig variant = rewrite::restructure(base, rng);
+  Aig joint;
+  std::vector<Edge> ins;
+  for (std::uint32_t i = 0; i < base.numInputs(); ++i) {
+    ins.push_back(joint.addInput());
+  }
+  for (const Edge e : joint.append(base, ins)) joint.addOutput(e);
+  for (const Edge e : joint.append(variant, ins)) joint.addOutput(e);
+
+  const CutSweepResult result = cutSweep(joint);
+  EXPECT_GT(result.stats.merges, 0u);
+  EXPECT_LT(result.stats.andsAfter, result.stats.andsBefore);
+  expectSameFunctionCertified(joint, result.graph);
+}
+
+TEST(CutSweep, PreservesFunctionOnRandomGraphs) {
+  Rng rng(79);
+  for (int round = 0; round < 6; ++round) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 6;
+    opt.numAnds = 90;
+    opt.numOutputs = 3;
+    const Aig g = gen::randomAig(opt, rng);
+    const CutSweepResult result = cutSweep(g);
+    for (int bits = 0; bits < 64; ++bits) {
+      std::vector<bool> in(6);
+      for (int i = 0; i < 6; ++i) in[i] = (bits >> i) & 1;
+      ASSERT_EQ(g.evaluate(in), result.graph.evaluate(in))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(CutSweep, DetectsComplementPairs) {
+  // XOR and XNOR structures over the same inputs: node-level complements.
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge viaXor = g.addXor(a, b);
+  const Edge viaSop = g.addOr(g.addAnd(a, b), g.addAnd(!a, !b));  // XNOR
+  g.addOutput(viaXor);
+  g.addOutput(viaSop);
+  const CutSweepResult result = cutSweep(g);
+  EXPECT_GT(result.stats.merges, 0u);
+  expectSameFunctionCertified(g, result.graph);
+  // The two outputs now feed from one node, complemented.
+  EXPECT_EQ(result.graph.output(0).node(), result.graph.output(1).node());
+}
+
+TEST(CutSweep, IdempotentWhenNothingToMerge) {
+  const Aig g = gen::rippleCarryAdder(6);
+  const CutSweepResult once = cutSweep(g);
+  const CutSweepResult twice = cutSweep(once.graph);
+  EXPECT_EQ(twice.stats.merges, 0u);
+  EXPECT_EQ(twice.stats.andsAfter, once.stats.andsAfter);
+}
+
+}  // namespace
+}  // namespace cp::aig

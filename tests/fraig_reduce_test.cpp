@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+using aig::Edge;
+
+void expectEquivalentByCec(const Aig& a, const Aig& b) {
+  const Aig miter = buildMiter(a, b);
+  const CertifyReport report = certifyMiter(miter);
+  ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
+  ASSERT_TRUE(report.proofChecked) << report.check.error;
+}
+
+TEST(FraigReduce, CollapsesDuplicatedCones) {
+  // Two different adders over the same inputs: after reduction the two
+  // cones must share nearly everything (every output pair is
+  // function-equal).
+  Aig joint;
+  std::vector<Edge> ins;
+  const Aig a1 = gen::rippleCarryAdder(8);
+  const Aig a2 = gen::carryLookaheadAdder(8, 4);
+  for (std::uint32_t i = 0; i < a1.numInputs(); ++i) {
+    ins.push_back(joint.addInput());
+  }
+  for (const Edge e : joint.append(a1, ins)) joint.addOutput(e);
+  for (const Edge e : joint.append(a2, ins)) joint.addOutput(e);
+
+  const FraigResult result = fraigReduce(joint);
+  // Function preserved.
+  expectEquivalentByCec(joint, result.reduced);
+  // Duplicated logic merged: the reduced graph is much smaller than the
+  // two cones combined -- at most a ripple adder plus change.
+  EXPECT_LT(result.reduced.numAnds(), joint.numAnds() * 2 / 3);
+  // Corresponding output pairs are now literally the same edge.
+  for (std::uint32_t o = 0; o < a1.numOutputs(); ++o) {
+    EXPECT_EQ(result.reduced.output(o),
+              result.reduced.output(o + a1.numOutputs()));
+  }
+}
+
+TEST(FraigReduce, PreservesFunctionOnRandomGraphs) {
+  Rng rng(71);
+  for (int round = 0; round < 6; ++round) {
+    gen::RandomAigOptions opt;
+    opt.numInputs = 6;
+    opt.numAnds = 80;
+    opt.numOutputs = 4;
+    const Aig g = gen::randomAig(opt, rng);
+    const FraigResult result = fraigReduce(g);
+    EXPECT_LE(result.reduced.numAnds(), g.numAnds());
+    for (int bits = 0; bits < 64; ++bits) {
+      std::vector<bool> in(6);
+      for (int i = 0; i < 6; ++i) in[i] = (bits >> i) & 1;
+      ASSERT_EQ(g.evaluate(in), result.reduced.evaluate(in))
+          << "round " << round << " bits " << bits;
+    }
+  }
+}
+
+TEST(FraigReduce, RestructuredCopyCollapsesOntoOriginal) {
+  const Aig base = gen::treeComparator(10);
+  Rng rng(72);
+  const Aig variant = rewrite::restructure(base, rng);
+
+  Aig joint;
+  std::vector<Edge> ins;
+  for (std::uint32_t i = 0; i < base.numInputs(); ++i) {
+    ins.push_back(joint.addInput());
+  }
+  for (const Edge e : joint.append(base, ins)) joint.addOutput(e);
+  for (const Edge e : joint.append(variant, ins)) joint.addOutput(e);
+
+  const FraigResult result = fraigReduce(joint);
+  EXPECT_EQ(result.reduced.output(0), result.reduced.output(1));
+  expectEquivalentByCec(joint, result.reduced);
+}
+
+TEST(FraigReduce, ConstantOutputsBecomeStructural) {
+  // x AND !x style redundancies disappear entirely.
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge x = g.addXor(a, b);
+  const Edge y = g.addXor(b, a);  // same node by strashing
+  (void)y;
+  // (a^b) AND !(a^b) through a restructured second XOR:
+  const Edge z = g.addOr(g.addAnd(a, !b), g.addAnd(!a, b));
+  g.addOutput(g.addAnd(x, !z));  // constant false, needs SAT to see
+  const FraigResult result = fraigReduce(g);
+  EXPECT_EQ(result.reduced.output(0), aig::kFalse);
+  EXPECT_EQ(result.reduced.numAnds(), 0u);
+}
+
+TEST(FraigReduce, IdempotentOnReducedGraph) {
+  Rng rng(73);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 7;
+  opt.numAnds = 120;
+  opt.numOutputs = 3;
+  const Aig g = gen::randomAig(opt, rng);
+  const FraigResult once = fraigReduce(g);
+  const FraigResult twice = fraigReduce(once.reduced);
+  EXPECT_EQ(twice.reduced.numAnds(), once.reduced.numAnds());
+  EXPECT_EQ(twice.stats.satMerges, 0u);
+}
+
+TEST(FraigReduce, StatsArepopulated) {
+  const Aig miter =
+      buildMiter(gen::parityChain(10), gen::parityTree(10));
+  const FraigResult result = fraigReduce(miter);
+  EXPECT_GT(result.stats.totalSeconds, 0.0);
+  EXPECT_EQ(result.stats.sweptNodes, result.reduced.numAnds());
+}
+
+}  // namespace
+}  // namespace cp::cec

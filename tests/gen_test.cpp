@@ -1,0 +1,283 @@
+// Functional correctness of every circuit generator against reference
+// integer arithmetic, exhaustively for small widths and randomly sampled
+// for larger ones.
+#include "src/gen/arith.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/gen/random_aig.h"
+
+namespace cp::gen {
+namespace {
+
+using aig::Aig;
+
+std::vector<bool> toBits(std::uint64_t value, std::uint32_t width) {
+  std::vector<bool> bits(width);
+  for (std::uint32_t i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+std::uint64_t fromBits(const std::vector<bool>& bits, std::size_t offset,
+                       std::size_t count) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    value |= static_cast<std::uint64_t>(bits[offset + i]) << i;
+  }
+  return value;
+}
+
+std::vector<bool> concat(const std::vector<bool>& a,
+                         const std::vector<bool>& b) {
+  std::vector<bool> all(a);
+  all.insert(all.end(), b.begin(), b.end());
+  return all;
+}
+
+// ---- adders ----------------------------------------------------------------
+
+struct AdderCase {
+  const char* name;
+  Aig (*build)(std::uint32_t, std::uint32_t);
+  std::uint32_t width;
+  std::uint32_t block;
+};
+
+Aig buildRipple(std::uint32_t w, std::uint32_t) { return rippleCarryAdder(w); }
+
+class AdderCorrectness : public testing::TestWithParam<AdderCase> {};
+
+TEST_P(AdderCorrectness, MatchesIntegerAddition) {
+  const auto& param = GetParam();
+  const Aig g = param.build(param.width, param.block);
+  ASSERT_EQ(g.numInputs(), 2 * param.width);
+  ASSERT_EQ(g.numOutputs(), param.width + 1);
+
+  Rng rng(31);
+  const std::uint64_t mask = (param.width == 64)
+                                 ? ~0ULL
+                                 : ((1ULL << param.width) - 1);
+  const int samples = param.width <= 4 ? -1 : 300;  // -1 = exhaustive
+  auto checkOne = [&](std::uint64_t a, std::uint64_t b) {
+    const auto out = g.evaluate(
+        concat(toBits(a, param.width), toBits(b, param.width)));
+    const std::uint64_t sum = fromBits(out, 0, param.width);
+    const bool carry = out[param.width];
+    const std::uint64_t expected = a + b;
+    EXPECT_EQ(sum, expected & mask) << a << "+" << b;
+    EXPECT_EQ(carry, ((expected >> param.width) & 1) != 0);
+  };
+  if (samples < 0) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) checkOne(a, b);
+    }
+  } else {
+    for (int i = 0; i < samples; ++i) {
+      checkOne(rng.next64() & mask, rng.next64() & mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, AdderCorrectness,
+    testing::Values(
+        AdderCase{"ripple4", buildRipple, 4, 0},
+        AdderCase{"ripple13", buildRipple, 13, 0},
+        AdderCase{"cla3", carryLookaheadAdder, 3, 4},
+        AdderCase{"cla16b4", carryLookaheadAdder, 16, 4},
+        AdderCase{"cla17b5", carryLookaheadAdder, 17, 5},
+        AdderCase{"csel4", carrySelectAdder, 4, 2},
+        AdderCase{"csel16b4", carrySelectAdder, 16, 4},
+        AdderCase{"csel15b6", carrySelectAdder, 15, 6},
+        AdderCase{"cskip4", carrySkipAdder, 4, 2},
+        AdderCase{"cskip16b4", carrySkipAdder, 16, 4},
+        AdderCase{"cskip14b3", carrySkipAdder, 14, 3}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- multipliers -----------------------------------------------------------
+
+struct MultCase {
+  const char* name;
+  Aig (*build)(std::uint32_t);
+  std::uint32_t width;
+};
+
+class MultiplierCorrectness : public testing::TestWithParam<MultCase> {};
+
+TEST_P(MultiplierCorrectness, MatchesIntegerMultiplication) {
+  const auto& param = GetParam();
+  const Aig g = param.build(param.width);
+  ASSERT_EQ(g.numInputs(), 2 * param.width);
+  ASSERT_EQ(g.numOutputs(), 2 * param.width);
+
+  const std::uint64_t mask = (1ULL << param.width) - 1;
+  Rng rng(32);
+  auto checkOne = [&](std::uint64_t a, std::uint64_t b) {
+    const auto out = g.evaluate(
+        concat(toBits(a, param.width), toBits(b, param.width)));
+    EXPECT_EQ(fromBits(out, 0, 2 * param.width), a * b) << a << "*" << b;
+  };
+  if (param.width <= 3) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) checkOne(a, b);
+    }
+  } else {
+    for (int i = 0; i < 200; ++i) {
+      checkOne(rng.next64() & mask, rng.next64() & mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MultiplierCorrectness,
+    testing::Values(MultCase{"array2", arrayMultiplier, 2},
+                    MultCase{"array3", arrayMultiplier, 3},
+                    MultCase{"array8", arrayMultiplier, 8},
+                    MultCase{"wallace2", wallaceMultiplier, 2},
+                    MultCase{"wallace3", wallaceMultiplier, 3},
+                    MultCase{"wallace8", wallaceMultiplier, 8},
+                    MultCase{"wallace11", wallaceMultiplier, 11}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- comparators, parity, shifter, ALU -------------------------------------
+
+TEST(Comparators, BothVariantsMatchUnsignedLess) {
+  for (std::uint32_t width : {1u, 3u, 4u, 9u}) {
+    const Aig ripple = rippleComparator(width);
+    const Aig tree = treeComparator(width);
+    Rng rng(33);
+    const std::uint64_t mask = (1ULL << width) - 1;
+    const int samples = width <= 4 ? -1 : 400;
+    auto check = [&](std::uint64_t a, std::uint64_t b) {
+      const auto in = concat(toBits(a, width), toBits(b, width));
+      EXPECT_EQ(ripple.evaluate(in)[0], a < b) << width << ":" << a << "<" << b;
+      EXPECT_EQ(tree.evaluate(in)[0], a < b) << width << ":" << a << "<" << b;
+    };
+    if (samples < 0) {
+      for (std::uint64_t a = 0; a <= mask; ++a) {
+        for (std::uint64_t b = 0; b <= mask; ++b) check(a, b);
+      }
+    } else {
+      for (int i = 0; i < samples; ++i) {
+        check(rng.next64() & mask, rng.next64() & mask);
+      }
+    }
+  }
+}
+
+TEST(Parity, BothVariantsMatchPopcountParity) {
+  for (std::uint32_t width : {1u, 2u, 5u, 8u, 13u}) {
+    const Aig chain = parityChain(width);
+    const Aig tree = parityTree(width);
+    const std::uint64_t limit = width <= 10 ? (1ULL << width) : 1024;
+    Rng rng(34);
+    for (std::uint64_t k = 0; k < limit; ++k) {
+      const std::uint64_t x =
+          width <= 10 ? k : (rng.next64() & ((1ULL << width) - 1));
+      const auto in = toBits(x, width);
+      const bool expected = __builtin_parityll(x);
+      EXPECT_EQ(chain.evaluate(in)[0], expected);
+      EXPECT_EQ(tree.evaluate(in)[0], expected);
+    }
+  }
+}
+
+TEST(BarrelShifter, BothStageOrdersShiftLeft) {
+  for (std::uint32_t width : {2u, 4u, 8u}) {
+    const Aig lsb = barrelShifterLsbFirst(width);
+    const Aig msb = barrelShifterMsbFirst(width);
+    std::uint32_t stages = 0;
+    while ((1u << stages) < width) ++stages;
+    ASSERT_EQ(lsb.numInputs(), width + stages);
+    const std::uint64_t mask = (1ULL << width) - 1;
+    for (std::uint64_t x = 0; x <= mask; ++x) {
+      for (std::uint32_t s = 0; s < width; ++s) {
+        auto in = toBits(x, width);
+        for (std::uint32_t k = 0; k < stages; ++k) {
+          in.push_back((s >> k) & 1);
+        }
+        const std::uint64_t expected = (x << s) & mask;
+        EXPECT_EQ(fromBits(lsb.evaluate(in), 0, width), expected);
+        EXPECT_EQ(fromBits(msb.evaluate(in), 0, width), expected);
+      }
+    }
+  }
+}
+
+TEST(BarrelShifter, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)barrelShifterLsbFirst(6), std::invalid_argument);
+}
+
+TEST(Alu, BothVariantsMatchReferenceOps) {
+  for (std::uint32_t width : {3u, 8u}) {
+    const Aig va = aluVariantA(width);
+    const Aig vb = aluVariantB(width);
+    ASSERT_EQ(va.numInputs(), 2 * width + 2);
+    const std::uint64_t mask = (1ULL << width) - 1;
+    Rng rng(35);
+    const int samples = width <= 3 ? -1 : 250;
+    auto check = [&](std::uint64_t a, std::uint64_t b, std::uint32_t op) {
+      auto in = concat(toBits(a, width), toBits(b, width));
+      in.push_back(op & 1);
+      in.push_back((op >> 1) & 1);
+      std::uint64_t expected = 0;
+      switch (op) {
+        case 0: expected = (a + b) & mask; break;
+        case 1: expected = (a - b) & mask; break;
+        case 2: expected = a & b; break;
+        default: expected = a | b; break;
+      }
+      EXPECT_EQ(fromBits(va.evaluate(in), 0, width), expected)
+          << "A: " << a << " op" << op << " " << b;
+      EXPECT_EQ(fromBits(vb.evaluate(in), 0, width), expected)
+          << "B: " << a << " op" << op << " " << b;
+    };
+    if (samples < 0) {
+      for (std::uint64_t a = 0; a <= mask; ++a) {
+        for (std::uint64_t b = 0; b <= mask; ++b) {
+          for (std::uint32_t op = 0; op < 4; ++op) check(a, b, op);
+        }
+      }
+    } else {
+      for (int i = 0; i < samples; ++i) {
+        check(rng.next64() & mask, rng.next64() & mask,
+              static_cast<std::uint32_t>(rng.below(4)));
+      }
+    }
+  }
+}
+
+TEST(Generators, RejectZeroWidth) {
+  EXPECT_THROW((void)rippleCarryAdder(0), std::invalid_argument);
+  EXPECT_THROW((void)arrayMultiplier(0), std::invalid_argument);
+  EXPECT_THROW((void)carryLookaheadAdder(4, 0), std::invalid_argument);
+}
+
+TEST(RandomAig, RespectsInterfaceCounts) {
+  Rng rng(36);
+  RandomAigOptions opt;
+  opt.numInputs = 9;
+  opt.numAnds = 50;
+  opt.numOutputs = 4;
+  const Aig g = randomAig(opt, rng);
+  EXPECT_EQ(g.numInputs(), 9u);
+  EXPECT_EQ(g.numOutputs(), 4u);
+  EXPECT_LE(g.numAnds(), 50u);
+}
+
+TEST(RandomAig, DeterministicForSeed) {
+  RandomAigOptions opt;
+  Rng r1(5), r2(5);
+  const Aig a = randomAig(opt, r1);
+  const Aig b = randomAig(opt, r2);
+  ASSERT_EQ(a.numNodes(), b.numNodes());
+  for (int bits = 0; bits < 256; ++bits) {
+    std::vector<bool> in(opt.numInputs);
+    for (std::uint32_t i = 0; i < opt.numInputs; ++i) in[i] = (bits >> i) & 1;
+    EXPECT_EQ(a.evaluate(in), b.evaluate(in));
+  }
+}
+
+}  // namespace
+}  // namespace cp::gen

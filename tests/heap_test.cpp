@@ -1,0 +1,94 @@
+#include "src/sat/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace cp::sat {
+namespace {
+
+TEST(VarOrderHeap, ExtractsInActivityOrder) {
+  std::vector<double> activity = {1.0, 5.0, 3.0, 4.0, 2.0};
+  VarOrderHeap heap(activity);
+  for (Var v = 0; v < 5; ++v) heap.insert(v);
+  std::vector<Var> order;
+  while (!heap.empty()) order.push_back(heap.extractMax());
+  const std::vector<Var> expected = {1, 3, 2, 4, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(VarOrderHeap, DuplicateInsertIsIgnored) {
+  std::vector<double> activity = {1.0, 2.0};
+  VarOrderHeap heap(activity);
+  heap.insert(0);
+  heap.insert(0);
+  heap.insert(1);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(VarOrderHeap, IncreasedRestoresOrder) {
+  std::vector<double> activity = {1.0, 2.0, 3.0};
+  VarOrderHeap heap(activity);
+  for (Var v = 0; v < 3; ++v) heap.insert(v);
+  activity[0] = 10.0;
+  heap.increased(0);
+  EXPECT_EQ(heap.extractMax(), 0u);
+  EXPECT_EQ(heap.extractMax(), 2u);
+  EXPECT_EQ(heap.extractMax(), 1u);
+}
+
+TEST(VarOrderHeap, ContainsTracksMembership) {
+  std::vector<double> activity = {1.0, 2.0};
+  VarOrderHeap heap(activity);
+  EXPECT_FALSE(heap.contains(0));
+  heap.insert(0);
+  EXPECT_TRUE(heap.contains(0));
+  (void)heap.extractMax();
+  EXPECT_FALSE(heap.contains(0));
+}
+
+TEST(VarOrderHeap, RandomizedAgainstSort) {
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    const int n = 1 + static_cast<int>(rng.below(60));
+    std::vector<double> activity(n);
+    for (auto& a : activity) a = double(rng.below(1000000));
+    VarOrderHeap heap(activity);
+    std::vector<Var> vars;
+    for (Var v = 0; v < static_cast<Var>(n); ++v) {
+      if (rng.flip()) {
+        heap.insert(v);
+        vars.push_back(v);
+      }
+    }
+    // Random activity bumps.
+    for (int b = 0; b < n / 2; ++b) {
+      const Var v = static_cast<Var>(rng.below(n));
+      activity[v] += double(rng.below(1000000));
+      heap.increased(v);
+    }
+    std::sort(vars.begin(), vars.end(), [&](Var a, Var b) {
+      if (activity[a] != activity[b]) return activity[a] > activity[b];
+      return a < b;
+    });
+    std::vector<Var> extracted;
+    while (!heap.empty()) extracted.push_back(heap.extractMax());
+    ASSERT_EQ(extracted.size(), vars.size());
+    // Activities may tie; compare the activity sequence, which must be
+    // non-increasing and a permutation match.
+    for (std::size_t i = 0; i + 1 < extracted.size(); ++i) {
+      EXPECT_GE(activity[extracted[i]], activity[extracted[i + 1]]);
+    }
+    std::vector<Var> sortedExtract(extracted);
+    std::sort(sortedExtract.begin(), sortedExtract.end());
+    std::vector<Var> sortedVars(vars);
+    std::sort(sortedVars.begin(), sortedVars.end());
+    EXPECT_EQ(sortedExtract, sortedVars);
+  }
+}
+
+}  // namespace
+}  // namespace cp::sat

@@ -1,0 +1,190 @@
+#include "src/proof/interpolant.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cnf/cnf.h"
+#include "src/proof/checker.h"
+#include "src/sat/solver.h"
+
+namespace cp::proof {
+namespace {
+
+using sat::Lit;
+using sat::Var;
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(Interpolant, SingleSharedVariable) {
+  // A = { (g) }, B = { (~g) }: the interpolant must be exactly "g".
+  ProofLog log;
+  sat::Solver s(&log);
+  const Var g = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(g)}));
+  EXPECT_FALSE(s.addClause({neg(g)}));
+  ASSERT_TRUE(log.hasRoot());
+
+  std::vector<char> inA(log.numClauses() + 1, 0);
+  inA[1] = 1;  // the first axiom (g) is A
+  const Interpolant itp = computeInterpolant(log, inA);
+  ASSERT_EQ(itp.sharedVars.size(), 1u);
+  EXPECT_EQ(itp.sharedVars[0], g);
+  EXPECT_TRUE(itp.circuit.evaluate({true})[0]);
+  EXPECT_FALSE(itp.circuit.evaluate({false})[0]);
+}
+
+TEST(Interpolant, ImplicationChainThroughSharedLink) {
+  // A: (a), (~a | g)       -- implies g
+  // B: (~g | b), (~b), ... -- refutes g
+  // Interpolant over {g} must be "g".
+  ProofLog log;
+  sat::Solver s(&log);
+  const Var a = s.newVar();
+  const Var g = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));           // axiom 1 (A)
+  ASSERT_TRUE(s.addClause({neg(a), pos(g)}));   // axiom 2 (A)
+  ASSERT_TRUE(s.addClause({neg(g), pos(b)}));   // axiom 3 (B)
+  const bool ok = s.addClause({neg(b)});        // axiom 4 (B)
+  if (ok) {
+    ASSERT_EQ(s.solve(), sat::LBool::kFalse);
+  }
+  ASSERT_TRUE(log.hasRoot());
+
+  std::vector<char> inA(log.numClauses() + 1, 0);
+  inA[1] = inA[2] = 1;
+  const Interpolant itp = computeInterpolant(log, inA);
+  ASSERT_EQ(itp.sharedVars.size(), 1u);
+  EXPECT_EQ(itp.sharedVars[0], g);
+  EXPECT_TRUE(itp.circuit.evaluate({true})[0]);
+  EXPECT_FALSE(itp.circuit.evaluate({false})[0]);
+}
+
+/// Encodes the interpolant circuit into `solver`, binding circuit input k
+/// to existing solver variable sharedVars[k]. Returns the output literal.
+Lit bindInterpolant(sat::Solver& solver, const Interpolant& itp) {
+  const cnf::Cnf cnf = cnf::encode(itp.circuit);
+  const Var base = solver.numVars();
+  for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
+  auto mapped = [&](Lit l) { return Lit::make(base + l.var(), l.negated()); };
+  for (const auto& clause : cnf.clauses) {
+    std::vector<Lit> shifted;
+    for (const Lit l : clause) shifted.push_back(mapped(l));
+    EXPECT_TRUE(solver.addClause(shifted));
+  }
+  for (std::size_t k = 0; k < itp.sharedVars.size(); ++k) {
+    const Lit inputLit = mapped(cnf::litOf(
+        aig::Edge::make(itp.circuit.inputNode(k), false)));
+    const Lit original = pos(itp.sharedVars[k]);
+    EXPECT_TRUE(solver.addClause({~inputLit, original}));
+    EXPECT_TRUE(solver.addClause({inputLit, ~original}));
+  }
+  return mapped(cnf::litOf(itp.circuit.output(0)));
+}
+
+TEST(Interpolant, RandomPartitionedCnfsSatisfyCraigProperties) {
+  Rng rng(777);
+  int checked = 0;
+  for (int round = 0; round < 80 && checked < 12; ++round) {
+    // Variables: 0..3 A-local, 4..7 shared, 8..11 B-local.
+    auto randomLit = [&](int lo, int hi) {
+      return Lit::make(static_cast<Var>(lo + rng.below(hi - lo + 1)),
+                       rng.flip());
+    };
+    std::vector<std::vector<Lit>> clausesA, clausesB;
+    for (int c = 0; c < 30; ++c) {
+      clausesA.push_back({randomLit(0, 7), randomLit(0, 7), randomLit(0, 7)});
+    }
+    for (int c = 0; c < 30; ++c) {
+      clausesB.push_back(
+          {randomLit(4, 11), randomLit(4, 11), randomLit(4, 11)});
+    }
+
+    ProofLog log;
+    sat::Solver s(&log);
+    for (int v = 0; v < 12; ++v) (void)s.newVar();
+    std::vector<char> inA(1, 0);  // 1-based axiom marks, grown below
+    bool consistent = true;
+    for (const auto& cl : clausesA) {
+      const auto before = log.numClauses();
+      consistent = s.addClause(cl);
+      // Mark every clause recorded by this call (axiom + derived ids are
+      // interleaved; only axioms are consulted later).
+      inA.resize(log.numClauses() + 1, 0);
+      for (ClauseId id = before + 1; id <= log.numClauses(); ++id) {
+        inA[id] = 1;
+      }
+      if (!consistent) break;
+    }
+    if (consistent) {
+      for (const auto& cl : clausesB) {
+        consistent = s.addClause(cl);
+        inA.resize(log.numClauses() + 1, 0);
+        if (!consistent) break;
+      }
+    }
+    const auto verdict = consistent ? s.solve() : sat::LBool::kFalse;
+    if (verdict != sat::LBool::kFalse) continue;  // need UNSAT instances
+    inA.resize(log.numClauses() + 1, 0);
+    ++checked;
+
+    for (const auto system : {InterpolationSystem::kMcMillan,
+                              InterpolationSystem::kPudlak}) {
+    const Interpolant itp = computeInterpolant(log, inA, system);
+    // Support: only shared variables (4..7).
+    for (const Var v : itp.sharedVars) {
+      EXPECT_GE(v, 4u);
+      EXPECT_LE(v, 7u);
+    }
+
+    // Property 1: A and ~I is unsatisfiable.
+    {
+      sat::Solver check;
+      for (int v = 0; v < 12; ++v) (void)check.newVar();
+      bool sane = true;
+      for (const auto& cl : clausesA) sane = sane && check.addClause(cl);
+      if (sane) {
+        const Lit out = bindInterpolant(check, itp);
+        if (check.addClause({~out})) {
+          EXPECT_EQ(check.solve(), sat::LBool::kFalse)
+              << "A does not imply I (round " << round << ")";
+        }
+      }
+    }
+    // Property 2: I and B is unsatisfiable.
+    {
+      sat::Solver check;
+      for (int v = 0; v < 12; ++v) (void)check.newVar();
+      bool sane = true;
+      for (const auto& cl : clausesB) sane = sane && check.addClause(cl);
+      if (sane) {
+        const Lit out = bindInterpolant(check, itp);
+        if (check.addClause({out})) {
+          EXPECT_EQ(check.solve(), sat::LBool::kFalse)
+              << "I inconsistent with B (round " << round << ")";
+        }
+      }
+    }
+    }  // for system
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Interpolant, RequiresRoot) {
+  ProofLog log;
+  (void)log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW((void)computeInterpolant(log, {0, 1}), std::invalid_argument);
+}
+
+TEST(Interpolant, RequiresAxiomCoverage) {
+  ProofLog log;
+  sat::Solver s(&log);
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_FALSE(s.addClause({neg(v)}));
+  EXPECT_THROW((void)computeInterpolant(log, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::proof

@@ -1,0 +1,118 @@
+#include "src/gen/misc_logic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+
+namespace cp::gen {
+namespace {
+
+using aig::Aig;
+
+std::uint64_t fromBits(const std::vector<bool>& bits, std::size_t offset,
+                       std::size_t count) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    value |= static_cast<std::uint64_t>(bits[offset + i]) << i;
+  }
+  return value;
+}
+
+std::vector<bool> toBits(std::uint64_t value, std::uint32_t width) {
+  std::vector<bool> bits(width);
+  for (std::uint32_t i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+TEST(Popcount, BothVariantsCountBits) {
+  for (std::uint32_t width : {1u, 2u, 3u, 7u, 8u, 11u}) {
+    const Aig chain = popcountChain(width);
+    const Aig tree = popcountTree(width);
+    const std::uint32_t bits = popcountBits(width);
+    ASSERT_EQ(chain.numOutputs(), bits);
+    ASSERT_EQ(tree.numOutputs(), bits);
+    const std::uint64_t limit = 1ULL << width;
+    for (std::uint64_t x = 0; x < limit; ++x) {
+      const auto in = toBits(x, width);
+      const auto expected =
+          static_cast<std::uint64_t>(__builtin_popcountll(x));
+      ASSERT_EQ(fromBits(chain.evaluate(in), 0, bits), expected)
+          << "chain w=" << width << " x=" << x;
+      ASSERT_EQ(fromBits(tree.evaluate(in), 0, bits), expected)
+          << "tree w=" << width << " x=" << x;
+    }
+  }
+}
+
+TEST(Majority, BothVariantsMatchDefinition) {
+  for (std::uint32_t width : {1u, 2u, 3u, 5u, 8u, 9u, 12u}) {
+    const Aig count = majorityViaCount(width);
+    const Aig threshold = majorityViaThreshold(width);
+    const std::uint64_t limit = 1ULL << width;
+    for (std::uint64_t x = 0; x < limit; ++x) {
+      const auto in = toBits(x, width);
+      const bool expected =
+          static_cast<std::uint32_t>(__builtin_popcountll(x)) > width / 2;
+      ASSERT_EQ(count.evaluate(in)[0], expected)
+          << "count w=" << width << " x=" << x;
+      ASSERT_EQ(threshold.evaluate(in)[0], expected)
+          << "threshold w=" << width << " x=" << x;
+    }
+  }
+}
+
+TEST(PriorityEncoder, BothVariantsPickHighestSetBit) {
+  for (std::uint32_t width : {2u, 4u, 8u, 16u}) {
+    const Aig chain = priorityEncoderChain(width);
+    const Aig tree = priorityEncoderTree(width);
+    std::uint32_t bits = 0;
+    while ((1u << bits) < width) ++bits;
+    ASSERT_EQ(chain.numOutputs(), bits + 1);
+    ASSERT_EQ(tree.numOutputs(), bits + 1);
+    const std::uint64_t limit = width <= 12 ? (1ULL << width) : 4096;
+    Rng rng(19);
+    for (std::uint64_t k = 0; k < limit; ++k) {
+      const std::uint64_t x =
+          width <= 12 ? k : (rng.next64() & ((1ULL << width) - 1));
+      const auto in = toBits(x, width);
+      const bool anyExpected = x != 0;
+      std::uint64_t indexExpected = 0;
+      if (x) indexExpected = 63 - __builtin_clzll(x);
+      for (const Aig* g : {&chain, &tree}) {
+        const auto out = g->evaluate(in);
+        ASSERT_EQ(out[bits], anyExpected);
+        if (anyExpected) {
+          ASSERT_EQ(fromBits(out, 0, bits), indexExpected)
+              << "w=" << width << " x=" << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(PriorityEncoder, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)priorityEncoderChain(6), std::invalid_argument);
+  EXPECT_THROW((void)priorityEncoderTree(10), std::invalid_argument);
+}
+
+TEST(MiscLogic, CrossVariantCertifiedEquivalence) {
+  struct Pair {
+    Aig left, right;
+  };
+  const Pair pairs[] = {
+      {popcountChain(12), popcountTree(12)},
+      {majorityViaCount(11), majorityViaThreshold(11)},
+      {priorityEncoderChain(16), priorityEncoderTree(16)},
+  };
+  for (const auto& pair : pairs) {
+    const Aig miter = cec::buildMiter(pair.left, pair.right);
+    const cec::CertifyReport report = cec::certifyMiter(miter);
+    ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+    EXPECT_TRUE(report.proofChecked) << report.check.error;
+  }
+}
+
+}  // namespace
+}  // namespace cp::gen

@@ -1,0 +1,76 @@
+#include "src/cec/miter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/gen/arith.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+
+TEST(Miter, OutputIsDisjunctionOfDifferences) {
+  const Aig left = gen::rippleCarryAdder(3);
+  Aig right = gen::rippleCarryAdder(3);
+  right.setOutput(1, !right.output(1));  // corrupt bit 1
+  const Aig miter = buildMiter(left, right);
+  ASSERT_EQ(miter.numOutputs(), 1u);
+  ASSERT_EQ(miter.numInputs(), left.numInputs());
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    std::vector<bool> in(6);
+    for (int i = 0; i < 6; ++i) in[i] = (bits >> i) & 1;
+    const auto lo = left.evaluate(in);
+    const auto ro = right.evaluate(in);
+    bool differ = false;
+    for (std::size_t k = 0; k < lo.size(); ++k) differ |= lo[k] != ro[k];
+    EXPECT_EQ(miter.evaluate(in)[0], differ);
+  }
+}
+
+TEST(Miter, EquivalentCircuitsGiveConstantFalseSemantics) {
+  const Aig left = gen::parityChain(5);
+  const Aig right = gen::parityTree(5);
+  const Aig miter = buildMiter(left, right);
+  for (std::uint64_t bits = 0; bits < 32; ++bits) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (bits >> i) & 1;
+    EXPECT_FALSE(miter.evaluate(in)[0]);
+  }
+}
+
+TEST(Miter, SingleOutputSelection) {
+  const Aig left = gen::rippleCarryAdder(3);
+  Aig right = gen::rippleCarryAdder(3);
+  right.setOutput(0, !right.output(0));  // corrupt only output 0
+  // Miter over output 2 (untouched): constant false.
+  const Aig ok = buildMiter(left, 2, right, 2);
+  // Miter over output 0: equals XOR of the corrupted bit -> not constant.
+  const Aig bad = buildMiter(left, 0, right, 0);
+  bool sawDifference = false;
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    std::vector<bool> in(6);
+    for (int i = 0; i < 6; ++i) in[i] = (bits >> i) & 1;
+    EXPECT_FALSE(ok.evaluate(in)[0]);
+    sawDifference |= bad.evaluate(in)[0];
+  }
+  EXPECT_TRUE(sawDifference);
+}
+
+TEST(Miter, RejectsInterfaceMismatch) {
+  const Aig a4 = gen::rippleCarryAdder(4);
+  const Aig a5 = gen::rippleCarryAdder(5);
+  EXPECT_THROW((void)buildMiter(a4, a5), std::invalid_argument);
+  const Aig cmp = gen::treeComparator(4);  // same inputs, 1 output
+  EXPECT_THROW((void)buildMiter(a4, cmp), std::invalid_argument);
+}
+
+TEST(Miter, SharedInputsAreNotDuplicated) {
+  const Aig left = gen::parityChain(6);
+  const Aig right = gen::parityTree(6);
+  const Aig miter = buildMiter(left, right);
+  EXPECT_EQ(miter.numInputs(), 6u);
+}
+
+}  // namespace
+}  // namespace cp::cec

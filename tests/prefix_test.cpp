@@ -1,0 +1,148 @@
+// Correctness of the parallel-prefix adders and the carry-save multiplier,
+// plus cross-family certified equivalence.
+#include "src/gen/prefix_adders.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/gen/arith.h"
+
+namespace cp::gen {
+namespace {
+
+using aig::Aig;
+
+std::vector<bool> toBits(std::uint64_t value, std::uint32_t width) {
+  std::vector<bool> bits(width);
+  for (std::uint32_t i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+std::uint64_t fromBits(const std::vector<bool>& bits, std::size_t offset,
+                       std::size_t count) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    value |= static_cast<std::uint64_t>(bits[offset + i]) << i;
+  }
+  return value;
+}
+
+struct PrefixCase {
+  const char* name;
+  Aig (*build)(std::uint32_t);
+  std::uint32_t width;
+};
+
+class PrefixAdderCorrectness : public testing::TestWithParam<PrefixCase> {};
+
+TEST_P(PrefixAdderCorrectness, MatchesIntegerAddition) {
+  const auto& param = GetParam();
+  const Aig g = param.build(param.width);
+  ASSERT_EQ(g.numInputs(), 2 * param.width);
+  ASSERT_EQ(g.numOutputs(), param.width + 1);
+  const std::uint64_t mask = (1ULL << param.width) - 1;
+  Rng rng(41);
+  auto check = [&](std::uint64_t a, std::uint64_t b) {
+    std::vector<bool> in = toBits(a, param.width);
+    const auto bBits = toBits(b, param.width);
+    in.insert(in.end(), bBits.begin(), bBits.end());
+    const auto out = g.evaluate(in);
+    const std::uint64_t expected = a + b;
+    ASSERT_EQ(fromBits(out, 0, param.width), expected & mask)
+        << param.name << ": " << a << "+" << b;
+    ASSERT_EQ(out[param.width], ((expected >> param.width) & 1) != 0);
+  };
+  if (param.width <= 4) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) check(a, b);
+    }
+  } else {
+    // Corner cases plus random samples.
+    const std::uint64_t corners[] = {0, 1, mask, mask - 1};
+    for (const std::uint64_t a : corners) {
+      for (const std::uint64_t b : corners) check(a, b);
+    }
+    for (int i = 0; i < 300; ++i) {
+      check(rng.next64() & mask, rng.next64() & mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PrefixAdderCorrectness,
+    testing::Values(PrefixCase{"ks1", koggeStoneAdder, 1},
+                    PrefixCase{"ks2", koggeStoneAdder, 2},
+                    PrefixCase{"ks4", koggeStoneAdder, 4},
+                    PrefixCase{"ks13", koggeStoneAdder, 13},
+                    PrefixCase{"ks32", koggeStoneAdder, 32},
+                    PrefixCase{"sk1", sklanskyAdder, 1},
+                    PrefixCase{"sk4", sklanskyAdder, 4},
+                    PrefixCase{"sk16", sklanskyAdder, 16},
+                    PrefixCase{"sk21", sklanskyAdder, 21},
+                    PrefixCase{"bk1", brentKungAdder, 1},
+                    PrefixCase{"bk2", brentKungAdder, 2},
+                    PrefixCase{"bk4", brentKungAdder, 4},
+                    PrefixCase{"bk15", brentKungAdder, 15},
+                    PrefixCase{"bk32", brentKungAdder, 32}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(CarrySaveMultiplier, MatchesIntegerMultiplication) {
+  for (std::uint32_t width : {2u, 3u, 7u}) {
+    const Aig g = carrySaveMultiplier(width);
+    ASSERT_EQ(g.numOutputs(), 2 * width);
+    const std::uint64_t mask = (1ULL << width) - 1;
+    Rng rng(42);
+    const int samples = width <= 3 ? -1 : 200;
+    auto check = [&](std::uint64_t a, std::uint64_t b) {
+      std::vector<bool> in = toBits(a, width);
+      const auto bBits = toBits(b, width);
+      in.insert(in.end(), bBits.begin(), bBits.end());
+      ASSERT_EQ(fromBits(g.evaluate(in), 0, 2 * width), a * b)
+          << a << "*" << b;
+    };
+    if (samples < 0) {
+      for (std::uint64_t a = 0; a <= mask; ++a) {
+        for (std::uint64_t b = 0; b <= mask; ++b) check(a, b);
+      }
+    } else {
+      for (int i = 0; i < samples; ++i) {
+        check(rng.next64() & mask, rng.next64() & mask);
+      }
+    }
+  }
+}
+
+TEST(PrefixAdders, DepthOrdering) {
+  // Kogge-Stone and Sklansky are log-depth; ripple is linear.
+  const std::uint32_t w = 32;
+  const Aig ks = koggeStoneAdder(w);
+  const Aig sk = sklanskyAdder(w);
+  const Aig rc = rippleCarryAdder(w);
+  EXPECT_LT(ks.depth(), rc.depth() / 2);
+  EXPECT_LT(sk.depth(), rc.depth() / 2);
+}
+
+TEST(PrefixAdders, CrossFamilyCertifiedEquivalence) {
+  const std::uint32_t w = 12;
+  const Aig families[] = {koggeStoneAdder(w), sklanskyAdder(w),
+                          brentKungAdder(w), rippleCarryAdder(w)};
+  for (std::size_t i = 0; i + 1 < std::size(families); ++i) {
+    const Aig miter = cec::buildMiter(families[i], families[i + 1]);
+    const cec::CertifyReport report = cec::certifyMiter(miter);
+    ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent) << i;
+    EXPECT_TRUE(report.proofChecked) << report.check.error;
+  }
+}
+
+TEST(PrefixAdders, CarrySaveVsWallaceCertified) {
+  const Aig miter =
+      cec::buildMiter(carrySaveMultiplier(4), wallaceMultiplier(4));
+  const cec::CertifyReport report = cec::certifyMiter(miter);
+  ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+  EXPECT_TRUE(report.proofChecked) << report.check.error;
+}
+
+}  // namespace
+}  // namespace cp::gen

@@ -1,0 +1,245 @@
+// Tests of the proof data structures independent of the solver: the log
+// API, the checker's rejection behaviour on corrupted proofs, trimming,
+// and TRACECHECK serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/proof/checker.h"
+#include "src/proof/proof_log.h"
+#include "src/proof/tracecheck.h"
+#include "src/proof/trim.h"
+
+namespace cp::proof {
+namespace {
+
+using sat::Lit;
+
+Lit pos(sat::Var v) { return Lit::make(v, false); }
+Lit neg(sat::Var v) { return Lit::make(v, true); }
+
+/// (a), (~a | b), (~b) |- (): the minimal three-axiom refutation.
+ProofLog tinyRefutation() {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId nb = log.addAxiom(std::array<Lit, 1>{neg(1)});
+  const ClauseId b =
+      log.addDerived(std::array<Lit, 1>{pos(1)}, std::array<ClauseId, 2>{a, ab});
+  const ClauseId empty =
+      log.addDerived(std::span<const Lit>{}, std::array<ClauseId, 2>{b, nb});
+  log.setRoot(empty);
+  return log;
+}
+
+TEST(ProofLog, BasicAccessors) {
+  const ProofLog log = tinyRefutation();
+  EXPECT_EQ(log.numClauses(), 5u);
+  EXPECT_EQ(log.numAxioms(), 3u);
+  EXPECT_EQ(log.numDerived(), 2u);
+  EXPECT_EQ(log.numResolutions(), 2u);
+  EXPECT_TRUE(log.isAxiom(1));
+  EXPECT_FALSE(log.isAxiom(4));
+  EXPECT_EQ(log.lits(1).size(), 1u);
+  EXPECT_EQ(log.chain(4).size(), 2u);
+  EXPECT_TRUE(log.hasRoot());
+}
+
+TEST(ProofLog, RejectsForwardChainReference) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW((void)log.addDerived(std::array<Lit, 1>{pos(1)},
+                                    std::array<ClauseId, 2>{a, 99}),
+               std::invalid_argument);
+}
+
+TEST(ProofLog, RejectsEmptyChain) {
+  ProofLog log;
+  EXPECT_THROW(
+      (void)log.addDerived(std::array<Lit, 1>{pos(0)}, std::span<const ClauseId>{}),
+      std::invalid_argument);
+}
+
+TEST(ProofLog, RejectsNonEmptyRoot) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW(log.setRoot(a), std::invalid_argument);
+}
+
+TEST(Checker, AcceptsValidRefutation) {
+  const ProofLog log = tinyRefutation();
+  const auto result = checkProof(log);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.axiomsChecked, 3u);
+  EXPECT_EQ(result.derivedChecked, 2u);
+  EXPECT_EQ(result.resolutions, 2u);
+}
+
+TEST(Checker, RequiresRootByDefault) {
+  ProofLog log;
+  (void)log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const auto result = checkProof(log);
+  EXPECT_FALSE(result.ok);
+  CheckOptions relaxed;
+  relaxed.requireRoot = false;
+  EXPECT_TRUE(checkProof(log, relaxed).ok);
+}
+
+TEST(Checker, RejectsWrongDerivedLiterals) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  // Chain yields (b) but we record (~b).
+  (void)log.addDerived(std::array<Lit, 1>{neg(1)},
+                       std::array<ClauseId, 2>{a, ab});
+  CheckOptions options;
+  options.requireRoot = false;
+  const auto result = checkProof(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, 3u);
+}
+
+TEST(Checker, RejectsNoPivotStep) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId b = log.addAxiom(std::array<Lit, 1>{pos(1)});
+  (void)log.addDerived(std::array<Lit, 2>{pos(0), pos(1)},
+                       std::array<ClauseId, 2>{a, b});
+  CheckOptions options;
+  options.requireRoot = false;
+  const auto result = checkProof(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no pivot"), std::string::npos);
+}
+
+TEST(Checker, RejectsDoublePivotStep) {
+  ProofLog log;
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(0), pos(1)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(0), neg(1)});
+  (void)log.addDerived(std::span<const Lit>{},
+                       std::array<ClauseId, 2>{c1, c2});
+  CheckOptions options;
+  options.requireRoot = false;
+  const auto result = checkProof(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("more than one pivot"), std::string::npos);
+}
+
+TEST(Checker, RejectsSubsetMismatch) {
+  // Resolvent (b) recorded as (b | c): supersets are not accepted.
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab = log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  (void)log.addDerived(std::array<Lit, 2>{pos(1), pos(2)},
+                       std::array<ClauseId, 2>{a, ab});
+  CheckOptions options;
+  options.requireRoot = false;
+  EXPECT_FALSE(checkProof(log, options).ok);
+}
+
+TEST(Checker, AxiomValidatorGatesAxioms) {
+  const ProofLog log = tinyRefutation();
+  CheckOptions options;
+  options.axiomValidator = [](std::span<const Lit> lits) {
+    return lits.size() <= 1;  // reject the binary axiom
+  };
+  const auto result = checkProof(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("axiom rejected"), std::string::npos);
+}
+
+TEST(Checker, OnlyNeededSkipsGarbage) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId na = log.addAxiom(std::array<Lit, 1>{neg(0)});
+  // A bogus derived clause NOT on the root's path.
+  const ClauseId junk = log.addDerived(std::array<Lit, 1>{pos(5)},
+                                       std::array<ClauseId, 1>{a});
+  (void)junk;
+  const ClauseId empty = log.addDerived(std::span<const Lit>{},
+                                        std::array<ClauseId, 2>{a, na});
+  log.setRoot(empty);
+
+  CheckOptions full;
+  EXPECT_FALSE(checkProof(log, full).ok);  // junk copy mismatch detected
+
+  CheckOptions needed;
+  needed.onlyNeeded = true;
+  EXPECT_TRUE(checkProof(log, needed).ok);  // junk not on the root path
+}
+
+TEST(Trim, DropsUnneededClauses) {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId na = log.addAxiom(std::array<Lit, 1>{neg(0)});
+  (void)log.addAxiom(std::array<Lit, 1>{pos(7)});  // unused axiom
+  const ClauseId empty = log.addDerived(std::span<const Lit>{},
+                                        std::array<ClauseId, 2>{a, na});
+  log.setRoot(empty);
+
+  const auto trimmed = trimProof(log);
+  EXPECT_EQ(trimmed.log.numClauses(), 3u);
+  EXPECT_EQ(trimmed.stats.clausesBefore, 4u);
+  EXPECT_EQ(trimmed.stats.clausesAfter, 3u);
+  EXPECT_TRUE(checkProof(trimmed.log).ok);
+  EXPECT_EQ(trimmed.oldToNew[3], kNoClause);  // the unused axiom
+}
+
+TEST(Trim, RequiresRoot) {
+  ProofLog log;
+  (void)log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW((void)trimProof(log), std::invalid_argument);
+}
+
+TEST(Tracecheck, RoundTripPreservesEverything) {
+  const ProofLog log = tinyRefutation();
+  std::stringstream ss;
+  writeTracecheck(log, ss);
+  const ProofLog back = readTracecheck(ss);
+  EXPECT_EQ(back.numClauses(), log.numClauses());
+  EXPECT_EQ(back.numAxioms(), log.numAxioms());
+  EXPECT_TRUE(back.hasRoot());
+  EXPECT_TRUE(checkProof(back).ok);
+}
+
+TEST(Tracecheck, RootIsLastLine) {
+  const ProofLog log = tinyRefutation();
+  std::stringstream ss;
+  writeTracecheck(log, ss);
+  std::string lastLine, line;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) lastLine = line;
+  }
+  // Root line: "<id> 0 <chain> 0" -- starts with the root id followed by 0.
+  std::stringstream parse(lastLine);
+  long long id = 0, zero = -1;
+  parse >> id >> zero;
+  EXPECT_EQ(static_cast<ClauseId>(id), log.root());
+  EXPECT_EQ(zero, 0);
+}
+
+TEST(Tracecheck, ParsesSparseIds) {
+  std::stringstream ss("10 1 0 0\n20 -1 0 0\n30 0 10 20 0\n");
+  const ProofLog log = readTracecheck(ss);
+  EXPECT_EQ(log.numClauses(), 3u);
+  EXPECT_TRUE(log.hasRoot());
+  EXPECT_TRUE(checkProof(log).ok);
+}
+
+TEST(Tracecheck, RejectsUndefinedAntecedent) {
+  std::stringstream ss("1 1 0 0\n2 0 1 99 0\n");
+  EXPECT_THROW((void)readTracecheck(ss), std::runtime_error);
+}
+
+TEST(Tracecheck, RejectsDuplicateId) {
+  std::stringstream ss("1 1 0 0\n1 -1 0 0\n");
+  EXPECT_THROW((void)readTracecheck(ss), std::runtime_error);
+}
+
+TEST(Tracecheck, RejectsTruncatedLine) {
+  std::stringstream ss("1 1 0");
+  EXPECT_THROW((void)readTracecheck(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cp::proof

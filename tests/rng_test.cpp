@@ -1,0 +1,86 @@
+#include "src/base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next64() == b.next64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next64();
+  a.next64();
+  a.reseed(7);
+  EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) heads += rng.flip();
+  EXPECT_GT(heads, trials / 2 - 500);
+  EXPECT_LT(heads, trials / 2 + 500);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+    EXPECT_TRUE(rng.chance(100, 100));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(1, 4);
+  EXPECT_GT(hits, trials / 4 - 400);
+  EXPECT_LT(hits, trials / 4 + 400);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) seen.insert(rng.next64());
+  EXPECT_GT(seen.size(), 8u);  // not stuck
+}
+
+}  // namespace
+}  // namespace cp

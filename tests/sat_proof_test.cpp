@@ -1,0 +1,186 @@
+// Focused tests of the solver's resolution proof logging: every UNSAT
+// verdict (global or under assumptions) must produce chains the
+// independent checker replays successfully, and derived lemma clauses must
+// be logically meaningful.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+#include "src/sat/solver.h"
+
+namespace cp::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(SatProof, UnitContradictionProof) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_FALSE(s.addClause({neg(v)}));
+  ASSERT_TRUE(log.hasRoot());
+  EXPECT_TRUE(log.lits(log.root()).empty());
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SatProof, PropagatedContradictionProof) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  EXPECT_FALSE(s.addClause({neg(a), neg(b)}));
+  ASSERT_TRUE(log.hasRoot());
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SatProof, SearchUnsatProofChecks) {
+  proof::ProofLog log;
+  Solver s(&log);
+  // Pigeonhole 4/3: needs real conflict analysis, restarts unlikely but
+  // learning certain.
+  constexpr int P = 4, H = 3;
+  Var p[P][H];
+  for (auto& row : p) {
+    for (auto& x : row) x = s.newVar();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < H; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.addClause(clause));
+  }
+  for (int j = 0; j < H; ++j) {
+    for (int i1 = 0; i1 < P; ++i1) {
+      for (int i2 = i1 + 1; i2 < P; ++i2) {
+        ASSERT_TRUE(s.addClause({neg(p[i1][j]), neg(p[i2][j])}));
+      }
+    }
+  }
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  ASSERT_TRUE(log.hasRoot());
+  ASSERT_GT(s.stats().conflicts, 0u);
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+  // Trimming preserves validity.
+  const auto trimmed = proof::trimProof(log);
+  const auto checkTrimmed = proof::checkProof(trimmed.log);
+  EXPECT_TRUE(checkTrimmed.ok) << checkTrimmed.error;
+  EXPECT_LE(trimmed.log.numClauses(), log.numClauses());
+}
+
+TEST(SatProof, AssumptionConflictProducesLemma) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var c = s.newVar();
+  ASSERT_TRUE(s.addClause({neg(a), pos(c)}));
+  ASSERT_TRUE(s.addClause({neg(b), neg(c)}));
+  const Lit assume[2] = {pos(a), pos(b)};
+  ASSERT_EQ(s.solve(std::span<const Lit>(assume, 2)), LBool::kFalse);
+  const proof::ClauseId lemma = s.conflictProofId();
+  ASSERT_NE(lemma, proof::kNoClause);
+  // The recorded clause must equal the reported conflict clause.
+  const auto recorded = log.lits(lemma);
+  ASSERT_EQ(recorded.size(), s.conflictClause().size());
+  // Checker accepts the full log without requiring a root (no refutation
+  // yet, only a lemma derivation).
+  proof::CheckOptions options;
+  options.requireRoot = false;
+  const auto check = proof::checkProof(log, options);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SatProof, LemmasAccumulateAcrossIncrementalCalls) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var x = s.newVar();
+  const Var y = s.newVar();
+  const Var z = s.newVar();
+  // x <-> y, y <-> z.
+  ASSERT_TRUE(s.addClause({neg(x), pos(y)}));
+  ASSERT_TRUE(s.addClause({pos(x), neg(y)}));
+  ASSERT_TRUE(s.addClause({neg(y), pos(z)}));
+  ASSERT_TRUE(s.addClause({pos(y), neg(z)}));
+
+  // Prove x -> z and z -> x by refuting the negations.
+  const Lit up[2] = {pos(x), neg(z)};
+  ASSERT_EQ(s.solve(std::span<const Lit>(up, 2)), LBool::kFalse);
+  const proof::ClauseId l1 = s.conflictProofId();
+  ASSERT_NE(l1, proof::kNoClause);
+
+  const Lit down[2] = {neg(x), pos(z)};
+  ASSERT_EQ(s.solve(std::span<const Lit>(down, 2)), LBool::kFalse);
+  const proof::ClauseId l2 = s.conflictProofId();
+  ASSERT_NE(l2, proof::kNoClause);
+
+  proof::CheckOptions options;
+  options.requireRoot = false;
+  const auto check = proof::checkProof(log, options);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GE(log.numDerived(), 2u);
+}
+
+TEST(SatProof, LoggingOffProducesNothing) {
+  Solver s;  // no log
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_FALSE(s.addClause({neg(v)}));
+  EXPECT_EQ(s.emptyClauseId(), proof::kNoClause);
+}
+
+TEST(SatProof, RandomUnsatInstancesAllCheck) {
+  Rng rng(4242);
+  int unsatSeen = 0;
+  for (int round = 0; round < 60; ++round) {
+    proof::ProofLog log;
+    Solver s(&log);
+    const int numVars = 8;
+    for (int i = 0; i < numVars; ++i) (void)s.newVar();
+    bool consistent = true;
+    for (int c = 0; c < 45 && consistent; ++c) {
+      Lit clause[3];
+      for (auto& l : clause) {
+        l = Lit::make(static_cast<Var>(rng.below(numVars)), rng.flip());
+      }
+      consistent = s.addClause(clause);
+    }
+    const LBool verdict = consistent ? s.solve() : LBool::kFalse;
+    if (verdict != LBool::kFalse) continue;
+    ++unsatSeen;
+    ASSERT_TRUE(log.hasRoot());
+    const auto check = proof::checkProof(log);
+    ASSERT_TRUE(check.ok) << "round " << round << ": " << check.error;
+    // Trimmed version checks too and is never larger.
+    const auto trimmed = proof::trimProof(log);
+    const auto checkTrimmed = proof::checkProof(trimmed.log);
+    ASSERT_TRUE(checkTrimmed.ok) << checkTrimmed.error;
+    ASSERT_LE(trimmed.stats.resolutionsAfter, trimmed.stats.resolutionsBefore);
+  }
+  EXPECT_GT(unsatSeen, 10);  // the parameters make most rounds UNSAT
+}
+
+TEST(SatProof, ProofStatisticsAreConsistent) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({pos(a), neg(b)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(a), neg(b)}));
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_EQ(log.numClauses(), log.numAxioms() + log.numDerived());
+  EXPECT_GE(log.numAxioms(), 4u);
+  EXPECT_GE(log.numDerived(), 1u);
+  EXPECT_GT(log.memoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cp::sat

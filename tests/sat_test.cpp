@@ -1,0 +1,285 @@
+#include "src/sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/proof/checker.h"
+
+namespace cp::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+std::vector<Var> makeVars(Solver& s, int n) {
+  std::vector<Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.newVar());
+  return vars;
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, SingleUnit) {
+  Solver s;
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(v), LBool::kTrue);
+}
+
+TEST(Solver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_FALSE(s.addClause({neg(v)}));
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Solver, PropagationChain) {
+  // (a) (~a|b) (~b|c) (~c|d) forces all true.
+  Solver s;
+  const auto v = makeVars(s, 4);
+  ASSERT_TRUE(s.addClause({pos(v[0])}));
+  ASSERT_TRUE(s.addClause({neg(v[0]), pos(v[1])}));
+  ASSERT_TRUE(s.addClause({neg(v[1]), pos(v[2])}));
+  ASSERT_TRUE(s.addClause({neg(v[2]), pos(v[3])}));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  for (const Var x : v) EXPECT_EQ(s.modelValue(x), LBool::kTrue);
+}
+
+TEST(Solver, TautologyIsIgnored) {
+  Solver s;
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v), neg(v)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, DuplicateLiteralsCollapse) {
+  Solver s;
+  const Var v = s.newVar();
+  const Var w = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v), pos(v), neg(w), neg(w)}));
+  ASSERT_TRUE(s.addClause({neg(v)}));
+  // (v | ~w) with v=0 propagates ~w at the root level, so adding (w)
+  // reveals the contradiction immediately.
+  EXPECT_FALSE(s.addClause({pos(w)}));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Solver, XorChainUnsat) {
+  // Encode x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 (odd cycle): UNSAT.
+  Solver s;
+  const auto v = makeVars(s, 3);
+  auto addXor1 = [&](Var a, Var b) {
+    ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+    ASSERT_TRUE(s.addClause({neg(a), neg(b)}));
+  };
+  addXor1(v[0], v[1]);
+  addXor1(v[1], v[2]);
+  addXor1(v[0], v[2]);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_TRUE(s.conflictClause().empty());  // global, not assumption-based
+}
+
+TEST(Solver, PigeonHole32IsUnsat) {
+  // 3 pigeons, 2 holes. p[i][j]: pigeon i in hole j.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (auto& x : row) x = s.newVar();
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.addClause({pos(p[i][0]), pos(p[i][1])}));
+  }
+  for (int j = 0; j < 2; ++j) {
+    for (int i1 = 0; i1 < 3; ++i1) {
+      for (int i2 = i1 + 1; i2 < 3; ++i2) {
+        ASSERT_TRUE(s.addClause({neg(p[i1][j]), neg(p[i2][j])}));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Solver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const auto v = makeVars(s, 2);
+  ASSERT_TRUE(s.addClause({neg(v[0]), pos(v[1])}));  // a -> b
+  const Lit assumeAB[2] = {pos(v[0]), neg(v[1])};    // a & ~b
+  EXPECT_EQ(s.solve(std::span<const Lit>(assumeAB, 2)), LBool::kFalse);
+  // Conflict clause mentions only (negated) assumptions.
+  for (const Lit l : s.conflictClause()) {
+    EXPECT_TRUE(l == neg(v[0]) || l == pos(v[1]));
+  }
+  EXPECT_FALSE(s.conflictClause().empty());
+  // Solver remains usable and satisfiable afterwards.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  const Lit assumeA[1] = {pos(v[0])};
+  EXPECT_EQ(s.solve(std::span<const Lit>(assumeA, 1)), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(v[1]), LBool::kTrue);
+}
+
+TEST(Solver, AssumptionFalseAtLevelZero) {
+  Solver s;
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({neg(v)}));
+  const Lit assume[1] = {pos(v)};
+  EXPECT_EQ(s.solve(std::span<const Lit>(assume, 1)), LBool::kFalse);
+  ASSERT_EQ(s.conflictClause().size(), 1u);
+  EXPECT_EQ(s.conflictClause()[0], neg(v));
+}
+
+TEST(Solver, IncrementalClauseAddition) {
+  Solver s;
+  const auto v = makeVars(s, 3);
+  ASSERT_TRUE(s.addClause({pos(v[0]), pos(v[1])}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  ASSERT_TRUE(s.addClause({neg(v[0])}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(v[1]), LBool::kTrue);
+  ASSERT_TRUE(s.addClause({neg(v[1]), pos(v[2])}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(v[2]), LBool::kTrue);
+}
+
+TEST(Solver, SolveLimitedReturnsUndefOnTinyBudget) {
+  // A formula that needs some search: 8-pigeon/7-hole.
+  Solver s;
+  constexpr int P = 8, H = 7;
+  Var p[P][H];
+  for (auto& row : p) {
+    for (auto& x : row) x = s.newVar();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < H; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.addClause(clause));
+  }
+  for (int j = 0; j < H; ++j) {
+    for (int i1 = 0; i1 < P; ++i1) {
+      for (int i2 = i1 + 1; i2 < P; ++i2) {
+        ASSERT_TRUE(s.addClause({neg(p[i1][j]), neg(p[i2][j])}));
+      }
+    }
+  }
+  EXPECT_EQ(s.solveLimited({}, 5), LBool::kUndef);
+  // And unlimited finishes with UNSAT.
+  EXPECT_EQ(s.solveLimited({}, -1), LBool::kFalse);
+}
+
+TEST(Solver, ModelSatisfiesAllClauses) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    Solver s;
+    const int numVars = 15;
+    const auto vars = makeVars(s, numVars);
+    std::vector<std::vector<Lit>> clauses;
+    bool consistent = true;
+    for (int c = 0; c < 50 && consistent; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(
+            Lit::make(vars[rng.below(numVars)], rng.flip()));
+      }
+      clauses.push_back(clause);
+      consistent = s.addClause(clause);
+    }
+    if (!consistent) continue;
+    if (s.solve() != LBool::kTrue) continue;
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        satisfied |= s.modelValue(l) == LBool::kTrue;
+      }
+      EXPECT_TRUE(satisfied);
+    }
+  }
+}
+
+// ---- randomized cross-check against brute force ---------------------------
+
+struct RandomCnfParams {
+  int numVars;
+  int numClauses;
+  int clauseSize;
+  std::uint64_t seed;
+};
+
+class SolverRandomCross : public testing::TestWithParam<RandomCnfParams> {};
+
+bool bruteForceSat(int numVars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t assignment = 0; assignment < (1u << numVars);
+       ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const bool value = ((assignment >> l.var()) & 1) != 0;
+        any |= (value != l.negated());
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST_P(SolverRandomCross, AgreesWithBruteForceAndProvesUnsat) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < param.numClauses; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < param.clauseSize; ++k) {
+        clause.push_back(Lit::make(
+            static_cast<Var>(rng.below(param.numVars)), rng.flip()));
+      }
+      clauses.push_back(clause);
+    }
+    const bool expected = bruteForceSat(param.numVars, clauses);
+
+    proof::ProofLog log;
+    Solver s(&log);
+    for (int i = 0; i < param.numVars; ++i) (void)s.newVar();
+    bool consistent = true;
+    for (const auto& clause : clauses) {
+      consistent = s.addClause(clause);
+      if (!consistent) break;
+    }
+    const LBool verdict =
+        consistent ? s.solve() : LBool::kFalse;
+    EXPECT_EQ(verdict == LBool::kTrue, expected)
+        << "round " << round << " seed " << param.seed;
+
+    if (verdict == LBool::kFalse) {
+      // Every UNSAT must carry a checkable refutation.
+      ASSERT_TRUE(log.hasRoot());
+      const auto check = proof::checkProof(log);
+      EXPECT_TRUE(check.ok) << check.error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverRandomCross,
+    testing::Values(RandomCnfParams{6, 30, 2, 11},   // dense 2-SAT: mostly UNSAT
+                    RandomCnfParams{8, 35, 3, 22},   // near threshold
+                    RandomCnfParams{10, 44, 3, 33},  // ~4.4 ratio
+                    RandomCnfParams{12, 40, 3, 44},  // mostly SAT
+                    RandomCnfParams{9, 60, 3, 55},   // over-constrained
+                    RandomCnfParams{7, 50, 2, 66},
+                    RandomCnfParams{14, 56, 4, 77},
+                    RandomCnfParams{5, 40, 3, 88}));
+
+}  // namespace
+}  // namespace cp::sat

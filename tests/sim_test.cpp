@@ -1,0 +1,198 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/arith.h"
+#include "src/gen/random_aig.h"
+#include "src/sim/equiv_classes.h"
+
+namespace cp::sim {
+namespace {
+
+using aig::Aig;
+using aig::Edge;
+
+TEST(Simulator, MatchesEvaluateOnRandomPatterns) {
+  Rng rng(1);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 7;
+  opt.numAnds = 120;
+  opt.numOutputs = 3;
+  const Aig g = gen::randomAig(opt, rng);
+
+  AigSimulator sim(g, 2);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+
+  for (std::uint32_t p = 0; p < sim.numPatterns(); p += 13) {
+    std::vector<bool> in(g.numInputs());
+    for (std::uint32_t i = 0; i < g.numInputs(); ++i) {
+      in[i] = sim.bit(g.inputNode(i), p);
+    }
+    const auto expected = g.evaluate(in);
+    for (std::uint32_t o = 0; o < g.numOutputs(); ++o) {
+      EXPECT_EQ(sim.edgeBit(g.output(o), p), expected[o]);
+    }
+  }
+}
+
+TEST(Simulator, ConstantNodeIsAlwaysZero) {
+  Aig g;
+  (void)g.addInput();
+  Rng rng(2);
+  AigSimulator sim(g, 4);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  for (const std::uint64_t w : sim.values(0)) EXPECT_EQ(w, 0u);
+}
+
+TEST(Simulator, SetInputPatternInjectsExactly) {
+  const Aig g = gen::rippleCarryAdder(4);
+  Rng rng(3);
+  AigSimulator sim(g, 1);
+  sim.randomizeInputs(rng);
+  // a = 5, b = 11 -> sum = 16 (bit 4 set only).
+  std::vector<bool> in(8, false);
+  in[0] = true; in[2] = true;          // a = 0101
+  in[4] = true; in[5] = true; in[7] = true;  // b = 1011
+  sim.setInputPattern(17, in);
+  sim.simulate();
+  const auto expected = g.evaluate(in);
+  for (std::uint32_t o = 0; o < g.numOutputs(); ++o) {
+    EXPECT_EQ(sim.edgeBit(g.output(o), 17), expected[o]);
+  }
+}
+
+TEST(Simulator, CanonicalEqualDetectsComplementPairs) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  // addXor's top AND node computes XNOR (the returned edge is
+  // complemented); the sum-of-products XNOR's top node computes XOR.
+  // The two nodes are function-complementary.
+  const Edge viaXor = g.addXor(a, b);
+  const Edge viaSop = g.addOr(g.addAnd(a, b), g.addAnd(!a, !b));
+  ASSERT_NE(viaXor.node(), viaSop.node());
+  g.addOutput(viaXor);
+  g.addOutput(viaSop);
+
+  Rng rng(4);
+  AigSimulator sim(g, 4);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  EXPECT_TRUE(sim.canonicalEqual(viaXor.node(), viaSop.node()));
+  EXPECT_NE(sim.canonicalPolarity(viaXor.node()),
+            sim.canonicalPolarity(viaSop.node()));
+}
+
+TEST(Simulator, CanonicalHashAgreesWithCanonicalEqual) {
+  Rng rng(5);
+  gen::RandomAigOptions opt;
+  opt.numInputs = 5;
+  opt.numAnds = 60;
+  const Aig g = gen::randomAig(opt, rng);
+  AigSimulator sim(g, 2);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  for (std::uint32_t a = 0; a < g.numNodes(); ++a) {
+    for (std::uint32_t b = a + 1; b < g.numNodes(); b += 7) {
+      if (sim.canonicalEqual(a, b)) {
+        EXPECT_EQ(sim.canonicalHash(a), sim.canonicalHash(b));
+      }
+    }
+  }
+}
+
+TEST(EquivClasses, GroupsFunctionallyIdenticalNodes) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge n1 = g.addAnd(a, b);
+  // A second computation of AND(a, b): (a AND b) AND (a OR b) is
+  // structurally distinct but functionally identical.
+  const Edge n2 = g.addAnd(n1, g.addOr(a, b));
+  g.addOutput(n1);
+  g.addOutput(n2);
+
+  Rng rng(6);
+  AigSimulator sim(g, 8);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  EquivClasses classes(sim);
+  ASSERT_NE(classes.classOf(n1.node()), EquivClasses::kNoClass);
+  EXPECT_EQ(classes.classOf(n1.node()), classes.classOf(n2.node()));
+  EXPECT_LE(classes.representative(n2.node()), n1.node());
+}
+
+TEST(EquivClasses, RefineSplitsOnNewEvidence) {
+  // Two nodes that agree on pattern 0..k but differ somewhere: force
+  // agreement first with constant-zero inputs, then inject a
+  // distinguishing pattern and refine.
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge andNode = g.addAnd(a, b);
+  const Edge orNode = g.addOr(a, b);
+  g.addOutput(andNode);
+  g.addOutput(orNode);
+
+  AigSimulator sim(g, 1);
+  // All-zero inputs: AND and OR both simulate to constant 0.
+  sim.simulate();
+  EquivClasses classes(sim);
+  ASSERT_NE(classes.classOf(andNode.node()), EquivClasses::kNoClass);
+  EXPECT_EQ(classes.classOf(andNode.node()), classes.classOf(orNode.node()));
+
+  // Distinguish: a=1, b=0 -> AND=0, OR=1.
+  sim.setInputPattern(0, {true, false});
+  sim.simulate();
+  classes.refine(sim);
+  const auto ca = classes.classOf(andNode.node());
+  const auto co = classes.classOf(orNode.node());
+  EXPECT_TRUE(ca == EquivClasses::kNoClass || ca != co);
+}
+
+TEST(EquivClasses, RemoveDissolvesPairs) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge n1 = g.addAnd(a, b);
+  const Edge n2 = g.addAnd(n1, g.addOr(a, b));
+  g.addOutput(n1);
+  g.addOutput(n2);
+  Rng rng(8);
+  AigSimulator sim(g, 8);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  EquivClasses classes(sim);
+  ASSERT_NE(classes.classOf(n1.node()), EquivClasses::kNoClass);
+  classes.remove(n2.node());
+  EXPECT_EQ(classes.classOf(n2.node()), EquivClasses::kNoClass);
+  // Partner became a singleton and dissolved too.
+  EXPECT_EQ(classes.classOf(n1.node()), EquivClasses::kNoClass);
+}
+
+TEST(EquivClasses, TwoAdderVariantsShareManyCandidates) {
+  // Two structurally different adders over shared inputs: their internal
+  // carry/sum nodes are pairwise function-equal, so candidate classes must
+  // be plentiful.
+  const Aig ripple = gen::rippleCarryAdder(4);
+  const Aig select = gen::carrySelectAdder(4, 2);
+  Aig g;
+  std::vector<Edge> ins;
+  for (std::uint32_t i = 0; i < ripple.numInputs(); ++i) {
+    ins.push_back(g.addInput());
+  }
+  (void)g.append(ripple, ins);
+  (void)g.append(select, ins);
+  Rng rng(10);
+  AigSimulator sim(g, 8);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+  EquivClasses classes(sim);
+  EXPECT_GE(classes.numClasses(), 2u);
+  EXPECT_GE(classes.numCandidateNodes(), 4u);
+}
+
+}  // namespace
+}  // namespace cp::sim

@@ -1,0 +1,169 @@
+// Solver configuration-space tests: correctness must hold for every
+// reasonable option combination (the heuristics only steer search).
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/proof/checker.h"
+#include "src/sat/solver.h"
+
+namespace cp::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+bool bruteForceSat(int numVars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t assignment = 0; assignment < (1u << numVars);
+       ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        any |= (((assignment >> l.var()) & 1) != 0) != l.negated();
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+struct OptionCase {
+  const char* name;
+  SolverOptions options;
+};
+
+SolverOptions withPhaseSavingOff() {
+  SolverOptions o;
+  o.phaseSaving = false;
+  return o;
+}
+SolverOptions withRandomDecisions() {
+  SolverOptions o;
+  o.randomFreq = 0.2;
+  return o;
+}
+SolverOptions withFastDecay() {
+  SolverOptions o;
+  o.varDecay = 0.75;
+  o.clauseDecay = 0.9;
+  return o;
+}
+SolverOptions withTinyRestarts() {
+  SolverOptions o;
+  o.restartFirst = 2;
+  o.restartInc = 1.5;
+  return o;
+}
+SolverOptions withAggressiveLearntGrowth() {
+  SolverOptions o;
+  o.learntSizeFactor = 0.05;  // forces frequent reduceDB
+  o.learntSizeInc = 1.01;
+  return o;
+}
+
+class SolverOptionSweep : public testing::TestWithParam<OptionCase> {};
+
+TEST_P(SolverOptionSweep, AgreesWithBruteForceAndProves) {
+  Rng rng(0xABCDEF + GetParam().options.restartFirst);
+  for (int round = 0; round < 25; ++round) {
+    const int numVars = 10;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 46; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(
+            Lit::make(static_cast<Var>(rng.below(numVars)), rng.flip()));
+      }
+      clauses.push_back(clause);
+    }
+    const bool expected = bruteForceSat(numVars, clauses);
+
+    proof::ProofLog log;
+    Solver s(&log, GetParam().options);
+    for (int i = 0; i < numVars; ++i) (void)s.newVar();
+    bool consistent = true;
+    for (const auto& clause : clauses) {
+      consistent = s.addClause(clause);
+      if (!consistent) break;
+    }
+    const LBool verdict = consistent ? s.solve() : LBool::kFalse;
+    ASSERT_EQ(verdict == LBool::kTrue, expected)
+        << GetParam().name << " round " << round;
+    if (verdict == LBool::kFalse) {
+      const auto check = proof::checkProof(log);
+      ASSERT_TRUE(check.ok) << GetParam().name << ": " << check.error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, SolverOptionSweep,
+    testing::Values(OptionCase{"default", SolverOptions()},
+                    OptionCase{"noPhaseSaving", withPhaseSavingOff()},
+                    OptionCase{"randomDecisions", withRandomDecisions()},
+                    OptionCase{"fastDecay", withFastDecay()},
+                    OptionCase{"tinyRestarts", withTinyRestarts()},
+                    OptionCase{"aggressiveReduce",
+                               withAggressiveLearntGrowth()}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(SolverCornerCases, ComplementaryAssumptionsYieldTautologicalConflict) {
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var v = s.newVar();
+  const Var w = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v), pos(w)}));
+  const Lit assume[2] = {pos(v), neg(v)};
+  EXPECT_EQ(s.solve(std::span<const Lit>(assume, 2)), LBool::kFalse);
+  // The conflict is the tautology (v | ~v): no proof content.
+  EXPECT_EQ(s.conflictProofId(), proof::kNoClause);
+  // The solver remains usable.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(SolverCornerCases, AssumptionOnUnconstrainedVariable) {
+  Solver s;
+  const Var v = s.newVar();
+  const Var unconstrained = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  const Lit assume[1] = {neg(unconstrained)};
+  EXPECT_EQ(s.solve(std::span<const Lit>(assume, 1)), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(unconstrained), LBool::kFalse);
+}
+
+TEST(SolverCornerCases, RepeatedAssumption) {
+  Solver s;
+  const Var v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v), pos(v)}));
+  const Lit assume[2] = {neg(v), neg(v)};
+  EXPECT_EQ(s.solve(std::span<const Lit>(assume, 2)), LBool::kFalse);
+}
+
+TEST(SolverCornerCases, ZeroConflictBudgetStillPropagates) {
+  // A formula decided by pure propagation finishes even with budget 0...
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  EXPECT_EQ(s.solveLimited({}, 1), LBool::kTrue);
+}
+
+TEST(SolverCornerCases, ManyVariablesFewClauses) {
+  // Non-decision variables must not slow down or break search.
+  Solver s;
+  for (int i = 0; i < 50000; ++i) (void)s.newVar();
+  ASSERT_TRUE(s.addClause({pos(13), pos(49999)}));
+  ASSERT_TRUE(s.addClause({neg(13)}));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(Var(49999)), LBool::kTrue);
+  // Unconstrained variables stay unassigned in the model.
+  EXPECT_EQ(s.modelValue(Var(25000)), LBool::kUndef);
+}
+
+}  // namespace
+}  // namespace cp::sat

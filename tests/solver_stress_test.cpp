@@ -1,0 +1,165 @@
+// Stress tests exercising the solver's database maintenance (learnt-clause
+// reduction, arena garbage collection, restarts) while proof logging stays
+// sound.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+#include "src/sat/clause_arena.h"
+#include "src/sat/solver.h"
+
+namespace cp::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+/// Pigeonhole principle CNF: P pigeons into H holes.
+void addPigeonHole(Solver& s, int pigeons, int holes,
+                   std::vector<std::vector<Var>>& p) {
+  p.assign(pigeons, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& x : row) x = s.newVar();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.addClause(clause));
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        ASSERT_TRUE(s.addClause({neg(p[i1][j]), neg(p[i2][j])}));
+      }
+    }
+  }
+}
+
+TEST(SolverStress, PigeonHole87TriggersDbMaintenance) {
+  proof::ProofLog log;
+  Solver s(&log);
+  std::vector<std::vector<Var>> p;
+  addPigeonHole(s, 8, 7, p);
+  ASSERT_EQ(s.solve(), LBool::kFalse);
+  // The run is long enough to reduce the learnt database and restart.
+  EXPECT_GT(s.stats().conflicts, 1000u);
+  EXPECT_GT(s.stats().dbReductions, 0u);
+  EXPECT_GT(s.stats().restarts, 0u);
+  // Proof logging survived deletion and GC.
+  ASSERT_TRUE(log.hasRoot());
+  EXPECT_GT(log.numDeleted(), 0u);
+  const auto trimmed = proof::trimProof(log);
+  const auto check = proof::checkProof(trimmed.log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SolverStress, HardRandom3SatMixRemainsSound) {
+  // Random instances straddling the phase transition, solved with the
+  // whole machinery active; every UNSAT proof must check.
+  Rng rng(20250705);
+  int unsatCount = 0;
+  for (int round = 0; round < 8; ++round) {
+    proof::ProofLog log;
+    Solver s(&log);
+    const int numVars = 60;
+    for (int i = 0; i < numVars; ++i) (void)s.newVar();
+    const int numClauses = static_cast<int>(numVars * 4.4);
+    bool consistent = true;
+    for (int c = 0; c < numClauses && consistent; ++c) {
+      Lit clause[3];
+      for (auto& l : clause) {
+        l = Lit::make(static_cast<Var>(rng.below(numVars)), rng.flip());
+      }
+      consistent = s.addClause(clause);
+    }
+    const LBool verdict = consistent ? s.solve() : LBool::kFalse;
+    if (verdict == LBool::kTrue) continue;
+    ASSERT_EQ(verdict, LBool::kFalse);
+    ++unsatCount;
+    const auto check = proof::checkProof(log);
+    ASSERT_TRUE(check.ok) << "round " << round << ": " << check.error;
+  }
+  EXPECT_GT(unsatCount, 0);
+}
+
+TEST(SolverStress, ManyIncrementalCallsWithAssumptions) {
+  // Emulates the CEC usage pattern: hundreds of assumption pairs against
+  // one growing clause database.
+  proof::ProofLog log;
+  Solver s(&log);
+  const int n = 40;
+  std::vector<Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.newVar());
+  // Chain of equivalences: v0 <-> v1 <-> ... <-> v39.
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(s.addClause({neg(vars[i]), pos(vars[i + 1])}));
+    ASSERT_TRUE(s.addClause({pos(vars[i]), neg(vars[i + 1])}));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; j += 7) {
+      // vi and vj are equivalent: both polarity-mismatch queries UNSAT.
+      const Lit q1[2] = {pos(vars[i]), neg(vars[j])};
+      ASSERT_EQ(s.solve(std::span<const Lit>(q1, 2)), LBool::kFalse);
+      ASSERT_NE(s.conflictProofId(), proof::kNoClause);
+      const Lit q2[2] = {neg(vars[i]), pos(vars[j])};
+      ASSERT_EQ(s.solve(std::span<const Lit>(q2, 2)), LBool::kFalse);
+      ASSERT_NE(s.conflictProofId(), proof::kNoClause);
+    }
+  }
+  // Still satisfiable overall, and the lemma log checks.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  proof::CheckOptions options;
+  options.requireRoot = false;
+  const auto check = proof::checkProof(log, options);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(ClauseArena, AllocAndAccess) {
+  ClauseArena arena;
+  const Lit lits[3] = {pos(1), neg(2), pos(3)};
+  const CRef ref = arena.alloc(lits, /*learnt=*/true, /*proofId=*/42);
+  Clause c = arena.get(ref);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.learnt());
+  EXPECT_FALSE(c.relocated());
+  EXPECT_EQ(c.proofId(), 42u);
+  EXPECT_EQ(c[0], pos(1));
+  EXPECT_EQ(c[1], neg(2));
+  EXPECT_EQ(c[2], pos(3));
+  c.setActivity(2.5f);
+  EXPECT_FLOAT_EQ(arena.get(ref).activity(), 2.5f);
+}
+
+TEST(ClauseArena, FreeTracksWaste) {
+  ClauseArena arena;
+  const Lit lits[2] = {pos(0), pos(1)};
+  const CRef a = arena.alloc(lits, false, 1);
+  (void)arena.alloc(lits, false, 2);
+  EXPECT_EQ(arena.wastedWords(), 0u);
+  arena.free(a);
+  EXPECT_GT(arena.wastedWords(), 0u);
+  EXPECT_LT(arena.wastedWords(), arena.usedWords());
+}
+
+TEST(ClauseArena, RelocationForwardsAndPreservesContent) {
+  ClauseArena arena;
+  const Lit lits[2] = {pos(5), neg(6)};
+  const CRef ref = arena.alloc(lits, true, 7);
+  arena.get(ref).setActivity(1.5f);
+
+  ClauseArena fresh;
+  const CRef moved = arena.relocate(ref, fresh);
+  // Second relocation returns the forwarding pointer.
+  EXPECT_EQ(arena.relocate(ref, fresh), moved);
+  const Clause c = fresh.get(moved);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.learnt());
+  EXPECT_EQ(c.proofId(), 7u);
+  EXPECT_EQ(c[0], pos(5));
+  EXPECT_EQ(c[1], neg(6));
+  EXPECT_FLOAT_EQ(c.activity(), 1.5f);
+}
+
+}  // namespace
+}  // namespace cp::sat
