@@ -1,0 +1,101 @@
+// R-Par: thread-pool scaling of the certified multi-output CEC driver.
+//
+// Each surviving output of a multi-output pair gets an independent miter
+// build + sweep + proof check, so the per-output phase parallelizes with
+// no shared state. This benchmark runs the same certified checkOutputs
+// call at 1/2/4/8 workers on wide adder, shifter and ALU pairs; the
+// verdicts and all counting statistics are bit-identical across worker
+// counts (asserted below), only the wall clock moves.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/cec/multi_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/prefix_adders.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::bench {
+namespace {
+
+struct OutputPair {
+  const char* name;
+  aig::Aig left;
+  aig::Aig right;
+};
+
+/// Multi-output workloads: every pair has >= 8 outputs so the per-output
+/// phase has enough independent tasks to occupy 8 workers.
+const std::vector<OutputPair>& pairs() {
+  static const std::vector<OutputPair>* suite = [] {
+    auto* s = new std::vector<OutputPair>();
+    s->push_back({"add16_rca_ks", gen::rippleCarryAdder(16),
+                  gen::koggeStoneAdder(16)});
+    s->push_back({"shift16_lsb_msb", gen::barrelShifterLsbFirst(16),
+                  gen::barrelShifterMsbFirst(16)});
+    s->push_back({"alu8_a_b", gen::aluVariantA(8), gen::aluVariantB(8)});
+    {
+      Rng rng(23);
+      aig::Aig base = gen::aluVariantA(8);
+      aig::Aig restructured = rewrite::restructure(base, rng);
+      s->push_back({"alu8_restructured", std::move(base),
+                    std::move(restructured)});
+    }
+    return s;
+  }();
+  return *suite;
+}
+
+void BM_ParMultiCec(benchmark::State& state) {
+  const OutputPair& pair = pairs()[static_cast<std::size_t>(state.range(0))];
+  const std::uint32_t threads =
+      static_cast<std::uint32_t>(state.range(1));
+  cec::MultiCecOptions options;
+  options.certify = true;
+  options.numThreads = threads;
+
+  // Reference run at one worker: parallel results must be bit-identical.
+  cec::MultiCecOptions seq = options;
+  seq.numThreads = 1;
+  const cec::MultiCecResult reference =
+      cec::checkOutputs(pair.left, pair.right, seq);
+
+  cec::MultiCecResult last;
+  for (auto _ : state) {
+    last = cec::checkOutputs(pair.left, pair.right, options);
+    benchmark::DoNotOptimize(last);
+  }
+  if (last.overall != reference.overall ||
+      last.satChecked != reference.satChecked ||
+      last.totalConflicts != reference.totalConflicts ||
+      last.totalProofClauses != reference.totalProofClauses) {
+    state.SkipWithError("parallel result diverged from sequential");
+    return;
+  }
+  state.SetLabel(pair.name);
+  state.counters["threads"] = threads;
+  state.counters["outputs"] = static_cast<double>(last.outputs.size());
+  state.counters["satChecked"] = static_cast<double>(last.satChecked);
+  state.counters["proofClauses"] =
+      static_cast<double>(last.totalProofClauses);
+  // Summed per-task time vs wall time: the achievable speedup ceiling.
+  state.counters["taskSeconds"] = last.satSeconds;
+  state.counters["criticalSeconds"] = last.maxOutputSeconds;
+}
+
+void ParArgs(benchmark::internal::Benchmark* b) {
+  for (std::size_t w = 0; w < pairs().size(); ++w) {
+    for (int threads : {1, 2, 4, 8}) {
+      b->Args({static_cast<long>(w), threads});
+    }
+  }
+}
+
+BENCHMARK(BM_ParMultiCec)->Apply(ParArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK_MAIN();

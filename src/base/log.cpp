@@ -1,18 +1,25 @@
 #include "src/base/log.h"
 
+#include <atomic>
+
 namespace cp {
 namespace {
-LogLevel g_level = LogLevel::kSilent;
+std::atomic<LogLevel> g_level{LogLevel::kSilent};
 }
 
-LogLevel logLevel() { return g_level; }
-void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void logLine(LogLevel level, const std::string& text) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fputs(text.c_str(), stderr);
-  std::fputc('\n', stderr);
+  if (static_cast<int>(level) > static_cast<int>(logLevel())) return;
+  // One fputs per line: stdio streams are internally locked, so lines
+  // from concurrent workers interleave but never tear mid-line.
+  std::string line = text;
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
 }
 }  // namespace detail
 

@@ -9,8 +9,10 @@ namespace cp {
 
 enum class LogLevel : int { kSilent = 0, kInfo = 1, kDebug = 2 };
 
-/// Process-wide verbosity. Not thread-safe by design: the library is
-/// single-threaded (CDCL and AIG construction are inherently sequential).
+/// Process-wide verbosity. Reads and writes are atomic (relaxed): the
+/// parallel multi-output CEC driver logs from worker threads, and a torn
+/// or racy read here would be undefined behaviour under TSan even though
+/// any observed value is acceptable.
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 

@@ -1,0 +1,79 @@
+// Fixed-size thread pool with future-returning task submission.
+//
+// The pool exists for work that is embarrassingly parallel at a coarse
+// grain — one certified miter check per output in the multi-output CEC
+// driver is the motivating client. Tasks must own all their mutable state
+// (their own Rng, Solver, ProofLog); the pool provides no synchronization
+// beyond the task queue itself. Exceptions thrown by a task are captured
+// in its future and rethrown at get(), so a worker never dies silently.
+//
+// Shutdown is graceful: the destructor stops accepting new work, drains
+// every task already queued (their futures stay valid), and joins all
+// workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cp {
+
+class ThreadPool {
+ public:
+  /// Spawns resolveThreads(numThreads) workers immediately.
+  explicit ThreadPool(std::size_t numThreads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  std::size_t numWorkers() const { return workers_.size(); }
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t numQueued() const;
+
+  /// Maps the user-facing thread-count knob to a worker count:
+  /// 0 selects one worker per hardware thread (at least 1), any other
+  /// value is taken literally.
+  static std::size_t resolveThreads(std::size_t requested);
+
+  /// Enqueues `fn` and returns a future for its result. A task's
+  /// exception is stored in the future and rethrown by get(). Throws
+  /// std::runtime_error if the pool is already shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    available_.notify_one();
+    return future;
+  }
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace cp

@@ -44,6 +44,11 @@ BddCecResult bddCheck(const aig::Aig& left, const aig::Aig& right,
       left.numOutputs() != right.numOutputs()) {
     throw std::invalid_argument("bddCheck: interface mismatch");
   }
+  if (options.nodeLimit == 0) {
+    throw std::invalid_argument(
+        "BddCecOptions: nodeLimit must be positive (0 cannot hold even a "
+        "constant and every check would report kUndecided)");
+  }
   BddCecResult result;
   bdd::BddManager manager(options.nodeLimit);
   // Variable order: interleave the two operand halves when requested.

@@ -16,7 +16,10 @@
 namespace cp::cec {
 
 struct MonolithicOptions {
-  /// Conflict budget; -1 = unlimited.
+  /// Conflict budget; any negative value = unlimited (the solver
+  /// normalizes it), 0 = give up immediately with kUndecided. Both
+  /// degenerate spellings are well-defined, so no validation is needed
+  /// here — unlike simWords = 0, which silently disables a phase.
   std::int64_t conflictBudget = -1;
 };
 

@@ -1,19 +1,89 @@
 #include "src/cec/multi_cec.h"
 
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/base/rng.h"
+#include "src/base/stopwatch.h"
+#include "src/base/thread_pool.h"
 #include "src/cec/certify.h"
 #include "src/cec/miter.h"
 #include "src/sim/simulator.h"
 
 namespace cp::cec {
 
+namespace {
+
+constexpr std::uint32_t kNoDifference =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// The complete, self-contained check of one surviving output pair: build
+/// the miter, sweep (optionally with proof logging, trimming and
+/// independent checking), and record per-output statistics. Every mutable
+/// object — Rng, Solver, ProofLog, simulator — lives inside this call, so
+/// concurrent invocations share nothing and the result is a pure function
+/// of (left, right, o, options).
+OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
+                             std::uint32_t o,
+                             const MultiCecOptions& options) {
+  Stopwatch timer;
+  OutputVerdict out;
+  const aig::Aig miter = buildMiter(left, o, right, o);
+  if (options.certify) {
+    const CertifyReport report =
+        certifyMiter(miter, Engine::kSweeping, options.sweep);
+    out.verdict = report.cec.verdict;
+    out.counterexample = report.cec.counterexample;
+    out.proofChecked = report.proofChecked;
+    out.satConflicts = report.cec.stats.conflicts;
+    out.proofClauses = report.trimmedClauses;
+    out.proofResolutions = report.trimmedResolutions;
+  } else {
+    const CecResult r = sweepingCheck(miter, options.sweep);
+    out.verdict = r.verdict;
+    out.counterexample = r.counterexample;
+    out.satConflicts = r.stats.conflicts;
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace
+
 MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
                             const MultiCecOptions& options) {
-  if (left.numInputs() != right.numInputs() ||
-      left.numOutputs() != right.numOutputs()) {
-    throw std::invalid_argument("checkOutputs: interface mismatch");
+  if (left.numInputs() != right.numInputs()) {
+    throw std::invalid_argument(
+        "checkOutputs: input count mismatch (left has " +
+        std::to_string(left.numInputs()) + " inputs, right has " +
+        std::to_string(right.numInputs()) + ")");
+  }
+  if (left.numOutputs() != right.numOutputs()) {
+    throw std::invalid_argument(
+        "checkOutputs: output count mismatch (left has " +
+        std::to_string(left.numOutputs()) + " outputs, right has " +
+        std::to_string(right.numOutputs()) + ")");
+  }
+  if (left.numOutputs() == 0) {
+    throw std::invalid_argument(
+        "checkOutputs: circuits have no outputs; an empty interface would "
+        "be vacuously equivalent");
+  }
+  if (options.simWords == 0) {
+    throw std::invalid_argument(
+        "checkOutputs: simWords must be positive (0 silently disables the "
+        "simulation triage pass)");
+  }
+  if (options.sweep.simWords == 0) {
+    throw std::invalid_argument(
+        "checkOutputs: sweep.simWords must be positive (0 silently "
+        "disables sweeping's candidate classes)");
   }
   const std::uint32_t numOutputs = left.numOutputs();
   MultiCecResult result;
@@ -35,7 +105,6 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
   sim.simulate();
 
   bool sawDifference = false;
-  bool sawUndecided = false;
   for (std::uint32_t o = 0; o < numOutputs; ++o) {
     OutputVerdict& out = result.outputs[o];
     for (std::uint32_t p = 0; p < sim.numPatterns(); ++p) {
@@ -48,37 +117,110 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
       for (std::uint32_t i = 0; i < left.numInputs(); ++i) {
         out.counterexample[i] = sim.bit(joint.inputNode(i), p);
       }
+      // Replay the counterexample on the *original* circuits (DESIGN §5:
+      // every inequivalent verdict carries a re-checked counterexample).
+      // A wrong input-index mapping between the joint graph and the
+      // operands must fail loudly here, not surface as a bogus vector.
+      if (left.evaluate(out.counterexample)[o] ==
+          right.evaluate(out.counterexample)[o]) {
+        throw std::logic_error(
+            "checkOutputs: simulation counterexample for output " +
+            std::to_string(o) +
+            " does not replay on the original circuits (input mapping "
+            "bug)");
+      }
       ++result.simulationRefuted;
       sawDifference = true;
       break;
     }
   }
 
-  for (std::uint32_t o = 0; o < numOutputs; ++o) {
-    OutputVerdict& out = result.outputs[o];
-    if (out.verdict == Verdict::kInequivalent) continue;
-    if (sawDifference && options.stopAtFirstDifference) {
+  // Outputs that survived triage, in output order. With
+  // stopAtFirstDifference, a simulation refutation suppresses all SAT
+  // work, matching the sequential driver.
+  std::vector<std::uint32_t> pending;
+  if (!(sawDifference && options.stopAtFirstDifference)) {
+    for (std::uint32_t o = 0; o < numOutputs; ++o) {
+      if (result.outputs[o].verdict == Verdict::kUndecided) pending.push_back(o);
+    }
+  }
+
+  // Per-pending-slot results; nullopt = not run (skipped after a stop).
+  std::vector<std::optional<OutputVerdict>> satResults(pending.size());
+  // Index into `pending` of the first SAT-refuted output.
+  std::uint32_t firstDifference = kNoDifference;
+
+  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+  if (workers <= 1) {
+    // Exact legacy path: strictly sequential, stops at the first
+    // SAT-found difference when asked.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      satResults[i] = checkOneOutput(left, right, pending[i], options);
+      if (satResults[i]->verdict == Verdict::kInequivalent) {
+        firstDifference = static_cast<std::uint32_t>(i);
+        if (options.stopAtFirstDifference) break;
+      }
+    }
+    if (!options.stopAtFirstDifference) firstDifference = kNoDifference;
+  } else {
+    // One task per surviving output. `firstDiff` only ever decreases and
+    // its final value is the minimum pending-index with a SAT
+    // inequivalence, so a task at index i <= final value can never have
+    // observed a smaller value — those tasks always run, and the merge
+    // below reconstructs exactly the sequential prefix.
+    ThreadPool pool(workers);
+    std::atomic<std::uint32_t> firstDiff{kNoDifference};
+    std::vector<std::future<std::optional<OutputVerdict>>> futures;
+    futures.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::uint32_t o = pending[i];
+      const std::uint32_t idx = static_cast<std::uint32_t>(i);
+      futures.push_back(pool.submit(
+          [&left, &right, &options, &firstDiff, o,
+           idx]() -> std::optional<OutputVerdict> {
+            if (options.stopAtFirstDifference &&
+                firstDiff.load(std::memory_order_relaxed) < idx) {
+              return std::nullopt;  // a lower output already stopped the run
+            }
+            OutputVerdict v = checkOneOutput(left, right, o, options);
+            if (v.verdict == Verdict::kInequivalent &&
+                options.stopAtFirstDifference) {
+              std::uint32_t seen = firstDiff.load(std::memory_order_relaxed);
+              while (idx < seen && !firstDiff.compare_exchange_weak(
+                                       seen, idx, std::memory_order_relaxed)) {
+              }
+            }
+            return v;
+          }));
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      satResults[i] = futures[i].get();  // rethrows task exceptions
+    }
+    if (options.stopAtFirstDifference) firstDifference = firstDiff.load();
+  }
+
+  // Deterministic merge in output order. With stopAtFirstDifference, the
+  // sequential driver SAT-checks pending outputs up to and including the
+  // first inequivalent one; everything after stays kUndecided and is not
+  // counted, regardless of what speculative parallel tasks computed.
+  bool sawUndecided = false;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::uint32_t o = pending[i];
+    if (options.stopAtFirstDifference && i > firstDifference) {
       sawUndecided = true;
       continue;  // stays kUndecided
     }
-
-    const aig::Aig miter = buildMiter(left, o, right, o);
+    OutputVerdict& out = result.outputs[o];
+    out = std::move(*satResults[i]);
     ++result.satChecked;
-    if (options.certify) {
-      const CertifyReport report =
-          certifyMiter(miter, Engine::kSweeping, options.sweep);
-      out.verdict = report.cec.verdict;
-      out.counterexample = report.cec.counterexample;
-      out.proofChecked = report.proofChecked;
-    } else {
-      const CecResult r = sweepingCheck(miter, options.sweep);
-      out.verdict = r.verdict;
-      out.counterexample = r.counterexample;
+    result.totalConflicts += out.satConflicts;
+    result.totalProofClauses += out.proofClauses;
+    result.totalProofResolutions += out.proofResolutions;
+    result.satSeconds += out.seconds;
+    if (out.seconds > result.maxOutputSeconds) {
+      result.maxOutputSeconds = out.seconds;
     }
-    if (out.verdict == Verdict::kInequivalent) {
-      sawDifference = true;
-      if (options.stopAtFirstDifference) continue;
-    }
+    if (out.verdict == Verdict::kInequivalent) sawDifference = true;
     if (out.verdict == Verdict::kUndecided) sawUndecided = true;
   }
 

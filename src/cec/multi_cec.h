@@ -5,6 +5,15 @@
 // most broken outputs with a concrete counterexample for free, and only
 // the survivors get a per-output certified miter check. This driver
 // implements that flow on top of sweepingCheck.
+//
+// The per-output phase is embarrassingly parallel — each surviving output
+// gets an independent miter, sweep, and proof check with no shared mutable
+// state — so the driver optionally fans it out over a thread pool
+// (MultiCecOptions::numThreads). Results are merged deterministically in
+// output order: verdicts, counterexamples, proof-check outcomes and all
+// counting statistics are bit-identical to the sequential driver at every
+// worker count (wall-clock timing fields are the only nondeterministic
+// values).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,13 @@ struct OutputVerdict {
   bool proofChecked = false;
   /// How the verdict was reached.
   bool refutedBySimulation = false;
+
+  // Per-output SAT/proof statistics (zero for simulation-refuted and
+  // undecided-skipped outputs). All deterministic except `seconds`.
+  std::uint64_t satConflicts = 0;      ///< solver conflicts in this miter run
+  std::uint64_t proofClauses = 0;      ///< trimmed proof clauses (certify)
+  std::uint64_t proofResolutions = 0;  ///< trimmed resolution steps (certify)
+  double seconds = 0.0;                ///< wall time of this output's task
 };
 
 struct MultiCecOptions {
@@ -34,8 +50,13 @@ struct MultiCecOptions {
   /// Stop after the first inequivalent output (remaining outputs are
   /// reported kUndecided).
   bool stopAtFirstDifference = false;
+  /// Words of joint triage simulation (64 patterns per word). Must be
+  /// positive: 0 would silently disable the triage pass.
   std::uint32_t simWords = 8;
   std::uint64_t simSeed = 0xFEEDFACEULL;
+  /// Worker threads for the per-output SAT/proof phase. 0 = one worker
+  /// per hardware thread; 1 = the exact sequential legacy path (no pool).
+  std::uint32_t numThreads = 1;
 };
 
 struct MultiCecResult {
@@ -45,10 +66,20 @@ struct MultiCecResult {
   std::vector<OutputVerdict> outputs;
   std::uint64_t simulationRefuted = 0;  ///< outputs settled without SAT
   std::uint64_t satChecked = 0;         ///< outputs that needed a miter run
+
+  // Aggregates over the per-output SAT/proof tasks. Deterministic except
+  // the timing fields.
+  std::uint64_t totalConflicts = 0;
+  std::uint64_t totalProofClauses = 0;
+  std::uint64_t totalProofResolutions = 0;
+  double satSeconds = 0.0;        ///< summed task wall time (CPU-ish cost)
+  double maxOutputSeconds = 0.0;  ///< critical path lower bound
 };
 
 /// Checks every output pair of two circuits with identical interfaces.
-/// Throws std::invalid_argument on interface mismatch.
+/// Throws std::invalid_argument on an input- or output-count mismatch
+/// (the message names the dimension and both counts), on circuits with
+/// no outputs, and on degenerate options (simWords == 0).
 MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
                             const MultiCecOptions& options = {});
 

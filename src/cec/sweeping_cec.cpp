@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/base/log.h"
@@ -437,13 +438,29 @@ FraigResult SweepRun::reduce() {
 
 }  // namespace
 
+namespace {
+
+void validateSweepOptions(const SweepOptions& options, const char* caller) {
+  if (options.simWords == 0) {
+    throw std::invalid_argument(
+        std::string(caller) +
+        ": simWords must be positive (0 yields zero simulation patterns, "
+        "so every node lands in one candidate class and the sweep "
+        "degenerates)");
+  }
+}
+
+}  // namespace
+
 CecResult sweepingCheck(const aig::Aig& miter, const SweepOptions& options,
                         proof::ProofLog* log) {
+  validateSweepOptions(options, "sweepingCheck");
   SweepRun run(miter, options, log);
   return run.run();
 }
 
 FraigResult fraigReduce(const aig::Aig& graph, const SweepOptions& options) {
+  validateSweepOptions(options, "fraigReduce");
   SweepRun run(graph, options, /*log=*/nullptr);
   return run.reduce();
 }

@@ -31,7 +31,34 @@ Solver::Solver(proof::ProofLog* log, const SolverOptions& options)
     : options_(options),
       proof_(log),
       order_(activity_),
-      rngState_(options.randomSeed | 1) {}
+      rngState_(options.randomSeed | 1) {
+  // Reject degenerate configurations up front: a decay of 0 divides the
+  // activity bump by zero, a decay above 1 makes activities shrink on
+  // every bump, and a non-positive restart unit stalls the Luby schedule.
+  if (!(options.varDecay > 0.0 && options.varDecay <= 1.0)) {
+    throw std::invalid_argument("SolverOptions: varDecay must be in (0, 1]");
+  }
+  if (!(options.clauseDecay > 0.0 && options.clauseDecay <= 1.0)) {
+    throw std::invalid_argument(
+        "SolverOptions: clauseDecay must be in (0, 1]");
+  }
+  if (options.restartFirst < 1) {
+    throw std::invalid_argument(
+        "SolverOptions: restartFirst must be at least 1");
+  }
+  if (!(options.restartInc >= 1.0)) {
+    throw std::invalid_argument(
+        "SolverOptions: restartInc must be at least 1.0");
+  }
+  if (!(options.learntSizeFactor > 0.0)) {
+    throw std::invalid_argument(
+        "SolverOptions: learntSizeFactor must be positive");
+  }
+  if (!(options.randomFreq >= 0.0 && options.randomFreq <= 1.0)) {
+    throw std::invalid_argument(
+        "SolverOptions: randomFreq must be in [0, 1]");
+  }
+}
 
 Var Solver::newVar() {
   const Var v = numVars();

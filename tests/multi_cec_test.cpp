@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
+#include "src/base/rng.h"
 #include "src/gen/arith.h"
 #include "src/gen/prefix_adders.h"
+#include "src/rewrite/restructure.h"
 
 namespace cp::cec {
 namespace {
@@ -113,6 +118,214 @@ TEST(MultiCec, RejectsInterfaceMismatch) {
   EXPECT_THROW(
       (void)checkOutputs(gen::rippleCarryAdder(4), gen::rippleCarryAdder(5)),
       std::invalid_argument);
+}
+
+TEST(MultiCec, MismatchMessageNamesDimensionAndCounts) {
+  // Input mismatch: 8 vs 10 inputs.
+  try {
+    (void)checkOutputs(gen::rippleCarryAdder(4), gen::rippleCarryAdder(5));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("input count mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10"), std::string::npos) << msg;
+  }
+  // Output mismatch with matching inputs: 1 vs 2 outputs.
+  Aig left, right;
+  std::vector<aig::Edge> li, ri;
+  for (int i = 0; i < 3; ++i) li.push_back(left.addInput());
+  for (int i = 0; i < 3; ++i) ri.push_back(right.addInput());
+  left.addOutput(left.addAnd(li[0], li[1]));
+  right.addOutput(right.addAnd(ri[0], ri[1]));
+  right.addOutput(ri[2]);
+  try {
+    (void)checkOutputs(left, right);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("output count mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+  }
+}
+
+TEST(MultiCec, RejectsZeroOutputCircuits) {
+  Aig left, right;
+  (void)left.addInput();
+  (void)right.addInput();
+  EXPECT_THROW((void)checkOutputs(left, right), std::invalid_argument);
+}
+
+TEST(MultiCec, RejectsZeroSimWords) {
+  const Aig left = gen::parityChain(4);
+  const Aig right = gen::parityTree(4);
+  MultiCecOptions options;
+  options.simWords = 0;
+  EXPECT_THROW((void)checkOutputs(left, right, options),
+               std::invalid_argument);
+  options.simWords = 8;
+  options.sweep.simWords = 0;
+  EXPECT_THROW((void)checkOutputs(left, right, options),
+               std::invalid_argument);
+}
+
+// A pair whose only difference needs SAT: output 1 differs on exactly one
+// of 2^16 input patterns (all ones), which 512 random patterns virtually
+// never hit. Outputs 0 and 2 are equivalent parity cones with different
+// association orders.
+std::pair<Aig, Aig> satOnlyDifferencePair() {
+  Aig left, right;
+  std::vector<aig::Edge> a, b;
+  for (int i = 0; i < 16; ++i) a.push_back(left.addInput());
+  for (int i = 0; i < 16; ++i) b.push_back(right.addInput());
+  // out0: parity, chain vs balanced-tree association.
+  aig::Edge chain = a[0];
+  for (int i = 1; i < 16; ++i) chain = left.addXor(chain, a[i]);
+  left.addOutput(chain);
+  std::vector<aig::Edge> layer(b);
+  while (layer.size() > 1) {
+    std::vector<aig::Edge> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(right.addXor(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = next;
+  }
+  right.addOutput(layer[0]);
+  // out1: conjunction of all inputs vs constant false — the needle.
+  aig::Edge all = a[0];
+  for (int i = 1; i < 16; ++i) all = left.addAnd(all, a[i]);
+  left.addOutput(all);
+  right.addOutput(aig::kFalse);
+  // out2: OR of the first two inputs, two De-Morgan spellings.
+  left.addOutput(left.addOr(a[0], a[1]));
+  right.addOutput(!right.addAnd(!b[0], !b[1]));
+  return {std::move(left), std::move(right)};
+}
+
+TEST(MultiCec, StopAtFirstDifferenceOnSatFoundFault) {
+  const auto [left, right] = satOnlyDifferencePair();
+  MultiCecOptions options;
+  options.stopAtFirstDifference = true;
+  const MultiCecResult r = checkOutputs(left, right, options);
+  EXPECT_EQ(r.overall, Verdict::kInequivalent);
+  // Simulation must have missed the single-pattern difference, so the
+  // stop happens mid-SAT-phase: output 0 checked (equivalent), output 1
+  // checked (inequivalent), output 2 left undecided.
+  EXPECT_EQ(r.simulationRefuted, 0u);
+  ASSERT_EQ(r.outputs.size(), 3u);
+  EXPECT_FALSE(r.outputs[1].refutedBySimulation);
+  EXPECT_EQ(r.outputs[0].verdict, Verdict::kEquivalent);
+  EXPECT_EQ(r.outputs[1].verdict, Verdict::kInequivalent);
+  EXPECT_EQ(r.outputs[2].verdict, Verdict::kUndecided);
+  // satChecked stops growing at the difference.
+  EXPECT_EQ(r.satChecked, 2u);
+  // The counterexample is the unique separating pattern: all ones.
+  ASSERT_EQ(r.outputs[1].counterexample.size(), 16u);
+  for (const bool bit : r.outputs[1].counterexample) EXPECT_TRUE(bit);
+  EXPECT_EQ(r.overall, Verdict::kInequivalent);
+}
+
+/// Field-by-field equality of everything deterministic (timings excluded).
+void expectSameDeterministicResult(const MultiCecResult& a,
+                                   const MultiCecResult& b) {
+  EXPECT_EQ(a.overall, b.overall);
+  EXPECT_EQ(a.simulationRefuted, b.simulationRefuted);
+  EXPECT_EQ(a.satChecked, b.satChecked);
+  EXPECT_EQ(a.totalConflicts, b.totalConflicts);
+  EXPECT_EQ(a.totalProofClauses, b.totalProofClauses);
+  EXPECT_EQ(a.totalProofResolutions, b.totalProofResolutions);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+    EXPECT_EQ(a.outputs[o].verdict, b.outputs[o].verdict) << "output " << o;
+    EXPECT_EQ(a.outputs[o].counterexample, b.outputs[o].counterexample)
+        << "output " << o;
+    EXPECT_EQ(a.outputs[o].proofChecked, b.outputs[o].proofChecked)
+        << "output " << o;
+    EXPECT_EQ(a.outputs[o].refutedBySimulation,
+              b.outputs[o].refutedBySimulation)
+        << "output " << o;
+    EXPECT_EQ(a.outputs[o].satConflicts, b.outputs[o].satConflicts)
+        << "output " << o;
+    EXPECT_EQ(a.outputs[o].proofClauses, b.outputs[o].proofClauses)
+        << "output " << o;
+    EXPECT_EQ(a.outputs[o].proofResolutions, b.outputs[o].proofResolutions)
+        << "output " << o;
+  }
+}
+
+TEST(MultiCec, ParallelMatchesSequentialOnRestructuredAlu) {
+  const Aig left = gen::aluVariantA(4);
+  Rng rng(17);
+  const Aig right = rewrite::restructure(left, rng);
+  MultiCecOptions seq;
+  seq.numThreads = 1;
+  MultiCecOptions par = seq;
+  par.numThreads = 4;
+  const MultiCecResult rs = checkOutputs(left, right, seq);
+  const MultiCecResult rp = checkOutputs(left, right, par);
+  EXPECT_EQ(rs.overall, Verdict::kEquivalent);
+  for (const auto& out : rs.outputs) EXPECT_TRUE(out.proofChecked);
+  expectSameDeterministicResult(rs, rp);
+}
+
+TEST(MultiCec, ParallelMatchesSequentialOnCorruptedAdder) {
+  const Aig left = gen::rippleCarryAdder(6);
+  Aig right = gen::brentKungAdder(6);
+  right.setOutput(3, !right.output(3));
+  MultiCecOptions seq;
+  seq.numThreads = 1;
+  MultiCecOptions par = seq;
+  par.numThreads = 4;
+  const MultiCecResult rs = checkOutputs(left, right, seq);
+  const MultiCecResult rp = checkOutputs(left, right, par);
+  EXPECT_EQ(rs.overall, Verdict::kInequivalent);
+  expectSameDeterministicResult(rs, rp);
+}
+
+TEST(MultiCec, ParallelStopAtFirstDifferenceIsDeterministic) {
+  const auto [left, right] = satOnlyDifferencePair();
+  MultiCecOptions seq;
+  seq.stopAtFirstDifference = true;
+  seq.numThreads = 1;
+  MultiCecOptions par = seq;
+  par.numThreads = 4;
+  const MultiCecResult rs = checkOutputs(left, right, seq);
+  const MultiCecResult rp = checkOutputs(left, right, par);
+  EXPECT_EQ(rs.satChecked, 2u);
+  expectSameDeterministicResult(rs, rp);
+}
+
+TEST(MultiCec, ZeroThreadsMeansHardwareConcurrency) {
+  // numThreads = 0 resolves to the machine's worker count and must still
+  // produce the sequential result.
+  const Aig left = gen::rippleCarryAdder(4);
+  const Aig right = gen::sklanskyAdder(4);
+  MultiCecOptions seq;
+  seq.numThreads = 1;
+  MultiCecOptions hw = seq;
+  hw.numThreads = 0;
+  expectSameDeterministicResult(checkOutputs(left, right, seq),
+                                checkOutputs(left, right, hw));
+}
+
+TEST(MultiCec, AggregatesMatchPerOutputStats) {
+  const Aig left = gen::rippleCarryAdder(5);
+  const Aig right = gen::koggeStoneAdder(5);
+  MultiCecOptions options;
+  options.numThreads = 2;
+  const MultiCecResult r = checkOutputs(left, right, options);
+  std::uint64_t conflicts = 0, clauses = 0, resolutions = 0;
+  for (const auto& out : r.outputs) {
+    conflicts += out.satConflicts;
+    clauses += out.proofClauses;
+    resolutions += out.proofResolutions;
+  }
+  EXPECT_EQ(r.totalConflicts, conflicts);
+  EXPECT_EQ(r.totalProofClauses, clauses);
+  EXPECT_EQ(r.totalProofResolutions, resolutions);
+  EXPECT_GT(r.totalProofClauses, 0u);  // certified equivalences have proofs
 }
 
 }  // namespace
