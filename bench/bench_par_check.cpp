@@ -1,0 +1,106 @@
+// R-ParCheck: thread scaling of the needed-cone proof checker.
+//
+// The checker replays a proof level by chain depth, fanning each level out
+// over a thread pool (proof::CheckOptions::numThreads). This benchmark
+// times the bare checkProof call at 1/2/4/8 threads on proofs of the SAME
+// miters produced by both engines: sweeping proofs (many short structural
+// chains — wide, shallow levels) and monolithic proofs (long learned-clause
+// chains — narrower, deeper levels). The CheckResult is asserted
+// bit-identical to the 1-thread replay before any timing is reported.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+struct CheckWorkload {
+  const char* name;
+  aig::Aig miter;
+  proof::ProofLog trimmed;  ///< trimmed refutation to replay
+};
+
+/// One sweeping and one monolithic proof per miter, produced once and
+/// replayed by every benchmark iteration.
+const std::vector<CheckWorkload>& workloads() {
+  static const std::vector<CheckWorkload>* suite = [] {
+    auto* s = new std::vector<CheckWorkload>();
+    const auto add = [&](const char* name, const aig::Aig& left,
+                         const aig::Aig& right, bool monolithic) {
+      CheckWorkload w;
+      w.name = name;
+      w.miter = cec::buildMiter(left, right);
+      proof::ProofLog raw;
+      const cec::CecResult result =
+          monolithic ? cec::monolithicCheck(w.miter, {}, &raw)
+                     : cec::sweepingCheck(w.miter, {}, &raw);
+      if (result.verdict != cec::Verdict::kEquivalent) std::abort();
+      w.trimmed = std::move(proof::trimProof(raw).log);
+      s->push_back(std::move(w));
+    };
+    const aig::Aig mulA = gen::arrayMultiplier(5);
+    const aig::Aig mulB = gen::wallaceMultiplier(5);
+    add("mul5_sweep", mulA, mulB, /*monolithic=*/false);
+    add("mul5_mono", mulA, mulB, /*monolithic=*/true);
+    const aig::Aig aluA = gen::aluVariantA(5);
+    const aig::Aig aluB = gen::aluVariantB(5);
+    add("alu5_sweep", aluA, aluB, /*monolithic=*/false);
+    add("alu5_mono", aluA, aluB, /*monolithic=*/true);
+    return s;
+  }();
+  return *suite;
+}
+
+void BM_ParCheck(benchmark::State& state) {
+  const CheckWorkload& w =
+      workloads()[static_cast<std::size_t>(state.range(0))];
+  proof::CheckOptions options;
+  options.axiomValidator = cec::miterAxiomValidator(w.miter);
+  options.numThreads = static_cast<std::uint32_t>(state.range(1));
+
+  proof::CheckOptions seq = options;
+  seq.numThreads = 1;
+  const proof::CheckResult reference = proof::checkProof(w.trimmed, seq);
+
+  proof::CheckResult last;
+  for (auto _ : state) {
+    last = proof::checkProof(w.trimmed, options);
+    benchmark::DoNotOptimize(last);
+  }
+  if (!last.ok || last.error != reference.error ||
+      last.derivedChecked != reference.derivedChecked ||
+      last.axiomsChecked != reference.axiomsChecked ||
+      last.resolutions != reference.resolutions) {
+    state.SkipWithError("parallel check diverged from sequential");
+    return;
+  }
+  state.SetLabel(w.name);
+  state.counters["threads"] = static_cast<double>(options.numThreads);
+  state.counters["clauses"] = static_cast<double>(w.trimmed.numClauses());
+  state.counters["resolutions"] = static_cast<double>(last.resolutions);
+  state.counters["axioms"] = static_cast<double>(last.axiomsChecked);
+}
+
+void ParCheckArgs(benchmark::internal::Benchmark* b) {
+  for (std::size_t w = 0; w < workloads().size(); ++w) {
+    for (int threads : {1, 2, 4, 8}) {
+      b->Args({static_cast<long>(w), threads});
+    }
+  }
+}
+
+BENCHMARK(BM_ParCheck)->Apply(ParCheckArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK_MAIN();

@@ -73,11 +73,11 @@ int main(int argc, char** argv) {
       const cp::aig::Aig a = cp::aig::readAigerFile(argv[2]);
       const cp::aig::Aig b = cp::aig::readAigerFile(argv[3]);
       const cp::aig::Aig miter = cp::cec::buildMiter(a, b);
-      const cp::cec::CertifyReport report = cp::cec::certifyMiter(miter);
+      const cp::cec::CertifyReport report = cp::cec::checkMiter(miter);
       std::printf("verdict: %s\n", cp::cec::toString(report.cec.verdict));
       if (report.cec.verdict == cp::cec::Verdict::kEquivalent) {
         std::printf("proof: %llu resolutions (trimmed), checker %s\n",
-                    (unsigned long long)report.trimmedResolutions,
+                    (unsigned long long)report.trim.resolutionsAfter,
                     report.proofChecked ? "ACCEPTED" : "REJECTED");
         return report.proofChecked ? 0 : 1;
       }

@@ -21,10 +21,10 @@ void report(const char* name, const cp::cec::CertifyReport& r,
               (unsigned long long)r.cec.stats.conflicts);
   std::printf("             proof: raw %llu clauses / %llu resolutions, "
               "trimmed %llu / %llu, checker=%s (%.1f ms)\n",
-              (unsigned long long)r.rawClauses,
-              (unsigned long long)r.rawResolutions,
-              (unsigned long long)r.trimmedClauses,
-              (unsigned long long)r.trimmedResolutions,
+              (unsigned long long)r.trim.clausesBefore,
+              (unsigned long long)r.trim.resolutionsBefore,
+              (unsigned long long)r.trim.clausesAfter,
+              (unsigned long long)r.trim.resolutionsAfter,
               r.proofChecked ? "ACCEPTED" : "REJECTED",
               r.checkSeconds * 1e3);
 }
@@ -42,12 +42,17 @@ int main(int argc, char** argv) {
               array.statsString().c_str(), wallace.statsString().c_str(),
               miter.statsString().c_str());
 
+  cp::cec::EngineConfig config;
+  config.checkThreads = 0;  // proof check on all hardware threads
+
   cp::Stopwatch t1;
-  const auto sweep = cp::cec::certifyMiter(miter, cp::cec::Engine::kSweeping);
+  config.engine = cp::cec::SweepOptions();
+  const auto sweep = cp::cec::checkMiter(miter, config);
   report("sweeping", sweep, t1.seconds());
 
   cp::Stopwatch t2;
-  const auto mono = cp::cec::certifyMiter(miter, cp::cec::Engine::kMonolithic);
+  config.engine = cp::cec::MonolithicOptions();
+  const auto mono = cp::cec::checkMiter(miter, config);
   report("monolithic", mono, t2.seconds());
 
   return (sweep.proofChecked && mono.proofChecked) ? 0 : 1;

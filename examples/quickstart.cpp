@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
   const cp::aig::Aig miter = cp::cec::buildMiter(ripple, lookahead);
   std::printf("miter:                 %s\n", miter.statsString().c_str());
 
-  const cp::cec::CertifyReport report = cp::cec::certifyMiter(miter);
+  cp::cec::EngineConfig config;  // defaults to certified sweeping
+  config.checkThreads = 0;       // proof check on all hardware threads
+  const cp::cec::CertifyReport report = cp::cec::checkMiter(miter, config);
   std::printf("\nverdict: %s\n", cp::cec::toString(report.cec.verdict));
   const auto& s = report.cec.stats;
   std::printf("SAT calls: %llu (unsat %llu, sat %llu), merges: %llu sat + "
@@ -36,10 +38,10 @@ int main(int argc, char** argv) {
               (unsigned long long)s.foldMerges);
   std::printf("proof: %llu clauses / %llu resolutions raw, "
               "%llu / %llu after trimming\n",
-              (unsigned long long)report.rawClauses,
-              (unsigned long long)report.rawResolutions,
-              (unsigned long long)report.trimmedClauses,
-              (unsigned long long)report.trimmedResolutions);
+              (unsigned long long)report.trim.clausesBefore,
+              (unsigned long long)report.trim.resolutionsBefore,
+              (unsigned long long)report.trim.clausesAfter,
+              (unsigned long long)report.trim.resolutionsAfter);
   std::printf("independent checker: %s (%.3f ms)\n",
               report.proofChecked ? "ACCEPTED" : "REJECTED",
               report.checkSeconds * 1e3);

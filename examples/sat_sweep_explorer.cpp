@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
               hist[0], hist[1], hist[2], hist[3], hist[4]);
 
   // Phase 2: certified sweep.
-  const cp::cec::CertifyReport report = cp::cec::certifyMiter(miter);
+  const cp::cec::CertifyReport report = cp::cec::checkMiter(miter);
   const auto& s = report.cec.stats;
   std::printf("\nsweep: verdict=%s\n", cp::cec::toString(report.cec.verdict));
   std::printf("  fold merges:         %llu (constants, x&x, x&~x)\n",
@@ -110,11 +110,11 @@ int main(int argc, char** argv) {
   if (report.cec.verdict == cp::cec::Verdict::kEquivalent) {
     std::printf("\nproof:\n");
     std::printf("  raw:     %llu clauses, %llu resolutions\n",
-                (unsigned long long)report.rawClauses,
-                (unsigned long long)report.rawResolutions);
+                (unsigned long long)report.trim.clausesBefore,
+                (unsigned long long)report.trim.resolutionsBefore);
     std::printf("  trimmed: %llu clauses, %llu resolutions (%.1f%% kept)\n",
-                (unsigned long long)report.trimmedClauses,
-                (unsigned long long)report.trimmedResolutions,
+                (unsigned long long)report.trim.clausesAfter,
+                (unsigned long long)report.trim.resolutionsAfter,
                 100.0 * report.trim.keptResolutionFraction());
     std::printf("  structural steps:    %llu\n",
                 (unsigned long long)s.proofStructuralSteps);

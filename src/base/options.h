@@ -1,0 +1,61 @@
+// Uniform option-struct validation support.
+//
+// Every public options struct in the library (SweepOptions,
+// MonolithicOptions, BddCecOptions, MultiCecOptions, SolverOptions,
+// CheckOptions) exposes `std::string validate() const` returning an empty
+// string when the configuration is usable and otherwise a message built by
+// optionError() below, so every rejection reads the same way:
+//
+//     <Struct>.<field>: got <value>, allowed <range> (<consequence>)
+//
+// Public entry points call validate() and throw std::invalid_argument with
+// the caller's name prefixed (see throwIfInvalid), replacing the scattered
+// ad-hoc checks that used to live in each engine.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cp {
+
+/// Formats a value for an optionError message. The double overload uses
+/// default ostream formatting ("0.95", not "0.950000").
+inline std::string optionValue(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+inline std::string optionValue(std::uint64_t v) { return std::to_string(v); }
+inline std::string optionValue(std::int64_t v) { return std::to_string(v); }
+inline std::string optionValue(std::uint32_t v) { return std::to_string(v); }
+inline std::string optionValue(std::int32_t v) { return std::to_string(v); }
+
+/// The one true wording for an invalid option:
+/// "<option>: got <got>, allowed <allowed> (<why>)".
+/// `option` is the qualified field name, e.g. "SweepOptions.simWords".
+inline std::string optionError(const char* option, const std::string& got,
+                               const char* allowed, const char* why) {
+  std::string s(option);
+  s += ": got ";
+  s += got;
+  s += ", allowed ";
+  s += allowed;
+  if (why != nullptr && *why != '\0') {
+    s += " (";
+    s += why;
+    s += ")";
+  }
+  return s;
+}
+
+/// Throws std::invalid_argument("<caller>: <error>") unless `error` is
+/// empty. The standard glue between validate() and a public entry point.
+inline void throwIfInvalid(const std::string& error, const char* caller) {
+  if (!error.empty()) {
+    throw std::invalid_argument(std::string(caller) + ": " + error);
+  }
+}
+
+}  // namespace cp

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/base/options.h"
 #include "src/bdd/bdd.h"
 
 namespace cp::cec {
@@ -38,17 +39,23 @@ std::vector<bdd::BddRef> buildOutputs(bdd::BddManager& manager,
 
 }  // namespace
 
+std::string BddCecOptions::validate() const {
+  if (nodeLimit == 0) {
+    return optionError("BddCecOptions.nodeLimit", optionValue(nodeLimit),
+                       "[1, 2^64)",
+                       "0 cannot hold even a constant and every check "
+                       "would report kUndecided");
+  }
+  return std::string();
+}
+
 BddCecResult bddCheck(const aig::Aig& left, const aig::Aig& right,
                       const BddCecOptions& options) {
   if (left.numInputs() != right.numInputs() ||
       left.numOutputs() != right.numOutputs()) {
     throw std::invalid_argument("bddCheck: interface mismatch");
   }
-  if (options.nodeLimit == 0) {
-    throw std::invalid_argument(
-        "BddCecOptions: nodeLimit must be positive (0 cannot hold even a "
-        "constant and every check would report kUndecided)");
-  }
+  throwIfInvalid(options.validate(), "bddCheck");
   BddCecResult result;
   bdd::BddManager manager(options.nodeLimit);
   // Variable order: interleave the two operand halves when requested.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/aig/aig.h"
 #include "src/cec/result.h"
@@ -23,6 +24,10 @@ struct BddCecOptions {
   /// two-operand datapath circuits (a blocked a..b order makes even an
   /// adder's BDD exponential); harmless otherwise.
   bool interleaveOperands = true;
+
+  /// Empty when the configuration is usable, else a uniform "field: got
+  /// value, allowed range" message (see base/options.h).
+  std::string validate() const;
 };
 
 struct BddCecResult {

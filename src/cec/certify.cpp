@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <stdexcept>
-
+#include <unordered_map>
 #include <vector>
 
+#include "src/base/options.h"
 #include "src/base/stopwatch.h"
-#include "src/cec/monolithic_cec.h"
-#include "src/cec/sweeping_cec.h"
 #include "src/cnf/cnf.h"
 
 namespace cp::cec {
@@ -36,7 +34,8 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
     (*buckets)[hashClause(sorted)].push_back(std::move(sorted));
   }
   // Collision safety: on a hash hit, confirm by exact comparison within
-  // the bucket.
+  // the bucket. The captured table is never mutated after construction,
+  // so concurrent lookups from checker threads are safe.
   return [buckets, hashClause](std::span<const sat::Lit> lits) {
     std::vector<sat::Lit> sorted(lits.begin(), lits.end());
     std::sort(sorted.begin(), sorted.end());
@@ -50,41 +49,96 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
   };
 }
 
-CertifyReport certifyMiter(const aig::Aig& miter, Engine engine,
-                           const SweepOptions& sweepOptions) {
+std::string EngineConfig::validate() const {
+  // checkThreads admits every value (0 = hardware concurrency); only the
+  // held engine alternative constrains the configuration.
+  return std::visit([](const auto& options) { return options.validate(); },
+                    engine);
+}
+
+namespace {
+
+/// Decides the miter with the BDD engine: the miter output must be the
+/// constant-false function, so it is compared against a reference circuit
+/// with the same inputs and a constant-false output. No proof is produced;
+/// canonicity is the BDD engine's only argument.
+CecResult bddDecideMiter(const aig::Aig& miter, const BddCecOptions& options) {
+  if (miter.numOutputs() != 1) {
+    throw std::invalid_argument("checkMiter expects a one-output miter");
+  }
+  Stopwatch total;
+  aig::Aig constFalse;
+  for (std::uint32_t i = 0; i < miter.numInputs(); ++i) {
+    (void)constFalse.addInput();
+  }
+  constFalse.addOutput(aig::kFalse);
+
+  const BddCecResult bdd = bddCheck(miter, constFalse, options);
+  CecResult result;
+  result.verdict = bdd.verdict;
+  result.counterexample = bdd.counterexample;
+  result.stats.totalSeconds = total.seconds();
+  return result;
+}
+
+}  // namespace
+
+CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
+                         proof::ProofLog* rawLog) {
+  throwIfInvalid(config.validate(), "checkMiter");
+
   CertifyReport report;
-  proof::ProofLog log;
-  report.cec = engine == Engine::kSweeping
-                   ? sweepingCheck(miter, sweepOptions, &log)
-                   : monolithicCheck(miter, MonolithicOptions(), &log);
+  proof::ProofLog localLog;
+  proof::ProofLog* log = rawLog != nullptr ? rawLog : &localLog;
+  const bool producesProof =
+      !std::holds_alternative<BddCecOptions>(config.engine);
+
+  if (const auto* sweep = std::get_if<SweepOptions>(&config.engine)) {
+    report.cec = sweepingCheck(miter, *sweep, log);
+  } else if (const auto* mono =
+                 std::get_if<MonolithicOptions>(&config.engine)) {
+    report.cec = monolithicCheck(miter, *mono, log);
+  } else {
+    report.cec = bddDecideMiter(miter, std::get<BddCecOptions>(config.engine));
+  }
 
   if (report.cec.verdict == Verdict::kInequivalent) {
     // No proof to check; validate the counterexample instead.
     const auto out = miter.evaluate(report.cec.counterexample);
     if (!out.at(0)) {
       throw std::logic_error(
-          "certifyMiter: counterexample does not set the miter output");
+          "checkMiter: counterexample does not set the miter output");
     }
     return report;
   }
-  if (report.cec.verdict != Verdict::kEquivalent) return report;
+  if (report.cec.verdict != Verdict::kEquivalent || !producesProof) {
+    return report;
+  }
 
-  report.rawClauses = log.numClauses();
-  report.rawResolutions = log.numResolutions();
-
-  proof::TrimmedProof trimmed = proof::trimProof(log);
+  proof::TrimmedProof trimmed = proof::trimProof(*log);
   report.trim = trimmed.stats;
-  report.trimmedClauses = trimmed.log.numClauses();
-  report.trimmedResolutions = trimmed.log.numResolutions();
 
   Stopwatch checkTimer;
   proof::CheckOptions options;
   options.requireRoot = true;
   options.axiomValidator = miterAxiomValidator(miter);
+  options.numThreads = config.checkThreads;
   report.check = proof::checkProof(trimmed.log, options);
   report.checkSeconds = checkTimer.seconds();
   report.proofChecked = report.check.ok;
   return report;
+}
+
+// Deprecated shim: forwards the legacy two-engine surface to checkMiter.
+CertifyReport certifyMiter(const aig::Aig& miter, Engine engine,
+                           const SweepOptions& sweepOptions) {
+  EngineConfig config;
+  if (engine == Engine::kSweeping) {
+    config.engine = sweepOptions;
+  } else {
+    config.engine = MonolithicOptions();
+  }
+  return checkMiter(miter, config);
 }
 
 }  // namespace cp::cec

@@ -1,16 +1,25 @@
-// End-to-end certification helpers: run a CEC engine with proof logging,
-// trim the proof, and check it with the independent checker against the
+// End-to-end certification behind one engine-dispatch entry point: run a
+// CEC engine on a miter, and — for the proof-producing engines — trim the
+// resolution proof and check it with the independent checker against the
 // miter's own CNF as the only admissible axioms.
 //
 // This is the complete trust chain of the paper: even if the AIG package,
 // the simulator, the solver and the composer were all buggy, an accepted
-// certificate still guarantees the miter CNF is unsatisfiable.
+// certificate still guarantees the miter CNF is unsatisfiable. The check
+// itself can run on several threads (EngineConfig::checkThreads) without
+// weakening that argument: the parallel checker replays exactly the same
+// resolutions, merely in a different order (see proof/checker.h).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
+#include <variant>
 
 #include "src/aig/aig.h"
+#include "src/cec/bdd_cec.h"
+#include "src/cec/monolithic_cec.h"
 #include "src/cec/result.h"
 #include "src/cec/sweeping_cec.h"
 #include "src/proof/checker.h"
@@ -19,28 +28,63 @@
 namespace cp::cec {
 
 /// Builds a validator admitting exactly the clauses of the miter's Tseitin
-/// CNF plus the output-assertion unit (as sets of literals).
+/// CNF plus the output-assertion unit (as sets of literals). The returned
+/// callable is a pure function of the literals and is safe to invoke from
+/// multiple checker threads concurrently.
 std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
     const aig::Aig& miter);
 
-enum class Engine { kSweeping, kMonolithic };
+/// Which engine checkMiter runs, with its options: the variant alternative
+/// held *is* the engine selection, so every engine's full option set is
+/// expressible (the legacy certifyMiter(miter, Engine, SweepOptions)
+/// signature could not pass MonolithicOptions or BddCecOptions at all).
+using EngineOptions =
+    std::variant<SweepOptions, MonolithicOptions, BddCecOptions>;
+
+struct EngineConfig {
+  EngineOptions engine = SweepOptions();
+  /// Worker threads for the independent proof check
+  /// (proof::CheckOptions::numThreads): 0 = one per hardware thread,
+  /// 1 = the sequential legacy checker. The check verdict is bit-identical
+  /// at every count.
+  std::uint32_t checkThreads = 1;
+
+  /// Empty when the configuration is usable, else the held engine
+  /// alternative's uniform validation message (see base/options.h).
+  std::string validate() const;
+};
 
 struct CertifyReport {
   CecResult cec;
   bool proofChecked = false;       ///< checker accepted (equivalent only)
   proof::CheckResult check;        ///< checker detail
-  proof::TrimStats trim;           ///< raw-vs-trimmed proof sizes
-  std::uint64_t rawClauses = 0;
-  std::uint64_t rawResolutions = 0;
-  std::uint64_t trimmedClauses = 0;
-  std::uint64_t trimmedResolutions = 0;
+  /// Raw-vs-trimmed proof sizes: clausesBefore/resolutionsBefore are the
+  /// engine's full log, clausesAfter/resolutionsAfter the checked trimmed
+  /// proof. All zero for engines that produce no proof (BDD) and for
+  /// non-equivalent verdicts.
+  proof::TrimStats trim;
   double checkSeconds = 0.0;
 };
 
-/// Runs the selected engine with proof logging on the given miter,
-/// trims the proof and verifies it (axioms validated against the miter).
-/// For inequivalent verdicts, verifies the counterexample by evaluation.
-/// `sweepOptions` applies to the sweeping engine only.
+/// Runs the engine selected by `config` on the given miter. For the
+/// proof-producing engines (sweeping, monolithic) an equivalent verdict is
+/// certified: the proof is trimmed and verified with axioms validated
+/// against the miter; the BDD engine decides without a proof
+/// (proofChecked stays false — canonicity is its only argument). For
+/// inequivalent verdicts, the counterexample is verified by evaluation.
+/// When `rawLog` is non-null the engine's untrimmed proof log is built
+/// there instead of an internal one, so callers can post-process it
+/// (metrics, compression, serialization) after certification.
+CertifyReport checkMiter(const aig::Aig& miter,
+                         const EngineConfig& config = EngineConfig(),
+                         proof::ProofLog* rawLog = nullptr);
+
+// ---- deprecated pre-EngineConfig surface (one release of grace) ---------
+
+enum class Engine { kSweeping, kMonolithic };
+
+/// Thin shim over checkMiter for the one-release migration window.
+[[deprecated("use checkMiter(miter, EngineConfig) instead")]]
 CertifyReport certifyMiter(const aig::Aig& miter,
                            Engine engine = Engine::kSweeping,
                            const SweepOptions& sweepOptions = SweepOptions());

@@ -2,16 +2,20 @@
 
 #include <stdexcept>
 
+#include "src/base/options.h"
 #include "src/base/stopwatch.h"
 #include "src/cnf/cnf.h"
 #include "src/sat/solver.h"
 
 namespace cp::cec {
 
+std::string MonolithicOptions::validate() const { return std::string(); }
+
 CecResult monolithicCheck(const aig::Aig& miter,
                           const MonolithicOptions& options,
                           proof::ProofLog* log) {
   Stopwatch total;
+  throwIfInvalid(options.validate(), "monolithicCheck");
   if (miter.numOutputs() != 1) {
     throw std::invalid_argument("monolithicCheck expects a one-output miter");
   }

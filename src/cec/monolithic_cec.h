@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/aig/aig.h"
 #include "src/cec/result.h"
@@ -18,9 +19,13 @@ namespace cp::cec {
 struct MonolithicOptions {
   /// Conflict budget; any negative value = unlimited (the solver
   /// normalizes it), 0 = give up immediately with kUndecided. Both
-  /// degenerate spellings are well-defined, so no validation is needed
-  /// here — unlike simWords = 0, which silently disables a phase.
+  /// degenerate spellings are well-defined.
   std::int64_t conflictBudget = -1;
+
+  /// Always empty: every conflictBudget spelling is well-defined. Kept so
+  /// all engine option structs share the validate() contract
+  /// (see base/options.h) and entry points can check uniformly.
+  std::string validate() const;
 };
 
 /// Decides whether `miter`'s single output is constant false with one SAT

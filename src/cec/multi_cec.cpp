@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/options.h"
 #include "src/base/rng.h"
 #include "src/base/stopwatch.h"
 #include "src/base/thread_pool.h"
@@ -36,14 +37,16 @@ OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
   OutputVerdict out;
   const aig::Aig miter = buildMiter(left, o, right, o);
   if (options.certify) {
-    const CertifyReport report =
-        certifyMiter(miter, Engine::kSweeping, options.sweep);
+    EngineConfig config;
+    config.engine = options.sweep;
+    config.checkThreads = options.checkThreads;
+    const CertifyReport report = checkMiter(miter, config);
     out.verdict = report.cec.verdict;
     out.counterexample = report.cec.counterexample;
     out.proofChecked = report.proofChecked;
     out.satConflicts = report.cec.stats.conflicts;
-    out.proofClauses = report.trimmedClauses;
-    out.proofResolutions = report.trimmedResolutions;
+    out.proofClauses = report.trim.clausesAfter;
+    out.proofResolutions = report.trim.resolutionsAfter;
   } else {
     const CecResult r = sweepingCheck(miter, options.sweep);
     out.verdict = r.verdict;
@@ -55,6 +58,18 @@ OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
 }
 
 }  // namespace
+
+std::string MultiCecOptions::validate() const {
+  if (simWords == 0) {
+    return optionError("MultiCecOptions.simWords", optionValue(simWords),
+                       "[1, 2^32)",
+                       "0 silently disables the simulation triage pass");
+  }
+  if (!sweep.validate().empty()) {
+    return "MultiCecOptions.sweep: " + sweep.validate();
+  }
+  return std::string();
+}
 
 MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
                             const MultiCecOptions& options) {
@@ -75,16 +90,7 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
         "checkOutputs: circuits have no outputs; an empty interface would "
         "be vacuously equivalent");
   }
-  if (options.simWords == 0) {
-    throw std::invalid_argument(
-        "checkOutputs: simWords must be positive (0 silently disables the "
-        "simulation triage pass)");
-  }
-  if (options.sweep.simWords == 0) {
-    throw std::invalid_argument(
-        "checkOutputs: sweep.simWords must be positive (0 silently "
-        "disables sweeping's candidate classes)");
-  }
+  throwIfInvalid(options.validate(), "checkOutputs");
   const std::uint32_t numOutputs = left.numOutputs();
   MultiCecResult result;
   result.outputs.resize(numOutputs);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/aig/aig.h"
@@ -57,6 +58,15 @@ struct MultiCecOptions {
   /// Worker threads for the per-output SAT/proof phase. 0 = one worker
   /// per hardware thread; 1 = the exact sequential legacy path (no pool).
   std::uint32_t numThreads = 1;
+  /// Worker threads for each output's independent proof check
+  /// (EngineConfig::checkThreads); orthogonal to numThreads, so a run can
+  /// parallelize across outputs and within each proof check at once.
+  std::uint32_t checkThreads = 1;
+
+  /// Empty when the configuration is usable, else a uniform "field: got
+  /// value, allowed range" message (see base/options.h). Covers this
+  /// struct and the nested sweep options.
+  std::string validate() const;
 };
 
 struct MultiCecResult {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/base/log.h"
+#include "src/base/options.h"
 #include "src/base/stopwatch.h"
 #include "src/cec/proof_composer.h"
 #include "src/cnf/cnf.h"
@@ -438,29 +439,26 @@ FraigResult SweepRun::reduce() {
 
 }  // namespace
 
-namespace {
-
-void validateSweepOptions(const SweepOptions& options, const char* caller) {
-  if (options.simWords == 0) {
-    throw std::invalid_argument(
-        std::string(caller) +
-        ": simWords must be positive (0 yields zero simulation patterns, "
-        "so every node lands in one candidate class and the sweep "
-        "degenerates)");
+std::string SweepOptions::validate() const {
+  if (simWords == 0) {
+    return optionError("SweepOptions.simWords", optionValue(simWords),
+                       "[1, 2^32)",
+                       "0 yields zero simulation patterns, so every node "
+                       "lands in one candidate class and the sweep "
+                       "degenerates");
   }
+  return std::string();
 }
-
-}  // namespace
 
 CecResult sweepingCheck(const aig::Aig& miter, const SweepOptions& options,
                         proof::ProofLog* log) {
-  validateSweepOptions(options, "sweepingCheck");
+  throwIfInvalid(options.validate(), "sweepingCheck");
   SweepRun run(miter, options, log);
   return run.run();
 }
 
 FraigResult fraigReduce(const aig::Aig& graph, const SweepOptions& options) {
-  validateSweepOptions(options, "fraigReduce");
+  throwIfInvalid(options.validate(), "fraigReduce");
   SweepRun run(graph, options, /*log=*/nullptr);
   return run.reduce();
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/aig/aig.h"
 #include "src/cec/result.h"
@@ -39,6 +40,11 @@ struct SweepOptions {
   /// patterns miss (classic fraig heuristic).
   std::uint32_t cexNeighborhood = 4;
   std::uint64_t randomSeed = 0xC0FFEEULL;
+
+  /// Empty when the configuration is usable, else a uniform "field: got
+  /// value, allowed range" message (see base/options.h). Checked by every
+  /// public entry point taking these options.
+  std::string validate() const;
 };
 
 /// Checks whether `miter`'s single output is constant false. When `log` is

@@ -6,8 +6,6 @@
 
 namespace cp::proof {
 
-namespace {
-
 std::vector<char> reachableFromRoot(const ProofLog& log) {
   std::vector<char> needed(log.numClauses() + 1, 0);
   if (!log.hasRoot()) return needed;
@@ -26,7 +24,32 @@ std::vector<char> reachableFromRoot(const ProofLog& log) {
   return needed;
 }
 
-}  // namespace
+std::vector<std::vector<ClauseId>> levelizeByChainDepth(
+    const ProofLog& log, const std::vector<char>* needed) {
+  if (needed != nullptr &&
+      needed->size() != static_cast<std::size_t>(log.numClauses()) + 1) {
+    throw std::invalid_argument(
+        "levelizeByChainDepth: needed mask size does not match the log");
+  }
+  std::vector<std::uint32_t> depth(log.numClauses() + 1, 0);
+  std::vector<std::vector<ClauseId>> levels;
+  // Ids are topologically ordered (chains reference earlier ids), so one
+  // forward pass computes longest paths and appends in ascending id order.
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (needed != nullptr && !(*needed)[id]) continue;
+    std::uint32_t d = 0;
+    if (!log.isAxiom(id)) {
+      for (const ClauseId parent : log.chain(id)) {
+        d = std::max(d, depth[parent]);
+      }
+      ++d;
+    }
+    depth[id] = d;
+    if (levels.size() <= d) levels.resize(d + 1);
+    levels[d].push_back(id);
+  }
+  return levels;
+}
 
 std::vector<ClauseId> unsatCore(const ProofLog& log) {
   if (!log.hasRoot()) {

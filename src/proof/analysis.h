@@ -16,6 +16,28 @@
 
 namespace cp::proof {
 
+/// The root's dependency cone: needed[id] is 1 iff the root transitively
+/// depends on clause `id` (the root itself included). Size is
+/// log.numClauses() + 1 (index 0 unused); all zeros when the log has no
+/// root. This is the one reachability pass shared by trimming, UNSAT-core
+/// extraction and the checker's needed-cone mode.
+std::vector<char> reachableFromRoot(const ProofLog& log);
+
+/// Partitions clauses into levels by resolution-chain depth: level 0 holds
+/// the axioms, level k (k >= 1) the derived clauses whose longest
+/// antecedent path through other derived clauses has length k (i.e.
+/// depth = 1 + max over chain parents, axioms at depth 0). Within a level
+/// ids are ascending, and every clause's antecedents live in strictly
+/// smaller levels — so the levels of a valid proof can be replayed as
+/// independent batches, which is what the parallel checker does.
+///
+/// When `needed` is non-null it must have size numClauses() + 1 and only
+/// marked clauses are placed (their antecedents are assumed marked too,
+/// as reachableFromRoot guarantees). Empty levels are not emitted at the
+/// tail; level 0 exists whenever any clause is placed.
+std::vector<std::vector<ClauseId>> levelizeByChainDepth(
+    const ProofLog& log, const std::vector<char>* needed = nullptr);
+
 /// Ids of the axioms the proof root transitively depends on, ascending.
 /// The conjunction of these clauses is already unsatisfiable: a minimal
 /// explanation candidate (not minimized further).

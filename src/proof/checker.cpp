@@ -1,7 +1,14 @@
 #include "src/proof/checker.h"
 
 #include <algorithm>
+#include <atomic>
+#include <future>
+#include <limits>
+#include <mutex>
 #include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/proof/analysis.h"
 
 namespace cp::proof {
 namespace {
@@ -45,23 +52,70 @@ std::uint32_t maxLitIndexOf(const ProofLog& log) {
   return maxIndex;
 }
 
-/// Marks all clauses the root transitively depends on.
-std::vector<char> neededSet(const ProofLog& log) {
-  std::vector<char> needed(log.numClauses() + 1, 0);
-  if (!log.hasRoot()) return needed;
-  std::vector<ClauseId> stack = {log.root()};
-  needed[log.root()] = 1;
-  while (!stack.empty()) {
-    const ClauseId id = stack.back();
-    stack.pop_back();
-    for (const ClauseId parent : log.chain(id)) {
-      if (!needed[parent]) {
-        needed[parent] = 1;
-        stack.push_back(parent);
+/// Reusable per-worker replay scratch.
+struct Scratch {
+  LitSet resolvent;
+  LitSet recorded;
+  void ensure(std::uint32_t maxLitIndex) {
+    resolvent.ensure(maxLitIndex);
+    recorded.ensure(maxLitIndex);
+  }
+};
+
+/// Replays one derived clause's chain. Returns the failure message (without
+/// the "clause <id>: " prefix) or an empty string on success. Adds every
+/// performed resolution step to *resolutions regardless of outcome (the
+/// caller discards counters on failure, matching the sequential contract).
+/// Reads only immutable log data — safe to run concurrently with any other
+/// clause's check as long as each call owns its Scratch.
+std::string checkDerivedClause(const ProofLog& log, ClauseId id, Scratch& s,
+                               std::uint64_t* resolutions) {
+  const auto chain = log.chain(id);
+  s.resolvent.clear();
+  for (const sat::Lit l : log.lits(chain[0])) {
+    if (s.resolvent.contains(~l)) {
+      return "chain starts from a tautological clause";
+    }
+    s.resolvent.insert(l);
+  }
+
+  for (std::size_t step = 1; step < chain.size(); ++step) {
+    const auto antecedent = log.lits(chain[step]);
+    // Identify the unique pivot: the literal of the antecedent whose
+    // negation is currently in the resolvent.
+    sat::Lit pivot = sat::kUndefLit;
+    for (const sat::Lit l : antecedent) {
+      if (s.resolvent.contains(~l)) {
+        if (pivot.valid()) {
+          return "resolution step " + std::to_string(step) +
+                 " has more than one pivot";
+        }
+        pivot = l;
       }
     }
+    if (!pivot.valid()) {
+      return "resolution step " + std::to_string(step) + " has no pivot";
+    }
+    s.resolvent.erase(~pivot);
+    for (const sat::Lit l : antecedent) {
+      if (l != pivot) s.resolvent.insert(l);
+    }
+    ++*resolutions;
   }
-  return needed;
+
+  // The final resolvent must equal the recorded clause as a set.
+  s.recorded.clear();
+  for (const sat::Lit l : log.lits(id)) s.recorded.insert(l);
+  if (s.recorded.size() != s.resolvent.size()) {
+    return "derived clause does not match its chain resolvent";
+  }
+  for (const sat::Lit l : log.lits(id)) {
+    if (!s.resolvent.contains(l)) {
+      return "derived clause contains literal " + toDimacs(l) +
+             " absent from the chain resolvent";
+    }
+  }
+  return std::string();
 }
 
 CheckResult failAt(ClauseId id, std::string message) {
@@ -72,27 +126,11 @@ CheckResult failAt(ClauseId id, std::string message) {
   return r;
 }
 
-}  // namespace
-
-CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
+CheckResult checkSequential(const ProofLog& log, const CheckOptions& options,
+                            const std::vector<char>& needed) {
   CheckResult result;
-  if (options.requireRoot && !log.hasRoot()) {
-    result.error = "proof has no empty-clause root";
-    return result;
-  }
-  if (options.onlyNeeded && !log.hasRoot()) {
-    result.error = "onlyNeeded requires a root";
-    return result;
-  }
-
-  const std::vector<char> needed =
-      options.onlyNeeded ? neededSet(log) : std::vector<char>();
-
-  LitSet resolvent;
-  LitSet recorded;
-  const std::uint32_t maxLit = maxLitIndexOf(log);
-  resolvent.ensure(maxLit);
-  recorded.ensure(maxLit);
+  Scratch scratch;
+  scratch.ensure(maxLitIndexOf(log));
 
   for (ClauseId id = 1; id <= log.numClauses(); ++id) {
     if (options.onlyNeeded && !needed[id]) continue;
@@ -105,57 +143,155 @@ CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
       continue;
     }
 
-    const auto chain = log.chain(id);
-    resolvent.clear();
-    for (const sat::Lit l : log.lits(chain[0])) {
-      if (resolvent.contains(~l)) {
-        return failAt(id, "chain starts from a tautological clause");
-      }
-      resolvent.insert(l);
-    }
-
-    for (std::size_t step = 1; step < chain.size(); ++step) {
-      const auto antecedent = log.lits(chain[step]);
-      // Identify the unique pivot: the literal of the antecedent whose
-      // negation is currently in the resolvent.
-      sat::Lit pivot = sat::kUndefLit;
-      for (const sat::Lit l : antecedent) {
-        if (resolvent.contains(~l)) {
-          if (pivot.valid()) {
-            return failAt(id, "resolution step " + std::to_string(step) +
-                                  " has more than one pivot");
-          }
-          pivot = l;
-        }
-      }
-      if (!pivot.valid()) {
-        return failAt(id, "resolution step " + std::to_string(step) +
-                              " has no pivot");
-      }
-      resolvent.erase(~pivot);
-      for (const sat::Lit l : antecedent) {
-        if (l != pivot) resolvent.insert(l);
-      }
-      ++result.resolutions;
-    }
-
-    // The final resolvent must equal the recorded clause as a set.
-    recorded.clear();
-    for (const sat::Lit l : log.lits(id)) recorded.insert(l);
-    if (recorded.size() != resolvent.size()) {
-      return failAt(id, "derived clause does not match its chain resolvent");
-    }
-    for (const sat::Lit l : log.lits(id)) {
-      if (!resolvent.contains(l)) {
-        return failAt(id, "derived clause contains literal " + toDimacs(l) +
-                              " absent from the chain resolvent");
-      }
-    }
+    const std::string error =
+        checkDerivedClause(log, id, scratch, &result.resolutions);
+    if (!error.empty()) return failAt(id, error);
     ++result.derivedChecked;
   }
 
   result.ok = true;
   return result;
+}
+
+/// Smallest failing clause across concurrent checks. A clause id is only
+/// definitive once every smaller checked id has completed; callers use
+/// shouldCheck() to skip clauses that can no longer matter (any id above
+/// the current minimum failure) — the minimum only ever decreases, so a
+/// clause at or below the final minimum is never skipped and the final
+/// (id, message) pair equals what the sequential replay reports first.
+class FirstFailure {
+ public:
+  bool any() const {
+    return minId_.load(std::memory_order_relaxed) != kNone;
+  }
+  bool shouldCheck(ClauseId id) const {
+    return id <= minId_.load(std::memory_order_relaxed);
+  }
+  void report(ClauseId id, std::string message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id < minId_.load(std::memory_order_relaxed)) {
+      minId_.store(id, std::memory_order_relaxed);
+      message_ = std::move(message);
+    }
+  }
+  /// Call only after all workers joined.
+  CheckResult toResult() const {
+    return failAt(minId_.load(std::memory_order_relaxed), message_);
+  }
+
+ private:
+  static constexpr ClauseId kNone = std::numeric_limits<ClauseId>::max();
+  std::atomic<ClauseId> minId_{kNone};
+  std::mutex mutex_;
+  std::string message_;
+};
+
+/// Per-batch counter partials, merged deterministically after each level.
+struct BatchCounters {
+  std::uint64_t derivedChecked = 0;
+  std::uint64_t axiomsChecked = 0;
+  std::uint64_t resolutions = 0;
+};
+
+CheckResult checkParallel(const ProofLog& log, const CheckOptions& options,
+                          const std::vector<char>& needed,
+                          std::size_t workers) {
+  const std::vector<std::vector<ClauseId>> levels = levelizeByChainDepth(
+      log, options.onlyNeeded ? &needed : nullptr);
+
+  const std::uint32_t maxLit = maxLitIndexOf(log);
+  std::vector<Scratch> scratch(workers);
+
+  ThreadPool pool(workers);
+  FirstFailure failure;
+  CheckResult result;
+
+  // Level 0 is the axiom batch; deeper levels replay resolutions. Each
+  // level is split into one contiguous slice per worker; slice w owns
+  // scratch[w] for the duration of the level, and the future barrier below
+  // hands it to the next level's slice w (the pool's queue plus
+  // future.get() establish the happens-before edge).
+  std::vector<std::future<BatchCounters>> futures;
+  for (const std::vector<ClauseId>& level : levels) {
+    if (level.empty()) continue;
+    const std::size_t slices = std::min<std::size_t>(workers, level.size());
+    const std::size_t per = (level.size() + slices - 1) / slices;
+    futures.clear();
+    for (std::size_t w = 0; w < slices; ++w) {
+      const std::size_t begin = w * per;
+      const std::size_t end = std::min(level.size(), begin + per);
+      if (begin >= end) break;
+      futures.push_back(pool.submit([&log, &options, &level, &failure,
+                                     &slice = scratch[w], begin, end,
+                                     maxLit]() -> BatchCounters {
+        BatchCounters counters;
+        slice.ensure(maxLit);
+        for (std::size_t i = begin; i < end; ++i) {
+          const ClauseId id = level[i];
+          if (!failure.shouldCheck(id)) continue;
+          if (log.isAxiom(id)) {
+            if (options.axiomValidator &&
+                !options.axiomValidator(log.lits(id))) {
+              failure.report(id, "axiom rejected by validator");
+              continue;
+            }
+            ++counters.axiomsChecked;
+            continue;
+          }
+          const std::string error =
+              checkDerivedClause(log, id, slice, &counters.resolutions);
+          if (!error.empty()) {
+            failure.report(id, error);
+            continue;
+          }
+          ++counters.derivedChecked;
+        }
+        return counters;
+      }));
+    }
+    for (auto& future : futures) {
+      const BatchCounters counters = future.get();
+      result.derivedChecked += counters.derivedChecked;
+      result.axiomsChecked += counters.axiomsChecked;
+      result.resolutions += counters.resolutions;
+    }
+  }
+
+  // The sequential replay returns a fresh CheckResult on failure (zero
+  // counters, smallest failing id); reproduce that exactly.
+  if (failure.any()) return failure.toResult();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+std::string CheckOptions::validate() const {
+  // requireRoot/onlyNeeded interplay depends on the log, not the options;
+  // numThreads admits every value (0 = hardware concurrency). Nothing to
+  // reject — the method exists for uniformity with the engine options.
+  return std::string();
+}
+
+CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
+  CheckResult result;
+  result.error = options.validate();
+  if (!result.error.empty()) return result;
+  if (options.requireRoot && !log.hasRoot()) {
+    result.error = "proof has no empty-clause root";
+    return result;
+  }
+  if (options.onlyNeeded && !log.hasRoot()) {
+    result.error = "onlyNeeded requires a root";
+    return result;
+  }
+
+  const std::vector<char> needed =
+      options.onlyNeeded ? reachableFromRoot(log) : std::vector<char>();
+
+  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+  if (workers <= 1) return checkSequential(log, options, needed);
+  return checkParallel(log, options, needed, workers);
 }
 
 }  // namespace cp::proof

@@ -12,6 +12,14 @@
 //     output assertion unit;
 //   * (optionally) a declared empty-clause root exists, which makes the log
 //     a proof of unsatisfiability of the axiom set.
+//
+// The replay parallelizes without weakening the trust story: per-clause
+// checks are independent (each reads only recorded literals and chains, and
+// writes nothing), so the checker can validate axioms and replay the
+// derived clauses level by chain depth in concurrent batches
+// (CheckOptions::numThreads). Exactly the same resolutions are checked in
+// every configuration; the verdict, error text, failing clause and
+// counters are bit-identical at every thread count.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +39,22 @@ struct CheckOptions {
   /// not every byproduct lemma.
   bool onlyNeeded = false;
   /// If set, called for every (checked) axiom; must return true to admit it.
+  /// With numThreads > 1 the validator is invoked concurrently and must be
+  /// safe to call from multiple threads (a pure function of the literals,
+  /// like cec::miterAxiomValidator, qualifies).
   std::function<bool(std::span<const sat::Lit>)> axiomValidator;
+  /// Worker threads for the replay: 0 = one per hardware thread, 1 = the
+  /// exact sequential legacy path (no pool). Any count yields the same
+  /// CheckResult bit for bit: parallelism only reorders the independent
+  /// per-clause checks, and a failure is always reported for the smallest
+  /// failing ClauseId — the clause the sequential replay would hit first.
+  std::uint32_t numThreads = 1;
+
+  /// Empty when the configuration is usable, else a uniform
+  /// "field: got value, allowed range" message (see base/options.h).
+  /// Every CheckOptions value is currently usable; kept for API symmetry
+  /// with the engine option structs.
+  std::string validate() const;
 };
 
 struct CheckResult {

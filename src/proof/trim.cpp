@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/proof/analysis.h"
+
 namespace cp::proof {
 
 TrimmedProof trimProof(const ProofLog& log) {
@@ -9,19 +11,7 @@ TrimmedProof trimProof(const ProofLog& log) {
     throw std::invalid_argument("trimProof: log has no empty-clause root");
   }
 
-  std::vector<char> needed(log.numClauses() + 1, 0);
-  std::vector<ClauseId> stack = {log.root()};
-  needed[log.root()] = 1;
-  while (!stack.empty()) {
-    const ClauseId id = stack.back();
-    stack.pop_back();
-    for (const ClauseId parent : log.chain(id)) {
-      if (!needed[parent]) {
-        needed[parent] = 1;
-        stack.push_back(parent);
-      }
-    }
-  }
+  const std::vector<char> needed = reachableFromRoot(log);
 
   TrimmedProof out;
   out.oldToNew.assign(log.numClauses() + 1, kNoClause);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/base/options.h"
+
 namespace cp::sat {
 
 namespace {
@@ -27,37 +29,47 @@ double luby(double y, int x) {
 
 }  // namespace
 
+std::string SolverOptions::validate() const {
+  if (!(varDecay > 0.0 && varDecay <= 1.0)) {
+    return optionError("SolverOptions.varDecay", optionValue(varDecay),
+                       "(0, 1]", "0 divides the activity bump by zero, "
+                       "above 1 activities shrink on every bump");
+  }
+  if (!(clauseDecay > 0.0 && clauseDecay <= 1.0)) {
+    return optionError("SolverOptions.clauseDecay", optionValue(clauseDecay),
+                       "(0, 1]", "0 divides the clause bump by zero, "
+                       "above 1 activities shrink on every bump");
+  }
+  if (restartFirst < 1) {
+    return optionError("SolverOptions.restartFirst",
+                       optionValue(std::int64_t(restartFirst)), "[1, inf)",
+                       "a non-positive restart unit stalls the Luby "
+                       "schedule");
+  }
+  if (!(restartInc >= 1.0)) {
+    return optionError("SolverOptions.restartInc", optionValue(restartInc),
+                       "[1, inf)",
+                       "below 1 the restart intervals shrink to zero");
+  }
+  if (!(learntSizeFactor > 0.0)) {
+    return optionError("SolverOptions.learntSizeFactor",
+                       optionValue(learntSizeFactor), "(0, inf)",
+                       "a non-positive learnt budget evicts every learned "
+                       "clause immediately");
+  }
+  if (!(randomFreq >= 0.0 && randomFreq <= 1.0)) {
+    return optionError("SolverOptions.randomFreq", optionValue(randomFreq),
+                       "[0, 1]", "a fraction of decisions");
+  }
+  return std::string();
+}
+
 Solver::Solver(proof::ProofLog* log, const SolverOptions& options)
     : options_(options),
       proof_(log),
       order_(activity_),
       rngState_(options.randomSeed | 1) {
-  // Reject degenerate configurations up front: a decay of 0 divides the
-  // activity bump by zero, a decay above 1 makes activities shrink on
-  // every bump, and a non-positive restart unit stalls the Luby schedule.
-  if (!(options.varDecay > 0.0 && options.varDecay <= 1.0)) {
-    throw std::invalid_argument("SolverOptions: varDecay must be in (0, 1]");
-  }
-  if (!(options.clauseDecay > 0.0 && options.clauseDecay <= 1.0)) {
-    throw std::invalid_argument(
-        "SolverOptions: clauseDecay must be in (0, 1]");
-  }
-  if (options.restartFirst < 1) {
-    throw std::invalid_argument(
-        "SolverOptions: restartFirst must be at least 1");
-  }
-  if (!(options.restartInc >= 1.0)) {
-    throw std::invalid_argument(
-        "SolverOptions: restartInc must be at least 1.0");
-  }
-  if (!(options.learntSizeFactor > 0.0)) {
-    throw std::invalid_argument(
-        "SolverOptions: learntSizeFactor must be positive");
-  }
-  if (!(options.randomFreq >= 0.0 && options.randomFreq <= 1.0)) {
-    throw std::invalid_argument(
-        "SolverOptions: randomFreq must be in [0, 1]");
-  }
+  throwIfInvalid(options.validate(), "Solver");
 }
 
 Var Solver::newVar() {

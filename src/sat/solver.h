@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/proof/proof_log.h"
@@ -51,6 +52,15 @@ struct SolverOptions {
   bool phaseSaving = true;
   std::uint32_t randomSeed = 91648253;
   double randomFreq = 0.0;      ///< fraction of random decisions
+
+  /// Empty when the configuration is usable, else a uniform "field: got
+  /// value, allowed range" message (see base/options.h). Rejects the
+  /// degenerate settings that break search rather than merely steering it:
+  /// a decay of 0 divides the activity bump by zero, a decay above 1 makes
+  /// activities shrink on every bump, and a non-positive restart unit
+  /// stalls the Luby schedule. The Solver constructor throws on a
+  /// non-empty result.
+  std::string validate() const;
 };
 
 struct SolverStats {

@@ -126,6 +126,59 @@ TEST(UnsatCore, CecCoreIsSmallForLocalFault)
   EXPECT_LT(core.size(), log.numAxioms());
 }
 
+TEST(Levelize, PartitionsByChainDepthWithAntecedentsBelow) {
+  const ProofLog log = chainedRefutation();
+  const auto levels = levelizeByChainDepth(log);
+  // Axioms at level 0; the derivation chain b -> c -> empty spreads one
+  // clause per level.
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], (std::vector<ClauseId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(levels[1], (std::vector<ClauseId>{6}));
+  EXPECT_EQ(levels[2], (std::vector<ClauseId>{7}));
+  EXPECT_EQ(levels[3], (std::vector<ClauseId>{8}));
+}
+
+TEST(Levelize, NeededMaskDropsUnreachableClauses) {
+  const ProofLog log = chainedRefutation();
+  const std::vector<char> needed = reachableFromRoot(log);
+  const auto levels = levelizeByChainDepth(log, &needed);
+  ASSERT_EQ(levels.size(), 4u);
+  // The unused axiom (id 5) is outside the root's cone.
+  EXPECT_EQ(levels[0], (std::vector<ClauseId>{1, 2, 3, 4}));
+}
+
+TEST(Levelize, RejectsWrongMaskSize) {
+  const ProofLog log = chainedRefutation();
+  const std::vector<char> tooSmall(log.numClauses(), 1);
+  EXPECT_THROW((void)levelizeByChainDepth(log, &tooSmall),
+               std::invalid_argument);
+}
+
+TEST(Levelize, EveryAntecedentLivesInAStrictlySmallerLevel) {
+  // The invariant the parallel checker's batch replay rests on, verified
+  // on a real sweeping proof.
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(5),
+                                         gen::carryLookaheadAdder(5, 2));
+  ProofLog log;
+  const auto result = cec::sweepingCheck(miter, cec::SweepOptions(), &log);
+  ASSERT_EQ(result.verdict, cec::Verdict::kEquivalent);
+  const auto levels = levelizeByChainDepth(log);
+  std::vector<std::size_t> levelOf(log.numClauses() + 1, 0);
+  std::size_t placed = 0;
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    for (const ClauseId id : levels[d]) {
+      levelOf[id] = d;
+      ++placed;
+    }
+  }
+  EXPECT_EQ(placed, log.numClauses());
+  for (ClauseId id = 1; id <= log.numClauses(); ++id) {
+    for (const ClauseId parent : log.chain(id)) {
+      EXPECT_LT(levelOf[parent], levelOf[id]) << "clause " << id;
+    }
+  }
+}
+
 TEST(Drat, EmitsOneLinePerDerivedClause) {
   const ProofLog log = chainedRefutation();
   std::stringstream ss;

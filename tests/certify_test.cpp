@@ -45,18 +45,20 @@ class CertifiedPairs : public testing::TestWithParam<CertifyCase> {};
 TEST_P(CertifiedPairs, SweepingProofAccepted) {
   const auto& param = GetParam();
   const Aig miter = buildMiter(param.left(), param.right());
-  const CertifyReport report = certifyMiter(miter, Engine::kSweeping);
+  const CertifyReport report = checkMiter(miter);
   ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
   EXPECT_TRUE(report.proofChecked) << report.check.error;
   EXPECT_GT(report.check.axiomsChecked, 0u);
-  EXPECT_LE(report.trimmedClauses, report.rawClauses);
-  EXPECT_LE(report.trimmedResolutions, report.rawResolutions);
+  EXPECT_LE(report.trim.clausesAfter, report.trim.clausesBefore);
+  EXPECT_LE(report.trim.resolutionsAfter, report.trim.resolutionsBefore);
 }
 
 TEST_P(CertifiedPairs, MonolithicProofAccepted) {
   const auto& param = GetParam();
   const Aig miter = buildMiter(param.left(), param.right());
-  const CertifyReport report = certifyMiter(miter, Engine::kMonolithic);
+  EngineConfig config;
+  config.engine = MonolithicOptions();
+  const CertifyReport report = checkMiter(miter, config);
   ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
   EXPECT_TRUE(report.proofChecked) << report.check.error;
 }
@@ -78,7 +80,7 @@ TEST(Certify, RestructuredCircuitsAcrossSeeds) {
     Rng rng(seed);
     const Aig variant = rewrite::restructure(base, rng);
     const Aig miter = buildMiter(base, variant);
-    const CertifyReport report = certifyMiter(miter);
+    const CertifyReport report = checkMiter(miter);
     ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent) << "seed " << seed;
     EXPECT_TRUE(report.proofChecked) << report.check.error;
   }
@@ -94,7 +96,7 @@ TEST(Certify, RandomRestructuredGraphs) {
     const Aig g = gen::randomAig(opt, rng);
     const Aig r = rewrite::restructure(g, rng);
     const Aig miter = buildMiter(g, r);
-    const CertifyReport report = certifyMiter(miter);
+    const CertifyReport report = checkMiter(miter);
     ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent) << "round " << round;
     ASSERT_TRUE(report.proofChecked)
         << "round " << round << ": " << report.check.error;
@@ -105,7 +107,7 @@ TEST(Certify, InequivalentVerdictValidatesCounterexample) {
   Aig broken = gen::rippleCarryAdder(6);
   broken.setOutput(3, !broken.output(3));
   const Aig miter = buildMiter(gen::rippleCarryAdder(6), broken);
-  const CertifyReport report = certifyMiter(miter);
+  const CertifyReport report = checkMiter(miter);
   EXPECT_EQ(report.cec.verdict, Verdict::kInequivalent);
   EXPECT_FALSE(report.proofChecked);  // no proof for SAT verdicts
   EXPECT_TRUE(miter.evaluate(report.cec.counterexample).at(0));

@@ -75,7 +75,7 @@ void crossCheck(const Aig& left, const Aig& right, const char* what) {
   // Engine 1: monolithic SAT.
   EXPECT_EQ(monolithicCheck(miter).verdict, want) << what;
   // Engine 2: certified sweeping (with proof check on equivalence).
-  const CertifyReport report = certifyMiter(miter);
+  const CertifyReport report = checkMiter(miter);
   EXPECT_EQ(report.cec.verdict, want) << what;
   if (want == Verdict::kEquivalent) {
     EXPECT_TRUE(report.proofChecked) << what << ": " << report.check.error;

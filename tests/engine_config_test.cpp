@@ -1,0 +1,203 @@
+// The unified engine-dispatch API: cec::checkMiter drives any of the three
+// engines through one EngineConfig, validates options uniformly, certifies
+// proof-producing verdicts, and reports trim statistics through the single
+// consolidated TrimStats member.
+#include "src/cec/certify.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/cec/miter.h"
+#include "src/cec/multi_cec.h"
+#include "src/gen/arith.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+
+Aig equivalentMiter() {
+  return buildMiter(gen::rippleCarryAdder(5), gen::carryLookaheadAdder(5, 3));
+}
+
+TEST(EngineConfig, DefaultIsCertifiedSweeping) {
+  const CertifyReport report = checkMiter(equivalentMiter());
+  ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(report.proofChecked) << report.check.error;
+  EXPECT_GT(report.trim.clausesAfter, 0u);
+  EXPECT_LE(report.trim.clausesAfter, report.trim.clausesBefore);
+  EXPECT_LE(report.trim.resolutionsAfter, report.trim.resolutionsBefore);
+}
+
+TEST(EngineConfig, DispatchesMonolithic) {
+  EngineConfig config;
+  config.engine = MonolithicOptions();
+  const CertifyReport report = checkMiter(equivalentMiter(), config);
+  ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(report.proofChecked) << report.check.error;
+  EXPECT_GT(report.check.resolutions, 0u);
+}
+
+TEST(EngineConfig, DispatchesBddWithoutProof) {
+  EngineConfig config;
+  config.engine = BddCecOptions();
+  const CertifyReport report = checkMiter(equivalentMiter(), config);
+  ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
+  // No proof artifacts: canonicity is the BDD engine's only argument.
+  EXPECT_FALSE(report.proofChecked);
+  EXPECT_EQ(report.trim.clausesBefore, 0u);
+  EXPECT_EQ(report.trim.resolutionsBefore, 0u);
+  EXPECT_EQ(report.check.resolutions, 0u);
+}
+
+TEST(EngineConfig, BddCounterexampleIsValidated) {
+  Aig broken = gen::rippleCarryAdder(5);
+  broken.setOutput(2, !broken.output(2));
+  const Aig miter = buildMiter(gen::rippleCarryAdder(5), broken);
+  EngineConfig config;
+  config.engine = BddCecOptions();
+  const CertifyReport report = checkMiter(miter, config);
+  ASSERT_EQ(report.cec.verdict, Verdict::kInequivalent);
+  // checkMiter re-evaluates every counterexample before returning it.
+  EXPECT_TRUE(miter.evaluate(report.cec.counterexample).at(0));
+}
+
+TEST(EngineConfig, ValidateReportsTheHeldAlternative) {
+  EngineConfig config;
+  SweepOptions sweep;
+  sweep.simWords = 0;
+  config.engine = sweep;
+  EXPECT_NE(config.validate().find("SweepOptions.simWords"),
+            std::string::npos)
+      << config.validate();
+
+  BddCecOptions bdd;
+  bdd.nodeLimit = 0;
+  config.engine = bdd;
+  EXPECT_NE(config.validate().find("BddCecOptions.nodeLimit"),
+            std::string::npos)
+      << config.validate();
+
+  config.engine = MonolithicOptions();
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+}
+
+TEST(EngineConfig, CheckMiterRejectsInvalidOptions) {
+  EngineConfig config;
+  SweepOptions sweep;
+  sweep.simWords = 0;
+  config.engine = sweep;
+  try {
+    (void)checkMiter(equivalentMiter(), config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // Uniform wording: entry point, field, value, allowed range.
+    EXPECT_NE(msg.find("checkMiter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("SweepOptions.simWords"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(EngineConfig, CheckThreadsDoesNotChangeTheReport) {
+  const Aig miter = equivalentMiter();
+  EngineConfig sequential;
+  sequential.checkThreads = 1;
+  const CertifyReport one = checkMiter(miter, sequential);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    EngineConfig parallel;
+    parallel.checkThreads = threads;
+    const CertifyReport many = checkMiter(miter, parallel);
+    EXPECT_EQ(many.proofChecked, one.proofChecked) << threads;
+    EXPECT_EQ(many.check.ok, one.check.ok) << threads;
+    EXPECT_EQ(many.check.error, one.check.error) << threads;
+    EXPECT_EQ(many.check.failedClause, one.check.failedClause) << threads;
+    EXPECT_EQ(many.check.derivedChecked, one.check.derivedChecked) << threads;
+    EXPECT_EQ(many.check.axiomsChecked, one.check.axiomsChecked) << threads;
+    EXPECT_EQ(many.check.resolutions, one.check.resolutions) << threads;
+    EXPECT_EQ(many.trim.clausesAfter, one.trim.clausesAfter) << threads;
+    EXPECT_EQ(many.trim.resolutionsAfter, one.trim.resolutionsAfter)
+        << threads;
+  }
+}
+
+TEST(EngineConfig, RawLogCapturesTheUntrimmedProof) {
+  proof::ProofLog log;
+  const CertifyReport report =
+      checkMiter(equivalentMiter(), EngineConfig(), &log);
+  ASSERT_TRUE(report.proofChecked) << report.check.error;
+  EXPECT_TRUE(log.hasRoot());
+  EXPECT_EQ(log.numClauses(), report.trim.clausesBefore);
+  EXPECT_EQ(log.numResolutions(), report.trim.resolutionsBefore);
+}
+
+TEST(EngineConfig, DeprecatedCertifyMiterShimStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const CertifyReport sweep = certifyMiter(equivalentMiter());
+  const CertifyReport mono =
+      certifyMiter(equivalentMiter(), Engine::kMonolithic);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(sweep.cec.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(sweep.proofChecked) << sweep.check.error;
+  EXPECT_EQ(mono.cec.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(mono.proofChecked) << mono.check.error;
+}
+
+TEST(EngineConfig, MultiCecValidatesUniformly) {
+  const Aig left = gen::parityChain(4);
+  const Aig right = gen::parityTree(4);
+  MultiCecOptions options;
+  options.simWords = 0;
+  try {
+    (void)checkOutputs(left, right, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MultiCecOptions.simWords"),
+              std::string::npos)
+        << e.what();
+  }
+  options.simWords = 8;
+  options.sweep.simWords = 0;
+  try {
+    (void)checkOutputs(left, right, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MultiCecOptions.sweep"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EngineConfig, MultiCecCheckThreadsIsDeterministic) {
+  // Parallel-across-outputs times parallel-within-each-check must still
+  // reproduce the sequential driver's deterministic fields.
+  const Aig left = gen::rippleCarryAdder(5);
+  const Aig right = gen::carrySelectAdder(5, 2);
+  MultiCecOptions sequential;
+  const MultiCecResult one = checkOutputs(left, right, sequential);
+  MultiCecOptions parallel;
+  parallel.numThreads = 4;
+  parallel.checkThreads = 4;
+  const MultiCecResult many = checkOutputs(left, right, parallel);
+
+  EXPECT_EQ(many.overall, one.overall);
+  EXPECT_EQ(many.satChecked, one.satChecked);
+  EXPECT_EQ(many.totalConflicts, one.totalConflicts);
+  EXPECT_EQ(many.totalProofClauses, one.totalProofClauses);
+  EXPECT_EQ(many.totalProofResolutions, one.totalProofResolutions);
+  ASSERT_EQ(many.outputs.size(), one.outputs.size());
+  for (std::size_t o = 0; o < one.outputs.size(); ++o) {
+    EXPECT_EQ(many.outputs[o].verdict, one.outputs[o].verdict) << o;
+    EXPECT_EQ(many.outputs[o].proofChecked, one.outputs[o].proofChecked) << o;
+    EXPECT_EQ(many.outputs[o].proofClauses, one.outputs[o].proofClauses) << o;
+    EXPECT_EQ(many.outputs[o].proofResolutions,
+              one.outputs[o].proofResolutions)
+        << o;
+  }
+}
+
+}  // namespace
+}  // namespace cp::cec

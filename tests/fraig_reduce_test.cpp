@@ -16,7 +16,7 @@ using aig::Edge;
 
 void expectEquivalentByCec(const Aig& a, const Aig& b) {
   const Aig miter = buildMiter(a, b);
-  const CertifyReport report = certifyMiter(miter);
+  const CertifyReport report = checkMiter(miter);
   ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
   ASSERT_TRUE(report.proofChecked) << report.check.error;
 }

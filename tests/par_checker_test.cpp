@@ -1,0 +1,259 @@
+// Parallel needed-cone proof checking: the verdict must be bit-identical
+// to the sequential checker at every thread count — on accepting runs
+// (same counters) and on rejecting runs (same error text and same
+// first-failing clause, i.e. the smallest failing ClauseId), for both
+// hand-crafted malformed proofs and real solver-produced refutations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/proof_log.h"
+#include "src/proof/tracecheck.h"
+#include "src/proof/trim.h"
+
+namespace cp::proof {
+namespace {
+
+using sat::Lit;
+
+Lit pos(sat::Var v) { return Lit::make(v, false); }
+Lit neg(sat::Var v) { return Lit::make(v, true); }
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Runs checkProof at 1/2/4/8 threads and asserts every CheckResult field
+/// matches the 1-thread (sequential) result exactly. Returns that result.
+CheckResult expectIdenticalAcrossThreadCounts(const ProofLog& log,
+                                              CheckOptions options) {
+  options.numThreads = 1;
+  const CheckResult sequential = checkProof(log, options);
+  for (const std::uint32_t threads : kThreadCounts) {
+    options.numThreads = threads;
+    const CheckResult got = checkProof(log, options);
+    EXPECT_EQ(got.ok, sequential.ok) << threads << " threads";
+    EXPECT_EQ(got.error, sequential.error) << threads << " threads";
+    EXPECT_EQ(got.failedClause, sequential.failedClause)
+        << threads << " threads";
+    EXPECT_EQ(got.derivedChecked, sequential.derivedChecked)
+        << threads << " threads";
+    EXPECT_EQ(got.axiomsChecked, sequential.axiomsChecked)
+        << threads << " threads";
+    EXPECT_EQ(got.resolutions, sequential.resolutions) << threads
+                                                       << " threads";
+  }
+  return sequential;
+}
+
+/// (a), (~a | b), (~b) |- (): the minimal three-axiom refutation.
+ProofLog tinyRefutation() {
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab =
+      log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId nb = log.addAxiom(std::array<Lit, 1>{neg(1)});
+  const ClauseId b = log.addDerived(std::array<Lit, 1>{pos(1)},
+                                    std::array<ClauseId, 2>{a, ab});
+  const ClauseId empty =
+      log.addDerived(std::span<const Lit>{}, std::array<ClauseId, 2>{b, nb});
+  log.setRoot(empty);
+  return log;
+}
+
+TEST(ParChecker, AcceptsTinyRefutationAtEveryThreadCount) {
+  const ProofLog log = tinyRefutation();
+  const CheckResult result =
+      expectIdenticalAcrossThreadCounts(log, CheckOptions());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.derivedChecked, 2u);
+  EXPECT_EQ(result.axiomsChecked, 3u);
+  EXPECT_EQ(result.resolutions, 2u);
+}
+
+TEST(ParChecker, RejectsDoublePivotStepIdentically) {
+  // (a | b) resolved with (~a | ~b): both variables flip, two pivots.
+  ProofLog log;
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 2>{pos(0), pos(1)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 2>{neg(0), neg(1)});
+  const ClauseId bad = log.addDerived(std::span<const Lit>{},
+                                      std::array<ClauseId, 2>{c1, c2});
+  log.setRoot(bad);
+  const CheckResult result =
+      expectIdenticalAcrossThreadCounts(log, CheckOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, bad);
+  EXPECT_NE(result.error.find("more than one pivot"), std::string::npos)
+      << result.error;
+  // Failure results are fresh: no partial counters leak through.
+  EXPECT_EQ(result.derivedChecked, 0u);
+  EXPECT_EQ(result.resolutions, 0u);
+}
+
+TEST(ParChecker, RejectsPivotlessStepIdentically) {
+  ProofLog log;
+  const ClauseId c1 = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId c2 = log.addAxiom(std::array<Lit, 1>{pos(1)});
+  const ClauseId bad = log.addDerived(std::array<Lit, 2>{pos(0), pos(1)},
+                                      std::array<ClauseId, 2>{c1, c2});
+  (void)bad;
+  CheckOptions options;
+  options.requireRoot = false;
+  const CheckResult result = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, bad);
+  EXPECT_NE(result.error.find("has no pivot"), std::string::npos)
+      << result.error;
+}
+
+TEST(ParChecker, RejectsResolventMismatchIdentically) {
+  // The chain derives (b) but the clause records (c): set mismatch.
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab =
+      log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId bad = log.addDerived(std::array<Lit, 1>{pos(2)},
+                                      std::array<ClauseId, 2>{a, ab});
+  (void)bad;
+  CheckOptions options;
+  options.requireRoot = false;
+  const CheckResult result = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, bad);
+  EXPECT_NE(result.error.find("chain resolvent"), std::string::npos)
+      << result.error;
+}
+
+TEST(ParChecker, RejectsMissingRootIdentically) {
+  ProofLog log;
+  (void)log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const CheckResult result =
+      expectIdenticalAcrossThreadCounts(log, CheckOptions());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no empty-clause root"), std::string::npos)
+      << result.error;
+}
+
+TEST(ParChecker, ReportsSmallestFailingClause) {
+  // Two independent bad derivations; the checker must name the first one
+  // the sequential replay would hit, at every thread count.
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  const ClauseId ab =
+      log.addAxiom(std::array<Lit, 2>{neg(0), pos(1)});
+  const ClauseId bad1 = log.addDerived(std::array<Lit, 1>{pos(2)},
+                                       std::array<ClauseId, 2>{a, ab});
+  const ClauseId bad2 = log.addDerived(std::array<Lit, 1>{pos(3)},
+                                       std::array<ClauseId, 2>{a, ab});
+  (void)bad2;
+  CheckOptions options;
+  options.requireRoot = false;
+  const CheckResult result = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, bad1);
+}
+
+TEST(ParChecker, CyclicChainIdsAreUnconstructible) {
+  // A resolution cycle cannot even be recorded: addDerived rejects chain
+  // ids that are not yet defined (which any cycle must contain)...
+  ProofLog log;
+  const ClauseId a = log.addAxiom(std::array<Lit, 1>{pos(0)});
+  EXPECT_THROW((void)log.addDerived(std::array<Lit, 1>{pos(1)},
+                                    std::array<ClauseId, 2>{a, 3}),
+               std::invalid_argument);
+  // ...and the TRACECHECK reader enforces the same definition-before-use
+  // order, so a cyclic text proof is rejected at parse time too, by both
+  // construction routes the checkers accept input from.
+  std::stringstream cyclic("2 1 0 3 0\n3 -1 0 2 0\n");
+  EXPECT_THROW((void)readTracecheck(cyclic), std::runtime_error);
+}
+
+TEST(ParChecker, OnlyNeededSkipsJunkIdentically) {
+  // A malformed clause OUTSIDE the root's cone must not affect the
+  // needed-cone verdict at any thread count.
+  ProofLog log = tinyRefutation();
+  (void)log.addDerived(std::array<Lit, 1>{pos(5)},
+                       std::array<ClauseId, 2>{1, 2});  // junk, malformed
+  CheckOptions options;
+  options.onlyNeeded = true;
+  const CheckResult result = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.derivedChecked, 2u);
+  // Without the cone restriction the junk clause is caught — identically.
+  options.onlyNeeded = false;
+  const CheckResult full = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_FALSE(full.ok);
+  EXPECT_EQ(full.failedClause, 6u);
+}
+
+TEST(ParChecker, AxiomValidatorRejectionIsDeterministic) {
+  const ProofLog log = tinyRefutation();
+  CheckOptions options;
+  // Reject the middle axiom only: the failure must name it at every count.
+  options.axiomValidator = [](std::span<const Lit> lits) {
+    return lits.size() != 2;
+  };
+  const CheckResult result = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failedClause, 2u);
+  EXPECT_NE(result.error.find("axiom rejected"), std::string::npos)
+      << result.error;
+}
+
+TEST(ParChecker, MonolithicAluProofDeterministicAcrossThreadCounts) {
+  // The headline determinism check on a real, thousands-of-clauses proof:
+  // a monolithic refutation of an ALU miter, replayed raw (needed cone
+  // only) and trimmed, with the miter CNF as the only admissible axioms.
+  const aig::Aig miter =
+      cec::buildMiter(gen::aluVariantA(3), gen::aluVariantB(3));
+  ProofLog log;
+  const cec::CecResult cec = cec::monolithicCheck(miter, {}, &log);
+  ASSERT_EQ(cec.verdict, cec::Verdict::kEquivalent);
+
+  CheckOptions options;
+  options.onlyNeeded = true;
+  options.axiomValidator = cec::miterAxiomValidator(miter);
+  const CheckResult raw = expectIdenticalAcrossThreadCounts(log, options);
+  EXPECT_TRUE(raw.ok) << raw.error;
+
+  options.onlyNeeded = false;
+  const CheckResult trimmed =
+      expectIdenticalAcrossThreadCounts(trimProof(log).log, options);
+  EXPECT_TRUE(trimmed.ok) << trimmed.error;
+  // Trimming is exactly the needed-cone restriction, so both replays
+  // validate the same axioms and perform the same resolutions.
+  EXPECT_EQ(raw.axiomsChecked, trimmed.axiomsChecked);
+  EXPECT_EQ(raw.resolutions, trimmed.resolutions);
+}
+
+TEST(ParChecker, SweepingProofDeterministicAcrossThreadCounts) {
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(6),
+                                         gen::carryLookaheadAdder(6, 3));
+  ProofLog log;
+  const cec::CecResult cec = cec::sweepingCheck(miter, {}, &log);
+  ASSERT_EQ(cec.verdict, cec::Verdict::kEquivalent);
+
+  CheckOptions options;
+  options.axiomValidator = cec::miterAxiomValidator(miter);
+  const CheckResult result =
+      expectIdenticalAcrossThreadCounts(trimProof(log).log, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.resolutions, 0u);
+}
+
+TEST(ParChecker, ZeroThreadsMeansHardwareConcurrency) {
+  const ProofLog log = tinyRefutation();
+  CheckOptions options;
+  options.numThreads = 0;
+  const CheckResult result = checkProof(log, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.derivedChecked, 2u);
+}
+
+}  // namespace
+}  // namespace cp::proof

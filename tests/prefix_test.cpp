@@ -130,7 +130,7 @@ TEST(PrefixAdders, CrossFamilyCertifiedEquivalence) {
                           brentKungAdder(w), rippleCarryAdder(w)};
   for (std::size_t i = 0; i + 1 < std::size(families); ++i) {
     const Aig miter = cec::buildMiter(families[i], families[i + 1]);
-    const cec::CertifyReport report = cec::certifyMiter(miter);
+    const cec::CertifyReport report = cec::checkMiter(miter);
     ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent) << i;
     EXPECT_TRUE(report.proofChecked) << report.check.error;
   }
@@ -139,7 +139,7 @@ TEST(PrefixAdders, CrossFamilyCertifiedEquivalence) {
 TEST(PrefixAdders, CarrySaveVsWallaceCertified) {
   const Aig miter =
       cec::buildMiter(carrySaveMultiplier(4), wallaceMultiplier(4));
-  const cec::CertifyReport report = cec::certifyMiter(miter);
+  const cec::CertifyReport report = cec::checkMiter(miter);
   ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
   EXPECT_TRUE(report.proofChecked) << report.check.error;
 }

@@ -96,7 +96,7 @@ TEST(Factor, EdgeCases) {
 
 void expectSameFunction(const Aig& a, const Aig& b) {
   const Aig miter = cec::buildMiter(a, b);
-  const cec::CertifyReport report = cec::certifyMiter(miter);
+  const cec::CertifyReport report = cec::checkMiter(miter);
   ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
   ASSERT_TRUE(report.proofChecked) << report.check.error;
 }

@@ -27,12 +27,11 @@ TEST(Smoke, CertifiedSweepingProofChecks) {
   const aig::Aig right = gen::carrySelectAdder(6, 2);
   const aig::Aig miter = cec::buildMiter(left, right);
 
-  const cec::CertifyReport report =
-      cec::certifyMiter(miter, cec::Engine::kSweeping);
+  const cec::CertifyReport report = cec::checkMiter(miter);
   ASSERT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
   EXPECT_TRUE(report.proofChecked) << report.check.error;
-  EXPECT_GT(report.trimmedClauses, 0u);
-  EXPECT_LE(report.trimmedClauses, report.rawClauses);
+  EXPECT_GT(report.trim.clausesAfter, 0u);
+  EXPECT_LE(report.trim.clausesAfter, report.trim.clausesBefore);
 }
 
 TEST(Smoke, InequivalentPairYieldsCounterexample) {
