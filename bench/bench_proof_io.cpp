@@ -1,0 +1,170 @@
+// R-ProofIO: proof serialization and on-disk certification costs on the
+// R-Tab3 workloads. Three questions, one benchmark binary:
+//
+//   1. Size — CPF container bytes vs. TRACECHECK text bytes for the same
+//      proof (acceptance bar: binary <= 50% of text), plus bytes/clause.
+//   2. Text-writer speedup — the std::to_chars TextBuffer writer vs. the
+//      per-token operator<< writer it replaced (BM_TracecheckWriteLegacy
+//      keeps the "before" number honest).
+//   3. On-disk certification — CPF write, full materialization, and the
+//      bounded-memory streaming check, with the live-set high-water marks
+//      as counters (liveClausesPeak vs. total clauses).
+//
+// Proofs come from the sweeping engine on each miter, memoized across
+// benchmarks so every serialization number refers to the same log.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "bench/workloads.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/tracecheck.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
+
+namespace cp::bench {
+namespace {
+
+/// The raw sweeping proof of suite()[index], built once.
+const proof::ProofLog& proofFor(std::size_t index) {
+  static std::map<std::size_t, proof::ProofLog> cache;
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    proof::ProofLog log;
+    (void)cec::sweepingCheck(miterFor(index), cec::SweepOptions(), &log);
+    it = cache.emplace(index, std::move(log)).first;
+  }
+  return it->second;
+}
+
+/// The pre-TextBuffer TRACECHECK writer: one operator<< per token. Kept
+/// verbatim as the baseline for the std::to_chars rewrite.
+void writeTracecheckLegacy(const proof::ProofLog& log, std::ostream& out) {
+  const auto line = [&out, &log](proof::ClauseId id) {
+    out << id;
+    for (const sat::Lit l : log.lits(id)) {
+      const std::int64_t dimacs = static_cast<std::int64_t>(l.var()) + 1;
+      out << ' ' << (l.negated() ? -dimacs : dimacs);
+    }
+    out << " 0";
+    for (const proof::ClauseId parent : log.chain(id)) {
+      out << ' ' << parent;
+    }
+    out << " 0\n";
+  };
+  for (proof::ClauseId id = 1; id <= log.numClauses(); ++id) {
+    if (log.hasRoot() && id == log.root()) continue;
+    line(id);
+  }
+  if (log.hasRoot()) line(log.root());
+}
+
+std::string cpfBytesFor(const proof::ProofLog& log) {
+  std::ostringstream out(std::ios::binary);
+  proofio::writeProof(log, out);
+  return out.str();
+}
+
+void sizeCounters(benchmark::State& state, const proof::ProofLog& log) {
+  std::ostringstream text;
+  proof::writeTracecheck(log, text);
+  const std::string binary = cpfBytesFor(log);
+  const double clauses = static_cast<double>(log.numClauses());
+  state.counters["textBytes"] = static_cast<double>(text.str().size());
+  state.counters["cpfBytes"] = static_cast<double>(binary.size());
+  state.counters["cpfOverText"] =
+      static_cast<double>(binary.size()) /
+      static_cast<double>(text.str().size());
+  state.counters["cpfBytesPerClause"] =
+      static_cast<double>(binary.size()) / clauses;
+}
+
+void BM_TracecheckWriteLegacy(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const proof::ProofLog& log = proofFor(index);
+  state.SetLabel(suite()[index].name);
+  for (auto _ : state) {
+    std::ostringstream out;
+    writeTracecheckLegacy(log, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.counters["clauses"] = static_cast<double>(log.numClauses());
+}
+
+void BM_TracecheckWrite(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const proof::ProofLog& log = proofFor(index);
+  state.SetLabel(suite()[index].name);
+  for (auto _ : state) {
+    std::ostringstream out;
+    proof::writeTracecheck(log, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.counters["clauses"] = static_cast<double>(log.numClauses());
+}
+
+void BM_CpfWrite(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const proof::ProofLog& log = proofFor(index);
+  state.SetLabel(suite()[index].name);
+  for (auto _ : state) {
+    std::ostringstream out(std::ios::binary);
+    const proofio::WriteStats stats = proofio::writeProof(log, out);
+    benchmark::DoNotOptimize(stats.bytes);
+  }
+  sizeCounters(state, log);
+}
+
+void BM_CpfRead(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const std::string bytes = cpfBytesFor(proofFor(index));
+  state.SetLabel(suite()[index].name);
+  for (auto _ : state) {
+    std::istringstream in(bytes, std::ios::binary);
+    const proof::ProofLog log = proofio::readProof(in);
+    benchmark::DoNotOptimize(log.numClauses());
+  }
+}
+
+void BM_CpfStreamCheck(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const std::string bytes = cpfBytesFor(proofFor(index));
+  state.SetLabel(suite()[index].name);
+  proofio::StreamCheckStats stats;
+  for (auto _ : state) {
+    std::istringstream in(bytes, std::ios::binary);
+    proofio::StreamCheckOptions options;
+    options.requireRoot = true;
+    const proof::CheckResult result =
+        proofio::checkProofStream(in, options, &stats);
+    if (!result.ok) {
+      state.SkipWithError("streaming check rejected the proof");
+      return;
+    }
+  }
+  state.counters["clauses"] = static_cast<double>(stats.container.clauses);
+  state.counters["liveClausesPeak"] =
+      static_cast<double>(stats.liveClausesPeak);
+  state.counters["liveLiteralsPeak"] =
+      static_cast<double>(stats.liveLiteralsPeak);
+  state.counters["releasedEarly"] = static_cast<double>(stats.releasedEarly);
+}
+
+void forEachWorkload(benchmark::internal::Benchmark* b) {
+  for (std::size_t i = 0; i < suite().size(); ++i) {
+    b->Arg(static_cast<long>(i));
+  }
+}
+
+BENCHMARK(BM_TracecheckWriteLegacy)->Apply(forEachWorkload);
+BENCHMARK(BM_TracecheckWrite)->Apply(forEachWorkload);
+BENCHMARK(BM_CpfWrite)->Apply(forEachWorkload);
+BENCHMARK(BM_CpfRead)->Apply(forEachWorkload);
+BENCHMARK(BM_CpfStreamCheck)->Apply(forEachWorkload);
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK_MAIN();

@@ -1,18 +1,25 @@
-// Proof-file swiss-army knife for TRACECHECK resolution proofs:
+// Proof-file swiss-army knife for TRACECHECK and CPF resolution proofs:
 //
 //   $ ./proof_tools check    proof.trace [problem.cnf]
 //   $ ./proof_tools metrics  proof.trace
 //   $ ./proof_tools compress proof.trace out.trace
 //   $ ./proof_tools core     proof.trace              (prints core axioms)
 //   $ ./proof_tools drat     proof.trace out.drat
+//   $ ./proof_tools tobinary proof.trace out.cpf      (text -> CPF container)
+//   $ ./proof_tools totext   proof.cpf   out.trace    (CPF -> TRACECHECK)
+//   $ ./proof_tools checkbin proof.cpf   [problem.cnf]
+//   $ ./proof_tools info     proof.cpf               (footer stats, no replay)
 //
-// With a DIMACS file, `check` additionally validates every axiom against
-// the CNF -- the full trust chain for proofs produced elsewhere (e.g. by
-// dimacs_prover on another machine).
+// With a DIMACS file, `check`/`checkbin` additionally validate every axiom
+// against the CNF -- the full trust chain for proofs produced elsewhere
+// (e.g. by dimacs_prover on another machine). `checkbin` replays the
+// container with the bounded-memory streaming checker: a single forward
+// pass that only keeps clauses inside their recorded live range.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -22,6 +29,8 @@
 #include "src/proof/compress.h"
 #include "src/proof/tracecheck.h"
 #include "src/proof/trim.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
 
 namespace {
 
@@ -34,10 +43,39 @@ cp::proof::ProofLog readTrace(const char* path) {
   return cp::proof::readTracecheck(in);
 }
 
+/// Validator admitting exactly the clauses of the DIMACS file (as sets).
+std::function<bool(std::span<const cp::sat::Lit>)> dimacsValidator(
+    const char* path) {
+  const cp::cnf::Cnf cnf = cp::cnf::readDimacsFile(path);
+  auto clauses = std::make_shared<std::vector<std::vector<cp::sat::Lit>>>();
+  for (const auto& clause : cnf.clauses) {
+    auto sorted = clause;
+    std::sort(sorted.begin(), sorted.end());
+    clauses->push_back(std::move(sorted));
+  }
+  return [clauses](std::span<const cp::sat::Lit> lits) {
+    std::vector<cp::sat::Lit> sorted(lits.begin(), lits.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& candidate : *clauses) {
+      if (candidate == sorted) return true;
+    }
+    return false;
+  };
+}
+
+void printVerdict(const cp::proof::CheckResult& result) {
+  std::printf("%s\n", result.ok ? "ACCEPTED" : result.error.c_str());
+  std::printf("axioms checked: %llu, derived checked: %llu, "
+              "resolutions replayed: %llu\n",
+              (unsigned long long)result.axiomsChecked,
+              (unsigned long long)result.derivedChecked,
+              (unsigned long long)result.resolutions);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s check|metrics|compress|core|drat proof.trace "
-               "[extra]\n",
+               "usage: %s check|metrics|compress|core|drat|tobinary|totext|"
+               "checkbin|info <proof> [extra]\n",
                argv0);
   return 2;
 }
@@ -48,37 +86,73 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string command = argv[1];
   try {
+    // ---- commands whose input is a CPF container --------------------------
+    if (command == "info") {
+      std::ifstream in(argv[2], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+        return 2;
+      }
+      const auto info = cp::proofio::probeProof(in);
+      std::printf("clauses:     %llu (axioms %llu, deleted %llu)\n",
+                  (unsigned long long)info.clauses,
+                  (unsigned long long)info.axioms,
+                  (unsigned long long)info.deleted);
+      std::printf("literals:    %llu\n", (unsigned long long)info.literals);
+      std::printf("resolutions: %llu\n",
+                  (unsigned long long)info.resolutions);
+      std::printf("root:        %u%s\n", info.root,
+                  info.root == cp::proof::kNoClause ? " (no refutation)" : "");
+      std::printf("container:   %llu bytes in %llu chunks\n",
+                  (unsigned long long)info.bytes,
+                  (unsigned long long)info.chunks);
+      return 0;
+    }
+
+    if (command == "checkbin") {
+      cp::proofio::StreamCheckOptions options;
+      if (argc > 3) options.axiomValidator = dimacsValidator(argv[3]);
+      cp::proofio::StreamCheckStats stats;
+      const auto result = cp::proofio::checkProofFile(argv[2], options, &stats);
+      printVerdict(result);
+      std::printf("live-set peak: %llu clauses / %llu literals "
+                  "(of %llu total literals; %llu released early)\n",
+                  (unsigned long long)stats.liveClausesPeak,
+                  (unsigned long long)stats.liveLiteralsPeak,
+                  (unsigned long long)stats.totalLiterals,
+                  (unsigned long long)stats.releasedEarly);
+      return result.ok ? 0 : 1;
+    }
+
+    if (command == "totext" && argc > 3) {
+      cp::proofio::ContainerInfo info;
+      const cp::proof::ProofLog log =
+          cp::proofio::readProofFile(argv[2], &info);
+      std::ofstream out(argv[3]);
+      cp::proof::writeTracecheck(log, out);
+      std::printf("%llu clauses, %llu container bytes -> %s\n",
+                  (unsigned long long)info.clauses,
+                  (unsigned long long)info.bytes, argv[3]);
+      return 0;
+    }
+
+    // ---- commands whose input is a TRACECHECK file ------------------------
     const cp::proof::ProofLog log = readTrace(argv[2]);
+
+    if (command == "tobinary" && argc > 3) {
+      const auto stats = cp::proofio::writeProofFile(log, argv[3]);
+      std::printf("%llu clauses -> %llu bytes in %llu chunks (root %u)\n",
+                  (unsigned long long)stats.clauses,
+                  (unsigned long long)stats.bytes,
+                  (unsigned long long)stats.chunks, stats.root);
+      return 0;
+    }
 
     if (command == "check") {
       cp::proof::CheckOptions options;
-      if (argc > 3) {
-        const cp::cnf::Cnf cnf = cp::cnf::readDimacsFile(argv[3]);
-        // Admit exactly the CNF's clauses (as sets).
-        auto clauses = std::make_shared<
-            std::vector<std::vector<cp::sat::Lit>>>();
-        for (const auto& clause : cnf.clauses) {
-          auto sorted = clause;
-          std::sort(sorted.begin(), sorted.end());
-          clauses->push_back(std::move(sorted));
-        }
-        options.axiomValidator =
-            [clauses](std::span<const cp::sat::Lit> lits) {
-              std::vector<cp::sat::Lit> sorted(lits.begin(), lits.end());
-              std::sort(sorted.begin(), sorted.end());
-              for (const auto& candidate : *clauses) {
-                if (candidate == sorted) return true;
-              }
-              return false;
-            };
-      }
+      if (argc > 3) options.axiomValidator = dimacsValidator(argv[3]);
       const auto result = cp::proof::checkProof(log, options);
-      std::printf("%s\n", result.ok ? "ACCEPTED" : result.error.c_str());
-      std::printf("axioms checked: %llu, derived checked: %llu, "
-                  "resolutions replayed: %llu\n",
-                  (unsigned long long)result.axiomsChecked,
-                  (unsigned long long)result.derivedChecked,
-                  (unsigned long long)result.resolutions);
+      printVerdict(result);
       return result.ok ? 0 : 1;
     }
 

@@ -1,0 +1,50 @@
+// Append-only text buffer for integer-heavy emitters.
+//
+// Formatting a proof as TRACECHECK text is dominated by integer-to-decimal
+// conversion and ostream overhead: one operator<< per token acquires the
+// stream's sentry, consults its locale and formats through a stateful API,
+// per literal. This buffer instead formats with std::to_chars into a flat
+// byte buffer and hands the stream large contiguous writes. It is shared by
+// proof::writeTracecheck and the proofio text-convert path, and benchmarked
+// against the legacy emitter in bench_proof_io.
+#pragma once
+
+#include <charconv>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace cp {
+
+class TextBuffer {
+ public:
+  /// Appends the decimal rendering of any built-in integer type.
+  template <class Int>
+  void appendInt(Int value) {
+    char digits[24];  // enough for a sign plus a 64-bit decimal
+    const auto [end, ec] =
+        std::to_chars(digits, digits + sizeof(digits), value);
+    (void)ec;  // cannot fail: the buffer fits every 64-bit value
+    data_.append(digits, static_cast<std::size_t>(end - digits));
+  }
+
+  void append(char c) { data_.push_back(c); }
+  void append(std::string_view text) { data_.append(text); }
+
+  std::size_t size() const { return data_.size(); }
+
+  /// Writes the buffered bytes to `out` and clears the buffer. Call when
+  /// size() crosses the caller's flush threshold and once at the end.
+  void flush(std::ostream& out) {
+    out.write(data_.data(), static_cast<std::streamsize>(data_.size()));
+    data_.clear();
+  }
+
+  const std::string& str() const { return data_; }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace cp

@@ -81,6 +81,19 @@ CecResult bddDecideMiter(const aig::Aig& miter, const BddCecOptions& options) {
   return result;
 }
 
+/// Detaches the streamed-proof sink on every exit path: the writer dies
+/// with checkMiter's scope, so the log must never keep a pointer to it.
+class SinkGuard {
+ public:
+  SinkGuard(proof::ProofLog& log, proof::ProofSink* sink) : log_(log) {
+    log_.setSink(sink);
+  }
+  ~SinkGuard() { log_.setSink(nullptr); }
+
+ private:
+  proof::ProofLog& log_;
+};
+
 }  // namespace
 
 CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
@@ -93,13 +106,29 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   const bool producesProof =
       !std::holds_alternative<BddCecOptions>(config.engine);
 
-  if (const auto* sweep = std::get_if<SweepOptions>(&config.engine)) {
-    report.cec = sweepingCheck(miter, *sweep, log);
-  } else if (const auto* mono =
-                 std::get_if<MonolithicOptions>(&config.engine)) {
-    report.cec = monolithicCheck(miter, *mono, log);
-  } else {
-    report.cec = bddDecideMiter(miter, std::get<BddCecOptions>(config.engine));
+  // With a proofPath, the raw proof goes to disk *while* the engine derives
+  // it: the writer observes every ProofLog record as the solver and the
+  // composer append them, so serialization adds no post-hoc proof walk.
+  std::unique_ptr<proofio::ProofWriter> writer;
+  if (!config.proofPath.empty()) {
+    writer = std::make_unique<proofio::ProofWriter>(config.proofPath);
+  }
+  {
+    SinkGuard guard(*log, writer.get());
+    if (const auto* sweep = std::get_if<SweepOptions>(&config.engine)) {
+      report.cec = sweepingCheck(miter, *sweep, log);
+    } else if (const auto* mono =
+                   std::get_if<MonolithicOptions>(&config.engine)) {
+      report.cec = monolithicCheck(miter, *mono, log);
+    } else {
+      report.cec =
+          bddDecideMiter(miter, std::get<BddCecOptions>(config.engine));
+    }
+  }
+  if (writer != nullptr) {
+    report.disk.write = writer->finish();
+    report.disk.written = true;
+    writer.reset();
   }
 
   if (report.cec.verdict == Verdict::kInequivalent) {
@@ -118,14 +147,30 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   proof::TrimmedProof trimmed = proof::trimProof(*log);
   report.trim = trimmed.stats;
 
+  const auto axiomValidator = miterAxiomValidator(miter);
   Stopwatch checkTimer;
   proof::CheckOptions options;
   options.requireRoot = true;
-  options.axiomValidator = miterAxiomValidator(miter);
+  options.axiomValidator = axiomValidator;
   options.numThreads = config.checkThreads;
   report.check = proof::checkProof(trimmed.log, options);
   report.checkSeconds = checkTimer.seconds();
   report.proofChecked = report.check.ok;
+
+  // Disk leg: re-read the container just written and replay it with the
+  // bounded-memory streaming checker against the same axiom validator. The
+  // certificate is only accepted when the independent on-disk replay agrees.
+  if (report.disk.written) {
+    Stopwatch diskTimer;
+    proofio::StreamCheckOptions streamOptions;
+    streamOptions.requireRoot = true;
+    streamOptions.axiomValidator = axiomValidator;
+    report.disk.check = proofio::checkProofFile(
+        config.proofPath, streamOptions, &report.disk.stream);
+    report.disk.checkSeconds = diskTimer.seconds();
+    report.disk.checked = report.disk.check.ok;
+    report.proofChecked = report.proofChecked && report.disk.checked;
+  }
   return report;
 }
 

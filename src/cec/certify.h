@@ -24,6 +24,8 @@
 #include "src/cec/sweeping_cec.h"
 #include "src/proof/checker.h"
 #include "src/proof/trim.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
 
 namespace cp::cec {
 
@@ -49,14 +51,37 @@ struct EngineConfig {
   /// at every count.
   std::uint32_t checkThreads = 1;
 
+  /// When non-empty: the engine's raw proof is streamed to this CPF
+  /// container file *during* solving (proofio::ProofWriter attached as the
+  /// log's sink), and an equivalent verdict is additionally certified from
+  /// disk — the container is re-read, CRC-verified and replayed by the
+  /// bounded-memory streaming checker (see CertifyReport::disk). Ignored by
+  /// the proofless BDD engine beyond writing an empty container.
+  std::string proofPath;
+
   /// Empty when the configuration is usable, else the held engine
   /// alternative's uniform validation message (see base/options.h).
   std::string validate() const;
 };
 
+/// On-disk leg of a certification run (only populated when
+/// EngineConfig::proofPath is set).
+struct DiskProofReport {
+  bool written = false;  ///< a finished container exists at proofPath
+  bool checked = false;  ///< streaming checker accepted it
+  /// Streaming-check verdict; bit-identical to proof::checkProof on the
+  /// raw in-memory log (same failing clause and message on a defect).
+  proof::CheckResult check;
+  proofio::WriteStats write;        ///< container size/shape
+  proofio::StreamCheckStats stream; ///< live-set high-water marks
+  double checkSeconds = 0.0;
+};
+
 struct CertifyReport {
   CecResult cec;
-  bool proofChecked = false;       ///< checker accepted (equivalent only)
+  /// Checker accepted (equivalent verdicts only). With a proofPath this
+  /// additionally requires the on-disk streaming replay to accept.
+  bool proofChecked = false;
   proof::CheckResult check;        ///< checker detail
   /// Raw-vs-trimmed proof sizes: clausesBefore/resolutionsBefore are the
   /// engine's full log, clausesAfter/resolutionsAfter the checked trimmed
@@ -64,6 +89,8 @@ struct CertifyReport {
   /// non-equivalent verdicts.
   proof::TrimStats trim;
   double checkSeconds = 0.0;
+  /// On-disk certification results when EngineConfig::proofPath was set.
+  DiskProofReport disk;
 };
 
 /// Runs the engine selected by `config` on the given miter. For the

@@ -45,7 +45,7 @@ Cnf readDimacs(std::istream& in) {
         continue;
       }
       const std::uint64_t var = (token > 0 ? token : -token) - 1;
-      if (var >= cnf.numVars) {
+      if (var >= cnf.numVars || var > sat::kMaxVar) {
         throw std::runtime_error("dimacs: variable out of declared range");
       }
       clause.push_back(sat::Lit::make(static_cast<sat::Var>(var), token < 0));
@@ -55,6 +55,11 @@ Cnf readDimacs(std::istream& in) {
     throw std::runtime_error("dimacs: last clause not zero-terminated");
   }
   if (!sawHeader) throw std::runtime_error("dimacs: missing problem line");
+  if (cnf.clauses.size() != declaredClauses) {
+    throw std::runtime_error(
+        "dimacs: problem line declares " + std::to_string(declaredClauses) +
+        " clauses but " + std::to_string(cnf.clauses.size()) + " were read");
+  }
   return cnf;
 }
 

@@ -1,0 +1,121 @@
+// Shared replay core of every resolution checker in the tree.
+//
+// checkProof (in-memory, sequential or parallel) and the proofio streaming
+// checker (bounded-memory, on-disk) must return bit-identical verdicts: the
+// same failing clause and the same error text for the same defect. The only
+// way to guarantee that is to share the code that performs one clause's
+// replay, so the chain-resolution semantics and the failure messages live
+// here exactly once. The core is templated over a literal provider so it can
+// read antecedents from a ProofLog or from a streaming checker's live-clause
+// table without caring which.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+/// Epoch-stamped literal set: O(1) insert/erase/test without clearing
+/// between clauses. Indexed by Lit::index().
+class LitSet {
+ public:
+  void ensure(std::uint32_t maxLitIndex) {
+    if (stamp_.size() <= maxLitIndex) stamp_.resize(maxLitIndex + 1, 0);
+  }
+  void clear() { ++epoch_; size_ = 0; }
+  bool contains(sat::Lit l) const { return stamp_[l.index()] == epoch_; }
+  void insert(sat::Lit l) {
+    if (!contains(l)) {
+      stamp_[l.index()] = epoch_;
+      ++size_;
+    }
+  }
+  void erase(sat::Lit l) {
+    if (contains(l)) {
+      stamp_[l.index()] = 0;
+      --size_;
+    }
+  }
+  std::uint32_t size() const { return size_; }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+/// Reusable per-worker replay scratch. Sized by the largest literal index
+/// the replay will see (problem size, not proof size).
+struct ReplayScratch {
+  LitSet resolvent;
+  LitSet recorded;
+  void ensure(std::uint32_t maxLitIndex) {
+    resolvent.ensure(maxLitIndex);
+    recorded.ensure(maxLitIndex);
+  }
+};
+
+/// Replays one derived clause's chain by sequential resolution and compares
+/// the final resolvent against `recordedLits` as a set. `litsOf(id)` must
+/// yield the literals of antecedent `id` as a std::span<const sat::Lit>.
+/// Returns the failure message (without the "clause <id>: " prefix) or an
+/// empty string on success. Adds every performed resolution step to
+/// *resolutions regardless of outcome (callers discard counters on failure,
+/// matching the sequential checker's contract). Reads only immutable data —
+/// safe to run concurrently as long as each call owns its ReplayScratch.
+template <class LitsOf>
+std::string replayChain(std::span<const sat::Lit> recordedLits,
+                        std::span<const ClauseId> chain, LitsOf&& litsOf,
+                        ReplayScratch& s, std::uint64_t* resolutions) {
+  s.resolvent.clear();
+  for (const sat::Lit l : litsOf(chain[0])) {
+    if (s.resolvent.contains(~l)) {
+      return "chain starts from a tautological clause";
+    }
+    s.resolvent.insert(l);
+  }
+
+  for (std::size_t step = 1; step < chain.size(); ++step) {
+    const std::span<const sat::Lit> antecedent = litsOf(chain[step]);
+    // Identify the unique pivot: the literal of the antecedent whose
+    // negation is currently in the resolvent.
+    sat::Lit pivot = sat::kUndefLit;
+    for (const sat::Lit l : antecedent) {
+      if (s.resolvent.contains(~l)) {
+        if (pivot.valid()) {
+          return "resolution step " + std::to_string(step) +
+                 " has more than one pivot";
+        }
+        pivot = l;
+      }
+    }
+    if (!pivot.valid()) {
+      return "resolution step " + std::to_string(step) + " has no pivot";
+    }
+    s.resolvent.erase(~pivot);
+    for (const sat::Lit l : antecedent) {
+      if (l != pivot) s.resolvent.insert(l);
+    }
+    ++*resolutions;
+  }
+
+  // The final resolvent must equal the recorded clause as a set.
+  s.recorded.clear();
+  for (const sat::Lit l : recordedLits) s.recorded.insert(l);
+  if (s.recorded.size() != s.resolvent.size()) {
+    return "derived clause does not match its chain resolvent";
+  }
+  for (const sat::Lit l : recordedLits) {
+    if (!s.resolvent.contains(l)) {
+      return "derived clause contains literal " + toDimacs(l) +
+             " absent from the chain resolvent";
+    }
+  }
+  return std::string();
+}
+
+}  // namespace cp::proof

@@ -9,38 +9,10 @@
 
 #include "src/base/thread_pool.h"
 #include "src/proof/analysis.h"
+#include "src/proof/check_core.h"
 
 namespace cp::proof {
 namespace {
-
-/// Epoch-stamped literal set: O(1) insert/erase/test without clearing
-/// between clauses. Indexed by Lit::index().
-class LitSet {
- public:
-  void ensure(std::uint32_t maxLitIndex) {
-    if (stamp_.size() <= maxLitIndex) stamp_.resize(maxLitIndex + 1, 0);
-  }
-  void clear() { ++epoch_; size_ = 0; }
-  bool contains(sat::Lit l) const { return stamp_[l.index()] == epoch_; }
-  void insert(sat::Lit l) {
-    if (!contains(l)) {
-      stamp_[l.index()] = epoch_;
-      ++size_;
-    }
-  }
-  void erase(sat::Lit l) {
-    if (contains(l)) {
-      stamp_[l.index()] = 0;
-      --size_;
-    }
-  }
-  std::uint32_t size() const { return size_; }
-
- private:
-  std::vector<std::uint64_t> stamp_;
-  std::uint64_t epoch_ = 0;
-  std::uint32_t size_ = 0;
-};
 
 std::uint32_t maxLitIndexOf(const ProofLog& log) {
   std::uint32_t maxIndex = 1;
@@ -52,70 +24,14 @@ std::uint32_t maxLitIndexOf(const ProofLog& log) {
   return maxIndex;
 }
 
-/// Reusable per-worker replay scratch.
-struct Scratch {
-  LitSet resolvent;
-  LitSet recorded;
-  void ensure(std::uint32_t maxLitIndex) {
-    resolvent.ensure(maxLitIndex);
-    recorded.ensure(maxLitIndex);
-  }
-};
-
-/// Replays one derived clause's chain. Returns the failure message (without
-/// the "clause <id>: " prefix) or an empty string on success. Adds every
-/// performed resolution step to *resolutions regardless of outcome (the
-/// caller discards counters on failure, matching the sequential contract).
-/// Reads only immutable log data — safe to run concurrently with any other
-/// clause's check as long as each call owns its Scratch.
-std::string checkDerivedClause(const ProofLog& log, ClauseId id, Scratch& s,
-                               std::uint64_t* resolutions) {
-  const auto chain = log.chain(id);
-  s.resolvent.clear();
-  for (const sat::Lit l : log.lits(chain[0])) {
-    if (s.resolvent.contains(~l)) {
-      return "chain starts from a tautological clause";
-    }
-    s.resolvent.insert(l);
-  }
-
-  for (std::size_t step = 1; step < chain.size(); ++step) {
-    const auto antecedent = log.lits(chain[step]);
-    // Identify the unique pivot: the literal of the antecedent whose
-    // negation is currently in the resolvent.
-    sat::Lit pivot = sat::kUndefLit;
-    for (const sat::Lit l : antecedent) {
-      if (s.resolvent.contains(~l)) {
-        if (pivot.valid()) {
-          return "resolution step " + std::to_string(step) +
-                 " has more than one pivot";
-        }
-        pivot = l;
-      }
-    }
-    if (!pivot.valid()) {
-      return "resolution step " + std::to_string(step) + " has no pivot";
-    }
-    s.resolvent.erase(~pivot);
-    for (const sat::Lit l : antecedent) {
-      if (l != pivot) s.resolvent.insert(l);
-    }
-    ++*resolutions;
-  }
-
-  // The final resolvent must equal the recorded clause as a set.
-  s.recorded.clear();
-  for (const sat::Lit l : log.lits(id)) s.recorded.insert(l);
-  if (s.recorded.size() != s.resolvent.size()) {
-    return "derived clause does not match its chain resolvent";
-  }
-  for (const sat::Lit l : log.lits(id)) {
-    if (!s.resolvent.contains(l)) {
-      return "derived clause contains literal " + toDimacs(l) +
-             " absent from the chain resolvent";
-    }
-  }
-  return std::string();
+/// Replays one derived clause's chain against the log via the shared core
+/// (see check_core.h; the streaming file checker replays the same code, so
+/// verdicts and messages cannot drift between the two).
+std::string checkDerivedClause(const ProofLog& log, ClauseId id,
+                               ReplayScratch& s, std::uint64_t* resolutions) {
+  return replayChain(
+      log.lits(id), log.chain(id),
+      [&log](ClauseId c) { return log.lits(c); }, s, resolutions);
 }
 
 CheckResult failAt(ClauseId id, std::string message) {
@@ -129,7 +45,7 @@ CheckResult failAt(ClauseId id, std::string message) {
 CheckResult checkSequential(const ProofLog& log, const CheckOptions& options,
                             const std::vector<char>& needed) {
   CheckResult result;
-  Scratch scratch;
+  ReplayScratch scratch;
   scratch.ensure(maxLitIndexOf(log));
 
   for (ClauseId id = 1; id <= log.numClauses(); ++id) {
@@ -200,7 +116,7 @@ CheckResult checkParallel(const ProofLog& log, const CheckOptions& options,
       log, options.onlyNeeded ? &needed : nullptr);
 
   const std::uint32_t maxLit = maxLitIndexOf(log);
-  std::vector<Scratch> scratch(workers);
+  std::vector<ReplayScratch> scratch(workers);
 
   ThreadPool pool(workers);
   FirstFailure failure;

@@ -11,7 +11,9 @@ ClauseId ProofLog::record(std::span<const sat::Lit> lits,
   chainPool_.insert(chainPool_.end(), chain.begin(), chain.end());
   litsEnd_.push_back(litsPool_.size());
   chainEnd_.push_back(chainPool_.size());
-  return static_cast<ClauseId>(litsEnd_.size());  // ids are 1-based
+  const auto id = static_cast<ClauseId>(litsEnd_.size());  // ids are 1-based
+  if (sink_ != nullptr) sink_->onClause(id, lits, chain);
+  return id;
 }
 
 ClauseId ProofLog::addAxiom(std::span<const sat::Lit> lits) {
@@ -43,6 +45,7 @@ void ProofLog::setRoot(ClauseId id) {
     throw std::invalid_argument("setRoot: root clause is not empty");
   }
   root_ = id;
+  if (sink_ != nullptr) sink_->onRoot(id);
 }
 
 std::span<const sat::Lit> ProofLog::lits(ClauseId id) const {

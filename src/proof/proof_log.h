@@ -33,6 +33,24 @@ namespace cp::proof {
 using ClauseId = std::uint32_t;
 inline constexpr ClauseId kNoClause = 0;
 
+/// Observer of a ProofLog's append stream. A sink sees every recorded
+/// clause exactly once, in id order, at the moment it is recorded — this is
+/// the hook a streaming serializer (proofio::ProofWriter) attaches to so a
+/// proof can go to disk *while* the solver derives it instead of being
+/// re-walked afterwards. Callbacks run on the producer's thread; the spans
+/// are only valid for the duration of the call.
+class ProofSink {
+ public:
+  virtual ~ProofSink() = default;
+  /// Clause `id` was recorded (axiom iff `chain` is empty).
+  virtual void onClause(ClauseId id, std::span<const sat::Lit> lits,
+                        std::span<const ClauseId> chain) = 0;
+  /// The producer discarded clause `id` (statistics only; see markDeleted).
+  virtual void onDelete(ClauseId id) { (void)id; }
+  /// Clause `id` was declared the empty-clause root.
+  virtual void onRoot(ClauseId id) { (void)id; }
+};
+
 class ProofLog {
  public:
   ProofLog() = default;
@@ -51,13 +69,19 @@ class ProofLog {
 
   /// Notes that the producer discarded this clause (statistics only).
   void markDeleted(ClauseId id) {
-    (void)id;
     ++deletedCount_;
+    if (sink_ != nullptr) sink_->onDelete(id);
   }
 
   /// Declares the empty-clause root of an unsatisfiability proof.
   /// Precondition: the clause has no literals.
   void setRoot(ClauseId id);
+
+  /// Attaches (or with nullptr detaches) an observer that is notified of
+  /// every subsequent record/delete/root event. At most one sink; the log
+  /// does not own it and the caller must detach it before destroying it.
+  void setSink(ProofSink* sink) { sink_ = sink; }
+  ProofSink* sink() const { return sink_; }
 
   // ---- access -------------------------------------------------------------
 
@@ -96,6 +120,7 @@ class ProofLog {
   std::vector<ClauseId> chainPool_;
   std::vector<std::uint64_t> litsEnd_;
   std::vector<std::uint64_t> chainEnd_;
+  ProofSink* sink_ = nullptr;
   ClauseId root_ = kNoClause;
   std::uint64_t axiomCount_ = 0;
   std::uint64_t deletedCount_ = 0;

@@ -6,23 +6,48 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/text_buffer.h"
+
 namespace cp::proof {
+namespace {
+
+constexpr std::size_t kFlushThreshold = std::size_t{1} << 16;
+
+/// Appends one clause line: "<id> <lit>* 0 <antecedent>* 0\n". Integers are
+/// formatted with std::to_chars via the shared TextBuffer — the per-token
+/// operator<< this replaces was the serialization hot spot (bench_proof_io
+/// keeps the before/after numbers).
+void appendClauseLine(TextBuffer& buf, ClauseId id,
+                      std::span<const sat::Lit> lits,
+                      std::span<const ClauseId> chain) {
+  buf.appendInt(id);
+  for (const sat::Lit l : lits) {
+    const std::int64_t dimacs = static_cast<std::int64_t>(l.var()) + 1;
+    buf.append(' ');
+    buf.appendInt(l.negated() ? -dimacs : dimacs);
+  }
+  buf.append(" 0");
+  for (const ClauseId parent : chain) {
+    buf.append(' ');
+    buf.appendInt(parent);
+  }
+  buf.append(" 0\n");
+}
+
+}  // namespace
 
 void writeTracecheck(const ProofLog& log, std::ostream& out) {
+  TextBuffer buf;
   for (ClauseId id = 1; id <= log.numClauses(); ++id) {
     if (log.hasRoot() && id == log.root()) continue;  // emitted last
-    out << id;
-    for (const sat::Lit l : log.lits(id)) out << ' ' << toDimacs(l);
-    out << " 0";
-    for (const ClauseId parent : log.chain(id)) out << ' ' << parent;
-    out << " 0\n";
+    appendClauseLine(buf, id, log.lits(id), log.chain(id));
+    if (buf.size() >= kFlushThreshold) buf.flush(out);
   }
   if (log.hasRoot()) {
     const ClauseId id = log.root();
-    out << id << " 0";
-    for (const ClauseId parent : log.chain(id)) out << ' ' << parent;
-    out << " 0\n";
+    appendClauseLine(buf, id, log.lits(id), log.chain(id));
   }
+  buf.flush(out);
 }
 
 ProofLog readTracecheck(std::istream& in) {
@@ -48,6 +73,14 @@ ProofLog readTracecheck(std::istream& in) {
       }
       if (token == 0) break;
       const long long var = (token > 0 ? token : -token) - 1;
+      // A foreign trace may carry literals larger than Lit can pack;
+      // casting would silently truncate the variable, so reject instead.
+      if (var > static_cast<long long>(sat::kMaxVar)) {
+        throw std::runtime_error(
+            "tracecheck: literal " + std::to_string(token) +
+            " exceeds the supported variable bound " +
+            std::to_string(static_cast<long long>(sat::kMaxVar) + 1));
+      }
       lits.push_back(sat::Lit::make(static_cast<sat::Var>(var), token < 0));
     }
 

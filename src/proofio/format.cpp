@@ -1,0 +1,78 @@
+#include "src/proofio/format.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace cp::proofio {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+[[noreturn]] void truncated(const char* what) {
+  throw std::runtime_error(std::string("cpf: truncated ") + what);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t c = ~seed;
+  for (const char ch : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ >= data_.size()) truncated("byte");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (remaining() < 4) truncated("u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (remaining() < 8) truncated("u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::var() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) truncated("varint");
+    const std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw std::runtime_error("cpf: varint exceeds 64 bits");
+}
+
+std::int64_t ByteReader::zig() {
+  const std::uint64_t v = var();
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace cp::proofio

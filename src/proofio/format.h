@@ -1,0 +1,95 @@
+// CPF — chunked proof format. Byte-level primitives shared by the writer
+// and the reader.
+//
+// The container stores a resolution proof as a stream of delta/varint-coded
+// clause records framed into CRC32-protected chunks, followed by a last-use
+// section (the streaming checker's release schedule) and a footer holding
+// the counts, the root and a chunk offset index. The full byte-for-byte
+// layout is specified in DESIGN.md §"CPF container"; an independent checker
+// can be written against that spec alone.
+//
+// Integer encodings used throughout:
+//   * u8/u32/u64  — fixed width, little-endian.
+//   * varint      — LEB128: 7 payload bits per byte, LSB group first, high
+//                   bit set on every byte except the last; at most 10 bytes.
+//   * zigzag      — signed-to-unsigned fold (n<<1)^(n>>63), then varint,
+//                   so small negative deltas stay short.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cp::proofio {
+
+/// Leading file magic ("CPF1") and trailing footer magic ("1FPC"). The
+/// trailing magic lets a reader find the footer by seeking to the end.
+inline constexpr char kMagic[4] = {'C', 'P', 'F', '1'};
+inline constexpr char kEndMagic[4] = {'1', 'F', 'P', 'C'};
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Section tags (one byte each, leading their section).
+inline constexpr char kChunkTag = 'C';
+inline constexpr char kLastUseTag = 'L';
+inline constexpr char kFooterTag = 'F';
+
+/// Header length in bytes: magic + version:u32 + flags:u32.
+inline constexpr std::uint64_t kHeaderBytes = 12;
+
+/// CRC32 (IEEE 802.3: reflected polynomial 0xEDB88320, init and final xor
+/// 0xFFFFFFFF). `seed` chains: crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+// ---- encoding into an append-only byte string -----------------------------
+
+inline void putU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) putU8(out, (v >> (8 * i)) & 0xFF);
+}
+
+inline void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) putU8(out, (v >> (8 * i)) & 0xFF);
+}
+
+inline void putVar(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    putU8(out, static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  putU8(out, static_cast<std::uint8_t>(v));
+}
+
+inline void putZig(std::string& out, std::int64_t v) {
+  putVar(out, (static_cast<std::uint64_t>(v) << 1) ^
+                  static_cast<std::uint64_t>(v >> 63));
+}
+
+// ---- decoding -------------------------------------------------------------
+
+/// Cursor over an in-memory byte range. Every accessor throws
+/// std::runtime_error (message prefixed "cpf:") instead of reading past the
+/// end, so a truncated or corrupted container surfaces as a clean error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t var();
+  std::int64_t zig();
+
+  bool atEnd() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cp::proofio

@@ -1,0 +1,392 @@
+#include "src/proofio/reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/proof/check_core.h"
+#include "src/proofio/format.h"
+
+namespace cp::proofio {
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("cpf: " + what);
+}
+
+/// Reads exactly `n` bytes or reports truncation.
+std::string readBytes(std::istream& in, std::uint64_t n, const char* what) {
+  std::string bytes(static_cast<std::size_t>(n), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (static_cast<std::uint64_t>(in.gcount()) != n) {
+    corrupt(std::string("truncated ") + what);
+  }
+  return bytes;
+}
+
+void seekTo(std::istream& in, std::uint64_t offset) {
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  if (!in) corrupt("seek failed (stream not seekable?)");
+}
+
+struct ChunkEntry {
+  std::uint64_t offset;
+  proof::ClauseId firstClause;
+  std::uint32_t clauseCount;
+};
+
+struct Footer {
+  ContainerInfo info;
+  std::uint64_t lastUseOffset = 0;
+  std::vector<ChunkEntry> index;
+};
+
+/// Validates the header and parses the CRC-protected footer from the end
+/// of the stream. Leaves the stream position unspecified.
+Footer parseFooter(std::istream& in) {
+  in.clear();
+  in.seekg(0, std::ios::end);
+  if (!in) corrupt("seek failed (stream not seekable?)");
+  const std::uint64_t fileSize = static_cast<std::uint64_t>(in.tellg());
+
+  seekTo(in, 0);
+  const std::string header = readBytes(in, kHeaderBytes, "header");
+  if (std::memcmp(header.data(), kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic (not a CPF container)");
+  }
+  {
+    ByteReader r(std::string_view(header).substr(sizeof(kMagic)));
+    const std::uint32_t version = r.u32();
+    if (version != kVersion) {
+      corrupt("unsupported version " + std::to_string(version));
+    }
+    // Reserved-must-be-zero: no header byte is dead space, so any
+    // single-byte corruption of the header is detectable.
+    if (r.u32() != 0) corrupt("unsupported flags");
+  }
+
+  // Trailing 12 bytes: footer CRC, footer payload length, end magic.
+  if (fileSize < kHeaderBytes + 13) corrupt("truncated container");
+  seekTo(in, fileSize - 12);
+  const std::string tail = readBytes(in, 12, "footer tail");
+  if (std::memcmp(tail.data() + 8, kEndMagic, sizeof(kEndMagic)) != 0) {
+    corrupt("bad trailing magic (truncated or not a CPF container)");
+  }
+  ByteReader tailReader(tail);
+  const std::uint32_t footerCrc = tailReader.u32();
+  const std::uint32_t footerBytes = tailReader.u32();
+  if (fileSize < kHeaderBytes + 1 + footerBytes + 12) {
+    corrupt("footer length exceeds container");
+  }
+  seekTo(in, fileSize - 12 - footerBytes - 1);
+  if (readBytes(in, 1, "footer tag")[0] != kFooterTag) {
+    corrupt("bad footer tag");
+  }
+  const std::string payload = readBytes(in, footerBytes, "footer");
+  if (crc32(payload) != footerCrc) corrupt("footer CRC mismatch");
+
+  Footer footer;
+  footer.info.bytes = fileSize;
+  ByteReader r(payload);
+  if (r.u32() != kVersion) corrupt("footer version disagrees with header");
+  footer.info.clauses = r.u64();
+  footer.info.axioms = r.u64();
+  footer.info.deleted = r.u64();
+  footer.info.literals = r.u64();
+  footer.info.resolutions = r.u64();
+  footer.info.root = r.u32();
+  footer.lastUseOffset = r.u64();
+  const std::uint32_t chunkCount = r.u32();
+  footer.info.chunks = chunkCount;
+  footer.index.reserve(chunkCount);
+  proof::ClauseId expectedFirst = 1;
+  for (std::uint32_t i = 0; i < chunkCount; ++i) {
+    ChunkEntry entry;
+    entry.offset = r.u64();
+    entry.firstClause = r.u32();
+    entry.clauseCount = r.u32();
+    if (entry.firstClause != expectedFirst || entry.clauseCount == 0) {
+      corrupt("chunk index is not a dense clause partition");
+    }
+    expectedFirst += entry.clauseCount;
+    footer.index.push_back(entry);
+  }
+  if (!r.atEnd()) corrupt("footer has trailing bytes");
+  if (expectedFirst - 1 != footer.info.clauses) {
+    corrupt("chunk index clause total disagrees with footer count");
+  }
+  if (footer.info.root > footer.info.clauses) {
+    corrupt("footer root exceeds clause count");
+  }
+  return footer;
+}
+
+/// Decodes one clause record at cursor `r` into `lits`/`chain` (reused).
+void decodeRecord(ByteReader& r, proof::ClauseId id,
+                  std::vector<sat::Lit>& lits,
+                  std::vector<proof::ClauseId>& chain) {
+  const std::uint64_t litCount = r.var();
+  const std::uint64_t chainCount = r.var();
+  lits.clear();
+  chain.clear();
+  lits.reserve(static_cast<std::size_t>(litCount));
+  chain.reserve(static_cast<std::size_t>(chainCount));
+  std::int64_t previous = 0;
+  for (std::uint64_t i = 0; i < litCount; ++i) {
+    const std::int64_t index =
+        (i == 0) ? static_cast<std::int64_t>(r.var()) : previous + r.zig();
+    if (index < 0 || index > static_cast<std::int64_t>(2 * sat::kMaxVar + 1)) {
+      corrupt("clause " + std::to_string(id) + " has a literal out of range");
+    }
+    lits.push_back(sat::Lit::fromIndex(static_cast<std::uint32_t>(index)));
+    previous = index;
+  }
+  previous = 0;
+  for (std::uint64_t i = 0; i < chainCount; ++i) {
+    const std::int64_t antecedent =
+        (i == 0) ? static_cast<std::int64_t>(id) -
+                       static_cast<std::int64_t>(r.var())
+                 : previous + r.zig();
+    if (antecedent <= 0 || antecedent >= static_cast<std::int64_t>(id)) {
+      corrupt("clause " + std::to_string(id) +
+              " has an antecedent outside [1, id)");
+    }
+    chain.push_back(static_cast<proof::ClauseId>(antecedent));
+    previous = antecedent;
+  }
+}
+
+/// Streams every clause in id order through `fn(id, lits, chain)`; `fn`
+/// returns false to stop early. CRC-verifies each chunk before decoding.
+template <class Fn>
+void forEachClause(std::istream& in, const Footer& footer, Fn&& fn) {
+  std::vector<sat::Lit> lits;
+  std::vector<proof::ClauseId> chain;
+  proof::ClauseId nextId = 1;
+  for (const ChunkEntry& entry : footer.index) {
+    seekTo(in, entry.offset);
+    const std::string frame = readBytes(in, 17, "chunk frame");
+    ByteReader f(frame);
+    if (f.u8() != static_cast<std::uint8_t>(kChunkTag)) {
+      corrupt("bad chunk tag");
+    }
+    const std::uint32_t firstClause = f.u32();
+    const std::uint32_t clauseCount = f.u32();
+    const std::uint32_t payloadBytes = f.u32();
+    const std::uint32_t crc = f.u32();
+    if (firstClause != entry.firstClause ||
+        clauseCount != entry.clauseCount) {
+      corrupt("chunk frame disagrees with footer index");
+    }
+    const std::string payload = readBytes(in, payloadBytes, "chunk payload");
+    if (crc32(payload) != crc) {
+      corrupt("chunk CRC mismatch (clauses " + std::to_string(firstClause) +
+              "..)");
+    }
+    ByteReader r(payload);
+    for (std::uint32_t i = 0; i < clauseCount; ++i, ++nextId) {
+      decodeRecord(r, nextId, lits, chain);
+      if (!fn(nextId, lits, chain)) return;
+    }
+    if (!r.atEnd()) corrupt("chunk payload has trailing bytes");
+  }
+}
+
+/// Parses the last-use section: release schedule slot per clause, 0 when
+/// the clause is never referenced by a later chain.
+std::vector<proof::ClauseId> readLastUse(std::istream& in,
+                                         const Footer& footer) {
+  seekTo(in, footer.lastUseOffset);
+  const std::string frame = readBytes(in, 13, "last-use frame");
+  ByteReader f(frame);
+  if (f.u8() != static_cast<std::uint8_t>(kLastUseTag)) {
+    corrupt("bad last-use tag");
+  }
+  const std::uint32_t count = f.u32();
+  const std::uint32_t payloadBytes = f.u32();
+  const std::uint32_t crc = f.u32();
+  if (count != footer.info.clauses) {
+    corrupt("last-use count disagrees with footer");
+  }
+  const std::string payload = readBytes(in, payloadBytes, "last-use payload");
+  if (crc32(payload) != crc) corrupt("last-use CRC mismatch");
+
+  std::vector<proof::ClauseId> lastUse(count + 1, proof::kNoClause);
+  ByteReader r(payload);
+  for (std::uint32_t id = 1; id <= count; ++id) {
+    const std::uint64_t coded = r.var();
+    if (coded == 0) continue;
+    const std::uint64_t use = id + coded - 1;
+    if (use <= id || use > footer.info.clauses) {
+      corrupt("invalid last-use entry for clause " + std::to_string(id));
+    }
+    lastUse[id] = static_cast<proof::ClauseId>(use);
+  }
+  if (!r.atEnd()) corrupt("last-use payload has trailing bytes");
+  return lastUse;
+}
+
+proof::CheckResult failAt(proof::ClauseId id, std::string message) {
+  proof::CheckResult r;
+  r.ok = false;
+  r.failedClause = id;
+  r.error = "clause " + std::to_string(id) + ": " + std::move(message);
+  return r;
+}
+
+}  // namespace
+
+ContainerInfo probeProof(std::istream& in) { return parseFooter(in).info; }
+
+proof::ProofLog readProof(std::istream& in, ContainerInfo* info) {
+  const Footer footer = parseFooter(in);
+  if (info != nullptr) *info = footer.info;
+
+  // Materialization does not need the release schedule, but parsing it
+  // keeps the whole container CRC-covered: no byte is dead space for
+  // either reader.
+  readLastUse(in, footer);
+
+  proof::ProofLog log;
+  forEachClause(in, footer,
+                [&log](proof::ClauseId id, const std::vector<sat::Lit>& lits,
+                       const std::vector<proof::ClauseId>& chain) {
+                  const proof::ClauseId recorded =
+                      chain.empty() ? log.addAxiom(lits)
+                                    : log.addDerived(lits, chain);
+                  if (recorded != id) corrupt("clause ids not dense");
+                  return true;
+                });
+  if (log.numAxioms() != footer.info.axioms ||
+      log.numLiterals() != footer.info.literals ||
+      log.numResolutions() != footer.info.resolutions) {
+    corrupt("footer counts disagree with chunk contents");
+  }
+  if (footer.info.root != proof::kNoClause) {
+    if (!log.lits(footer.info.root).empty()) {
+      corrupt("footer root is not an empty clause");
+    }
+    log.setRoot(footer.info.root);
+  }
+  for (std::uint64_t i = 0; i < footer.info.deleted; ++i) {
+    log.markDeleted(proof::kNoClause);
+  }
+  return log;
+}
+
+proof::ProofLog readProofFile(const std::string& path, ContainerInfo* info) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cpf: cannot open " + path);
+  return readProof(in, info);
+}
+
+proof::CheckResult checkProofStream(std::istream& in,
+                                    const StreamCheckOptions& options,
+                                    StreamCheckStats* stats) {
+  const Footer footer = parseFooter(in);
+  if (stats != nullptr) {
+    *stats = StreamCheckStats();
+    stats->container = footer.info;
+    stats->totalLiterals = footer.info.literals;
+  }
+
+  proof::CheckResult result;
+  if (options.requireRoot && footer.info.root == proof::kNoClause) {
+    // Same message as proof::checkProof for a rootless log.
+    result.error = "proof has no empty-clause root";
+    return result;
+  }
+
+  const std::vector<proof::ClauseId> lastUse = readLastUse(in, footer);
+
+  // The live table: clause id -> literals, resident only between a
+  // clause's decode and its recorded last use. Everything else about the
+  // pass is O(#variables) scratch plus the O(#clauses) last-use array.
+  std::unordered_map<proof::ClauseId, std::vector<sat::Lit>> live;
+  std::uint64_t liveLiterals = 0;
+  proof::ReplayScratch scratch;
+  std::uint32_t maxLitIndex = 1;
+  bool failed = false;
+  proof::CheckResult failure;
+
+  forEachClause(in, footer, [&](proof::ClauseId id,
+                                const std::vector<sat::Lit>& lits,
+                                const std::vector<proof::ClauseId>& chain) {
+    if (footer.info.root == id && !lits.empty()) {
+      corrupt("footer root is not an empty clause");
+    }
+    for (const sat::Lit l : lits) {
+      maxLitIndex = std::max(maxLitIndex, l.index() | 1u);
+    }
+    if (chain.empty()) {
+      if (options.axiomValidator && !options.axiomValidator(lits)) {
+        failure = failAt(id, "axiom rejected by validator");
+        failed = true;
+        return false;
+      }
+      ++result.axiomsChecked;
+    } else {
+      scratch.ensure(maxLitIndex);
+      const std::string error = proof::replayChain(
+          std::span<const sat::Lit>(lits),
+          std::span<const proof::ClauseId>(chain),
+          [&live, id](proof::ClauseId c) -> std::span<const sat::Lit> {
+            const auto it = live.find(c);
+            if (it == live.end()) {
+              corrupt("clause " + std::to_string(id) + " resolves on clause " +
+                      std::to_string(c) + " outside its recorded live range");
+            }
+            return it->second;
+          },
+          scratch, &result.resolutions);
+      if (!error.empty()) {
+        failure = failAt(id, error);
+        failed = true;
+        return false;
+      }
+      ++result.derivedChecked;
+      // Release every antecedent whose recorded last use this clause is.
+      for (const proof::ClauseId antecedent : chain) {
+        if (lastUse[antecedent] != id) continue;
+        const auto it = live.find(antecedent);
+        if (it == live.end()) continue;  // duplicate antecedent, already gone
+        liveLiterals -= it->second.size();
+        live.erase(it);
+      }
+    }
+    // A clause becomes live only if some later chain will resolve on it.
+    if (lastUse[id] != proof::kNoClause) {
+      liveLiterals += lits.size();
+      live.emplace(id, lits);
+      if (stats != nullptr) {
+        stats->liveClausesPeak =
+            std::max<std::uint64_t>(stats->liveClausesPeak, live.size());
+        stats->liveLiteralsPeak =
+            std::max(stats->liveLiteralsPeak, liveLiterals);
+      }
+    }
+    return true;
+  });
+
+  if (stats != nullptr) {
+    stats->releasedEarly = footer.info.clauses - live.size();
+  }
+  if (failed) return failure;
+  result.ok = true;
+  return result;
+}
+
+proof::CheckResult checkProofFile(const std::string& path,
+                                  const StreamCheckOptions& options,
+                                  StreamCheckStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cpf: cannot open " + path);
+  return checkProofStream(in, options, stats);
+}
+
+}  // namespace cp::proofio

@@ -1,0 +1,86 @@
+// CPF proof reader: materialization and bounded-memory streaming check.
+//
+// Two consumers of the container written by proofio::ProofWriter:
+//
+//  * readProof/readProofFile rebuild the full in-memory ProofLog — the
+//    round-trip path (ProofLog -> CPF -> ProofLog is clause-identical).
+//
+//  * checkProofStream/checkProofFile replay the proof in ONE forward pass
+//    without ever materializing it: a clause's literals are kept only from
+//    the moment it is decoded until its recorded last use, after which they
+//    are released. Peak memory is therefore proportional to the number of
+//    *live* clauses (plus one 32-bit last-use slot per clause and an
+//    O(#variables) replay scratch), not to the proof's total size — the
+//    property that lets a proof far larger than RAM be certified from disk.
+//    The verdict is bit-identical to proof::checkProof on the same log
+//    (same failing clause, same message: both call proof::replayChain).
+//
+// Container-level defects (bad magic, truncation, CRC mismatch, malformed
+// varints, inconsistent counts) throw std::runtime_error with a "cpf:"
+// message; proof-level defects (a chain that does not resolve) are reported
+// through the returned CheckResult, exactly like the in-memory checker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "src/proof/checker.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::proofio {
+
+/// Footer summary of a container, available without decoding any chunk.
+struct ContainerInfo {
+  std::uint64_t clauses = 0;
+  std::uint64_t axioms = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t literals = 0;
+  std::uint64_t resolutions = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t bytes = 0;  ///< total container size
+  proof::ClauseId root = proof::kNoClause;
+};
+
+/// Parses and CRC-verifies only the footer. `in` must be seekable.
+ContainerInfo probeProof(std::istream& in);
+
+/// Full materialization back into a ProofLog (clause-for-clause identical
+/// to the log the container was written from, including the root and the
+/// deletion count). Every chunk's CRC is verified.
+proof::ProofLog readProof(std::istream& in, ContainerInfo* info = nullptr);
+proof::ProofLog readProofFile(const std::string& path,
+                              ContainerInfo* info = nullptr);
+
+struct StreamCheckOptions {
+  /// Require the footer to declare an empty-clause root (refutation check).
+  bool requireRoot = true;
+  /// If set, called for every axiom; must return true to admit it.
+  std::function<bool(std::span<const sat::Lit>)> axiomValidator;
+};
+
+/// Instrumentation of the streaming pass, including the high-water marks
+/// the bounded-memory claim is asserted against in tests.
+struct StreamCheckStats {
+  std::uint64_t liveClausesPeak = 0;  ///< most clauses resident at once
+  std::uint64_t liveLiteralsPeak = 0; ///< most literal slots resident at once
+  std::uint64_t totalLiterals = 0;    ///< literal occurrences in the proof
+  std::uint64_t releasedEarly = 0;    ///< clauses freed before end of pass
+  ContainerInfo container;
+};
+
+/// Single-pass streaming check of a container. `in` must be seekable (the
+/// footer and the last-use section are read first; chunks then stream
+/// forward once). Returns the same CheckResult checkProof would return for
+/// the materialized log with {requireRoot, axiomValidator} and default
+/// settings otherwise.
+proof::CheckResult checkProofStream(std::istream& in,
+                                    const StreamCheckOptions& options = {},
+                                    StreamCheckStats* stats = nullptr);
+proof::CheckResult checkProofFile(const std::string& path,
+                                  const StreamCheckOptions& options = {},
+                                  StreamCheckStats* stats = nullptr);
+
+}  // namespace cp::proofio

@@ -1,0 +1,214 @@
+#include "src/proofio/writer.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "src/base/options.h"
+#include "src/proofio/format.h"
+
+namespace cp::proofio {
+
+std::string WriterOptions::validate() const {
+  if (chunkBytes < 64 || chunkBytes > (std::size_t{1} << 30)) {
+    return optionError("WriterOptions.chunkBytes",
+                       optionValue(static_cast<std::uint64_t>(chunkBytes)),
+                       "64 .. 2^30",
+                       "chunk framing must amortize but stay addressable");
+  }
+  return std::string();
+}
+
+ProofWriter::ProofWriter(std::ostream& out, WriterOptions options)
+    : out_(&out), options_(options) {
+  throwIfInvalid(options_.validate(), "ProofWriter");
+  lastUse_.push_back(proof::kNoClause);  // slot 0: ids are 1-based
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  putU32(header, kVersion);
+  putU32(header, 0);  // flags, reserved
+  writeRaw(header);
+}
+
+ProofWriter::ProofWriter(const std::string& path, WriterOptions options)
+    : file_(path, std::ios::binary | std::ios::trunc), out_(nullptr),
+      options_(options) {
+  throwIfInvalid(options_.validate(), "ProofWriter");
+  if (!file_) throw std::runtime_error("cpf: cannot open " + path);
+  out_ = &file_;
+  lastUse_.push_back(proof::kNoClause);
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  putU32(header, kVersion);
+  putU32(header, 0);
+  writeRaw(header);
+}
+
+ProofWriter::~ProofWriter() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {  // the stream is gone; nothing recoverable remains
+    }
+  }
+}
+
+void ProofWriter::writeRaw(std::string_view bytes) {
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  offset_ += bytes.size();
+}
+
+void ProofWriter::onClause(proof::ClauseId id, std::span<const sat::Lit> lits,
+                           std::span<const proof::ClauseId> chain) {
+  if (finished_) {
+    throw std::logic_error("ProofWriter: clause recorded after finish()");
+  }
+  if (id != nextId_) {
+    throw std::logic_error(
+        "ProofWriter: expects the full clause stream from id 1 (attach the "
+        "sink before recording; got id " + std::to_string(id) +
+        ", expected " + std::to_string(nextId_) + ")");
+  }
+  ++nextId_;
+  lastUse_.push_back(proof::kNoClause);
+
+  // Record layout (DESIGN.md): varint litCount, varint chainCount, literals
+  // as first-index varint then zigzag deltas, chain as varint(id - first)
+  // then zigzag deltas. Delta coding keeps both lists at one or two bytes
+  // per element in the common locality patterns (sorted literals, recent
+  // antecedents).
+  putVar(chunk_, lits.size());
+  putVar(chunk_, chain.size());
+  std::uint32_t previousLit = 0;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const std::uint32_t index = lits[i].index();
+    if (i == 0) {
+      putVar(chunk_, index);
+    } else {
+      putZig(chunk_, static_cast<std::int64_t>(index) -
+                         static_cast<std::int64_t>(previousLit));
+    }
+    previousLit = index;
+  }
+  proof::ClauseId previousAntecedent = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const proof::ClauseId antecedent = chain[i];
+    lastUse_[antecedent] = id;  // ids grow, so plain store keeps the max
+    if (i == 0) {
+      putVar(chunk_, id - antecedent);
+    } else {
+      putZig(chunk_, static_cast<std::int64_t>(antecedent) -
+                         static_cast<std::int64_t>(previousAntecedent));
+    }
+    previousAntecedent = antecedent;
+  }
+
+  ++chunkClauses_;
+  ++stats_.clauses;
+  if (chain.empty()) ++stats_.axioms;
+  stats_.literals += lits.size();
+  if (!chain.empty()) stats_.resolutions += chain.size() - 1;
+  if (chunk_.size() >= options_.chunkBytes) flushChunk();
+}
+
+void ProofWriter::onDelete(proof::ClauseId id) {
+  (void)id;  // deletion is a producer statistic; it cannot unsound a proof
+  ++stats_.deleted;
+}
+
+void ProofWriter::onRoot(proof::ClauseId id) { stats_.root = id; }
+
+void ProofWriter::flushChunk() {
+  if (chunkClauses_ == 0) return;
+  frame_.clear();
+  putU8(frame_, static_cast<std::uint8_t>(kChunkTag));
+  putU32(frame_, chunkFirst_);
+  putU32(frame_, chunkClauses_);
+  putU32(frame_, static_cast<std::uint32_t>(chunk_.size()));
+  putU32(frame_, crc32(chunk_));
+  index_.push_back({offset_, chunkFirst_, chunkClauses_});
+  writeRaw(frame_);
+  writeRaw(chunk_);
+  ++stats_.chunks;
+  stats_.payloadBytes += chunk_.size();
+  chunkFirst_ = nextId_;
+  chunkClauses_ = 0;
+  chunk_.clear();
+}
+
+const WriteStats& ProofWriter::finish() {
+  if (finished_) return stats_;
+  flushChunk();
+
+  // Last-use section: the streaming checker's release schedule. Entry for
+  // clause id is varint(lastUse - id + 1), or 0 when the clause is never
+  // referenced — the forward distance is short for local proofs, so most
+  // entries are one byte.
+  std::string payload;
+  for (std::uint64_t id = 1; id < lastUse_.size(); ++id) {
+    const proof::ClauseId use = lastUse_[id];
+    putVar(payload, use == proof::kNoClause ? 0 : use - id + 1);
+  }
+  const std::uint64_t lastUseOffset = offset_;
+  frame_.clear();
+  putU8(frame_, static_cast<std::uint8_t>(kLastUseTag));
+  putU32(frame_, static_cast<std::uint32_t>(stats_.clauses));
+  putU32(frame_, static_cast<std::uint32_t>(payload.size()));
+  putU32(frame_, crc32(payload));
+  writeRaw(frame_);
+  writeRaw(payload);
+
+  // Footer: counts, root, chunk offset index; then its own CRC, its length
+  // and the trailing magic so a reader can locate it from the file's end.
+  payload.clear();
+  putU32(payload, kVersion);
+  putU64(payload, stats_.clauses);
+  putU64(payload, stats_.axioms);
+  putU64(payload, stats_.deleted);
+  putU64(payload, stats_.literals);
+  putU64(payload, stats_.resolutions);
+  putU32(payload, stats_.root);
+  putU64(payload, lastUseOffset);
+  putU32(payload, static_cast<std::uint32_t>(index_.size()));
+  for (const ChunkIndexEntry& entry : index_) {
+    putU64(payload, entry.offset);
+    putU32(payload, entry.firstClause);
+    putU32(payload, entry.clauseCount);
+  }
+  frame_.clear();
+  putU8(frame_, static_cast<std::uint8_t>(kFooterTag));
+  writeRaw(frame_);
+  writeRaw(payload);
+  frame_.clear();
+  putU32(frame_, crc32(payload));
+  putU32(frame_, static_cast<std::uint32_t>(payload.size()));
+  frame_.append(kEndMagic, sizeof(kEndMagic));
+  writeRaw(frame_);
+
+  out_->flush();
+  if (!*out_) throw std::runtime_error("cpf: write failed (stream error)");
+  stats_.bytes = offset_;
+  finished_ = true;
+  return stats_;
+}
+
+WriteStats writeProof(const proof::ProofLog& log, std::ostream& out,
+                      WriterOptions options) {
+  ProofWriter writer(out, options);
+  for (proof::ClauseId id = 1; id <= log.numClauses(); ++id) {
+    writer.onClause(id, log.lits(id), log.chain(id));
+  }
+  for (std::uint64_t i = 0; i < log.numDeleted(); ++i) {
+    writer.onDelete(proof::kNoClause);
+  }
+  if (log.hasRoot()) writer.onRoot(log.root());
+  return writer.finish();
+}
+
+WriteStats writeProofFile(const proof::ProofLog& log, const std::string& path,
+                          WriterOptions options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cpf: cannot open " + path);
+  return writeProof(log, out, options);
+}
+
+}  // namespace cp::proofio

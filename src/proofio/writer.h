@@ -1,0 +1,117 @@
+// CPF proof writer: a proof::ProofSink that streams a resolution proof to a
+// chunked binary container *while* it is being derived.
+//
+// Attach a ProofWriter to a ProofLog (log.setSink(&writer)) before the
+// solver or the CEC composer records anything, and every clause is encoded
+// and flushed chunk by chunk as it appears — the serialized proof never has
+// to be resident, which is what lets certification scale past RAM (the
+// ROADMAP's production-scale north star; see ISSUE/DESIGN). The writer keeps
+// only O(numClauses) little state: one 32-bit last-use slot per clause,
+// which becomes the streaming checker's release schedule, and the chunk
+// offset index for the footer.
+//
+// The writer is single-producer: calls must arrive from one thread, in id
+// order starting at 1 (exactly what a freshly constructed ProofLog emits).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/proof/proof_log.h"
+
+namespace cp::proofio {
+
+struct WriterOptions {
+  /// Chunk flush threshold: an open chunk is framed and written once its
+  /// payload reaches this many bytes. Smaller chunks mean finer-grained
+  /// CRC localization; larger chunks mean less framing overhead.
+  std::size_t chunkBytes = std::size_t{1} << 16;
+
+  /// Empty when usable, else a uniform "field: got value, allowed range"
+  /// message (see base/options.h).
+  std::string validate() const;
+};
+
+struct WriteStats {
+  std::uint64_t clauses = 0;
+  std::uint64_t axioms = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t literals = 0;     ///< literal occurrences over all clauses
+  std::uint64_t resolutions = 0;  ///< sum over chains of (length - 1)
+  std::uint64_t chunks = 0;
+  std::uint64_t payloadBytes = 0;  ///< clause-record bytes before framing
+  std::uint64_t bytes = 0;         ///< total container bytes
+  proof::ClauseId root = proof::kNoClause;
+};
+
+class ProofWriter final : public proof::ProofSink {
+ public:
+  /// Streams to `out`, which must outlive the writer. The stream should be
+  /// binary-mode and empty; the writer emits the header immediately.
+  explicit ProofWriter(std::ostream& out, WriterOptions options = {});
+  /// Convenience: opens `path` (binary, truncating) and streams to it.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit ProofWriter(const std::string& path, WriterOptions options = {});
+  /// Finishes the container if finish() was not called (errors swallowed —
+  /// call finish() explicitly to observe them).
+  ~ProofWriter() override;
+
+  ProofWriter(const ProofWriter&) = delete;
+  ProofWriter& operator=(const ProofWriter&) = delete;
+
+  // ProofSink: the ProofLog this writer is attached to calls these.
+  void onClause(proof::ClauseId id, std::span<const sat::Lit> lits,
+                std::span<const proof::ClauseId> chain) override;
+  void onDelete(proof::ClauseId id) override;
+  void onRoot(proof::ClauseId id) override;
+
+  /// Flushes the open chunk and writes the last-use section and the footer.
+  /// Idempotent; after the first call further clauses are rejected. Throws
+  /// std::runtime_error if the underlying stream failed.
+  const WriteStats& finish();
+
+  bool finished() const { return finished_; }
+  const WriteStats& stats() const { return stats_; }
+
+ private:
+  void writeRaw(std::string_view bytes);
+  void flushChunk();
+
+  std::ofstream file_;  ///< backing storage for the path constructor
+  std::ostream* out_;
+  WriterOptions options_;
+
+  std::string chunk_;  ///< encoded records of the open chunk
+  std::string frame_;  ///< reusable framing scratch
+  proof::ClauseId chunkFirst_ = 1;
+  std::uint32_t chunkClauses_ = 0;
+  proof::ClauseId nextId_ = 1;
+
+  /// lastUse_[id] = largest clause id whose chain references `id`
+  /// (0 = never referenced). Ids only grow, so a plain store keeps the max.
+  std::vector<proof::ClauseId> lastUse_;
+
+  struct ChunkIndexEntry {
+    std::uint64_t offset;
+    proof::ClauseId firstClause;
+    std::uint32_t clauseCount;
+  };
+  std::vector<ChunkIndexEntry> index_;
+
+  std::uint64_t offset_ = 0;  ///< bytes emitted so far
+  WriteStats stats_;
+  bool finished_ = false;
+};
+
+/// Replays an existing in-memory log through a ProofWriter: the bytes are
+/// identical to what streaming the same clause sequence during solving
+/// produces. This is the text→binary conversion path (proof_tools tobinary).
+WriteStats writeProof(const proof::ProofLog& log, std::ostream& out,
+                      WriterOptions options = {});
+WriteStats writeProofFile(const proof::ProofLog& log, const std::string& path,
+                          WriterOptions options = {});
+
+}  // namespace cp::proofio

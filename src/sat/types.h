@@ -16,6 +16,12 @@ namespace cp::sat {
 using Var = std::uint32_t;
 inline constexpr Var kNoVar = 0xFFFFFFFFu;
 
+/// Largest variable a Lit can encode: the literal index packs var << 1, and
+/// index 0xFFFFFFFF is reserved for the undefined literal, so variables
+/// above this bound would silently alias smaller ones when packed. Parsers
+/// (DIMACS, TRACECHECK, CPF) reject anything larger instead of truncating.
+inline constexpr Var kMaxVar = (kNoVar >> 1) - 1;
+
 class Lit {
  public:
   constexpr Lit() : index_(kUndefIndex) {}

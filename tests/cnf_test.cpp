@@ -125,5 +125,20 @@ TEST(Dimacs, RejectsUnterminatedClause) {
   EXPECT_THROW((void)readDimacs(ss), std::runtime_error);
 }
 
+TEST(Dimacs, RejectsDeclaredClauseCountMismatch) {
+  // Two clauses declared, three present: a truncated or concatenated file
+  // must not silently parse. The message carries both counts.
+  std::stringstream ss("p cnf 2 2\n1 0\n2 0\n-1 0\n");
+  try {
+    (void)readDimacs(ss);
+    FAIL() << "mismatched clause count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(),
+                 "dimacs: problem line declares 2 clauses but 3 were read");
+  }
+  std::stringstream tooFew("p cnf 2 2\n1 0\n");
+  EXPECT_THROW((void)readDimacs(tooFew), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cp::cnf

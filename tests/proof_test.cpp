@@ -241,5 +241,25 @@ TEST(Tracecheck, RejectsTruncatedLine) {
   EXPECT_THROW((void)readTracecheck(ss), std::runtime_error);
 }
 
+TEST(Tracecheck, RejectsLiteralBeyondVariableBound) {
+  // A foreign trace can carry variables wider than sat::Lit packs; a
+  // silent narrowing cast would alias them onto small variables. The
+  // error names the offending token.
+  const long long tooBig = static_cast<long long>(sat::kMaxVar) + 2;
+  std::stringstream ss("1 " + std::to_string(-tooBig) + " 0 0\n");
+  try {
+    (void)readTracecheck(ss);
+    FAIL() << "oversized literal accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(-tooBig)),
+              std::string::npos)
+        << e.what();
+  }
+  // The largest representable variable is still accepted.
+  std::stringstream ok("1 " + std::to_string(tooBig - 1) + " 0 0\n");
+  const ProofLog log = readTracecheck(ok);
+  EXPECT_EQ(log.lits(1)[0].var(), sat::kMaxVar);
+}
+
 }  // namespace
 }  // namespace cp::proof

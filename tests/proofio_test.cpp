@@ -1,0 +1,511 @@
+// CPF container tests: randomized round-trips (ProofLog -> CPF -> ProofLog
+// and CPF <-> TRACECHECK), corruption rejection (truncation, flipped CRC
+// bytes, bad magic — clean errors, never crashes), streaming-checker
+// verdict identity with proof::checkProof, the bounded-memory high-water
+// property, and end-to-end disk certification through cec::checkMiter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/tracecheck.h"
+#include "src/proofio/format.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
+
+namespace cp::proofio {
+namespace {
+
+using proof::ClauseId;
+using proof::ProofLog;
+
+// ---- helpers --------------------------------------------------------------
+
+std::string toCpf(const ProofLog& log, WriterOptions options = {}) {
+  std::ostringstream out(std::ios::binary);
+  writeProof(log, out, options);
+  return out.str();
+}
+
+ProofLog fromCpf(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return readProof(in);
+}
+
+std::string toTracecheck(const ProofLog& log) {
+  std::ostringstream out;
+  proof::writeTracecheck(log, out);
+  return out.str();
+}
+
+void expectLogsEqual(const ProofLog& a, const ProofLog& b) {
+  ASSERT_EQ(a.numClauses(), b.numClauses());
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.numAxioms(), b.numAxioms());
+  EXPECT_EQ(a.numDeleted(), b.numDeleted());
+  EXPECT_EQ(a.numLiterals(), b.numLiterals());
+  EXPECT_EQ(a.numResolutions(), b.numResolutions());
+  for (ClauseId id = 1; id <= a.numClauses(); ++id) {
+    const auto litsA = a.lits(id), litsB = b.lits(id);
+    ASSERT_EQ(litsA.size(), litsB.size()) << "clause " << id;
+    EXPECT_TRUE(std::equal(litsA.begin(), litsA.end(), litsB.begin()))
+        << "clause " << id;
+    const auto chainA = a.chain(id), chainB = b.chain(id);
+    ASSERT_EQ(chainA.size(), chainB.size()) << "clause " << id;
+    EXPECT_TRUE(std::equal(chainA.begin(), chainA.end(), chainB.begin()))
+        << "clause " << id;
+  }
+}
+
+/// A structurally valid (ids dense, chains backward) but semantically
+/// arbitrary log: exactly what the container must preserve byte-for-byte
+/// concerns itself with. Optionally ends in an empty-clause root;
+/// `withDeletes = false` keeps the log representable in TRACECHECK, which
+/// has no deletion records.
+ProofLog randomLog(Rng& rng, bool withRoot, bool withDeletes = true) {
+  ProofLog log;
+  const std::uint32_t axioms = 1 + static_cast<std::uint32_t>(rng.below(40));
+  const std::uint32_t derived = static_cast<std::uint32_t>(rng.below(120));
+  for (std::uint32_t i = 0; i < axioms; ++i) {
+    std::vector<sat::Lit> lits;
+    const std::uint32_t width = static_cast<std::uint32_t>(rng.below(7));
+    for (std::uint32_t k = 0; k < width; ++k) {
+      lits.push_back(sat::Lit::make(static_cast<sat::Var>(rng.below(200)),
+                                    rng.flip()));
+    }
+    log.addAxiom(lits);
+  }
+  for (std::uint32_t i = 0; i < derived; ++i) {
+    std::vector<sat::Lit> lits;
+    const std::uint32_t width = static_cast<std::uint32_t>(rng.below(5));
+    for (std::uint32_t k = 0; k < width; ++k) {
+      lits.push_back(sat::Lit::make(static_cast<sat::Var>(rng.below(200)),
+                                    rng.flip()));
+    }
+    std::vector<ClauseId> chain;
+    const std::uint32_t links = 1 + static_cast<std::uint32_t>(rng.below(6));
+    for (std::uint32_t k = 0; k < links; ++k) {
+      chain.push_back(
+          1 + static_cast<ClauseId>(rng.below(log.numClauses())));
+    }
+    log.addDerived(lits, chain);
+    if (withDeletes && rng.below(8) == 0) log.markDeleted(log.numClauses());
+  }
+  if (withRoot) {
+    const ClauseId root =
+        log.addDerived({}, std::vector<ClauseId>{log.numClauses()});
+    log.setRoot(root);
+  }
+  return log;
+}
+
+/// Proof of the add16 miter, the R-Tab3 anchor workload, via checkMiter
+/// with the requested engine. Memoized: several tests reuse it.
+const ProofLog& add16Proof(bool sweeping) {
+  static ProofLog logs[2];
+  static bool ready[2] = {false, false};
+  const int which = sweeping ? 0 : 1;
+  if (!ready[which]) {
+    const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(16),
+                                           gen::carryLookaheadAdder(16, 4));
+    cec::EngineConfig config;
+    if (sweeping) {
+      config.engine = cec::SweepOptions();
+    } else {
+      config.engine = cec::MonolithicOptions();
+    }
+    (void)cec::checkMiter(miter, config, &logs[which]);
+    ready[which] = true;
+  }
+  return logs[which];
+}
+
+// ---- round trips ----------------------------------------------------------
+
+TEST(ProofIoRoundTrip, EmptyLog) {
+  const ProofLog log;
+  const std::string bytes = toCpf(log);
+  const ProofLog back = fromCpf(bytes);
+  expectLogsEqual(log, back);
+}
+
+TEST(ProofIoRoundTrip, AxiomOnlyLog) {
+  ProofLog log;
+  log.addAxiom(std::vector<sat::Lit>{sat::Lit::make(0, false),
+                                     sat::Lit::make(3, true)});
+  log.addAxiom(std::vector<sat::Lit>{});  // empty axiom is representable
+  expectLogsEqual(log, fromCpf(toCpf(log)));
+}
+
+TEST(ProofIoRoundTrip, RandomizedLogs) {
+  Rng rng(2026);
+  for (int i = 0; i < 50; ++i) {
+    const bool withRoot = (i % 2) == 0;
+    const ProofLog log = randomLog(rng, withRoot);
+    // Tiny chunks force multi-chunk containers even for small logs.
+    WriterOptions options;
+    options.chunkBytes = 64 + rng.below(512);
+    const ProofLog back = fromCpf(toCpf(log, options));
+    expectLogsEqual(log, back);
+  }
+}
+
+TEST(ProofIoRoundTrip, CpfAndTracecheckAgree) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    // TRACECHECK cannot carry deletion records, so compare without them.
+    const ProofLog log = randomLog(rng, true, /*withDeletes=*/false);
+    // ProofLog -> CPF -> ProofLog -> TRACECHECK equals the direct text.
+    const ProofLog viaBinary = fromCpf(toCpf(log));
+    EXPECT_EQ(toTracecheck(log), toTracecheck(viaBinary));
+    // And text -> ProofLog equals binary -> ProofLog.
+    std::istringstream text(toTracecheck(log));
+    const ProofLog viaText = proof::readTracecheck(text);
+    expectLogsEqual(viaText, viaBinary);
+  }
+}
+
+TEST(ProofIoRoundTrip, RealEngineProofs) {
+  for (const bool sweeping : {true, false}) {
+    const ProofLog& log = add16Proof(sweeping);
+    ASSERT_TRUE(log.hasRoot());
+    expectLogsEqual(log, fromCpf(toCpf(log)));
+  }
+}
+
+TEST(ProofIoRoundTrip, BinaryAtMostHalfOfTextSize) {
+  // The acceptance bar from R-ProofIO: CPF <= 50% of TRACECHECK text on
+  // the R-Tab3 workloads (here the add16 anchor, both engines).
+  for (const bool sweeping : {true, false}) {
+    const ProofLog& log = add16Proof(sweeping);
+    const std::string text = toTracecheck(log);
+    const std::string binary = toCpf(log);
+    EXPECT_LE(binary.size() * 2, text.size())
+        << (sweeping ? "sweeping" : "monolithic") << " proof: " << binary.size()
+        << " binary vs " << text.size() << " text bytes";
+  }
+}
+
+TEST(ProofIoRoundTrip, ProbeReportsFooterCounts) {
+  const ProofLog& log = add16Proof(true);
+  const std::string bytes = toCpf(log);
+  std::istringstream in(bytes, std::ios::binary);
+  const ContainerInfo info = probeProof(in);
+  EXPECT_EQ(info.clauses, log.numClauses());
+  EXPECT_EQ(info.axioms, log.numAxioms());
+  EXPECT_EQ(info.literals, log.numLiterals());
+  EXPECT_EQ(info.resolutions, log.numResolutions());
+  EXPECT_EQ(info.root, log.root());
+  EXPECT_EQ(info.bytes, bytes.size());
+  EXPECT_GE(info.chunks, 1u);
+}
+
+// ---- writer as a live sink ------------------------------------------------
+
+TEST(ProofIoWriter, StreamingSinkMatchesPostHocReplay) {
+  // Bytes streamed while the proof is being recorded must equal the bytes
+  // of a post-hoc writeProof replay of the finished log.
+  Rng rng(99);
+  const ProofLog reference = randomLog(rng, true);
+
+  std::ostringstream streamed(std::ios::binary);
+  ProofWriter writer(streamed);
+  ProofLog observed;
+  observed.setSink(&writer);
+  for (ClauseId id = 1; id <= reference.numClauses(); ++id) {
+    if (reference.isAxiom(id)) {
+      observed.addAxiom(reference.lits(id));
+    } else {
+      observed.addDerived(reference.lits(id), reference.chain(id));
+    }
+  }
+  for (std::uint64_t i = 0; i < reference.numDeleted(); ++i) {
+    observed.markDeleted(proof::kNoClause);
+  }
+  observed.setRoot(reference.root());
+  observed.setSink(nullptr);
+  writer.finish();
+
+  EXPECT_EQ(streamed.str(), toCpf(reference));
+}
+
+TEST(ProofIoWriter, RequiresTheFullStream) {
+  ProofLog log;
+  log.addAxiom(std::vector<sat::Lit>{sat::Lit::make(0, false)});
+  std::ostringstream out(std::ios::binary);
+  ProofWriter writer(out);
+  log.setSink(&writer);  // too late: clause 1 was never observed
+  EXPECT_THROW(log.addAxiom(std::vector<sat::Lit>{}), std::logic_error);
+  log.setSink(nullptr);
+}
+
+TEST(ProofIoWriter, ValidatesChunkBytes) {
+  std::ostringstream out(std::ios::binary);
+  WriterOptions options;
+  options.chunkBytes = 1;
+  EXPECT_THROW(ProofWriter(out, options), std::invalid_argument);
+}
+
+// ---- corruption -----------------------------------------------------------
+
+TEST(ProofIoCorruption, BadMagic) {
+  std::string bytes = toCpf(add16Proof(true));
+  bytes[0] = 'X';
+  EXPECT_THROW((void)fromCpf(bytes), std::runtime_error);
+}
+
+TEST(ProofIoCorruption, TruncatedAnywhere) {
+  Rng rng(5);
+  const std::string bytes = toCpf(randomLog(rng, true));
+  // Every strict prefix must be rejected cleanly (footer magic, footer
+  // length, or chunk payload truncation — never a crash or silent accept).
+  for (const double fraction : {0.0, 0.3, 0.6, 0.9, 0.999}) {
+    const std::string prefix =
+        bytes.substr(0, static_cast<std::size_t>(bytes.size() * fraction));
+    EXPECT_THROW((void)fromCpf(prefix), std::runtime_error) << fraction;
+    std::istringstream in(prefix, std::ios::binary);
+    EXPECT_THROW((void)checkProofStream(in), std::runtime_error) << fraction;
+  }
+}
+
+TEST(ProofIoCorruption, FlippedByteNeverPassesSilently) {
+  Rng rng(13);
+  const ProofLog log = randomLog(rng, true);
+  const std::string bytes = toCpf(log);
+  // Flip one byte at a spread of positions. Every flip must either throw
+  // (CRC/structure) — it can never silently round-trip to a different log.
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += 1 + bytes.size() / 37) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    try {
+      const ProofLog back = fromCpf(mutated);
+      expectLogsEqual(log, back);  // flip must have been in dead space
+      ADD_FAILURE() << "no dead space exists: flip at " << pos
+                    << " was accepted";
+    } catch (const std::runtime_error&) {
+      // expected: corruption detected
+    }
+  }
+}
+
+TEST(ProofIoCorruption, FlippedChunkCrcDetected) {
+  const std::string bytes = toCpf(add16Proof(true));
+  // The first chunk starts right after the 12-byte header; its CRC field
+  // sits at bytes 13..16 of the frame (tag, first, count, payload, crc).
+  std::string mutated = bytes;
+  mutated[12 + 13] = static_cast<char>(mutated[12 + 13] ^ 0x01);
+  try {
+    (void)fromCpf(mutated);
+    FAIL() << "flipped CRC accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProofIoCorruption, EmptyAndGarbageStreams) {
+  EXPECT_THROW((void)fromCpf(std::string()), std::runtime_error);
+  EXPECT_THROW((void)fromCpf(std::string(200, 'z')), std::runtime_error);
+  EXPECT_THROW((void)checkProofFile("/nonexistent/path.cpf"),
+               std::runtime_error);
+}
+
+// ---- streaming checker ----------------------------------------------------
+
+void expectSameVerdict(const proof::CheckResult& memory,
+                       const proof::CheckResult& disk) {
+  EXPECT_EQ(memory.ok, disk.ok);
+  EXPECT_EQ(memory.error, disk.error);
+  EXPECT_EQ(memory.failedClause, disk.failedClause);
+  EXPECT_EQ(memory.axiomsChecked, disk.axiomsChecked);
+  EXPECT_EQ(memory.derivedChecked, disk.derivedChecked);
+  EXPECT_EQ(memory.resolutions, disk.resolutions);
+}
+
+TEST(ProofIoStreamCheck, VerdictIdenticalToInMemoryOnEngineProofs) {
+  for (const bool sweeping : {true, false}) {
+    const ProofLog& log = add16Proof(sweeping);
+    const proof::CheckResult memory = proof::checkProof(log);
+
+    std::istringstream in(toCpf(log), std::ios::binary);
+    StreamCheckStats stats;
+    const proof::CheckResult disk = checkProofStream(in, {}, &stats);
+    expectSameVerdict(memory, disk);
+    EXPECT_TRUE(disk.ok);
+
+    // The bounded-memory claim, asserted via the instrumented high-water
+    // counters: the live set must stay strictly below the full proof.
+    EXPECT_GT(stats.liveClausesPeak, 0u);
+    EXPECT_LT(stats.liveClausesPeak, stats.container.clauses);
+    EXPECT_LT(stats.liveLiteralsPeak, stats.totalLiterals);
+    EXPECT_GT(stats.releasedEarly, 0u);
+  }
+}
+
+TEST(ProofIoStreamCheck, RootlessProofMatchesInMemoryMessage) {
+  Rng rng(21);
+  const ProofLog log = randomLog(rng, false);
+  std::istringstream in(toCpf(log), std::ios::binary);
+  const proof::CheckResult disk = checkProofStream(in);
+  const proof::CheckResult memory = proof::checkProof(log);
+  EXPECT_FALSE(disk.ok);
+  expectSameVerdict(memory, disk);
+}
+
+TEST(ProofIoStreamCheck, DefectiveChainSameFailureAsInMemory) {
+  // A resolvent mismatch must fail identically on both paths: same clause,
+  // same message (both replay through proof::replayChain).
+  ProofLog log;
+  const auto a = log.addAxiom(std::vector<sat::Lit>{
+      sat::Lit::make(0, false), sat::Lit::make(1, false)});
+  const auto b = log.addAxiom(std::vector<sat::Lit>{
+      sat::Lit::make(0, true), sat::Lit::make(2, false)});
+  // Correct resolvent is {1, 2}; record {1} instead.
+  log.addDerived(std::vector<sat::Lit>{sat::Lit::make(1, false)},
+                 std::vector<ClauseId>{a, b});
+
+  proof::CheckOptions memoryOptions;
+  memoryOptions.requireRoot = false;
+  const proof::CheckResult memory = proof::checkProof(log, memoryOptions);
+  ASSERT_FALSE(memory.ok);
+
+  std::istringstream in(toCpf(log), std::ios::binary);
+  StreamCheckOptions diskOptions;
+  diskOptions.requireRoot = false;
+  const proof::CheckResult disk = checkProofStream(in, diskOptions);
+  expectSameVerdict(memory, disk);
+}
+
+TEST(ProofIoStreamCheck, AxiomValidatorParity) {
+  ProofLog log;
+  log.addAxiom(std::vector<sat::Lit>{sat::Lit::make(4, false)});
+  const auto rejectAll = [](std::span<const sat::Lit>) { return false; };
+
+  proof::CheckOptions memoryOptions;
+  memoryOptions.requireRoot = false;
+  memoryOptions.axiomValidator = rejectAll;
+  const proof::CheckResult memory = proof::checkProof(log, memoryOptions);
+
+  std::istringstream in(toCpf(log), std::ios::binary);
+  StreamCheckOptions diskOptions;
+  diskOptions.requireRoot = false;
+  diskOptions.axiomValidator = rejectAll;
+  const proof::CheckResult disk = checkProofStream(in, diskOptions);
+  expectSameVerdict(memory, disk);
+  EXPECT_FALSE(disk.ok);
+}
+
+// ---- end-to-end disk certification through the engine layer ---------------
+
+class ProofIoCertify : public testing::TestWithParam<bool> {};
+
+TEST_P(ProofIoCertify, CheckMiterCertifiesFromDisk) {
+  const bool sweeping = GetParam();
+  const std::string path = testing::TempDir() + "cpf_certify_" +
+                           (sweeping ? "sweep" : "mono") + ".cpf";
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(16),
+                                         gen::carryLookaheadAdder(16, 4));
+  cec::EngineConfig config;
+  if (sweeping) {
+    config.engine = cec::SweepOptions();
+  } else {
+    config.engine = cec::MonolithicOptions();
+  }
+  config.proofPath = path;
+
+  proof::ProofLog raw;
+  const cec::CertifyReport report = cec::checkMiter(miter, config, &raw);
+  EXPECT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+  EXPECT_TRUE(report.proofChecked);
+  EXPECT_TRUE(report.disk.written);
+  EXPECT_TRUE(report.disk.checked);
+  EXPECT_EQ(report.disk.write.clauses, raw.numClauses());
+  EXPECT_EQ(report.disk.write.root, raw.root());
+  EXPECT_GT(report.disk.write.bytes, 0u);
+
+  // Verdict bit-identity: the streaming check of the container equals the
+  // in-memory checkProof of the raw log under the same axiom validator.
+  proof::CheckOptions memoryOptions;
+  memoryOptions.axiomValidator = cec::miterAxiomValidator(miter);
+  const proof::CheckResult memory = proof::checkProof(raw, memoryOptions);
+  StreamCheckOptions diskOptions;
+  diskOptions.axiomValidator = cec::miterAxiomValidator(miter);
+  StreamCheckStats stats;
+  const proof::CheckResult disk = checkProofFile(path, diskOptions, &stats);
+  expectSameVerdict(memory, disk);
+  EXPECT_TRUE(disk.ok);
+
+  // Peak checker memory bounded by live clauses, not proof size.
+  EXPECT_LT(stats.liveClausesPeak, stats.container.clauses);
+  EXPECT_LT(stats.liveLiteralsPeak, stats.totalLiterals);
+
+  // The file on disk equals a post-hoc serialization of the raw log: the
+  // streamed-during-solving path loses nothing.
+  std::ifstream back(path, std::ios::binary);
+  std::ostringstream fileBytes(std::ios::binary);
+  fileBytes << back.rdbuf();
+  EXPECT_EQ(fileBytes.str(), toCpf(raw));
+
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ProofIoCertify, testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("sweeping")
+                                             : std::string("monolithic");
+                         });
+
+TEST(ProofIoCertifyMore, InequivalentMiterWritesRootlessContainer) {
+  const std::string path = testing::TempDir() + "cpf_sat.cpf";
+  aig::Aig bad = gen::rippleCarryAdder(8);
+  bad.setOutput(0, !bad.output(0));
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(8), bad);
+
+  cec::EngineConfig config;
+  config.engine = cec::MonolithicOptions();
+  config.proofPath = path;
+  const cec::CertifyReport report = cec::checkMiter(miter, config);
+  EXPECT_EQ(report.cec.verdict, cec::Verdict::kInequivalent);
+  EXPECT_TRUE(report.disk.written);
+  EXPECT_FALSE(report.disk.checked);
+  EXPECT_FALSE(report.proofChecked);
+
+  // The container is still well-formed — just rootless, so a refutation
+  // check of it must fail with the standard message.
+  const proof::CheckResult disk = checkProofFile(path);
+  EXPECT_FALSE(disk.ok);
+  EXPECT_EQ(disk.error, "proof has no empty-clause root");
+  std::remove(path.c_str());
+}
+
+TEST(ProofIoCertifyMore, BddEngineWritesEmptyContainer) {
+  const std::string path = testing::TempDir() + "cpf_bdd.cpf";
+  const aig::Aig miter =
+      cec::buildMiter(gen::parityChain(8), gen::parityTree(8));
+  cec::EngineConfig config;
+  config.engine = cec::BddCecOptions();
+  config.proofPath = path;
+  const cec::CertifyReport report = cec::checkMiter(miter, config);
+  EXPECT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+  EXPECT_TRUE(report.disk.written);
+  EXPECT_EQ(report.disk.write.clauses, 0u);
+  EXPECT_FALSE(report.proofChecked);  // BDD produces no proof
+  const ContainerInfo info = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return probeProof(in);
+  }();
+  EXPECT_EQ(info.clauses, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cp::proofio
