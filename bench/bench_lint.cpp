@@ -1,0 +1,87 @@
+// R-Lint: proof-health diagnostics on monolithic vs sweeping proofs of the
+// same miters. For every workload and both engines: dead proof weight
+// (derived clauses the root never uses, the quantity trimming removes),
+// duplicate derived clauses (the redundancy the sweeping composer leaves
+// behind when several sub-proofs derive the same lemma) and forward-
+// subsumed clauses — all measured by proof::lint and cross-checked against
+// the trimProof reduction. Timed section: the lint pass itself.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "src/base/diagnostics.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/proof/lint.h"
+#include "src/proof/trim.h"
+
+namespace cp::bench {
+namespace {
+
+void runLint(benchmark::State& state, bool sweeping) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const aig::Aig& miter = miterFor(index);
+  state.SetLabel(std::string(suite()[index].name) +
+                 (sweeping ? "/sweep" : "/mono"));
+
+  proof::ProofLog log;
+  const cec::CecResult result =
+      sweeping ? cec::sweepingCheck(miter, cec::SweepOptions(), &log)
+               : cec::monolithicCheck(miter, cec::MonolithicOptions(), &log);
+  if (result.verdict != cec::Verdict::kEquivalent) {
+    state.SkipWithError("expected equivalent");
+    return;
+  }
+
+  proof::ProofLintOptions options;
+  options.numThreads = 1;
+  for (auto _ : state) {
+    diag::DiagnosticCollector fresh(diag::Severity::kError);  // counters only
+    proof::lint(log, fresh, options);
+    benchmark::DoNotOptimize(fresh.count(diag::Severity::kWarning));
+  }
+  diag::DiagnosticCollector sink(diag::Severity::kError);
+  proof::lint(log, sink, options);
+
+  // Cross-check against trimming: the derived clauses lint counts as dead
+  // weight (P102) are exactly the ones trimProof drops, and the trimmed
+  // proof must come back P102-clean.
+  const proof::TrimmedProof trimmed = proof::trimProof(log);
+  const std::uint64_t deadDerived = log.numDerived() - trimmed.log.numDerived();
+  diag::DiagnosticCollector onTrimmed(diag::Severity::kError);
+  proof::lint(trimmed.log, onTrimmed, options);
+  if (onTrimmed.countOf("P102") != 0 ||
+      (sink.countOf("P102") > 0) != (deadDerived > 0)) {
+    state.SkipWithError("lint dead weight disagrees with trimProof");
+    return;
+  }
+
+  const std::uint64_t derived = log.numDerived();
+  state.counters["deadDerivedPct"] =
+      derived == 0 ? 0.0
+                   : 100.0 * static_cast<double>(deadDerived) /
+                         static_cast<double>(derived);
+  state.counters["duplicates"] = static_cast<double>(sink.countOf("P103"));
+  state.counters["duplicatesTrimmed"] =
+      static_cast<double>(onTrimmed.countOf("P103"));
+  state.counters["subsumed"] = static_cast<double>(sink.countOf("P106"));
+  state.counters["derived"] = static_cast<double>(derived);
+  state.counters["removedByTrim"] =
+      static_cast<double>(log.numClauses() - trimmed.log.numClauses());
+}
+
+void BM_LintSweeping(benchmark::State& state) { runLint(state, true); }
+void BM_LintMonolithic(benchmark::State& state) { runLint(state, false); }
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_LintSweeping)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_LintMonolithic)
+    ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

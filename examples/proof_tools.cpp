@@ -9,26 +9,42 @@
 //   $ ./proof_tools totext   proof.cpf   out.trace    (CPF -> TRACECHECK)
 //   $ ./proof_tools checkbin proof.cpf   [problem.cnf]
 //   $ ./proof_tools info     proof.cpf               (footer stats, no replay)
+//   $ ./proof_tools lint     <aiger|dimacs|tracecheck|cpf file> [flags]
 //
 // With a DIMACS file, `check`/`checkbin` additionally validate every axiom
 // against the CNF -- the full trust chain for proofs produced elsewhere
 // (e.g. by dimacs_prover on another machine). `checkbin` replays the
 // container with the bounded-memory streaming checker: a single forward
 // pass that only keeps clauses inside their recorded live range.
+//
+// `lint` runs the static diagnostics engine (DESIGN.md §7) on any of the
+// four artifact kinds, detected by extension/content or forced with
+// --format. Flags: --json (machine-readable findings on stdout), --werror
+// (warnings gate the exit code), --threads N (proof lint parallelism),
+// --no-subsumption, --format aiger|dimacs|tracecheck|cpf. Exit code: 0
+// lint-clean, 1 gated findings, 2 usage or I/O error — made for CI.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/aig/lint.h"
+#include "src/base/diagnostics.h"
 #include "src/cnf/dimacs.h"
+#include "src/cnf/lint.h"
 #include "src/proof/analysis.h"
 #include "src/proof/checker.h"
 #include "src/proof/compress.h"
+#include "src/proof/lint.h"
 #include "src/proof/tracecheck.h"
 #include "src/proof/trim.h"
+#include "src/proofio/format.h"
+#include "src/proofio/lint.h"
 #include "src/proofio/reader.h"
 #include "src/proofio/writer.h"
 
@@ -75,9 +91,142 @@ void printVerdict(const cp::proof::CheckResult& result) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s check|metrics|compress|core|drat|tobinary|totext|"
-               "checkbin|info <proof> [extra]\n",
-               argv0);
+               "checkbin|info <proof> [extra]\n"
+               "       %s lint <file> [--json] [--werror] [--threads N]\n"
+               "                [--no-subsumption]"
+               " [--format aiger|dimacs|tracecheck|cpf]\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Artifact kind accepted by `lint`.
+enum class LintFormat { kUnknown, kAiger, kDimacs, kTracecheck, kCpf };
+
+LintFormat formatFromName(const std::string& name) {
+  if (name == "aiger") return LintFormat::kAiger;
+  if (name == "dimacs") return LintFormat::kDimacs;
+  if (name == "tracecheck") return LintFormat::kTracecheck;
+  if (name == "cpf") return LintFormat::kCpf;
+  return LintFormat::kUnknown;
+}
+
+/// Extension first, then a content sniff (CPF magic, AIGER magic, DIMACS
+/// problem line; TRACECHECK has no magic and is the fallback).
+LintFormat detectFormat(const std::string& path) {
+  const auto endsWith = [&path](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (endsWith(".aag") || endsWith(".aig")) return LintFormat::kAiger;
+  if (endsWith(".cnf") || endsWith(".dimacs")) return LintFormat::kDimacs;
+  if (endsWith(".cpf")) return LintFormat::kCpf;
+  if (endsWith(".trace") || endsWith(".tc")) return LintFormat::kTracecheck;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return LintFormat::kUnknown;
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (in.gcount() == 4 &&
+      std::memcmp(magic, cp::proofio::kMagic, 4) == 0) {
+    return LintFormat::kCpf;
+  }
+  if (in.gcount() >= 3 && (std::memcmp(magic, "aag", 3) == 0 ||
+                           std::memcmp(magic, "aig", 3) == 0)) {
+    return LintFormat::kAiger;
+  }
+  in.clear();
+  in.seekg(0);
+  std::string token;
+  while (in >> token) {
+    if (token == "c") {  // DIMACS/TRACECHECK comment: skip the line
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") return LintFormat::kDimacs;
+    break;
+  }
+  return LintFormat::kTracecheck;
+}
+
+int runLint(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  bool werror = false;
+  cp::proof::ProofLintOptions proofOptions;
+  LintFormat format = LintFormat::kUnknown;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-subsumption") {
+      proofOptions.checkSubsumption = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      proofOptions.numThreads =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = formatFromName(argv[++i]);
+      if (format == LintFormat::kUnknown) {
+        std::fprintf(stderr, "error: unknown --format (want aiger, dimacs, "
+                             "tracecheck or cpf)\n");
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown lint flag %s\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+  if (format == LintFormat::kUnknown) format = detectFormat(path);
+  if (format == LintFormat::kUnknown) {
+    std::fprintf(stderr, "error: cannot open or classify %s\n", path.c_str());
+    return 2;
+  }
+
+  cp::diag::DiagnosticCollector collector;
+  switch (format) {
+    case LintFormat::kAiger:
+      cp::aig::lint(cp::aig::readRawAigerFile(path), collector);
+      break;
+    case LintFormat::kDimacs:
+      cp::cnf::lint(cp::cnf::readDimacsFile(path), collector);
+      break;
+    case LintFormat::kTracecheck: {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      cp::proof::lint(cp::proof::readTracecheck(in), collector, proofOptions);
+      break;
+    }
+    case LintFormat::kCpf:
+      cp::proofio::lintProofFile(path, collector, proofOptions);
+      break;
+    case LintFormat::kUnknown:
+      return 2;
+  }
+
+  if (json) {
+    cp::diag::renderJson(collector.diagnostics(), std::cout);
+  } else {
+    cp::diag::renderText(collector.diagnostics(), std::cout);
+  }
+  std::fprintf(stderr, "%s: %llu error(s), %llu warning(s), %llu info(s)%s\n",
+               path.c_str(),
+               (unsigned long long)collector.count(cp::diag::Severity::kError),
+               (unsigned long long)
+                   collector.count(cp::diag::Severity::kWarning),
+               (unsigned long long)collector.count(cp::diag::Severity::kInfo),
+               werror ? " [--werror]" : "");
+  return collector.failed(werror) ? 1 : 0;
 }
 
 }  // namespace
@@ -86,6 +235,8 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string command = argv[1];
   try {
+    if (command == "lint") return runLint(argc, argv);
+
     // ---- commands whose input is a CPF container --------------------------
     if (command == "info") {
       std::ifstream in(argv[2], std::ios::binary);

@@ -1,0 +1,414 @@
+#include "src/aig/lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cp::aig {
+namespace {
+
+using diag::Diagnostic;
+using diag::Severity;
+
+[[noreturn]] void unreadable(const std::string& what) {
+  throw std::runtime_error("aiger: " + what);
+}
+
+std::uint64_t parseUnsigned(std::istream& in, const char* what) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) {
+    unreadable(std::string("expected unsigned value for ") + what);
+  }
+  return value;
+}
+
+std::uint64_t decodeDelta(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte < 0) unreadable("truncated binary delta encoding");
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) unreadable("binary delta encoding overflows 64 bits");
+  }
+}
+
+std::string varList(const std::vector<std::uint64_t>& vars,
+                    std::size_t limit = 8) {
+  std::string s;
+  for (std::size_t i = 0; i < vars.size() && i < limit; ++i) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(vars[i]);
+  }
+  if (vars.size() > limit) {
+    s += " and " + std::to_string(vars.size() - limit) + " more";
+  }
+  return s;
+}
+
+/// How a variable is defined: the lattice lint() reasons over.
+enum class DefKind : std::uint8_t { kUndefined, kConst, kInput, kAnd };
+
+struct Definition {
+  DefKind kind = DefKind::kUndefined;
+  std::size_t andIndex = 0;  ///< position in RawAig::ands when kind == kAnd
+};
+
+/// Iterative Tarjan SCC over the AND-definition dependency graph, visiting
+/// roots in ascending file order so component discovery is deterministic.
+class SccFinder {
+ public:
+  SccFinder(const RawAig& raw,
+            const std::unordered_map<std::uint64_t, Definition>& defs)
+      : raw_(raw), defs_(defs) {}
+
+  /// Strongly connected components that are genuine cycles: size > 1, or a
+  /// single AND whose fanin refers to itself. Each component's vars are
+  /// sorted ascending; components ordered by their smallest var.
+  std::vector<std::vector<std::uint64_t>> cyclicComponents() {
+    for (const RawAnd& a : raw_.ands) {
+      const std::uint64_t v = a.lhs >> 1;
+      if (state_.count(v) == 0) strongConnect(v);
+    }
+    std::sort(cycles_.begin(), cycles_.end());
+    return cycles_;
+  }
+
+  /// Vars that ended up in a cyclic component (for suppressing A102 noise).
+  bool inCycle(std::uint64_t v) const { return cyclic_.count(v) > 0; }
+
+ private:
+  struct NodeState {
+    std::uint64_t index = 0;
+    std::uint64_t lowlink = 0;
+    bool onStack = false;
+  };
+
+  /// Fanin vars of `v` that are themselves AND-defined.
+  std::vector<std::uint64_t> andFanins(std::uint64_t v) const {
+    std::vector<std::uint64_t> fanins;
+    const auto it = defs_.find(v);
+    if (it == defs_.end() || it->second.kind != DefKind::kAnd) return fanins;
+    const RawAnd& a = raw_.ands[it->second.andIndex];
+    for (const std::uint64_t rhs : {a.rhs0, a.rhs1}) {
+      const auto fit = defs_.find(rhs >> 1);
+      if (fit != defs_.end() && fit->second.kind == DefKind::kAnd) {
+        fanins.push_back(rhs >> 1);
+      }
+    }
+    return fanins;
+  }
+
+  void strongConnect(std::uint64_t root) {
+    // Explicit stack frame: (var, next fanin position to explore).
+    std::vector<std::pair<std::uint64_t, std::size_t>> callStack;
+    callStack.emplace_back(root, 0);
+    while (!callStack.empty()) {
+      auto& [v, childPos] = callStack.back();
+      if (childPos == 0) {
+        NodeState& s = state_[v];
+        s.index = s.lowlink = nextIndex_++;
+        s.onStack = true;
+        stack_.push_back(v);
+      }
+      const std::vector<std::uint64_t> fanins = andFanins(v);
+      bool descended = false;
+      while (childPos < fanins.size()) {
+        const std::uint64_t w = fanins[childPos++];
+        const auto ws = state_.find(w);
+        if (ws == state_.end()) {
+          callStack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (ws->second.onStack) {
+          state_[v].lowlink = std::min(state_[v].lowlink, ws->second.index);
+        }
+      }
+      if (descended) continue;
+
+      // v is fully explored: pop its component if it is a root.
+      const NodeState s = state_[v];
+      if (s.lowlink == s.index) {
+        std::vector<std::uint64_t> component;
+        for (;;) {
+          const std::uint64_t w = stack_.back();
+          stack_.pop_back();
+          state_[w].onStack = false;
+          component.push_back(w);
+          if (w == v) break;
+        }
+        bool cycle = component.size() > 1;
+        if (!cycle) {
+          for (const std::uint64_t w : andFanins(v)) cycle |= (w == v);
+        }
+        if (cycle) {
+          std::sort(component.begin(), component.end());
+          for (const std::uint64_t w : component) cyclic_.insert(w);
+          cycles_.push_back(std::move(component));
+        }
+      }
+      const std::uint64_t finished = v;
+      callStack.pop_back();
+      if (!callStack.empty()) {
+        NodeState& parent = state_[callStack.back().first];
+        parent.lowlink = std::min(parent.lowlink, state_[finished].lowlink);
+      }
+    }
+  }
+
+  const RawAig& raw_;
+  const std::unordered_map<std::uint64_t, Definition>& defs_;
+  std::unordered_map<std::uint64_t, NodeState> state_;
+  std::vector<std::uint64_t> stack_;
+  std::uint64_t nextIndex_ = 0;
+  std::vector<std::vector<std::uint64_t>> cycles_;
+  std::unordered_set<std::uint64_t> cyclic_;
+};
+
+}  // namespace
+
+RawAig readRawAiger(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic)) unreadable("empty stream");
+  const bool binary = magic == "aig";
+  if (!binary && magic != "aag") unreadable("bad magic '" + magic + "'");
+
+  RawAig raw;
+  raw.maxVar = parseUnsigned(in, "M");
+  const std::uint64_t numIn = parseUnsigned(in, "I");
+  const std::uint64_t numLatch = parseUnsigned(in, "L");
+  const std::uint64_t numOut = parseUnsigned(in, "O");
+  const std::uint64_t numAnd = parseUnsigned(in, "A");
+  if (numLatch != 0) unreadable("sequential AIGER (latches) is not supported");
+
+  if (binary) {
+    for (std::uint64_t i = 0; i < numIn; ++i) {
+      raw.inputs.push_back(2 * (i + 1));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < numIn; ++i) {
+      raw.inputs.push_back(parseUnsigned(in, "input literal"));
+    }
+  }
+
+  raw.outputs.resize(numOut);
+  for (auto& lit : raw.outputs) lit = parseUnsigned(in, "output literal");
+
+  if (binary) {
+    int c = in.get();
+    while (c == '\r') c = in.get();
+    if (c != '\n') unreadable("expected newline before binary and-gate section");
+    std::uint64_t previousLhs = 2 * numIn;
+    for (std::uint64_t i = 0; i < numAnd; ++i) {
+      RawAnd a;
+      a.lhs = previousLhs + 2;
+      previousLhs = a.lhs;
+      const std::uint64_t delta0 = decodeDelta(in);
+      if (delta0 > a.lhs) unreadable("delta0 exceeds lhs");
+      a.rhs0 = a.lhs - delta0;
+      const std::uint64_t delta1 = decodeDelta(in);
+      if (delta1 > a.rhs0) unreadable("delta1 exceeds rhs0");
+      a.rhs1 = a.rhs0 - delta1;
+      raw.ands.push_back(a);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < numAnd; ++i) {
+      RawAnd a;
+      a.lhs = parseUnsigned(in, "and lhs");
+      a.rhs0 = parseUnsigned(in, "and rhs0");
+      a.rhs1 = parseUnsigned(in, "and rhs1");
+      raw.ands.push_back(a);
+    }
+  }
+  return raw;
+}
+
+RawAig readRawAigerFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) unreadable("cannot open file " + path);
+  return readRawAiger(in);
+}
+
+RawAig rawFromAig(const Aig& graph) {
+  const auto lit = [](Edge e) {
+    return (static_cast<std::uint64_t>(e.node()) << 1) |
+           (e.complemented() ? 1u : 0u);
+  };
+  RawAig raw;
+  raw.maxVar = graph.numNodes() == 0 ? 0 : graph.numNodes() - 1;
+  for (std::uint32_t i = 0; i < graph.numInputs(); ++i) {
+    raw.inputs.push_back(lit(graph.inputEdge(i)));
+  }
+  for (std::uint32_t n = 0; n < graph.numNodes(); ++n) {
+    if (!graph.isAnd(n)) continue;
+    raw.ands.push_back({static_cast<std::uint64_t>(n) << 1,
+                        lit(graph.fanin0(n)), lit(graph.fanin1(n))});
+  }
+  for (const Edge e : graph.outputs()) raw.outputs.push_back(lit(e));
+  return raw;
+}
+
+void lint(const RawAig& raw, diag::DiagnosticSink& sink) {
+  // ---- definition table (A104: invalid or repeated definitions) -----------
+  std::unordered_map<std::uint64_t, Definition> defs;
+  defs[0] = {DefKind::kConst, 0};
+  std::uint64_t maxSeenVar = 0;
+
+  const auto define = [&](std::uint64_t literal, DefKind kind,
+                          std::size_t andIndex, const std::string& where) {
+    maxSeenVar = std::max(maxSeenVar, literal >> 1);
+    if ((literal & 1) != 0) {
+      sink.report({Severity::kError, "A104", where,
+                   "definition literal " + std::to_string(literal) +
+                       " is complemented (must be even)"});
+    }
+    const std::uint64_t v = literal >> 1;
+    const auto [it, inserted] = defs.emplace(v, Definition{kind, andIndex});
+    if (!inserted) {
+      const char* prior = it->second.kind == DefKind::kConst ? "the constant"
+                          : it->second.kind == DefKind::kInput ? "an input"
+                                                               : "an AND";
+      sink.report({Severity::kError, "A104", where,
+                   "variable " + std::to_string(v) + " is already defined as " +
+                       prior});
+    }
+  };
+
+  for (std::size_t i = 0; i < raw.inputs.size(); ++i) {
+    define(raw.inputs[i], DefKind::kInput, 0, "input " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < raw.ands.size(); ++i) {
+    define(raw.ands[i].lhs, DefKind::kAnd, i,
+           "and " + std::to_string(raw.ands[i].lhs >> 1));
+  }
+
+  const auto defKind = [&](std::uint64_t literal) {
+    const auto it = defs.find(literal >> 1);
+    return it == defs.end() ? DefKind::kUndefined : it->second.kind;
+  };
+  const auto andPosition = [&](std::uint64_t literal) {
+    return defs.at(literal >> 1).andIndex;
+  };
+
+  // ---- cycles (A101) -------------------------------------------------------
+  SccFinder scc(raw, defs);
+  for (const std::vector<std::uint64_t>& component : scc.cyclicComponents()) {
+    sink.report(
+        {Severity::kError, "A101", "and " + std::to_string(component.front()),
+         "combinational cycle through " + std::to_string(component.size()) +
+             " AND definition(s): vars " + varList(component)});
+  }
+
+  // ---- per-AND structural checks (A102, A103, A106, A107) -----------------
+  std::unordered_map<std::uint64_t, std::uint64_t> signatures;
+  for (std::size_t i = 0; i < raw.ands.size(); ++i) {
+    const RawAnd& a = raw.ands[i];
+    const std::uint64_t v = a.lhs >> 1;
+    const std::string where = "and " + std::to_string(v);
+    maxSeenVar = std::max({maxSeenVar, a.rhs0 >> 1, a.rhs1 >> 1});
+
+    for (const std::uint64_t rhs : {a.rhs0, a.rhs1}) {
+      const DefKind kind = defKind(rhs);
+      if (kind == DefKind::kUndefined) {
+        sink.report({Severity::kError, "A103", where,
+                     "fanin literal " + std::to_string(rhs) +
+                         " references undefined variable " +
+                         std::to_string(rhs >> 1)});
+      } else if (kind == DefKind::kAnd && !scc.inCycle(v) &&
+                 !scc.inCycle(rhs >> 1) && andPosition(rhs) > i) {
+        sink.report({Severity::kWarning, "A102", where,
+                     "fanin variable " + std::to_string(rhs >> 1) +
+                         " is defined later in the file (definition order is "
+                         "not topological)"});
+      }
+    }
+
+    // Normalized signature: unordered fanin pair, as strashing would see it.
+    const std::uint64_t lo = std::min(a.rhs0, a.rhs1);
+    const std::uint64_t hi = std::max(a.rhs0, a.rhs1);
+    const std::uint64_t key = (hi << 32) ^ lo;
+    const auto [it, inserted] = signatures.emplace(key, v);
+    if (!inserted) {
+      sink.report({Severity::kWarning, "A106", where,
+                   "duplicate AND signature: same fanins as var " +
+                       std::to_string(it->second) +
+                       " (strashing violation)"});
+    }
+
+    if ((a.rhs0 >> 1) == 0 || (a.rhs1 >> 1) == 0) {
+      sink.report({Severity::kWarning, "A107", where,
+                   "constant fanin: node folds to a constant or its other "
+                   "fanin"});
+    } else if (a.rhs0 == a.rhs1) {
+      sink.report({Severity::kWarning, "A107", where,
+                   "identical fanins: node folds to its fanin"});
+    } else if ((a.rhs0 ^ 1) == a.rhs1) {
+      sink.report({Severity::kWarning, "A107", where,
+                   "complementary fanins: node folds to constant false"});
+    }
+  }
+
+  // ---- outputs (A103) ------------------------------------------------------
+  for (std::size_t i = 0; i < raw.outputs.size(); ++i) {
+    maxSeenVar = std::max(maxSeenVar, raw.outputs[i] >> 1);
+    if (defKind(raw.outputs[i]) == DefKind::kUndefined) {
+      sink.report({Severity::kError, "A103", "output " + std::to_string(i),
+                   "output literal " + std::to_string(raw.outputs[i]) +
+                       " references undefined variable " +
+                       std::to_string(raw.outputs[i] >> 1)});
+    }
+  }
+
+  // ---- reachability (A105) -------------------------------------------------
+  std::unordered_map<std::uint64_t, char> reached;
+  std::vector<std::uint64_t> frontier;
+  for (const std::uint64_t out : raw.outputs) {
+    if (reached.emplace(out >> 1, 1).second) frontier.push_back(out >> 1);
+  }
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.back();
+    frontier.pop_back();
+    const auto it = defs.find(v);
+    if (it == defs.end() || it->second.kind != DefKind::kAnd) continue;
+    const RawAnd& a = raw.ands[it->second.andIndex];
+    for (const std::uint64_t rhs : {a.rhs0, a.rhs1}) {
+      if (reached.emplace(rhs >> 1, 1).second) frontier.push_back(rhs >> 1);
+    }
+  }
+  std::vector<std::uint64_t> dangling;
+  for (const RawAnd& a : raw.ands) {
+    if (reached.count(a.lhs >> 1) == 0) dangling.push_back(a.lhs >> 1);
+  }
+  std::sort(dangling.begin(), dangling.end());
+  dangling.erase(std::unique(dangling.begin(), dangling.end()),
+                 dangling.end());
+  if (!dangling.empty()) {
+    sink.report({Severity::kWarning, "A105", "",
+                 std::to_string(dangling.size()) +
+                     " AND node(s) unreachable from every output: vars " +
+                     varList(dangling)});
+  }
+
+  // ---- header consistency (A108) ------------------------------------------
+  if (maxSeenVar > raw.maxVar) {
+    sink.report({Severity::kWarning, "A108", "",
+                 "header declares maximum variable " +
+                     std::to_string(raw.maxVar) + " but variable " +
+                     std::to_string(maxSeenVar) + " is defined or referenced"});
+  }
+}
+
+void lint(const Aig& graph, diag::DiagnosticSink& sink) {
+  lint(rawFromAig(graph), sink);
+}
+
+}  // namespace cp::aig

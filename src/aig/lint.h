@@ -1,0 +1,64 @@
+// Static diagnostics for AIGs (code range A1xx, DESIGN.md §7).
+//
+// The in-memory Aig class cannot represent most structural defects (addAnd
+// strashes, folds constants, and only accepts already-defined fanins), but
+// AIGER *files* from other tools can carry all of them — and the strict
+// readAiger parser rejects such files with the first error it meets. The
+// lint path therefore works on RawAig, an unvalidated mirror of an AIGER
+// file's literal lists: readRawAiger parses leniently (it throws only when
+// the byte stream is unreadable, never on semantic violations), and lint()
+// reports *every* defect, not just the first.
+//
+//   A101 error    combinational cycle through AND definitions
+//   A102 warning  non-topological definition order (fanin defined later)
+//   A103 error    fanin or output references an undefined variable
+//   A104 error    variable defined more than once
+//   A105 warning  AND nodes unreachable from every output (aggregate)
+//   A106 warning  duplicate AND signature (strashing violation)
+//   A107 warning  constant-reducible AND (constant or repeated fanin)
+//   A108 warning  header maximum variable index disagrees with definitions
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/base/diagnostics.h"
+
+namespace cp::aig {
+
+/// One AND definition as it appeared in the file: AIGER literals, entirely
+/// unvalidated (lhs may be odd, fanins may be undefined or form cycles).
+struct RawAnd {
+  std::uint64_t lhs = 0;
+  std::uint64_t rhs0 = 0;
+  std::uint64_t rhs1 = 0;
+};
+
+/// Unvalidated mirror of an AIGER file (or of an in-memory Aig).
+struct RawAig {
+  std::uint64_t maxVar = 0;                ///< header M
+  std::vector<std::uint64_t> inputs;       ///< input literals as declared
+  std::vector<std::uint64_t> outputs;      ///< output literals as declared
+  std::vector<RawAnd> ands;
+};
+
+/// Lenient AIGER parse ("aag" or "aig" header). Throws std::runtime_error
+/// only when the stream cannot be decoded at all (bad magic, non-numeric
+/// token, truncated binary section); semantic defects are preserved in the
+/// returned structure for lint() to report.
+RawAig readRawAiger(std::istream& in);
+RawAig readRawAigerFile(const std::string& path);
+
+/// Mirrors an in-memory graph into the raw form (variable = node index),
+/// so library-built AIGs go through the identical analysis.
+RawAig rawFromAig(const Aig& graph);
+
+/// Emits every A1xx finding of `raw` into `sink`, in deterministic order.
+void lint(const RawAig& raw, diag::DiagnosticSink& sink);
+
+/// Convenience: lint(rawFromAig(graph), sink).
+void lint(const Aig& graph, diag::DiagnosticSink& sink);
+
+}  // namespace cp::aig

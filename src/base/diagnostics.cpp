@@ -1,0 +1,75 @@
+#include "src/base/diagnostics.h"
+
+#include <ostream>
+
+namespace cp::diag {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticCollector::report(Diagnostic d) {
+  ++counts_[static_cast<std::size_t>(d.severity)];
+  ++countsByCode_[d.code];
+  if (d.severity < minSeverity_) return;
+  diagnostics_.push_back(std::move(d));
+}
+
+std::uint64_t DiagnosticCollector::countOf(const std::string& code) const {
+  const auto it = countsByCode_.find(code);
+  return it == countsByCode_.end() ? 0 : it->second;
+}
+
+void renderText(std::span<const Diagnostic> diagnostics, std::ostream& out) {
+  for (const Diagnostic& d : diagnostics) {
+    out << severityName(d.severity) << ' ' << d.code << ' ';
+    if (!d.location.empty()) out << d.location << ": ";
+    out << d.message << '\n';
+  }
+}
+
+std::string jsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void renderJson(std::span<const Diagnostic> diagnostics, std::ostream& out) {
+  out << "[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"severity\":\"" << severityName(d.severity) << "\",\"code\":\""
+        << jsonEscaped(d.code) << "\",\"location\":\""
+        << jsonEscaped(d.location) << "\",\"message\":\""
+        << jsonEscaped(d.message) << "\"}";
+  }
+  out << (first ? "]" : "\n]") << '\n';
+}
+
+}  // namespace cp::diag

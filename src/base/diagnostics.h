@@ -1,0 +1,99 @@
+// Static-diagnostics engine shared by the aig/cnf/proof lint analyzers.
+//
+// A Diagnostic is one finding of a static analysis pass: a severity, a
+// stable machine-readable code (taxonomy in DESIGN.md §7: A1xx for AIG
+// structure, C1xx for CNF, P1xx for resolution proofs), a location string
+// ("node 9", "clause 17", "line 3") and a human-readable message. Analyzers
+// push findings into a DiagnosticSink; the standard sink is the
+// DiagnosticCollector, which buffers them, keeps per-severity and per-code
+// counters and applies a severity floor. Renderers turn a finding list into
+// the CLI's text form or a line of JSON objects for machine consumers
+// (`proof_tools lint --json`).
+//
+// Lint is *advisory*: no diagnostic, not even an error, participates in the
+// soundness trust chain (that is checkProof's job alone — see DESIGN.md §7).
+// Errors mean "this artifact is malformed or degenerate and will likely be
+// rejected or wasteful downstream"; warnings mean "valid but carrying dead
+// weight or redundancy"; infos are neutral measurements.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cp::diag {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// "info", "warning" or "error".
+const char* severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string code;      ///< stable identifier, e.g. "P102"
+  std::string location;  ///< artifact-relative, e.g. "clause 17"; may be empty
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Receiver of an analyzer's findings. Analyzers emit in a deterministic
+/// order (ascending location within ascending code group) regardless of
+/// their internal parallelism; a sink may rely on that order.
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+  virtual void report(Diagnostic d) = 0;
+};
+
+/// The standard sink: buffers findings at or above a severity floor and
+/// maintains per-severity and per-code counters (counters always include
+/// gated-out findings, so "0 diagnostics kept, 12 infos suppressed" is
+/// representable).
+class DiagnosticCollector : public DiagnosticSink {
+ public:
+  explicit DiagnosticCollector(Severity minSeverity = Severity::kInfo)
+      : minSeverity_(minSeverity) {}
+
+  void report(Diagnostic d) override;
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// Findings seen at severity `s`, including ones below the floor.
+  std::uint64_t count(Severity s) const {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  /// Findings seen with code `code`, including ones below the floor.
+  std::uint64_t countOf(const std::string& code) const;
+  const std::map<std::string, std::uint64_t>& countsByCode() const {
+    return countsByCode_;
+  }
+
+  /// True when the run should fail: any error, or — with `werror` — any
+  /// warning promoted to an error.
+  bool failed(bool werror = false) const {
+    return count(Severity::kError) > 0 ||
+           (werror && count(Severity::kWarning) > 0);
+  }
+
+ private:
+  Severity minSeverity_;
+  std::vector<Diagnostic> diagnostics_;
+  std::uint64_t counts_[3] = {0, 0, 0};
+  std::map<std::string, std::uint64_t> countsByCode_;
+};
+
+/// Renders one finding per line: "<severity> <code> [<location>: ]<message>".
+void renderText(std::span<const Diagnostic> diagnostics, std::ostream& out);
+
+/// Renders a JSON array of {"severity","code","location","message"} objects
+/// (strings escaped per RFC 8259), one object per line for greppability.
+void renderJson(std::span<const Diagnostic> diagnostics, std::ostream& out);
+
+/// JSON string escaping helper used by renderJson (exposed for tests).
+std::string jsonEscaped(const std::string& s);
+
+}  // namespace cp::diag

@@ -1,0 +1,133 @@
+#include "src/cnf/lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cp::cnf {
+namespace {
+
+using diag::Diagnostic;
+using diag::Severity;
+
+std::string clauseLoc(std::size_t index) {
+  return "clause " + std::to_string(index + 1);
+}
+
+/// "v1, v7, v12" for the first `limit` set variables, "+ N more" beyond.
+std::string variableList(const std::vector<sat::Var>& vars,
+                         std::size_t limit = 8) {
+  std::string s;
+  for (std::size_t i = 0; i < vars.size() && i < limit; ++i) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(vars[i] + 1);  // DIMACS numbering
+  }
+  if (vars.size() > limit) {
+    s += " and " + std::to_string(vars.size() - limit) + " more";
+  }
+  return s;
+}
+
+/// FNV-1a over the sorted literal indices: a set signature for duplicate
+/// detection (collisions resolved by comparing the sorted sets).
+std::uint64_t setHash(const std::vector<sat::Lit>& sorted) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sat::Lit l : sorted) {
+    h ^= l.index();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void lint(const Cnf& cnf, diag::DiagnosticSink& sink) {
+  // Polarity occurrence per variable: bit 0 = positive seen, bit 1 =
+  // negative seen (only for in-range variables).
+  std::vector<char> polarity(cnf.numVars, 0);
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seenClauses;
+  std::vector<std::vector<sat::Lit>> sortedSets(cnf.clauses.size());
+
+  for (std::size_t ci = 0; ci < cnf.clauses.size(); ++ci) {
+    const std::vector<sat::Lit>& clause = cnf.clauses[ci];
+
+    if (clause.empty()) {
+      sink.report({Severity::kInfo, "C107", clauseLoc(ci),
+                   "empty clause (formula is trivially unsatisfiable)"});
+    }
+
+    std::vector<sat::Lit> sorted(clause);
+    std::sort(sorted.begin(), sorted.end());
+
+    bool outOfRange = false;
+    bool tautology = false;
+    bool duplicateLit = false;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const sat::Lit l = sorted[i];
+      if (l.var() >= cnf.numVars) {
+        if (!outOfRange) {
+          sink.report({Severity::kError, "C101", clauseLoc(ci),
+                       "literal " + sat::toDimacs(l) +
+                           " references a variable beyond the declared " +
+                           std::to_string(cnf.numVars)});
+        }
+        outOfRange = true;
+      } else {
+        polarity[l.var()] |= l.negated() ? 2 : 1;
+      }
+      if (i > 0 && sorted[i - 1] == l && !duplicateLit) {
+        sink.report({Severity::kWarning, "C103", clauseLoc(ci),
+                     "duplicate literal " + sat::toDimacs(l)});
+        duplicateLit = true;
+      }
+      if (i > 0 && sorted[i - 1] == ~l && !tautology) {
+        sink.report({Severity::kWarning, "C102", clauseLoc(ci),
+                     "tautological clause: contains both " +
+                         sat::toDimacs(~l) + " and " + sat::toDimacs(l)});
+        tautology = true;
+      }
+    }
+
+    // Duplicate-clause detection compares deduplicated sorted sets, so
+    // (a b) and (b a a) are duplicates as sets.
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    const std::uint64_t h = setHash(sorted);
+    for (const std::size_t prior : seenClauses[h]) {
+      if (sortedSets[prior] == sorted) {
+        sink.report({Severity::kWarning, "C104", clauseLoc(ci),
+                     "duplicate of clause " + std::to_string(prior + 1)});
+        break;
+      }
+    }
+    seenClauses[h].push_back(ci);
+    sortedSets[ci] = std::move(sorted);
+  }
+
+  std::vector<sat::Var> unused;
+  std::vector<sat::Var> pure;
+  for (sat::Var v = 0; v < cnf.numVars; ++v) {
+    if (polarity[v] == 0) {
+      unused.push_back(v);
+    } else if (polarity[v] != 3) {
+      pure.push_back(v);
+    }
+  }
+  if (!unused.empty()) {
+    sink.report({Severity::kInfo, "C105", "",
+                 std::to_string(unused.size()) +
+                     " declared variable(s) never occur in a clause: " +
+                     variableList(unused)});
+  }
+  if (!pure.empty()) {
+    sink.report({Severity::kInfo, "C106", "",
+                 std::to_string(pure.size()) +
+                     " variable(s) occur with a single polarity (pure "
+                     "literals): " +
+                     variableList(pure)});
+  }
+}
+
+}  // namespace cp::cnf

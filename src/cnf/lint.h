@@ -1,0 +1,28 @@
+// Static diagnostics for CNF formulas (code range C1xx, DESIGN.md §7).
+//
+// The checks target the clause-quality properties the certification
+// pipeline silently assumes: no literal outside the declared variable
+// range, no tautological or duplicate clauses inflating the axiom set, no
+// variables that are declared but never constrained. None of the findings
+// affect satisfiability soundness — they flag malformed or wasteful inputs
+// before they reach a solver.
+//
+//   C101 error    literal references a variable >= numVars
+//   C102 warning  tautological clause (contains x and ~x)
+//   C103 warning  duplicate literal inside one clause
+//   C104 warning  duplicate clause (same literal set as an earlier clause)
+//   C105 info     declared-but-unused variables (aggregate)
+//   C106 info     pure literals: variables with a single polarity (aggregate)
+//   C107 info     empty clause present (formula trivially unsatisfiable)
+#pragma once
+
+#include "src/base/diagnostics.h"
+#include "src/cnf/cnf.h"
+
+namespace cp::cnf {
+
+/// Emits every C1xx finding of `cnf` into `sink`, in deterministic order:
+/// per-clause findings in clause order, then the variable aggregates.
+void lint(const Cnf& cnf, diag::DiagnosticSink& sink);
+
+}  // namespace cp::cnf

@@ -1,0 +1,416 @@
+#include "src/proof/lint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/options.h"
+#include "src/base/thread_pool.h"
+#include "src/proof/analysis.h"
+#include "src/proof/check_core.h"
+
+namespace cp::proof {
+namespace {
+
+using diag::Diagnostic;
+using diag::Severity;
+
+std::string clauseLoc(ClauseId id) { return "clause " + std::to_string(id); }
+
+/// FNV-1a over sorted distinct literal indices.
+std::uint64_t setHash(std::span<const sat::Lit> sorted) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sat::Lit l : sorted) {
+    h ^= l.index();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Read-only per-proof index built sequentially before the parallel phases.
+struct LintIndex {
+  // Sorted distinct literals per clause, pooled: clause id -> span
+  // [start[id], start[id+1]) in `pool`.
+  std::vector<sat::Lit> pool;
+  std::vector<std::size_t> start;
+  // Occurrence lists: literal index -> ascending clause ids containing it.
+  std::vector<std::vector<ClauseId>> occ;
+  // Duplicate buckets: set hash -> ascending clause ids with that hash.
+  std::unordered_map<std::uint64_t, std::vector<ClauseId>> buckets;
+  std::uint32_t maxLitIndex = 1;
+
+  std::span<const sat::Lit> sortedLits(ClauseId id) const {
+    return {pool.data() + start[id], start[id + 1] - start[id]};
+  }
+};
+
+LintIndex buildIndex(const ProofLog& log) {
+  LintIndex index;
+  const ClauseId n = log.numClauses();
+  index.start.assign(n + 2, 0);
+  index.pool.reserve(log.numLiterals());
+
+  std::vector<sat::Lit> sorted;
+  for (ClauseId id = 1; id <= n; ++id) {
+    const std::span<const sat::Lit> lits = log.lits(id);
+    sorted.assign(lits.begin(), lits.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    index.start[id] = index.pool.size();
+    index.pool.insert(index.pool.end(), sorted.begin(), sorted.end());
+    for (const sat::Lit l : sorted) {
+      index.maxLitIndex = std::max(index.maxLitIndex, l.index() | 1u);
+    }
+  }
+  index.start[n + 1] = index.pool.size();
+
+  index.occ.resize(index.maxLitIndex + 1);
+  for (ClauseId id = 1; id <= n; ++id) {
+    for (const sat::Lit l : index.sortedLits(id)) {
+      index.occ[l.index()].push_back(id);
+    }
+    index.buckets[setHash(index.sortedLits(id))].push_back(id);
+  }
+  return index;
+}
+
+/// Is `small` a subset of `big`? Both sorted distinct.
+bool subsetOf(std::span<const sat::Lit> small, std::span<const sat::Lit> big) {
+  std::size_t j = 0;
+  for (const sat::Lit l : small) {
+    while (j < big.size() && big[j] < l) ++j;
+    if (j == big.size() || !(big[j] == l)) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Per-clause findings from the parallel phases; merged by ascending id.
+struct ClauseFindings {
+  ClauseId duplicateOf = kNoClause;       // P103
+  bool tautological = false;              // P104
+  sat::Var repeatedPivot = sat::kNoVar;   // P105
+  std::string replayError;                // P108 (empty = replays fine)
+};
+
+/// Replays one chain tracking pivot variables. Fills `repeatedPivot` on the
+/// first pivot variable resolved more than once, `replayError` when the
+/// chain does not resolve at all (the checker's verdict is authoritative;
+/// lint only reports the defect).
+void analyzeChain(const ProofLog& log, ClauseId id, LitSet& resolvent,
+                  std::vector<sat::Var>& pivots, ClauseFindings& out) {
+  const std::span<const ClauseId> chain = log.chain(id);
+  resolvent.clear();
+  pivots.clear();
+  for (const sat::Lit l : log.lits(chain[0])) {
+    if (resolvent.contains(~l)) {
+      out.replayError = "chain starts from a tautological clause";
+      return;
+    }
+    resolvent.insert(l);
+  }
+  for (std::size_t step = 1; step < chain.size(); ++step) {
+    const std::span<const sat::Lit> antecedent = log.lits(chain[step]);
+    sat::Lit pivot = sat::kUndefLit;
+    for (const sat::Lit l : antecedent) {
+      if (resolvent.contains(~l)) {
+        if (pivot.valid()) {
+          out.replayError = "resolution step " + std::to_string(step) +
+                            " has more than one pivot";
+          return;
+        }
+        pivot = l;
+      }
+    }
+    if (!pivot.valid()) {
+      out.replayError =
+          "resolution step " + std::to_string(step) + " has no pivot";
+      return;
+    }
+    if (out.repeatedPivot == sat::kNoVar &&
+        std::find(pivots.begin(), pivots.end(), pivot.var()) != pivots.end()) {
+      out.repeatedPivot = pivot.var();
+    }
+    pivots.push_back(pivot.var());
+    resolvent.erase(~pivot);
+    for (const sat::Lit l : antecedent) {
+      if (l != pivot) resolvent.insert(l);
+    }
+  }
+}
+
+/// Analyzes one derived clause against the read-only index (everything but
+/// subsumption, which runs as its own phase).
+void analyzeClause(const ProofLog& log, const LintIndex& index, ClauseId id,
+                   LitSet& resolvent, std::vector<sat::Var>& pivots,
+                   ClauseFindings& out) {
+  const std::span<const sat::Lit> sorted = index.sortedLits(id);
+
+  // P104: x and ~x are adjacent in literal-index order.
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1] == ~sorted[i]) {
+      out.tautological = true;
+      break;
+    }
+  }
+
+  // P103: smallest earlier clause with the identical literal set.
+  const auto bucket = index.buckets.find(setHash(sorted));
+  for (const ClauseId prior : bucket->second) {
+    if (prior >= id) break;
+    const std::span<const sat::Lit> priorLits = index.sortedLits(prior);
+    if (priorLits.size() == sorted.size() &&
+        std::equal(priorLits.begin(), priorLits.end(), sorted.begin())) {
+      out.duplicateOf = prior;
+      break;
+    }
+  }
+
+  // P105 / P108 need the actual replay.
+  analyzeChain(log, id, resolvent, pivots, out);
+
+  // P108 also covers a chain that replays fine but to a different clause
+  // than the one recorded.
+  if (out.replayError.empty()) {
+    bool matches = resolvent.size() == sorted.size();
+    for (std::size_t i = 0; matches && i < sorted.size(); ++i) {
+      matches = resolvent.contains(sorted[i]);
+    }
+    if (!matches) {
+      out.replayError = "recorded clause differs from the chain's resolvent";
+    }
+  }
+}
+
+constexpr ClauseId kNoSubsumer = std::numeric_limits<ClauseId>::max();
+
+/// Relaxed atomic minimum; the final state is order-independent.
+void atomicMin(std::atomic<ClauseId>& slot, ClauseId value) {
+  ClauseId current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// Subsumption phase for one potential subsumer `id`: find every *later*
+/// derived clause with a strictly larger literal set containing this one,
+/// and record this id as a candidate smallest subsumer. Only forward
+/// subsumption is a defect: deriving a clause weaker than one the proof
+/// already had is wasted work, whereas a clause subsumed by a *later*
+/// clause is ordinary CDCL strengthening (the stronger clause is typically
+/// derived *from* the weaker one, which therefore is not removable).
+void markSubsumed(const ProofLog& log, const LintIndex& index, ClauseId id,
+                  std::vector<std::atomic<ClauseId>>& subsumer) {
+  const std::span<const sat::Lit> lits = index.sortedLits(id);
+  if (lits.empty()) return;  // the empty clause trivially "subsumes" all
+
+  // Scan the occurrence list of this clause's rarest literal: every clause
+  // containing all of `lits` must appear there.
+  const sat::Lit rarest = *std::min_element(
+      lits.begin(), lits.end(), [&index](sat::Lit a, sat::Lit b) {
+        return index.occ[a.index()].size() < index.occ[b.index()].size();
+      });
+  for (const ClauseId candidate : index.occ[rarest.index()]) {
+    if (candidate <= id || log.isAxiom(candidate)) continue;
+    const std::span<const sat::Lit> candidateLits =
+        index.sortedLits(candidate);
+    if (candidateLits.size() <= lits.size()) continue;
+    if (subsetOf(lits, candidateLits)) {
+      atomicMin(subsumer[candidate], id);
+    }
+  }
+}
+
+std::string percent(std::uint64_t part, std::uint64_t whole) {
+  const double p = whole == 0 ? 0.0 : 100.0 * part / whole;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", p);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ProofLintOptions::validate() const {
+  // numThreads admits every value (0 = hardware concurrency) and
+  // checkSubsumption is a plain toggle; nothing to reject. The method
+  // exists for uniformity with the engine option structs.
+  return std::string();
+}
+
+void lint(const ProofLog& log, diag::DiagnosticSink& sink,
+          const ProofLintOptions& options) {
+  throwIfInvalid(options.validate(), "proof::lint");
+  const ClauseId n = log.numClauses();
+
+  // ---- sequential prologue: read-only index + DAG structure ---------------
+  const LintIndex index = buildIndex(log);
+  const std::vector<std::vector<ClauseId>> levels = levelizeByChainDepth(log);
+  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+
+  std::vector<ClauseFindings> findings(n + 1);
+  std::vector<std::atomic<ClauseId>> subsumer(n + 1);
+  for (auto& s : subsumer) s.store(kNoSubsumer, std::memory_order_relaxed);
+
+  // ---- parallel phases ----------------------------------------------------
+  // Phase A walks the derived clauses level by level (the same batching as
+  // the parallel checker); phase B walks every clause as a potential
+  // subsumer. Both write only to per-clause slots (or the order-independent
+  // atomic minimum), so the merged findings cannot depend on thread count.
+  const auto runPhaseA = [&](LitSet& resolvent, std::vector<sat::Var>& pivots,
+                             const std::vector<ClauseId>& level,
+                             std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ClauseId id = level[i];
+      if (log.isAxiom(id)) continue;
+      analyzeClause(log, index, id, resolvent, pivots, findings[id]);
+    }
+  };
+  const auto runPhaseB = [&](ClauseId begin, ClauseId end) {
+    for (ClauseId id = begin; id < end; ++id) {
+      markSubsumed(log, index, id, subsumer);
+    }
+  };
+
+  if (workers <= 1) {
+    LitSet resolvent;
+    resolvent.ensure(index.maxLitIndex);
+    std::vector<sat::Var> pivots;
+    for (const std::vector<ClauseId>& level : levels) {
+      runPhaseA(resolvent, pivots, level, 0, level.size());
+    }
+    if (options.checkSubsumption) runPhaseB(1, n + 1);
+  } else {
+    ThreadPool pool(workers);
+    std::vector<LitSet> resolvents(workers);
+    std::vector<std::vector<sat::Var>> pivotScratch(workers);
+    std::vector<std::future<void>> futures;
+    for (const std::vector<ClauseId>& level : levels) {
+      if (level.empty()) continue;
+      const std::size_t slices = std::min<std::size_t>(workers, level.size());
+      const std::size_t per = (level.size() + slices - 1) / slices;
+      futures.clear();
+      for (std::size_t w = 0; w < slices; ++w) {
+        const std::size_t begin = w * per;
+        const std::size_t end = std::min(level.size(), begin + per);
+        if (begin >= end) break;
+        futures.push_back(pool.submit([&, w, begin, end] {
+          resolvents[w].ensure(index.maxLitIndex);
+          runPhaseA(resolvents[w], pivotScratch[w], level, begin, end);
+        }));
+      }
+      for (auto& future : futures) future.get();
+    }
+    if (options.checkSubsumption && n > 0) {
+      const ClauseId per =
+          static_cast<ClauseId>((n + workers - 1) / workers);
+      futures.clear();
+      for (std::size_t w = 0; w < workers; ++w) {
+        const ClauseId begin = static_cast<ClauseId>(1 + w * per);
+        const ClauseId end =
+            std::min<ClauseId>(n + 1, begin + per);
+        if (begin >= end) break;
+        futures.push_back(pool.submit([&, begin, end] {
+          runPhaseB(begin, end);
+        }));
+      }
+      for (auto& future : futures) future.get();
+    }
+  }
+
+  // ---- deterministic emission ---------------------------------------------
+  if (!log.hasRoot()) {
+    sink.report({Severity::kWarning, "P101", "",
+                 "proof declares no empty-clause root (not a refutation)"});
+  }
+
+  for (ClauseId id = 1; id <= n; ++id) {
+    if (log.isAxiom(id)) continue;
+    const ClauseFindings& f = findings[id];
+    if (f.duplicateOf != kNoClause) {
+      sink.report({Severity::kWarning, "P103", clauseLoc(id),
+                   "derived clause duplicates clause " +
+                       std::to_string(f.duplicateOf)});
+    }
+    if (f.tautological) {
+      sink.report({Severity::kWarning, "P104", clauseLoc(id),
+                   "tautological resolvent (contains a literal and its "
+                   "negation)"});
+    }
+    if (f.repeatedPivot != sat::kNoVar) {
+      sink.report({Severity::kWarning, "P105", clauseLoc(id),
+                   "non-regular chain: pivot variable " +
+                       std::to_string(f.repeatedPivot + 1) +
+                       " is resolved more than once"});
+    }
+    const ClauseId by = subsumer[id].load(std::memory_order_relaxed);
+    if (by != kNoSubsumer) {
+      sink.report({Severity::kInfo, "P106", clauseLoc(id),
+                   "subsumed by clause " + std::to_string(by) + " (" +
+                       std::to_string(index.sortedLits(by).size()) + " ⊆ " +
+                       std::to_string(index.sortedLits(id).size()) +
+                       " literals)"});
+    }
+    if (!f.replayError.empty()) {
+      sink.report({Severity::kError, "P108", clauseLoc(id),
+                   "chain fails to replay: " + f.replayError +
+                       " (checkProof's verdict is authoritative)"});
+    }
+  }
+
+  // ---- aggregates ---------------------------------------------------------
+  if (log.hasRoot()) {
+    const std::vector<char> needed = reachableFromRoot(log);
+    std::uint64_t deadDerived = 0;
+    for (ClauseId id = 1; id <= n; ++id) {
+      if (!log.isAxiom(id) && !needed[id]) ++deadDerived;
+    }
+    if (deadDerived > 0) {
+      sink.report({Severity::kWarning, "P102", "",
+                   "dead proof weight: " + std::to_string(deadDerived) +
+                       " of " + std::to_string(log.numDerived()) +
+                       " derived clauses (" +
+                       percent(deadDerived, log.numDerived()) +
+                       "%) are unreachable from the root"});
+    }
+  }
+
+  // P107: chain-length histogram in doubling buckets (1, 2, 3-4, 5-8, ...).
+  std::vector<std::uint64_t> histogram;
+  for (ClauseId id = 1; id <= n; ++id) {
+    if (log.isAxiom(id)) continue;
+    const std::uint32_t length = log.chainLength(id);
+    std::size_t bucket = 0;
+    std::uint32_t upper = 1;
+    while (upper < length) {
+      ++bucket;
+      upper *= 2;
+    }
+    if (histogram.size() <= bucket) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  if (!histogram.empty()) {
+    std::string text = "chain-length histogram:";
+    std::uint32_t lower = 1;
+    std::uint32_t upper = 1;
+    for (std::size_t b = 0; b < histogram.size(); ++b) {
+      if (histogram[b] > 0) {
+        text += " " + (lower == upper
+                           ? std::to_string(lower)
+                           : std::to_string(lower) + "-" +
+                                 std::to_string(upper)) +
+                ":" + std::to_string(histogram[b]);
+      }
+      lower = upper + 1;
+      upper *= 2;
+    }
+    sink.report({Severity::kInfo, "P107", "", text});
+  }
+}
+
+}  // namespace cp::proof

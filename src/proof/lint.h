@@ -1,0 +1,63 @@
+// Static diagnostics for resolution proofs (code range P1xx, DESIGN.md §7).
+//
+// checkProof answers only "valid / invalid"; this analyzer answers "how
+// healthy is the proof". It measures the dead weight the paper's trimming
+// discussion targets (chains the root never uses), and flags the redundancy
+// patterns a proof-producing engine tends to leave behind: duplicate
+// derived clauses, tautological resolvents, non-regular chains (a pivot
+// variable resolved away and reintroduced in one chain) and derived clauses
+// subsumed by other clauses of the proof. None of this affects soundness —
+// a lint-dirty proof can still be perfectly valid (see DESIGN.md §7) — but
+// each warning is a clause the trimmer or the compressor could remove.
+//
+//   P101 warning  no empty-clause root declared
+//   P102 warning  dead proof weight: derived clauses unreachable from the
+//                 root (aggregate, with percentage)
+//   P103 warning  duplicate derived clause (same literal set as an earlier
+//                 clause)
+//   P104 warning  tautological resolvent (derived clause with x and ~x)
+//   P105 warning  non-regular resolution (pivot variable used twice in one
+//                 chain)
+//   P106 info     derived clause subsumed by an *earlier* clause — a
+//                 compression opportunity, not removable redundancy: in a
+//                 composed proof the two chains typically come from
+//                 independent sub-proofs (SAT calls) that never saw each
+//                 other, and both clauses stay needed. Subsumption by a
+//                 later clause is ordinary strengthening, never reported.
+//   P107 info     chain-length histogram (aggregate)
+//   P108 error    chain fails to replay (the checker's verdict governs)
+//
+// Parallelism: the per-clause analyses fan out over cp::ThreadPool in
+// resolution-DAG levels (proof::levelizeByChainDepth), each clause writing
+// its findings into its own result slot; the emission order is by clause
+// id, so the finding list is bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/diagnostics.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::proof {
+
+struct ProofLintOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = sequential. Findings
+  /// are bit-identical at every count.
+  std::uint32_t numThreads = 1;
+  /// Subsumption (P106) is the only super-linear pass; large proofs can
+  /// switch it off.
+  bool checkSubsumption = true;
+
+  /// Empty when usable (every value currently is; kept for uniformity with
+  /// the engine option structs, see base/options.h).
+  std::string validate() const;
+};
+
+/// Emits every P1xx finding of `log` into `sink`: per-clause findings in
+/// ascending clause id (fixed code order within a clause), then the
+/// aggregates (P102 dead weight, P107 histogram).
+void lint(const ProofLog& log, diag::DiagnosticSink& sink,
+          const ProofLintOptions& options = {});
+
+}  // namespace cp::proof

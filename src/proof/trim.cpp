@@ -1,10 +1,26 @@
 #include "src/proof/trim.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "src/proof/analysis.h"
 
 namespace cp::proof {
+namespace {
+
+/// FNV-1a over sorted distinct literal indices (the same set signature the
+/// lint analyzer uses for its P103 duplicate detection).
+std::uint64_t setHash(const std::vector<sat::Lit>& sorted) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sat::Lit l : sorted) {
+    h ^= l.index();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 TrimmedProof trimProof(const ProofLog& log) {
   if (!log.hasRoot()) {
@@ -34,6 +50,49 @@ TrimmedProof trimProof(const ProofLog& log) {
   out.stats.clausesAfter = out.log.numClauses();
   out.stats.resolutionsBefore = log.numResolutions();
   out.stats.resolutionsAfter = out.log.numResolutions();
+  return out;
+}
+
+MergedProof mergeDuplicateClauses(const ProofLog& log) {
+  const ClauseId n = log.numClauses();
+
+  // canonical[id]: earliest clause with the same literal set (as a set).
+  std::vector<ClauseId> canonical(n + 1, kNoClause);
+  std::unordered_map<std::uint64_t, std::vector<ClauseId>> buckets;
+  std::vector<std::vector<sat::Lit>> sortedSets(n + 1);
+  std::vector<sat::Lit> sorted;
+
+  MergedProof out;
+  for (ClauseId id = 1; id <= n; ++id) {
+    const std::span<const sat::Lit> lits = log.lits(id);
+    sorted.assign(lits.begin(), lits.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    canonical[id] = id;
+    std::vector<ClauseId>& bucket = buckets[setHash(sorted)];
+    for (const ClauseId prior : bucket) {
+      if (sortedSets[prior] == sorted) {
+        canonical[id] = prior;
+        ++out.duplicates;
+        break;
+      }
+    }
+    if (canonical[id] == id) {
+      bucket.push_back(id);
+      sortedSets[id] = std::move(sorted);
+    }
+
+    // Rebuild with identical ids; only chain references are redirected.
+    if (log.isAxiom(id)) {
+      (void)out.log.addAxiom(lits);
+    } else {
+      std::vector<ClauseId> chain(log.chain(id).begin(), log.chain(id).end());
+      for (ClauseId& parent : chain) parent = canonical[parent];
+      (void)out.log.addDerived(lits, chain);
+    }
+  }
+  if (log.hasRoot()) out.log.setRoot(canonical[log.root()]);
   return out;
 }
 

@@ -40,4 +40,18 @@ struct TrimmedProof {
 /// Copies the sub-proof rooted at log.root(). Throws if the log has no root.
 TrimmedProof trimProof(const ProofLog& log);
 
+struct MergedProof {
+  ProofLog log;
+  std::uint64_t duplicates = 0;  ///< clauses whose references were rewired
+};
+
+/// Rewires every chain reference to a clause whose literal set duplicates
+/// an earlier clause (proof::lint code P103) onto the earliest copy. Sound
+/// because replay depends only on antecedent literal *sets*, which are
+/// identical, and the earliest copy always precedes the referencing chain.
+/// The duplicates themselves are kept — ids are unchanged — but become
+/// unreachable, so composing with trimProof drops them:
+///     trimProof(mergeDuplicateClauses(log).log)
+MergedProof mergeDuplicateClauses(const ProofLog& log);
+
 }  // namespace cp::proof

@@ -1,0 +1,23 @@
+#include "src/proofio/lint.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/proofio/reader.h"
+
+namespace cp::proofio {
+
+void lintProof(std::istream& in, diag::DiagnosticSink& sink,
+               const proof::ProofLintOptions& options) {
+  const proof::ProofLog log = readProof(in);
+  proof::lint(log, sink, options);
+}
+
+void lintProofFile(const std::string& path, diag::DiagnosticSink& sink,
+                   const proof::ProofLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cpf: cannot open " + path);
+  lintProof(in, sink, options);
+}
+
+}  // namespace cp::proofio

@@ -1,0 +1,28 @@
+// Lint entry points for CPF proof containers.
+//
+// proof::lint needs random access to clauses, antecedent chains and the
+// reverse reachability of the root, so the container is materialized
+// through proofio::readProof (every chunk CRC-verified) and handed to the
+// in-memory analyzer. Because materialization is clause-for-clause
+// identical to the log the container was written from, the findings are
+// bit-identical between the in-memory and the CPF route — the property the
+// proof_lint tests assert.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/base/diagnostics.h"
+#include "src/proof/lint.h"
+
+namespace cp::proofio {
+
+/// Reads a CPF container and lints the materialized proof. Container-level
+/// defects (bad magic, truncation, CRC mismatch) throw std::runtime_error
+/// exactly like readProof; lint findings go to `sink`.
+void lintProof(std::istream& in, diag::DiagnosticSink& sink,
+               const proof::ProofLintOptions& options = {});
+void lintProofFile(const std::string& path, diag::DiagnosticSink& sink,
+                   const proof::ProofLintOptions& options = {});
+
+}  // namespace cp::proofio

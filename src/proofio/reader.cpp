@@ -18,14 +18,26 @@ namespace {
   throw std::runtime_error("cpf: " + what);
 }
 
-/// Reads exactly `n` bytes or reports truncation.
-std::string readBytes(std::istream& in, std::uint64_t n, const char* what) {
+/// Reads exactly `n` bytes or reports truncation. `what` names the section
+/// being read; it should carry enough context (chunk index, byte offset) to
+/// locate the failure — see chunkContext below.
+std::string readBytes(std::istream& in, std::uint64_t n,
+                      const std::string& what) {
   std::string bytes(static_cast<std::size_t>(n), '\0');
   in.read(bytes.data(), static_cast<std::streamsize>(n));
   if (static_cast<std::uint64_t>(in.gcount()) != n) {
-    corrupt(std::string("truncated ") + what);
+    corrupt("truncated " + what + ": wanted " + std::to_string(n) +
+            " bytes, got " + std::to_string(in.gcount()));
   }
   return bytes;
+}
+
+/// Uniform location suffix for chunk-level defects: every error raised
+/// while reading chunk `index` names the chunk and its byte offset in the
+/// container, so a truncated or corrupted file is diagnosable byte-for-byte.
+std::string chunkContext(std::size_t index, std::uint64_t offset) {
+  return "chunk " + std::to_string(index) + " at byte offset " +
+         std::to_string(offset);
 }
 
 void seekTo(std::istream& in, std::uint64_t offset) {
@@ -71,9 +83,13 @@ Footer parseFooter(std::istream& in) {
   }
 
   // Trailing 12 bytes: footer CRC, footer payload length, end magic.
-  if (fileSize < kHeaderBytes + 13) corrupt("truncated container");
+  if (fileSize < kHeaderBytes + 13) {
+    corrupt("truncated container: " + std::to_string(fileSize) +
+            " bytes is too small to hold a footer");
+  }
   seekTo(in, fileSize - 12);
-  const std::string tail = readBytes(in, 12, "footer tail");
+  const std::string tail = readBytes(
+      in, 12, "footer tail at byte offset " + std::to_string(fileSize - 12));
   if (std::memcmp(tail.data() + 8, kEndMagic, sizeof(kEndMagic)) != 0) {
     corrupt("bad trailing magic (truncated or not a CPF container)");
   }
@@ -83,11 +99,14 @@ Footer parseFooter(std::istream& in) {
   if (fileSize < kHeaderBytes + 1 + footerBytes + 12) {
     corrupt("footer length exceeds container");
   }
-  seekTo(in, fileSize - 12 - footerBytes - 1);
+  const std::uint64_t footerOffset = fileSize - 12 - footerBytes - 1;
+  seekTo(in, footerOffset);
   if (readBytes(in, 1, "footer tag")[0] != kFooterTag) {
-    corrupt("bad footer tag");
+    corrupt("bad footer tag at byte offset " + std::to_string(footerOffset));
   }
-  const std::string payload = readBytes(in, footerBytes, "footer");
+  const std::string payload = readBytes(
+      in, footerBytes,
+      "footer at byte offset " + std::to_string(footerOffset + 1));
   if (crc32(payload) != footerCrc) corrupt("footer CRC mismatch");
 
   Footer footer;
@@ -168,12 +187,15 @@ void forEachClause(std::istream& in, const Footer& footer, Fn&& fn) {
   std::vector<sat::Lit> lits;
   std::vector<proof::ClauseId> chain;
   proof::ClauseId nextId = 1;
-  for (const ChunkEntry& entry : footer.index) {
+  for (std::size_t chunkIndex = 0; chunkIndex < footer.index.size();
+       ++chunkIndex) {
+    const ChunkEntry& entry = footer.index[chunkIndex];
+    const std::string context = chunkContext(chunkIndex, entry.offset);
     seekTo(in, entry.offset);
-    const std::string frame = readBytes(in, 17, "chunk frame");
+    const std::string frame = readBytes(in, 17, "chunk frame (" + context + ")");
     ByteReader f(frame);
     if (f.u8() != static_cast<std::uint8_t>(kChunkTag)) {
-      corrupt("bad chunk tag");
+      corrupt("bad chunk tag (" + context + ")");
     }
     const std::uint32_t firstClause = f.u32();
     const std::uint32_t clauseCount = f.u32();
@@ -181,19 +203,23 @@ void forEachClause(std::istream& in, const Footer& footer, Fn&& fn) {
     const std::uint32_t crc = f.u32();
     if (firstClause != entry.firstClause ||
         clauseCount != entry.clauseCount) {
-      corrupt("chunk frame disagrees with footer index");
+      corrupt("chunk frame disagrees with footer index (" + context + ")");
     }
-    const std::string payload = readBytes(in, payloadBytes, "chunk payload");
+    const std::string payload =
+        readBytes(in, payloadBytes, "chunk payload (" + context + ")");
     if (crc32(payload) != crc) {
       corrupt("chunk CRC mismatch (clauses " + std::to_string(firstClause) +
-              "..)");
+              ".." + std::to_string(firstClause + clauseCount - 1) + ", " +
+              context + ")");
     }
     ByteReader r(payload);
     for (std::uint32_t i = 0; i < clauseCount; ++i, ++nextId) {
       decodeRecord(r, nextId, lits, chain);
       if (!fn(nextId, lits, chain)) return;
     }
-    if (!r.atEnd()) corrupt("chunk payload has trailing bytes");
+    if (!r.atEnd()) {
+      corrupt("chunk payload has trailing bytes (" + context + ")");
+    }
   }
 }
 
@@ -201,11 +227,14 @@ void forEachClause(std::istream& in, const Footer& footer, Fn&& fn) {
 /// the clause is never referenced by a later chain.
 std::vector<proof::ClauseId> readLastUse(std::istream& in,
                                          const Footer& footer) {
+  const std::string context =
+      "at byte offset " + std::to_string(footer.lastUseOffset);
   seekTo(in, footer.lastUseOffset);
-  const std::string frame = readBytes(in, 13, "last-use frame");
+  const std::string frame =
+      readBytes(in, 13, "last-use frame (" + context + ")");
   ByteReader f(frame);
   if (f.u8() != static_cast<std::uint8_t>(kLastUseTag)) {
-    corrupt("bad last-use tag");
+    corrupt("bad last-use tag (" + context + ")");
   }
   const std::uint32_t count = f.u32();
   const std::uint32_t payloadBytes = f.u32();
@@ -213,8 +242,9 @@ std::vector<proof::ClauseId> readLastUse(std::istream& in,
   if (count != footer.info.clauses) {
     corrupt("last-use count disagrees with footer");
   }
-  const std::string payload = readBytes(in, payloadBytes, "last-use payload");
-  if (crc32(payload) != crc) corrupt("last-use CRC mismatch");
+  const std::string payload =
+      readBytes(in, payloadBytes, "last-use payload (" + context + ")");
+  if (crc32(payload) != crc) corrupt("last-use CRC mismatch (" + context + ")");
 
   std::vector<proof::ClauseId> lastUse(count + 1, proof::kNoClause);
   ByteReader r(payload);

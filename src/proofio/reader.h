@@ -17,8 +17,12 @@
 //
 // Container-level defects (bad magic, truncation, CRC mismatch, malformed
 // varints, inconsistent counts) throw std::runtime_error with a "cpf:"
-// message; proof-level defects (a chain that does not resolve) are reported
-// through the returned CheckResult, exactly like the in-memory checker.
+// message; defects inside the chunk stream additionally name the failing
+// chunk index and its byte offset in the container ("chunk 3 at byte
+// offset 1742"), so a truncated or mid-chunk-corrupted file is diagnosable
+// without a hex dump. Proof-level defects (a chain that does not resolve)
+// are reported through the returned CheckResult, exactly like the
+// in-memory checker.
 #pragma once
 
 #include <cstdint>

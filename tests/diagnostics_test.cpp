@@ -1,0 +1,118 @@
+// Tests of the diagnostics engine itself (src/base/diagnostics.h): the
+// collector's severity floor and counters, the exit-gating predicate with
+// and without --werror semantics, and both renderers (text lines and
+// RFC 8259-escaped JSON).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/base/diagnostics.h"
+
+namespace cp::diag {
+namespace {
+
+Diagnostic make(Severity s, const std::string& code,
+                const std::string& location, const std::string& message) {
+  return Diagnostic{s, code, location, message};
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_STREQ(severityName(Severity::kInfo), "info");
+  EXPECT_STREQ(severityName(Severity::kWarning), "warning");
+  EXPECT_STREQ(severityName(Severity::kError), "error");
+}
+
+TEST(Diagnostics, CollectorKeepsOrderAndCounts) {
+  DiagnosticCollector sink;
+  sink.report(make(Severity::kWarning, "P103", "clause 4", "dup"));
+  sink.report(make(Severity::kInfo, "P107", "", "histogram"));
+  sink.report(make(Severity::kError, "P108", "clause 9", "replay"));
+  sink.report(make(Severity::kWarning, "P103", "clause 5", "dup"));
+
+  ASSERT_EQ(sink.diagnostics().size(), 4u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "P103");
+  EXPECT_EQ(sink.diagnostics()[2].location, "clause 9");
+  EXPECT_EQ(sink.count(Severity::kInfo), 1u);
+  EXPECT_EQ(sink.count(Severity::kWarning), 2u);
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+  EXPECT_EQ(sink.countOf("P103"), 2u);
+  EXPECT_EQ(sink.countOf("P107"), 1u);
+  EXPECT_EQ(sink.countOf("Z999"), 0u);
+  EXPECT_EQ(sink.countsByCode().size(), 3u);
+}
+
+TEST(Diagnostics, SeverityFloorGatesBufferNotCounters) {
+  DiagnosticCollector sink(Severity::kWarning);
+  sink.report(make(Severity::kInfo, "C105", "", "unused"));
+  sink.report(make(Severity::kWarning, "C102", "clause 1", "tautology"));
+
+  // The info finding is suppressed from the buffer but still counted.
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "C102");
+  EXPECT_EQ(sink.count(Severity::kInfo), 1u);
+  EXPECT_EQ(sink.countOf("C105"), 1u);
+}
+
+TEST(Diagnostics, FailedPredicate) {
+  DiagnosticCollector clean;
+  clean.report(make(Severity::kInfo, "P107", "", "histogram"));
+  EXPECT_FALSE(clean.failed(false));
+  EXPECT_FALSE(clean.failed(true));  // infos never fail, even with --werror
+
+  DiagnosticCollector warned;
+  warned.report(make(Severity::kWarning, "P103", "clause 4", "dup"));
+  EXPECT_FALSE(warned.failed(false));
+  EXPECT_TRUE(warned.failed(true));
+
+  DiagnosticCollector errored;
+  errored.report(make(Severity::kError, "A101", "and 4", "cycle"));
+  EXPECT_TRUE(errored.failed(false));
+  EXPECT_TRUE(errored.failed(true));
+}
+
+TEST(Diagnostics, RenderText) {
+  DiagnosticCollector sink;
+  sink.report(make(Severity::kError, "A103", "and 6", "undefined fanin"));
+  sink.report(make(Severity::kInfo, "C105", "", "3 unused variables"));
+  std::ostringstream out;
+  renderText(sink.diagnostics(), out);
+  EXPECT_EQ(out.str(),
+            "error A103 and 6: undefined fanin\n"
+            "info C105 3 unused variables\n");
+}
+
+TEST(Diagnostics, RenderJsonIsOneObjectPerLine) {
+  DiagnosticCollector sink;
+  sink.report(make(Severity::kWarning, "P106", "clause 7", "subsumed"));
+  sink.report(make(Severity::kInfo, "P107", "", "histogram: 1:2"));
+  std::ostringstream out;
+  renderJson(sink.diagnostics(), out);
+  EXPECT_EQ(out.str(),
+            "[\n"
+            "{\"severity\":\"warning\",\"code\":\"P106\","
+            "\"location\":\"clause 7\",\"message\":\"subsumed\"},\n"
+            "{\"severity\":\"info\",\"code\":\"P107\","
+            "\"location\":\"\",\"message\":\"histogram: 1:2\"}\n"
+            "]\n");
+}
+
+TEST(Diagnostics, JsonEscaping) {
+  EXPECT_EQ(jsonEscaped("plain"), "plain");
+  EXPECT_EQ(jsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscaped("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscaped(std::string("a\x01z", 3)), "a\\u0001z");
+  // Non-ASCII bytes (e.g. the UTF-8 "⊆" in P106 messages) pass through.
+  EXPECT_EQ(jsonEscaped("1 ⊆ 2"), "1 ⊆ 2");
+}
+
+TEST(Diagnostics, EmptyRenderings) {
+  std::ostringstream text, json;
+  renderText({}, text);
+  renderJson({}, json);
+  EXPECT_EQ(text.str(), "");
+  EXPECT_EQ(json.str(), "[]\n");
+}
+
+}  // namespace
+}  // namespace cp::diag

@@ -312,6 +312,76 @@ TEST(ProofIoCorruption, FlippedChunkCrcDetected) {
   }
 }
 
+std::uint32_t leU32(const std::string& bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[pos + i]);
+  }
+  return v;
+}
+
+TEST(ProofIoCorruption, ChunkCrcErrorNamesChunkAndByteOffset) {
+  // Regression: a mid-chunk corruption must name the failing chunk index
+  // and its byte offset in the container, not just "CRC mismatch".
+  Rng rng(21);
+  WriterOptions options;
+  options.chunkBytes = 128;  // tiny chunks -> multi-chunk container
+  const std::string bytes = toCpf(randomLog(rng, true), options);
+  std::istringstream probe(bytes, std::ios::binary);
+  ASSERT_GE(probeProof(probe).chunks, 2u);
+
+  // Chunk 0 sits right after the 12-byte header. Its 17-byte frame is
+  // (tag:1, firstClause:4, clauseCount:4, payloadBytes:4, crc:4), so the
+  // payload length at frame offset 9 locates chunk 1.
+  const std::size_t chunk0 = 12;
+  const std::size_t chunk1 = chunk0 + 17 + leU32(bytes, chunk0 + 9);
+
+  const std::pair<std::size_t, std::string> cases[] = {
+      {chunk0 + 17, "chunk 0 at byte offset 12"},
+      {chunk1 + 17, "chunk 1 at byte offset " + std::to_string(chunk1)},
+  };
+  for (const auto& [flipAt, context] : cases) {
+    std::string mutated = bytes;
+    mutated[flipAt] = static_cast<char>(mutated[flipAt] ^ 0x20);
+    try {
+      (void)fromCpf(mutated);
+      FAIL() << "corruption at byte " << flipAt << " accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(context), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ProofIoCorruption, TruncationErrorsCarryByteContext) {
+  const std::string bytes = toCpf(add16Proof(true));
+
+  // A prefix too small to even hold a footer names its byte count.
+  try {
+    (void)fromCpf(bytes.substr(0, 20));
+    FAIL() << "20-byte prefix accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("20 bytes"), std::string::npos)
+        << e.what();
+  }
+
+  // A mid-chunk truncation and a clipped trailing magic both surface as
+  // truncation (the footer scan fails before any chunk is touched), for
+  // probeProof exactly like for readProof.
+  for (const std::size_t keep : {bytes.size() / 2, bytes.size() - 3}) {
+    std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+    try {
+      (void)probeProof(in);
+      FAIL() << "prefix of " << keep << " bytes accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(ProofIoCorruption, EmptyAndGarbageStreams) {
   EXPECT_THROW((void)fromCpf(std::string()), std::runtime_error);
   EXPECT_THROW((void)fromCpf(std::string(200, 'z')), std::runtime_error);
