@@ -10,9 +10,22 @@
 //     spend conflicts on pairs that rarely pay off.
 //   * ProofPipeline -- raw vs. trimmed vs. trimmed+compressed proof sizes,
 //     quantifying each post-processing stage.
+//   * SolverHeuristics -- the modern search heuristics (EMA restarts,
+//     tiered clause-DB reduction, target-phase saving), each toggled
+//     individually against the seed configuration. This ablation gates the
+//     SolverOptions defaults: only techniques with a measured win here ship
+//     enabled. Besides the timing benchmarks, main() runs the matrix once
+//     deterministically, asserts exact restart accounting, and writes the
+//     per-config search/proof metrics to BENCH_abl.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include "bench/workloads.h"
+#include "src/cec/certify.h"
+#include "src/cec/monolithic_cec.h"
 #include "src/cec/sweeping_cec.h"
 #include "src/proof/compress.h"
 #include "src/proof/trim.h"
@@ -102,6 +115,161 @@ void BM_ProofPipeline(benchmark::State& state) {
   state.counters["fusedSteps"] = static_cast<double>(fused);
 }
 
+// ---- solver-heuristic ablation --------------------------------------------
+
+struct HeuristicConfig {
+  const char* name;
+  sat::SolverOptions solver;
+};
+
+sat::SolverOptions seedSolverOptions() {
+  sat::SolverOptions o;
+  o.restartPolicy = sat::RestartPolicy::kLuby;
+  o.tieredReduce = false;
+  o.targetPhase = false;
+  return o;
+}
+
+/// Seed configuration plus each technique enabled alone, plus the full
+/// modern configuration: the minimal set that attributes any win or loss
+/// to one technique.
+std::vector<HeuristicConfig> heuristicConfigs() {
+  std::vector<HeuristicConfig> configs;
+  configs.push_back({"seed", seedSolverOptions()});
+  {
+    auto o = seedSolverOptions();
+    o.restartPolicy = sat::RestartPolicy::kEma;
+    configs.push_back({"ema_restarts", o});
+  }
+  {
+    auto o = seedSolverOptions();
+    o.tieredReduce = true;
+    configs.push_back({"tiered_db", o});
+  }
+  {
+    auto o = seedSolverOptions();
+    o.targetPhase = true;
+    configs.push_back({"target_phase", o});
+  }
+  configs.push_back({"modern_defaults", sat::SolverOptions()});
+  return configs;
+}
+
+// Monolithic runs expose the raw search heuristics (one big SAT call);
+// mul5 and alu8 need real search, cla24_restructured has sweeping-friendly
+// structure the monolithic call must rediscover.
+constexpr std::size_t kAblWorkloads[] = {3, 7, 9};
+
+void BM_SolverHeuristics(benchmark::State& state) {
+  const auto configs = heuristicConfigs();
+  const auto& cfg = configs[static_cast<std::size_t>(state.range(0))];
+  const std::size_t workload = static_cast<std::size_t>(state.range(1));
+  const aig::Aig& miter = miterFor(workload);
+  cec::MonolithicOptions options;
+  options.solver = cfg.solver;
+  state.SetLabel(std::string(cfg.name) + "/" + suite()[workload].name);
+  std::uint64_t conflicts = 0, propagations = 0, restarts = 0;
+  for (auto _ : state) {
+    const cec::CecResult r = cec::monolithicCheck(miter, options);
+    if (r.verdict != cec::Verdict::kEquivalent) {
+      state.SkipWithError("expected equivalent");
+      return;
+    }
+    conflicts = r.stats.conflicts;
+    propagations = r.stats.propagations;
+    restarts = r.stats.restarts;
+    benchmark::DoNotOptimize(conflicts);
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.counters["propagations"] = static_cast<double>(propagations);
+  state.counters["restarts"] = static_cast<double>(restarts);
+}
+
+void ablRequire(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "ablation invariant failed: %s\n", what);
+    std::exit(1);
+  }
+}
+
+/// One deterministic pass over the config x workload matrix through the
+/// full certification pipeline; asserts restart accounting and writes
+/// machine-readable per-config metrics.
+void runHeuristicAblation(const char* jsonPath) {
+  std::ofstream out(jsonPath);
+  ablRequire(out.good(), "BENCH_abl.json opened for writing");
+  out << "{\n  \"benchmark\": \"abl_design_choices\",\n  \"runs\": [\n";
+  bool first = true;
+  for (const auto& cfg : heuristicConfigs()) {
+    for (const std::size_t workload : kAblWorkloads) {
+      cec::MonolithicOptions options;
+      options.solver = cfg.solver;
+      cec::EngineConfig engine;
+      engine.engine = options;
+      const cec::CertifyReport report = cec::checkMiter(miterFor(workload), engine);
+      ablRequire(report.cec.verdict == cec::Verdict::kEquivalent,
+                 "every ablation workload is an equivalent miter");
+      ablRequire(report.proofChecked,
+                 "every configuration's proof passes the checker");
+      ablRequire(report.cec.stats.restarts <= report.cec.stats.conflicts,
+                 "a restart is only counted after a conflict");
+
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"config\": \"" << cfg.name << "\", \"workload\": \""
+          << suite()[workload].name << "\""
+          << ", \"conflicts\": " << report.cec.stats.conflicts
+          << ", \"propagations\": " << report.cec.stats.propagations
+          << ", \"restarts\": " << report.cec.stats.restarts
+          << ", \"proofClausesRaw\": " << report.trim.clausesBefore
+          << ", \"proofClausesTrimmed\": " << report.trim.clausesAfter
+          << ", \"proofResolutionsTrimmed\": " << report.trim.resolutionsAfter
+          << ", \"checkSeconds\": " << report.checkSeconds
+          << ", \"solveSeconds\": " << report.cec.stats.totalSeconds << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  ablRequire(out.good(), "BENCH_abl.json written");
+  std::printf("wrote %s\n", jsonPath);
+}
+
+/// Exact restart accounting (stats_.restarts used to undercount: it was
+/// bumped only when a whole search() call returned kUndef).
+void runRestartAccountingChecks() {
+  const aig::Aig& miter = miterFor(3);  // mul5_array_wallace
+  {
+    // Determinism: the same configuration twice yields identical counters.
+    cec::MonolithicOptions options;
+    const cec::CecResult a = cec::monolithicCheck(miter, options);
+    const cec::CecResult b = cec::monolithicCheck(miter, options);
+    ablRequire(a.stats.conflicts == b.stats.conflicts &&
+                   a.stats.propagations == b.stats.propagations &&
+                   a.stats.restarts == b.stats.restarts,
+               "identical configs produce identical search statistics");
+  }
+  {
+    // A budget too large to exhaust: exactly zero restarts.
+    cec::MonolithicOptions options;
+    options.solver.restartPolicy = sat::RestartPolicy::kLuby;
+    options.solver.restartFirst = 1 << 30;
+    const cec::CecResult r = cec::monolithicCheck(miter, options);
+    ablRequire(r.stats.restarts == 0, "huge restartFirst => zero restarts");
+  }
+  {
+    // Restart after every conflict: restarts must be counted and bounded
+    // by conflicts.
+    cec::MonolithicOptions options;
+    options.solver.restartPolicy = sat::RestartPolicy::kLuby;
+    options.solver.restartFirst = 1;
+    options.solver.restartInc = 1.0;
+    const cec::CecResult r = cec::monolithicCheck(miter, options);
+    ablRequire(r.stats.restarts > 0, "restartFirst=1 => restarts observed");
+    ablRequire(r.stats.restarts <= r.stats.conflicts,
+               "restarts never exceed conflicts");
+  }
+  std::printf("restart accounting checks passed\n");
+}
+
 }  // namespace
 }  // namespace cp::bench
 
@@ -114,5 +282,19 @@ BENCHMARK(cp::bench::BM_PairBudget)
 BENCHMARK(cp::bench::BM_ProofPipeline)
     ->DenseRange(0, static_cast<int>(cp::bench::suite().size()) - 1)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_SolverHeuristics)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {3, 7, 9}})
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main: the deterministic ablation pass (accounting assertions +
+// BENCH_abl.json) always runs, then the timing benchmarks honor the usual
+// --benchmark_* flags.
+int main(int argc, char** argv) {
+  cp::bench::runRestartAccountingChecks();
+  cp::bench::runHeuristicAblation("BENCH_abl.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

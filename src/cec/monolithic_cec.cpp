@@ -9,7 +9,7 @@
 
 namespace cp::cec {
 
-std::string MonolithicOptions::validate() const { return std::string(); }
+std::string MonolithicOptions::validate() const { return solver.validate(); }
 
 CecResult monolithicCheck(const aig::Aig& miter,
                           const MonolithicOptions& options,
@@ -20,7 +20,7 @@ CecResult monolithicCheck(const aig::Aig& miter,
     throw std::invalid_argument("monolithicCheck expects a one-output miter");
   }
 
-  sat::Solver solver(log);
+  sat::Solver solver(log, options.solver);
   const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
   for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
   bool consistent = true;
@@ -52,6 +52,8 @@ CecResult monolithicCheck(const aig::Aig& miter,
     result.verdict = Verdict::kUndecided;
   }
   result.stats.conflicts = solver.stats().conflicts;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.restarts = solver.stats().restarts;
   result.stats.totalSeconds = total.seconds();
   return result;
 }

@@ -13,18 +13,26 @@
 #include "src/aig/aig.h"
 #include "src/cec/result.h"
 #include "src/proof/proof_log.h"
+#include "src/sat/solver.h"
 
 namespace cp::cec {
 
 struct MonolithicOptions {
   /// Conflict budget; any negative value = unlimited (the solver
-  /// normalizes it), 0 = give up immediately with kUndecided. Both
+  /// normalizes it), 0 = permit no conflicts (still decides instances
+  /// solvable by propagation and decisions alone, else kUndecided). Both
   /// degenerate spellings are well-defined.
   std::int64_t conflictBudget = -1;
 
-  /// Always empty: every conflictBudget spelling is well-defined. Kept so
-  /// all engine option structs share the validate() contract
-  /// (see base/options.h) and entry points can check uniformly.
+  /// Configuration of the single SAT call deciding the miter (restart
+  /// policy, clause-database tiers, phase heuristics; see
+  /// sat::SolverOptions). Any combination yields the same verdicts and
+  /// checkable proofs; the knobs only trade search effort.
+  sat::SolverOptions solver;
+
+  /// Forwards the solver configuration's validation; every conflictBudget
+  /// spelling is itself well-defined. Shares the validate() contract of
+  /// all engine option structs (see base/options.h).
   std::string validate() const;
 };
 

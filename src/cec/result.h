@@ -29,6 +29,8 @@ struct CecStats {
   std::uint64_t satSat = 0;
   std::uint64_t satUndecided = 0;
   std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;  ///< solver propagations across all calls
+  std::uint64_t restarts = 0;      ///< solver restarts across all calls
 
   // Sweeping-specific.
   std::uint64_t candidateNodes = 0;   ///< nodes in initial classes

@@ -33,7 +33,7 @@ class SweepRun {
         options_(options),
         log_(log),
         composer_(miter, log),
-        solver_(log),
+        solver_(log, options.solver),
         rng_(options.randomSeed),
         sim_(miter, options.simWords),
         classes_((sim_.randomizeInputs(rng_), sim_.simulate(), sim_)) {}
@@ -353,6 +353,8 @@ CecResult SweepRun::finalize() {
 
   stats_.sweptNodes = fraig_.numAnds();
   stats_.conflicts = solver_.stats().conflicts;
+  stats_.propagations = solver_.stats().propagations;
+  stats_.restarts = solver_.stats().restarts;
   stats_.proofStructuralSteps = composer_.derivedSteps();
   result.stats = stats_;
   return result;
@@ -432,6 +434,8 @@ FraigResult SweepRun::reduce() {
   result.reduced = fraig_.compacted();
   stats_.sweptNodes = result.reduced.numAnds();
   stats_.conflicts = solver_.stats().conflicts;
+  stats_.propagations = solver_.stats().propagations;
+  stats_.restarts = solver_.stats().restarts;
   stats_.totalSeconds = total.seconds();
   result.stats = stats_;
   return result;
@@ -447,7 +451,7 @@ std::string SweepOptions::validate() const {
                        "lands in one candidate class and the sweep "
                        "degenerates");
   }
-  return std::string();
+  return solver.validate();
 }
 
 CecResult sweepingCheck(const aig::Aig& miter, const SweepOptions& options,

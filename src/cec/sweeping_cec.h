@@ -20,6 +20,7 @@
 #include "src/aig/aig.h"
 #include "src/cec/result.h"
 #include "src/proof/proof_log.h"
+#include "src/sat/solver.h"
 
 namespace cp::cec {
 
@@ -40,6 +41,12 @@ struct SweepOptions {
   /// patterns miss (classic fraig heuristic).
   std::uint32_t cexNeighborhood = 4;
   std::uint64_t randomSeed = 0xC0FFEEULL;
+
+  /// Configuration of the incremental SAT solver answering every candidate
+  /// and final query (restart policy, clause-database tiers, phase
+  /// heuristics; see sat::SolverOptions). Any combination yields the same
+  /// verdicts and checkable proofs; the knobs only trade search effort.
+  sat::SolverOptions solver;
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Checked by every

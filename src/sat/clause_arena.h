@@ -7,7 +7,9 @@
 //   [0] header: size << 2 | learnt << 1 | relocated
 //   [1] proof id (cp::proof clause id of this clause; 0 when not logging)
 //   [2] activity (float bits; meaningful for learnt clauses)
-//   [3...] literals
+//   [3] lbd (bits 0..27) | tier (bits 28..29); meaningful for learnt clauses
+//   [4] touched (conflict count when the clause last helped an analysis)
+//   [5...] literals
 //
 // When a clause is relocated during GC, its header gains the `relocated`
 // bit and word [1] is reused as the forwarding CRef.
@@ -25,6 +27,11 @@ namespace cp::sat {
 
 using CRef = std::uint32_t;
 inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Learnt-clause usefulness tier (glucose/CaDiCaL-style three-tier
+/// database). Core clauses (small glue) are kept forever, tier2 clauses
+/// are kept while they stay in use, local clauses compete on activity.
+enum class ClauseTier : std::uint32_t { kCore = 0, kTier2 = 1, kLocal = 2 };
 
 class ClauseArena;
 
@@ -45,19 +52,43 @@ class Clause {
   }
   void setActivity(float a) { std::memcpy(&words_[2], &a, sizeof a); }
 
-  Lit operator[](std::uint32_t i) const {
-    return Lit::fromIndex(words_[3 + i]);
+  /// Literal-block distance (glue): decision levels in the clause when it
+  /// was learnt, improved whenever a recomputation during conflict
+  /// analysis finds a smaller value. Capped at kMaxLbd.
+  std::uint32_t lbd() const { return words_[3] & kLbdMask; }
+  void setLbd(std::uint32_t lbd) {
+    words_[3] = (words_[3] & ~kLbdMask) | (lbd < kMaxLbd ? lbd : kMaxLbd);
   }
-  void setLit(std::uint32_t i, Lit l) { words_[3 + i] = l.index(); }
+  ClauseTier tier() const {
+    return static_cast<ClauseTier>(words_[3] >> kTierShift);
+  }
+  void setTier(ClauseTier t) {
+    words_[3] = (words_[3] & kLbdMask) |
+                (static_cast<std::uint32_t>(t) << kTierShift);
+  }
+
+  /// stats_.conflicts value at the last time this clause participated in a
+  /// conflict analysis (as conflict or reason); drives tier demotion.
+  std::uint32_t touched() const { return words_[4]; }
+  void setTouched(std::uint32_t t) { words_[4] = t; }
+
+  Lit operator[](std::uint32_t i) const {
+    return Lit::fromIndex(words_[kHeaderWords + i]);
+  }
+  void setLit(std::uint32_t i, Lit l) { words_[kHeaderWords + i] = l.index(); }
 
   std::span<const Lit> lits() const {
-    return {reinterpret_cast<const Lit*>(words_ + 3), size()};
+    return {reinterpret_cast<const Lit*>(words_ + kHeaderWords), size()};
   }
+
+  static constexpr std::uint32_t kMaxLbd = (1u << 28) - 1;
 
  private:
   friend class ClauseArena;
   explicit Clause(std::uint32_t* words) : words_(words) {}
-  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kHeaderWords = 5;
+  static constexpr std::uint32_t kLbdMask = (1u << 28) - 1;
+  static constexpr std::uint32_t kTierShift = 28;
 
   std::uint32_t* words_;
 };
@@ -70,6 +101,11 @@ class ClauseArena {
                       (learnt ? 2u : 0u));
     memory_.push_back(proofId);
     memory_.push_back(0);  // activity = 0.0f
+    // lbd/tier defaults to "worst": maximal glue in the local tier.
+    memory_.push_back(Clause::kMaxLbd |
+                      (static_cast<std::uint32_t>(ClauseTier::kLocal)
+                       << Clause::kTierShift));
+    memory_.push_back(0);  // touched
     for (const Lit l : lits) memory_.push_back(l.index());
     return ref;
   }
@@ -97,7 +133,10 @@ class ClauseArena {
     Clause c = get(ref);
     if (c.relocated()) return c.words_[1];
     const CRef moved = target.alloc(c.lits(), c.learnt(), c.proofId());
-    target.get(moved).setActivity(c.activity());
+    Clause m = target.get(moved);
+    m.setActivity(c.activity());
+    m.words_[3] = c.words_[3];  // lbd + tier
+    m.setTouched(c.touched());
     c.words_[0] |= 1u;   // relocated
     c.words_[1] = moved;  // forwarding pointer
     return moved;

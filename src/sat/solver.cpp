@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "src/base/options.h"
@@ -61,6 +62,50 @@ std::string SolverOptions::validate() const {
     return optionError("SolverOptions.randomFreq", optionValue(randomFreq),
                        "[0, 1]", "a fraction of decisions");
   }
+  for (const auto& [name, alpha] :
+       {std::pair<const char*, double>{"SolverOptions.emaLbdFastAlpha",
+                                       emaLbdFastAlpha},
+        {"SolverOptions.emaLbdSlowAlpha", emaLbdSlowAlpha},
+        {"SolverOptions.emaTrailAlpha", emaTrailAlpha}}) {
+    if (!(alpha > 0.0 && alpha <= 1.0)) {
+      return optionError(name, optionValue(alpha), "(0, 1]",
+                         "0 freezes the moving average so the restart "
+                         "trigger never adapts, above 1 the average "
+                         "overshoots every sample");
+    }
+  }
+  if (!(restartForce >= 1.0)) {
+    return optionError("SolverOptions.restartForce", optionValue(restartForce),
+                       "[1, inf)",
+                       "below 1 the short-horizon LBD average exceeds the "
+                       "threshold almost permanently, restarting search "
+                       "before it can learn");
+  }
+  if (!(restartBlock >= 1.0)) {
+    return optionError("SolverOptions.restartBlock", optionValue(restartBlock),
+                       "[1, inf)",
+                       "below 1 an average-depth trail already blocks every "
+                       "restart, disabling the policy it is meant to temper");
+  }
+  if (restartMinConflicts < 1) {
+    return optionError("SolverOptions.restartMinConflicts",
+                       optionValue(restartMinConflicts), "[1, inf)",
+                       "0 allows a restart after every conflict, so search "
+                       "never descends past the first decision");
+  }
+  if (tier2LbdCut < coreLbdCut) {
+    return optionError("SolverOptions.tier2LbdCut", optionValue(tier2LbdCut),
+                       "[coreLbdCut, inf)",
+                       "a middle tier below the core cut is empty, so every "
+                       "non-core clause competes as local and the tier "
+                       "system degenerates");
+  }
+  if (reduceInterval < 1) {
+    return optionError("SolverOptions.reduceInterval",
+                       optionValue(reduceInterval), "[1, inf)",
+                       "0 triggers a database reduction after every "
+                       "conflict");
+  }
   return std::string();
 }
 
@@ -81,6 +126,8 @@ Var Solver::newVar() {
   reason_.push_back(kCRefUndef);
   trailPos_.push_back(0);
   activity_.push_back(0.0);
+  targetPhase_.push_back(1);
+  bestPhase_.push_back(1);
   seen_.push_back(0);
   zeroSeen_.push_back(0);
   unitProofId_.push_back(proof::kNoClause);
@@ -335,6 +382,16 @@ void Solver::claBumpActivity(Clause c) {
 }
 
 Lit Solver::pickBranchLit() {
+  // Phase selection: saved polarity, overridden by the target/best trail
+  // snapshots when target-phase saving is on.
+  const auto phaseOf = [this](Var v) -> bool {
+    std::uint8_t ph = polarity_[v];
+    if (options_.targetPhase) {
+      if (targetLen_ > 0) ph = targetPhase_[v];
+      else if (bestLen_ > 0) ph = bestPhase_[v];
+    }
+    return ph != 0;
+  };
   // Occasional random decisions diversify the search (off by default).
   if (options_.randomFreq > 0.0) {
     rngState_ = rngState_ * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -342,22 +399,86 @@ Lit Solver::pickBranchLit() {
     if (r < options_.randomFreq && numVars() > 0) {
       const Var v = static_cast<Var>((rngState_ >> 32) % numVars());
       if (decision_[v] && value(v) == LBool::kUndef) {
-        return Lit::make(v, polarity_[v] != 0);
+        return Lit::make(v, phaseOf(v));
       }
     }
   }
   for (;;) {
     if (order_.empty()) return kUndefLit;
     const Var v = order_.extractMax();
-    if (value(v) == LBool::kUndef) return Lit::make(v, polarity_[v] != 0);
+    if (value(v) == LBool::kUndef) return Lit::make(v, phaseOf(v));
+  }
+}
+
+/// Records the current (pre-backtrack) assignment as the target snapshot
+/// when it is the deepest trail since the last restart, and as the best
+/// snapshot when it is the deepest trail ever. Called at every conflict,
+/// where the trail is at its local maximum.
+void Solver::savePhaseSnapshots() {
+  const std::uint32_t len = static_cast<std::uint32_t>(trail_.size());
+  if (len <= targetLen_ && len <= bestLen_) return;
+  if (len > targetLen_) {
+    targetLen_ = len;
+    for (const Lit l : trail_) targetPhase_[l.var()] = l.negated() ? 1 : 0;
+  }
+  if (len > bestLen_) {
+    bestLen_ = len;
+    for (const Lit l : trail_) bestPhase_[l.var()] = l.negated() ? 1 : 0;
   }
 }
 
 // --------------------------------------------------------------------------
 // Conflict analysis
 
+/// Number of distinct decision levels among `lits` (the literal-block
+/// distance of a clause whose literals are all assigned).
+std::uint32_t Solver::computeLbd(std::span<const Lit> lits) {
+  if (lbdStamp_.size() < assigns_.size() + 1) {
+    lbdStamp_.resize(assigns_.size() + 1, 0);
+  }
+  if (++lbdStampCounter_ == 0) {
+    std::fill(lbdStamp_.begin(), lbdStamp_.end(), 0);
+    lbdStampCounter_ = 1;
+  }
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::uint32_t lvl = level(l.var());
+    if (lbdStamp_[lvl] != lbdStampCounter_) {
+      lbdStamp_[lvl] = lbdStampCounter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+/// Bookkeeping for a learnt clause that participates in a conflict
+/// analysis (as the conflict or as a reason): refresh its touched
+/// timestamp, tighten its stored LBD when the current assignment yields a
+/// smaller one, and promote it to a better tier when the new LBD crosses a
+/// cut. Pure heuristic state -- resolution chains are unaffected.
+void Solver::updateLearntUse(Clause c) {
+  claBumpActivity(c);
+  c.setTouched(static_cast<std::uint32_t>(stats_.conflicts));
+  if (c.lbd() > 2) {
+    const std::uint32_t lbd = computeLbd(c.lits());
+    if (lbd < c.lbd()) {
+      c.setLbd(lbd);
+      if (options_.tieredReduce) {
+        const ClauseTier t = c.tier();
+        if (lbd <= options_.coreLbdCut && t != ClauseTier::kCore) {
+          c.setTier(ClauseTier::kCore);
+          ++stats_.tierPromotions;
+        } else if (lbd <= options_.tier2LbdCut && t == ClauseTier::kLocal) {
+          c.setTier(ClauseTier::kTier2);
+          ++stats_.tierPromotions;
+        }
+      }
+    }
+  }
+}
+
 void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
-                     std::uint32_t& outBtLevel) {
+                     std::uint32_t& outBtLevel, std::uint32_t& outLbd) {
   int pathC = 0;
   Lit p = kUndefLit;
   outLearnt.clear();
@@ -369,7 +490,7 @@ void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
   do {
     assert(confl != kCRefUndef);
     Clause c = arena_.get(confl);
-    if (c.learnt()) claBumpActivity(c);
+    if (c.learnt()) updateLearntUse(c);
     if (proof_) chain_.push_back(c.proofId());
 
     for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < c.size(); ++j) {
@@ -454,6 +575,10 @@ void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
     std::swap(outLearnt[1], outLearnt[maxIdx]);
     outBtLevel = level(outLearnt[1].var());
   }
+
+  // Glue of the final (minimized) clause, while its literals are still
+  // assigned; recorded in the clause header and fed to the restart EMAs.
+  outLbd = computeLbd(outLearnt);
 
   for (const Lit l : analyzeToClear_) seen_[l.var()] = 0;
 }
@@ -600,6 +725,48 @@ void Solver::reduceDB() {
   garbageCollectIfNeeded();
 }
 
+/// Three-tier reduction: core clauses are permanent, tier2 clauses demote
+/// to local after a long stretch without participating in any conflict
+/// analysis (touched-timestamp), and the local tier drops its worse half
+/// ordered by (LBD, activity). Deletion goes through removeClause, so the
+/// proof log sees the same markDeleted stream as the legacy policy and
+/// trimming composes unchanged.
+void Solver::reduceDBTiered() {
+  ++stats_.dbReductions;
+  const std::uint32_t now = static_cast<std::uint32_t>(stats_.conflicts);
+  std::vector<CRef> locals;
+  for (const CRef cref : learnts_) {
+    Clause c = arena_.get(cref);
+    if (c.tier() == ClauseTier::kTier2 &&
+        now - c.touched() > options_.tier2UnusedInterval) {
+      c.setTier(ClauseTier::kLocal);
+      ++stats_.tierDemotions;
+    }
+    if (c.tier() == ClauseTier::kLocal && c.size() > 2 && !locked(cref)) {
+      locals.push_back(cref);
+    }
+  }
+  // Worst half first: large LBD, then low activity.
+  std::sort(locals.begin(), locals.end(), [this](CRef a, CRef b) {
+    const Clause ca = arena_.get(a);
+    const Clause cb = arena_.get(b);
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
+  });
+  locals.resize(locals.size() / 2);
+  std::sort(locals.begin(), locals.end());
+  std::size_t j = 0;
+  for (const CRef cref : learnts_) {
+    if (std::binary_search(locals.begin(), locals.end(), cref)) {
+      removeClause(cref);
+    } else {
+      learnts_[j++] = cref;
+    }
+  }
+  learnts_.resize(j);
+  garbageCollectIfNeeded();
+}
+
 void Solver::removeSatisfiedLearnts() {
   assert(decisionLevel() == 0);
   if (static_cast<std::int64_t>(trail_.size()) == simpDBAssigns_) return;
@@ -649,19 +816,43 @@ void Solver::relocAll(ClauseArena& to) {
 // --------------------------------------------------------------------------
 // Search
 
-LBool Solver::search(std::int64_t& conflictBudget,
-                     std::uint32_t restartBudget,
-                     const std::vector<Lit>& assumptions, bool& restarted) {
-  std::uint32_t conflictsThisRestart = 0;
+/// Conflict budget of the `index`-th Luby restart segment, saturated at
+/// uint32 max: the Luby term grows exponentially with restartInc, and an
+/// unsaturated cast of the overflowing product is undefined behavior. The
+/// `!(< max)` spelling also catches an infinite product.
+std::uint32_t Solver::lubyRestartBudget(int index) const {
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  const double budget = luby(options_.restartInc, index) *
+                        static_cast<double>(options_.restartFirst);
+  if (!(budget < kMax)) return std::numeric_limits<std::uint32_t>::max();
+  return static_cast<std::uint32_t>(budget);
+}
+
+LBool Solver::search(std::int64_t conflictBudget,
+                     const std::vector<Lit>& assumptions) {
+  std::uint64_t conflictsSinceRestart = 0;
+  int lubyIndex = 0;
+  std::uint32_t restartLimit = lubyRestartBudget(lubyIndex);
+  bool budgetExhausted = false;
   std::vector<Lit> learnt;
-  restarted = false;
+  targetLen_ = 0;  // target snapshot is per restart (and per solve)
+  nextRestartConflicts_ = stats_.conflicts + options_.restartMinConflicts;
+  if (reduceIntervalNow_ == 0) {
+    reduceIntervalNow_ = options_.reduceInterval;
+    nextReduceConflicts_ = stats_.conflicts + reduceIntervalNow_;
+  }
 
   for (;;) {
     const CRef confl = propagate();
     if (confl != kCRefUndef) {
       ++stats_.conflicts;
-      ++conflictsThisRestart;
-      if (conflictBudget > 0) --conflictBudget;
+      ++conflictsSinceRestart;
+      // Budget accounting: exhaustion fires only once a conflict arrives
+      // that the budget no longer covers (see solveLimited's contract).
+      if (conflictBudget == 0) budgetExhausted = true;
+      else if (conflictBudget > 0) --conflictBudget;
+      if (options_.targetPhase) savePhaseSnapshots();
       if (decisionLevel() == 0) {
         recordLevelZeroConflict(confl);
         ok_ = false;
@@ -670,9 +861,21 @@ LBool Solver::search(std::int64_t& conflictBudget,
         return LBool::kFalse;
       }
 
+      const double trailAtConflict = static_cast<double>(trail_.size());
       std::uint32_t btLevel = 0;
-      analyze(confl, learnt, btLevel);
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, btLevel, lbd);
       cancelUntil(btLevel);
+
+      if (!emaInitialized_) {
+        emaLbdFast_ = emaLbdSlow_ = static_cast<double>(lbd);
+        emaTrail_ = trailAtConflict;
+        emaInitialized_ = true;
+      } else {
+        emaLbdFast_ += options_.emaLbdFastAlpha * (lbd - emaLbdFast_);
+        emaLbdSlow_ += options_.emaLbdSlowAlpha * (lbd - emaLbdSlow_);
+        emaTrail_ += options_.emaTrailAlpha * (trailAtConflict - emaTrail_);
+      }
 
       proof::ClauseId pid = proof::kNoClause;
       if (proof_) pid = proof_->addDerived(learnt, chain_);
@@ -684,9 +887,15 @@ LBool Solver::search(std::int64_t& conflictBudget,
         uncheckedEnqueue(learnt[0], kCRefUndef);
       } else {
         const CRef cref = arena_.alloc(learnt, /*learnt=*/true, pid);
+        Clause c = arena_.get(cref);
+        c.setLbd(lbd);
+        c.setTouched(static_cast<std::uint32_t>(stats_.conflicts));
+        c.setTier(lbd <= options_.coreLbdCut    ? ClauseTier::kCore
+                  : lbd <= options_.tier2LbdCut ? ClauseTier::kTier2
+                                                : ClauseTier::kLocal);
         learnts_.push_back(cref);
         attachClause(cref);
-        claBumpActivity(arena_.get(cref));
+        claBumpActivity(c);
         uncheckedEnqueue(learnt[0], cref);
       }
 
@@ -698,15 +907,55 @@ LBool Solver::search(std::int64_t& conflictBudget,
         learntAdjustCnt_ = learntAdjustConfl_;
         maxLearnts_ *= options_.learntSizeInc;
       }
-    } else {
-      if (conflictBudget == 0 || conflictsThisRestart >= restartBudget) {
-        restarted = conflictsThisRestart >= restartBudget;
+
+      // The exhausting conflict is fully analyzed and its clause learned
+      // (learning is always sound), but the search stops right here: a
+      // budget of N admits at most N + 1 conflicts, exactly.
+      if (budgetExhausted) {
         cancelUntil(0);
         return LBool::kUndef;
       }
+    } else {
+      // Restart decision. Proof-transparent: only the partial assignment
+      // is abandoned.
+      bool restartNow = false;
+      if (options_.restartPolicy == RestartPolicy::kLuby) {
+        restartNow = conflictsSinceRestart >= restartLimit;
+      } else if (emaInitialized_ && conflictsSinceRestart > 0 &&
+                 stats_.conflicts >= nextRestartConflicts_ &&
+                 emaLbdFast_ > options_.restartForce * emaLbdSlow_) {
+        // Trail blocking: an unusually deep trail suggests the solver is
+        // close to a model; postpone instead of restarting.
+        if (stats_.conflicts >= options_.blockMinConflicts &&
+            static_cast<double>(trail_.size()) >
+                options_.restartBlock * emaTrail_) {
+          ++stats_.blockedRestarts;
+          nextRestartConflicts_ =
+              stats_.conflicts + options_.restartMinConflicts;
+        } else {
+          restartNow = true;
+        }
+      }
+      if (restartNow && decisionLevel() > 0) {
+        ++stats_.restarts;
+        cancelUntil(0);
+        conflictsSinceRestart = 0;
+        targetLen_ = 0;
+        restartLimit = lubyRestartBudget(++lubyIndex);
+        nextRestartConflicts_ =
+            stats_.conflicts + options_.restartMinConflicts;
+        continue;
+      }
+
       if (decisionLevel() == 0) removeSatisfiedLearnts();
-      if (static_cast<double>(learnts_.size()) - (trail_.size()) >=
-          maxLearnts_) {
+      if (options_.tieredReduce) {
+        if (stats_.conflicts >= nextReduceConflicts_) {
+          reduceDBTiered();
+          reduceIntervalNow_ += options_.reduceIncrement;
+          nextReduceConflicts_ = stats_.conflicts + reduceIntervalNow_;
+        }
+      } else if (static_cast<double>(learnts_.size()) - (trail_.size()) >=
+                 maxLearnts_) {
         reduceDB();
       }
 
@@ -755,18 +1004,10 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions,
   learntAdjustConfl_ = 100;
   learntAdjustCnt_ = 100;
 
-  std::int64_t budget = conflictBudget < 0 ? -1 : conflictBudget;
-  LBool status = LBool::kUndef;
-  int restarts = 0;
-  while (status == LBool::kUndef) {
-    const double rest = luby(options_.restartInc, restarts++);
-    const std::uint32_t restartBudget =
-        static_cast<std::uint32_t>(rest * options_.restartFirst);
-    bool restarted = false;
-    status = search(budget, restartBudget, assump, restarted);
-    if (status == LBool::kUndef && !restarted) break;  // budget exhausted
-    if (status == LBool::kUndef) ++stats_.restarts;
-  }
+  // Restarts are handled inside search (stats_.restarts counts every one
+  // exactly, including those in a segment that later concludes SAT/UNSAT).
+  const LBool status =
+      search(conflictBudget < 0 ? -1 : conflictBudget, assump);
   cancelUntil(0);
   return status;
 }

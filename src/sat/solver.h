@@ -1,9 +1,15 @@
 // CDCL SAT solver with resolution proof logging.
 //
-// Architecture follows MiniSat 2.2: two-watched-literal propagation, VSIDS
-// branching with phase saving, first-UIP conflict analysis with recursive
-// clause minimization, Luby restarts, activity-based learnt-clause database
-// reduction, and an assumptions interface for incremental solving.
+// Architecture follows MiniSat 2.2 with glucose-family search heuristics:
+// two-watched-literal propagation, VSIDS branching with phase saving
+// (optionally target/best-phase saving), first-UIP conflict analysis with
+// recursive clause minimization, per-learnt LBD (glue) tracking, Luby or
+// EMA-based adaptive restarts with trail-size blocking, tiered
+// (core/tier2/local) or activity-based learnt-clause database reduction,
+// and an assumptions interface for incremental solving. Every heuristic is
+// switchable through SolverOptions; all of them are proof-transparent
+// (restart, reduction and phase decisions never touch resolution chains --
+// see DESIGN.md, "Heuristics vs. the trust chain").
 //
 // The addition over MiniSat -- and the reason this solver exists in this
 // repository -- is *resolution proof logging* in the style the DAC'07 paper
@@ -42,6 +48,14 @@
 
 namespace cp::sat {
 
+/// Restart scheduling policy. Both policies are proof-transparent: a
+/// restart only abandons the current partial assignment, it never touches
+/// recorded resolution chains.
+enum class RestartPolicy : std::uint8_t {
+  kLuby,  ///< MiniSat-style Luby sequence of conflict budgets
+  kEma,   ///< glucose-style fast/slow conflict-LBD EMAs with trail blocking
+};
+
 struct SolverOptions {
   double varDecay = 0.95;
   double clauseDecay = 0.999;
@@ -52,6 +66,37 @@ struct SolverOptions {
   bool phaseSaving = true;
   std::uint32_t randomSeed = 91648253;
   double randomFreq = 0.0;      ///< fraction of random decisions
+
+  // ---- restart policy ------------------------------------------------------
+  /// kEma restarts when the short-horizon conflict-LBD average exceeds the
+  /// long-horizon one (search is producing worse clauses than its norm) and
+  /// postpones when the trail is unusually deep (a model may be near).
+  RestartPolicy restartPolicy = RestartPolicy::kEma;
+  double emaLbdFastAlpha = 3e-2;   ///< short-horizon conflict-LBD smoothing
+  double emaLbdSlowAlpha = 1e-5;   ///< long-horizon conflict-LBD smoothing
+  double emaTrailAlpha = 3e-4;     ///< long-horizon trail-size smoothing
+  double restartForce = 1.25;      ///< fast/slow LBD ratio that forces a restart
+  double restartBlock = 1.4;       ///< trail/EMA ratio that blocks a restart
+  std::uint32_t restartMinConflicts = 50;   ///< min conflicts between restarts
+  std::uint64_t blockMinConflicts = 10000;  ///< conflicts before blocking arms
+
+  // ---- learnt-clause database ----------------------------------------------
+  /// Three-tier reduction (core/tier2/local by LBD with promotion,
+  /// demotion and touched-timestamps) instead of the MiniSat single
+  /// activity-sorted halving. Both modes delete clauses only through
+  /// removeClause, which composes with proof trimming.
+  bool tieredReduce = true;
+  std::uint32_t coreLbdCut = 3;    ///< LBD <= cut: kept forever
+  std::uint32_t tier2LbdCut = 6;   ///< LBD <= cut: kept while recently used
+  /// Conflicts of inactivity after which a tier2 clause demotes to local.
+  std::uint32_t tier2UnusedInterval = 30000;
+  std::uint32_t reduceInterval = 2000;   ///< conflicts between tiered reductions
+  std::uint32_t reduceIncrement = 300;   ///< interval growth per reduction
+
+  /// Target-phase saving on top of plain polarity saving: decisions reuse
+  /// the phases of the deepest trail reached since the last restart
+  /// (falling back to the deepest trail ever, then to saved polarity).
+  bool targetPhase = false;
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Rejects the
@@ -68,10 +113,13 @@ struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t blockedRestarts = 0;   ///< EMA restarts postponed by the trail
   std::uint64_t learnedClauses = 0;
   std::uint64_t learnedLiterals = 0;
   std::uint64_t minimizedLiterals = 0;  ///< removed by clause minimization
   std::uint64_t dbReductions = 0;
+  std::uint64_t tierPromotions = 0;    ///< learnt clauses moved to a better tier
+  std::uint64_t tierDemotions = 0;     ///< stale tier2 clauses moved to local
 };
 
 class Solver {
@@ -116,6 +164,15 @@ class Solver {
 
   /// Search with a conflict budget; returns kUndef if the budget is
   /// exhausted first. A negative budget means unlimited.
+  ///
+  /// A budget of N permits exactly N conflicts: the search gives up at the
+  /// first conflict beyond the budget (that conflict is still analyzed and
+  /// its clause learned — learning is always sound). In particular, a
+  /// budget of 0 still decides formulas that need no conflicts at all:
+  /// empty formulas, formulas decided by unit propagation, and instances
+  /// satisfiable by decisions plus propagation alone all return a definite
+  /// verdict. Exhaustion fires only once a conflict has actually consumed
+  /// budget, never pre-emptively.
   LBool solveLimited(std::span<const Lit> assumptions,
                      std::int64_t conflictBudget);
 
@@ -169,14 +226,19 @@ class Solver {
   void uncheckedEnqueue(Lit p, CRef from);
   CRef propagate();
   void analyze(CRef confl, std::vector<Lit>& outLearnt,
-               std::uint32_t& outBtLevel);
+               std::uint32_t& outBtLevel, std::uint32_t& outLbd);
   bool litRedundant(Lit p, std::uint32_t abstractLevels);
   void analyzeFinal(Lit p);
   void cancelUntil(std::uint32_t level);
   Lit pickBranchLit();
-  LBool search(std::int64_t& conflictBudget, std::uint32_t restartBudget,
-               const std::vector<Lit>& assumptions, bool& restarted);
+  LBool search(std::int64_t conflictBudget,
+               const std::vector<Lit>& assumptions);
+  std::uint32_t computeLbd(std::span<const Lit> lits);
+  std::uint32_t lubyRestartBudget(int index) const;
+  void updateLearntUse(Clause c);
+  void savePhaseSnapshots();
   void reduceDB();
+  void reduceDBTiered();
   void removeSatisfiedLearnts();
   void attachClause(CRef cref);
   void detachClause(CRef cref);
@@ -231,6 +293,29 @@ class Solver {
   double varInc_ = 1.0;
   double claInc_ = 1.0;
   std::uint64_t rngState_;
+
+  // Target/best-phase saving (proof-transparent; see SolverOptions).
+  std::vector<std::uint8_t> targetPhase_;  // deepest trail since restart
+  std::vector<std::uint8_t> bestPhase_;    // deepest trail ever
+  std::uint32_t targetLen_ = 0;
+  std::uint32_t bestLen_ = 0;
+
+  // EMA restart state (glucose-style; persists across incremental calls).
+  // EMAs initialize to the first sample so the long-horizon averages are
+  // meaningful from the start.
+  double emaLbdFast_ = 0.0;
+  double emaLbdSlow_ = 0.0;
+  double emaTrail_ = 0.0;
+  bool emaInitialized_ = false;
+  std::uint64_t nextRestartConflicts_ = 0;  // EMA policy rate limiter
+
+  // Tiered-reduction schedule (persists across incremental calls).
+  std::uint64_t nextReduceConflicts_ = 0;
+  std::uint64_t reduceIntervalNow_ = 0;
+
+  // LBD computation scratch: per-decision-level stamps.
+  std::vector<std::uint32_t> lbdStamp_;
+  std::uint32_t lbdStampCounter_ = 0;
 
   // Conflict analysis scratch.
   std::vector<std::uint8_t> seen_;

@@ -1,0 +1,202 @@
+// Differential proof-soundness matrix for the modernized SAT core: every
+// ported search heuristic (EMA restarts, tiered clause-DB reduction,
+// target-phase saving), toggled ON and OFF in all combinations, must leave
+// the certified-CEC trust chain intact. For each configuration and each
+// workload, the sweeping and monolithic engines must return the same
+// verdict as every other configuration, every produced proof must pass the
+// independent checker, and every proof must survive a CPF disk round-trip
+// (streamed during solving, re-certified by the bounded-memory streaming
+// checker). The heuristics may change *which* proof is found -- never
+// whether it checks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/misc_logic.h"
+#include "src/gen/random_aig.h"
+#include "src/proof/checker.h"
+
+namespace cp::cec {
+namespace {
+
+struct HeuristicConfig {
+  std::string name;
+  sat::SolverOptions solver;
+};
+
+/// The full ON/OFF matrix over the three ported heuristics.
+std::vector<HeuristicConfig> heuristicMatrix() {
+  std::vector<HeuristicConfig> configs;
+  for (const bool ema : {false, true}) {
+    for (const bool tiered : {false, true}) {
+      for (const bool target : {false, true}) {
+        HeuristicConfig cfg;
+        cfg.name = std::string(ema ? "ema" : "luby") +
+                   (tiered ? "_tiered" : "_legacy") +
+                   (target ? "_target" : "_polarity");
+        cfg.solver.restartPolicy =
+            ema ? sat::RestartPolicy::kEma : sat::RestartPolicy::kLuby;
+        cfg.solver.tieredReduce = tiered;
+        cfg.solver.targetPhase = target;
+        // Keep restarts and reductions frequent so small workloads actually
+        // exercise the policies under test.
+        cfg.solver.restartFirst = 8;
+        cfg.solver.restartMinConflicts = 8;
+        cfg.solver.blockMinConflicts = 16;
+        cfg.solver.reduceInterval = 64;
+        cfg.solver.reduceIncrement = 32;
+        cfg.solver.tier2UnusedInterval = 64;
+        configs.push_back(cfg);
+      }
+    }
+  }
+  return configs;
+}
+
+struct MatrixWorkload {
+  std::string name;
+  aig::Aig miter;
+};
+
+std::vector<MatrixWorkload> matrixWorkloads() {
+  std::vector<MatrixWorkload> w;
+  w.push_back({"add8_rca_cla", buildMiter(gen::rippleCarryAdder(8),
+                                          gen::carryLookaheadAdder(8, 4))});
+  w.push_back({"mul4_array_wallace",
+               buildMiter(gen::arrayMultiplier(4), gen::wallaceMultiplier(4))});
+  w.push_back({"parity16_chain_tree",
+               buildMiter(gen::parityChain(16), gen::parityTree(16))});
+  {
+    // Inequivalent pair: two random graphs over the same interface.
+    gen::RandomAigOptions opt;
+    opt.numInputs = 10;
+    opt.numAnds = 60;
+    opt.numOutputs = 1;
+    Rng rngA(101), rngB(202);
+    w.push_back({"random10_mismatch", buildMiter(gen::randomAig(opt, rngA),
+                                                 gen::randomAig(opt, rngB))});
+  }
+  return w;
+}
+
+std::string tempCpfPath(const std::string& tag) {
+  return testing::TempDir() + "heur_matrix_" + tag + ".cpf";
+}
+
+/// Runs one engine configuration through checkMiter with a CPF proof path:
+/// covers the raw proof check, trimming, and the on-disk streaming
+/// re-certification in one call.
+CertifyReport runCertified(const aig::Aig& miter, EngineOptions engine,
+                           const std::string& tag) {
+  EngineConfig config;
+  config.engine = std::move(engine);
+  config.proofPath = tempCpfPath(tag);
+  const CertifyReport report = checkMiter(miter, config);
+  std::remove(config.proofPath.c_str());
+  return report;
+}
+
+TEST(HeuristicMatrix, SweepingVerdictsAndProofsInvariant) {
+  const auto workloads = matrixWorkloads();
+  const auto configs = heuristicMatrix();
+  for (const auto& wl : workloads) {
+    Verdict reference = Verdict::kUndecided;
+    bool haveReference = false;
+    for (const auto& cfg : configs) {
+      SweepOptions options;
+      options.solver = cfg.solver;
+      const CertifyReport report = runCertified(
+          wl.miter, options, "sweep_" + wl.name + "_" + cfg.name);
+      if (!haveReference) {
+        reference = report.cec.verdict;
+        haveReference = true;
+      }
+      EXPECT_EQ(report.cec.verdict, reference)
+          << wl.name << " verdict flipped under " << cfg.name;
+      if (report.cec.verdict == Verdict::kEquivalent) {
+        EXPECT_TRUE(report.proofChecked)
+            << wl.name << " proof rejected under " << cfg.name << ": "
+            << report.check.error;
+        EXPECT_TRUE(report.disk.checked)
+            << wl.name << " CPF round-trip failed under " << cfg.name << ": "
+            << report.disk.check.error;
+      }
+    }
+  }
+}
+
+TEST(HeuristicMatrix, MonolithicVerdictsAndProofsInvariant) {
+  const auto workloads = matrixWorkloads();
+  const auto configs = heuristicMatrix();
+  for (const auto& wl : workloads) {
+    Verdict reference = Verdict::kUndecided;
+    bool haveReference = false;
+    for (const auto& cfg : configs) {
+      MonolithicOptions options;
+      options.solver = cfg.solver;
+      const CertifyReport report = runCertified(
+          wl.miter, options, "mono_" + wl.name + "_" + cfg.name);
+      if (!haveReference) {
+        reference = report.cec.verdict;
+        haveReference = true;
+      }
+      EXPECT_EQ(report.cec.verdict, reference)
+          << wl.name << " verdict flipped under " << cfg.name;
+      if (report.cec.verdict == Verdict::kEquivalent) {
+        EXPECT_TRUE(report.proofChecked)
+            << wl.name << " proof rejected under " << cfg.name << ": "
+            << report.check.error;
+        EXPECT_TRUE(report.disk.checked)
+            << wl.name << " CPF round-trip failed under " << cfg.name << ": "
+            << report.disk.check.error;
+      }
+    }
+  }
+}
+
+TEST(HeuristicMatrix, SweepingAndMonolithicAgree) {
+  // Cross-engine agreement under the modern defaults plus both extreme
+  // configurations.
+  const auto workloads = matrixWorkloads();
+  const auto configs = heuristicMatrix();
+  for (const auto& wl : workloads) {
+    for (const auto& cfg : {configs.front(), configs.back()}) {
+      SweepOptions sweep;
+      sweep.solver = cfg.solver;
+      MonolithicOptions mono;
+      mono.solver = cfg.solver;
+      const CecResult a = sweepingCheck(wl.miter, sweep);
+      const CecResult b = monolithicCheck(wl.miter, mono);
+      EXPECT_EQ(a.verdict, b.verdict) << wl.name << " under " << cfg.name;
+    }
+  }
+}
+
+TEST(HeuristicMatrix, SolverStatsSurfaceThroughCecStats) {
+  // The per-call solver counters feed the engine stats (and with them the
+  // CertifyReport aggregates): a run with restarts forced on every few
+  // conflicts must report them, and propagations are always nonzero.
+  MonolithicOptions options;
+  options.solver.restartPolicy = sat::RestartPolicy::kLuby;
+  options.solver.restartFirst = 1;
+  options.solver.restartInc = 1.0;
+  const aig::Aig miter =
+      buildMiter(gen::arrayMultiplier(4), gen::wallaceMultiplier(4));
+  const CecResult r = monolithicCheck(miter, options);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_GT(r.stats.propagations, 0u);
+  EXPECT_GT(r.stats.conflicts, 0u);
+  EXPECT_GT(r.stats.restarts, 0u);
+  EXPECT_LE(r.stats.restarts, r.stats.conflicts);
+}
+
+}  // namespace
+}  // namespace cp::cec

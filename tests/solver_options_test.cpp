@@ -2,6 +2,8 @@
 // reasonable option combination (the heuristics only steer search).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/base/rng.h"
 #include "src/proof/checker.h"
 #include "src/sat/solver.h"
@@ -54,14 +56,56 @@ SolverOptions withFastDecay() {
 }
 SolverOptions withTinyRestarts() {
   SolverOptions o;
+  o.restartPolicy = RestartPolicy::kLuby;
   o.restartFirst = 2;
   o.restartInc = 1.5;
   return o;
 }
 SolverOptions withAggressiveLearntGrowth() {
   SolverOptions o;
+  o.tieredReduce = false;
   o.learntSizeFactor = 0.05;  // forces frequent reduceDB
   o.learntSizeInc = 1.01;
+  return o;
+}
+SolverOptions withSeedHeuristics() {
+  // The pre-modernization configuration: Luby restarts, single
+  // activity-sorted reduction, no target phase.
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kLuby;
+  o.tieredReduce = false;
+  o.targetPhase = false;
+  return o;
+}
+SolverOptions withEagerEmaRestarts() {
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kEma;
+  o.restartMinConflicts = 1;
+  o.restartForce = 1.0;
+  o.blockMinConflicts = 1;
+  return o;
+}
+SolverOptions withTargetPhase() {
+  SolverOptions o;
+  o.targetPhase = true;
+  return o;
+}
+SolverOptions withStressTieredReduce() {
+  SolverOptions o;
+  o.tieredReduce = true;
+  o.reduceInterval = 1;
+  o.reduceIncrement = 0;
+  o.coreLbdCut = 1;
+  o.tier2LbdCut = 2;
+  o.tier2UnusedInterval = 1;
+  return o;
+}
+SolverOptions withEverythingOn() {
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kEma;
+  o.tieredReduce = true;
+  o.targetPhase = true;
+  o.randomFreq = 0.1;
   return o;
 }
 
@@ -108,7 +152,12 @@ INSTANTIATE_TEST_SUITE_P(
                     OptionCase{"fastDecay", withFastDecay()},
                     OptionCase{"tinyRestarts", withTinyRestarts()},
                     OptionCase{"aggressiveReduce",
-                               withAggressiveLearntGrowth()}),
+                               withAggressiveLearntGrowth()},
+                    OptionCase{"seedHeuristics", withSeedHeuristics()},
+                    OptionCase{"eagerEmaRestarts", withEagerEmaRestarts()},
+                    OptionCase{"targetPhase", withTargetPhase()},
+                    OptionCase{"stressTieredReduce", withStressTieredReduce()},
+                    OptionCase{"everythingOn", withEverythingOn()}),
     [](const auto& info) { return std::string(info.param.name); });
 
 TEST(SolverCornerCases, ComplementaryAssumptionsYieldTautologicalConflict) {
@@ -144,13 +193,197 @@ TEST(SolverCornerCases, RepeatedAssumption) {
 }
 
 TEST(SolverCornerCases, ZeroConflictBudgetStillPropagates) {
-  // A formula decided by pure propagation finishes even with budget 0...
+  // A formula decided by pure propagation finishes even with budget 0.
   Solver s;
   const Var a = s.newVar();
   const Var b = s.newVar();
   ASSERT_TRUE(s.addClause({pos(a)}));
   ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
-  EXPECT_EQ(s.solveLimited({}, 1), LBool::kTrue);
+  EXPECT_EQ(s.solveLimited({}, 0), LBool::kTrue);
+  EXPECT_EQ(s.modelValue(b), LBool::kTrue);
+  EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+// ---- conflict-budget semantics (see solveLimited's contract) --------------
+
+/// Pigeonhole formula PHP(holes+1, holes): unsatisfiable, and every
+/// refutation needs real search (multiple conflicts above level 0).
+void addPigeonhole(Solver& s, int holes, std::vector<std::vector<Lit>>* out =
+                                             nullptr) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> slot(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) slot[p][h] = s.newVar();
+  }
+  auto add = [&](std::vector<Lit> clause) {
+    if (out) out->push_back(clause);
+    ASSERT_TRUE(s.addClause(clause));
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> atLeastOne;
+    for (int h = 0; h < holes; ++h) atLeastOne.push_back(pos(slot[p][h]));
+    add(atLeastOne);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        add({neg(slot[p][h]), neg(slot[q][h])});
+      }
+    }
+  }
+}
+
+TEST(SolverBudget, ZeroBudgetEmptyFormula) {
+  Solver s;
+  EXPECT_EQ(s.solveLimited({}, 0), LBool::kTrue);
+}
+
+TEST(SolverBudget, ZeroBudgetDecisionOnlySatInstance) {
+  // Satisfiable with decisions + propagation, zero conflicts.
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var c = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(b), pos(c), pos(a)}));
+  EXPECT_EQ(s.solveLimited({}, 0), LBool::kTrue);
+  EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+TEST(SolverBudget, ZeroBudgetGivesUpOnlyAfterAConflict) {
+  Solver s;
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solveLimited({}, 0), LBool::kUndef);
+  // Exhaustion fired on the first conflict beyond the budget, not before.
+  EXPECT_EQ(s.stats().conflicts, 1u);
+}
+
+TEST(SolverBudget, BudgetOnePermitsExactlyOneConflict) {
+  Solver s;
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solveLimited({}, 1), LBool::kUndef);
+  // One budgeted conflict plus the one that exhausted the budget.
+  EXPECT_EQ(s.stats().conflicts, 2u);
+}
+
+TEST(SolverBudget, ExhaustedSolverRemainsUsableIncrementally) {
+  proof::ProofLog log;
+  Solver s(&log);
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solveLimited({}, 0), LBool::kUndef);
+  EXPECT_EQ(s.solveLimited({}, -1), LBool::kFalse);
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SolverBudget, ZeroBudgetWithAssumptionsPropagationUnsat) {
+  // The assumption contradicts a propagated literal without any conflict
+  // analysis: the final-conflict clause is still produced under budget 0.
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  const Lit assume[1] = {neg(b)};
+  EXPECT_EQ(s.solveLimited(std::span<const Lit>(assume, 1), 0),
+            LBool::kFalse);
+  EXPECT_FALSE(s.conflictClause().empty());
+}
+
+// ---- Luby restart-budget overflow (satellite: saturate, no UB) ------------
+
+TEST(SolverRestarts, ExtremeLubyParametersSaturateWithoutOverflow) {
+  // With restartFirst = 1 and a huge restartInc, the third Luby segment's
+  // budget (restartInc^1) overflows uint32; the computation must saturate
+  // instead of hitting undefined float->int behavior (UBSan-clean).
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kLuby;
+  o.restartFirst = 1;
+  o.restartInc = 1e12;
+  Solver s(nullptr, o);
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  // Exactly the first one-conflict segment restarts; the next segment's
+  // saturated budget (uint32 max) is never exhausted.
+  EXPECT_EQ(s.stats().restarts, 1u);
+}
+
+TEST(SolverRestarts, MaxRestartFirstIsWellDefined) {
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kLuby;
+  o.restartFirst = std::numeric_limits<int>::max();
+  o.restartInc = 2.0;
+  Solver s(nullptr, o);
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_EQ(s.stats().restarts, 0u);  // budget never reached
+}
+
+// ---- exact restart accounting (satellite) ---------------------------------
+
+TEST(SolverRestarts, AccountingIsExact) {
+  // restartFirst=1, restartInc=1: every Luby segment allows one conflict,
+  // so the run restarts at every checkpoint with a conflict behind it --
+  // including segments whose successor concludes UNSAT. Each restart needs
+  // at least one conflict, and the final conflict may conclude instead of
+  // restarting, so: 0 < restarts <= conflicts.
+  SolverOptions o;
+  o.restartPolicy = RestartPolicy::kLuby;
+  o.restartFirst = 1;
+  o.restartInc = 1.0;
+  Solver s(nullptr, o);
+  addPigeonhole(s, 3);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_LE(s.stats().restarts, s.stats().conflicts);
+
+  // A run that cannot restart counts zero.
+  SolverOptions big;
+  big.restartPolicy = RestartPolicy::kLuby;
+  big.restartFirst = 1 << 30;
+  Solver t(nullptr, big);
+  addPigeonhole(t, 3);
+  EXPECT_EQ(t.solve(), LBool::kFalse);
+  EXPECT_EQ(t.stats().restarts, 0u);
+}
+
+// ---- new-field validation wording -----------------------------------------
+
+TEST(SolverOptionsValidate, RejectsDegenerateHeuristicSettings) {
+  {
+    SolverOptions o;
+    o.emaLbdFastAlpha = 0.0;
+    EXPECT_NE(o.validate().find("emaLbdFastAlpha"), std::string::npos);
+    EXPECT_THROW(Solver(nullptr, o), std::invalid_argument);
+  }
+  {
+    SolverOptions o;
+    o.restartForce = 0.5;
+    EXPECT_NE(o.validate().find("restartForce"), std::string::npos);
+  }
+  {
+    SolverOptions o;
+    o.restartBlock = 0.0;
+    EXPECT_NE(o.validate().find("restartBlock"), std::string::npos);
+  }
+  {
+    SolverOptions o;
+    o.restartMinConflicts = 0;
+    EXPECT_NE(o.validate().find("restartMinConflicts"), std::string::npos);
+  }
+  {
+    SolverOptions o;
+    o.coreLbdCut = 5;
+    o.tier2LbdCut = 4;
+    EXPECT_NE(o.validate().find("tier2LbdCut"), std::string::npos);
+  }
+  {
+    SolverOptions o;
+    o.reduceInterval = 0;
+    EXPECT_NE(o.validate().find("reduceInterval"), std::string::npos);
+  }
+  EXPECT_TRUE(SolverOptions().validate().empty());
 }
 
 TEST(SolverCornerCases, ManyVariablesFewClauses) {
