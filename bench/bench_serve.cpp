@@ -1,0 +1,194 @@
+// R-Serve: batch certification service characterization.
+//
+// A deterministic pass runs the demo-style mixed batch through
+// serve::BatchService across worker counts with the lemma cache on and
+// off, asserts the service's determinism contract (verdicts and
+// proof-check outcomes identical in every configuration), and writes
+// BENCH_serve.json: per-configuration throughput, cache hit rate, summed
+// CPF proof bytes, and the streaming disk certifier's live-clause
+// high-water mark — the bounded-memory claim, measured. The timing
+// benchmarks then re-run the batch under the google-benchmark harness
+// (no proof files, pure scheduling + solving + in-memory check).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/gen/arith.h"
+#include "src/serve/service.h"
+
+namespace cp::bench {
+namespace {
+
+/// Mixed batch with repeated sub-circuits (the cache's reason to exist):
+/// four adder-pair jobs per size plus a parity pair and one inequivalent
+/// pair, cycled to `count` jobs.
+std::vector<serve::JobSpec> serveBatch(std::size_t count) {
+  std::vector<serve::JobSpec> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = "job" + std::to_string(i);
+    switch (i % 5) {
+      case 0:
+        jobs.push_back(serve::makePairJob(name, gen::rippleCarryAdder(8),
+                                          gen::carryLookaheadAdder(8, 4)));
+        break;
+      case 1:
+        jobs.push_back(serve::makePairJob(name, gen::rippleCarryAdder(8),
+                                          gen::carrySelectAdder(8, 3)));
+        break;
+      case 2:
+        jobs.push_back(serve::makePairJob(name, gen::parityChain(10),
+                                          gen::parityTree(10)));
+        break;
+      case 3:
+        jobs.push_back(serve::makePairJob(name, gen::rippleCarryAdder(6),
+                                          gen::carrySkipAdder(6, 2)));
+        break;
+      default: {
+        aig::Aig broken = gen::rippleCarryAdder(5);
+        broken.setOutput(1, !broken.output(1));
+        jobs.push_back(
+            serve::makePairJob(name, gen::rippleCarryAdder(5), broken));
+        break;
+      }
+    }
+  }
+  return jobs;
+}
+
+void serveRequire(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "serve invariant failed: %s\n", what);
+    std::exit(1);
+  }
+}
+
+std::vector<serve::JobRecord> runBatch(std::size_t workers, bool cache,
+                                       const std::string& proofDir,
+                                       serve::ServiceMetrics* metrics) {
+  serve::ServiceOptions options;
+  options.numWorkers = workers;
+  options.enableLemmaCache = cache;
+  serve::BatchService service(options);
+  std::vector<serve::JobSpec> jobs = serveBatch(20);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!proofDir.empty()) {
+      jobs[i].options.engine.proofPath =
+          proofDir + "/job" + std::to_string(i + 1) + ".cpf";
+    }
+    (void)service.submit(std::move(jobs[i]));
+  }
+  std::vector<serve::JobRecord> records = service.drain();
+  if (metrics != nullptr) {
+    *metrics = service.metrics();
+  }
+  return records;
+}
+
+/// The deterministic characterization pass behind BENCH_serve.json.
+void runServeCharacterization(const char* jsonPath) {
+  const std::string proofDir = "bench_serve_proofs";
+  std::filesystem::create_directories(proofDir);
+
+  const std::vector<serve::JobRecord> baseline =
+      runBatch(1, /*cache=*/false, proofDir, nullptr);
+
+  std::ofstream out(jsonPath);
+  serveRequire(out.good(), "BENCH_serve.json opened for writing");
+  json::Writer writer(out);
+  writer.beginObject()
+      .field("benchmark", "serve")
+      .field("jobs", std::uint64_t{baseline.size()})
+      .key("runs")
+      .beginArray(/*linePerElement=*/true);
+
+  for (const bool cache : {false, true}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      serve::ServiceMetrics metrics;
+      const std::vector<serve::JobRecord> records =
+          runBatch(workers, cache, proofDir, &metrics);
+
+      // Determinism contract: every configuration reproduces the 1-worker
+      // cache-off verdicts and certification outcomes bit-identically.
+      serveRequire(records.size() == baseline.size(),
+                   "every configuration runs the whole batch");
+      std::uint64_t liveClausesPeak = 0;
+      std::uint64_t proofBytes = 0;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        serveRequire(records[i].state == serve::JobState::kDone,
+                     "every job completes");
+        serveRequire(records[i].verdict == baseline[i].verdict,
+                     "verdicts are identical in every configuration");
+        serveRequire(records[i].proofChecked == baseline[i].proofChecked,
+                     "certification outcomes are identical too");
+        liveClausesPeak = std::max(liveClausesPeak,
+                                   records[i].liveClausesPeak);
+        proofBytes += records[i].proofBytes;
+      }
+      const std::uint64_t traffic = metrics.cache.hits + metrics.cache.misses;
+      writer.beginObject()
+          .field("workers", std::uint64_t{workers})
+          .field("cache", cache)
+          .field("wallSeconds", metrics.wallSeconds)
+          .field("jobsPerSecond",
+                 static_cast<double>(records.size()) / metrics.wallSeconds)
+          .field("cacheHits", metrics.cache.hits)
+          .field("cacheMisses", metrics.cache.misses)
+          .field("cacheHitRate",
+                 traffic == 0
+                     ? 0.0
+                     : static_cast<double>(metrics.cache.hits) / traffic)
+          .field("proofBytes", proofBytes)
+          .field("liveClausesPeak", liveClausesPeak)
+          .endObject();
+      if (cache && workers == 1) {
+        serveRequire(metrics.cache.hits > 0,
+                     "the repeated-subcircuit batch produces cache hits");
+      }
+    }
+  }
+  writer.endArray().endObject();
+  writer.finishLine();
+  serveRequire(out.good(), "BENCH_serve.json written");
+  std::printf("wrote %s\n", jsonPath);
+}
+
+/// Timing: the whole batch end to end (submit, schedule, solve, certify)
+/// at a given worker count, cache on or off. No proof files.
+void BM_BatchCertification(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  const bool cache = state.range(1) != 0;
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    const std::vector<serve::JobRecord> records =
+        runBatch(workers, cache, "", nullptr);
+    jobs += records.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_BatchCertification)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Custom main: the deterministic characterization (determinism assertions
+// + BENCH_serve.json) always runs, then the timing benchmarks honor the
+// usual --benchmark_* flags.
+int main(int argc, char** argv) {
+  cp::bench::runServeCharacterization("BENCH_serve.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,293 @@
+// Batch certification driver over the cec::serve Job API.
+//
+//   $ ./cec_batch jobs.txt                 run a job-stream file
+//   $ ./cec_batch --demo 24                run a generated demo batch
+//
+// A job-stream file has one job per line ('#' starts a comment):
+//
+//   pair  NAME LEFT.aig RIGHT.aig [PRIORITY]
+//   miter NAME MITER.aig          [PRIORITY]
+//
+// `pair` builds the miter of two same-interface AIGER circuits; `miter`
+// submits a pre-built one-output miter. --demo generates a mixed batch
+// from the arithmetic/parity generators with deliberately repeated
+// sub-circuits, so the cross-job lemma cache has something to hit — the
+// zero-setup smoke workload CI runs.
+//
+// Every job is fully certified (engine, proof trim, independent check;
+// with --proof-dir additionally streamed to a CPF container and
+// re-certified from disk by the bounded-memory streaming checker, ready
+// for `proof_tools lint --werror`). Results are machine-readable: one JSON
+// record per job on stdout in submission order, aggregate service metrics
+// as one JSON object on stderr (or --metrics-out FILE).
+//
+// Flags: --workers N (0 = hardware), --queue N (admission bound),
+// --no-cache, --proof-dir DIR, --metrics-out FILE, --expect-cache-hits
+// (fail unless the shared cache hit at least once — the CI regression gate
+// for cross-job sharing).
+//
+// Exit code: 0 when every job reached a terminal verdict that holds up
+// (equivalent => proof checked, inequivalent => counterexample validated
+// by checkMiter itself); 1 when any job failed, expired, stayed
+// undecided, or an equivalent verdict lost its certificate; 2 on usage or
+// I/O errors.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/aig/aiger.h"
+#include "src/base/json.h"
+#include "src/gen/arith.h"
+#include "src/proof/compress.h"
+#include "src/proof/trim.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
+#include "src/serve/service.h"
+
+namespace {
+
+using cp::aig::Aig;
+using cp::serve::JobSpec;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cec_batch [flags] jobs.txt\n"
+      "       cec_batch [flags] --demo N\n"
+      "  --workers N         worker threads (0 = hardware, default)\n"
+      "  --queue N           admission bound (default 64)\n"
+      "  --no-cache          disable the cross-job lemma cache\n"
+      "  --proof-dir DIR     stream per-job CPF proofs into DIR and\n"
+      "                      re-certify each from disk\n"
+      "  --metrics-out FILE  write service metrics JSON to FILE\n"
+      "  --expect-cache-hits fail unless the lemma cache hit > 0 times\n");
+  std::exit(2);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+Aig readCircuit(const std::string& path) {
+  try {
+    return cp::aig::readAigerFile(path);
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+  }
+}
+
+/// Parses the job-stream file format described in the file comment.
+std::vector<JobSpec> readJobStream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::vector<JobSpec> jobs;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    const auto parseError = [&](const char* what) {
+      fail(path + ":" + std::to_string(lineNo) + ": " + what);
+    };
+    std::string name;
+    if (!(fields >> name)) parseError("missing job name");
+    cp::serve::JobOptions options;
+    JobSpec job;
+    if (kind == "pair") {
+      std::string left, right;
+      if (!(fields >> left >> right)) parseError("pair needs two AIGER files");
+      fields >> options.priority;  // optional; 0 when absent
+      job = cp::serve::makePairJob(name, readCircuit(left),
+                                   readCircuit(right), options);
+    } else if (kind == "miter") {
+      std::string miter;
+      if (!(fields >> miter)) parseError("miter needs an AIGER file");
+      fields >> options.priority;
+      job = cp::serve::makeMiterJob(name, readCircuit(miter), options);
+    } else {
+      parseError("unknown job kind (want 'pair' or 'miter')");
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// A generated batch with repeated sub-circuits: job i cycles through six
+/// families, so every family recurs and the lemma cache gets real hits.
+/// One family is deliberately inequivalent to exercise counterexample
+/// records in the same stream.
+std::vector<JobSpec> demoJobs(std::size_t count) {
+  namespace gen = cp::gen;
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    cp::serve::JobOptions options;
+    options.priority = static_cast<int>(i % 5) - 2;
+    const std::string name = "demo" + std::to_string(i);
+    switch (i % 6) {
+      case 0:
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-add8-rca-cla", gen::rippleCarryAdder(8),
+            gen::carryLookaheadAdder(8, 4), options));
+        break;
+      case 1:
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-add8-rca-csa", gen::rippleCarryAdder(8),
+            gen::carrySelectAdder(8, 3), options));
+        break;
+      case 2:
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-parity10", gen::parityChain(10), gen::parityTree(10),
+            options));
+        break;
+      case 3:
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-mul3", gen::arrayMultiplier(3),
+            gen::wallaceMultiplier(3), options));
+        break;
+      case 4:
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-add6-rca-skip", gen::rippleCarryAdder(6),
+            gen::carrySkipAdder(6, 2), options));
+        break;
+      default: {
+        Aig broken = gen::rippleCarryAdder(5);
+        broken.setOutput(1, !broken.output(1));
+        jobs.push_back(cp::serve::makePairJob(
+            name + "-add5-broken", gen::rippleCarryAdder(5), broken,
+            options));
+        break;
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jobFile;
+  std::string proofDir;
+  std::string metricsOut;
+  std::size_t demo = 0;
+  bool useDemo = false;
+  bool expectCacheHits = false;
+  cp::serve::ServiceOptions service;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto intArg = [&]() -> long {
+      if (i + 1 >= argc) usage();
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    if (arg == "--workers") {
+      service.numWorkers = static_cast<std::size_t>(intArg());
+    } else if (arg == "--queue") {
+      service.maxQueuedJobs = static_cast<std::size_t>(intArg());
+    } else if (arg == "--no-cache") {
+      service.enableLemmaCache = false;
+    } else if (arg == "--proof-dir") {
+      if (i + 1 >= argc) usage();
+      proofDir = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) usage();
+      metricsOut = argv[++i];
+    } else if (arg == "--expect-cache-hits") {
+      expectCacheHits = true;
+    } else if (arg == "--demo") {
+      useDemo = true;
+      demo = static_cast<std::size_t>(intArg());
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (jobFile.empty()) {
+      jobFile = arg;
+    } else {
+      usage();
+    }
+  }
+  if (useDemo == !jobFile.empty()) usage();  // exactly one source of jobs
+
+  std::vector<JobSpec> jobs =
+      useDemo ? demoJobs(demo) : readJobStream(jobFile);
+  if (jobs.empty()) fail("no jobs to run");
+  if (!proofDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(proofDir, ec);
+    if (ec) fail(proofDir + ": " + ec.message());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].options.engine.proofPath =
+          proofDir + "/job" + std::to_string(i + 1) + ".cpf";
+    }
+  }
+
+  // The queue bound is real backpressure: submit() blocks when the batch
+  // outruns the workers, so memory stays proportional to the bound, not
+  // the stream length. (Jobs already built above are the demo's cost; a
+  // long-running deployment would build each spec lazily before submit.)
+  cp::serve::BatchService batch(service);
+  for (JobSpec& job : jobs) {
+    (void)batch.submit(std::move(job));
+  }
+
+  bool allGood = true;
+  {
+    cp::json::Writer records(std::cout);
+    for (const cp::serve::JobRecord& record : batch.drain()) {
+      cp::serve::writeRecord(record, records);
+      records.finishLine();
+      const bool good =
+          record.state == cp::serve::JobState::kDone &&
+          (record.verdict == cp::cec::Verdict::kInequivalent ||
+           (record.verdict == cp::cec::Verdict::kEquivalent &&
+            record.proofChecked));
+      allGood = allGood && good;
+      // A container is only kept when it is a refutation: an inequivalent
+      // job's certificate is its (re-evaluated) counterexample, and linting
+      // a rootless container would rightly flag it. Kept refutations are
+      // rewritten deduplicated + trimmed — the raw stream is what the disk
+      // certifier replays, but the published artifact should carry no dead
+      // solver lemmas (lint-clean, like certify_multiplier's output).
+      if (!proofDir.empty()) {
+        const std::string path =
+            proofDir + "/job" + std::to_string(record.id) + ".cpf";
+        if (record.verdict != cp::cec::Verdict::kEquivalent) {
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+        } else if (good) {
+          const auto merged = cp::proof::mergeDuplicateClauses(
+              cp::proofio::readProofFile(path));
+          (void)cp::proofio::writeProofFile(
+              cp::proof::trimProof(merged.log).log, path);
+        }
+      }
+    }
+  }
+
+  const cp::serve::ServiceMetrics metrics = batch.metrics();
+  if (metricsOut.empty()) {
+    cp::json::Writer writer(std::cerr);
+    cp::serve::writeMetrics(metrics, writer);
+    writer.finishLine();
+  } else {
+    std::ofstream out(metricsOut);
+    if (!out) fail("cannot write " + metricsOut);
+    cp::json::Writer writer(out);
+    cp::serve::writeMetrics(metrics, writer);
+    writer.finishLine();
+  }
+
+  if (expectCacheHits && metrics.cache.hits == 0) {
+    std::fprintf(stderr,
+                 "error: --expect-cache-hits, but the lemma cache never "
+                 "hit\n");
+    return 1;
+  }
+  return allGood ? 0 : 1;
+}

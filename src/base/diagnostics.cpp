@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "src/base/json.h"
+
 namespace cp::diag {
 
 const char* severityName(Severity s) {
@@ -33,43 +35,21 @@ void renderText(std::span<const Diagnostic> diagnostics, std::ostream& out) {
   }
 }
 
-std::string jsonEscaped(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  static const char* kHex = "0123456789abcdef";
-  for (const char c : s) {
-    const unsigned char u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (u < 0x20) {
-          out += "\\u00";
-          out += kHex[u >> 4];
-          out += kHex[u & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string jsonEscaped(const std::string& s) { return json::escaped(s); }
 
 void renderJson(std::span<const Diagnostic> diagnostics, std::ostream& out) {
-  out << "[";
-  bool first = true;
+  json::Writer w(out);
+  w.beginArray(/*linePerElement=*/true);
   for (const Diagnostic& d : diagnostics) {
-    out << (first ? "\n" : ",\n");
-    first = false;
-    out << "{\"severity\":\"" << severityName(d.severity) << "\",\"code\":\""
-        << jsonEscaped(d.code) << "\",\"location\":\""
-        << jsonEscaped(d.location) << "\",\"message\":\""
-        << jsonEscaped(d.message) << "\"}";
+    w.beginObject()
+        .field("severity", severityName(d.severity))
+        .field("code", d.code)
+        .field("location", d.location)
+        .field("message", d.message)
+        .endObject();
   }
-  out << (first ? "]" : "\n]") << '\n';
+  w.endArray();
+  w.finishLine();
 }
 
 }  // namespace cp::diag

@@ -1,0 +1,143 @@
+#include "src/base/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace cp::json {
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::raw(std::string_view bytes) {
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void Writer::beforeValue() {
+  if (keyPending_) {
+    // The separator was emitted by key(); the value follows directly.
+    keyPending_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // top-level value
+  Frame& frame = stack_.back();
+  assert(frame.isArray && "object members need a key() first");
+  if (frame.hasElements) raw(",");
+  if (frame.linePerElement) raw("\n");
+  frame.hasElements = true;
+}
+
+Writer& Writer::beginObject() {
+  beforeValue();
+  stack_.push_back(Frame{/*isArray=*/false});
+  raw("{");
+  return *this;
+}
+
+Writer& Writer::endObject() {
+  assert(!stack_.empty() && !stack_.back().isArray);
+  stack_.pop_back();
+  raw("}");
+  return *this;
+}
+
+Writer& Writer::beginArray(bool linePerElement) {
+  beforeValue();
+  stack_.push_back(Frame{/*isArray=*/true, linePerElement});
+  raw("[");
+  return *this;
+}
+
+Writer& Writer::endArray() {
+  assert(!stack_.empty() && stack_.back().isArray);
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (frame.linePerElement && frame.hasElements) raw("\n");
+  raw("]");
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().isArray && !keyPending_);
+  Frame& frame = stack_.back();
+  if (frame.hasElements) raw(",");
+  frame.hasElements = true;
+  raw("\"");
+  raw(escaped(k));
+  raw("\":");
+  keyPending_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  beforeValue();
+  raw("\"");
+  raw(escaped(v));
+  raw("\"");
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  beforeValue();
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN literals; null is the conventional stand-in.
+    raw("null");
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  beforeValue();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  beforeValue();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+void Writer::finishLine() {
+  assert(stack_.empty());
+  raw("\n");
+}
+
+}  // namespace cp::json

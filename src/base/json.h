@@ -1,0 +1,87 @@
+// Minimal streaming JSON writer shared by every JSON surface in the tree.
+//
+// Three subsystems emit JSON for machine consumers: the lint renderer
+// (`proof_tools lint --json`), the batch certification service's job
+// records and metrics (src/serve), and the benchmark trajectory files
+// (BENCH_*.json). They must not drift apart in escaping or formatting, so
+// the escaping rules (RFC 8259, with every non-ASCII byte passed through)
+// and the separator state machine live here exactly once.
+//
+// The writer is deliberately tiny: objects are rendered compactly
+// (`{"k":1,"j":2}`); an array opened with linePerElement=true puts each
+// element on its own line — the established one-object-per-line shape of
+// lint output and job-record streams, greppable and diffable. Numbers are
+// rendered with std::to_chars, so output is locale-independent and doubles
+// round-trip shortest-form. No buffering, no DOM: everything streams to the
+// ostream as it is written.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cp::json {
+
+/// RFC 8259 string escaping: quotes, backslashes, \n \r \t, other control
+/// bytes as \u00xx. Non-ASCII bytes (UTF-8 payload) pass through verbatim.
+std::string escaped(std::string_view s);
+
+class Writer {
+ public:
+  /// Streams to `out`, which must outlive the writer.
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Writer& beginObject();
+  Writer& endObject();
+  /// With linePerElement, every element of *this* array starts on a fresh
+  /// line and the closing bracket gets its own line:
+  /// "[\n<e1>,\n<e2>\n]" (an empty array stays "[]").
+  Writer& beginArray(bool linePerElement = false);
+  Writer& endArray();
+
+  /// Emits an object member key; the next value call renders its value.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v);
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int32_t v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+
+  /// key(k).value(v) in one call.
+  template <typename T>
+  Writer& field(std::string_view k, T&& v) {
+    return key(k).value(std::forward<T>(v));
+  }
+
+  /// Terminates the top-level value with a newline (JSON-lines friendly).
+  /// Precondition: every container has been closed.
+  void finishLine();
+
+ private:
+  struct Frame {
+    bool isArray = false;
+    bool linePerElement = false;
+    bool hasElements = false;
+  };
+
+  /// Emits the separator owed before a value (or container) starts.
+  void beforeValue();
+  void raw(std::string_view bytes);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool keyPending_ = false;
+};
+
+}  // namespace cp::json

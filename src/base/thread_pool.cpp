@@ -39,8 +39,9 @@ void ThreadPool::workerLoop() {
       // Drain outstanding tasks even during shutdown so every submitted
       // future completes.
       if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      const auto next = queue_.begin();
+      task = std::move(next->second);
+      queue_.erase(next);
     }
     // packaged_task captures any exception into the future.
     task();

@@ -1,11 +1,17 @@
-// Fixed-size thread pool with future-returning task submission.
+// Fixed-size thread pool with future-returning, priority-aware task
+// submission.
 //
 // The pool exists for work that is embarrassingly parallel at a coarse
 // grain — one certified miter check per output in the multi-output CEC
-// driver is the motivating client. Tasks must own all their mutable state
-// (their own Rng, Solver, ProofLog); the pool provides no synchronization
-// beyond the task queue itself. Exceptions thrown by a task are captured
-// in its future and rethrown at get(), so a worker never dies silently.
+// driver, one certification job per submission in the batch service. Tasks
+// must own all their mutable state (their own Rng, Solver, ProofLog); the
+// pool provides no synchronization beyond the task queue itself.
+// Exceptions thrown by a task are captured in its future and rethrown at
+// get(), so a worker never dies silently.
+//
+// Dispatch order: higher priority first; within a priority level, strict
+// FIFO (submission order). The plain submit(fn) overload enqueues at
+// priority 0, so existing clients keep their FIFO semantics unchanged.
 //
 // Shutdown is graceful: the destructor stops accepting new work, drains
 // every task already queued (their futures stay valid), and joins all
@@ -14,13 +20,15 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cp {
@@ -46,11 +54,18 @@ class ThreadPool {
   /// value is taken literally.
   static std::size_t resolveThreads(std::size_t requested);
 
-  /// Enqueues `fn` and returns a future for its result. A task's
-  /// exception is stored in the future and rethrown by get(). Throws
-  /// std::runtime_error if the pool is already shutting down.
+  /// Enqueues `fn` at priority 0 and returns a future for its result. A
+  /// task's exception is stored in the future and rethrown by get().
+  /// Throws std::runtime_error if the pool is already shutting down.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    return submit(0, std::forward<F>(fn));
+  }
+
+  /// Enqueues `fn` at the given priority. Higher priorities dispatch
+  /// before lower ones; equal priorities dispatch in submission order.
+  template <typename F>
+  auto submit(int priority, F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
@@ -60,18 +75,25 @@ class ThreadPool {
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace(QueueKey{-priority, nextSeq_++},
+                     [task] { (*task)(); });
     }
     available_.notify_one();
     return future;
   }
 
  private:
+  // Ordered so that map.begin() is the next task to dispatch: negated
+  // priority first (higher priority sorts earlier), then submission
+  // sequence for FIFO within a level.
+  using QueueKey = std::pair<int, std::uint64_t>;
+
   void workerLoop();
 
   mutable std::mutex mutex_;
   std::condition_variable available_;
-  std::deque<std::function<void()>> queue_;
+  std::map<QueueKey, std::function<void()>> queue_;
+  std::uint64_t nextSeq_ = 0;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

@@ -174,16 +174,4 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   return report;
 }
 
-// Deprecated shim: forwards the legacy two-engine surface to checkMiter.
-CertifyReport certifyMiter(const aig::Aig& miter, Engine engine,
-                           const SweepOptions& sweepOptions) {
-  EngineConfig config;
-  if (engine == Engine::kSweeping) {
-    config.engine = sweepOptions;
-  } else {
-    config.engine = MonolithicOptions();
-  }
-  return checkMiter(miter, config);
-}
-
 }  // namespace cp::cec

@@ -38,8 +38,7 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
 
 /// Which engine checkMiter runs, with its options: the variant alternative
 /// held *is* the engine selection, so every engine's full option set is
-/// expressible (the legacy certifyMiter(miter, Engine, SweepOptions)
-/// signature could not pass MonolithicOptions or BddCecOptions at all).
+/// expressible through the one public entry point.
 using EngineOptions =
     std::variant<SweepOptions, MonolithicOptions, BddCecOptions>;
 
@@ -105,15 +104,5 @@ struct CertifyReport {
 CertifyReport checkMiter(const aig::Aig& miter,
                          const EngineConfig& config = EngineConfig(),
                          proof::ProofLog* rawLog = nullptr);
-
-// ---- deprecated pre-EngineConfig surface (one release of grace) ---------
-
-enum class Engine { kSweeping, kMonolithic };
-
-/// Thin shim over checkMiter for the one-release migration window.
-[[deprecated("use checkMiter(miter, EngineConfig) instead")]]
-CertifyReport certifyMiter(const aig::Aig& miter,
-                           Engine engine = Engine::kSweeping,
-                           const SweepOptions& sweepOptions = SweepOptions());
 
 }  // namespace cp::cec

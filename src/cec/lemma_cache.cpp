@@ -1,0 +1,451 @@
+#include "src/cec/lemma_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/base/options.h"
+#include "src/cnf/cnf.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+namespace {
+
+using aig::Edge;
+using proof::ClauseId;
+using sat::Lit;
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint32_t> words) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint32_t w : words) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (w >> shift) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+/// Canonical structure decoded from a cone blob. The blob is the only
+/// payload the cache stores, so everything the prover and the simulator
+/// need must re-derive from it.
+struct DecodedCone {
+  std::uint32_t numNodes = 0;
+  Edge root0;
+  Edge root1;
+  std::vector<Edge> fanin0;  // invalid Edge for inputs and the constant
+  std::vector<Edge> fanin1;
+  std::uint32_t numAnds = 0;
+  bool valid = false;
+};
+
+DecodedCone decodeBlob(std::span<const std::uint32_t> blob) {
+  DecodedCone d;
+  if (blob.size() < 3) return d;
+  d.numNodes = blob[0];
+  if (d.numNodes == 0 || blob.size() != 3 + 2ull * (d.numNodes - 1)) return d;
+  d.root0 = Edge::fromRaw(blob[1]);
+  d.root1 = Edge::fromRaw(blob[2]);
+  if (d.root0.node() >= d.numNodes || d.root1.node() >= d.numNodes) return d;
+  d.fanin0.assign(d.numNodes, Edge());
+  d.fanin1.assign(d.numNodes, Edge());
+  for (std::uint32_t v = 1; v < d.numNodes; ++v) {
+    const std::uint32_t f0 = blob[3 + 2 * (v - 1)];
+    const std::uint32_t f1 = blob[3 + 2 * (v - 1) + 1];
+    if (f0 == CanonicalCone::kInputSentinel) continue;  // input node
+    const Edge e0 = Edge::fromRaw(f0);
+    const Edge e1 = Edge::fromRaw(f1);
+    // Post-order numbering puts fanins strictly below their node.
+    if (e0.node() >= v || e1.node() >= v) return d;
+    d.fanin0[v] = e0;
+    d.fanin1[v] = e1;
+    ++d.numAnds;
+  }
+  d.valid = true;
+  return d;
+}
+
+std::uint64_t simulateSignature(const DecodedCone& d) {
+  std::vector<std::uint64_t> word(d.numNodes, 0);
+  std::uint64_t stream = 0x5DEECE66D1CE4E5Bull;  // fixed: cross-job stable
+  for (std::uint32_t v = 1; v < d.numNodes; ++v) {
+    if (!d.fanin0[v].valid()) {
+      word[v] = splitmix64(stream);
+      continue;
+    }
+    const std::uint64_t a =
+        word[d.fanin0[v].node()] ^ (d.fanin0[v].complemented() ? ~0ull : 0ull);
+    const std::uint64_t b =
+        word[d.fanin1[v].node()] ^ (d.fanin1[v].complemented() ? ~0ull : 0ull);
+    word[v] = a & b;
+  }
+  const std::uint64_t w0 =
+      word[d.root0.node()] ^ (d.root0.complemented() ? ~0ull : 0ull);
+  const std::uint64_t w1 =
+      word[d.root1.node()] ^ (d.root1.complemented() ? ~0ull : 0ull);
+  std::uint64_t mix = w0;
+  mix = splitmix64(mix) ^ w1;
+  return splitmix64(mix);
+}
+
+Lit litOfCanon(Edge e) {
+  return Lit::make(static_cast<sat::Var>(e.node()), e.complemented());
+}
+
+/// Extracts the backward-reachable slice of `log` from the two lemma ids
+/// in operand-encoded cached form. `numAxioms` is the cone's implicit
+/// axiom count; the log's axioms were recorded in exactly that order.
+CachedLemmaProof extractCachedProof(const proof::ProofLog& log,
+                                    std::uint32_t numAxioms, ClauseId fwdId,
+                                    ClauseId bwdId) {
+  const std::uint32_t numClauses = log.numClauses();
+  std::vector<char> needed(numClauses + 1, 0);
+  std::vector<ClauseId> stack = {fwdId, bwdId};
+  needed[fwdId] = needed[bwdId] = 1;
+  while (!stack.empty()) {
+    const ClauseId id = stack.back();
+    stack.pop_back();
+    for (const ClauseId c : log.chain(id)) {
+      if (!needed[c]) {
+        needed[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+
+  CachedLemmaProof out;
+  std::vector<std::uint32_t> enc(numClauses + 1, 0);
+  std::uint32_t axiomsSeen = 0;
+  for (ClauseId id = 1; id <= numClauses; ++id) {
+    if (log.isAxiom(id)) {
+      enc[id] = axiomsSeen++;
+      continue;
+    }
+    if (!needed[id]) continue;
+    const auto chain = log.chain(id);
+    CachedStep step;
+    step.operands.reserve(chain.size());
+    for (const ClauseId c : chain) step.operands.push_back(enc[c]);
+    if (chain.size() > 1) {
+      // Replay the sequential resolution to recover each step's pivot (the
+      // literal of the running resolvent whose negation occurs in the next
+      // antecedent -- the same discipline proof::checkProof enforces).
+      std::vector<Lit> resolvent(log.lits(chain[0]).begin(),
+                                 log.lits(chain[0]).end());
+      step.pivots.reserve(chain.size() - 1);
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        const auto next = log.lits(chain[i]);
+        Lit pivot;
+        bool found = false;
+        for (const Lit l : resolvent) {
+          if (std::find(next.begin(), next.end(), ~l) != next.end()) {
+            pivot = l;
+            found = true;
+            break;
+          }
+        }
+        assert(found && "solver chain without a pivot");
+        if (!found) return CachedLemmaProof{};  // defensive: unusable
+        step.pivots.push_back(pivot);
+        std::erase(resolvent, pivot);
+        for (const Lit l : next) {
+          if (l == ~pivot) continue;
+          if (std::find(resolvent.begin(), resolvent.end(), l) ==
+              resolvent.end()) {
+            resolvent.push_back(l);
+          }
+        }
+      }
+    }
+    enc[id] = numAxioms + static_cast<std::uint32_t>(out.steps.size());
+    out.steps.push_back(std::move(step));
+  }
+  assert(axiomsSeen == numAxioms);
+  out.fwd = enc[fwdId];
+  out.bwd = enc[bwdId];
+  return out;
+}
+
+}  // namespace
+
+CanonicalCone extractConePair(const aig::Aig& host, Edge root0, Edge root1,
+                              std::uint32_t maxConeNodes) {
+  CanonicalCone cone;
+  std::unordered_map<std::uint32_t, std::uint32_t> canonOf;
+  canonOf.emplace(0, 0);  // host constant -> canonical constant
+  cone.toHost.push_back(0);
+
+  std::uint32_t numAnds = 0;
+  struct Item {
+    std::uint32_t node;
+    int stage;
+  };
+  std::vector<Item> stack;
+  const auto assign = [&](std::uint32_t node) {
+    canonOf.emplace(node, static_cast<std::uint32_t>(cone.toHost.size()));
+    cone.toHost.push_back(node);
+  };
+  for (const std::uint32_t root : {root0.node(), root1.node()}) {
+    stack.push_back(Item{root, 0});
+    while (!stack.empty()) {
+      Item& item = stack.back();
+      if (canonOf.contains(item.node)) {
+        stack.pop_back();
+        continue;
+      }
+      if (!host.isAnd(item.node)) {  // primary input
+        assign(item.node);
+        stack.pop_back();
+        continue;
+      }
+      if (item.stage == 0) {
+        item.stage = 1;
+        stack.push_back(Item{host.fanin0(item.node).node(), 0});
+      } else if (item.stage == 1) {
+        item.stage = 2;
+        stack.push_back(Item{host.fanin1(item.node).node(), 0});
+      } else {
+        if (++numAnds > maxConeNodes) return CanonicalCone{};
+        assign(item.node);
+        stack.pop_back();
+      }
+    }
+  }
+
+  cone.numAnds = numAnds;
+  cone.root0 = Edge::make(canonOf.at(root0.node()), root0.complemented());
+  cone.root1 = Edge::make(canonOf.at(root1.node()), root1.complemented());
+  const std::uint32_t numNodes =
+      static_cast<std::uint32_t>(cone.toHost.size());
+  cone.blob.reserve(3 + 2ull * (numNodes - 1));
+  cone.blob.push_back(numNodes);
+  cone.blob.push_back(cone.root0.raw());
+  cone.blob.push_back(cone.root1.raw());
+  for (std::uint32_t v = 1; v < numNodes; ++v) {
+    const std::uint32_t h = cone.toHost[v];
+    if (!host.isAnd(h)) {
+      cone.blob.push_back(CanonicalCone::kInputSentinel);
+      cone.blob.push_back(CanonicalCone::kInputSentinel);
+      continue;
+    }
+    const Edge f0 = host.fanin0(h);
+    const Edge f1 = host.fanin1(h);
+    cone.blob.push_back(
+        Edge::make(canonOf.at(f0.node()), f0.complemented()).raw());
+    cone.blob.push_back(
+        Edge::make(canonOf.at(f1.node()), f1.complemented()).raw());
+  }
+  cone.structHash = fnv1a64(cone.blob);
+  cone.simSignature = simulateSignature(decodeBlob(cone.blob));
+  cone.valid = true;
+  return cone;
+}
+
+ProveResult proveConePair(const CanonicalCone& cone,
+                          const sat::SolverOptions& solverOptions,
+                          std::int64_t conflictBudget) {
+  ProveResult result;
+  const DecodedCone d = decodeBlob(cone.blob);
+  if (!d.valid) return result;
+
+  proof::ProofLog log;
+  sat::Solver solver(&log, solverOptions);
+  for (std::uint32_t v = 0; v < d.numNodes; ++v) (void)solver.newVar();
+
+  const Lit constFalse = Lit::make(0, false);
+  solver.addClause({~constFalse});
+  for (std::uint32_t v = 1; v < d.numNodes; ++v) {
+    if (!d.fanin0[v].valid()) continue;
+    const auto gate = cnf::andGateClauses(Lit::make(v, false),
+                                          litOfCanon(d.fanin0[v]),
+                                          litOfCanon(d.fanin1[v]));
+    for (const auto& clause : gate) solver.addClause(clause);
+  }
+
+  const Lit a = litOfCanon(d.root0);
+  const Lit b = litOfCanon(d.root1);
+
+  const auto model = [&] {
+    result.inputValues.assign(d.numNodes, false);
+    for (std::uint32_t v = 1; v < d.numNodes; ++v) {
+      if (d.fanin0[v].valid()) continue;
+      result.inputValues[v] =
+          solver.modelValue(static_cast<sat::Var>(v)) == sat::LBool::kTrue;
+    }
+  };
+
+  const Lit assume1[2] = {a, ~b};
+  const sat::LBool r1 = solver.solveLimited(assume1, conflictBudget);
+  if (r1 == sat::LBool::kTrue) {
+    result.outcome = ProveOutcome::kCounterexample;
+    model();
+    return result;
+  }
+  if (r1 == sat::LBool::kUndef) {
+    result.outcome = ProveOutcome::kUndecided;
+    return result;
+  }
+  const ClauseId fwdId = solver.conflictProofId();
+  if (fwdId == proof::kNoClause) return result;  // kUnavailable
+
+  const Lit assume2[2] = {~a, b};
+  const sat::LBool r2 = solver.solveLimited(assume2, conflictBudget);
+  if (r2 == sat::LBool::kTrue) {
+    result.outcome = ProveOutcome::kCounterexample;
+    model();
+    return result;
+  }
+  if (r2 == sat::LBool::kUndef) {
+    result.outcome = ProveOutcome::kUndecided;
+    return result;
+  }
+  const ClauseId bwdId = solver.conflictProofId();
+  if (bwdId == proof::kNoClause) return result;  // kUnavailable
+
+  result.proof = extractCachedProof(log, cone.numAxioms(), fwdId, bwdId);
+  if (result.proof.steps.empty() && !log.isAxiom(fwdId)) {
+    return result;  // defensive extraction failure: kUnavailable
+  }
+  result.outcome = ProveOutcome::kProved;
+  return result;
+}
+
+std::string LemmaCacheOptions::validate() const {
+  if (maxConeNodes == 0) {
+    return optionError("LemmaCacheOptions.maxConeNodes",
+                       optionValue(maxConeNodes), "[1, 2^32)",
+                       "a zero bound rejects every cone, making the cache "
+                       "pure overhead");
+  }
+  if (maxBytes < 4096) {
+    return optionError("LemmaCacheOptions.maxBytes", optionValue(maxBytes),
+                       "[4096, 2^64)",
+                       "smaller budgets evict every entry before its first "
+                       "reuse");
+  }
+  return {};
+}
+
+LemmaCache::LemmaCache(const LemmaCacheOptions& options) : options_(options) {
+  throwIfInvalid(options.validate(), "LemmaCache");
+}
+
+std::uint64_t LemmaCache::payloadBytes(const Entry& e) {
+  std::uint64_t bytes = e.blob.size() * sizeof(std::uint32_t) + sizeof(Entry);
+  for (const CachedStep& s : e.proof->steps) {
+    bytes += s.operands.size() * sizeof(std::uint32_t) +
+             s.pivots.size() * sizeof(sat::Lit) + sizeof(CachedStep);
+  }
+  return bytes;
+}
+
+LemmaCache::EntryList::iterator LemmaCache::find(const CanonicalCone& cone) {
+  const auto bucket =
+      map_.find(bucketOf(cone.structHash, cone.simSignature));
+  if (bucket == map_.end()) return lru_.end();
+  for (const EntryList::iterator it : bucket->second) {
+    if (it->blob == cone.blob) return it;
+  }
+  return lru_.end();
+}
+
+std::shared_ptr<const CachedLemmaProof> LemmaCache::lookup(
+    const CanonicalCone& cone) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = find(cone);
+  if (it == lru_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it);  // refresh recency
+  return it->proof;
+}
+
+void LemmaCache::insert(const CanonicalCone& cone, CachedLemmaProof proof) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t bucket = bucketOf(cone.structHash, cone.simSignature);
+  const auto existing = find(cone);
+  if (existing != lru_.end()) {
+    stats_.bytes -= existing->bytes;
+    existing->proof =
+        std::make_shared<const CachedLemmaProof>(std::move(proof));
+    existing->bytes = payloadBytes(*existing);
+    stats_.bytes += existing->bytes;
+    lru_.splice(lru_.begin(), lru_, existing);
+    return;
+  }
+  Entry entry;
+  entry.blob = cone.blob;
+  entry.bucket = bucket;
+  entry.proof = std::make_shared<const CachedLemmaProof>(std::move(proof));
+  lru_.push_front(std::move(entry));
+  lru_.front().bytes = payloadBytes(lru_.front());
+  stats_.bytes += lru_.front().bytes;
+  map_[bucket].push_back(lru_.begin());
+  ++stats_.inserts;
+  evictOverBudget();
+}
+
+void LemmaCache::evictOverBudget() {
+  while (stats_.bytes > options_.maxBytes && !lru_.empty()) {
+    const auto victim = std::prev(lru_.end());
+    auto& slot = map_.at(victim->bucket);
+    std::erase(slot, victim);
+    if (slot.empty()) map_.erase(victim->bucket);
+    stats_.bytes -= victim->bytes;
+    ++stats_.evictions;
+    lru_.erase(victim);
+  }
+}
+
+void LemmaCache::poison(const CanonicalCone& cone) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = find(cone);
+  if (it == lru_.end()) return;
+  const std::uint64_t bucket = bucketOf(cone.structHash, cone.simSignature);
+  auto& slot = map_.at(bucket);
+  std::erase(slot, it);
+  if (slot.empty()) map_.erase(bucket);
+  stats_.bytes -= it->bytes;
+  ++stats_.poisoned;
+  lru_.erase(it);
+}
+
+LemmaCacheStats LemmaCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t LemmaCache::numEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t LemmaCache::mutateEntriesForTest(
+    const std::function<void(CachedLemmaProof&)>& mutate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (Entry& entry : lru_) {
+    CachedLemmaProof mutated = *entry.proof;
+    mutate(mutated);
+    stats_.bytes -= entry.bytes;
+    entry.proof = std::make_shared<const CachedLemmaProof>(std::move(mutated));
+    entry.bytes = payloadBytes(entry);
+    stats_.bytes += entry.bytes;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cp::cec

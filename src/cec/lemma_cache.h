@@ -1,0 +1,223 @@
+// Cross-job lemma cache for certified SAT sweeping.
+//
+// The batch certification service (src/serve) runs many CEC jobs that share
+// sub-circuits: adder slices, ALU cones, copies of the same operator
+// instantiated in several designs. Inside one job the sweeping engine
+// already amortizes work through incremental SAT, but across jobs every
+// cone-pair equivalence is re-proved from scratch. This cache closes that
+// gap while preserving the end-to-end proof story:
+//
+//   * Keying. A candidate pair (image[n], image[rep]) is canonicalized by
+//     extracting the transitive-fanin cone of both roots from the fraiged
+//     graph and renumbering it with a deterministic DFS post-order
+//     (fanin0 before fanin1, root0's cone before root1's). Two pairs that
+//     are images of identically-constructed sub-circuits canonicalize to
+//     the same blob regardless of where they sit in their host graphs.
+//     The cache key is (structural hash, simulation signature) of the
+//     blob; a hit additionally requires exact blob equality, so hash
+//     collisions can cost time but never correctness.
+//
+//   * Payload. A *self-contained* resolution proof of the pair's
+//     equivalence over the canonical cone's Tseitin CNF: the axiom table
+//     is implicit in the canonical structure (one constant unit, then
+//     three clauses per canonical AND node in ascending order), and every
+//     derived step records its operand chain plus the resolution pivots in
+//     canonical literals.
+//
+//   * Splicing. On a hit, the sweeping engine replays the cached steps
+//     into the job's own proof log through ProofComposer::spliceChain,
+//     rebasing canonical ids onto the job's image-clause ids. Every
+//     spliced clause is an ordinary resolution over clauses already in the
+//     log, so a corrupt or stale cache entry can at worst fail the final
+//     subsumption check (and be evicted as poisoned) -- it can never
+//     smuggle an unsound clause past proof::checkProof or the streaming
+//     CPF certifier.
+//
+//   * Filling. On a miss, the pair is proved by a standalone solver over
+//     the canonical cone (proveConePair); the extracted proof is spliced
+//     exactly like a hit and then inserted, so hit and miss exercise one
+//     code path.
+//
+// The cache is shared by concurrent jobs: all public methods are
+// thread-safe, entries are immutable once published (shared_ptr<const>),
+// and memory is bounded by LRU eviction on a byte budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/sat/solver.h"
+#include "src/sat/types.h"
+
+namespace cp::cec {
+
+/// A cone pair in canonical form. Canonical node 0 is the constant, other
+/// nodes are numbered by DFS post-order; `blob` fully determines the
+/// structure and is the unit of cache-key equality.
+struct CanonicalCone {
+  /// Layout: [numNodes, root0.raw, root1.raw, fanin0.raw, fanin1.raw of
+  /// canonical node 1, 2, ...]. Edge raws use canonical node ids; input
+  /// nodes carry kInputSentinel in both fanin slots.
+  std::vector<std::uint32_t> blob;
+  std::uint64_t structHash = 0;
+  /// 64-pattern word simulation of the canonical cone with fixed
+  /// per-input patterns; a cheap secondary discriminator for bucketing.
+  std::uint64_t simSignature = 0;
+  /// Canonical node id -> host graph node id.
+  std::vector<std::uint32_t> toHost;
+  /// Roots in canonical edge form (root of blob[1], blob[2]).
+  aig::Edge root0;
+  aig::Edge root1;
+  std::uint32_t numAnds = 0;
+  bool valid = false;
+
+  static constexpr std::uint32_t kInputSentinel = 0xFFFFFFFFu;
+
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(toHost.size());
+  }
+  /// One constant unit plus three Tseitin clauses per canonical AND.
+  std::uint32_t numAxioms() const { return 1 + 3 * numAnds; }
+};
+
+/// Extracts the combined transitive-fanin cone of `root0` and `root1` from
+/// `host` in canonical form. Returns an invalid cone (valid == false) when
+/// the cone has more than `maxConeNodes` AND nodes.
+CanonicalCone extractConePair(const aig::Aig& host, aig::Edge root0,
+                              aig::Edge root1, std::uint32_t maxConeNodes);
+
+/// One derived step of a cached proof. Operand encoding: a value below the
+/// cone's numAxioms() is an axiom index (0 = constant unit, then axiom
+/// 1 + 3*a + k is clause k of the a-th canonical AND in ascending node
+/// order, in cnf::andGateClauses order); any other value v names the
+/// result of step v - numAxioms(). `pivots[i]` is the canonical-literal
+/// pivot of the resolution with operand i + 1, oriented as it occurs in
+/// the running resolvent. A single-operand step is a copy.
+struct CachedStep {
+  std::vector<std::uint32_t> operands;
+  std::vector<sat::Lit> pivots;
+};
+
+/// Self-contained equivalence proof of a canonical cone pair: `fwd`
+/// (operand-encoded) subsumes (~a | b) and `bwd` subsumes (a | ~b) for the
+/// canonical root literals a, b.
+struct CachedLemmaProof {
+  std::vector<CachedStep> steps;
+  std::uint32_t fwd = 0;
+  std::uint32_t bwd = 0;
+};
+
+enum class ProveOutcome {
+  kProved,          ///< equivalence proved; `proof` is filled
+  kCounterexample,  ///< roots differ; `inputValues` witnesses it
+  kUndecided,       ///< conflict budget exhausted
+  kUnavailable,     ///< no usable proof (e.g. tautological final conflict)
+};
+
+struct ProveResult {
+  ProveOutcome outcome = ProveOutcome::kUnavailable;
+  CachedLemmaProof proof;
+  /// For kCounterexample: value per canonical node id (only input nodes
+  /// are meaningful).
+  std::vector<bool> inputValues;
+};
+
+/// Proves (or refutes) equivalence of a canonical cone pair with a
+/// standalone solver over the cone's Tseitin CNF, and extracts the
+/// backward-reachable slice of the resulting proof in cached form.
+ProveResult proveConePair(const CanonicalCone& cone,
+                          const sat::SolverOptions& solverOptions,
+                          std::int64_t conflictBudget);
+
+struct LemmaCacheOptions {
+  /// Extraction bails out beyond this many AND nodes: big cones hit
+  /// rarely and their standalone proofs forgo incremental solving.
+  std::uint32_t maxConeNodes = 256;
+  /// Byte budget for cached proofs; least-recently-used entries are
+  /// evicted past it.
+  std::uint64_t maxBytes = 64ull << 20;
+
+  /// Empty when usable, else a uniform "field: got value, allowed range"
+  /// message (see base/options.h).
+  std::string validate() const;
+};
+
+struct LemmaCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t poisoned = 0;  ///< entries removed after a failed splice
+  std::uint64_t bytes = 0;     ///< current resident payload bytes
+};
+
+/// Thread-safe, byte-bounded LRU map from canonical cone pairs to their
+/// cached equivalence proofs.
+class LemmaCache {
+ public:
+  explicit LemmaCache(const LemmaCacheOptions& options = LemmaCacheOptions());
+
+  LemmaCache(const LemmaCache&) = delete;
+  LemmaCache& operator=(const LemmaCache&) = delete;
+
+  const LemmaCacheOptions& options() const { return options_; }
+
+  /// Returns the cached proof for `cone`'s exact blob, or null. A hit
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const CachedLemmaProof> lookup(const CanonicalCone& cone);
+
+  /// Publishes a proof for `cone`. An existing entry for the same blob is
+  /// replaced. May evict older entries to respect the byte budget.
+  void insert(const CanonicalCone& cone, CachedLemmaProof proof);
+
+  /// Removes the entry for `cone`'s blob (after a failed splice). The
+  /// splice verification makes a poisoned entry a performance bug, never
+  /// a soundness bug; see the file comment.
+  void poison(const CanonicalCone& cone);
+
+  LemmaCacheStats stats() const;
+  std::size_t numEntries() const;
+
+  /// Test hook: applies `mutate` to every stored proof (replacing the
+  /// published immutable payloads). Returns the number of entries
+  /// mutated. Used to verify that corrupt entries are rejected by the
+  /// splice verification instead of miscertifying.
+  std::size_t mutateEntriesForTest(
+      const std::function<void(CachedLemmaProof&)>& mutate);
+
+ private:
+  struct Entry {
+    std::vector<std::uint32_t> blob;
+    std::uint64_t bucket = 0;
+    std::shared_ptr<const CachedLemmaProof> proof;
+    std::uint64_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+
+  static std::uint64_t bucketOf(std::uint64_t structHash,
+                                std::uint64_t simSignature) {
+    return structHash ^ (simSignature * 0x9E3779B97F4A7C15ull);
+  }
+  static std::uint64_t payloadBytes(const Entry& e);
+  /// Locked. Returns lru_.end() when absent.
+  EntryList::iterator find(const CanonicalCone& cone);
+  /// Locked. Drops LRU-tail entries until the byte budget holds.
+  void evictOverBudget();
+
+  const LemmaCacheOptions options_;
+  mutable std::mutex mutex_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> map_;
+  LemmaCacheStats stats_;
+};
+
+}  // namespace cp::cec

@@ -1,5 +1,6 @@
 #include "src/cec/proof_composer.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -67,9 +68,20 @@ ClauseId ProofComposer::resolveOn(ClauseId c1, ClauseId c2, Lit pivotInC1) {
   for (const Lit l : lits2) {
     if (l != ~pivotInC1) push(l);
   }
+  // Content memo: an identical resolvent derived earlier (overlapping
+  // lemma chains, shared sub-cones) is reused instead of duplicated. The
+  // earlier clause is by construction already in the log, so every later
+  // reference stays well-founded.
+  std::vector<Lit> sorted(resolvent);
+  std::sort(sorted.begin(), sorted.end());
+  const auto [memo, isNew] = resolventMemo_.try_emplace(std::move(sorted));
+  if (!isNew) return memo->second;
+
   const ClauseId chain[2] = {c1, c2};
   ++derivedSteps_;
-  return log_->addDerived(resolvent, chain);
+  const ClauseId id = log_->addDerived(resolvent, chain);
+  memo->second = id;
+  return id;
 }
 
 ClauseId ProofComposer::substThroughCert(ClauseId c, std::uint32_t node,
@@ -79,6 +91,19 @@ ClauseId ProofComposer::substThroughCert(ClauseId c, std::uint32_t node,
   if (crt.identity) return c;
   const ClauseId bridge = sign ? crt.bwd : crt.fwd;
   return resolveOn(c, bridge, Lit::make(node, sign));
+}
+
+ClauseId ProofComposer::spliceChain(std::span<const ClauseId> operands,
+                                    std::span<const Lit> pivots) {
+  if (!log_) return kNoClause;
+  if (operands.empty() || pivots.size() + 1 != operands.size()) {
+    throw std::logic_error("spliceChain: malformed operand/pivot chain");
+  }
+  ClauseId current = operands[0];
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    current = resolveOn(current, operands[i], pivots[i - 1]);
+  }
+  return current;
 }
 
 ClauseId ProofComposer::imageClause(std::uint32_t n, int k) {

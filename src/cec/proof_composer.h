@@ -50,6 +50,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "src/aig/aig.h"
@@ -134,6 +136,10 @@ class ProofComposer {
   /// Subsumption-aware binary resolution: returns an id whose clause
   /// subsumes resolve(c1, c2) on `pivotInC1`. Falls back to c1 (pivot
   /// absent) or c2 (negated pivot absent) without recording a step.
+  /// Genuine resolutions are memoized by resolvent content: deriving a
+  /// literal set the composer already derived returns the earlier id
+  /// instead of recording a duplicate clause, so replaying overlapping
+  /// cached lemma chains keeps the log duplicate-free.
   proof::ClauseId resolveOn(proof::ClauseId c1, proof::ClauseId c2,
                             sat::Lit pivotInC1);
 
@@ -142,6 +148,17 @@ class ProofComposer {
   /// certificates make this a no-op.
   proof::ClauseId substThroughCert(proof::ClauseId c, std::uint32_t node,
                                    bool sign);
+
+  /// Sequential subsumption-aware resolution of `operands`: pivots[i]
+  /// resolves operand i+1 into the running resolvent and is oriented as it
+  /// occurs there. This is the rebasing primitive that replays a cached
+  /// lemma proof (cec::LemmaCache) inside this log: every step is an
+  /// ordinary resolveOn over clauses already recorded, so the result is
+  /// checkable no matter where the chain came from. A single operand is
+  /// returned as-is. Throws std::logic_error on a malformed chain or a
+  /// tautological resolvent.
+  proof::ClauseId spliceChain(std::span<const proof::ClauseId> operands,
+                              std::span<const sat::Lit> pivots);
 
  private:
   sat::Lit varLit(std::uint32_t node) const {
@@ -163,6 +180,12 @@ class ProofComposer {
   std::vector<Cert> cert_;
   sat::Lit outputLit_;
   std::uint64_t derivedSteps_ = 0;
+
+  /// Sorted literal set -> id of the composer-derived clause holding it.
+  /// Looked up before recording a resolvent, so structurally overlapping
+  /// derivations (e.g. two cached lemma chains sharing sub-cones) reuse
+  /// one clause instead of duplicating it.
+  std::map<std::vector<sat::Lit>, proof::ClauseId> resolventMemo_;
 };
 
 }  // namespace cp::cec

@@ -47,6 +47,11 @@ struct CecStats {
   /// search lemmas and root-level unit derivations. Zero when not logging.
   std::uint64_t proofStructuralSteps = 0;
 
+  // Cross-job lemma cache (all zero unless SweepOptions.lemmaCache is set).
+  std::uint64_t lemmaCacheHits = 0;    ///< candidate pairs answered by cache
+  std::uint64_t lemmaCacheMisses = 0;  ///< cacheable pairs not yet cached
+  std::uint64_t lemmaCacheSpliced = 0; ///< cached proofs replayed into log
+
   double totalSeconds = 0.0;
 };
 

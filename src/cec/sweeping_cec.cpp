@@ -10,6 +10,7 @@
 #include "src/base/log.h"
 #include "src/base/options.h"
 #include "src/base/stopwatch.h"
+#include "src/cec/lemma_cache.h"
 #include "src/cec/proof_composer.h"
 #include "src/cnf/cnf.h"
 #include "src/sat/solver.h"
@@ -63,9 +64,26 @@ class SweepRun {
   /// (~v(n) | t) / (v(n) | ~t) for t = lit(image[n]).
   void verifyCertInvariant(std::uint32_t n, const char* where) const;
   void loadCone(Edge root);
-  void injectCounterexample();
+  void injectCounterexample(std::vector<bool> cex);
   std::vector<bool> modelInputs() const;
   CecResult finalize();
+
+  // ---- cross-job lemma cache (options_.lemmaCache) -------------------------
+  enum class CachedOutcome {
+    kMerged,     ///< pair proved (hit or standalone) and certificate spliced
+    kCex,        ///< pair refuted; counterexample injected
+    kUndecided,  ///< standalone budget exhausted: skip this candidate
+    kFallback,   ///< cache not applicable: use the incremental solver path
+  };
+  CachedOutcome tryCachedMerge(std::uint32_t n, Edge repImg, sat::Lit tn,
+                               sat::Lit tr);
+  /// Replays `cached` into the main log, rebasing canonical ids onto this
+  /// run's image clauses, and installs the merge certificate for n on
+  /// success. Returns false (leaving the run sound but unmerged) when the
+  /// cached chain does not reproduce clauses subsuming the equivalence.
+  bool spliceCachedProof(const CanonicalCone& cone,
+                         const CachedLemmaProof& cached, std::uint32_t n,
+                         sat::Lit tn, sat::Lit tr);
 
   const aig::Aig& original_;
   const SweepOptions options_;
@@ -233,8 +251,7 @@ std::vector<bool> SweepRun::modelInputs() const {
   return values;
 }
 
-void SweepRun::injectCounterexample() {
-  std::vector<bool> cex = modelInputs();
+void SweepRun::injectCounterexample(std::vector<bool> cex) {
   sim_.setInputPattern(cexSlot_++ % sim_.numPatterns(), cex);
   // Distance-1 neighbourhood: single-bit flips of the counterexample.
   if (!cex.empty()) {
@@ -267,6 +284,25 @@ void SweepRun::checkCandidate(std::uint32_t n) {
     }
     const Lit tn = litOfF(image_[n]);
     const Lit tr = litOfF(repImg);
+
+    if (options_.lemmaCache != nullptr) {
+      const CachedOutcome outcome = tryCachedMerge(n, repImg, tn, tr);
+      if (outcome == CachedOutcome::kMerged) {
+        image_[n] = repImg;
+        ++stats_.satMerges;
+        classes_.remove(n);
+        return;
+      }
+      if (outcome == CachedOutcome::kCex) {
+        if (++retries > options_.maxCexRetries) break;
+        continue;
+      }
+      if (outcome == CachedOutcome::kUndecided) {
+        ++stats_.satUndecided;
+        break;
+      }
+      // kFallback: the incremental solver decides this pair.
+    }
     loadCone(image_[n]);
     loadCone(repImg);
 
@@ -277,7 +313,7 @@ void SweepRun::checkCandidate(std::uint32_t n) {
         solver_.solveLimited(assume1, options_.pairConflictBudget);
     if (r1 == sat::LBool::kTrue) {
       ++stats_.satSat;
-      injectCounterexample();
+      injectCounterexample(modelInputs());
       if (++retries > options_.maxCexRetries) break;
       continue;
     }
@@ -295,7 +331,7 @@ void SweepRun::checkCandidate(std::uint32_t n) {
         solver_.solveLimited(assume2, options_.pairConflictBudget);
     if (r2 == sat::LBool::kTrue) {
       ++stats_.satSat;
-      injectCounterexample();
+      injectCounterexample(modelInputs());
       if (++retries > options_.maxCexRetries) break;
       continue;
     }
@@ -314,6 +350,166 @@ void SweepRun::checkCandidate(std::uint32_t n) {
   }
   ++stats_.skippedCandidates;
   classes_.remove(n);
+}
+
+SweepRun::CachedOutcome SweepRun::tryCachedMerge(std::uint32_t n, Edge repImg,
+                                                 Lit tn, Lit tr) {
+  LemmaCache& cache = *options_.lemmaCache;
+  const CanonicalCone cone = extractConePair(
+      fraig_, image_[n], repImg, cache.options().maxConeNodes);
+  if (!cone.valid) return CachedOutcome::kFallback;
+
+  if (const auto cached = cache.lookup(cone)) {
+    ++stats_.lemmaCacheHits;
+    if (spliceCachedProof(cone, *cached, n, tn, tr)) {
+      ++stats_.lemmaCacheSpliced;
+      return CachedOutcome::kMerged;
+    }
+    // The entry no longer replays into a valid certificate (corrupt or
+    // produced under assumptions this run cannot reproduce): drop it and
+    // let the incremental solver decide the pair from scratch.
+    cache.poison(cone);
+    return CachedOutcome::kFallback;
+  }
+  ++stats_.lemmaCacheMisses;
+
+  ProveResult proved = proveConePair(cone, options_.solver,
+                                     options_.pairConflictBudget);
+  ++stats_.satCalls;  // the standalone prover is still (budgeted) SAT work
+  switch (proved.outcome) {
+    case ProveOutcome::kProved: {
+      ++stats_.satUnsat;
+      if (!spliceCachedProof(cone, proved.proof, n, tn, tr)) {
+        return CachedOutcome::kFallback;  // never insert an unusable proof
+      }
+      ++stats_.lemmaCacheSpliced;
+      cache.insert(cone, std::move(proved.proof));
+      return CachedOutcome::kMerged;
+    }
+    case ProveOutcome::kCounterexample: {
+      ++stats_.satSat;
+      // Map the canonical input assignment back to primary inputs of the
+      // original graph (canonical node -> fraig node -> original node).
+      std::vector<bool> cex(original_.numInputs(), false);
+      for (std::uint32_t v = 1; v < cone.numNodes(); ++v) {
+        const std::uint32_t m = cone.toHost[v];
+        if (!fraig_.isInput(m)) continue;
+        const std::uint32_t orig = canon_[m];
+        cex[original_.inputIndex(orig)] = proved.inputValues[v];
+      }
+      injectCounterexample(std::move(cex));
+      return CachedOutcome::kCex;
+    }
+    case ProveOutcome::kUndecided:
+      ++stats_.satUndecided;
+      return CachedOutcome::kUndecided;
+    case ProveOutcome::kUnavailable:
+    default:
+      return CachedOutcome::kFallback;
+  }
+}
+
+bool SweepRun::spliceCachedProof(const CanonicalCone& cone,
+                                 const CachedLemmaProof& cached,
+                                 std::uint32_t n, Lit tn, Lit tr) {
+  if (!log_) {
+    // Non-certifying run: the merge is justified by the prover's verdict
+    // (hits require exact canonical-structure equality).
+    composer_.onSatMerge(n, tn, tr, proof::kNoClause, proof::kNoClause);
+    return true;
+  }
+  const std::uint32_t numNodes = cone.numNodes();
+  const std::uint32_t numAxioms = cone.numAxioms();
+
+  // Canonical AND nodes in ascending order: the implicit axiom table.
+  std::vector<std::uint32_t> andNodes;
+  andNodes.reserve(cone.numAnds);
+  for (std::uint32_t v = 1; v < numNodes; ++v) {
+    if (fraig_.isAnd(cone.toHost[v])) andNodes.push_back(v);
+  }
+  if (andNodes.size() != cone.numAnds) return false;
+
+  const auto mapLit = [&](Lit canonical) {
+    return Lit::make(
+        static_cast<sat::Var>(canon_[cone.toHost[canonical.var()]]),
+        canonical.negated());
+  };
+  const auto contains = [&](ClauseId id, Lit l) {
+    for (const Lit x : log_->lits(id)) {
+      if (x == l) return true;
+    }
+    return false;
+  };
+  const auto mapAxiom = [&](std::uint32_t index) -> ClauseId {
+    if (index == 0) return composer_.constUnit();
+    const std::uint32_t a = (index - 1) / 3;
+    const int k = static_cast<int>((index - 1) % 3);
+    const std::uint32_t m = cone.toHost[andNodes[a]];
+    if (k == 2) return dClauses_[m][2];
+    // The image clauses of m may pair its fanins in either order (addAnd
+    // normalizes fanin order); match by literal membership like
+    // ProofComposer::onStrashHit.
+    const Lit la = litOfF(fraig_.fanin0(m));
+    const Lit lb = litOfF(fraig_.fanin1(m));
+    ClauseId dForLa = dClauses_[m][0];
+    ClauseId dForLb = dClauses_[m][1];
+    if (contains(dClauses_[m][1], la) || contains(dClauses_[m][0], lb)) {
+      std::swap(dForLa, dForLb);
+    }
+    return k == 0 ? dForLa : dForLb;
+  };
+
+  std::vector<ClauseId> stepIds(cached.steps.size(), proof::kNoClause);
+  const auto mapOperand = [&](std::uint32_t encoded,
+                              std::size_t stepsDone) -> ClauseId {
+    if (encoded < numAxioms) return mapAxiom(encoded);
+    const std::uint32_t s = encoded - numAxioms;
+    return s < stepsDone ? stepIds[s] : proof::kNoClause;
+  };
+
+  try {
+    for (std::size_t i = 0; i < cached.steps.size(); ++i) {
+      const CachedStep& step = cached.steps[i];
+      if (step.operands.empty() ||
+          step.pivots.size() + 1 != step.operands.size()) {
+        return false;
+      }
+      std::vector<ClauseId> operands;
+      operands.reserve(step.operands.size());
+      for (const std::uint32_t encoded : step.operands) {
+        const ClauseId id = mapOperand(encoded, i);
+        if (id == proof::kNoClause) return false;
+        operands.push_back(id);
+      }
+      for (const Lit pivot : step.pivots) {
+        if (pivot.var() >= numNodes) return false;
+      }
+      std::vector<Lit> pivots;
+      pivots.reserve(step.pivots.size());
+      for (const Lit pivot : step.pivots) pivots.push_back(mapLit(pivot));
+      stepIds[i] = composer_.spliceChain(operands, pivots);
+    }
+    const ClauseId fwd = mapOperand(cached.fwd, cached.steps.size());
+    const ClauseId bwd = mapOperand(cached.bwd, cached.steps.size());
+    if (fwd == proof::kNoClause || bwd == proof::kNoClause) return false;
+
+    // The spliced chain must reproduce the equivalence lemma pair before
+    // it may certify a merge. resolveOn only ever records genuine
+    // resolutions of clauses already in the log, so failing here leaves
+    // dead weight in the log but can never unsound the proof.
+    const auto subsumes = [&](ClauseId id, Lit x, Lit y) {
+      for (const Lit l : log_->lits(id)) {
+        if (l != x && l != y) return false;
+      }
+      return true;
+    };
+    if (!subsumes(fwd, ~tn, tr) || !subsumes(bwd, tn, ~tr)) return false;
+
+    composer_.onSatMerge(n, tn, tr, fwd, bwd);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;  // tautological resolvent: the entry cannot replay here
+  }
 }
 
 CecResult SweepRun::finalize() {

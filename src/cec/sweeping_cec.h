@@ -24,6 +24,8 @@
 
 namespace cp::cec {
 
+class LemmaCache;
+
 struct SweepOptions {
   /// 64-bit words of parallel random simulation (64*words patterns).
   std::uint32_t simWords = 8;
@@ -47,6 +49,14 @@ struct SweepOptions {
   /// heuristics; see sat::SolverOptions). Any combination yields the same
   /// verdicts and checkable proofs; the knobs only trade search effort.
   sat::SolverOptions solver;
+
+  /// Optional cross-job lemma cache (not owned; thread-safe, so one cache
+  /// may serve concurrent sweeps). When set, candidate pairs whose cone
+  /// fits the cache's bound are canonicalized and answered from the cache
+  /// when possible; cached proofs are spliced into this run's log so the
+  /// composed proof stays checkable end to end. Verdicts are identical
+  /// with and without a cache -- only the work to reach them changes.
+  LemmaCache* lemmaCache = nullptr;
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Checked by every

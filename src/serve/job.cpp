@@ -1,0 +1,71 @@
+#include "src/serve/job.h"
+
+#include "src/base/options.h"
+#include "src/cec/miter.h"
+
+namespace cp::serve {
+
+std::string JobOptions::validate() const {
+  if (deadlineSeconds < 0.0) {
+    return optionError("JobOptions.deadlineSeconds",
+                       optionValue(deadlineSeconds), "[0, inf)",
+                       "negative deadlines would expire every job on "
+                       "admission; use 0 to disable");
+  }
+  return engine.validate();
+}
+
+JobSpec makeMiterJob(std::string name, aig::Aig miter, JobOptions options) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.miter = std::move(miter);
+  spec.options = std::move(options);
+  return spec;
+}
+
+JobSpec makePairJob(std::string name, const aig::Aig& left,
+                    const aig::Aig& right, JobOptions options) {
+  return makeMiterJob(std::move(name), cec::buildMiter(left, right),
+                      std::move(options));
+}
+
+const char* toString(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+    default: return "failed";
+  }
+}
+
+void writeRecord(const JobRecord& record, json::Writer& writer) {
+  writer.beginObject()
+      .field("id", record.id)
+      .field("name", record.name)
+      .field("state", toString(record.state))
+      .field("priority", record.priority)
+      .field("verdict", cec::toString(record.verdict))
+      .field("proofChecked", record.proofChecked)
+      .field("conflicts", record.conflicts)
+      .field("satCalls", record.satCalls)
+      .field("proofClauses", record.proofClauses)
+      .field("proofResolutions", record.proofResolutions)
+      .field("proofBytes", record.proofBytes)
+      .field("liveClausesPeak", record.liveClausesPeak)
+      .field("cacheHits", record.cacheHits)
+      .field("cacheMisses", record.cacheMisses)
+      .field("cacheSpliced", record.cacheSpliced)
+      .field("queuedSeconds", record.queuedSeconds)
+      .field("runSeconds", record.runSeconds)
+      .field("checkSeconds", record.checkSeconds)
+      .field("deadlineMissed", record.deadlineMissed)
+      .field("sequence", record.sequence);
+  if (!record.error.empty()) {
+    writer.field("error", record.error);
+  }
+  writer.endObject();
+}
+
+}  // namespace cp::serve

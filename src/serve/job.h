@@ -1,0 +1,123 @@
+// The finalized Job API of the batch certification service.
+//
+// A job is one certified CEC run: a single-output miter (built by the
+// caller or from an AIGER pair via makePairJob) plus per-job options — the
+// full EngineConfig of cec::checkMiter, a scheduling priority, an optional
+// admission deadline, and an opt-out from the service's shared lemma
+// cache. The service answers every submitted job with an immutable
+// JobRecord carrying the verdict, the certification evidence (proof
+// checked, proof sizes, CPF container bytes), cache and solver statistics,
+// and the job's scheduling timeline. Records render to one JSON object per
+// line through cp::json, so a job stream is greppable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/aig/aig.h"
+#include "src/base/json.h"
+#include "src/cec/certify.h"
+#include "src/cec/result.h"
+
+namespace cp::serve {
+
+/// Per-job knobs. The engine configuration is the same EngineConfig that
+/// cec::checkMiter takes, so everything expressible in a standalone run is
+/// expressible per job — including EngineConfig::proofPath for streaming
+/// the job's proof to a CPF container and re-certifying it from disk.
+struct JobOptions {
+  /// Scheduling priority: higher runs first; equal priorities run in
+  /// submission order (the thread pool's FIFO-within-level guarantee).
+  int priority = 0;
+
+  /// Seconds after submission by which the job must have *started*; a job
+  /// still queued past its deadline completes as JobState::kExpired
+  /// without running. 0 disables the deadline. A job that starts in time
+  /// but finishes late merely gets deadlineMissed set on its record.
+  double deadlineSeconds = 0.0;
+
+  /// Engine, proof-check threads and optional CPF proof path for this job.
+  cec::EngineConfig engine;
+
+  /// When the service has a lemma cache and the job selects the sweeping
+  /// engine, proved cone-pair equivalences are shared with other jobs.
+  /// Verdicts are bit-identical with the cache on or off; only timing and
+  /// cache statistics differ.
+  bool useLemmaCache = true;
+
+  /// Empty when usable, else a uniform "field: got value, allowed range"
+  /// message (see base/options.h).
+  std::string validate() const;
+};
+
+/// A unit of work for the service: a named single-output miter.
+struct JobSpec {
+  std::string name;
+  aig::Aig miter;
+  JobOptions options;
+};
+
+/// Wraps an already-built miter as a job.
+JobSpec makeMiterJob(std::string name, aig::Aig miter,
+                     JobOptions options = JobOptions());
+
+/// Builds the miter of two same-interface circuits (cec::buildMiter) and
+/// wraps it as a job.
+JobSpec makePairJob(std::string name, const aig::Aig& left,
+                    const aig::Aig& right, JobOptions options = JobOptions());
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,    ///< a worker is certifying it
+  kDone,       ///< finished; verdict and evidence are valid
+  kCancelled,  ///< cancelled while still queued; never ran
+  kExpired,    ///< deadline passed before a worker picked it up
+  kFailed,     ///< the engine threw; `error` carries the message
+};
+
+const char* toString(JobState s);
+
+/// Everything the service knows about one job. Terminal records are
+/// immutable; `verdict` and the evidence fields are meaningful only in
+/// state kDone.
+struct JobRecord {
+  std::uint64_t id = 0;  ///< service-assigned, dense from 1
+  std::string name;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  cec::Verdict verdict = cec::Verdict::kUndecided;
+  /// Proof checked by the independent checker — and, when the job set a
+  /// proofPath, additionally re-certified from the CPF container on disk.
+  bool proofChecked = false;
+  std::uint64_t conflicts = 0;
+  std::uint64_t satCalls = 0;
+  /// Trimmed (checked) proof shape; zero for proofless verdicts/engines.
+  std::uint64_t proofClauses = 0;
+  std::uint64_t proofResolutions = 0;
+  /// Size of the finished CPF container (0 without a proofPath).
+  std::uint64_t proofBytes = 0;
+  /// Streaming disk certifier's live-clause high-water mark — the bounded
+  /// memory the re-certification actually needed (0 without a proofPath).
+  std::uint64_t liveClausesPeak = 0;
+  /// This job's share of the cross-job lemma cache traffic.
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheSpliced = 0;
+  double queuedSeconds = 0.0;  ///< submission -> worker pickup (or expiry)
+  double runSeconds = 0.0;     ///< engine + certification wall time
+  double checkSeconds = 0.0;   ///< proof-check share (in-memory + disk)
+  /// The job ran, but finished past its deadline.
+  bool deadlineMissed = false;
+  std::string error;  ///< non-empty only in state kFailed
+  /// Completion order among terminal records, dense from 1. Distinct from
+  /// `id` (admission order) whenever priorities or worker counts reorder
+  /// execution.
+  std::uint64_t sequence = 0;
+};
+
+/// Renders one record as a compact JSON object (no trailing newline); the
+/// machine-readable result format of the service and the cec_batch driver.
+void writeRecord(const JobRecord& record, json::Writer& writer);
+
+}  // namespace cp::serve

@@ -1,0 +1,316 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "src/base/options.h"
+
+namespace cp::serve {
+
+std::string ServiceOptions::validate() const {
+  if (maxQueuedJobs == 0) {
+    return optionError("ServiceOptions.maxQueuedJobs",
+                       optionValue(std::uint64_t{maxQueuedJobs}), "[1, 2^64)",
+                       "a zero bound rejects every submission");
+  }
+  if (enableLemmaCache) {
+    return lemmaCache.validate();
+  }
+  return {};
+}
+
+void writeMetrics(const ServiceMetrics& m, json::Writer& writer) {
+  writer.beginObject()
+      .field("submitted", m.submitted)
+      .field("completed", m.completed)
+      .field("cancelled", m.cancelled)
+      .field("expired", m.expired)
+      .field("failed", m.failed)
+      .field("equivalent", m.equivalent)
+      .field("inequivalent", m.inequivalent)
+      .field("undecided", m.undecided)
+      .field("proofsChecked", m.proofsChecked)
+      .field("conflicts", m.conflicts)
+      .field("proofBytes", m.proofBytes)
+      .field("totalRunSeconds", m.totalRunSeconds)
+      .field("totalCheckSeconds", m.totalCheckSeconds)
+      .field("wallSeconds", m.wallSeconds);
+  writer.key("cache")
+      .beginObject()
+      .field("lookups", m.cache.lookups)
+      .field("hits", m.cache.hits)
+      .field("misses", m.cache.misses)
+      .field("inserts", m.cache.inserts)
+      .field("evictions", m.cache.evictions)
+      .field("poisoned", m.cache.poisoned)
+      .field("bytes", m.cache.bytes)
+      .endObject();
+  writer.endObject();
+}
+
+namespace {
+
+ServiceOptions validated(ServiceOptions options) {
+  throwIfInvalid(options.validate(), "BatchService");
+  return options;
+}
+
+bool isTerminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+}  // namespace
+
+BatchService::BatchService(const ServiceOptions& options)
+    : options_(validated(options)),
+      paused_(options.startPaused),
+      pool_(ThreadPool::resolveThreads(options.numWorkers)) {
+  if (options_.enableLemmaCache) {
+    cache_ = std::make_unique<cec::LemmaCache>(options_.lemmaCache);
+  }
+}
+
+BatchService::~BatchService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // Wake blocked submitters (they throw) and flush any jobs still held by
+  // startPaused so the pool's drain-on-destruction completes them.
+  admission_.notify_all();
+  start();
+  // pool_ is the last member: its destructor drains the queue and joins
+  // the workers before the rest of the service state is torn down.
+}
+
+std::uint64_t BatchService::admit(JobSpec&& spec, bool blocking) {
+  throwIfInvalid(spec.options.validate(), "BatchService::submit");
+  if (spec.miter.numOutputs() != 1) {
+    throw std::invalid_argument("BatchService::submit: job \"" + spec.name +
+                                "\": a job needs a one-output miter");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (blocking) {
+    admission_.wait(lock, [this] {
+      return stopping_ || numQueued_ < options_.maxQueuedJobs;
+    });
+  } else if (!stopping_ && numQueued_ >= options_.maxQueuedJobs) {
+    return 0;
+  }
+  if (stopping_) {
+    throw std::runtime_error("BatchService: submit during shutdown");
+  }
+
+  const std::uint64_t id = nextId_++;
+  Job& job = jobs_[id];
+  job.record.id = id;
+  job.record.name = spec.name;
+  job.record.priority = spec.options.priority;
+  job.record.state = JobState::kQueued;
+  job.spec = std::move(spec);
+  job.sinceSubmit.restart();
+  ++numQueued_;
+  if (!paused_) {
+    dispatchLocked(job);
+  }
+  return id;
+}
+
+std::uint64_t BatchService::submit(JobSpec spec) {
+  return admit(std::move(spec), /*blocking=*/true);
+}
+
+std::uint64_t BatchService::trySubmit(JobSpec spec) {
+  return admit(std::move(spec), /*blocking=*/false);
+}
+
+void BatchService::dispatchLocked(Job& job) {
+  job.dispatched = true;
+  const std::uint64_t id = job.record.id;
+  // The future is intentionally dropped: completion is published through
+  // the job record, and task exceptions are caught inside runJob.
+  (void)pool_.submit(job.record.priority, [this, id] { runJob(id); });
+}
+
+void BatchService::resolveQueuedLocked(Job& job, JobState state) {
+  job.record.state = state;
+  job.record.queuedSeconds = job.sinceSubmit.seconds();
+  job.record.sequence = nextSequence_++;
+  job.spec = JobSpec();  // release the miter
+  ++numTerminal_;
+  --numQueued_;
+  admission_.notify_one();
+  terminal_.notify_all();
+}
+
+bool BatchService::cancel(std::uint64_t jobId) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end() || it->second.record.state != JobState::kQueued) {
+    return false;
+  }
+  // If already handed to the pool, the closure still runs eventually;
+  // runJob sees the terminal state and returns without touching the job.
+  resolveQueuedLocked(it->second, JobState::kCancelled);
+  return true;
+}
+
+void BatchService::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!paused_) {
+    return;
+  }
+  paused_ = false;
+  // Release held jobs highest-priority-first (FIFO within a level), so the
+  // first job a worker can grab is already the scheduler's first choice.
+  std::vector<Job*> held;
+  for (auto& [id, job] : jobs_) {
+    if (job.record.state == JobState::kQueued && !job.dispatched) {
+      held.push_back(&job);
+    }
+  }
+  std::stable_sort(held.begin(), held.end(), [](const Job* a, const Job* b) {
+    if (a->record.priority != b->record.priority) {
+      return a->record.priority > b->record.priority;
+    }
+    return a->record.id < b->record.id;
+  });
+  for (Job* job : held) {
+    dispatchLocked(*job);
+  }
+}
+
+void BatchService::runJob(std::uint64_t id) {
+  JobSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    if (job.record.state != JobState::kQueued) {
+      return;  // cancelled while waiting in the pool queue
+    }
+    job.record.queuedSeconds = job.sinceSubmit.seconds();
+    const double deadline = job.spec.options.deadlineSeconds;
+    if (deadline > 0.0 && job.record.queuedSeconds > deadline) {
+      resolveQueuedLocked(job, JobState::kExpired);
+      return;
+    }
+    job.record.state = JobState::kRunning;
+    --numQueued_;
+    spec = std::move(job.spec);
+    job.spec = JobSpec();
+    admission_.notify_one();
+  }
+
+  // Run outside the lock: the engine call is the long pole and must not
+  // serialize the service. All mutable state below is job-local; the only
+  // shared structure is the lemma cache, which is internally synchronized.
+  cec::EngineConfig config = spec.options.engine;
+  if (cache_ != nullptr && spec.options.useLemmaCache) {
+    if (auto* sweep = std::get_if<cec::SweepOptions>(&config.engine)) {
+      sweep->lemmaCache = cache_.get();
+    }
+  }
+
+  JobState state = JobState::kDone;
+  std::string error;
+  cec::CertifyReport report;
+  Stopwatch run;
+  try {
+    report = cec::checkMiter(spec.miter, config);
+  } catch (const std::exception& e) {
+    state = JobState::kFailed;
+    error = e.what();
+  }
+  const double runSeconds = run.seconds();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    JobRecord& r = job.record;
+    r.state = state;
+    r.error = std::move(error);
+    r.runSeconds = runSeconds;
+    if (state == JobState::kDone) {
+      r.verdict = report.cec.verdict;
+      r.proofChecked = report.proofChecked;
+      r.conflicts = report.cec.stats.conflicts;
+      r.satCalls = report.cec.stats.satCalls;
+      r.proofClauses = report.trim.clausesAfter;
+      r.proofResolutions = report.trim.resolutionsAfter;
+      r.proofBytes = report.disk.write.bytes;
+      r.liveClausesPeak = report.disk.stream.liveClausesPeak;
+      r.cacheHits = report.cec.stats.lemmaCacheHits;
+      r.cacheMisses = report.cec.stats.lemmaCacheMisses;
+      r.cacheSpliced = report.cec.stats.lemmaCacheSpliced;
+      r.checkSeconds = report.checkSeconds + report.disk.checkSeconds;
+    }
+    const double deadline = spec.options.deadlineSeconds;
+    r.deadlineMissed = deadline > 0.0 && job.sinceSubmit.seconds() > deadline;
+    r.sequence = nextSequence_++;
+    ++numTerminal_;
+    terminal_.notify_all();
+  }
+}
+
+JobRecord BatchService::wait(std::uint64_t jobId) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("BatchService::wait: unknown job id " +
+                                std::to_string(jobId));
+  }
+  terminal_.wait(lock,
+                 [&] { return isTerminal(it->second.record.state); });
+  return it->second.record;
+}
+
+std::vector<JobRecord> BatchService::drain() {
+  start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_.wait(lock, [this] { return numTerminal_ == jobs_.size(); });
+  std::vector<JobRecord> records;
+  records.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    records.push_back(job.record);
+  }
+  return records;
+}
+
+ServiceMetrics BatchService::metrics() const {
+  ServiceMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m.submitted = jobs_.size();
+    for (const auto& [id, job] : jobs_) {
+      const JobRecord& r = job.record;
+      switch (r.state) {
+        case JobState::kDone: ++m.completed; break;
+        case JobState::kCancelled: ++m.cancelled; break;
+        case JobState::kExpired: ++m.expired; break;
+        case JobState::kFailed: ++m.failed; break;
+        default: break;
+      }
+      if (r.state == JobState::kDone) {
+        switch (r.verdict) {
+          case cec::Verdict::kEquivalent: ++m.equivalent; break;
+          case cec::Verdict::kInequivalent: ++m.inequivalent; break;
+          default: ++m.undecided; break;
+        }
+        m.proofsChecked += r.proofChecked ? 1 : 0;
+        m.conflicts += r.conflicts;
+        m.proofBytes += r.proofBytes;
+        m.totalRunSeconds += r.runSeconds;
+        m.totalCheckSeconds += r.checkSeconds;
+      }
+    }
+    m.wallSeconds = sinceStart_.seconds();
+  }
+  if (cache_ != nullptr) {
+    m.cache = cache_->stats();
+  }
+  return m;
+}
+
+}  // namespace cp::serve

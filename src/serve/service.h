@@ -1,0 +1,176 @@
+// Batch certification service: a stream of CEC jobs over one shared
+// thread pool, with priorities, bounded admission, cancellation, deadlines
+// and a cross-job lemma cache.
+//
+// Architecture. BatchService owns a cp::ThreadPool and, optionally, one
+// cec::LemmaCache shared by every job that opts in. submit() admits a job
+// into a bounded queue — it *blocks* while maxQueuedJobs jobs are already
+// waiting (backpressure against an unbounded producer); trySubmit() is the
+// non-blocking variant. Admitted jobs are handed to the pool at their
+// JobOptions::priority, so the pool's ordered queue is the scheduler:
+// higher priority first, FIFO within a level. A worker picks a job up,
+// re-checks cancellation and the admission deadline, then runs the full
+// cec::checkMiter trust chain — engine, proof trim, independent check,
+// and (with a proofPath) the streaming CPF disk certification — and
+// publishes an immutable terminal JobRecord.
+//
+// Determinism. A job's verdict and proof-check outcome depend only on its
+// spec: they are bit-identical across worker counts and with the lemma
+// cache on or off (the cache can change which proof certifies the verdict,
+// never the verdict; see cec/lemma_cache.h). Scheduling order, timing and
+// cache statistics are the only nondeterministic record fields.
+//
+// Trust boundary. The cache, the scheduler and the pool are all *outside*
+// the trusted base: every accepted verdict is still backed by a proof
+// checked against the job's own miter CNF by the independent checker(s).
+// A scheduling bug can delay or drop a job, never miscertify one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/stopwatch.h"
+#include "src/base/thread_pool.h"
+#include "src/cec/lemma_cache.h"
+#include "src/serve/job.h"
+
+namespace cp::serve {
+
+struct ServiceOptions {
+  /// Worker threads (ThreadPool::resolveThreads: 0 = one per hardware
+  /// thread).
+  std::size_t numWorkers = 0;
+
+  /// Admission bound: submit() blocks (and trySubmit() fails) while this
+  /// many jobs are queued and not yet running.
+  std::size_t maxQueuedJobs = 64;
+
+  /// Share proved cone-pair equivalences across jobs (sweeping engine
+  /// only). Off, every job proves its cones from scratch.
+  bool enableLemmaCache = true;
+  cec::LemmaCacheOptions lemmaCache;
+
+  /// Hold admitted jobs until start() instead of dispatching immediately.
+  /// Lets a caller stage a whole batch and release it atomically — and
+  /// makes scheduling-order tests deterministic.
+  bool startPaused = false;
+
+  /// Empty when usable, else a uniform "field: got value, allowed range"
+  /// message (see base/options.h).
+  std::string validate() const;
+};
+
+/// Aggregate service counters; a consistent snapshot at one instant.
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< reached kDone
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t equivalent = 0;
+  std::uint64_t inequivalent = 0;
+  std::uint64_t undecided = 0;
+  std::uint64_t proofsChecked = 0;
+  std::uint64_t conflicts = 0;   ///< summed over terminal jobs
+  std::uint64_t proofBytes = 0;  ///< summed CPF container bytes
+  double totalRunSeconds = 0.0;  ///< summed worker wall time
+  double totalCheckSeconds = 0.0;
+  double wallSeconds = 0.0;  ///< service lifetime so far
+  /// Shared lemma-cache counters (all zero when the cache is disabled).
+  cec::LemmaCacheStats cache;
+};
+
+/// Renders the metrics snapshot as a compact JSON object.
+void writeMetrics(const ServiceMetrics& metrics, json::Writer& writer);
+
+class BatchService {
+ public:
+  explicit BatchService(const ServiceOptions& options = ServiceOptions());
+
+  BatchService(const BatchService&) = delete;
+  BatchService& operator=(const BatchService&) = delete;
+
+  /// Drains every admitted job (runs or resolves it), then joins workers.
+  ~BatchService();
+
+  const ServiceOptions& options() const { return options_; }
+  std::size_t numWorkers() const { return pool_.numWorkers(); }
+
+  /// Admits `spec`, blocking while the admission queue is full. Returns
+  /// the job id (dense from 1). Throws std::invalid_argument on invalid
+  /// job options.
+  std::uint64_t submit(JobSpec spec);
+
+  /// Non-blocking admission: returns 0 instead of waiting when the queue
+  /// is full.
+  std::uint64_t trySubmit(JobSpec spec);
+
+  /// Cancels a job that is still queued; it completes as kCancelled
+  /// without running and its admission slot is freed. Returns false when
+  /// the job is unknown, already running or terminal.
+  bool cancel(std::uint64_t jobId);
+
+  /// Releases jobs held by startPaused to the pool, highest priority
+  /// first. Idempotent; subsequent submissions dispatch immediately.
+  void start();
+
+  /// Blocks until the job is terminal and returns its record. Throws
+  /// std::invalid_argument for an unknown id.
+  JobRecord wait(std::uint64_t jobId);
+
+  /// Blocks until every admitted job is terminal; returns all records in
+  /// admission (id) order. Implies start().
+  std::vector<JobRecord> drain();
+
+  ServiceMetrics metrics() const;
+
+  /// The shared cache, or null when ServiceOptions::enableLemmaCache is
+  /// false. Exposed for inspection; safe to read concurrently with jobs.
+  cec::LemmaCache* lemmaCache() { return cache_.get(); }
+
+ private:
+  struct Job {
+    JobRecord record;
+    JobSpec spec;
+    Stopwatch sinceSubmit;
+    bool dispatched = false;  ///< handed to the pool (not held by pause)
+  };
+
+  /// Pool-side entry: re-checks cancellation/deadline, runs checkMiter,
+  /// publishes the terminal record.
+  void runJob(std::uint64_t id);
+  /// Locked: hands the job to the pool at its priority.
+  void dispatchLocked(Job& job);
+  /// Locked: marks a queued job terminal without running it.
+  void resolveQueuedLocked(Job& job, JobState state);
+  std::uint64_t admit(JobSpec&& spec, bool blocking);
+
+  const ServiceOptions options_;
+  std::unique_ptr<cec::LemmaCache> cache_;
+  Stopwatch sinceStart_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable admission_;  ///< signalled when a slot frees
+  std::condition_variable terminal_;   ///< signalled on any terminal record
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t nextId_ = 1;
+  std::uint64_t nextSequence_ = 1;
+  std::uint64_t numTerminal_ = 0;
+  std::size_t numQueued_ = 0;  ///< admitted, not yet running or terminal
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  /// Last member: destroyed (and therefore drained and joined) before the
+  /// state above goes away, so in-flight runJob calls never touch a dead
+  /// service.
+  ThreadPool pool_;
+};
+
+}  // namespace cp::serve

@@ -133,19 +133,6 @@ TEST(EngineConfig, RawLogCapturesTheUntrimmedProof) {
   EXPECT_EQ(log.numResolutions(), report.trim.resolutionsBefore);
 }
 
-TEST(EngineConfig, DeprecatedCertifyMiterShimStillWorks) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const CertifyReport sweep = certifyMiter(equivalentMiter());
-  const CertifyReport mono =
-      certifyMiter(equivalentMiter(), Engine::kMonolithic);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(sweep.cec.verdict, Verdict::kEquivalent);
-  EXPECT_TRUE(sweep.proofChecked) << sweep.check.error;
-  EXPECT_EQ(mono.cec.verdict, Verdict::kEquivalent);
-  EXPECT_TRUE(mono.proofChecked) << mono.check.error;
-}
-
 TEST(EngineConfig, MultiCecValidatesUniformly) {
   const Aig left = gen::parityChain(4);
   const Aig right = gen::parityTree(4);

@@ -1,0 +1,272 @@
+// Cross-job lemma cache tests: canonicalization is position-independent,
+// the standalone cone prover is sound in both directions, sweeps with a
+// shared cache produce hits whose spliced proofs pass the full checker,
+// verdicts are identical with the cache on and off, and corrupt entries
+// are rejected (poisoned) instead of ever miscertifying.
+#include "src/cec/lemma_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+using aig::Edge;
+
+/// Two structurally different, functionally identical cones inside one
+/// graph: r0 = AND chain, r1 = the same function built in another shape.
+struct TwoCones {
+  Aig graph;
+  Edge r0;
+  Edge r1;
+};
+
+/// (a & b) & c built twice with different association.
+TwoCones associativityCones() {
+  TwoCones t;
+  const Edge a = t.graph.addInput();
+  const Edge b = t.graph.addInput();
+  const Edge c = t.graph.addInput();
+  t.r0 = t.graph.addAnd(t.graph.addAnd(a, b), c);
+  t.r1 = t.graph.addAnd(a, t.graph.addAnd(b, c));
+  return t;
+}
+
+TEST(CanonicalCone, ExtractionIsPositionIndependent) {
+  // The same sub-structure planted at two different node offsets must
+  // canonicalize to the same blob (that is the whole point of the cache).
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge pad = g.addAnd(a, !b);  // shifts node ids for the second copy
+  const Edge x1 = g.addAnd(a, b);
+  const Edge y1 = g.addAnd(x1, !a);
+  const Edge c = g.addInput();
+  const Edge d = g.addInput();
+  (void)g.addAnd(pad, c);  // more padding
+  const Edge x2 = g.addAnd(c, d);
+  const Edge y2 = g.addAnd(x2, !c);
+
+  const CanonicalCone cone1 = extractConePair(g, y1, x1, 256);
+  const CanonicalCone cone2 = extractConePair(g, y2, x2, 256);
+  ASSERT_TRUE(cone1.valid);
+  ASSERT_TRUE(cone2.valid);
+  EXPECT_EQ(cone1.blob, cone2.blob);
+  EXPECT_EQ(cone1.structHash, cone2.structHash);
+  EXPECT_EQ(cone1.simSignature, cone2.simSignature);
+  // But the host mappings differ: the cones live at different nodes.
+  EXPECT_NE(cone1.toHost, cone2.toHost);
+}
+
+TEST(CanonicalCone, DistinctStructuresGetDistinctBlobs) {
+  const TwoCones t = associativityCones();
+  const CanonicalCone fwd = extractConePair(t.graph, t.r0, t.r1, 256);
+  const CanonicalCone swapped = extractConePair(t.graph, t.r1, t.r0, 256);
+  ASSERT_TRUE(fwd.valid);
+  ASSERT_TRUE(swapped.valid);
+  EXPECT_NE(fwd.blob, swapped.blob);  // root order is part of the key
+}
+
+TEST(CanonicalCone, RespectsNodeBudget) {
+  const TwoCones t = associativityCones();
+  EXPECT_FALSE(extractConePair(t.graph, t.r0, t.r1, 3).valid);
+  EXPECT_TRUE(extractConePair(t.graph, t.r0, t.r1, 4).valid);
+}
+
+TEST(ProveConePair, ProvesEquivalentCones) {
+  const TwoCones t = associativityCones();
+  const CanonicalCone cone = extractConePair(t.graph, t.r0, t.r1, 256);
+  ASSERT_TRUE(cone.valid);
+  const ProveResult r = proveConePair(cone, sat::SolverOptions(), -1);
+  EXPECT_EQ(r.outcome, ProveOutcome::kProved);
+  EXPECT_FALSE(r.proof.steps.empty());
+}
+
+TEST(ProveConePair, RefutesInequivalentConesWithWitness) {
+  Aig g;
+  const Edge a = g.addInput();
+  const Edge b = g.addInput();
+  const Edge andAb = g.addAnd(a, b);
+  const Edge orAb = g.addOr(a, b);
+  const CanonicalCone cone = extractConePair(g, andAb, orAb, 256);
+  ASSERT_TRUE(cone.valid);
+  const ProveResult r = proveConePair(cone, sat::SolverOptions(), -1);
+  ASSERT_EQ(r.outcome, ProveOutcome::kCounterexample);
+  // The witness must distinguish AND from OR: exactly one input true.
+  ASSERT_EQ(r.inputValues.size(), cone.numNodes());
+  std::uint32_t trues = 0;
+  for (std::uint32_t v = 1; v < cone.numNodes(); ++v) {
+    if (cone.blob[3 + 2 * (v - 1)] == CanonicalCone::kInputSentinel) {
+      trues += r.inputValues[v] ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(trues, 1u);
+}
+
+TEST(LemmaCacheOptions, Validation) {
+  LemmaCacheOptions bad;
+  bad.maxConeNodes = 0;
+  EXPECT_FALSE(bad.validate().empty());
+  EXPECT_THROW(LemmaCache cache(bad), std::invalid_argument);
+  LemmaCacheOptions tiny;
+  tiny.maxBytes = 1;
+  EXPECT_FALSE(tiny.validate().empty());
+  EXPECT_TRUE(LemmaCacheOptions().validate().empty());
+}
+
+proof::CheckResult checkSweepProof(const Aig& miter,
+                                   const proof::ProofLog& log) {
+  proof::CheckOptions options;
+  options.axiomValidator = miterAxiomValidator(miter);
+  return proof::checkProof(log, options);
+}
+
+TEST(LemmaCache, SecondJobHitsAndProofStillChecks) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(8),
+                               gen::carryLookaheadAdder(8, 4));
+  LemmaCache cache;
+  SweepOptions options;
+  options.lemmaCache = &cache;
+
+  proof::ProofLog log1;
+  const CecResult first = sweepingCheck(miter, options, &log1);
+  ASSERT_EQ(first.verdict, Verdict::kEquivalent);
+  EXPECT_GT(first.stats.lemmaCacheMisses, 0u);
+  EXPECT_GT(cache.numEntries(), 0u);
+  const auto check1 = checkSweepProof(miter, log1);
+  EXPECT_TRUE(check1.ok) << check1.error;
+
+  // Same workload again, same cache: every cacheable pair must hit, and
+  // the spliced proof must still satisfy the unmodified checker.
+  proof::ProofLog log2;
+  const CecResult second = sweepingCheck(miter, options, &log2);
+  ASSERT_EQ(second.verdict, Verdict::kEquivalent);
+  EXPECT_GT(second.stats.lemmaCacheHits, 0u);
+  EXPECT_GT(second.stats.lemmaCacheSpliced, 0u);
+  const auto check2 = checkSweepProof(miter, log2);
+  EXPECT_TRUE(check2.ok) << check2.error;
+
+  const LemmaCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_EQ(stats.poisoned, 0u);
+}
+
+TEST(LemmaCache, VerdictsIdenticalWithCacheOnAndOff) {
+  // Equivalent and inequivalent workloads must produce the same verdict
+  // with and without a cache, hit or miss.
+  const Aig equivalent = buildMiter(gen::rippleCarryAdder(6),
+                                    gen::carrySelectAdder(6, 2));
+  Aig broken = gen::rippleCarryAdder(6);
+  broken.setOutput(0, !broken.output(0));
+  const Aig inequivalent = buildMiter(gen::rippleCarryAdder(6), broken);
+
+  LemmaCache cache;
+  SweepOptions cached;
+  cached.lemmaCache = &cache;
+  const SweepOptions plain;
+
+  for (int round = 0; round < 2; ++round) {  // round 2 sees cache hits
+    EXPECT_EQ(sweepingCheck(equivalent, cached).verdict,
+              sweepingCheck(equivalent, plain).verdict);
+    const CecResult cachedInequiv = sweepingCheck(inequivalent, cached);
+    EXPECT_EQ(cachedInequiv.verdict, Verdict::kInequivalent);
+    EXPECT_EQ(sweepingCheck(inequivalent, plain).verdict,
+              Verdict::kInequivalent);
+    EXPECT_TRUE(inequivalent.evaluate(cachedInequiv.counterexample).at(0));
+  }
+}
+
+TEST(LemmaCache, CorruptEntriesAreRejectedNeverMiscertified) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(8),
+                               gen::carryLookaheadAdder(8, 4));
+  LemmaCache cache;
+  SweepOptions options;
+  options.lemmaCache = &cache;
+
+  proof::ProofLog warmup;
+  ASSERT_EQ(sweepingCheck(miter, options, &warmup).verdict,
+            Verdict::kEquivalent);
+  ASSERT_GT(cache.numEntries(), 0u);
+
+  // Corrupt every cached proof: point both lemma slots at the constant
+  // unit axiom. The splice must fail the subsumption gate, poison the
+  // entries, fall back to the solver, and still produce a checkable proof.
+  const std::size_t mutated = cache.mutateEntriesForTest(
+      [](CachedLemmaProof& proof) { proof.fwd = proof.bwd = 0; });
+  ASSERT_GT(mutated, 0u);
+
+  proof::ProofLog log;
+  const CecResult result = sweepingCheck(miter, options, &log);
+  EXPECT_EQ(result.verdict, Verdict::kEquivalent);
+  const auto check = checkSweepProof(miter, log);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(cache.stats().poisoned, 0u);
+}
+
+TEST(LemmaCache, TruncatedEntriesAreRejectedToo) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(6),
+                               gen::carrySelectAdder(6, 2));
+  LemmaCache cache;
+  SweepOptions options;
+  options.lemmaCache = &cache;
+  ASSERT_EQ(sweepingCheck(miter, options).verdict, Verdict::kEquivalent);
+  if (cache.numEntries() == 0) GTEST_SKIP() << "no cacheable pairs";
+
+  cache.mutateEntriesForTest([](CachedLemmaProof& proof) {
+    proof.steps.clear();  // fwd/bwd now dangle past the step table
+  });
+  proof::ProofLog log;
+  const CecResult result = sweepingCheck(miter, options, &log);
+  EXPECT_EQ(result.verdict, Verdict::kEquivalent);
+  const auto check = checkSweepProof(miter, log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(LemmaCache, EvictionKeepsByteBudget) {
+  LemmaCacheOptions small;
+  small.maxBytes = 4096;
+  LemmaCache cache(small);
+  SweepOptions options;
+  options.lemmaCache = &cache;
+  const Aig miter = buildMiter(gen::rippleCarryAdder(10),
+                               gen::carryLookaheadAdder(10, 4));
+  ASSERT_EQ(sweepingCheck(miter, options).verdict, Verdict::kEquivalent);
+  const LemmaCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, small.maxBytes);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(LemmaCache, HitSplicedProofPassesCpfDiskCertifier) {
+  // End to end through the finalized Job surface: stream the proof of a
+  // cache-hitting run to a CPF container and certify it from disk.
+  const Aig miter = buildMiter(gen::rippleCarryAdder(8),
+                               gen::carryLookaheadAdder(8, 4));
+  LemmaCache cache;
+  SweepOptions sweep;
+  sweep.lemmaCache = &cache;
+  EngineConfig config;
+  config.engine = sweep;
+
+  const CertifyReport warm = checkMiter(miter, config);
+  ASSERT_EQ(warm.cec.verdict, Verdict::kEquivalent);
+  ASSERT_TRUE(warm.proofChecked);
+
+  config.proofPath = ::testing::TempDir() + "/lemma_cache_hit.cpf";
+  const CertifyReport hit = checkMiter(miter, config);
+  EXPECT_EQ(hit.cec.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(hit.proofChecked);
+  EXPECT_GT(hit.cec.stats.lemmaCacheHits, 0u);
+}
+
+}  // namespace
+}  // namespace cp::cec

@@ -1,0 +1,450 @@
+// The batch certification service: priority scheduling, bounded admission
+// with backpressure, cancellation, deadlines, the shared lemma cache, and
+// the determinism contract — verdict and proof-check outcome are functions
+// of the job spec alone, bit-identical across worker counts and with the
+// cache on or off.
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/gen/arith.h"
+
+namespace cp::serve {
+namespace {
+
+using aig::Aig;
+
+JobSpec tinyJob(const std::string& name, JobOptions options = JobOptions()) {
+  return makePairJob(name, gen::parityChain(3), gen::parityTree(3),
+                     std::move(options));
+}
+
+/// A small mixed batch: equivalent pairs sharing adder sub-structure (so
+/// the lemma cache has something to hit), one inequivalent pair, one
+/// parity pair.
+std::vector<JobSpec> mixedBatch(bool useLemmaCache) {
+  JobOptions options;
+  options.useLemmaCache = useLemmaCache;
+  std::vector<JobSpec> jobs;
+  jobs.push_back(makePairJob("add8-rca-cla", gen::rippleCarryAdder(8),
+                             gen::carryLookaheadAdder(8, 4), options));
+  jobs.push_back(makePairJob("add8-rca-csa", gen::rippleCarryAdder(8),
+                             gen::carrySelectAdder(8, 3), options));
+  jobs.push_back(makePairJob("add6-rca-cla", gen::rippleCarryAdder(6),
+                             gen::carryLookaheadAdder(6, 3), options));
+  jobs.push_back(makePairJob("parity8", gen::parityChain(8),
+                             gen::parityTree(8), options));
+  Aig broken = gen::rippleCarryAdder(5);
+  broken.setOutput(2, !broken.output(2));
+  jobs.push_back(
+      makePairJob("add5-broken", gen::rippleCarryAdder(5), broken, options));
+  return jobs;
+}
+
+TEST(BatchService, OptionsValidateUniformly) {
+  ServiceOptions bad;
+  bad.maxQueuedJobs = 0;
+  EXPECT_NE(bad.validate().find("ServiceOptions.maxQueuedJobs"),
+            std::string::npos)
+      << bad.validate();
+  try {
+    BatchService service(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("BatchService"), std::string::npos);
+  }
+
+  JobOptions options;
+  options.deadlineSeconds = -1.0;
+  EXPECT_NE(options.validate().find("JobOptions.deadlineSeconds"),
+            std::string::npos)
+      << options.validate();
+
+  BatchService service;
+  try {
+    (void)service.submit(tinyJob("bad", options));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("BatchService::submit"),
+              std::string::npos);
+  }
+}
+
+TEST(BatchService, RejectsNonMiterJobs) {
+  BatchService service;
+  JobSpec twoOutputs;
+  twoOutputs.name = "two-outputs";
+  twoOutputs.miter = gen::rippleCarryAdder(3);  // 4 outputs, not a miter
+  EXPECT_THROW((void)service.submit(std::move(twoOutputs)),
+               std::invalid_argument);
+}
+
+TEST(BatchService, RunsOneJobToDone) {
+  ServiceOptions options;
+  options.numWorkers = 2;
+  BatchService service(options);
+  const std::uint64_t id = service.submit(tinyJob("parity"));
+  ASSERT_NE(id, 0u);
+  const JobRecord record = service.wait(id);
+  EXPECT_EQ(record.id, id);
+  EXPECT_EQ(record.name, "parity");
+  EXPECT_EQ(record.state, JobState::kDone);
+  EXPECT_EQ(record.verdict, cec::Verdict::kEquivalent);
+  EXPECT_TRUE(record.proofChecked);
+  EXPECT_GT(record.proofClauses, 0u);
+  EXPECT_GT(record.sequence, 0u);
+  EXPECT_TRUE(record.error.empty());
+}
+
+TEST(BatchService, WaitRejectsUnknownIds) {
+  BatchService service;
+  EXPECT_THROW((void)service.wait(42), std::invalid_argument);
+}
+
+TEST(BatchService, PriorityOrdersHeldJobsDeterministically) {
+  // One worker + startPaused: after start(), completion order is exactly
+  // the scheduler's order — priority descending, FIFO within a level.
+  ServiceOptions options;
+  options.numWorkers = 1;
+  options.startPaused = true;
+  BatchService service(options);
+
+  const int priorities[] = {0, 5, -3, 10, 5};
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 5; ++i) {
+    JobOptions job;
+    job.priority = priorities[i];
+    std::string name = "p";
+    name += std::to_string(priorities[i]);
+    ids.push_back(service.submit(tinyJob(name, job)));
+  }
+  service.start();
+  const std::vector<JobRecord> records = service.drain();
+  ASSERT_EQ(records.size(), 5u);
+  // Expected completion sequence: id[3] (10), id[1] (5), id[4] (5, later
+  // submission), id[0] (0), id[2] (-3).
+  const std::uint64_t expected[] = {4, 2, 5, 1, 3};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].id, ids[i]);
+    EXPECT_EQ(records[i].sequence, expected[i]) << "job " << i;
+    EXPECT_EQ(records[i].state, JobState::kDone);
+  }
+}
+
+TEST(BatchService, TrySubmitBackpressuresAtTheAdmissionBound) {
+  ServiceOptions options;
+  options.numWorkers = 1;
+  options.maxQueuedJobs = 2;
+  options.startPaused = true;  // nothing runs, so the queue stays full
+  BatchService service(options);
+
+  const std::uint64_t first = service.trySubmit(tinyJob("a"));
+  const std::uint64_t second = service.trySubmit(tinyJob("b"));
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, 0u);
+  EXPECT_EQ(service.trySubmit(tinyJob("c")), 0u);  // full
+
+  ASSERT_TRUE(service.cancel(first));  // frees an admission slot
+  const std::uint64_t third = service.trySubmit(tinyJob("c"));
+  EXPECT_NE(third, 0u);
+
+  const std::vector<JobRecord> records = service.drain();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].state, JobState::kCancelled);
+  EXPECT_EQ(records[1].state, JobState::kDone);
+  EXPECT_EQ(records[2].state, JobState::kDone);
+}
+
+TEST(BatchService, BlockedSubmitUnblocksWhenASlotFrees) {
+  ServiceOptions options;
+  options.numWorkers = 1;
+  options.maxQueuedJobs = 1;
+  options.startPaused = true;
+  BatchService service(options);
+
+  const std::uint64_t first = service.submit(tinyJob("first"));
+  std::atomic<bool> admitted{false};
+  std::thread submitter([&] {
+    (void)service.submit(tinyJob("second"));
+    admitted.store(true);
+  });
+  // The submitter must be blocked: the queue is full and nothing runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+
+  ASSERT_TRUE(service.cancel(first));
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+
+  const std::vector<JobRecord> records = service.drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].state, JobState::kCancelled);
+  EXPECT_EQ(records[1].state, JobState::kDone);
+}
+
+TEST(BatchService, CancelOnlyReachesQueuedJobs) {
+  BatchService service;
+  const std::uint64_t id = service.submit(tinyJob("done"));
+  (void)service.wait(id);
+  EXPECT_FALSE(service.cancel(id));      // already terminal
+  EXPECT_FALSE(service.cancel(999));     // unknown
+  const JobRecord record = service.wait(id);
+  EXPECT_EQ(record.state, JobState::kDone);
+}
+
+TEST(BatchService, DeadlineExpiresJobsStillQueued) {
+  ServiceOptions options;
+  options.numWorkers = 1;
+  options.startPaused = true;
+  BatchService service(options);
+
+  JobOptions hurried;
+  hurried.deadlineSeconds = 1e-3;
+  const std::uint64_t expiring = service.submit(tinyJob("hurried", hurried));
+  JobOptions relaxed;
+  relaxed.deadlineSeconds = 3600.0;
+  const std::uint64_t fine = service.submit(tinyJob("relaxed", relaxed));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.start();
+  const JobRecord expired = service.wait(expiring);
+  EXPECT_EQ(expired.state, JobState::kExpired);
+  EXPECT_EQ(expired.verdict, cec::Verdict::kUndecided);
+  EXPECT_FALSE(expired.proofChecked);
+  EXPECT_GT(expired.queuedSeconds, 1e-3);
+  EXPECT_GT(expired.sequence, 0u);
+
+  const JobRecord ran = service.wait(fine);
+  EXPECT_EQ(ran.state, JobState::kDone);
+  EXPECT_FALSE(ran.deadlineMissed);
+}
+
+TEST(BatchService, ProofPathJobCertifiesFromDisk) {
+  const std::string path = ::testing::TempDir() + "/serve_job.cpf";
+  JobOptions options;
+  options.engine.proofPath = path;
+  BatchService service;
+  const JobRecord record =
+      service.wait(service.submit(makePairJob("add5-disk",
+                                              gen::rippleCarryAdder(5),
+                                              gen::carryLookaheadAdder(5, 3),
+                                              options)));
+  EXPECT_EQ(record.state, JobState::kDone);
+  EXPECT_EQ(record.verdict, cec::Verdict::kEquivalent);
+  // proofChecked with a proofPath includes the streaming disk replay.
+  EXPECT_TRUE(record.proofChecked);
+  EXPECT_GT(record.proofBytes, 0u);
+  EXPECT_GT(record.liveClausesPeak, 0u);
+}
+
+TEST(BatchService, LemmaCacheHitsAcrossJobs) {
+  ServiceOptions options;
+  options.numWorkers = 1;
+  BatchService service(options);
+  ASSERT_NE(service.lemmaCache(), nullptr);
+
+  const std::uint64_t first = service.submit(
+      makePairJob("add8-first", gen::rippleCarryAdder(8),
+                  gen::carryLookaheadAdder(8, 4)));
+  (void)service.wait(first);
+  const std::uint64_t second = service.submit(
+      makePairJob("add8-second", gen::rippleCarryAdder(8),
+                  gen::carryLookaheadAdder(8, 4)));
+  const JobRecord repeat = service.wait(second);
+
+  // The second job re-proves nothing: every cone pair is spliced from the
+  // cache, and its composed proof still certifies.
+  EXPECT_EQ(repeat.state, JobState::kDone);
+  EXPECT_EQ(repeat.verdict, cec::Verdict::kEquivalent);
+  EXPECT_TRUE(repeat.proofChecked);
+  EXPECT_GT(repeat.cacheHits, 0u);
+  EXPECT_EQ(repeat.cacheSpliced, repeat.cacheHits);
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_GE(metrics.cache.hits, repeat.cacheHits);
+  EXPECT_GT(metrics.cache.inserts, 0u);
+  EXPECT_EQ(metrics.completed, 2u);
+}
+
+TEST(BatchService, JobsCanOptOutOfTheCache) {
+  BatchService service;
+  (void)service.wait(service.submit(
+      makePairJob("warm", gen::rippleCarryAdder(6),
+                  gen::carryLookaheadAdder(6, 3))));
+  JobOptions optOut;
+  optOut.useLemmaCache = false;
+  const JobRecord record = service.wait(service.submit(
+      makePairJob("opted-out", gen::rippleCarryAdder(6),
+                  gen::carryLookaheadAdder(6, 3), optOut)));
+  EXPECT_EQ(record.state, JobState::kDone);
+  EXPECT_EQ(record.cacheHits, 0u);
+  EXPECT_EQ(record.cacheMisses, 0u);
+}
+
+TEST(BatchService, DisabledCacheServesJobsWithoutOne) {
+  ServiceOptions options;
+  options.enableLemmaCache = false;
+  BatchService service(options);
+  EXPECT_EQ(service.lemmaCache(), nullptr);
+  const JobRecord record = service.wait(service.submit(tinyJob("no-cache")));
+  EXPECT_EQ(record.state, JobState::kDone);
+  EXPECT_TRUE(record.proofChecked);
+  EXPECT_EQ(record.cacheHits, 0u);
+  EXPECT_EQ(service.metrics().cache.lookups, 0u);
+}
+
+/// The deterministic slice of a record: everything that must be a pure
+/// function of the job spec.
+using Outcome = std::tuple<JobState, cec::Verdict, bool, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t>;
+
+std::map<std::string, Outcome> runBatch(std::size_t workers,
+                                        bool useLemmaCache) {
+  ServiceOptions options;
+  options.numWorkers = workers;
+  options.enableLemmaCache = useLemmaCache;
+  BatchService service(options);
+  for (JobSpec& job : mixedBatch(useLemmaCache)) {
+    (void)service.submit(std::move(job));
+  }
+  std::map<std::string, Outcome> outcomes;
+  for (const JobRecord& r : service.drain()) {
+    outcomes[r.name] = Outcome(r.state, r.verdict, r.proofChecked,
+                               r.conflicts, r.satCalls, r.proofClauses,
+                               r.proofResolutions);
+  }
+  return outcomes;
+}
+
+TEST(BatchService, RecordsAreBitIdenticalAcrossWorkerCounts) {
+  // Without the cache, jobs are fully independent: every deterministic
+  // record field must match at any worker count.
+  const auto baseline = runBatch(1, /*useLemmaCache=*/false);
+  ASSERT_EQ(baseline.size(), 5u);
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const auto outcomes = runBatch(workers, /*useLemmaCache=*/false);
+    EXPECT_EQ(outcomes, baseline) << workers << " workers";
+  }
+}
+
+TEST(BatchService, VerdictsAreIdenticalWithCacheOnAndOff) {
+  // The cache may change proof shape and solver effort, never the verdict
+  // or the certification outcome — at any worker count.
+  const auto baseline = runBatch(1, /*useLemmaCache=*/false);
+  for (const std::size_t workers : {1u, 4u}) {
+    const auto cached = runBatch(workers, /*useLemmaCache=*/true);
+    ASSERT_EQ(cached.size(), baseline.size()) << workers << " workers";
+    for (const auto& [name, outcome] : baseline) {
+      const auto it = cached.find(name);
+      ASSERT_NE(it, cached.end()) << name;
+      EXPECT_EQ(std::get<0>(it->second), std::get<0>(outcome)) << name;
+      EXPECT_EQ(std::get<1>(it->second), std::get<1>(outcome)) << name;
+      EXPECT_EQ(std::get<2>(it->second), std::get<2>(outcome)) << name;
+    }
+  }
+}
+
+TEST(BatchService, MetricsAggregateTerminalStates) {
+  ServiceOptions options;
+  options.numWorkers = 2;
+  options.startPaused = true;
+  BatchService service(options);
+  for (JobSpec& job : mixedBatch(true)) {
+    (void)service.submit(std::move(job));
+  }
+  const std::uint64_t cancelled = service.submit(tinyJob("cancel-me"));
+  ASSERT_TRUE(service.cancel(cancelled));
+  (void)service.drain();
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, 6u);
+  EXPECT_EQ(m.completed, 5u);
+  EXPECT_EQ(m.cancelled, 1u);
+  EXPECT_EQ(m.expired, 0u);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.equivalent, 4u);
+  EXPECT_EQ(m.inequivalent, 1u);
+  EXPECT_EQ(m.proofsChecked, 4u);  // the inequivalent job has no proof
+  EXPECT_EQ(m.proofBytes, 0u);     // no job set a proofPath
+  EXPECT_GT(m.totalRunSeconds, 0.0);
+  EXPECT_GT(m.wallSeconds, 0.0);
+}
+
+TEST(ServeJson, RecordRendersOneCompactObject) {
+  JobRecord r;
+  r.id = 3;
+  r.name = "a\"b";
+  r.state = JobState::kDone;
+  r.priority = -2;
+  r.verdict = cec::Verdict::kEquivalent;
+  r.proofChecked = true;
+  r.conflicts = 7;
+  r.satCalls = 2;
+  r.proofClauses = 10;
+  r.proofResolutions = 20;
+  r.proofBytes = 123;
+  r.cacheHits = 1;
+  r.cacheMisses = 2;
+  r.cacheSpliced = 1;
+  r.queuedSeconds = 0.5;
+  r.runSeconds = 0.25;
+  r.checkSeconds = 0.125;
+  r.sequence = 4;
+  std::ostringstream out;
+  json::Writer writer(out);
+  writeRecord(r, writer);
+  EXPECT_EQ(out.str(),
+            "{\"id\":3,\"name\":\"a\\\"b\",\"state\":\"done\","
+            "\"priority\":-2,\"verdict\":\"equivalent\","
+            "\"proofChecked\":true,\"conflicts\":7,\"satCalls\":2,"
+            "\"proofClauses\":10,\"proofResolutions\":20,"
+            "\"proofBytes\":123,\"liveClausesPeak\":0,"
+            "\"cacheHits\":1,\"cacheMisses\":2,"
+            "\"cacheSpliced\":1,\"queuedSeconds\":0.5,\"runSeconds\":0.25,"
+            "\"checkSeconds\":0.125,\"deadlineMissed\":false,"
+            "\"sequence\":4}");
+}
+
+TEST(ServeJson, FailedRecordCarriesItsError) {
+  JobRecord r;
+  r.id = 1;
+  r.name = "boom";
+  r.state = JobState::kFailed;
+  r.error = "engine exploded";
+  std::ostringstream out;
+  json::Writer writer(out);
+  writeRecord(r, writer);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("\"state\":\"failed\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"error\":\"engine exploded\""),
+            std::string::npos);
+}
+
+TEST(ServeJson, MetricsRenderWithNestedCacheObject) {
+  ServiceMetrics m;
+  m.submitted = 2;
+  m.completed = 2;
+  m.cache.hits = 1;
+  std::ostringstream out;
+  json::Writer writer(out);
+  writeMetrics(m, writer);
+  writer.finishLine();
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("\"submitted\":2"), std::string::npos);
+  EXPECT_NE(rendered.find("\"cache\":{\"lookups\":0,\"hits\":1"),
+            std::string::npos);
+  EXPECT_EQ(rendered.back(), '\n');
+}
+
+}  // namespace
+}  // namespace cp::serve

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -105,6 +106,66 @@ TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
   auto b = pool.submit(rendezvous);
   EXPECT_TRUE(a.get());
   EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, HigherPriorityDispatchesFirst) {
+  // One worker, blocked on a gate while tasks pile up; after the gate
+  // opens, the queued tasks must run strictly by descending priority.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker = pool.submit([opened] { opened.wait(); });
+
+  std::mutex orderMutex;
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (const int priority : {0, 5, -3, 10, 5}) {
+    futures.push_back(pool.submit(priority, [priority, &orderMutex, &order] {
+      std::lock_guard<std::mutex> lock(orderMutex);
+      order.push_back(priority);
+    }));
+  }
+  gate.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(order, (std::vector<int>{10, 5, 5, 0, -3}));
+}
+
+TEST(ThreadPool, FifoWithinOnePriorityLevel) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker = pool.submit([opened] { opened.wait(); });
+
+  std::mutex orderMutex;
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit(3, [i, &orderMutex, &order] {
+      std::lock_guard<std::mutex> lock(orderMutex);
+      order.push_back(i);
+    }));
+  }
+  gate.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PrioritySubmissionUnderContention) {
+  // Priorities must not break completion guarantees when many workers
+  // race on the queue; every future still resolves with its own value.
+  ThreadPool pool(8);
+  std::vector<std::future<std::uint64_t>> futures;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    futures.push_back(
+        pool.submit(static_cast<int>(i % 7), [i] { return i; }));
+  }
+  std::uint64_t total = 0;
+  for (auto& f : futures) total += f.get();
+  EXPECT_EQ(total, 499u * 500u / 2);
 }
 
 TEST(ThreadPool, SubmitFromInsideATask) {
