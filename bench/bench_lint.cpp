@@ -35,7 +35,7 @@ void runLint(benchmark::State& state, bool sweeping) {
   }
 
   proof::ProofLintOptions options;
-  options.numThreads = 1;
+  options.parallel.numThreads = 1;
   for (auto _ : state) {
     diag::DiagnosticCollector fresh(diag::Severity::kError);  // counters only
     proof::lint(log, fresh, options);

@@ -65,10 +65,10 @@ void BM_ParCheck(benchmark::State& state) {
       workloads()[static_cast<std::size_t>(state.range(0))];
   proof::CheckOptions options;
   options.axiomValidator = cec::miterAxiomValidator(w.miter);
-  options.numThreads = static_cast<std::uint32_t>(state.range(1));
+  options.parallel.numThreads = static_cast<std::uint32_t>(state.range(1));
 
   proof::CheckOptions seq = options;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   const proof::CheckResult reference = proof::checkProof(w.trimmed, seq);
 
   proof::CheckResult last;
@@ -84,7 +84,7 @@ void BM_ParCheck(benchmark::State& state) {
     return;
   }
   state.SetLabel(w.name);
-  state.counters["threads"] = static_cast<double>(options.numThreads);
+  state.counters["threads"] = static_cast<double>(options.parallel.numThreads);
   state.counters["clauses"] = static_cast<double>(w.trimmed.numClauses());
   state.counters["resolutions"] = static_cast<double>(last.resolutions);
   state.counters["axioms"] = static_cast<double>(last.axiomsChecked);

@@ -54,11 +54,11 @@ void BM_ParMultiCec(benchmark::State& state) {
       static_cast<std::uint32_t>(state.range(1));
   cec::MultiCecOptions options;
   options.certify = true;
-  options.numThreads = threads;
+  options.parallel.numThreads = threads;
 
   // Reference run at one worker: parallel results must be bit-identical.
   cec::MultiCecOptions seq = options;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   const cec::MultiCecResult reference =
       cec::checkOutputs(pair.left, pair.right, seq);
 

@@ -1,0 +1,196 @@
+// R-ParSweep: in-sweep batched parallelism characterization.
+//
+// A deterministic pass runs the batched sweeping engine on restructured
+// ALU and multiplier miters at 1/2/4/8 workers with per-sweep lemma
+// sharing on and off, asserts the determinism contract (verdicts, stats
+// and the composed proof's check outcome bit-identical at every thread
+// count), and writes BENCH_par_sweep.json with per-configuration wall
+// time, SAT effort and buffer reuse. The timing benchmarks then re-run
+// the sweeps under the google-benchmark harness. On a single-core
+// container the wall times show no speedup — the json is still the
+// determinism record and the counter baseline (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/rewrite/restructure.h"
+
+namespace cp::bench {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench_par_sweep: FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+struct Workload {
+  const char* name;
+  aig::Aig miter;
+};
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload>* suite = [] {
+    auto* s = new std::vector<Workload>();
+    {
+      Rng rng(17);
+      const aig::Aig left = gen::aluVariantA(6);
+      s->push_back({"alu6_restructured",
+                    cec::buildMiter(left, rewrite::restructure(left, rng))});
+    }
+    s->push_back({"mult5_array_wallace",
+                  cec::buildMiter(gen::arrayMultiplier(5),
+                                  gen::wallaceMultiplier(5))});
+    s->push_back({"add16_rca_cla",
+                  cec::buildMiter(gen::rippleCarryAdder(16),
+                                  gen::carryLookaheadAdder(16, 4))});
+    return s;
+  }();
+  return *suite;
+}
+
+cec::SweepOptions batched(std::uint32_t workers, bool share) {
+  cec::SweepOptions options;
+  options.parallel.numThreads = workers;
+  options.parallel.batchSize = 16;
+  options.shareSweepLemmas = share;
+  return options;
+}
+
+struct RunResult {
+  cec::CecResult cec;
+  bool proofChecked = false;
+};
+
+RunResult runOnce(const Workload& w, std::uint32_t workers, bool share) {
+  RunResult r;
+  proof::ProofLog log;
+  r.cec = cec::sweepingCheck(w.miter, batched(workers, share), &log);
+  if (r.cec.verdict == cec::Verdict::kEquivalent) {
+    proof::CheckOptions check;
+    check.axiomValidator = cec::miterAxiomValidator(w.miter);
+    r.proofChecked = proof::checkProof(log, check).ok;
+  }
+  return r;
+}
+
+/// The deterministic characterization pass behind BENCH_par_sweep.json.
+void runParSweepCharacterization(const char* jsonPath) {
+  std::ofstream out(jsonPath);
+  require(out.good(), "BENCH_par_sweep.json opened for writing");
+  json::Writer writer(out);
+  writer.beginObject()
+      .field("benchmark", "par_sweep")
+      .key("runs")
+      .beginArray(/*linePerElement=*/true);
+
+  for (const Workload& w : workloads()) {
+    for (const bool share : {false, true}) {
+      const RunResult base = runOnce(w, 1, share);
+      require(base.cec.verdict == cec::Verdict::kEquivalent,
+              "every workload is equivalent");
+      require(base.proofChecked, "the composed proof certifies");
+      require(base.cec.stats.batchedPairs > 0,
+              "the batched engine actually engaged");
+      for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        const RunResult run =
+            workers == 1 ? base : runOnce(w, workers, share);
+        // Determinism contract: verdict, proof outcome and every counting
+        // statistic reproduce the 1-worker run bit-identically.
+        require(run.cec.verdict == base.cec.verdict,
+                "verdicts are identical at every thread count");
+        require(run.proofChecked == base.proofChecked,
+                "proof outcomes are identical at every thread count");
+        require(run.cec.stats.satCalls == base.cec.stats.satCalls &&
+                    run.cec.stats.conflicts == base.cec.stats.conflicts &&
+                    run.cec.stats.satMerges == base.cec.stats.satMerges &&
+                    run.cec.stats.sweepBatches ==
+                        base.cec.stats.sweepBatches &&
+                    run.cec.stats.lemmaBufferHits ==
+                        base.cec.stats.lemmaBufferHits,
+                "statistics are identical at every thread count");
+        const cec::CecStats& s = run.cec.stats;
+        writer.beginObject()
+            .field("workload", w.name)
+            .field("workers", std::uint64_t{workers})
+            .field("shareSweepLemmas", share)
+            .field("wallSeconds", s.totalSeconds)
+            .field("satCalls", s.satCalls)
+            .field("conflicts", s.conflicts)
+            .field("satMerges", s.satMerges)
+            .field("sweepBatches", s.sweepBatches)
+            .field("batchedPairs", s.batchedPairs)
+            .field("lemmaBufferHits", s.lemmaBufferHits)
+            .field("lemmaBufferCexHits", s.lemmaBufferCexHits)
+            .field("proofChecked", run.proofChecked)
+            .endObject();
+      }
+    }
+  }
+  writer.endArray().endObject();
+  writer.finishLine();
+  require(out.good(), "BENCH_par_sweep.json written");
+  std::printf("wrote %s\n", jsonPath);
+}
+
+/// Timing: one certified batched sweep end to end.
+void BM_ParSweep(benchmark::State& state) {
+  const Workload& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  const std::uint32_t workers =
+      static_cast<std::uint32_t>(state.range(1));
+  const bool share = state.range(2) != 0;
+  cec::CecResult last;
+  for (auto _ : state) {
+    last = cec::sweepingCheck(w.miter, batched(workers, share));
+    benchmark::DoNotOptimize(last);
+  }
+  if (last.verdict != cec::Verdict::kEquivalent) {
+    state.SkipWithError("unexpected verdict");
+    return;
+  }
+  state.SetLabel(w.name);
+  state.counters["workers"] = workers;
+  state.counters["share"] = share ? 1 : 0;
+  state.counters["satCalls"] = static_cast<double>(last.stats.satCalls);
+  state.counters["bufferHits"] =
+      static_cast<double>(last.stats.lemmaBufferHits);
+}
+
+void ParSweepArgs(benchmark::internal::Benchmark* b) {
+  for (std::size_t w = 0; w < workloads().size(); ++w) {
+    for (int workers : {1, 2, 4, 8}) {
+      for (int share : {0, 1}) {
+        b->Args({static_cast<long>(w), workers, share});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_ParSweep)->Apply(ParSweepArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cp::bench
+
+// Custom main: the deterministic characterization (determinism assertions
+// + BENCH_par_sweep.json) always runs, then the timing benchmarks honor
+// the usual --benchmark_* flags.
+int main(int argc, char** argv) {
+  cp::bench::runParSweepCharacterization("BENCH_par_sweep.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -73,7 +73,7 @@ std::vector<serve::JobRecord> runBatch(std::size_t workers, bool cache,
                                        const std::string& proofDir,
                                        serve::ServiceMetrics* metrics) {
   serve::ServiceOptions options;
-  options.numWorkers = workers;
+  options.parallel.numThreads = static_cast<std::uint32_t>(workers);
   options.enableLemmaCache = cache;
   serve::BatchService service(options);
   std::vector<serve::JobSpec> jobs = serveBatch(20);

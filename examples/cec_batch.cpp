@@ -188,7 +188,7 @@ int main(int argc, char** argv) {
       return std::strtol(argv[++i], nullptr, 10);
     };
     if (arg == "--workers") {
-      service.numWorkers = static_cast<std::size_t>(intArg());
+      service.parallel.numThreads = static_cast<std::uint32_t>(intArg());
     } else if (arg == "--queue") {
       service.maxQueuedJobs = static_cast<std::size_t>(intArg());
     } else if (arg == "--no-cache") {

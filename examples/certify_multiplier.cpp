@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
               miter.statsString().c_str());
 
   cp::cec::EngineConfig config;
-  config.checkThreads = 0;  // proof check on all hardware threads
+  config.check.numThreads = 0;  // proof check on all hardware threads
 
   cp::Stopwatch t1;
   config.engine = cp::cec::SweepOptions();

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   cec::MultiCecOptions options;
   options.certify = true;
-  options.numThreads = threads;
+  options.parallel.numThreads = threads;
 
   Stopwatch wall;
   const cec::MultiCecResult result = cec::checkOutputs(left, right, options);

@@ -165,7 +165,7 @@ int runLint(int argc, char** argv) {
     } else if (arg == "--no-subsumption") {
       proofOptions.checkSubsumption = false;
     } else if (arg == "--threads" && i + 1 < argc) {
-      proofOptions.numThreads =
+      proofOptions.parallel.numThreads =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--format" && i + 1 < argc) {
       format = formatFromName(argv[++i]);

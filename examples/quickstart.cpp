@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   std::printf("miter:                 %s\n", miter.statsString().c_str());
 
   cp::cec::EngineConfig config;  // defaults to certified sweeping
-  config.checkThreads = 0;       // proof check on all hardware threads
+  config.check.numThreads = 0;  // proof check on all hardware threads
   const cp::cec::CertifyReport report = cp::cec::checkMiter(miter, config);
   std::printf("\nverdict: %s\n", cp::cec::toString(report.cec.verdict));
   const auto& s = report.cec.stats;

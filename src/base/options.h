@@ -58,4 +58,71 @@ inline void throwIfInvalid(const std::string& error, const char* caller) {
   }
 }
 
+/// The one shared parallel-execution knob set. Every options struct that
+/// used to carry its own numThreads/checkThreads int embeds one of these
+/// instead (SweepOptions, MultiCecOptions, proof::CheckOptions,
+/// proof::ProofLintOptions, cec::EngineConfig, serve::ServiceOptions), so
+/// "how parallel, how batched, how strict about determinism" reads the
+/// same everywhere.
+struct ParallelOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = sequential. Engines
+  /// guarantee bit-identical results at every thread count (the sweeping
+  /// engine additionally requires `deterministic` for that guarantee).
+  std::uint32_t numThreads = 1;
+
+  /// Work items grouped per dispatch. For the batched sweeping engine,
+  /// 0 disables batching entirely (the exact legacy incremental sweep) and
+  /// any positive value fixes the batch boundaries independently of
+  /// numThreads — which is what makes verdicts thread-count-invariant.
+  /// Consumers that do not batch (checker, lint, multi-output driver)
+  /// ignore this field.
+  std::uint32_t batchSize = 0;
+
+  /// When true (default), engines restrict themselves to schedules whose
+  /// results are bit-identical at every thread count. When false, the
+  /// sweeping engine may additionally consult shared lemma state
+  /// mid-batch: still sound and still certified, but cache statistics and
+  /// the particular proof found may vary run to run.
+  bool deterministic = true;
+
+  /// Largest accepted batchSize; see validate() for the rationale.
+  static constexpr std::uint32_t kMaxBatchSize = 1u << 20;
+
+  /// Empty when usable, else the uniform "field: got value, allowed range
+  /// (why)" message. `owner` qualifies the field name, e.g.
+  /// "SweepOptions.parallel".
+  std::string validate(const char* owner = "ParallelOptions") const {
+    if (batchSize > kMaxBatchSize) {
+      const std::string field = std::string(owner) + ".batchSize";
+      return optionError(field.c_str(), optionValue(batchSize),
+                         "[0, 1048576]",
+                         "a batch is reconciled only after every pair in it "
+                         "is solved, so unbounded batches defeat "
+                         "counterexample-driven refinement and hold every "
+                         "pending result in memory");
+    }
+    return {};
+  }
+};
+
+/// Resolves a [[deprecated]] thread-count alias against the ParallelOptions
+/// field replacing it: the new field wins when moved off its default;
+/// otherwise a non-default value of the old field is honored for one
+/// release (wrap the call in CP_SUPPRESS_DEPRECATED_* to read the alias
+/// without tripping -Werror).
+template <typename T, typename U>
+T resolveDeprecatedAlias(T newValue, T newDefault, U oldValue, U oldDefault) {
+  if (newValue != newDefault) return newValue;
+  if (oldValue != oldDefault) return static_cast<T>(oldValue);
+  return newDefault;
+}
+
+/// Guards for intentional reads of [[deprecated]] alias fields (the
+/// resolution helpers keeping old call sites working for one release).
+/// Everything else building with CP_WERROR must migrate instead.
+#define CP_SUPPRESS_DEPRECATED_BEGIN \
+  _Pragma("GCC diagnostic push")     \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define CP_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+
 }  // namespace cp

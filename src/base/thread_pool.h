@@ -66,20 +66,51 @@ class ThreadPool {
   /// before lower ones; equal priorities dispatch in submission order.
   template <typename F>
   auto submit(int priority, F&& fn) -> std::future<std::invoke_result_t<F>> {
+    return submitCancellable(priority, std::forward<F>(fn)).second;
+  }
+
+  /// Identifies one queued task for tryCancel(). Only meaningful for the
+  /// pool that issued it.
+  struct TaskHandle {
+    int key = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// submit() that additionally returns a cancellation handle. This is the
+  /// coordinator-help primitive for nested parallelism: a caller that can
+  /// do the work itself submits helper tasks, drains the shared work queue
+  /// on its own thread, and then *cancels* helpers that never started
+  /// instead of blocking on them — so a task running on this very pool can
+  /// fan out onto it without ever deadlocking, even on a one-worker pool.
+  template <typename F>
+  auto submitCancellable(int priority, F&& fn)
+      -> std::pair<TaskHandle, std::future<std::invoke_result_t<F>>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    TaskHandle handle;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
-      queue_.emplace(QueueKey{-priority, nextSeq_++},
+      handle.key = -priority;
+      handle.seq = nextSeq_++;
+      queue_.emplace(QueueKey{handle.key, handle.seq},
                      [task] { (*task)(); });
     }
     available_.notify_one();
-    return future;
+    return {handle, std::move(future)};
+  }
+
+  /// Removes a task that no worker has picked up yet. Returns true when
+  /// the task was still queued — it will never run, and waiting on its
+  /// future would report broken_promise. Returns false when a worker
+  /// already took (or finished) it; the caller must wait on the future.
+  bool tryCancel(const TaskHandle& handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.erase(QueueKey{handle.key, handle.seq}) > 0;
   }
 
  private:

@@ -50,8 +50,12 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
 }
 
 std::string EngineConfig::validate() const {
-  // checkThreads admits every value (0 = hardware concurrency); only the
-  // held engine alternative constrains the configuration.
+  // Every proof-check thread count is admitted (0 = hardware concurrency);
+  // the shared parallel block and the held engine alternative constrain
+  // the configuration.
+  if (std::string err = check.validate("EngineConfig.check"); !err.empty()) {
+    return err;
+  }
   return std::visit([](const auto& options) { return options.validate(); },
                     engine);
 }
@@ -152,7 +156,7 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   proof::CheckOptions options;
   options.requireRoot = true;
   options.axiomValidator = axiomValidator;
-  options.numThreads = config.checkThreads;
+  options.parallel.numThreads = config.effectiveCheckThreads();
   report.check = proof::checkProof(trimmed.log, options);
   report.checkSeconds = checkTimer.seconds();
   report.proofChecked = report.check.ok;

@@ -42,13 +42,31 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
 using EngineOptions =
     std::variant<SweepOptions, MonolithicOptions, BddCecOptions>;
 
+// The suppression spans the struct definition so the *synthesized*
+// constructors (which copy/initialize the deprecated alias below) compile
+// warning-free under -Werror; uses of the alias outside this header still
+// warn at their own sites.
+CP_SUPPRESS_DEPRECATED_BEGIN
 struct EngineConfig {
   EngineOptions engine = SweepOptions();
-  /// Worker threads for the independent proof check
-  /// (proof::CheckOptions::numThreads): 0 = one per hardware thread,
-  /// 1 = the sequential legacy checker. The check verdict is bit-identical
-  /// at every count.
+  /// Parallelism of the independent proof check (forwarded to
+  /// proof::CheckOptions::parallel): check.numThreads 0 = one per hardware
+  /// thread, 1 = the sequential legacy checker. The check verdict is
+  /// bit-identical at every count. Engine-side parallelism is configured
+  /// on the engine options themselves (SweepOptions::parallel).
+  cp::ParallelOptions check;
+  /// Deprecated alias for check.numThreads; honored when it is set and
+  /// check.numThreads is left at its default. Removed next release.
+  [[deprecated("use EngineConfig.check.numThreads")]]
   std::uint32_t checkThreads = 1;
+
+  /// The proof-check thread count after alias resolution.
+  std::uint32_t effectiveCheckThreads() const {
+    CP_SUPPRESS_DEPRECATED_BEGIN
+    return resolveDeprecatedAlias<std::uint32_t>(check.numThreads, 1u,
+                                                 checkThreads, 1u);
+    CP_SUPPRESS_DEPRECATED_END
+  }
 
   /// When non-empty: the engine's raw proof is streamed to this CPF
   /// container file *during* solving (proofio::ProofWriter attached as the
@@ -62,6 +80,7 @@ struct EngineConfig {
   /// alternative's uniform validation message (see base/options.h).
   std::string validate() const;
 };
+CP_SUPPRESS_DEPRECATED_END
 
 /// On-disk leg of a certification run (only populated when
 /// EngineConfig::proofPath is set).

@@ -256,9 +256,15 @@ ProveResult proveConePair(const CanonicalCone& cone,
   ProveResult result;
   const DecodedCone d = decodeBlob(cone.blob);
   if (!d.valid) return result;
+  struct ConflictTally {
+    const sat::Solver& solver;
+    std::uint64_t& conflicts;
+    ~ConflictTally() { conflicts = solver.stats().conflicts; }
+  };
 
   proof::ProofLog log;
   sat::Solver solver(&log, solverOptions);
+  const ConflictTally tally{solver, result.conflicts};
   for (std::uint32_t v = 0; v < d.numNodes; ++v) (void)solver.newVar();
 
   const Lit constFalse = Lit::make(0, false);
@@ -322,9 +328,16 @@ ProveResult proveConePair(const CanonicalCone& cone,
 std::string LemmaCacheOptions::validate() const {
   if (maxConeNodes == 0) {
     return optionError("LemmaCacheOptions.maxConeNodes",
-                       optionValue(maxConeNodes), "[1, 2^32)",
+                       optionValue(maxConeNodes), "[1, 1048576]",
                        "a zero bound rejects every cone, making the cache "
                        "pure overhead");
+  }
+  if (maxConeNodes > (1u << 20)) {
+    return optionError("LemmaCacheOptions.maxConeNodes",
+                       optionValue(maxConeNodes), "[1, 1048576]",
+                       "cones past a million AND nodes are proved standalone "
+                       "without incremental solving and their blobs alone "
+                       "would dominate the byte budget");
   }
   if (maxBytes < 4096) {
     return optionError("LemmaCacheOptions.maxBytes", optionValue(maxBytes),

@@ -128,6 +128,10 @@ struct ProveResult {
   /// For kCounterexample: value per canonical node id (only input nodes
   /// are meaningful).
   std::vector<bool> inputValues;
+  /// Conflicts spent by the standalone solver, whatever the outcome — a
+  /// deterministic function of (cone, options, budget), so callers can
+  /// aggregate it into CecStats without breaking thread-count invariance.
+  std::uint64_t conflicts = 0;
 };
 
 /// Proves (or refutes) equivalence of a canonical cone pair with a

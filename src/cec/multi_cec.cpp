@@ -31,15 +31,21 @@ constexpr std::uint32_t kNoDifference =
 /// concurrent invocations share nothing and the result is a pure function
 /// of (left, right, o, options).
 OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
-                             std::uint32_t o,
-                             const MultiCecOptions& options) {
+                             std::uint32_t o, const MultiCecOptions& options,
+                             ThreadPool* sweepPool) {
   Stopwatch timer;
   OutputVerdict out;
   const aig::Aig miter = buildMiter(left, o, right, o);
+  // In-sweep solver tasks (SweepOptions.parallel.batchSize > 0) run on the
+  // driver's own pool unless the caller already injected one, so
+  // output-level and in-sweep parallelism compose instead of each sweep
+  // spinning up a private pool.
+  SweepOptions sweep = options.sweep;
+  if (sweep.pool == nullptr) sweep.pool = sweepPool;
   if (options.certify) {
     EngineConfig config;
-    config.engine = options.sweep;
-    config.checkThreads = options.checkThreads;
+    config.engine = sweep;
+    config.check.numThreads = options.effectiveCheckThreads();
     const CertifyReport report = checkMiter(miter, config);
     out.verdict = report.cec.verdict;
     out.counterexample = report.cec.counterexample;
@@ -48,7 +54,7 @@ OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
     out.proofClauses = report.trim.clausesAfter;
     out.proofResolutions = report.trim.resolutionsAfter;
   } else {
-    const CecResult r = sweepingCheck(miter, options.sweep);
+    const CecResult r = sweepingCheck(miter, sweep);
     out.verdict = r.verdict;
     out.counterexample = r.counterexample;
     out.satConflicts = r.stats.conflicts;
@@ -64,6 +70,14 @@ std::string MultiCecOptions::validate() const {
     return optionError("MultiCecOptions.simWords", optionValue(simWords),
                        "[1, 2^32)",
                        "0 silently disables the simulation triage pass");
+  }
+  if (std::string err = parallel.validate("MultiCecOptions.parallel");
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err = check.validate("MultiCecOptions.check");
+      !err.empty()) {
+    return err;
   }
   if (!sweep.validate().empty()) {
     return "MultiCecOptions.sweep: " + sweep.validate();
@@ -156,12 +170,14 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
   // Index into `pending` of the first SAT-refuted output.
   std::uint32_t firstDifference = kNoDifference;
 
-  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+  const std::size_t workers =
+      ThreadPool::resolveThreads(options.effectiveThreads());
   if (workers <= 1) {
     // Exact legacy path: strictly sequential, stops at the first
     // SAT-found difference when asked.
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      satResults[i] = checkOneOutput(left, right, pending[i], options);
+      satResults[i] =
+          checkOneOutput(left, right, pending[i], options, nullptr);
       if (satResults[i]->verdict == Verdict::kInequivalent) {
         firstDifference = static_cast<std::uint32_t>(i);
         if (options.stopAtFirstDifference) break;
@@ -182,13 +198,13 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
       const std::uint32_t o = pending[i];
       const std::uint32_t idx = static_cast<std::uint32_t>(i);
       futures.push_back(pool.submit(
-          [&left, &right, &options, &firstDiff, o,
+          [&left, &right, &options, &firstDiff, &pool, o,
            idx]() -> std::optional<OutputVerdict> {
             if (options.stopAtFirstDifference &&
                 firstDiff.load(std::memory_order_relaxed) < idx) {
               return std::nullopt;  // a lower output already stopped the run
             }
-            OutputVerdict v = checkOneOutput(left, right, o, options);
+            OutputVerdict v = checkOneOutput(left, right, o, options, &pool);
             if (v.verdict == Verdict::kInequivalent &&
                 options.stopAtFirstDifference) {
               std::uint32_t seen = firstDiff.load(std::memory_order_relaxed);

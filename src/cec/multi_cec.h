@@ -44,6 +44,10 @@ struct OutputVerdict {
   double seconds = 0.0;                ///< wall time of this output's task
 };
 
+// Spans the struct so the synthesized constructors (which touch the
+// deprecated aliases) compile warning-free under -Werror; uses of the
+// aliases elsewhere still warn.
+CP_SUPPRESS_DEPRECATED_BEGIN
 struct MultiCecOptions {
   SweepOptions sweep;
   /// Produce and check a resolution proof per equivalent output.
@@ -55,19 +59,44 @@ struct MultiCecOptions {
   /// positive: 0 would silently disable the triage pass.
   std::uint32_t simWords = 8;
   std::uint64_t simSeed = 0xFEEDFACEULL;
-  /// Worker threads for the per-output SAT/proof phase. 0 = one worker
-  /// per hardware thread; 1 = the exact sequential legacy path (no pool).
-  std::uint32_t numThreads = 1;
-  /// Worker threads for each output's independent proof check
-  /// (EngineConfig::checkThreads); orthogonal to numThreads, so a run can
+  /// Parallelism of the per-output SAT/proof phase (parallel.numThreads
+  /// workers; 0 = one per hardware thread, 1 = the exact sequential legacy
+  /// path). When sweep.parallel.batchSize is also positive, the per-output
+  /// tasks and each sweep's in-batch solver tasks share one pool instead
+  /// of oversubscribing (the driver injects its pool into sweep.pool).
+  cp::ParallelOptions parallel;
+  /// Parallelism of each output's independent proof check (forwarded to
+  /// EngineConfig::check); orthogonal to `parallel`, so a run can
   /// parallelize across outputs and within each proof check at once.
+  cp::ParallelOptions check;
+  /// Deprecated alias for parallel.numThreads; honored when it is set and
+  /// parallel.numThreads is left at its default. Removed next release.
+  [[deprecated("use MultiCecOptions.parallel.numThreads")]]
+  std::uint32_t numThreads = 1;
+  /// Deprecated alias for check.numThreads; same one-release rule.
+  [[deprecated("use MultiCecOptions.check.numThreads")]]
   std::uint32_t checkThreads = 1;
+
+  /// Thread counts after alias resolution.
+  std::uint32_t effectiveThreads() const {
+    CP_SUPPRESS_DEPRECATED_BEGIN
+    return resolveDeprecatedAlias<std::uint32_t>(parallel.numThreads, 1u,
+                                                 numThreads, 1u);
+    CP_SUPPRESS_DEPRECATED_END
+  }
+  std::uint32_t effectiveCheckThreads() const {
+    CP_SUPPRESS_DEPRECATED_BEGIN
+    return resolveDeprecatedAlias<std::uint32_t>(check.numThreads, 1u,
+                                                 checkThreads, 1u);
+    CP_SUPPRESS_DEPRECATED_END
+  }
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Covers this
   /// struct and the nested sweep options.
   std::string validate() const;
 };
+CP_SUPPRESS_DEPRECATED_END
 
 struct MultiCecResult {
   /// kEquivalent iff every output pair is equivalent; kInequivalent if

@@ -275,4 +275,95 @@ ClauseId ProofComposer::finalizeEquivalent(ClauseId finalLemma, Lit tOut) {
   return root;
 }
 
+SplicedEquivalence ProofComposer::spliceCanonicalProof(
+    const CanonicalCone& cone, const CachedLemmaProof& cached,
+    const aig::Aig& fraig, std::span<const std::uint32_t> canon,
+    std::span<const std::array<proof::ClauseId, 3>> dClauses) {
+  SplicedEquivalence out;
+  if (!log_) return out;
+  const std::uint32_t numNodes = cone.numNodes();
+  const std::uint32_t numAxioms = cone.numAxioms();
+
+  // Canonical AND nodes in ascending order: the implicit axiom table.
+  std::vector<std::uint32_t> andNodes;
+  andNodes.reserve(cone.numAnds);
+  for (std::uint32_t v = 1; v < numNodes; ++v) {
+    if (fraig.isAnd(cone.toHost[v])) andNodes.push_back(v);
+  }
+  if (andNodes.size() != cone.numAnds) return out;
+
+  const auto litOfF = [&](aig::Edge e) {
+    return Lit::make(static_cast<sat::Var>(canon[e.node()]),
+                     e.complemented());
+  };
+  const auto mapLit = [&](Lit canonical) {
+    return Lit::make(
+        static_cast<sat::Var>(canon[cone.toHost[canonical.var()]]),
+        canonical.negated());
+  };
+  const auto contains = [&](ClauseId id, Lit l) {
+    for (const Lit x : log_->lits(id)) {
+      if (x == l) return true;
+    }
+    return false;
+  };
+  const auto mapAxiom = [&](std::uint32_t index) -> ClauseId {
+    if (index == 0) return constUnit_;
+    const std::uint32_t a = (index - 1) / 3;
+    const int k = static_cast<int>((index - 1) % 3);
+    const std::uint32_t m = cone.toHost[andNodes[a]];
+    if (k == 2) return dClauses[m][2];
+    // The image clauses of m may pair its fanins in either order (addAnd
+    // normalizes fanin order); match by literal membership like
+    // onStrashHit.
+    const Lit la = litOfF(fraig.fanin0(m));
+    const Lit lb = litOfF(fraig.fanin1(m));
+    ClauseId dForLa = dClauses[m][0];
+    ClauseId dForLb = dClauses[m][1];
+    if (contains(dClauses[m][1], la) || contains(dClauses[m][0], lb)) {
+      std::swap(dForLa, dForLb);
+    }
+    return k == 0 ? dForLa : dForLb;
+  };
+
+  std::vector<ClauseId> stepIds(cached.steps.size(), kNoClause);
+  const auto mapOperand = [&](std::uint32_t encoded,
+                              std::size_t stepsDone) -> ClauseId {
+    if (encoded < numAxioms) return mapAxiom(encoded);
+    const std::uint32_t s = encoded - numAxioms;
+    return s < stepsDone ? stepIds[s] : kNoClause;
+  };
+
+  try {
+    for (std::size_t i = 0; i < cached.steps.size(); ++i) {
+      const CachedStep& step = cached.steps[i];
+      if (step.operands.empty() ||
+          step.pivots.size() + 1 != step.operands.size()) {
+        return out;
+      }
+      std::vector<ClauseId> operands;
+      operands.reserve(step.operands.size());
+      for (const std::uint32_t encoded : step.operands) {
+        const ClauseId id = mapOperand(encoded, i);
+        if (id == kNoClause) return out;
+        operands.push_back(id);
+      }
+      for (const Lit pivot : step.pivots) {
+        if (pivot.var() >= numNodes) return out;
+      }
+      std::vector<Lit> pivots;
+      pivots.reserve(step.pivots.size());
+      for (const Lit pivot : step.pivots) pivots.push_back(mapLit(pivot));
+      stepIds[i] = spliceChain(operands, pivots);
+    }
+    out.fwd = mapOperand(cached.fwd, cached.steps.size());
+    out.bwd = mapOperand(cached.bwd, cached.steps.size());
+    if (out.fwd == kNoClause || out.bwd == kNoClause) return out;
+    out.ok = true;
+    return out;
+  } catch (const std::logic_error&) {
+    return out;  // tautological resolvent: the chain cannot replay here
+  }
+}
+
 }  // namespace cp::cec

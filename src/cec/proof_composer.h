@@ -55,9 +55,17 @@
 #include <vector>
 
 #include "src/aig/aig.h"
+#include "src/cec/lemma_cache.h"
 #include "src/proof/proof_log.h"
 
 namespace cp::cec {
+
+/// Result of splicing a self-contained canonical cone proof into a log.
+struct SplicedEquivalence {
+  proof::ClauseId fwd = proof::kNoClause;  ///< rebased forward lemma
+  proof::ClauseId bwd = proof::kNoClause;  ///< rebased backward lemma
+  bool ok = false;
+};
 
 /// Certificate that v(node) is equivalent to its image literal.
 struct Cert {
@@ -159,6 +167,23 @@ class ProofComposer {
   /// tautological resolvent.
   proof::ClauseId spliceChain(std::span<const proof::ClauseId> operands,
                               std::span<const sat::Lit> pivots);
+
+  /// Replays a self-contained canonical cone proof (a cec::LemmaCache
+  /// payload, or a fresh proveConePair result) into this log, rebasing the
+  /// operand-encoded canonical axiom table onto the host image clauses:
+  /// `canon` maps F nodes to original variables and `dClauses` holds each
+  /// F AND node's image clauses — exactly the sweeping engine's tables.
+  /// Returns ok == false when the chain is malformed or tautological;
+  /// clauses recorded before the failure are dead weight, never unsound
+  /// (every step goes through spliceChain over clauses already in the
+  /// log). Because resolveOn memoizes genuine resolutions by resolvent
+  /// content, splices are *arrival-order independent*: per-pair proofs
+  /// solved concurrently and reconciled in any fixed order rebase onto the
+  /// same ids a sequential run would produce.
+  SplicedEquivalence spliceCanonicalProof(
+      const CanonicalCone& cone, const CachedLemmaProof& cached,
+      const aig::Aig& fraig, std::span<const std::uint32_t> canon,
+      std::span<const std::array<proof::ClauseId, 3>> dClauses);
 
  private:
   sat::Lit varLit(std::uint32_t node) const {

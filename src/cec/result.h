@@ -52,6 +52,17 @@ struct CecStats {
   std::uint64_t lemmaCacheMisses = 0;  ///< cacheable pairs not yet cached
   std::uint64_t lemmaCacheSpliced = 0; ///< cached proofs replayed into log
 
+  // Batched parallel sweeping (all zero unless
+  // SweepOptions.parallel.batchSize > 0; see cec/sweeping_cec.h).
+  std::uint64_t sweepBatches = 0;       ///< candidate batches flushed
+  std::uint64_t batchedPairs = 0;       ///< pairs routed through batches
+  std::uint64_t lemmaBufferHits = 0;    ///< per-sweep buffer proof reuses
+  std::uint64_t lemmaBufferCexHits = 0; ///< per-sweep buffer refutation reuses
+  std::uint64_t bddPairCalls = 0;       ///< pairs tried on the BDD engine
+  std::uint64_t bddPairRefuted = 0;     ///< ...refuted by it (counterexample)
+  std::uint64_t bddPairAccepted = 0;    ///< ...merged by it without SAT
+                                        ///  (non-certifying runs only)
+
   double totalSeconds = 0.0;
 };
 

@@ -1,0 +1,63 @@
+#include "src/cec/stats_json.h"
+
+namespace cp::cec {
+
+void writeCecStats(const CecStats& stats, json::Writer& writer) {
+  writer.beginObject()
+      .field("satCalls", stats.satCalls)
+      .field("satUnsat", stats.satUnsat)
+      .field("satSat", stats.satSat)
+      .field("satUndecided", stats.satUndecided)
+      .field("conflicts", stats.conflicts)
+      .field("propagations", stats.propagations)
+      .field("restarts", stats.restarts)
+      .field("candidateNodes", stats.candidateNodes)
+      .field("initialClasses", stats.initialClasses)
+      .field("satMerges", stats.satMerges)
+      .field("structuralMerges", stats.structuralMerges)
+      .field("foldMerges", stats.foldMerges)
+      .field("skippedCandidates", stats.skippedCandidates)
+      .field("counterexamples", stats.counterexamples)
+      .field("sweptNodes", stats.sweptNodes)
+      .field("proofStructuralSteps", stats.proofStructuralSteps)
+      .field("lemmaCacheHits", stats.lemmaCacheHits)
+      .field("lemmaCacheMisses", stats.lemmaCacheMisses)
+      .field("lemmaCacheSpliced", stats.lemmaCacheSpliced)
+      .field("sweepBatches", stats.sweepBatches)
+      .field("batchedPairs", stats.batchedPairs)
+      .field("lemmaBufferHits", stats.lemmaBufferHits)
+      .field("lemmaBufferCexHits", stats.lemmaBufferCexHits)
+      .field("bddPairCalls", stats.bddPairCalls)
+      .field("bddPairRefuted", stats.bddPairRefuted)
+      .field("bddPairAccepted", stats.bddPairAccepted)
+      .field("totalSeconds", stats.totalSeconds)
+      .endObject();
+}
+
+void writeCertifyReport(const CertifyReport& report, json::Writer& writer) {
+  writer.beginObject()
+      .field("verdict", toString(report.cec.verdict))
+      .field("proofChecked", report.proofChecked);
+  writer.key("stats");
+  writeCecStats(report.cec.stats, writer);
+  writer.key("proof");
+  writer.beginObject()
+      .field("clauses", report.trim.clausesAfter)
+      .field("resolutions", report.trim.resolutionsAfter)
+      .field("clausesBeforeTrim", report.trim.clausesBefore)
+      .field("resolutionsBeforeTrim", report.trim.resolutionsBefore)
+      .endObject();
+  writer.field("checkSeconds", report.checkSeconds);
+  if (report.disk.written) {
+    writer.key("disk");
+    writer.beginObject()
+        .field("checked", report.disk.checked)
+        .field("bytes", report.disk.write.bytes)
+        .field("liveClausesPeak", report.disk.stream.liveClausesPeak)
+        .field("checkSeconds", report.disk.checkSeconds)
+        .endObject();
+  }
+  writer.endObject();
+}
+
+}  // namespace cp::cec

@@ -1,0 +1,28 @@
+// The one JSON rendering of engine statistics.
+//
+// Three surfaces report CEC statistics to machine consumers: standalone
+// CertifyReport dumps, the batch service's JobRecord stream, and the
+// BENCH_*.json trajectory files. They used to hand-pick overlapping subsets
+// of CecStats under drifting field names; every surface now renders the
+// full struct through writeCecStats, so a field added to CecStats appears
+// everywhere at once under one name. The schema is documented in
+// DESIGN.md ("JSON stats schema").
+#pragma once
+
+#include "src/base/json.h"
+#include "src/cec/certify.h"
+#include "src/cec/result.h"
+
+namespace cp::cec {
+
+/// Renders `stats` as one JSON object whose member names equal the
+/// CecStats field names, in declaration order. Every field is always
+/// emitted (zeros included) so consumers can rely on the shape.
+void writeCecStats(const CecStats& stats, json::Writer& writer);
+
+/// Renders a full certification report: verdict, proofChecked, the shared
+/// "stats" object, the trimmed-proof shape under "proof", timing, and —
+/// when the run streamed a CPF container — the disk leg under "disk".
+void writeCertifyReport(const CertifyReport& report, json::Writer& writer);
+
+}  // namespace cp::cec

@@ -1,15 +1,24 @@
 #include "src/cec/sweeping_cec.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/log.h"
 #include "src/base/options.h"
 #include "src/base/stopwatch.h"
+#include "src/base/thread_pool.h"
+#include "src/cec/bdd_cec.h"
 #include "src/cec/lemma_cache.h"
 #include "src/cec/proof_composer.h"
 #include "src/cnf/cnf.h"
@@ -25,6 +34,131 @@ using aig::Edge;
 using proof::ClauseId;
 using sat::Lit;
 
+/// In-sweep solver tasks outrank job-level work on a shared pool: a sweep
+/// that already holds a pool thread should see its helpers scheduled next,
+/// not behind a queue of whole jobs it would then wait on.
+constexpr int kBatchPriority = 1 << 20;
+
+/// One candidate pair snapshot for batched solving. Everything a worker
+/// touches is value-owned by the pair (the canonical cone, the result
+/// slots), so concurrent workers never share mutable state.
+struct PendingPair {
+  /// How the reconcile step settles this pair.
+  enum class Source {
+    kSolve,        ///< worker ran (BDD and/or standalone SAT); use `solved`
+    kBufferProof,  ///< per-sweep buffer had a proof: splice `hitProof`
+    kBufferCex,    ///< per-sweep buffer had a refutation: inject `hitCex`
+    kCacheProof,   ///< cross-job cache hit: splice `hitProof`
+    kInline,       ///< cone too big to snapshot: classic incremental path
+  };
+
+  std::uint32_t node = 0;
+  std::uint32_t rep = 0;
+  Edge repImg;  ///< polarity-adjusted image of `rep` at enqueue time
+  Lit tn;
+  Lit tr;
+  std::uint32_t retries = 0;
+  CanonicalCone cone;
+  Source source = Source::kInline;
+  bool tryBdd = false;
+  bool cacheEligible = false;  ///< cone fits the cross-job cache bound
+  std::shared_ptr<const CachedLemmaProof> hitProof;
+  std::vector<bool> hitCex;
+  ProveResult solved;
+  bool bddRefuted = false;
+  bool bddProved = false;
+  bool proverRan = false;
+};
+
+/// Per-sweep lemma tier: canonical cone blob -> result of the first pair
+/// that settled it, so identical cones met later in the same sweep import
+/// instead of re-proving. Touched only by the coordinator (lookups at
+/// enqueue, inserts at reconcile), so no locking — unlike the cross-job
+/// LemmaCache this tier is deterministic at every thread count.
+class SweepLemmaBuffer {
+ public:
+  struct Hit {
+    std::shared_ptr<const CachedLemmaProof> proof;  ///< set when proved
+    std::vector<bool> cex;  ///< canonical input values when refuted
+    bool refuted = false;
+  };
+
+  const Hit* lookup(const std::vector<std::uint32_t>& blob) const {
+    const auto it = map_.find(blob);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void insertProof(const std::vector<std::uint32_t>& blob,
+                   std::shared_ptr<const CachedLemmaProof> proof) {
+    Hit& hit = map_[blob];
+    hit.proof = std::move(proof);
+    hit.refuted = false;
+  }
+  void insertCex(const std::vector<std::uint32_t>& blob,
+                 std::vector<bool> cex) {
+    Hit& hit = map_[blob];
+    hit.cex = std::move(cex);
+    hit.refuted = true;
+    hit.proof.reset();
+  }
+  void erase(const std::vector<std::uint32_t>& blob) { map_.erase(blob); }
+
+ private:
+  std::map<std::vector<std::uint32_t>, Hit> map_;
+};
+
+struct ConeAigs {
+  aig::Aig left;
+  aig::Aig right;
+};
+
+/// Rebuilds a canonical cone pair as two standalone single-output AIGs over
+/// one shared input interface (inputs in ascending canonical order), the
+/// form the BDD engine checks.
+ConeAigs coneToAigs(const CanonicalCone& cone) {
+  ConeAigs out;
+  const std::uint32_t numNodes = cone.numNodes();
+  if (numNodes == 0) return out;
+  std::vector<Edge> mapL(numNodes), mapR(numNodes);
+  mapL[0] = aig::kFalse;
+  mapR[0] = aig::kFalse;
+  for (std::uint32_t v = 1; v < numNodes; ++v) {
+    const std::uint32_t f0 = cone.blob[3 + 2 * (v - 1)];
+    const std::uint32_t f1 = cone.blob[4 + 2 * (v - 1)];
+    if (f0 == CanonicalCone::kInputSentinel) {
+      mapL[v] = out.left.addInput();
+      mapR[v] = out.right.addInput();
+    } else {
+      const Edge a = Edge::fromRaw(f0);
+      const Edge b = Edge::fromRaw(f1);
+      mapL[v] = out.left.addAnd(mapL[a.node()] ^ a.complemented(),
+                                mapL[b.node()] ^ b.complemented());
+      mapR[v] = out.right.addAnd(mapR[a.node()] ^ a.complemented(),
+                                 mapR[b.node()] ^ b.complemented());
+    }
+  }
+  const Edge r0 = Edge::fromRaw(cone.blob[1]);
+  const Edge r1 = Edge::fromRaw(cone.blob[2]);
+  out.left.addOutput(mapL[r0.node()] ^ r0.complemented());
+  out.right.addOutput(mapR[r1.node()] ^ r1.complemented());
+  return out;
+}
+
+/// Maps a BDD counterexample (indexed by primary-input position of the
+/// cone AIGs) back to per-canonical-node input values, the form the rest
+/// of the batched engine consumes.
+std::vector<bool> bddCexToCanonical(const CanonicalCone& cone,
+                                    const std::vector<bool>& cex) {
+  std::vector<bool> values(cone.numNodes(), false);
+  std::uint32_t pi = 0;
+  for (std::uint32_t v = 1; v < cone.numNodes(); ++v) {
+    if (cone.blob[3 + 2 * (v - 1)] == CanonicalCone::kInputSentinel) {
+      values[v] = pi < cex.size() && cex[pi];
+      ++pi;
+    }
+  }
+  return values;
+}
+
 /// All mutable state of one sweeping run.
 class SweepRun {
  public:
@@ -37,7 +171,23 @@ class SweepRun {
         solver_(log, options.solver),
         rng_(options.randomSeed),
         sim_(miter, options.simWords),
-        classes_((sim_.randomizeInputs(rng_), sim_.simulate(), sim_)) {}
+        classes_((sim_.randomizeInputs(rng_), sim_.simulate(), sim_)) {
+    batched_ = options_.parallel.batchSize > 0;
+    if (batched_) {
+      batchWorkers_ = static_cast<std::uint32_t>(
+          ThreadPool::resolveThreads(options_.parallel.numThreads));
+      if (batchWorkers_ > 1) {
+        if (options_.pool != nullptr) {
+          pool_ = options_.pool;
+        } else {
+          // The coordinator drains the batch itself, so a transient pool
+          // only needs the helpers.
+          ownedPool_ = std::make_unique<ThreadPool>(batchWorkers_ - 1);
+          pool_ = ownedPool_.get();
+        }
+      }
+    }
+  }
 
   CecResult run();
   FraigResult reduce();
@@ -59,7 +209,12 @@ class SweepRun {
   }
 
   void buildImage(std::uint32_t n);
-  void checkCandidate(std::uint32_t n);
+  /// Classic incremental-solver candidate check, starting at `retries`
+  /// counterexample refinements already spent. `useCache` gates the
+  /// cross-job lemma-cache path (the batched engine disables it when
+  /// falling back after a cache entry already failed to splice).
+  void checkCandidateImpl(std::uint32_t n, std::uint32_t retries,
+                          bool useCache);
   /// Debug-only: verifies cert(n) subsumes the ideal implication pair
   /// (~v(n) | t) / (v(n) | ~t) for t = lit(image[n]).
   void verifyCertInvariant(std::uint32_t n, const char* where) const;
@@ -67,6 +222,32 @@ class SweepRun {
   void injectCounterexample(std::vector<bool> cex);
   std::vector<bool> modelInputs() const;
   CecResult finalize();
+
+  // ---- batched parallel engine (options_.parallel.batchSize > 0) -----------
+  /// Snapshots candidate n as a PendingPair (mirroring the settle loop of
+  /// checkCandidateImpl) and appends it to the current batch; flushes when
+  /// the batch is full or the pair's representative is itself pending.
+  void enqueueCandidate(std::uint32_t n, std::uint32_t retries);
+  /// Decides a pair's Source at enqueue time (coordinator): sweep buffer,
+  /// cross-job cache, standalone solve, or inline fallback.
+  void classifyPair(PendingPair& pair);
+  /// Solves all kSolve pairs of the current batch concurrently
+  /// (coordinator-help on pool_), then reconciles every pair in enqueue
+  /// order on the coordinator. Re-entrant: reconciliation may enqueue
+  /// retries into the next batch and recursively flush it.
+  void flushBatch();
+  /// Worker task: settles one pair using only pair-owned state (plus the
+  /// thread-safe cross-job cache when deterministic mode is off).
+  void solvePair(PendingPair& pair) const;
+  /// Applies one solved/classified pair's outcome on the coordinator.
+  void reconcilePair(PendingPair& pair);
+  /// Installs the merge of pair.node onto pair.repImg (the certificate was
+  /// already installed by the splice that justified it).
+  void completeMerge(const PendingPair& pair);
+  /// Maps canonical input `values` to a host counterexample, injects it,
+  /// and retries or retires the pair.
+  void handleCanonicalCex(const PendingPair& pair,
+                          const std::vector<bool>& values);
 
   // ---- cross-job lemma cache (options_.lemmaCache) -------------------------
   enum class CachedOutcome {
@@ -101,6 +282,19 @@ class SweepRun {
   std::vector<char> loaded_;                     // F node -> CNF in solver
   std::uint32_t cexSlot_ = 0;
   CecStats stats_;
+
+  // Batched parallel engine state (all coordinator-owned; workers see only
+  // their own PendingPair).
+  bool batched_ = false;
+  std::uint32_t batchWorkers_ = 1;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> ownedPool_;
+  std::vector<PendingPair> batch_;
+  std::vector<char> pendingNode_;  // original node -> in current batch
+  SweepLemmaBuffer buffer_;
+  /// Conflicts spent by standalone per-pair provers (batched mode and the
+  /// lemma-cache miss path); the incremental solver_ keeps its own count.
+  std::uint64_t standaloneConflicts_ = 0;
   /// Set CP_SWEEP_DEBUG=1 for an image-construction trace plus certificate
   /// invariant checking after every node.
   const bool debug_ = [] {
@@ -268,8 +462,8 @@ void SweepRun::injectCounterexample(std::vector<bool> cex) {
   ++stats_.counterexamples;
 }
 
-void SweepRun::checkCandidate(std::uint32_t n) {
-  std::uint32_t retries = 0;
+void SweepRun::checkCandidateImpl(std::uint32_t n, std::uint32_t retries,
+                                  bool useCache) {
   while (classes_.classOf(n) != sim::EquivClasses::kNoClass) {
     const std::uint32_t rep = classes_.representative(n);
     if (rep == n) return;  // later members check against n
@@ -285,7 +479,7 @@ void SweepRun::checkCandidate(std::uint32_t n) {
     const Lit tn = litOfF(image_[n]);
     const Lit tr = litOfF(repImg);
 
-    if (options_.lemmaCache != nullptr) {
+    if (useCache && options_.lemmaCache != nullptr) {
       const CachedOutcome outcome = tryCachedMerge(n, repImg, tn, tr);
       if (outcome == CachedOutcome::kMerged) {
         image_[n] = repImg;
@@ -376,6 +570,7 @@ SweepRun::CachedOutcome SweepRun::tryCachedMerge(std::uint32_t n, Edge repImg,
   ProveResult proved = proveConePair(cone, options_.solver,
                                      options_.pairConflictBudget);
   ++stats_.satCalls;  // the standalone prover is still (budgeted) SAT work
+  standaloneConflicts_ += proved.conflicts;
   switch (proved.outcome) {
     case ProveOutcome::kProved: {
       ++stats_.satUnsat;
@@ -418,97 +613,307 @@ bool SweepRun::spliceCachedProof(const CanonicalCone& cone,
     composer_.onSatMerge(n, tn, tr, proof::kNoClause, proof::kNoClause);
     return true;
   }
-  const std::uint32_t numNodes = cone.numNodes();
-  const std::uint32_t numAxioms = cone.numAxioms();
+  const SplicedEquivalence spliced =
+      composer_.spliceCanonicalProof(cone, cached, fraig_, canon_, dClauses_);
+  if (!spliced.ok) return false;
 
-  // Canonical AND nodes in ascending order: the implicit axiom table.
-  std::vector<std::uint32_t> andNodes;
-  andNodes.reserve(cone.numAnds);
-  for (std::uint32_t v = 1; v < numNodes; ++v) {
-    if (fraig_.isAnd(cone.toHost[v])) andNodes.push_back(v);
-  }
-  if (andNodes.size() != cone.numAnds) return false;
-
-  const auto mapLit = [&](Lit canonical) {
-    return Lit::make(
-        static_cast<sat::Var>(canon_[cone.toHost[canonical.var()]]),
-        canonical.negated());
-  };
-  const auto contains = [&](ClauseId id, Lit l) {
-    for (const Lit x : log_->lits(id)) {
-      if (x == l) return true;
+  // The spliced chain must reproduce the equivalence lemma pair before it
+  // may certify a merge. resolveOn only ever records genuine resolutions
+  // of clauses already in the log, so failing here leaves dead weight in
+  // the log but can never unsound the proof.
+  const auto subsumes = [&](ClauseId id, Lit x, Lit y) {
+    for (const Lit l : log_->lits(id)) {
+      if (l != x && l != y) return false;
     }
-    return false;
-  };
-  const auto mapAxiom = [&](std::uint32_t index) -> ClauseId {
-    if (index == 0) return composer_.constUnit();
-    const std::uint32_t a = (index - 1) / 3;
-    const int k = static_cast<int>((index - 1) % 3);
-    const std::uint32_t m = cone.toHost[andNodes[a]];
-    if (k == 2) return dClauses_[m][2];
-    // The image clauses of m may pair its fanins in either order (addAnd
-    // normalizes fanin order); match by literal membership like
-    // ProofComposer::onStrashHit.
-    const Lit la = litOfF(fraig_.fanin0(m));
-    const Lit lb = litOfF(fraig_.fanin1(m));
-    ClauseId dForLa = dClauses_[m][0];
-    ClauseId dForLb = dClauses_[m][1];
-    if (contains(dClauses_[m][1], la) || contains(dClauses_[m][0], lb)) {
-      std::swap(dForLa, dForLb);
-    }
-    return k == 0 ? dForLa : dForLb;
-  };
-
-  std::vector<ClauseId> stepIds(cached.steps.size(), proof::kNoClause);
-  const auto mapOperand = [&](std::uint32_t encoded,
-                              std::size_t stepsDone) -> ClauseId {
-    if (encoded < numAxioms) return mapAxiom(encoded);
-    const std::uint32_t s = encoded - numAxioms;
-    return s < stepsDone ? stepIds[s] : proof::kNoClause;
-  };
-
-  try {
-    for (std::size_t i = 0; i < cached.steps.size(); ++i) {
-      const CachedStep& step = cached.steps[i];
-      if (step.operands.empty() ||
-          step.pivots.size() + 1 != step.operands.size()) {
-        return false;
-      }
-      std::vector<ClauseId> operands;
-      operands.reserve(step.operands.size());
-      for (const std::uint32_t encoded : step.operands) {
-        const ClauseId id = mapOperand(encoded, i);
-        if (id == proof::kNoClause) return false;
-        operands.push_back(id);
-      }
-      for (const Lit pivot : step.pivots) {
-        if (pivot.var() >= numNodes) return false;
-      }
-      std::vector<Lit> pivots;
-      pivots.reserve(step.pivots.size());
-      for (const Lit pivot : step.pivots) pivots.push_back(mapLit(pivot));
-      stepIds[i] = composer_.spliceChain(operands, pivots);
-    }
-    const ClauseId fwd = mapOperand(cached.fwd, cached.steps.size());
-    const ClauseId bwd = mapOperand(cached.bwd, cached.steps.size());
-    if (fwd == proof::kNoClause || bwd == proof::kNoClause) return false;
-
-    // The spliced chain must reproduce the equivalence lemma pair before
-    // it may certify a merge. resolveOn only ever records genuine
-    // resolutions of clauses already in the log, so failing here leaves
-    // dead weight in the log but can never unsound the proof.
-    const auto subsumes = [&](ClauseId id, Lit x, Lit y) {
-      for (const Lit l : log_->lits(id)) {
-        if (l != x && l != y) return false;
-      }
-      return true;
-    };
-    if (!subsumes(fwd, ~tn, tr) || !subsumes(bwd, tn, ~tr)) return false;
-
-    composer_.onSatMerge(n, tn, tr, fwd, bwd);
     return true;
-  } catch (const std::logic_error&) {
-    return false;  // tautological resolvent: the entry cannot replay here
+  };
+  if (!subsumes(spliced.fwd, ~tn, tr) || !subsumes(spliced.bwd, tn, ~tr)) {
+    return false;
+  }
+  composer_.onSatMerge(n, tn, tr, spliced.fwd, spliced.bwd);
+  return true;
+}
+
+void SweepRun::enqueueCandidate(std::uint32_t n, std::uint32_t retries) {
+  while (classes_.classOf(n) != sim::EquivClasses::kNoClass) {
+    const std::uint32_t rep = classes_.representative(n);
+    if (rep == n) return;  // later members check against n
+    if (pendingNode_[rep]) {
+      // The representative's own pair is still in flight (possible when a
+      // refuted node re-enqueues during reconciliation and refinement has
+      // promoted a pending node to representative). Settle it first so
+      // image_[rep] is final before we snapshot against it.
+      flushBatch();
+      continue;
+    }
+    const bool pol =
+        sim_.canonicalPolarity(n) != sim_.canonicalPolarity(rep);
+    const Edge repImg = image_[rep] ^ pol;
+    if (image_[n] == repImg || image_[n] == !repImg) {
+      classes_.remove(n);
+      return;
+    }
+    PendingPair pair;
+    pair.node = n;
+    pair.rep = rep;
+    pair.repImg = repImg;
+    pair.tn = litOfF(image_[n]);
+    pair.tr = litOfF(repImg);
+    pair.retries = retries;
+    pair.cone =
+        extractConePair(fraig_, image_[n], repImg, options_.batchConeLimit);
+    classifyPair(pair);
+    pendingNode_[n] = 1;
+    ++stats_.batchedPairs;
+    batch_.push_back(std::move(pair));
+    if (batch_.size() >= options_.parallel.batchSize) flushBatch();
+    return;
+  }
+  ++stats_.skippedCandidates;
+  classes_.remove(n);
+}
+
+void SweepRun::classifyPair(PendingPair& pair) {
+  if (!pair.cone.valid) {
+    pair.source = PendingPair::Source::kInline;
+    return;
+  }
+  if (options_.shareSweepLemmas) {
+    if (const SweepLemmaBuffer::Hit* hit = buffer_.lookup(pair.cone.blob)) {
+      if (hit->refuted) {
+        pair.source = PendingPair::Source::kBufferCex;
+        pair.hitCex = hit->cex;
+      } else {
+        pair.source = PendingPair::Source::kBufferProof;
+        pair.hitProof = hit->proof;
+      }
+      return;
+    }
+  }
+  if (options_.lemmaCache != nullptr &&
+      pair.cone.numAnds <= options_.lemmaCache->options().maxConeNodes) {
+    pair.cacheEligible = true;
+    if (options_.parallel.deterministic) {
+      // Deterministic mode consults the (timing-dependent) cross-job
+      // cache only here, on the coordinator in enqueue order, so hit
+      // counters and outcomes cannot depend on worker scheduling.
+      if (auto cached = options_.lemmaCache->lookup(pair.cone)) {
+        ++stats_.lemmaCacheHits;
+        pair.source = PendingPair::Source::kCacheProof;
+        pair.hitProof = std::move(cached);
+        return;
+      }
+      ++stats_.lemmaCacheMisses;
+    }
+  }
+  pair.source = PendingPair::Source::kSolve;
+  pair.tryBdd = options_.bddSweepThreshold > 0 &&
+                pair.cone.numAnds <= options_.bddSweepThreshold;
+}
+
+void SweepRun::flushBatch() {
+  if (batch_.empty()) return;
+  std::vector<PendingPair> done;
+  done.swap(batch_);
+  // Clear pending marks before reconciling: reconciliation can enqueue
+  // retries (building the next batch) and recursively flush it.
+  for (const PendingPair& pair : done) pendingNode_[pair.node] = 0;
+  ++stats_.sweepBatches;
+
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (done[i].source == PendingPair::Source::kSolve) work.push_back(i);
+  }
+  if (!work.empty() && pool_ != nullptr && work.size() > 1) {
+    // Coordinator-help: share the batch's work items with pool helpers,
+    // drain on this thread too, then cancel helpers that never started.
+    // Works even when this sweep itself runs as a task of pool_.
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= work.size()) return;
+        solvePair(done[work[i]]);
+      }
+    };
+    const std::size_t numHelpers =
+        std::min<std::size_t>(batchWorkers_ - 1, work.size() - 1);
+    std::vector<std::pair<ThreadPool::TaskHandle, std::future<void>>> helpers;
+    helpers.reserve(numHelpers);
+    for (std::size_t h = 0; h < numHelpers; ++h) {
+      try {
+        helpers.push_back(pool_->submitCancellable(kBatchPriority, drain));
+      } catch (const std::runtime_error&) {
+        break;  // pool shutting down: the coordinator finishes alone
+      }
+    }
+    drain();
+    for (auto& [handle, future] : helpers) {
+      if (!pool_->tryCancel(handle)) future.get();
+    }
+  } else {
+    for (const std::size_t i : work) solvePair(done[i]);
+  }
+
+  for (PendingPair& pair : done) reconcilePair(pair);
+}
+
+void SweepRun::solvePair(PendingPair& pair) const {
+  if (pair.cacheEligible && !options_.parallel.deterministic) {
+    // Non-deterministic mode lets workers consult the thread-safe
+    // cross-job cache mid-batch; whether an entry is visible yet depends
+    // on timing, hence the determinism opt-out.
+    if (auto cached = options_.lemmaCache->lookup(pair.cone)) {
+      pair.hitProof = std::move(cached);
+      pair.source = PendingPair::Source::kCacheProof;
+      return;
+    }
+  }
+  if (pair.tryBdd) {
+    const ConeAigs cone = coneToAigs(pair.cone);
+    const BddCecResult bdd = bddCheck(cone.left, cone.right, BddCecOptions());
+    if (bdd.verdict == Verdict::kInequivalent) {
+      pair.bddRefuted = true;
+      pair.solved.inputValues =
+          bddCexToCanonical(pair.cone, bdd.counterexample);
+      return;
+    }
+    if (bdd.verdict == Verdict::kEquivalent && log_ == nullptr) {
+      // Non-certifying runs accept the canonical-form argument outright;
+      // certifying runs fall through to the prover for a resolution proof.
+      pair.bddProved = true;
+      return;
+    }
+  }
+  pair.solved =
+      proveConePair(pair.cone, options_.solver, options_.pairConflictBudget);
+  pair.proverRan = true;
+}
+
+void SweepRun::completeMerge(const PendingPair& pair) {
+  image_[pair.node] = pair.repImg;
+  ++stats_.satMerges;
+  classes_.remove(pair.node);
+}
+
+void SweepRun::handleCanonicalCex(const PendingPair& pair,
+                                  const std::vector<bool>& values) {
+  std::vector<bool> cex(original_.numInputs(), false);
+  for (std::uint32_t v = 1; v < pair.cone.numNodes(); ++v) {
+    const std::uint32_t m = pair.cone.toHost[v];
+    if (!fraig_.isInput(m)) continue;
+    cex[original_.inputIndex(canon_[m])] = v < values.size() && values[v];
+  }
+  injectCounterexample(std::move(cex));
+  if (pair.retries + 1 > options_.maxCexRetries) {
+    ++stats_.skippedCandidates;
+    classes_.remove(pair.node);
+    return;
+  }
+  enqueueCandidate(pair.node, pair.retries + 1);
+}
+
+void SweepRun::reconcilePair(PendingPair& pair) {
+  using Source = PendingPair::Source;
+  const std::uint32_t n = pair.node;
+  switch (pair.source) {
+    case Source::kInline:
+      checkCandidateImpl(n, pair.retries, /*useCache=*/true);
+      return;
+    case Source::kBufferProof:
+      ++stats_.lemmaBufferHits;
+      if (spliceCachedProof(pair.cone, *pair.hitProof, n, pair.tn, pair.tr)) {
+        completeMerge(pair);
+      } else {
+        // The buffered chain does not replay against this pair's image
+        // clauses; drop it so later cones re-prove instead of re-failing.
+        buffer_.erase(pair.cone.blob);
+        checkCandidateImpl(n, pair.retries, /*useCache=*/false);
+      }
+      return;
+    case Source::kBufferCex:
+      ++stats_.lemmaBufferCexHits;
+      handleCanonicalCex(pair, pair.hitCex);
+      return;
+    case Source::kCacheProof:
+      if (!options_.parallel.deterministic) ++stats_.lemmaCacheHits;
+      if (spliceCachedProof(pair.cone, *pair.hitProof, n, pair.tn, pair.tr)) {
+        ++stats_.lemmaCacheSpliced;
+        completeMerge(pair);
+        if (options_.shareSweepLemmas) {
+          buffer_.insertProof(pair.cone.blob, pair.hitProof);
+        }
+      } else {
+        options_.lemmaCache->poison(pair.cone);
+        checkCandidateImpl(n, pair.retries, /*useCache=*/false);
+      }
+      return;
+    case Source::kSolve:
+      break;
+  }
+
+  if (pair.tryBdd) {
+    ++stats_.bddPairCalls;
+    if (pair.bddRefuted) {
+      ++stats_.bddPairRefuted;
+      if (options_.shareSweepLemmas) {
+        buffer_.insertCex(pair.cone.blob, pair.solved.inputValues);
+      }
+      handleCanonicalCex(pair, pair.solved.inputValues);
+      return;
+    }
+    if (pair.bddProved) {
+      ++stats_.bddPairAccepted;
+      composer_.onSatMerge(n, pair.tn, pair.tr, proof::kNoClause,
+                           proof::kNoClause);
+      completeMerge(pair);
+      return;
+    }
+  }
+  if (!pair.proverRan) {
+    checkCandidateImpl(n, pair.retries, /*useCache=*/true);
+    return;
+  }
+  ++stats_.satCalls;
+  standaloneConflicts_ += pair.solved.conflicts;
+  if (pair.cacheEligible && !options_.parallel.deterministic) {
+    ++stats_.lemmaCacheMisses;
+  }
+  switch (pair.solved.outcome) {
+    case ProveOutcome::kProved: {
+      ++stats_.satUnsat;
+      if (!spliceCachedProof(pair.cone, pair.solved.proof, n, pair.tn,
+                             pair.tr)) {
+        checkCandidateImpl(n, pair.retries, /*useCache=*/false);
+        return;
+      }
+      if (options_.shareSweepLemmas) {
+        buffer_.insertProof(
+            pair.cone.blob,
+            std::make_shared<const CachedLemmaProof>(pair.solved.proof));
+      }
+      if (pair.cacheEligible) {
+        options_.lemmaCache->insert(pair.cone, std::move(pair.solved.proof));
+      }
+      completeMerge(pair);
+      return;
+    }
+    case ProveOutcome::kCounterexample:
+      ++stats_.satSat;
+      if (options_.shareSweepLemmas) {
+        buffer_.insertCex(pair.cone.blob, pair.solved.inputValues);
+      }
+      handleCanonicalCex(pair, pair.solved.inputValues);
+      return;
+    case ProveOutcome::kUndecided:
+      ++stats_.satUndecided;
+      ++stats_.skippedCandidates;
+      classes_.remove(n);
+      return;
+    case ProveOutcome::kUnavailable:
+    default:
+      checkCandidateImpl(n, pair.retries, /*useCache=*/true);
+      return;
   }
 }
 
@@ -548,7 +953,7 @@ CecResult SweepRun::finalize() {
   }
 
   stats_.sweptNodes = fraig_.numAnds();
-  stats_.conflicts = solver_.stats().conflicts;
+  stats_.conflicts = solver_.stats().conflicts + standaloneConflicts_;
   stats_.propagations = solver_.stats().propagations;
   stats_.restarts = solver_.stats().restarts;
   stats_.proofStructuralSteps = composer_.derivedSteps();
@@ -588,15 +993,29 @@ void SweepRun::sweepAllNodes() {
     loaded_[e.node()] = 1;
   }
 
+  if (batched_) pendingNode_.assign(original_.numNodes(), 0);
   for (std::uint32_t n = 0; n < original_.numNodes(); ++n) {
     if (!original_.isAnd(n)) continue;
+    if (batched_) {
+      // A pending pair may still merge its node (rewriting image_), so the
+      // batch must settle before any dependent image is built.
+      if (pendingNode_[original_.fanin0(n).node()] ||
+          pendingNode_[original_.fanin1(n).node()]) {
+        flushBatch();
+      }
+    }
     buildImage(n);
     if (debug_) verifyCertInvariant(n, "buildImage");
     if (classes_.classOf(n) != sim::EquivClasses::kNoClass) {
-      checkCandidate(n);
-      if (debug_) verifyCertInvariant(n, "checkCandidate");
+      if (batched_) {
+        enqueueCandidate(n, 0);
+      } else {
+        checkCandidateImpl(n, 0, /*useCache=*/true);
+        if (debug_) verifyCertInvariant(n, "checkCandidate");
+      }
     }
   }
+  if (batched_) flushBatch();
   logf(LogLevel::kInfo,
        "sweep: merges sat=%llu structural=%llu fold=%llu, "
        "satCalls=%llu (unsat=%llu sat=%llu undecided=%llu)",
@@ -629,7 +1048,7 @@ FraigResult SweepRun::reduce() {
   FraigResult result;
   result.reduced = fraig_.compacted();
   stats_.sweptNodes = result.reduced.numAnds();
-  stats_.conflicts = solver_.stats().conflicts;
+  stats_.conflicts = solver_.stats().conflicts + standaloneConflicts_;
   stats_.propagations = solver_.stats().propagations;
   stats_.restarts = solver_.stats().restarts;
   stats_.totalSeconds = total.seconds();
@@ -646,6 +1065,18 @@ std::string SweepOptions::validate() const {
                        "0 yields zero simulation patterns, so every node "
                        "lands in one candidate class and the sweep "
                        "degenerates");
+  }
+  if (std::string err = parallel.validate("SweepOptions.parallel");
+      !err.empty()) {
+    return err;
+  }
+  if (batchConeLimit == 0 || batchConeLimit > (1u << 20)) {
+    return optionError(
+        "SweepOptions.batchConeLimit", optionValue(batchConeLimit),
+        "[1, 1048576]",
+        "0 forces every batched pair through the sequential fallback and "
+        "cones past a million AND nodes copy more graph per pair than a "
+        "batch can amortize");
   }
   return solver.validate();
 }

@@ -12,15 +12,37 @@
 // With a proof log attached, every structural step and every SAT lemma is
 // recorded through the ProofComposer, and the run ends with a single
 // resolution proof of the original miter CNF's unsatisfiability.
+//
+// Batched parallel mode (SweepOptions::parallel.batchSize > 0). The topo
+// walk accumulates candidate pairs into dependency-closed batches — a
+// batch flushes before any node whose fanin (or representative) is still
+// pending is imaged, so batch boundaries depend only on the circuit and
+// batchSize, never on thread count. Each batched pair is snapshot as a
+// canonical cone (cec/lemma_cache.h) and proved by a *standalone* solver
+// task; tasks run on SweepOptions::pool (or a transient pool) with a
+// coordinator-help/cancel scheme, so in-sweep tasks compose deadlock-free
+// with job-level tasks on one shared pool. Results are reconciled on the
+// coordinator in ascending node order: proved pairs splice their proof
+// into the main log through ProofComposer::spliceCanonicalProof,
+// refutations inject their counterexample and retry, and proved lemmas
+// are exported to a per-sweep buffer (plus the cross-job LemmaCache) so
+// later identical cones import instead of re-proving. With
+// parallel.deterministic (default), verdicts, counterexamples, stats and
+// the fraiged AIG are bit-identical at every numThreads.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "src/aig/aig.h"
+#include "src/base/options.h"
 #include "src/cec/result.h"
 #include "src/proof/proof_log.h"
 #include "src/sat/solver.h"
+
+namespace cp {
+class ThreadPool;
+}  // namespace cp
 
 namespace cp::cec {
 
@@ -57,6 +79,42 @@ struct SweepOptions {
   /// composed proof stays checkable end to end. Verdicts are identical
   /// with and without a cache -- only the work to reach them changes.
   LemmaCache* lemmaCache = nullptr;
+
+  /// In-sweep parallelism. `parallel.batchSize == 0` (the default) keeps
+  /// the classic sequential walk; a positive batchSize switches to the
+  /// batched engine described in the file comment, with
+  /// `parallel.numThreads` workers (0 = hardware concurrency). Batch
+  /// boundaries depend only on the circuit and batchSize, so the batched
+  /// engine is bit-identical across thread counts; `parallel.deterministic
+  /// == false` additionally lets workers consult the cross-job lemma
+  /// cache mid-batch (faster, but hit counters then depend on timing).
+  cp::ParallelOptions parallel;
+
+  /// Pool the batched engine schedules its solver tasks on (not owned).
+  /// Null lets the sweep spin up a transient pool when it needs one; the
+  /// batch service and multi-output driver inject their shared pool so
+  /// job-level and in-sweep tasks interleave instead of oversubscribing.
+  cp::ThreadPool* pool = nullptr;
+
+  /// Export each proved pair's canonical-cone proof (and each refuted
+  /// pair's counterexample) to a per-sweep buffer, so identical cones met
+  /// later in the same sweep import the result instead of re-proving it.
+  /// Orthogonal to the cross-job `lemmaCache` tier and deterministic at
+  /// every thread count; only effective in batched mode.
+  bool shareSweepLemmas = true;
+
+  /// When positive, batched pairs whose cone has at most this many AND
+  /// nodes are first tried with a BDD engine (cec/bdd_cec.h): a BDD
+  /// refutation yields the counterexample without any SAT call, and in
+  /// non-certifying runs a BDD proof merges the pair outright. Certifying
+  /// runs still run the SAT prover for proved pairs, so every merge keeps
+  /// a spliceable resolution proof. 0 disables the BDD leg.
+  std::uint32_t bddSweepThreshold = 0;
+
+  /// Cone-extraction bound for batched pairs. Pairs whose combined cone
+  /// exceeds this many AND nodes fall back to the coordinator's
+  /// incremental solver (the classic path) instead of a standalone task.
+  std::uint32_t batchConeLimit = 4096;
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Checked by every

@@ -183,10 +183,10 @@ CheckResult checkParallel(const ProofLog& log, const CheckOptions& options,
 }  // namespace
 
 std::string CheckOptions::validate() const {
-  // requireRoot/onlyNeeded interplay depends on the log, not the options;
-  // numThreads admits every value (0 = hardware concurrency). Nothing to
-  // reject — the method exists for uniformity with the engine options.
-  return std::string();
+  // requireRoot/onlyNeeded interplay depends on the log, not the options,
+  // and every thread count is admitted (0 = hardware concurrency); only
+  // the shared parallel block can be out of range.
+  return parallel.validate("CheckOptions.parallel");
 }
 
 CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
@@ -205,7 +205,8 @@ CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
   const std::vector<char> needed =
       options.onlyNeeded ? reachableFromRoot(log) : std::vector<char>();
 
-  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+  const std::size_t workers =
+      ThreadPool::resolveThreads(options.effectiveThreads());
   if (workers <= 1) return checkSequential(log, options, needed);
   return checkParallel(log, options, needed, workers);
 }

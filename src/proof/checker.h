@@ -27,10 +27,15 @@
 #include <span>
 #include <string>
 
+#include "src/base/options.h"
 #include "src/proof/proof_log.h"
 
 namespace cp::proof {
 
+// Spans the struct so the synthesized constructors (which touch the
+// deprecated alias) compile warning-free under -Werror; uses of the alias
+// elsewhere still warn.
+CP_SUPPRESS_DEPRECATED_BEGIN
 struct CheckOptions {
   /// Require the log to declare an empty-clause root (refutation check).
   bool requireRoot = true;
@@ -39,23 +44,37 @@ struct CheckOptions {
   /// not every byproduct lemma.
   bool onlyNeeded = false;
   /// If set, called for every (checked) axiom; must return true to admit it.
-  /// With numThreads > 1 the validator is invoked concurrently and must be
-  /// safe to call from multiple threads (a pure function of the literals,
-  /// like cec::miterAxiomValidator, qualifies).
+  /// With parallel.numThreads > 1 the validator is invoked concurrently and
+  /// must be safe to call from multiple threads (a pure function of the
+  /// literals, like cec::miterAxiomValidator, qualifies).
   std::function<bool(std::span<const sat::Lit>)> axiomValidator;
-  /// Worker threads for the replay: 0 = one per hardware thread, 1 = the
-  /// exact sequential legacy path (no pool). Any count yields the same
-  /// CheckResult bit for bit: parallelism only reorders the independent
-  /// per-clause checks, and a failure is always reported for the smallest
-  /// failing ClauseId — the clause the sequential replay would hit first.
+  /// Worker threads for the replay (parallel.numThreads): 0 = one per
+  /// hardware thread, 1 = the exact sequential legacy path (no pool). Any
+  /// count yields the same CheckResult bit for bit: parallelism only
+  /// reorders the independent per-clause checks, and a failure is always
+  /// reported for the smallest failing ClauseId — the clause the
+  /// sequential replay would hit first. batchSize/deterministic are
+  /// ignored here (the checker is deterministic unconditionally).
+  cp::ParallelOptions parallel;
+  /// Deprecated alias for parallel.numThreads; honored when it is set and
+  /// parallel.numThreads is left at its default. Removed next release.
+  [[deprecated("use CheckOptions.parallel.numThreads")]]
   std::uint32_t numThreads = 1;
+
+  /// The thread count after alias resolution; every consumer of this
+  /// struct (including checkProof itself) reads it through here.
+  std::uint32_t effectiveThreads() const {
+    CP_SUPPRESS_DEPRECATED_BEGIN
+    return resolveDeprecatedAlias<std::uint32_t>(parallel.numThreads, 1u,
+                                                 numThreads, 1u);
+    CP_SUPPRESS_DEPRECATED_END
+  }
 
   /// Empty when the configuration is usable, else a uniform
   /// "field: got value, allowed range" message (see base/options.h).
-  /// Every CheckOptions value is currently usable; kept for API symmetry
-  /// with the engine option structs.
   std::string validate() const;
 };
+CP_SUPPRESS_DEPRECATED_END
 
 struct CheckResult {
   bool ok = false;

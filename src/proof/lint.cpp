@@ -237,10 +237,10 @@ std::string percent(std::uint64_t part, std::uint64_t whole) {
 }  // namespace
 
 std::string ProofLintOptions::validate() const {
-  // numThreads admits every value (0 = hardware concurrency) and
-  // checkSubsumption is a plain toggle; nothing to reject. The method
-  // exists for uniformity with the engine option structs.
-  return std::string();
+  // Every thread count is admitted (0 = hardware concurrency) and
+  // checkSubsumption is a plain toggle; only the shared parallel block
+  // can be out of range.
+  return parallel.validate("ProofLintOptions.parallel");
 }
 
 void lint(const ProofLog& log, diag::DiagnosticSink& sink,
@@ -251,7 +251,8 @@ void lint(const ProofLog& log, diag::DiagnosticSink& sink,
   // ---- sequential prologue: read-only index + DAG structure ---------------
   const LintIndex index = buildIndex(log);
   const std::vector<std::vector<ClauseId>> levels = levelizeByChainDepth(log);
-  const std::size_t workers = ThreadPool::resolveThreads(options.numThreads);
+  const std::size_t workers =
+      ThreadPool::resolveThreads(options.effectiveThreads());
 
   std::vector<ClauseFindings> findings(n + 1);
   std::vector<std::atomic<ClauseId>> subsumer(n + 1);

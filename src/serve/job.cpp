@@ -2,14 +2,17 @@
 
 #include "src/base/options.h"
 #include "src/cec/miter.h"
+#include "src/cec/stats_json.h"
 
 namespace cp::serve {
 
 std::string JobOptions::validate() const {
-  if (deadlineSeconds < 0.0) {
+  // The negated comparison also rejects NaN, which would otherwise slip
+  // past `< 0.0` and make the deadline comparison below it unstable.
+  if (!(deadlineSeconds >= 0.0)) {
     return optionError("JobOptions.deadlineSeconds",
                        optionValue(deadlineSeconds), "[0, inf)",
-                       "negative deadlines would expire every job on "
+                       "negative or NaN deadlines would expire every job on "
                        "admission; use 0 to disable");
   }
   return engine.validate();
@@ -47,17 +50,17 @@ void writeRecord(const JobRecord& record, json::Writer& writer) {
       .field("state", toString(record.state))
       .field("priority", record.priority)
       .field("verdict", cec::toString(record.verdict))
-      .field("proofChecked", record.proofChecked)
-      .field("conflicts", record.conflicts)
-      .field("satCalls", record.satCalls)
-      .field("proofClauses", record.proofClauses)
-      .field("proofResolutions", record.proofResolutions)
-      .field("proofBytes", record.proofBytes)
+      .field("proofChecked", record.proofChecked);
+  writer.key("stats");
+  cec::writeCecStats(record.stats, writer);
+  writer.key("proof");
+  writer.beginObject()
+      .field("clauses", record.proofClauses)
+      .field("resolutions", record.proofResolutions)
+      .field("bytes", record.proofBytes)
       .field("liveClausesPeak", record.liveClausesPeak)
-      .field("cacheHits", record.cacheHits)
-      .field("cacheMisses", record.cacheMisses)
-      .field("cacheSpliced", record.cacheSpliced)
-      .field("queuedSeconds", record.queuedSeconds)
+      .endObject();
+  writer.field("queuedSeconds", record.queuedSeconds)
       .field("runSeconds", record.runSeconds)
       .field("checkSeconds", record.checkSeconds)
       .field("deadlineMissed", record.deadlineMissed)

@@ -37,7 +37,11 @@ struct JobOptions {
   /// but finishes late merely gets deadlineMissed set on its record.
   double deadlineSeconds = 0.0;
 
-  /// Engine, proof-check threads and optional CPF proof path for this job.
+  /// Engine, proof-check parallelism (EngineConfig::check) and optional
+  /// CPF proof path for this job. In-sweep parallelism is configured on
+  /// the engine options themselves (SweepOptions::parallel); there is
+  /// deliberately no job-level thread knob — the service owns the pool and
+  /// sweeping jobs schedule their batch tasks on it.
   cec::EngineConfig engine;
 
   /// When the service has a lemma cache and the job selects the sweeping
@@ -90,8 +94,12 @@ struct JobRecord {
   /// Proof checked by the independent checker — and, when the job set a
   /// proofPath, additionally re-certified from the CPF container on disk.
   bool proofChecked = false;
-  std::uint64_t conflicts = 0;
-  std::uint64_t satCalls = 0;
+  /// Full engine statistics, rendered under "stats" with the shared
+  /// schema (cec/stats_json.h) — the same field names a standalone
+  /// CertifyReport dump or a BENCH_*.json trajectory uses. This replaces
+  /// the old flat conflicts/satCalls/cacheHits/cacheMisses/cacheSpliced
+  /// scalars (read them as stats.conflicts, stats.lemmaCacheHits, ...).
+  cec::CecStats stats;
   /// Trimmed (checked) proof shape; zero for proofless verdicts/engines.
   std::uint64_t proofClauses = 0;
   std::uint64_t proofResolutions = 0;
@@ -100,10 +108,6 @@ struct JobRecord {
   /// Streaming disk certifier's live-clause high-water mark — the bounded
   /// memory the re-certification actually needed (0 without a proofPath).
   std::uint64_t liveClausesPeak = 0;
-  /// This job's share of the cross-job lemma cache traffic.
-  std::uint64_t cacheHits = 0;
-  std::uint64_t cacheMisses = 0;
-  std::uint64_t cacheSpliced = 0;
   double queuedSeconds = 0.0;  ///< submission -> worker pickup (or expiry)
   double runSeconds = 0.0;     ///< engine + certification wall time
   double checkSeconds = 0.0;   ///< proof-check share (in-memory + disk)

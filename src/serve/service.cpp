@@ -10,6 +10,10 @@
 namespace cp::serve {
 
 std::string ServiceOptions::validate() const {
+  if (auto error = parallel.validate("ServiceOptions.parallel");
+      !error.empty()) {
+    return error;
+  }
   if (maxQueuedJobs == 0) {
     return optionError("ServiceOptions.maxQueuedJobs",
                        optionValue(std::uint64_t{maxQueuedJobs}), "[1, 2^64)",
@@ -66,7 +70,7 @@ bool isTerminal(JobState s) {
 BatchService::BatchService(const ServiceOptions& options)
     : options_(validated(options)),
       paused_(options.startPaused),
-      pool_(ThreadPool::resolveThreads(options.numWorkers)) {
+      pool_(ThreadPool::resolveThreads(options.effectiveWorkers())) {
   if (options_.enableLemmaCache) {
     cache_ = std::make_unique<cec::LemmaCache>(options_.lemmaCache);
   }
@@ -207,9 +211,15 @@ void BatchService::runJob(std::uint64_t id) {
   // serialize the service. All mutable state below is job-local; the only
   // shared structure is the lemma cache, which is internally synchronized.
   cec::EngineConfig config = spec.options.engine;
-  if (cache_ != nullptr && spec.options.useLemmaCache) {
-    if (auto* sweep = std::get_if<cec::SweepOptions>(&config.engine)) {
+  if (auto* sweep = std::get_if<cec::SweepOptions>(&config.engine)) {
+    if (cache_ != nullptr && spec.options.useLemmaCache) {
       sweep->lemmaCache = cache_.get();
+    }
+    // In-sweep batch tasks run on the service pool, so job-level and
+    // in-sweep parallelism share one worker budget (the coordinator helps,
+    // so this composes even on a single-worker pool).
+    if (sweep->pool == nullptr) {
+      sweep->pool = &pool_;
     }
   }
 
@@ -235,15 +245,11 @@ void BatchService::runJob(std::uint64_t id) {
     if (state == JobState::kDone) {
       r.verdict = report.cec.verdict;
       r.proofChecked = report.proofChecked;
-      r.conflicts = report.cec.stats.conflicts;
-      r.satCalls = report.cec.stats.satCalls;
+      r.stats = report.cec.stats;
       r.proofClauses = report.trim.clausesAfter;
       r.proofResolutions = report.trim.resolutionsAfter;
       r.proofBytes = report.disk.write.bytes;
       r.liveClausesPeak = report.disk.stream.liveClausesPeak;
-      r.cacheHits = report.cec.stats.lemmaCacheHits;
-      r.cacheMisses = report.cec.stats.lemmaCacheMisses;
-      r.cacheSpliced = report.cec.stats.lemmaCacheSpliced;
       r.checkSeconds = report.checkSeconds + report.disk.checkSeconds;
     }
     const double deadline = spec.options.deadlineSeconds;
@@ -299,7 +305,7 @@ ServiceMetrics BatchService::metrics() const {
           default: ++m.undecided; break;
         }
         m.proofsChecked += r.proofChecked ? 1 : 0;
-        m.conflicts += r.conflicts;
+        m.conflicts += r.stats.conflicts;
         m.proofBytes += r.proofBytes;
         m.totalRunSeconds += r.runSeconds;
         m.totalCheckSeconds += r.checkSeconds;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/base/json.h"
+#include "src/base/options.h"
 #include "src/base/stopwatch.h"
 #include "src/base/thread_pool.h"
 #include "src/cec/lemma_cache.h"
@@ -43,10 +44,31 @@
 
 namespace cp::serve {
 
+// Spans the struct so the synthesized constructors (which touch the
+// deprecated alias) compile warning-free under -Werror; uses of the alias
+// elsewhere still warn.
+CP_SUPPRESS_DEPRECATED_BEGIN
 struct ServiceOptions {
-  /// Worker threads (ThreadPool::resolveThreads: 0 = one per hardware
-  /// thread).
+  /// Pool sizing (parallel.numThreads workers; ThreadPool::resolveThreads:
+  /// 0 = one per hardware thread). The same pool serves job-level tasks
+  /// and, for sweeping jobs with SweepOptions::parallel.batchSize > 0,
+  /// their in-sweep solver tasks — the service injects its pool into every
+  /// sweeping job, so the two levels compose instead of oversubscribing.
+  /// batchSize/deterministic of this block are ignored (configure in-sweep
+  /// batching per job on the engine options).
+  cp::ParallelOptions parallel{.numThreads = 0};
+  /// Deprecated alias for parallel.numThreads; honored when it is set and
+  /// parallel.numThreads is left at its default. Removed next release.
+  [[deprecated("use ServiceOptions.parallel.numThreads")]]
   std::size_t numWorkers = 0;
+
+  /// The worker count after alias resolution.
+  std::uint32_t effectiveWorkers() const {
+    CP_SUPPRESS_DEPRECATED_BEGIN
+    return resolveDeprecatedAlias<std::uint32_t>(
+        parallel.numThreads, 0u, static_cast<std::uint32_t>(numWorkers), 0u);
+    CP_SUPPRESS_DEPRECATED_END
+  }
 
   /// Admission bound: submit() blocks (and trySubmit() fails) while this
   /// many jobs are queued and not yet running.
@@ -66,6 +88,7 @@ struct ServiceOptions {
   /// message (see base/options.h).
   std::string validate() const;
 };
+CP_SUPPRESS_DEPRECATED_END
 
 /// Aggregate service counters; a consistent snapshot at one instant.
 struct ServiceMetrics {

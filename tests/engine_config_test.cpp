@@ -104,11 +104,11 @@ TEST(EngineConfig, CheckMiterRejectsInvalidOptions) {
 TEST(EngineConfig, CheckThreadsDoesNotChangeTheReport) {
   const Aig miter = equivalentMiter();
   EngineConfig sequential;
-  sequential.checkThreads = 1;
+  sequential.check.numThreads = 1;
   const CertifyReport one = checkMiter(miter, sequential);
   for (const std::uint32_t threads : {2u, 4u, 8u}) {
     EngineConfig parallel;
-    parallel.checkThreads = threads;
+    parallel.check.numThreads = threads;
     const CertifyReport many = checkMiter(miter, parallel);
     EXPECT_EQ(many.proofChecked, one.proofChecked) << threads;
     EXPECT_EQ(many.check.ok, one.check.ok) << threads;
@@ -166,8 +166,8 @@ TEST(EngineConfig, MultiCecCheckThreadsIsDeterministic) {
   MultiCecOptions sequential;
   const MultiCecResult one = checkOutputs(left, right, sequential);
   MultiCecOptions parallel;
-  parallel.numThreads = 4;
-  parallel.checkThreads = 4;
+  parallel.parallel.numThreads = 4;
+  parallel.check.numThreads = 4;
   const MultiCecResult many = checkOutputs(left, right, parallel);
 
   EXPECT_EQ(many.overall, one.overall);

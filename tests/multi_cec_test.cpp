@@ -260,9 +260,9 @@ TEST(MultiCec, ParallelMatchesSequentialOnRestructuredAlu) {
   Rng rng(17);
   const Aig right = rewrite::restructure(left, rng);
   MultiCecOptions seq;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   MultiCecOptions par = seq;
-  par.numThreads = 4;
+  par.parallel.numThreads = 4;
   const MultiCecResult rs = checkOutputs(left, right, seq);
   const MultiCecResult rp = checkOutputs(left, right, par);
   EXPECT_EQ(rs.overall, Verdict::kEquivalent);
@@ -275,9 +275,9 @@ TEST(MultiCec, ParallelMatchesSequentialOnCorruptedAdder) {
   Aig right = gen::brentKungAdder(6);
   right.setOutput(3, !right.output(3));
   MultiCecOptions seq;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   MultiCecOptions par = seq;
-  par.numThreads = 4;
+  par.parallel.numThreads = 4;
   const MultiCecResult rs = checkOutputs(left, right, seq);
   const MultiCecResult rp = checkOutputs(left, right, par);
   EXPECT_EQ(rs.overall, Verdict::kInequivalent);
@@ -288,9 +288,9 @@ TEST(MultiCec, ParallelStopAtFirstDifferenceIsDeterministic) {
   const auto [left, right] = satOnlyDifferencePair();
   MultiCecOptions seq;
   seq.stopAtFirstDifference = true;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   MultiCecOptions par = seq;
-  par.numThreads = 4;
+  par.parallel.numThreads = 4;
   const MultiCecResult rs = checkOutputs(left, right, seq);
   const MultiCecResult rp = checkOutputs(left, right, par);
   EXPECT_EQ(rs.satChecked, 2u);
@@ -303,9 +303,9 @@ TEST(MultiCec, ZeroThreadsMeansHardwareConcurrency) {
   const Aig left = gen::rippleCarryAdder(4);
   const Aig right = gen::sklanskyAdder(4);
   MultiCecOptions seq;
-  seq.numThreads = 1;
+  seq.parallel.numThreads = 1;
   MultiCecOptions hw = seq;
-  hw.numThreads = 0;
+  hw.parallel.numThreads = 0;
   expectSameDeterministicResult(checkOutputs(left, right, seq),
                                 checkOutputs(left, right, hw));
 }
@@ -314,7 +314,7 @@ TEST(MultiCec, AggregatesMatchPerOutputStats) {
   const Aig left = gen::rippleCarryAdder(5);
   const Aig right = gen::koggeStoneAdder(5);
   MultiCecOptions options;
-  options.numThreads = 2;
+  options.parallel.numThreads = 2;
   const MultiCecResult r = checkOutputs(left, right, options);
   std::uint64_t conflicts = 0, clauses = 0, resolutions = 0;
   for (const auto& out : r.outputs) {

@@ -32,10 +32,10 @@ constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
 /// matches the 1-thread (sequential) result exactly. Returns that result.
 CheckResult expectIdenticalAcrossThreadCounts(const ProofLog& log,
                                               CheckOptions options) {
-  options.numThreads = 1;
+  options.parallel.numThreads = 1;
   const CheckResult sequential = checkProof(log, options);
   for (const std::uint32_t threads : kThreadCounts) {
-    options.numThreads = threads;
+    options.parallel.numThreads = threads;
     const CheckResult got = checkProof(log, options);
     EXPECT_EQ(got.ok, sequential.ok) << threads << " threads";
     EXPECT_EQ(got.error, sequential.error) << threads << " threads";
@@ -249,7 +249,7 @@ TEST(ParChecker, SweepingProofDeterministicAcrossThreadCounts) {
 TEST(ParChecker, ZeroThreadsMeansHardwareConcurrency) {
   const ProofLog log = tinyRefutation();
   CheckOptions options;
-  options.numThreads = 0;
+  options.parallel.numThreads = 0;
   const CheckResult result = checkProof(log, options);
   EXPECT_TRUE(result.ok) << result.error;
   EXPECT_EQ(result.derivedChecked, 2u);

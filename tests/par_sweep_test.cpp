@@ -1,0 +1,412 @@
+// Batched parallel sweeping tests: verdicts, counterexamples, statistics
+// and the fraiged AIG must be bit-identical at 1/2/4/8 threads (lemma
+// sharing on and off), every composed proof must pass both the in-memory
+// checker and the streaming CPF certifier, the BDD leg must never change a
+// verdict, in-sweep batching must compose with the multi-output driver and
+// the batch service on one shared pool, and the deprecated thread-count
+// aliases must keep resolving until their removal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/thread_pool.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cec/multi_cec.h"
+#include "src/cec/sweeping_cec.h"
+#include "src/gen/arith.h"
+#include "src/gen/prefix_adders.h"
+#include "src/proof/checker.h"
+#include "src/proof/lint.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
+#include "src/rewrite/restructure.h"
+#include "src/serve/service.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+
+constexpr std::uint32_t kThreadCounts[] = {2, 4, 8};
+
+Aig restructuredAluMiter() {
+  const Aig left = gen::aluVariantA(4);
+  Rng rng(17);
+  return buildMiter(left, rewrite::restructure(left, rng));
+}
+
+Aig multiplierMiter() {
+  return buildMiter(gen::arrayMultiplier(4), gen::wallaceMultiplier(4));
+}
+
+Aig corruptedMultiplierMiter() {
+  Aig right = gen::wallaceMultiplier(4);
+  right.setOutput(1, !right.output(1));
+  return buildMiter(gen::arrayMultiplier(4), right);
+}
+
+SweepOptions batchedOptions(std::uint32_t threads, bool share,
+                            std::uint32_t batchSize = 8) {
+  SweepOptions options;
+  options.parallel.numThreads = threads;
+  options.parallel.batchSize = batchSize;
+  options.shareSweepLemmas = share;
+  return options;
+}
+
+/// Structural fingerprint of an AIG: equality means bit-identical graphs.
+std::vector<std::uint32_t> fingerprint(const Aig& g) {
+  std::vector<std::uint32_t> fp{g.numInputs(), g.numNodes()};
+  for (std::uint32_t n = 0; n < g.numNodes(); ++n) {
+    fp.push_back(g.fanin0(n).raw());
+    fp.push_back(g.fanin1(n).raw());
+  }
+  for (std::uint32_t o = 0; o < g.numOutputs(); ++o) {
+    fp.push_back(g.output(o).raw());
+  }
+  return fp;
+}
+
+/// Every stats field except wall time (the only nondeterministic one).
+void expectSameStats(const CecStats& got, const CecStats& want,
+                     std::uint32_t threads) {
+  EXPECT_EQ(got.satCalls, want.satCalls) << threads << " threads";
+  EXPECT_EQ(got.satUnsat, want.satUnsat) << threads << " threads";
+  EXPECT_EQ(got.satSat, want.satSat) << threads << " threads";
+  EXPECT_EQ(got.satUndecided, want.satUndecided) << threads << " threads";
+  EXPECT_EQ(got.conflicts, want.conflicts) << threads << " threads";
+  EXPECT_EQ(got.candidateNodes, want.candidateNodes) << threads;
+  EXPECT_EQ(got.initialClasses, want.initialClasses) << threads;
+  EXPECT_EQ(got.satMerges, want.satMerges) << threads << " threads";
+  EXPECT_EQ(got.structuralMerges, want.structuralMerges) << threads;
+  EXPECT_EQ(got.foldMerges, want.foldMerges) << threads << " threads";
+  EXPECT_EQ(got.skippedCandidates, want.skippedCandidates) << threads;
+  EXPECT_EQ(got.counterexamples, want.counterexamples) << threads;
+  EXPECT_EQ(got.sweptNodes, want.sweptNodes) << threads << " threads";
+  EXPECT_EQ(got.lemmaCacheHits, want.lemmaCacheHits) << threads;
+  EXPECT_EQ(got.lemmaCacheMisses, want.lemmaCacheMisses) << threads;
+  EXPECT_EQ(got.lemmaCacheSpliced, want.lemmaCacheSpliced) << threads;
+  EXPECT_EQ(got.sweepBatches, want.sweepBatches) << threads << " threads";
+  EXPECT_EQ(got.batchedPairs, want.batchedPairs) << threads << " threads";
+  EXPECT_EQ(got.lemmaBufferHits, want.lemmaBufferHits) << threads;
+  EXPECT_EQ(got.lemmaBufferCexHits, want.lemmaBufferCexHits) << threads;
+  EXPECT_EQ(got.bddPairCalls, want.bddPairCalls) << threads << " threads";
+  EXPECT_EQ(got.bddPairRefuted, want.bddPairRefuted) << threads;
+  EXPECT_EQ(got.bddPairAccepted, want.bddPairAccepted) << threads;
+}
+
+/// The composed proof must pass the in-memory checker AND, after a CPF
+/// round trip, the bounded-memory streaming certifier.
+void expectProofCertifies(const Aig& miter, const proof::ProofLog& log,
+                          std::uint32_t threads) {
+  proof::CheckOptions options;
+  options.axiomValidator = miterAxiomValidator(miter);
+  const proof::CheckResult inMemory = proof::checkProof(log, options);
+  EXPECT_TRUE(inMemory.ok) << threads << " threads: " << inMemory.error;
+
+  std::stringstream container;
+  proofio::writeProof(log, container);
+  proofio::StreamCheckOptions streamOptions;
+  streamOptions.axiomValidator = miterAxiomValidator(miter);
+  const proof::CheckResult streamed =
+      proofio::checkProofStream(container, streamOptions);
+  EXPECT_TRUE(streamed.ok) << threads << " threads: " << streamed.error;
+}
+
+void expectDeterministicAcrossThreadCounts(const Aig& miter, bool share) {
+  proof::ProofLog baseLog;
+  const CecResult base =
+      sweepingCheck(miter, batchedOptions(1, share), &baseLog);
+  EXPECT_GT(base.stats.batchedPairs, 0u);
+  EXPECT_GT(base.stats.sweepBatches, 0u);
+  if (base.verdict == Verdict::kEquivalent) {
+    expectProofCertifies(miter, baseLog, 1);
+  }
+  for (const std::uint32_t threads : kThreadCounts) {
+    proof::ProofLog log;
+    const CecResult got =
+        sweepingCheck(miter, batchedOptions(threads, share), &log);
+    EXPECT_EQ(got.verdict, base.verdict) << threads << " threads";
+    EXPECT_EQ(got.counterexample, base.counterexample)
+        << threads << " threads";
+    expectSameStats(got.stats, base.stats, threads);
+    if (base.verdict == Verdict::kEquivalent) {
+      expectProofCertifies(miter, log, threads);
+    }
+  }
+}
+
+TEST(ParSweep, RestructuredAluIsDeterministicWithSharing) {
+  expectDeterministicAcrossThreadCounts(restructuredAluMiter(), true);
+}
+
+TEST(ParSweep, RestructuredAluIsDeterministicWithoutSharing) {
+  expectDeterministicAcrossThreadCounts(restructuredAluMiter(), false);
+}
+
+TEST(ParSweep, MultiplierMiterIsDeterministicWithSharing) {
+  expectDeterministicAcrossThreadCounts(multiplierMiter(), true);
+}
+
+TEST(ParSweep, MultiplierMiterIsDeterministicWithoutSharing) {
+  expectDeterministicAcrossThreadCounts(multiplierMiter(), false);
+}
+
+TEST(ParSweep, CounterexamplesAreBitIdenticalAcrossThreadCounts) {
+  const Aig miter = corruptedMultiplierMiter();
+  const CecResult base = sweepingCheck(miter, batchedOptions(1, true));
+  ASSERT_EQ(base.verdict, Verdict::kInequivalent);
+  EXPECT_TRUE(miter.evaluate(base.counterexample).at(0));
+  for (const std::uint32_t threads : kThreadCounts) {
+    const CecResult got =
+        sweepingCheck(miter, batchedOptions(threads, true));
+    EXPECT_EQ(got.verdict, Verdict::kInequivalent) << threads;
+    EXPECT_EQ(got.counterexample, base.counterexample)
+        << threads << " threads";
+  }
+}
+
+TEST(ParSweep, BatchedVerdictMatchesClassicSequentialWalk) {
+  // Batching may change which pairs are attempted (standalone budgets vs
+  // the incremental solver), never the verdict.
+  for (const Aig& miter : {restructuredAluMiter(), multiplierMiter()}) {
+    const CecResult classic = sweepingCheck(miter);
+    const CecResult batched =
+        sweepingCheck(miter, batchedOptions(4, true));
+    EXPECT_EQ(batched.verdict, classic.verdict);
+    EXPECT_EQ(classic.stats.batchedPairs, 0u);
+    EXPECT_GT(batched.stats.batchedPairs, 0u);
+  }
+}
+
+TEST(ParSweep, SharingOffDisablesTheBufferButKeepsTheVerdict) {
+  const Aig miter = multiplierMiter();
+  const CecResult with = sweepingCheck(miter, batchedOptions(2, true));
+  const CecResult without = sweepingCheck(miter, batchedOptions(2, false));
+  EXPECT_EQ(with.verdict, without.verdict);
+  EXPECT_EQ(without.stats.lemmaBufferHits, 0u);
+  EXPECT_EQ(without.stats.lemmaBufferCexHits, 0u);
+}
+
+TEST(ParSweep, FraigIsBitIdenticalAcrossThreadCounts) {
+  const Aig left = gen::aluVariantA(4);
+  Rng rng(17);
+  const Aig graph = rewrite::restructure(left, rng);
+  const FraigResult base = fraigReduce(graph, batchedOptions(1, true));
+  const std::vector<std::uint32_t> want = fingerprint(base.reduced);
+  for (const std::uint32_t threads : kThreadCounts) {
+    const FraigResult got =
+        fraigReduce(graph, batchedOptions(threads, true));
+    EXPECT_EQ(fingerprint(got.reduced), want) << threads << " threads";
+    expectSameStats(got.stats, base.stats, threads);
+  }
+}
+
+TEST(ParSweep, ExternalPoolIsSharedInsteadOfOwned) {
+  ThreadPool pool(4);
+  const Aig miter = restructuredAluMiter();
+  SweepOptions options = batchedOptions(4, true);
+  options.pool = &pool;
+  proof::ProofLog log;
+  const CecResult external = sweepingCheck(miter, options, &log);
+  const CecResult owned = sweepingCheck(miter, batchedOptions(4, true));
+  EXPECT_EQ(external.verdict, owned.verdict);
+  expectSameStats(external.stats, owned.stats, 4);
+  expectProofCertifies(miter, log, 4);
+}
+
+TEST(ParSweep, BddLegRefutesWithoutChangingTheCounterexample) {
+  const Aig miter = corruptedMultiplierMiter();
+  const CecResult plain = sweepingCheck(miter, batchedOptions(2, true));
+  SweepOptions bdd = batchedOptions(2, true);
+  bdd.bddSweepThreshold = 64;
+  const CecResult refuted = sweepingCheck(miter, bdd);
+  EXPECT_EQ(refuted.verdict, plain.verdict);
+  EXPECT_EQ(refuted.counterexample, plain.counterexample);
+  EXPECT_GT(refuted.stats.bddPairCalls, 0u);
+  EXPECT_EQ(plain.stats.bddPairCalls, 0u);
+}
+
+TEST(ParSweep, BddLegKeepsCertifyingRunsFullyProved) {
+  // With a proof log attached, a BDD "proved" answer is advisory only:
+  // the SAT prover still runs so every merge stays spliceable, and the
+  // composed proof still certifies end to end.
+  const Aig miter = restructuredAluMiter();
+  SweepOptions bdd = batchedOptions(4, true);
+  bdd.bddSweepThreshold = 64;
+  proof::ProofLog log;
+  const CecResult certified = sweepingCheck(miter, bdd, &log);
+  EXPECT_EQ(certified.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(certified.stats.bddPairAccepted, 0u);  // certifying run
+  expectProofCertifies(miter, log, 4);
+
+  const CecResult uncertified = sweepingCheck(miter, bdd);
+  EXPECT_EQ(uncertified.verdict, Verdict::kEquivalent);
+}
+
+TEST(ParSweep, InSweepBatchingComposesWithMultiCec) {
+  const Aig left = gen::rippleCarryAdder(6);
+  const Aig right = gen::carryLookaheadAdder(6, 3);
+  MultiCecOptions sequential;
+  const MultiCecResult base = checkOutputs(left, right, sequential);
+
+  MultiCecOptions nested;
+  nested.parallel.numThreads = 2;
+  nested.sweep.parallel.numThreads = 2;
+  nested.sweep.parallel.batchSize = 4;
+  const MultiCecResult got = checkOutputs(left, right, nested);
+  EXPECT_EQ(got.overall, base.overall);
+  ASSERT_EQ(got.outputs.size(), base.outputs.size());
+  for (std::size_t o = 0; o < base.outputs.size(); ++o) {
+    EXPECT_EQ(got.outputs[o].verdict, base.outputs[o].verdict) << o;
+    EXPECT_EQ(got.outputs[o].proofChecked, base.outputs[o].proofChecked)
+        << o;
+  }
+}
+
+TEST(ParSweep, ServiceInjectsItsPoolIntoSweepingJobs) {
+  serve::ServiceOptions serviceOptions;
+  serviceOptions.parallel.numThreads = 2;
+  serve::BatchService service(serviceOptions);
+  serve::JobOptions jobOptions;
+  SweepOptions sweep = batchedOptions(2, true);
+  jobOptions.engine.engine = sweep;
+  const serve::JobRecord record = service.wait(service.submit(
+      serve::makePairJob("batched-sweep", gen::rippleCarryAdder(6),
+                         gen::carryLookaheadAdder(6, 3), jobOptions)));
+  EXPECT_EQ(record.state, serve::JobState::kDone);
+  EXPECT_EQ(record.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(record.proofChecked);
+  EXPECT_GT(record.stats.batchedPairs, 0u);
+  EXPECT_GT(record.stats.sweepBatches, 0u);
+}
+
+// ---- option validation: uniform messages for the new fields ------------
+
+TEST(ParallelOptionsValidation, OversizedBatchIsRejectedWithTheRange) {
+  ParallelOptions bad;
+  bad.batchSize = (1u << 20) + 1;
+  const std::string msg = bad.validate("SweepOptions.parallel");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("SweepOptions.parallel.batchSize"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("got"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[0, 1048576]"), std::string::npos) << msg;
+  EXPECT_TRUE(ParallelOptions().validate().empty());
+}
+
+TEST(ParallelOptionsValidation, EveryOwnerValidatesItsParallelBlock) {
+  SweepOptions sweep;
+  sweep.parallel.batchSize = 1u << 24;
+  EXPECT_NE(sweep.validate().find("SweepOptions.parallel"),
+            std::string::npos);
+
+  proof::CheckOptions check;
+  check.parallel.batchSize = 1u << 24;
+  EXPECT_NE(check.validate().find("CheckOptions.parallel"),
+            std::string::npos);
+
+  proof::ProofLintOptions lintOptions;
+  lintOptions.parallel.batchSize = 1u << 24;
+  EXPECT_NE(lintOptions.validate().find("ProofLintOptions.parallel"),
+            std::string::npos);
+
+  MultiCecOptions multi;
+  multi.check.batchSize = 1u << 24;
+  EXPECT_NE(multi.validate().find("MultiCecOptions.check"),
+            std::string::npos);
+
+  EngineConfig config;
+  config.check.batchSize = 1u << 24;
+  EXPECT_NE(config.validate().find("EngineConfig.check"),
+            std::string::npos);
+
+  serve::ServiceOptions service;
+  service.parallel.batchSize = 1u << 24;
+  EXPECT_NE(service.validate().find("ServiceOptions.parallel"),
+            std::string::npos);
+}
+
+TEST(ParSweepValidation, ConeLimitRejectsZeroAndOversize) {
+  SweepOptions zero;
+  zero.parallel.batchSize = 8;
+  zero.batchConeLimit = 0;
+  const std::string msg = zero.validate();
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("batchConeLimit"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[1, 1048576]"), std::string::npos) << msg;
+
+  SweepOptions big;
+  big.batchConeLimit = (1u << 20) + 1;
+  EXPECT_FALSE(big.validate().empty());
+}
+
+TEST(ParSweepValidation, NanDeadlineIsRejected) {
+  serve::JobOptions options;
+  options.deadlineSeconds = std::nan("");
+  EXPECT_NE(options.validate().find("deadlineSeconds"), std::string::npos);
+  options.deadlineSeconds = -1.0;
+  EXPECT_FALSE(options.validate().empty());
+  options.deadlineSeconds = 0.0;
+  EXPECT_TRUE(options.validate().empty());
+}
+
+// ---- deprecated aliases: one release of backward compatibility ---------
+// These deliberately touch the deprecated fields.
+
+CP_SUPPRESS_DEPRECATED_BEGIN
+
+TEST(DeprecatedAliases, OldFieldWinsOnlyWhenNewFieldIsDefault) {
+  proof::CheckOptions check;
+  check.numThreads = 3;
+  EXPECT_EQ(check.effectiveThreads(), 3u);
+  check.parallel.numThreads = 2;
+  EXPECT_EQ(check.effectiveThreads(), 2u);  // new field wins once set
+
+  proof::ProofLintOptions lintOptions;
+  lintOptions.numThreads = 5;
+  EXPECT_EQ(lintOptions.effectiveThreads(), 5u);
+
+  EngineConfig config;
+  config.checkThreads = 4;
+  EXPECT_EQ(config.effectiveCheckThreads(), 4u);
+  config.check.numThreads = 0;
+  EXPECT_EQ(config.effectiveCheckThreads(), 0u);
+
+  MultiCecOptions multi;
+  multi.numThreads = 6;
+  multi.checkThreads = 7;
+  EXPECT_EQ(multi.effectiveThreads(), 6u);
+  EXPECT_EQ(multi.effectiveCheckThreads(), 7u);
+  multi.parallel.numThreads = 2;
+  EXPECT_EQ(multi.effectiveThreads(), 2u);
+
+  serve::ServiceOptions service;
+  service.numWorkers = 3;
+  EXPECT_EQ(service.effectiveWorkers(), 3u);
+  service.parallel.numThreads = 1;
+  EXPECT_EQ(service.effectiveWorkers(), 1u);
+}
+
+TEST(DeprecatedAliases, OldCheckerThreadFieldStillDrivesTheReplay) {
+  // End to end through checkProof: the alias must still select the
+  // parallel replay until it is removed.
+  const Aig miter = buildMiter(gen::rippleCarryAdder(4),
+                               gen::sklanskyAdder(4));
+  proof::ProofLog log;
+  const CecResult result = sweepingCheck(miter, SweepOptions(), &log);
+  ASSERT_EQ(result.verdict, Verdict::kEquivalent);
+  proof::CheckOptions options;
+  options.axiomValidator = miterAxiomValidator(miter);
+  options.numThreads = 4;
+  EXPECT_TRUE(proof::checkProof(log, options).ok);
+}
+
+CP_SUPPRESS_DEPRECATED_END
+
+}  // namespace
+}  // namespace cp::cec

@@ -210,7 +210,8 @@ TEST(ProofLint, ForwardSubsumedDerivedClause) {
   EXPECT_NE(d->message.find("subsumed by clause 1"), std::string::npos);
 
   DiagnosticCollector without;
-  lint(log, without, {.numThreads = 1, .checkSubsumption = false});
+  lint(log, without,
+       {.parallel = {.numThreads = 1}, .checkSubsumption = false});
   EXPECT_EQ(without.countOf("P106"), 0u);
 }
 
@@ -278,13 +279,13 @@ TEST(ProofLint, MergeDuplicatesThenTrimIsLintClean) {
 TEST(ProofLint, FindingsAreThreadCountInvariant) {
   const ProofLog log = solverRefutation();
   DiagnosticCollector reference;
-  lint(log, reference, {.numThreads = 1});
+  lint(log, reference, {.parallel = {.numThreads = 1}});
   // A real solver log carries measurable findings — otherwise this test
   // would compare empty lists.
   EXPECT_FALSE(reference.diagnostics().empty());
   for (const std::uint32_t threads : {2u, 4u, 8u}) {
     DiagnosticCollector sink;
-    lint(log, sink, {.numThreads = threads});
+    lint(log, sink, {.parallel = {.numThreads = threads}});
     EXPECT_EQ(sink.diagnostics(), reference.diagnostics())
         << "thread count " << threads;
   }
@@ -293,13 +294,13 @@ TEST(ProofLint, FindingsAreThreadCountInvariant) {
 TEST(ProofLint, CpfRouteMatchesInMemoryRoute) {
   const ProofLog log = solverRefutation();
   DiagnosticCollector inMemory;
-  lint(log, inMemory, {.numThreads = 2});
+  lint(log, inMemory, {.parallel = {.numThreads = 2}});
 
   std::ostringstream out(std::ios::binary);
   proofio::writeProof(log, out);
   std::istringstream in(out.str(), std::ios::binary);
   DiagnosticCollector viaCpf;
-  proofio::lintProof(in, viaCpf, {.numThreads = 2});
+  proofio::lintProof(in, viaCpf, {.parallel = {.numThreads = 2}});
 
   EXPECT_EQ(viaCpf.diagnostics(), inMemory.diagnostics());
 }

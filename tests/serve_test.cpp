@@ -91,7 +91,7 @@ TEST(BatchService, RejectsNonMiterJobs) {
 
 TEST(BatchService, RunsOneJobToDone) {
   ServiceOptions options;
-  options.numWorkers = 2;
+  options.parallel.numThreads = 2;
   BatchService service(options);
   const std::uint64_t id = service.submit(tinyJob("parity"));
   ASSERT_NE(id, 0u);
@@ -115,7 +115,7 @@ TEST(BatchService, PriorityOrdersHeldJobsDeterministically) {
   // One worker + startPaused: after start(), completion order is exactly
   // the scheduler's order — priority descending, FIFO within a level.
   ServiceOptions options;
-  options.numWorkers = 1;
+  options.parallel.numThreads = 1;
   options.startPaused = true;
   BatchService service(options);
 
@@ -143,7 +143,7 @@ TEST(BatchService, PriorityOrdersHeldJobsDeterministically) {
 
 TEST(BatchService, TrySubmitBackpressuresAtTheAdmissionBound) {
   ServiceOptions options;
-  options.numWorkers = 1;
+  options.parallel.numThreads = 1;
   options.maxQueuedJobs = 2;
   options.startPaused = true;  // nothing runs, so the queue stays full
   BatchService service(options);
@@ -167,7 +167,7 @@ TEST(BatchService, TrySubmitBackpressuresAtTheAdmissionBound) {
 
 TEST(BatchService, BlockedSubmitUnblocksWhenASlotFrees) {
   ServiceOptions options;
-  options.numWorkers = 1;
+  options.parallel.numThreads = 1;
   options.maxQueuedJobs = 1;
   options.startPaused = true;
   BatchService service(options);
@@ -204,7 +204,7 @@ TEST(BatchService, CancelOnlyReachesQueuedJobs) {
 
 TEST(BatchService, DeadlineExpiresJobsStillQueued) {
   ServiceOptions options;
-  options.numWorkers = 1;
+  options.parallel.numThreads = 1;
   options.startPaused = true;
   BatchService service(options);
 
@@ -249,7 +249,7 @@ TEST(BatchService, ProofPathJobCertifiesFromDisk) {
 
 TEST(BatchService, LemmaCacheHitsAcrossJobs) {
   ServiceOptions options;
-  options.numWorkers = 1;
+  options.parallel.numThreads = 1;
   BatchService service(options);
   ASSERT_NE(service.lemmaCache(), nullptr);
 
@@ -267,11 +267,11 @@ TEST(BatchService, LemmaCacheHitsAcrossJobs) {
   EXPECT_EQ(repeat.state, JobState::kDone);
   EXPECT_EQ(repeat.verdict, cec::Verdict::kEquivalent);
   EXPECT_TRUE(repeat.proofChecked);
-  EXPECT_GT(repeat.cacheHits, 0u);
-  EXPECT_EQ(repeat.cacheSpliced, repeat.cacheHits);
+  EXPECT_GT(repeat.stats.lemmaCacheHits, 0u);
+  EXPECT_EQ(repeat.stats.lemmaCacheSpliced, repeat.stats.lemmaCacheHits);
 
   const ServiceMetrics metrics = service.metrics();
-  EXPECT_GE(metrics.cache.hits, repeat.cacheHits);
+  EXPECT_GE(metrics.cache.hits, repeat.stats.lemmaCacheHits);
   EXPECT_GT(metrics.cache.inserts, 0u);
   EXPECT_EQ(metrics.completed, 2u);
 }
@@ -287,8 +287,8 @@ TEST(BatchService, JobsCanOptOutOfTheCache) {
       makePairJob("opted-out", gen::rippleCarryAdder(6),
                   gen::carryLookaheadAdder(6, 3), optOut)));
   EXPECT_EQ(record.state, JobState::kDone);
-  EXPECT_EQ(record.cacheHits, 0u);
-  EXPECT_EQ(record.cacheMisses, 0u);
+  EXPECT_EQ(record.stats.lemmaCacheHits, 0u);
+  EXPECT_EQ(record.stats.lemmaCacheMisses, 0u);
 }
 
 TEST(BatchService, DisabledCacheServesJobsWithoutOne) {
@@ -299,7 +299,7 @@ TEST(BatchService, DisabledCacheServesJobsWithoutOne) {
   const JobRecord record = service.wait(service.submit(tinyJob("no-cache")));
   EXPECT_EQ(record.state, JobState::kDone);
   EXPECT_TRUE(record.proofChecked);
-  EXPECT_EQ(record.cacheHits, 0u);
+  EXPECT_EQ(record.stats.lemmaCacheHits, 0u);
   EXPECT_EQ(service.metrics().cache.lookups, 0u);
 }
 
@@ -311,7 +311,7 @@ using Outcome = std::tuple<JobState, cec::Verdict, bool, std::uint64_t,
 std::map<std::string, Outcome> runBatch(std::size_t workers,
                                         bool useLemmaCache) {
   ServiceOptions options;
-  options.numWorkers = workers;
+  options.parallel.numThreads = static_cast<std::uint32_t>(workers);
   options.enableLemmaCache = useLemmaCache;
   BatchService service(options);
   for (JobSpec& job : mixedBatch(useLemmaCache)) {
@@ -320,8 +320,8 @@ std::map<std::string, Outcome> runBatch(std::size_t workers,
   std::map<std::string, Outcome> outcomes;
   for (const JobRecord& r : service.drain()) {
     outcomes[r.name] = Outcome(r.state, r.verdict, r.proofChecked,
-                               r.conflicts, r.satCalls, r.proofClauses,
-                               r.proofResolutions);
+                               r.stats.conflicts, r.stats.satCalls,
+                               r.proofClauses, r.proofResolutions);
   }
   return outcomes;
 }
@@ -356,7 +356,7 @@ TEST(BatchService, VerdictsAreIdenticalWithCacheOnAndOff) {
 
 TEST(BatchService, MetricsAggregateTerminalStates) {
   ServiceOptions options;
-  options.numWorkers = 2;
+  options.parallel.numThreads = 2;
   options.startPaused = true;
   BatchService service(options);
   for (JobSpec& job : mixedBatch(true)) {
@@ -388,14 +388,14 @@ TEST(ServeJson, RecordRendersOneCompactObject) {
   r.priority = -2;
   r.verdict = cec::Verdict::kEquivalent;
   r.proofChecked = true;
-  r.conflicts = 7;
-  r.satCalls = 2;
+  r.stats.conflicts = 7;
+  r.stats.satCalls = 2;
+  r.stats.lemmaCacheHits = 1;
+  r.stats.lemmaCacheMisses = 2;
+  r.stats.lemmaCacheSpliced = 1;
   r.proofClauses = 10;
   r.proofResolutions = 20;
   r.proofBytes = 123;
-  r.cacheHits = 1;
-  r.cacheMisses = 2;
-  r.cacheSpliced = 1;
   r.queuedSeconds = 0.5;
   r.runSeconds = 0.25;
   r.checkSeconds = 0.125;
@@ -406,11 +406,22 @@ TEST(ServeJson, RecordRendersOneCompactObject) {
   EXPECT_EQ(out.str(),
             "{\"id\":3,\"name\":\"a\\\"b\",\"state\":\"done\","
             "\"priority\":-2,\"verdict\":\"equivalent\","
-            "\"proofChecked\":true,\"conflicts\":7,\"satCalls\":2,"
-            "\"proofClauses\":10,\"proofResolutions\":20,"
-            "\"proofBytes\":123,\"liveClausesPeak\":0,"
-            "\"cacheHits\":1,\"cacheMisses\":2,"
-            "\"cacheSpliced\":1,\"queuedSeconds\":0.5,\"runSeconds\":0.25,"
+            "\"proofChecked\":true,\"stats\":{"
+            "\"satCalls\":2,\"satUnsat\":0,\"satSat\":0,"
+            "\"satUndecided\":0,\"conflicts\":7,\"propagations\":0,"
+            "\"restarts\":0,\"candidateNodes\":0,\"initialClasses\":0,"
+            "\"satMerges\":0,\"structuralMerges\":0,\"foldMerges\":0,"
+            "\"skippedCandidates\":0,\"counterexamples\":0,"
+            "\"sweptNodes\":0,\"proofStructuralSteps\":0,"
+            "\"lemmaCacheHits\":1,\"lemmaCacheMisses\":2,"
+            "\"lemmaCacheSpliced\":1,\"sweepBatches\":0,"
+            "\"batchedPairs\":0,\"lemmaBufferHits\":0,"
+            "\"lemmaBufferCexHits\":0,\"bddPairCalls\":0,"
+            "\"bddPairRefuted\":0,\"bddPairAccepted\":0,"
+            "\"totalSeconds\":0},"
+            "\"proof\":{\"clauses\":10,\"resolutions\":20,"
+            "\"bytes\":123,\"liveClausesPeak\":0},"
+            "\"queuedSeconds\":0.5,\"runSeconds\":0.25,"
             "\"checkSeconds\":0.125,\"deadlineMissed\":false,"
             "\"sequence\":4}");
 }
