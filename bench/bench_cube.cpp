@@ -1,0 +1,226 @@
+// R-Cube: cube-and-conquer engine characterization.
+//
+// A deterministic pass runs the cube engine on the hard multiplier miters
+// (mul6, mul7) across thread counts under an exact conflict budget,
+// asserts the engine's determinism contract FIRST (verdict, every
+// aggregated statistic and the composed proof's exact CPF bytes identical
+// at 1/2/4/8 threads), and only then writes BENCH_cube.json: per-run wall
+// time, conflict totals, cube/prune counts and composed-proof shape next
+// to a monolithic single-call reference under the same budget. The JSON
+// carries the machine's hardware thread count: on a 1-core host every
+// "parallel" run degenerates to the coordinator draining all cubes
+// itself, so wall-clock speedups are NOT expected there — the point of
+// the pass is the bit-identical contract plus per-cube search totals, not
+// the speedup headline. The timing benchmarks then re-run both engines
+// under the google-benchmark harness.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "src/base/json.h"
+#include "src/base/stopwatch.h"
+#include "src/cec/cube_cec.h"
+#include "src/cec/monolithic_cec.h"
+#include "src/proofio/writer.h"
+
+namespace cp::bench {
+namespace {
+
+/// Suite indices of the cube engine's headline miters.
+constexpr std::size_t kMul6 = 4;
+constexpr std::size_t kMul7 = 11;
+
+/// One shared exact budget for both engines: large enough that every run
+/// here completes, small enough that a regression shows up as kUndecided
+/// instead of an unbounded hang.
+constexpr std::int64_t kConflictBudget = std::int64_t{1} << 22;
+
+void cubeRequire(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "cube invariant failed: %s\n", what);
+    std::exit(1);
+  }
+}
+
+cube::CubeOptions cubeConfig(std::uint32_t threads) {
+  cube::CubeOptions options;
+  options.parallel.numThreads = threads;
+  options.cutSize = 6;
+  options.cubeConflictBudget = kConflictBudget;
+  return options;
+}
+
+struct CubeRun {
+  cec::CecResult result;
+  std::string proofBytes;  ///< exact CPF serialization of the raw log
+  double wallSeconds = 0.0;
+};
+
+CubeRun runCube(std::size_t workload, std::uint32_t threads) {
+  CubeRun run;
+  proof::ProofLog log;
+  Stopwatch wall;
+  run.result = cec::cubeCheck(miterFor(workload), cubeConfig(threads), &log);
+  run.wallSeconds = wall.seconds();
+  if (run.result.verdict == cec::Verdict::kEquivalent) {
+    std::ostringstream out;
+    proofio::writeProof(log, out);
+    run.proofBytes = out.str();
+  }
+  return run;
+}
+
+cec::CecResult runMonolithic(std::size_t workload, double* wallSeconds) {
+  cec::MonolithicOptions options;
+  options.conflictBudget = kConflictBudget;
+  proof::ProofLog log;
+  Stopwatch wall;
+  const cec::CecResult result =
+      cec::monolithicCheck(miterFor(workload), options, &log);
+  *wallSeconds = wall.seconds();
+  return result;
+}
+
+void expectIdentical(const CubeRun& run, const CubeRun& baseline) {
+  const cec::CecStats& a = run.result.stats;
+  const cec::CecStats& b = baseline.result.stats;
+  cubeRequire(run.result.verdict == baseline.result.verdict,
+              "verdict is thread-count invariant");
+  cubeRequire(a.satCalls == b.satCalls && a.satUnsat == b.satUnsat &&
+                  a.satUndecided == b.satUndecided,
+              "reconciled SAT-call counts are thread-count invariant");
+  cubeRequire(a.conflicts == b.conflicts &&
+                  a.propagations == b.propagations &&
+                  a.restarts == b.restarts,
+              "aggregated search totals are thread-count invariant");
+  cubeRequire(a.cubeCount == b.cubeCount &&
+                  a.cubesRefuted == b.cubesRefuted &&
+                  a.cubesPruned == b.cubesPruned &&
+                  a.cubeProbeConflicts == b.cubeProbeConflicts,
+              "cube bookkeeping is thread-count invariant");
+  cubeRequire(run.proofBytes == baseline.proofBytes,
+              "the composed proof is bit-identical at every thread count");
+}
+
+/// The deterministic characterization pass behind BENCH_cube.json.
+void runCubeCharacterization(const char* jsonPath) {
+  std::ofstream out(jsonPath);
+  cubeRequire(out.good(), "BENCH_cube.json opened for writing");
+  const unsigned hardware = std::thread::hardware_concurrency();
+  json::Writer writer(out);
+  writer.beginObject()
+      .field("benchmark", "cube")
+      .field("conflictBudget", std::uint64_t{kConflictBudget})
+      .field("hardwareThreads", std::uint64_t{hardware})
+      .field("note",
+             hardware <= 1
+                 ? "1 hardware thread: the coordinator drains every cube "
+                   "itself, so wall-clock speedups are not expected; the "
+                   "determinism contract and search totals are the result"
+                 : "thread counts above hardwareThreads oversubscribe")
+      .key("workloads")
+      .beginArray(/*linePerElement=*/true);
+
+  for (const std::size_t workload : {kMul6, kMul7}) {
+    // Determinism gate first: nothing is written for a workload unless
+    // every thread count reproduced the 1-thread run bit for bit.
+    const CubeRun baseline = runCube(workload, 1);
+    cubeRequire(baseline.result.verdict == cec::Verdict::kEquivalent,
+                "the multiplier miters are UNSAT under the budget");
+    std::vector<CubeRun> runs;
+    for (const std::uint32_t threads : {2u, 4u, 8u}) {
+      runs.push_back(runCube(workload, threads));
+      expectIdentical(runs.back(), baseline);
+    }
+
+    double monoSeconds = 0.0;
+    const cec::CecResult mono = runMonolithic(workload, &monoSeconds);
+    cubeRequire(mono.verdict == cec::Verdict::kEquivalent,
+                "the monolithic reference decides under the same budget");
+
+    writer.beginObject()
+        .field("workload", suite()[workload].name)
+        .field("cutSize", baseline.result.stats.cubeCutSize)
+        .field("cubes", baseline.result.stats.cubeCount)
+        .field("cubesRefuted", baseline.result.stats.cubesRefuted)
+        .field("cubesPruned", baseline.result.stats.cubesPruned)
+        .field("probeConflicts", baseline.result.stats.cubeProbeConflicts)
+        .field("cubeConflicts", baseline.result.stats.conflicts)
+        .field("monolithicConflicts", mono.stats.conflicts)
+        .field("monolithicSeconds", monoSeconds)
+        .field("proofBytes", std::uint64_t{baseline.proofBytes.size()})
+        .key("runs")
+        .beginArray(/*linePerElement=*/true);
+    writer.beginObject()
+        .field("threads", std::uint64_t{1})
+        .field("wallSeconds", baseline.wallSeconds)
+        .endObject();
+    const std::uint32_t threadArgs[] = {2, 4, 8};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      writer.beginObject()
+          .field("threads", std::uint64_t{threadArgs[i]})
+          .field("wallSeconds", runs[i].wallSeconds)
+          .endObject();
+    }
+    writer.endArray().endObject();
+  }
+  writer.endArray().endObject();
+  writer.finishLine();
+  cubeRequire(out.good(), "BENCH_cube.json written");
+  std::printf("wrote %s\n", jsonPath);
+}
+
+/// Timing: one full cube-engine run (cut selection, cube generation,
+/// solving, proof composition) at a given thread count.
+void BM_CubeCheck(benchmark::State& state) {
+  const std::size_t workload = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t threads = static_cast<std::uint32_t>(state.range(1));
+  (void)miterFor(workload);  // build outside the timed region
+  for (auto _ : state) {
+    const CubeRun run = runCube(workload, threads);
+    benchmark::DoNotOptimize(run.result);
+  }
+  state.SetLabel(suite()[workload].name);
+}
+
+/// Timing: the monolithic single-call reference under the same budget.
+void BM_MonolithicReference(benchmark::State& state) {
+  const std::size_t workload = static_cast<std::size_t>(state.range(0));
+  (void)miterFor(workload);
+  for (auto _ : state) {
+    double seconds = 0.0;
+    const cec::CecResult result = runMonolithic(workload, &seconds);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(suite()[workload].name);
+}
+
+}  // namespace
+}  // namespace cp::bench
+
+BENCHMARK(cp::bench::BM_CubeCheck)
+    ->ArgsProduct({{cp::bench::kMul6, cp::bench::kMul7}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(cp::bench::BM_MonolithicReference)
+    ->Args({cp::bench::kMul6})
+    ->Args({cp::bench::kMul7})
+    ->Unit(benchmark::kMillisecond);
+
+// Custom main: the deterministic characterization (determinism assertions
+// + BENCH_cube.json) always runs, then the timing benchmarks honor the
+// usual --benchmark_* flags.
+int main(int argc, char** argv) {
+  cp::bench::runCubeCharacterization("BENCH_cube.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

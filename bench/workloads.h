@@ -41,6 +41,9 @@ inline aig::Aig miterMul5() {
 inline aig::Aig miterMul6() {
   return cec::buildMiter(gen::arrayMultiplier(6), gen::wallaceMultiplier(6));
 }
+inline aig::Aig miterMul7() {
+  return cec::buildMiter(gen::arrayMultiplier(7), gen::wallaceMultiplier(7));
+}
 inline aig::Aig miterCmp24() {
   return cec::buildMiter(gen::rippleComparator(24), gen::treeComparator(24));
 }
@@ -84,6 +87,9 @@ inline const std::vector<Workload>& suite() {
       {"parity32_chain_tree", miterParity32},
       {"cla24_restructured", miterRestructuredCla24},
       {"random24_restructured", miterRestructuredRandom},
+      // Appended after PR 8 (index stability: bench binaries key on the
+      // position): the cube-and-conquer engine's headline hard miter.
+      {"mul7_array_wallace", miterMul7},
   };
   return workloads;
 }

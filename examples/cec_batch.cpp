@@ -22,9 +22,11 @@
 // as one JSON object on stderr (or --metrics-out FILE).
 //
 // Flags: --workers N (0 = hardware), --queue N (admission bound),
-// --no-cache, --proof-dir DIR, --metrics-out FILE, --expect-cache-hits
-// (fail unless the shared cache hit at least once — the CI regression gate
-// for cross-job sharing).
+// --engine sweep|mono|cube (route every job through that engine; `cube`
+// is the cube-and-conquer engine for hard miters — its per-cube fan-out
+// shares the service's worker pool), --no-cache, --proof-dir DIR,
+// --metrics-out FILE, --expect-cache-hits (fail unless the shared cache
+// hit at least once — the CI regression gate for cross-job sharing).
 //
 // Exit code: 0 when every job reached a terminal verdict that holds up
 // (equivalent => proof checked, inequivalent => counterexample validated
@@ -61,6 +63,10 @@ using cp::serve::JobSpec;
       "       cec_batch [flags] --demo N\n"
       "  --workers N         worker threads (0 = hardware, default)\n"
       "  --queue N           admission bound (default 64)\n"
+      "  --engine NAME       route every job through one engine:\n"
+      "                      sweep (default), mono, or cube\n"
+      "                      (cube-and-conquer; cube fan-out runs on the\n"
+      "                      service pool)\n"
       "  --no-cache          disable the cross-job lemma cache\n"
       "  --proof-dir DIR     stream per-job CPF proofs into DIR and\n"
       "                      re-certify each from disk\n"
@@ -176,6 +182,7 @@ int main(int argc, char** argv) {
   std::string jobFile;
   std::string proofDir;
   std::string metricsOut;
+  std::string engineName;
   std::size_t demo = 0;
   bool useDemo = false;
   bool expectCacheHits = false;
@@ -191,6 +198,13 @@ int main(int argc, char** argv) {
       service.parallel.numThreads = static_cast<std::uint32_t>(intArg());
     } else if (arg == "--queue") {
       service.maxQueuedJobs = static_cast<std::size_t>(intArg());
+    } else if (arg == "--engine") {
+      if (i + 1 >= argc) usage();
+      engineName = argv[++i];
+      if (engineName != "sweep" && engineName != "mono" &&
+          engineName != "cube") {
+        usage();
+      }
     } else if (arg == "--no-cache") {
       service.enableLemmaCache = false;
     } else if (arg == "--proof-dir") {
@@ -217,6 +231,19 @@ int main(int argc, char** argv) {
   std::vector<JobSpec> jobs =
       useDemo ? demoJobs(demo) : readJobStream(jobFile);
   if (jobs.empty()) fail("no jobs to run");
+  if (!engineName.empty()) {
+    for (JobSpec& job : jobs) {
+      if (engineName == "mono") {
+        job.options.engine.engine = cp::cec::MonolithicOptions();
+      } else if (engineName == "cube") {
+        // Leave CubeOptions::pool unset: the service injects its own, so
+        // job-level and in-cube parallelism share one worker budget.
+        job.options.engine.engine = cp::cube::CubeOptions();
+      } else {
+        job.options.engine.engine = cp::cec::SweepOptions();
+      }
+    }
+  }
   if (!proofDir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(proofDir, ec);
@@ -261,10 +288,18 @@ int main(int argc, char** argv) {
           std::error_code ec;
           std::filesystem::remove(path, ec);
         } else if (good) {
-          const auto merged = cp::proof::mergeDuplicateClauses(
-              cp::proofio::readProofFile(path));
-          (void)cp::proofio::writeProofFile(
-              cp::proof::trimProof(merged.log).log, path);
+          cp::proofio::ContainerInfo info;
+          const cp::proof::ProofLog streamed =
+              cp::proofio::readProofFile(path, &info);
+          // Cube-composed containers stay as streamed: the composer's
+          // memo-dedup already keeps them lint-clean, and a rewrite would
+          // drop the footer's cube-metadata section (the per-cube chain
+          // spans `proof_tools info` reports).
+          if (info.cubeSpans.empty()) {
+            const auto merged = cp::proof::mergeDuplicateClauses(streamed);
+            (void)cp::proofio::writeProofFile(
+                cp::proof::trimProof(merged.log).log, path);
+          }
         }
       }
     }

@@ -257,6 +257,21 @@ int main(int argc, char** argv) {
       std::printf("container:   %llu bytes in %llu chunks\n",
                   (unsigned long long)info.bytes,
                   (unsigned long long)info.chunks);
+      if (!info.cubeSpans.empty()) {
+        std::printf("cubes:       %zu (cube-and-conquer composed proof)\n",
+                    info.cubeSpans.size());
+        for (std::size_t i = 0; i < info.cubeSpans.size(); ++i) {
+          const auto& span = info.cubeSpans[i];
+          if (span.firstClause == 0) {
+            std::printf("  cube %zu: %u literals, no own chain "
+                        "(pruned or shared)\n",
+                        i, span.literals);
+          } else {
+            std::printf("  cube %zu: %u literals, clauses %u..%u\n", i,
+                        span.literals, span.firstClause, span.lastClause);
+          }
+        }
+      }
       return 0;
     }
 

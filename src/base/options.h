@@ -105,24 +105,4 @@ struct ParallelOptions {
   }
 };
 
-/// Resolves a [[deprecated]] thread-count alias against the ParallelOptions
-/// field replacing it: the new field wins when moved off its default;
-/// otherwise a non-default value of the old field is honored for one
-/// release (wrap the call in CP_SUPPRESS_DEPRECATED_* to read the alias
-/// without tripping -Werror).
-template <typename T, typename U>
-T resolveDeprecatedAlias(T newValue, T newDefault, U oldValue, U oldDefault) {
-  if (newValue != newDefault) return newValue;
-  if (oldValue != oldDefault) return static_cast<T>(oldValue);
-  return newDefault;
-}
-
-/// Guards for intentional reads of [[deprecated]] alias fields (the
-/// resolution helpers keeping old call sites working for one release).
-/// Everything else building with CP_WERROR must migrate instead.
-#define CP_SUPPRESS_DEPRECATED_BEGIN \
-  _Pragma("GCC diagnostic push")     \
-  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
-#define CP_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
-
 }  // namespace cp

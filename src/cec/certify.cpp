@@ -8,6 +8,7 @@
 
 #include "src/base/options.h"
 #include "src/base/stopwatch.h"
+#include "src/cec/cube_cec.h"
 #include "src/cnf/cnf.h"
 
 namespace cp::cec {
@@ -124,12 +125,26 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
     } else if (const auto* mono =
                    std::get_if<MonolithicOptions>(&config.engine)) {
       report.cec = monolithicCheck(miter, *mono, log);
+    } else if (const auto* cube =
+                   std::get_if<cube::CubeOptions>(&config.engine)) {
+      report.cec = cubeCheck(miter, *cube, log);
     } else {
       report.cec =
           bddDecideMiter(miter, std::get<BddCecOptions>(config.engine));
     }
   }
   if (writer != nullptr) {
+    // A cube-composed proof records its per-cube anatomy in the
+    // container's optional cube-metadata section (readable through
+    // proofio::readContainerInfo / proof_tools info).
+    if (!report.cec.cubeSpans.empty()) {
+      std::vector<proofio::CubeSpan> spans;
+      spans.reserve(report.cec.cubeSpans.size());
+      for (const CubeProofSpan& s : report.cec.cubeSpans) {
+        spans.push_back({s.literals, s.firstClause, s.lastClause});
+      }
+      writer->setCubeSpans(spans);
+    }
     report.disk.write = writer->finish();
     report.disk.written = true;
     writer.reset();
@@ -156,7 +171,7 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   proof::CheckOptions options;
   options.requireRoot = true;
   options.axiomValidator = axiomValidator;
-  options.parallel.numThreads = config.effectiveCheckThreads();
+  options.parallel.numThreads = config.check.numThreads;
   report.check = proof::checkProof(trimmed.log, options);
   report.checkSeconds = checkTimer.seconds();
   report.proofChecked = report.check.ok;

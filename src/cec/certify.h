@@ -6,7 +6,7 @@
 // This is the complete trust chain of the paper: even if the AIG package,
 // the simulator, the solver and the composer were all buggy, an accepted
 // certificate still guarantees the miter CNF is unsatisfiable. The check
-// itself can run on several threads (EngineConfig::checkThreads) without
+// itself can run on several threads (EngineConfig::check) without
 // weakening that argument: the parallel checker replays exactly the same
 // resolutions, merely in a different order (see proof/checker.h).
 #pragma once
@@ -22,6 +22,7 @@
 #include "src/cec/monolithic_cec.h"
 #include "src/cec/result.h"
 #include "src/cec/sweeping_cec.h"
+#include "src/cube/options.h"
 #include "src/proof/checker.h"
 #include "src/proof/trim.h"
 #include "src/proofio/reader.h"
@@ -38,35 +39,22 @@ std::function<bool(std::span<const sat::Lit>)> miterAxiomValidator(
 
 /// Which engine checkMiter runs, with its options: the variant alternative
 /// held *is* the engine selection, so every engine's full option set is
-/// expressible through the one public entry point.
-using EngineOptions =
-    std::variant<SweepOptions, MonolithicOptions, BddCecOptions>;
+/// expressible through the one public entry point. cube::CubeOptions
+/// selects the cube-and-conquer engine (cec/cube_cec.h): hard miters are
+/// split over an internal cut, each cube refuted independently, and the
+/// per-cube refutations composed into one resolution proof.
+using EngineOptions = std::variant<SweepOptions, MonolithicOptions,
+                                   BddCecOptions, cube::CubeOptions>;
 
-// The suppression spans the struct definition so the *synthesized*
-// constructors (which copy/initialize the deprecated alias below) compile
-// warning-free under -Werror; uses of the alias outside this header still
-// warn at their own sites.
-CP_SUPPRESS_DEPRECATED_BEGIN
 struct EngineConfig {
   EngineOptions engine = SweepOptions();
   /// Parallelism of the independent proof check (forwarded to
   /// proof::CheckOptions::parallel): check.numThreads 0 = one per hardware
   /// thread, 1 = the sequential legacy checker. The check verdict is
   /// bit-identical at every count. Engine-side parallelism is configured
-  /// on the engine options themselves (SweepOptions::parallel).
+  /// on the engine options themselves (SweepOptions::parallel,
+  /// cube::CubeOptions::parallel).
   cp::ParallelOptions check;
-  /// Deprecated alias for check.numThreads; honored when it is set and
-  /// check.numThreads is left at its default. Removed next release.
-  [[deprecated("use EngineConfig.check.numThreads")]]
-  std::uint32_t checkThreads = 1;
-
-  /// The proof-check thread count after alias resolution.
-  std::uint32_t effectiveCheckThreads() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(check.numThreads, 1u,
-                                                 checkThreads, 1u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
 
   /// When non-empty: the engine's raw proof is streamed to this CPF
   /// container file *during* solving (proofio::ProofWriter attached as the
@@ -80,7 +68,6 @@ struct EngineConfig {
   /// alternative's uniform validation message (see base/options.h).
   std::string validate() const;
 };
-CP_SUPPRESS_DEPRECATED_END
 
 /// On-disk leg of a certification run (only populated when
 /// EngineConfig::proofPath is set).

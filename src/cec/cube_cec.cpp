@@ -1,0 +1,287 @@
+#include "src/cec/cube_cec.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/base/options.h"
+#include "src/base/stopwatch.h"
+#include "src/cec/proof_composer.h"
+#include "src/cube/cubes.h"
+#include "src/cube/cut_select.h"
+#include "src/cube/solve.h"
+
+namespace cp::cec {
+namespace {
+
+using proof::ClauseId;
+using sat::Lit;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// The negated literal set of a cube, sorted — the superset a refutation
+/// clause must stay within, and the set a prune candidate is tested
+/// against.
+std::vector<Lit> negatedSorted(const std::vector<Lit>& cube) {
+  std::vector<Lit> neg;
+  neg.reserve(cube.size());
+  for (const Lit l : cube) neg.push_back(~l);
+  std::sort(neg.begin(), neg.end());
+  return neg;
+}
+
+}  // namespace
+
+CecResult cubeCheck(const aig::Aig& miter, const cube::CubeOptions& options,
+                    proof::ProofLog* log) {
+  Stopwatch total;
+  throwIfInvalid(options.validate(), "cubeCheck");
+  if (miter.numOutputs() != 1) {
+    throw std::invalid_argument("cubeCheck expects a one-output miter");
+  }
+
+  const cube::CutSelection cut = cube::selectCut(miter, options);
+  cube::CubeSet cubeSet = cube::generateCubes(miter, cut.cut, options);
+  const std::vector<std::vector<Lit>>& cubes = cubeSet.cubes;
+  const std::size_t n = cubes.size();
+  std::vector<cube::CubeResult> results =
+      cube::solveCubes(miter, cubes, options, log != nullptr);
+
+  CecResult result;
+  result.stats.cubeCutSize = cut.cut.size();
+  result.stats.cubeCount = n;
+  result.stats.cubeProbeConflicts =
+      cut.probeConflicts + cubeSet.probeConflicts;
+
+  // ---- in-order reconciliation -------------------------------------------
+  // Scanning strictly in cube order makes every decision below a pure
+  // function of the inputs: which cube ends a SAT run, which refutations
+  // are accepted, which cubes are pruned, and which jobs' speculative
+  // results are discarded are all identical at every thread count.
+  std::vector<std::size_t> closedBy(n, kNone);
+  std::vector<std::size_t> accepted;
+  std::vector<std::vector<Lit>> acceptedConflicts;  // sorted, per accepted
+  std::size_t satAt = kNone;
+  std::size_t globalAt = kNone;
+  bool sawUndecided = false;
+  const auto aggregate = [&](const cube::CubeResult& r) {
+    ++result.stats.satCalls;
+    result.stats.conflicts += r.stats.conflicts;
+    result.stats.propagations += r.stats.propagations;
+    result.stats.restarts += r.stats.restarts;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const cube::CubeResult& r = results[i];
+    if (r.status == sat::LBool::kTrue) {
+      aggregate(r);
+      ++result.stats.satSat;
+      satAt = i;
+      break;
+    }
+    if (r.status == sat::LBool::kFalse && r.conflict.empty()) {
+      // Global refutation: the empty clause subsumes every other cube's
+      // refutation, so the run ends here and the rest counts as pruned.
+      aggregate(r);
+      ++result.stats.satUnsat;
+      ++result.stats.cubesRefuted;
+      globalAt = i;
+      result.stats.cubesPruned += n - i - 1;
+      break;
+    }
+    // Subset prune: an earlier accepted refutation that fits inside this
+    // cube's negated literals already refutes it, so this job's own
+    // (possibly speculatively computed) result is discarded.
+    const std::vector<Lit> negCube = negatedSorted(cubes[i]);
+    std::size_t by = kNone;
+    for (std::size_t a = 0; a < accepted.size() && by == kNone; ++a) {
+      if (std::includes(negCube.begin(), negCube.end(),
+                        acceptedConflicts[a].begin(),
+                        acceptedConflicts[a].end())) {
+        by = accepted[a];
+      }
+    }
+    if (by != kNone) {
+      closedBy[i] = by;
+      ++result.stats.cubesPruned;
+      continue;
+    }
+    if (r.skipped) {
+      throw std::logic_error(
+          "cubeCheck: a job before the short-circuit index was skipped");
+    }
+    aggregate(r);
+    if (r.status == sat::LBool::kUndef) {
+      ++result.stats.satUndecided;
+      sawUndecided = true;
+      continue;
+    }
+    ++result.stats.satUnsat;
+    ++result.stats.cubesRefuted;
+    if (log != nullptr && r.conflictId == proof::kNoClause) {
+      throw std::logic_error(
+          "cubeCheck: refuted cube carries no proof id despite logging");
+    }
+    std::vector<Lit> sortedConflict = r.conflict;
+    std::sort(sortedConflict.begin(), sortedConflict.end());
+    accepted.push_back(i);
+    acceptedConflicts.push_back(std::move(sortedConflict));
+  }
+
+  // ---- verdict ------------------------------------------------------------
+  if (satAt != kNone) {
+    result.verdict = Verdict::kInequivalent;
+    result.counterexample = results[satAt].model;
+    result.stats.totalSeconds = total.seconds();
+    return result;
+  }
+  if (globalAt == kNone && sawUndecided) {
+    result.verdict = Verdict::kUndecided;
+    result.stats.totalSeconds = total.seconds();
+    return result;
+  }
+  result.verdict = Verdict::kEquivalent;
+
+  // ---- proof composition ---------------------------------------------------
+  if (log != nullptr) {
+    ProofComposer composer(miter, log);
+    result.cubeSpans.assign(n, CubeProofSpan{});
+    for (std::size_t i = 0; i < n; ++i) {
+      result.cubeSpans[i].literals =
+          static_cast<std::uint32_t>(cubes[i].size());
+    }
+    const auto splice = [&](std::size_t i) {
+      const std::uint32_t before = log->numClauses();
+      const ClauseId id = composer.spliceExternalRefutation(
+          *results[i].log, results[i].conflictId);
+      if (log->numClauses() > before) {
+        result.cubeSpans[i].firstClause = before + 1;
+        result.cubeSpans[i].lastClause = log->numClauses();
+      }
+      return id;
+    };
+    ClauseId root = proof::kNoClause;
+    if (globalAt != kNone) {
+      root = splice(globalAt);
+    } else {
+      // Chain the leaves back up the split tree: resolving the two child
+      // clauses of each inner node on its split variable removes that
+      // variable, so the clause at every subtree subsumes the negation of
+      // the subtree's prefix — and the root subsumes (is) the empty
+      // clause. The tree shape is recovered from the leaf list: at depth
+      // d, the false-branch leaves (negated split literal) come first.
+      //
+      // Composition is two-pass because resolveOn is subsumption-aware: a
+      // child that already lacks its pivot IS the resolvent, and the
+      // sibling's whole subtree — including its cubes' refutation cones —
+      // drops out of the proof. Splicing those cones anyway would stream
+      // pure dead weight into the container (lint P102 under --werror),
+      // so a first pass replays the fallback and memo decisions on bare
+      // literal sets, and the second pass splices and resolves only what
+      // the root actually uses.
+      std::vector<std::vector<Lit>> conflictBySource(n);
+      for (std::size_t a = 0; a < accepted.size(); ++a) {
+        conflictBySource[accepted[a]] = acceptedConflicts[a];
+      }
+      struct SimNode {
+        std::vector<Lit> lits;  ///< sorted content of this subtree's clause
+        int take = 0;           ///< 0 derive, 1 left only, 2 right only,
+                                ///< 3 reuse an identical earlier resolvent
+        std::size_t leaf = kNone;  ///< closing leaf index when terminal
+        Lit pivot;
+        std::unique_ptr<SimNode> left, right;
+      };
+      std::set<std::vector<Lit>> simulated;  // tree resolvents seen so far
+      const auto contains = [](const std::vector<Lit>& lits, Lit l) {
+        return std::binary_search(lits.begin(), lits.end(), l);
+      };
+      const std::function<std::unique_ptr<SimNode>(std::size_t, std::size_t,
+                                                   std::size_t)>
+          simulate = [&](std::size_t lo, std::size_t hi, std::size_t depth) {
+            auto node = std::make_unique<SimNode>();
+            if (hi - lo == 1 && cubes[lo].size() == depth) {
+              node->leaf = closedBy[lo] != kNone ? closedBy[lo] : lo;
+              node->lits = conflictBySource[node->leaf];
+              return node;
+            }
+            std::size_t mid = lo;
+            while (mid < hi && cubes[mid][depth].negated()) ++mid;
+            if (mid == lo || mid == hi) {
+              throw std::logic_error(
+                  "cubeCheck: cube set is not a binary split tree");
+            }
+            node->left = simulate(lo, mid, depth + 1);
+            node->right = simulate(mid, hi, depth + 1);
+            // The left subtree assumed the split variable false, so its
+            // clause carries the positive pivot.
+            node->pivot = Lit::make(cubes[lo][depth].var(), false);
+            if (!contains(node->left->lits, node->pivot)) {
+              node->take = 1;
+              node->lits = node->left->lits;
+              return node;
+            }
+            if (!contains(node->right->lits, ~node->pivot)) {
+              node->take = 2;
+              node->lits = node->right->lits;
+              return node;
+            }
+            for (const Lit l : node->left->lits) {
+              if (l != node->pivot) node->lits.push_back(l);
+            }
+            for (const Lit l : node->right->lits) {
+              if (l != ~node->pivot) node->lits.push_back(l);
+            }
+            std::sort(node->lits.begin(), node->lits.end());
+            node->lits.erase(
+                std::unique(node->lits.begin(), node->lits.end()),
+                node->lits.end());
+            node->take = simulated.insert(node->lits).second ? 0 : 3;
+            return node;
+          };
+      const std::unique_ptr<SimNode> tree = simulate(0, n, 0);
+
+      std::vector<ClauseId> splicedLeaf(n, proof::kNoClause);
+      std::map<std::vector<Lit>, ClauseId> builtByContent;
+      const std::function<ClauseId(const SimNode&)> materialize =
+          [&](const SimNode& node) -> ClauseId {
+        if (node.leaf != kNone) {
+          if (splicedLeaf[node.leaf] == proof::kNoClause) {
+            splicedLeaf[node.leaf] = splice(node.leaf);
+          }
+          return splicedLeaf[node.leaf];
+        }
+        switch (node.take) {
+          case 1:
+            return materialize(*node.left);
+          case 2:
+            return materialize(*node.right);
+          case 3:
+            return builtByContent.at(node.lits);
+          default: {
+            const ClauseId left = materialize(*node.left);
+            const ClauseId right = materialize(*node.right);
+            const ClauseId id = composer.resolveOn(left, right, node.pivot);
+            builtByContent.emplace(node.lits, id);
+            return id;
+          }
+        }
+      };
+      root = materialize(*tree);
+    }
+    if (!log->lits(root).empty()) {
+      throw std::logic_error(
+          "cubeCheck: composed proof root is not the empty clause");
+    }
+    log->setRoot(root);
+    result.proofRoot = root;
+    result.stats.proofStructuralSteps = composer.derivedSteps();
+  }
+  result.stats.totalSeconds = total.seconds();
+  return result;
+}
+
+}  // namespace cp::cec

@@ -1,0 +1,50 @@
+// Cube-and-conquer CEC: split a hard miter over a cut of internal
+// variables, refute every cube independently (in parallel), and compose
+// the per-cube refutations into a single resolution proof of the miter.
+//
+// Why it is sound. Each cube job solves the *unchanged* miter CNF under
+// the cube's literals as assumptions, so an UNSAT job yields a
+// failed-assumption clause C — a subset of the negated cube literals —
+// whose resolution cone rests only on miter CNF axioms. Rebasing that cone
+// into the composed log (ProofComposer::spliceExternalRefutation) gives a
+// clause of the composed proof per cube. The cubes are the leaves of a
+// binary split tree (cube/cubes.h); resolving each inner node's two child
+// clauses on its split variable removes that variable from the resolvent,
+// so by induction the clause at any subtree subsumes the negation of the
+// subtree's assumption prefix — and the root, whose prefix is empty,
+// subsumes the empty clause, i.e. *is* the empty clause. Missing pivots
+// (a refutation that never needed some deeper assumption, or a pruned
+// cube reusing an earlier cube's clause) only make clauses stronger; the
+// subsumption-aware resolveOn folds them through unchanged.
+//
+// Trust chain. The composed log's axioms are exactly the miter CNF (the
+// ProofComposer constructor registers them), so the standard certification
+// pipeline applies unchanged: proof::checkProof with the miter axiom
+// validator, the streaming CPF certifier, and the lint gate all accept a
+// cube-composed proof like any other. Nothing about cube selection,
+// scheduling or pruning is trusted — a bug there yields a proof that
+// fails to check, never a wrong accepted verdict.
+//
+// Determinism. Cut selection and cube generation run up front on the
+// coordinator; jobs are reconciled strictly in cube (DFS leaf) order and
+// speculative results of short-circuited jobs are discarded, so verdict,
+// statistics, counterexample and composed proof are bit-identical at
+// every parallel.numThreads (see cube/solve.h).
+#pragma once
+
+#include "src/aig/aig.h"
+#include "src/cec/result.h"
+#include "src/cube/options.h"
+#include "src/proof/proof_log.h"
+
+namespace cp::cec {
+
+/// Runs the cube-and-conquer engine on a one-output miter. With `log`
+/// attached, an equivalent verdict carries the single composed resolution
+/// proof (root in the result and in the log) plus per-cube proof spans in
+/// CecResult::cubeSpans. An inequivalent verdict carries the
+/// counterexample of the first SAT cube in cube order.
+CecResult cubeCheck(const aig::Aig& miter, const cube::CubeOptions& options,
+                    proof::ProofLog* log = nullptr);
+
+}  // namespace cp::cec

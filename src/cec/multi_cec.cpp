@@ -45,7 +45,7 @@ OutputVerdict checkOneOutput(const aig::Aig& left, const aig::Aig& right,
   if (options.certify) {
     EngineConfig config;
     config.engine = sweep;
-    config.check.numThreads = options.effectiveCheckThreads();
+    config.check = options.check;
     const CertifyReport report = checkMiter(miter, config);
     out.verdict = report.cec.verdict;
     out.counterexample = report.cec.counterexample;
@@ -171,7 +171,7 @@ MultiCecResult checkOutputs(const aig::Aig& left, const aig::Aig& right,
   std::uint32_t firstDifference = kNoDifference;
 
   const std::size_t workers =
-      ThreadPool::resolveThreads(options.effectiveThreads());
+      ThreadPool::resolveThreads(options.parallel.numThreads);
   if (workers <= 1) {
     // Exact legacy path: strictly sequential, stops at the first
     // SAT-found difference when asked.

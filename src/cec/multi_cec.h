@@ -9,7 +9,7 @@
 // The per-output phase is embarrassingly parallel — each surviving output
 // gets an independent miter, sweep, and proof check with no shared mutable
 // state — so the driver optionally fans it out over a thread pool
-// (MultiCecOptions::numThreads). Results are merged deterministically in
+// (MultiCecOptions::parallel). Results are merged deterministically in
 // output order: verdicts, counterexamples, proof-check outcomes and all
 // counting statistics are bit-identical to the sequential driver at every
 // worker count (wall-clock timing fields are the only nondeterministic
@@ -44,10 +44,6 @@ struct OutputVerdict {
   double seconds = 0.0;                ///< wall time of this output's task
 };
 
-// Spans the struct so the synthesized constructors (which touch the
-// deprecated aliases) compile warning-free under -Werror; uses of the
-// aliases elsewhere still warn.
-CP_SUPPRESS_DEPRECATED_BEGIN
 struct MultiCecOptions {
   SweepOptions sweep;
   /// Produce and check a resolution proof per equivalent output.
@@ -69,34 +65,12 @@ struct MultiCecOptions {
   /// EngineConfig::check); orthogonal to `parallel`, so a run can
   /// parallelize across outputs and within each proof check at once.
   cp::ParallelOptions check;
-  /// Deprecated alias for parallel.numThreads; honored when it is set and
-  /// parallel.numThreads is left at its default. Removed next release.
-  [[deprecated("use MultiCecOptions.parallel.numThreads")]]
-  std::uint32_t numThreads = 1;
-  /// Deprecated alias for check.numThreads; same one-release rule.
-  [[deprecated("use MultiCecOptions.check.numThreads")]]
-  std::uint32_t checkThreads = 1;
-
-  /// Thread counts after alias resolution.
-  std::uint32_t effectiveThreads() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(parallel.numThreads, 1u,
-                                                 numThreads, 1u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
-  std::uint32_t effectiveCheckThreads() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(check.numThreads, 1u,
-                                                 checkThreads, 1u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
 
   /// Empty when the configuration is usable, else a uniform "field: got
   /// value, allowed range" message (see base/options.h). Covers this
   /// struct and the nested sweep options.
   std::string validate() const;
 };
-CP_SUPPRESS_DEPRECATED_END
 
 struct MultiCecResult {
   /// kEquivalent iff every output pair is equivalent; kInequivalent if

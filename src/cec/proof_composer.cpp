@@ -366,4 +366,91 @@ SplicedEquivalence ProofComposer::spliceCanonicalProof(
   }
 }
 
+ClauseId ProofComposer::spliceExternalRefutation(const proof::ProofLog& sub,
+                                                 ClauseId target) {
+  if (!log_) return kNoClause;
+  if (target == kNoClause || target > sub.numClauses()) {
+    throw std::logic_error(
+        "spliceExternalRefutation: target is not a clause of the external "
+        "log");
+  }
+  if (axiomByContent_.empty()) {
+    const auto index = [&](ClauseId id) {
+      if (id == kNoClause) return;
+      std::vector<Lit> key(log_->lits(id).begin(), log_->lits(id).end());
+      std::sort(key.begin(), key.end());
+      key.erase(std::unique(key.begin(), key.end()), key.end());
+      axiomByContent_.try_emplace(std::move(key), id);
+    };
+    index(constUnit_);
+    for (std::uint32_t n = 0; n < original_.numNodes(); ++n) {
+      if (!original_.isAnd(n)) continue;
+      for (int k = 0; k < 3; ++k) index(andAxioms_[n][k]);
+    }
+    index(outputUnit_);
+  }
+
+  const auto sortedUnique = [&](ClauseId id) {
+    std::vector<Lit> key(sub.lits(id).begin(), sub.lits(id).end());
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    return key;
+  };
+  /// Image of a cone clause in this log, by content before structure: an
+  /// identical axiom or previously recorded clause short-circuits the
+  /// whole subtree below it.
+  std::map<ClauseId, ClauseId> image;
+  const auto lookup = [&](const std::vector<Lit>& key) {
+    if (const auto it = axiomByContent_.find(key);
+        it != axiomByContent_.end()) {
+      return it->second;
+    }
+    if (const auto it = resolventMemo_.find(key);
+        it != resolventMemo_.end()) {
+      return it->second;
+    }
+    return kNoClause;
+  };
+
+  std::vector<std::pair<ClauseId, bool>> stack{{target, false}};
+  while (!stack.empty()) {
+    const auto [id, childrenDone] = stack.back();
+    stack.pop_back();
+    if (image.count(id) != 0) continue;
+    const std::vector<Lit> key = sortedUnique(id);
+    if (!childrenDone) {
+      if (const ClauseId hit = lookup(key); hit != kNoClause) {
+        image.emplace(id, hit);
+        continue;
+      }
+      if (sub.isAxiom(id)) {
+        throw std::logic_error(
+            "spliceExternalRefutation: external axiom is not a clause of "
+            "the miter CNF: " +
+            sat::toDimacs(std::vector<Lit>(sub.lits(id).begin(),
+                                           sub.lits(id).end())));
+      }
+      stack.push_back({id, true});
+      for (const ClauseId c : sub.chain(id)) {
+        if (image.count(c) == 0) stack.push_back({c, false});
+      }
+      continue;
+    }
+    // A sibling's cone may have recorded this content since the first
+    // visit; re-recording it would leave a duplicate derived clause.
+    if (const ClauseId hit = lookup(key); hit != kNoClause) {
+      image.emplace(id, hit);
+      continue;
+    }
+    std::vector<ClauseId> chain;
+    chain.reserve(sub.chainLength(id));
+    for (const ClauseId c : sub.chain(id)) chain.push_back(image.at(c));
+    ++derivedSteps_;
+    const ClauseId rebased = log_->addDerived(sub.lits(id), chain);
+    resolventMemo_.emplace(key, rebased);
+    image.emplace(id, rebased);
+  }
+  return image.at(target);
+}
+
 }  // namespace cp::cec

@@ -185,6 +185,21 @@ class ProofComposer {
       const aig::Aig& fraig, std::span<const std::uint32_t> canon,
       std::span<const std::array<proof::ClauseId, 3>> dClauses);
 
+  /// Rebases the resolution cone of `target` from an external proof log
+  /// (a cube job's private log, whose axioms are clauses of this miter's
+  /// own CNF) into this log and returns the image of `target`. Axioms are
+  /// matched *by literal content* against the axioms registered by the
+  /// constructor — positional matching would be unsound, since the
+  /// solver's root-level simplification interleaves derived clauses with
+  /// axiom registration — and derived clauses are re-recorded with
+  /// remapped chains. Every re-recorded clause goes through the same
+  /// content memo as resolveOn, so overlapping cones from different cube
+  /// jobs share clauses instead of duplicating them (which keeps the
+  /// composed log lint-clean). Throws std::logic_error when the cone uses
+  /// an axiom that is not a clause of this miter's CNF.
+  proof::ClauseId spliceExternalRefutation(const proof::ProofLog& sub,
+                                           proof::ClauseId target);
+
  private:
   sat::Lit varLit(std::uint32_t node) const {
     return sat::Lit::make(static_cast<sat::Var>(node), false);
@@ -211,6 +226,11 @@ class ProofComposer {
   /// derivations (e.g. two cached lemma chains sharing sub-cones) reuse
   /// one clause instead of duplicating it.
   std::map<std::vector<sat::Lit>, proof::ClauseId> resolventMemo_;
+
+  /// Sorted-unique literal set -> id of a constructor-registered axiom.
+  /// Built lazily by spliceExternalRefutation for content-matching the
+  /// axioms of external (per-cube) logs.
+  std::map<std::vector<sat::Lit>, proof::ClauseId> axiomByContent_;
 };
 
 }  // namespace cp::cec

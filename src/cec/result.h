@@ -52,6 +52,18 @@ struct CecStats {
   std::uint64_t lemmaCacheMisses = 0;  ///< cacheable pairs not yet cached
   std::uint64_t lemmaCacheSpliced = 0; ///< cached proofs replayed into log
 
+  // Cube-and-conquer engine (all zero unless the cube engine ran; see
+  // cec/cube_cec.h). The solver counters above aggregate exactly the
+  // reconciled cube jobs, so they are thread-count invariant.
+  std::uint64_t cubeCutSize = 0;        ///< split variables in the chosen cut
+  std::uint64_t cubeCount = 0;          ///< cubes in the covering set
+  std::uint64_t cubesRefuted = 0;       ///< cubes closed by their own solve
+  std::uint64_t cubesPruned = 0;        ///< cubes closed by an earlier
+                                        ///  refutation (subset prune or a
+                                        ///  global short-circuit)
+  std::uint64_t cubeProbeConflicts = 0; ///< conflicts spent probing (cut
+                                        ///  scoring + lookahead splitting)
+
   // Batched parallel sweeping (all zero unless
   // SweepOptions.parallel.batchSize > 0; see cec/sweeping_cec.h).
   std::uint64_t sweepBatches = 0;       ///< candidate batches flushed
@@ -66,6 +78,20 @@ struct CecStats {
   double totalSeconds = 0.0;
 };
 
+/// Layout of one cube's contribution to a composed proof: which clause-id
+/// range of the log its rebased refutation occupies. Produced by the cube
+/// engine, carried into the CPF container's optional cube-metadata section
+/// (proofio::ProofWriter::setCubeSpans) so `proof_tools info` can show the
+/// per-cube anatomy of a composed certificate.
+struct CubeProofSpan {
+  std::uint32_t literals = 0;  ///< cube width (assumption literal count)
+  /// First/last clause id the splice appended for this cube; both
+  /// kNoClause when it appended nothing (a pruned cube, or a refutation
+  /// fully shared with an earlier cube's cone).
+  proof::ClauseId firstClause = proof::kNoClause;
+  proof::ClauseId lastClause = proof::kNoClause;
+};
+
 struct CecResult {
   Verdict verdict = Verdict::kUndecided;
   /// For kInequivalent: a primary-input assignment on which the circuits
@@ -74,6 +100,9 @@ struct CecResult {
   /// Proof id of the empty clause when a proof log was attached and the
   /// verdict is kEquivalent.
   proof::ClauseId proofRoot = proof::kNoClause;
+  /// Cube engine only: per-cube proof spans in cube (enqueue) order of a
+  /// composed equivalence proof; empty otherwise.
+  std::vector<CubeProofSpan> cubeSpans;
   CecStats stats;
 };
 

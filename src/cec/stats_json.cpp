@@ -20,6 +20,11 @@ void writeCecStats(const CecStats& stats, json::Writer& writer) {
       .field("counterexamples", stats.counterexamples)
       .field("sweptNodes", stats.sweptNodes)
       .field("proofStructuralSteps", stats.proofStructuralSteps)
+      .field("cubeCutSize", stats.cubeCutSize)
+      .field("cubeCount", stats.cubeCount)
+      .field("cubesRefuted", stats.cubesRefuted)
+      .field("cubesPruned", stats.cubesPruned)
+      .field("cubeProbeConflicts", stats.cubeProbeConflicts)
       .field("lemmaCacheHits", stats.lemmaCacheHits)
       .field("lemmaCacheMisses", stats.lemmaCacheMisses)
       .field("lemmaCacheSpliced", stats.lemmaCacheSpliced)

@@ -1,0 +1,94 @@
+#include "src/cube/cubes.h"
+
+#include <memory>
+
+#include "src/cnf/cnf.h"
+#include "src/sat/solver.h"
+
+namespace cp::cube {
+namespace {
+
+/// The assumption literal of the branch assigning `var` := `value`.
+sat::Lit branchLit(std::uint32_t var, bool value) {
+  return sat::Lit::make(static_cast<sat::Var>(var), !value);
+}
+
+class Generator {
+ public:
+  Generator(const aig::Aig& miter, std::span<const std::uint32_t> cut,
+            const CubeOptions& options)
+      : cut_(cut), options_(options) {
+    // A split turns one leaf into two, so starting from the root's single
+    // leaf at most maxCubes - 1 splits are allowed.
+    splitsLeft_ = options.maxCubes - 1;
+    lookahead_ = cut.size() > options.fullEnumerationLimit;
+    if (lookahead_) {
+      probe_ = std::make_unique<sat::Solver>(nullptr, options.solver);
+      const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+      for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)probe_->newVar();
+      bool consistent = true;
+      for (const auto& clause : cnf.clauses) {
+        consistent = probe_->addClause(clause);
+        if (!consistent) break;
+      }
+      if (!consistent) probe_.reset();  // root refuted: one empty cube
+    }
+  }
+
+  CubeSet run() {
+    expand(0);
+    set_.cubes.shrink_to_fit();
+    return std::move(set_);
+  }
+
+ private:
+  void expand(std::size_t depth) {
+    if (depth < cut_.size() && splitsLeft_ > 0 && wantSplit()) {
+      --splitsLeft_;
+      prefix_.push_back(branchLit(cut_[depth], false));
+      expand(depth + 1);
+      prefix_.back() = branchLit(cut_[depth], true);
+      expand(depth + 1);
+      prefix_.pop_back();
+      return;
+    }
+    set_.cubes.push_back(prefix_);
+  }
+
+  /// Lookahead: split only while the prefix is still undecided under the
+  /// probe budget. Full enumeration always splits.
+  bool wantSplit() {
+    if (!lookahead_) return true;
+    if (probe_ == nullptr) return false;
+    const std::uint64_t before = probe_->stats().conflicts;
+    const sat::LBool status =
+        probe_->solveLimited(prefix_, options_.probeConflictBudget);
+    set_.probeConflicts += probe_->stats().conflicts - before;
+    if (status == sat::LBool::kUndef) return true;
+    // Refuted: the real job re-derives it cheaply with proof logging.
+    // Satisfied: the whole run is about to short-circuit on this leaf.
+    if (status == sat::LBool::kFalse) ++set_.probeRefuted;
+    // Splitting below depth 0 is moot once the probe solver itself went
+    // globally inconsistent.
+    if (!probe_->okay()) probe_.reset();
+    return false;
+  }
+
+  std::span<const std::uint32_t> cut_;
+  const CubeOptions& options_;
+  std::vector<sat::Lit> prefix_;
+  std::unique_ptr<sat::Solver> probe_;
+  CubeSet set_;
+  std::uint32_t splitsLeft_ = 0;
+  bool lookahead_ = false;
+};
+
+}  // namespace
+
+CubeSet generateCubes(const aig::Aig& miter,
+                      std::span<const std::uint32_t> cut,
+                      const CubeOptions& options) {
+  return Generator(miter, cut, options).run();
+}
+
+}  // namespace cp::cube

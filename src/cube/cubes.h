@@ -1,0 +1,45 @@
+// Cube generation: expand a cut into the covering cube set.
+//
+// A *cube* is a conjunction of cut literals — one assumption-constrained
+// SAT job. The generator produces the leaves of a binary split tree over
+// the cut variables in fixed order (depth d splits on cut[d], false branch
+// before true branch), so the set covers the whole assignment space of the
+// cut and the proof composer can rebuild the tree from the leaf list alone
+// when it chains the per-cube refutations back into the empty clause.
+//
+// Small cuts (<= CubeOptions::fullEnumerationLimit) expand into the full
+// 2^k enumeration. Larger cuts use lookahead splitting: every tree node is
+// probed with a bounded SAT call under its prefix, and a prefix the probe
+// already refutes (or satisfies) becomes a leaf instead of being split
+// further — the refutation-heavy regions of the space get shallow, cheap
+// cubes and the hard regions get the deep splits. The cube count is capped
+// by CubeOptions::maxCubes. All of it is deterministic (DFS order, one
+// probe solver, fixed budgets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/cube/options.h"
+#include "src/sat/types.h"
+
+namespace cp::cube {
+
+struct CubeSet {
+  /// The covering cubes in DFS (false-branch-first) leaf order. Cube i's
+  /// literals assign cut[0], cut[1], ... up to the leaf's depth; a literal
+  /// with negated() true assigns its variable false.
+  std::vector<std::vector<sat::Lit>> cubes;
+  std::uint64_t probeConflicts = 0;  ///< conflicts spent in lookahead probes
+  std::uint32_t probeRefuted = 0;    ///< leaves closed early by a probe
+};
+
+/// Expands `cut` into a covering cube set for `miter`. An empty cut yields
+/// the single empty cube (the monolithic degenerate case).
+CubeSet generateCubes(const aig::Aig& miter,
+                      std::span<const std::uint32_t> cut,
+                      const CubeOptions& options);
+
+}  // namespace cp::cube

@@ -1,0 +1,147 @@
+#include "src/cube/cut_select.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/base/rng.h"
+#include "src/cnf/cnf.h"
+#include "src/sat/solver.h"
+#include "src/sim/simulator.h"
+
+namespace cp::cube {
+namespace {
+
+/// Validated pass-through of an explicit cut override.
+CutSelection explicitCut(const aig::Aig& miter,
+                         const std::vector<std::uint32_t>& nodes) {
+  if (nodes.size() > CubeOptions::kMaxCutSize) {
+    throw std::invalid_argument(
+        "selectCut: explicit cut wider than CubeOptions::kMaxCutSize");
+  }
+  std::vector<std::uint32_t> seen;
+  for (const std::uint32_t n : nodes) {
+    if (n == 0 || n >= miter.numNodes()) {
+      throw std::invalid_argument(
+          "selectCut: explicit cut node out of range (the constant node and "
+          "indices >= numNodes cannot be split on)");
+    }
+    if (std::find(seen.begin(), seen.end(), n) != seen.end()) {
+      throw std::invalid_argument("selectCut: duplicate explicit cut node");
+    }
+    seen.push_back(n);
+  }
+  CutSelection selection;
+  selection.cut = nodes;
+  return selection;
+}
+
+/// Binary entropy of the node's sampled truth probability.
+double signatureEntropy(const sim::AigSimulator& sim, std::uint32_t node) {
+  std::uint64_t ones = 0;
+  for (const std::uint64_t w : sim.values(node)) ones += std::popcount(w);
+  const double p = double(ones) / double(sim.numPatterns());
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+}  // namespace
+
+CutSelection selectCut(const aig::Aig& miter, const CubeOptions& options) {
+  if (!options.cutNodes.empty()) return explicitCut(miter, options.cutNodes);
+  CutSelection selection;
+  if (options.cutSize == 0) return selection;
+
+  // Static ranking: signature entropy weighted by a saturating
+  // transitive-fanin cone estimate (the overcount of shared cones is fine,
+  // it is monotone in the true cone size).
+  sim::AigSimulator sim(miter, options.simWords);
+  Rng rng(options.simSeed);
+  sim.randomizeInputs(rng);
+  sim.simulate();
+
+  constexpr std::uint32_t kConeCap = 1u << 20;
+  std::vector<std::uint32_t> coneEst(miter.numNodes(), 0);
+  const std::uint32_t outputNode = miter.output(0).node();
+  struct Candidate {
+    std::uint32_t node = 0;
+    double staticScore = 0.0;
+    std::uint64_t probeMin = 0;  ///< min over both phases of probe conflicts
+  };
+  std::vector<Candidate> candidates;
+  for (std::uint32_t n = 1; n < miter.numNodes(); ++n) {
+    if (!miter.isAnd(n)) continue;
+    const std::uint64_t est = std::uint64_t(1) +
+                              coneEst[miter.fanin0(n).node()] +
+                              coneEst[miter.fanin1(n).node()];
+    coneEst[n] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        est, kConeCap));
+    if (n == outputNode) continue;  // pinned by the output-assertion unit
+    const double entropy = signatureEntropy(sim, n);
+    if (entropy == 0.0) continue;  // constant under sampling: no split value
+    candidates.push_back(
+        {n, entropy * std::log2(2.0 + double(coneEst[n])), 0});
+  }
+  if (candidates.empty()) return selection;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.staticScore != b.staticScore) {
+                return a.staticScore > b.staticScore;
+              }
+              return a.node < b.node;
+            });
+  if (candidates.size() > options.probePool) {
+    candidates.resize(options.probePool);
+  }
+
+  // Probe the short-listed candidates on one throwaway (non-logging)
+  // solver: a candidate that stays hard under both single-literal
+  // assumptions is a balanced splitter; a phase the probe refutes means
+  // the variable is effectively forced. Probes run in ranking order, so
+  // the learned-clause carry-over between them is deterministic.
+  sat::Solver solver(nullptr, options.solver);
+  const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+  for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
+  bool consistent = true;
+  for (const auto& clause : cnf.clauses) {
+    consistent = solver.addClause(clause);
+    if (!consistent) break;
+  }
+  if (consistent) {
+    for (Candidate& c : candidates) {
+      std::uint64_t perPhase[2] = {0, 0};
+      for (int phase = 0; phase < 2; ++phase) {
+        const std::uint64_t before = solver.stats().conflicts;
+        const sat::Lit assumption =
+            sat::Lit::make(static_cast<sat::Var>(c.node), phase == 0);
+        (void)solver.solveLimited({&assumption, 1},
+                                  options.probeConflictBudget);
+        perPhase[phase] = solver.stats().conflicts - before;
+        if (!solver.okay()) break;  // probe refuted the formula outright
+      }
+      c.probeMin = std::min(perPhase[0], perPhase[1]);
+      ++selection.candidatesProbed;
+      if (!solver.okay()) break;
+    }
+    selection.probeConflicts = solver.stats().conflicts;
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.probeMin != b.probeMin) return a.probeMin > b.probeMin;
+              if (a.staticScore != b.staticScore) {
+                return a.staticScore > b.staticScore;
+              }
+              return a.node < b.node;
+            });
+  const std::size_t width =
+      std::min<std::size_t>(options.cutSize, candidates.size());
+  selection.cut.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    selection.cut.push_back(candidates[i].node);
+  }
+  return selection;
+}
+
+}  // namespace cp::cube

@@ -1,0 +1,48 @@
+// Cut selection for cube-and-conquer: pick the internal variables a hard
+// miter is split on.
+//
+// A good split variable divides the *hard* part of the search space in
+// two. The selector estimates that with a three-stage hardness model:
+//
+//   1. Signature entropy. Random simulation (sim::AigSimulator) gives every
+//      node a bit signature; a node whose signature is balanced (entropy
+//      near 1) partitions the sampled input space evenly, while a heavily
+//      biased node leaves almost everything on one side.
+//   2. Cone size. Assigning a variable with a large transitive-fanin cone
+//      simplifies more of the formula per split, so the static score is
+//      entropy weighted by the (saturating) cone-size estimate.
+//   3. Conflict-budget probing. The top statically ranked candidates are
+//      probed with bounded sat::Solver::solveLimited calls under each
+//      single-literal assumption. Candidates that stay hard under *both*
+//      phases are the balanced splitters; a phase refuted within the probe
+//      budget means the variable is effectively forced and splitting on it
+//      buys nothing.
+//
+// Everything here is deterministic: a fixed simulation seed, total
+// tie-broken orderings, and probes issued in ranking order on one solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/cube/options.h"
+
+namespace cp::cube {
+
+struct CutSelection {
+  /// Chosen split variables (AIG node indices, identity node->var
+  /// mapping), in split order: cubes assign cut[0] first.
+  std::vector<std::uint32_t> cut;
+  std::uint64_t probeConflicts = 0;    ///< conflicts spent probing
+  std::uint32_t candidatesProbed = 0;  ///< candidates that reached probing
+};
+
+/// Selects a cut of up to options.cutSize split variables for `miter`
+/// (one-output, as everywhere). An explicit options.cutNodes override is
+/// returned as-is after validation (std::invalid_argument on the constant
+/// node, an out-of-range index or a duplicate). Returns an empty cut when
+/// cutSize is 0 or the miter has no eligible candidate.
+CutSelection selectCut(const aig::Aig& miter, const CubeOptions& options);
+
+}  // namespace cp::cube

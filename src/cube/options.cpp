@@ -1,0 +1,50 @@
+#include "src/cube/options.h"
+
+namespace cp::cube {
+
+std::string CubeOptions::validate() const {
+  if (std::string e = parallel.validate("CubeOptions.parallel"); !e.empty()) {
+    return e;
+  }
+  if (cutSize > kMaxCutSize) {
+    return optionError("CubeOptions.cutSize", optionValue(cutSize), "[0, 24]",
+                       "the composition tree is one resolution level per cut "
+                       "variable and the covering set is capped by maxCubes, "
+                       "so wider cuts only add dead split levels");
+  }
+  if (simWords == 0) {
+    return optionError("CubeOptions.simWords", optionValue(simWords),
+                       "[1, 4294967295]",
+                       "cut scoring reads simulation signatures, which need "
+                       "at least one 64-bit pattern word");
+  }
+  if (probePool == 0) {
+    return optionError("CubeOptions.probePool", optionValue(probePool),
+                       "[1, 4294967295]",
+                       "cut selection must probe at least one candidate to "
+                       "rank anything");
+  }
+  if (probeConflictBudget < 0) {
+    return optionError("CubeOptions.probeConflictBudget",
+                       optionValue(probeConflictBudget), "[0, 2^63)",
+                       "probes exist to bound work, so an unlimited probe "
+                       "budget would let a single candidate absorb the whole "
+                       "solve");
+  }
+  if (fullEnumerationLimit > kMaxFullEnumeration) {
+    return optionError("CubeOptions.fullEnumerationLimit",
+                       optionValue(fullEnumerationLimit), "[0, 16]",
+                       "full enumeration expands 2^k cubes without probing, "
+                       "so larger k would explode the cube set");
+  }
+  if (maxCubes == 0 || maxCubes > kMaxMaxCubes) {
+    return optionError("CubeOptions.maxCubes", optionValue(maxCubes),
+                       "[1, 1048576]",
+                       "every cube holds a private solver and proof log "
+                       "until reconciliation, so the covering set must stay "
+                       "bounded");
+  }
+  return solver.validate();
+}
+
+}  // namespace cp::cube

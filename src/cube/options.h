@@ -1,0 +1,104 @@
+// Options of the cube-and-conquer engine.
+//
+// This header is deliberately free of any cec dependency: the engine entry
+// point lives in cec/cube_cec.h, but the option struct must be includable
+// from cec/certify.h (where it is one alternative of EngineOptions) without
+// creating a cycle between cp_cec and cp_cube.
+//
+// The engine splits a hard miter over a small *cut* of internal variables,
+// solves one assumption-constrained SAT job per cube of the covering cube
+// set, and composes the per-cube refutations into a single resolution
+// proof. The knobs below configure the three phases — cut selection, cube
+// generation, parallel cube solving — and follow the library-wide
+// validate() contract (base/options.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/options.h"
+#include "src/sat/solver.h"
+
+namespace cp {
+class ThreadPool;
+}
+
+namespace cp::cube {
+
+struct CubeOptions {
+  /// Cube-solving fan-out: parallel.numThreads workers drain the cube jobs
+  /// (0 = one per hardware thread, 1 = the exact sequential path).
+  /// Verdict, statistics and the composed proof are bit-identical at every
+  /// thread count: cubes are enqueued in a fixed DFS order and reconciled
+  /// strictly in that order, with speculative results of short-circuited
+  /// jobs discarded. batchSize is ignored; deterministic is accepted for
+  /// uniformity (the engine is always deterministic).
+  cp::ParallelOptions parallel;
+
+  /// Optional shared pool (non-owning; must outlive the call). Null lets
+  /// the engine spin up a transient pool when parallel.numThreads != 1;
+  /// the batch service injects its pool here so job-level and cube-level
+  /// parallelism share one worker budget (the coordinator helps drain, so
+  /// this composes even on a single-worker pool).
+  cp::ThreadPool* pool = nullptr;
+
+  /// Split variables to select (0 = no cut: the engine degenerates to a
+  /// single monolithic SAT call over one empty cube). Ignored when
+  /// cutNodes names an explicit cut.
+  std::uint32_t cutSize = 5;
+
+  /// Explicit cut override: AIG node indices to split on, in split order.
+  /// Empty = select automatically (signature entropy + cone size + probe
+  /// ranking). Any node except the constant node is accepted — including
+  /// primary inputs — so tests can force degenerate cuts.
+  std::vector<std::uint32_t> cutNodes;
+
+  /// Random-simulation signature width (64 * simWords patterns) used by
+  /// cut scoring.
+  std::uint32_t simWords = 4;
+
+  /// Seed of the signature simulation.
+  std::uint64_t simSeed = 0xC0FFEE123456789ULL;
+
+  /// Candidates (top of the static ranking) probed with bounded SAT calls
+  /// before the final cut is chosen.
+  std::uint32_t probePool = 16;
+
+  /// Conflict budget of each probing solveLimited call (cut scoring and
+  /// lookahead cube splitting). 0 = propagation-only probes.
+  std::int64_t probeConflictBudget = 64;
+
+  /// Cuts up to this size expand into the full 2^k cube enumeration;
+  /// larger cuts use lookahead splitting, where a leaf refuted by a probe
+  /// is not split further.
+  std::uint32_t fullEnumerationLimit = 6;
+
+  /// Hard bound on the covering cube set produced by lookahead splitting.
+  std::uint32_t maxCubes = 1u << 12;
+
+  /// Conflict budget of each final per-cube solve; any negative value =
+  /// unlimited, 0 = propagation-only (well-defined, like
+  /// MonolithicOptions::conflictBudget).
+  std::int64_t cubeConflictBudget = -1;
+
+  /// Per-cube solver configuration (every cube job constructs its own
+  /// solver from this).
+  sat::SolverOptions solver;
+
+  /// Largest accepted cut (2^k cube trees beyond this are never useful:
+  /// the covering set is bounded by maxCubes anyway and the composition
+  /// tree depth equals the cut size).
+  static constexpr std::uint32_t kMaxCutSize = 24;
+  /// Largest accepted fullEnumerationLimit (full enumeration is 2^k cubes).
+  static constexpr std::uint32_t kMaxFullEnumeration = 16;
+  /// Largest accepted maxCubes.
+  static constexpr std::uint32_t kMaxMaxCubes = 1u << 20;
+
+  /// Empty when the configuration is usable, else the uniform
+  /// "CubeOptions.<field>: got <value>, allowed <range> (<why>)" message
+  /// (see base/options.h).
+  std::string validate() const;
+};
+
+}  // namespace cp::cube

@@ -1,0 +1,119 @@
+#include "src/cube/solve.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "src/base/thread_pool.h"
+#include "src/cnf/cnf.h"
+
+namespace cp::cube {
+namespace {
+
+/// Pool priority of cube-drain helpers; matches the in-sweep batch level
+/// so nested engine work always outranks freshly admitted service jobs.
+constexpr int kCubePriority = 1 << 20;
+
+/// True when the job at `index` ends the run for every later cube: a model
+/// of the miter, or a refutation that did not depend on the cube at all
+/// (empty failed-assumption subset — the empty clause subsumes them all).
+bool shortCircuits(const CubeResult& r) {
+  return r.status == sat::LBool::kTrue ||
+         (r.status == sat::LBool::kFalse && r.conflict.empty());
+}
+
+}  // namespace
+
+std::vector<CubeResult> solveCubes(const aig::Aig& miter,
+                                   std::span<const std::vector<sat::Lit>> cubes,
+                                   const CubeOptions& options, bool logging) {
+  const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+  std::vector<CubeResult> results(cubes.size());
+
+  // Lowest index whose result short-circuits the run. Monotonically
+  // decreasing, and only indices *above* it may skip: the final value is
+  // the minimum over all short-circuiting cubes, which is a pure function
+  // of the inputs, so the set of results the in-order reconciliation reads
+  // (everything up to that index) is identical at every thread count.
+  std::atomic<std::size_t> stopIndex{cubes.size()};
+
+  const auto runJob = [&](std::size_t i) {
+    CubeResult& r = results[i];
+    if (i > stopIndex.load(std::memory_order_relaxed)) {
+      r.skipped = true;
+      return;
+    }
+    if (logging) r.log = std::make_unique<proof::ProofLog>();
+    sat::Solver solver(r.log.get(), options.solver);
+    for (std::uint32_t v = 0; v < cnf.numVars; ++v) (void)solver.newVar();
+    bool consistent = true;
+    for (const auto& clause : cnf.clauses) {
+      consistent = solver.addClause(clause);
+      if (!consistent) break;
+    }
+    r.status = consistent
+                   ? solver.solveLimited(cubes[i], options.cubeConflictBudget)
+                   : sat::LBool::kFalse;
+    r.stats = solver.stats();
+    if (r.status == sat::LBool::kTrue) {
+      r.model.resize(miter.numInputs());
+      for (std::uint32_t k = 0; k < miter.numInputs(); ++k) {
+        r.model[k] =
+            solver.modelValue(static_cast<sat::Var>(miter.inputNode(k))) ==
+            sat::LBool::kTrue;
+      }
+    } else if (r.status == sat::LBool::kFalse) {
+      r.conflict = solver.conflictClause();
+      r.conflictId = solver.conflictProofId();
+    }
+    if (shortCircuits(r)) {
+      std::size_t current = stopIndex.load(std::memory_order_relaxed);
+      while (i < current &&
+             !stopIndex.compare_exchange_weak(current, i,
+                                              std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  const std::size_t workers = ThreadPool::resolveThreads(
+      options.parallel.numThreads);
+  if (workers <= 1 || cubes.size() <= 1) {
+    for (std::size_t i = 0; i < cubes.size(); ++i) runJob(i);
+    return results;
+  }
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> ownedPool;
+  if (pool == nullptr) {
+    // The coordinator drains too, so a transient pool only needs helpers.
+    ownedPool = std::make_unique<ThreadPool>(workers - 1);
+    pool = ownedPool.get();
+  }
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cubes.size()) return;
+      runJob(i);
+    }
+  };
+  const std::size_t numHelpers =
+      std::min<std::size_t>(workers - 1, cubes.size() - 1);
+  std::vector<std::pair<ThreadPool::TaskHandle, std::future<void>>> helpers;
+  helpers.reserve(numHelpers);
+  for (std::size_t h = 0; h < numHelpers; ++h) {
+    try {
+      helpers.push_back(pool->submitCancellable(kCubePriority, drain));
+    } catch (const std::runtime_error&) {
+      break;  // pool shutting down: the coordinator finishes alone
+    }
+  }
+  drain();
+  for (auto& [handle, future] : helpers) {
+    if (!pool->tryCancel(handle)) future.get();
+  }
+  return results;
+}
+
+}  // namespace cp::cube

@@ -1,0 +1,63 @@
+// Parallel cube solving: one assumption-constrained SAT job per cube.
+//
+// Every job owns a private solver and (when proof logging is requested) a
+// private proof log, so jobs share no mutable state and the set runs on
+// any number of cp::ThreadPool workers. Determinism contract: results are
+// a pure function of (miter, cubes, options) — the caller reconciles them
+// strictly in cube order, so verdicts, statistics and composed proofs are
+// bit-identical at every thread count. The only cross-job communication
+// is a monotonically *decreasing* short-circuit index: once the job at
+// index i ends the whole run (a satisfying assignment, or a refutation
+// that did not need its cube at all), jobs with larger indices may skip
+// work — and only those, so every result the in-order reconciliation can
+// reach is always present. Which speculative jobs got skipped varies with
+// timing; their results are discarded either way.
+//
+// The drain uses the library's coordinator-help pattern (see
+// cec/sweeping_cec.cpp): the coordinator shares an atomic work index with
+// pool helpers, drains the queue itself, and cancels helpers that never
+// started — deadlock-free even when the caller already runs as a pool
+// task of the same pool (the batch service injects its pool here).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/cube/options.h"
+#include "src/proof/proof_log.h"
+#include "src/sat/solver.h"
+
+namespace cp::cube {
+
+/// Outcome of one cube job.
+struct CubeResult {
+  sat::LBool status = sat::LBool::kUndef;
+  /// Job short-circuited before solving (status stays kUndef, no log).
+  bool skipped = false;
+  /// For status == kFalse: the failed-assumption clause (a subset of the
+  /// negated cube literals) and its id in `log`. Both empty/the empty
+  /// clause after a *global* refutation that did not need the cube — the
+  /// empty clause subsumes every other cube's refutation, so the whole
+  /// run short-circuits on it.
+  std::vector<sat::Lit> conflict;
+  proof::ClauseId conflictId = proof::kNoClause;
+  /// The job's private proof log (null when solving without proofs or
+  /// when skipped). Kept alive so the composer can rebase the refutation
+  /// cone into the composed log.
+  std::unique_ptr<proof::ProofLog> log;
+  /// For status == kTrue: the miter-input assignment of the model.
+  std::vector<bool> model;
+  sat::SolverStats stats;  ///< this job's solver statistics
+};
+
+/// Solves every cube of `cubes` against `miter`'s output-asserted CNF and
+/// returns the results in cube order. `logging` attaches a private proof
+/// log to every job. Parallelism per options.parallel / options.pool.
+std::vector<CubeResult> solveCubes(const aig::Aig& miter,
+                                   std::span<const std::vector<sat::Lit>> cubes,
+                                   const CubeOptions& options, bool logging);
+
+}  // namespace cp::cube

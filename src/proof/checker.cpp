@@ -206,7 +206,7 @@ CheckResult checkProof(const ProofLog& log, const CheckOptions& options) {
       options.onlyNeeded ? reachableFromRoot(log) : std::vector<char>();
 
   const std::size_t workers =
-      ThreadPool::resolveThreads(options.effectiveThreads());
+      ThreadPool::resolveThreads(options.parallel.numThreads);
   if (workers <= 1) return checkSequential(log, options, needed);
   return checkParallel(log, options, needed, workers);
 }

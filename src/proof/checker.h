@@ -17,7 +17,7 @@
 // checks are independent (each reads only recorded literals and chains, and
 // writes nothing), so the checker can validate axioms and replay the
 // derived clauses level by chain depth in concurrent batches
-// (CheckOptions::numThreads). Exactly the same resolutions are checked in
+// (CheckOptions::parallel). Exactly the same resolutions are checked in
 // every configuration; the verdict, error text, failing clause and
 // counters are bit-identical at every thread count.
 #pragma once
@@ -32,10 +32,6 @@
 
 namespace cp::proof {
 
-// Spans the struct so the synthesized constructors (which touch the
-// deprecated alias) compile warning-free under -Werror; uses of the alias
-// elsewhere still warn.
-CP_SUPPRESS_DEPRECATED_BEGIN
 struct CheckOptions {
   /// Require the log to declare an empty-clause root (refutation check).
   bool requireRoot = true;
@@ -56,25 +52,11 @@ struct CheckOptions {
   /// sequential replay would hit first. batchSize/deterministic are
   /// ignored here (the checker is deterministic unconditionally).
   cp::ParallelOptions parallel;
-  /// Deprecated alias for parallel.numThreads; honored when it is set and
-  /// parallel.numThreads is left at its default. Removed next release.
-  [[deprecated("use CheckOptions.parallel.numThreads")]]
-  std::uint32_t numThreads = 1;
-
-  /// The thread count after alias resolution; every consumer of this
-  /// struct (including checkProof itself) reads it through here.
-  std::uint32_t effectiveThreads() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(parallel.numThreads, 1u,
-                                                 numThreads, 1u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
 
   /// Empty when the configuration is usable, else a uniform
   /// "field: got value, allowed range" message (see base/options.h).
   std::string validate() const;
 };
-CP_SUPPRESS_DEPRECATED_END
 
 struct CheckResult {
   bool ok = false;

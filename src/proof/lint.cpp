@@ -252,7 +252,7 @@ void lint(const ProofLog& log, diag::DiagnosticSink& sink,
   const LintIndex index = buildIndex(log);
   const std::vector<std::vector<ClauseId>> levels = levelizeByChainDepth(log);
   const std::size_t workers =
-      ThreadPool::resolveThreads(options.effectiveThreads());
+      ThreadPool::resolveThreads(options.parallel.numThreads);
 
   std::vector<ClauseFindings> findings(n + 1);
   std::vector<std::atomic<ClauseId>> subsumer(n + 1);

@@ -42,36 +42,19 @@
 
 namespace cp::proof {
 
-// Spans the struct so the synthesized constructors (which touch the
-// deprecated alias) compile warning-free under -Werror; uses of the alias
-// elsewhere still warn.
-CP_SUPPRESS_DEPRECATED_BEGIN
 struct ProofLintOptions {
   /// Worker threads (parallel.numThreads): 0 = one per hardware thread,
   /// 1 = sequential. Findings are bit-identical at every count;
   /// batchSize/deterministic are ignored here.
   cp::ParallelOptions parallel;
-  /// Deprecated alias for parallel.numThreads; honored when it is set and
-  /// parallel.numThreads is left at its default. Removed next release.
-  [[deprecated("use ProofLintOptions.parallel.numThreads")]]
-  std::uint32_t numThreads = 1;
   /// Subsumption (P106) is the only super-linear pass; large proofs can
   /// switch it off.
   bool checkSubsumption = true;
-
-  /// The thread count after alias resolution.
-  std::uint32_t effectiveThreads() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(parallel.numThreads, 1u,
-                                                 numThreads, 1u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
 
   /// Empty when usable, else the uniform "field: got value, allowed range"
   /// message (see base/options.h).
   std::string validate() const;
 };
-CP_SUPPRESS_DEPRECATED_END
 
 /// Emits every P1xx finding of `log` into `sink`: per-clause findings in
 /// ascending clause id (fixed code order within a clause), then the

@@ -37,6 +37,21 @@ inline constexpr char kFooterTag = 'F';
 /// Header length in bytes: magic + version:u32 + flags:u32.
 inline constexpr std::uint64_t kHeaderBytes = 12;
 
+/// One cube's entry in the footer's *optional* cube-metadata section,
+/// written for proofs composed by the cube-and-conquer engine: how wide
+/// the cube was and which clause-id range its rebased refutation occupies.
+/// The section follows the chunk index inside the CRC-protected footer
+/// payload (count:u32, then literals:u32 + firstClause:u32 + lastClause:u32
+/// per cube) and is simply absent in containers written by other engines —
+/// a reader detects it by the footer payload extending past the chunk
+/// index. Purely descriptive: checkers ignore it, so a wrong span can
+/// misdescribe a proof's anatomy but never make a bad proof check.
+struct CubeSpan {
+  std::uint32_t literals = 0;     ///< cube width (assumption literals)
+  std::uint32_t firstClause = 0;  ///< first spliced clause id (0 = none)
+  std::uint32_t lastClause = 0;   ///< last spliced clause id (0 = none)
+};
+
 /// CRC32 (IEEE 802.3: reflected polynomial 0xEDB88320, init and final xor
 /// 0xFFFFFFFF). `seed` chains: crc32(b, crc32(a)) == crc32(a ++ b).
 std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);

@@ -135,6 +135,22 @@ Footer parseFooter(std::istream& in) {
     expectedFirst += entry.clauseCount;
     footer.index.push_back(entry);
   }
+  // Optional cube-metadata section (cube-and-conquer composed proofs).
+  if (!r.atEnd()) {
+    const std::uint32_t cubeCount = r.u32();
+    footer.info.cubeSpans.reserve(cubeCount);
+    for (std::uint32_t i = 0; i < cubeCount; ++i) {
+      CubeSpan span;
+      span.literals = r.u32();
+      span.firstClause = r.u32();
+      span.lastClause = r.u32();
+      if (span.firstClause > span.lastClause ||
+          span.lastClause > footer.info.clauses) {
+        corrupt("cube span is not a clause range of this container");
+      }
+      footer.info.cubeSpans.push_back(span);
+    }
+  }
   if (!r.atEnd()) corrupt("footer has trailing bytes");
   if (expectedFirst - 1 != footer.info.clauses) {
     corrupt("chunk index clause total disagrees with footer count");

@@ -31,8 +31,11 @@
 #include <span>
 #include <string>
 
+#include <vector>
+
 #include "src/proof/checker.h"
 #include "src/proof/proof_log.h"
+#include "src/proofio/format.h"
 
 namespace cp::proofio {
 
@@ -46,6 +49,10 @@ struct ContainerInfo {
   std::uint64_t chunks = 0;
   std::uint64_t bytes = 0;  ///< total container size
   proof::ClauseId root = proof::kNoClause;
+  /// Optional cube-metadata section: one entry per cube of a
+  /// cube-and-conquer composed proof, in cube order; empty for containers
+  /// written by every other engine (see format.h).
+  std::vector<CubeSpan> cubeSpans;
 };
 
 /// Parses and CRC-verifies only the footer. `in` must be seekable.

@@ -117,6 +117,13 @@ void ProofWriter::onDelete(proof::ClauseId id) {
 
 void ProofWriter::onRoot(proof::ClauseId id) { stats_.root = id; }
 
+void ProofWriter::setCubeSpans(std::span<const CubeSpan> spans) {
+  if (finished_) {
+    throw std::logic_error("ProofWriter: setCubeSpans after finish()");
+  }
+  cubeSpans_.assign(spans.begin(), spans.end());
+}
+
 void ProofWriter::flushChunk() {
   if (chunkClauses_ == 0) return;
   frame_.clear();
@@ -173,6 +180,16 @@ const WriteStats& ProofWriter::finish() {
     putU64(payload, entry.offset);
     putU32(payload, entry.firstClause);
     putU32(payload, entry.clauseCount);
+  }
+  // Optional cube-metadata section (see format.h): present only for
+  // cube-composed proofs, covered by the footer CRC like everything else.
+  if (!cubeSpans_.empty()) {
+    putU32(payload, static_cast<std::uint32_t>(cubeSpans_.size()));
+    for (const CubeSpan& span : cubeSpans_) {
+      putU32(payload, span.literals);
+      putU32(payload, span.firstClause);
+      putU32(payload, span.lastClause);
+    }
   }
   frame_.clear();
   putU8(frame_, static_cast<std::uint8_t>(kFooterTag));

@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/proof/proof_log.h"
+#include "src/proofio/format.h"
 
 namespace cp::proofio {
 
@@ -68,6 +70,12 @@ class ProofWriter final : public proof::ProofSink {
   void onDelete(proof::ClauseId id) override;
   void onRoot(proof::ClauseId id) override;
 
+  /// Declares the per-cube proof layout of a cube-composed proof; it is
+  /// written into the footer's optional cube-metadata section (see
+  /// format.h). Must be called before finish(); an empty span list keeps
+  /// the section absent, which is what every non-cube engine gets.
+  void setCubeSpans(std::span<const CubeSpan> spans);
+
   /// Flushes the open chunk and writes the last-use section and the footer.
   /// Idempotent; after the first call further clauses are rejected. Throws
   /// std::runtime_error if the underlying stream failed.
@@ -100,6 +108,7 @@ class ProofWriter final : public proof::ProofSink {
     std::uint32_t clauseCount;
   };
   std::vector<ChunkIndexEntry> index_;
+  std::vector<CubeSpan> cubeSpans_;
 
   std::uint64_t offset_ = 0;  ///< bytes emitted so far
   WriteStats stats_;

@@ -856,8 +856,12 @@ LBool Solver::search(std::int64_t conflictBudget,
       if (decisionLevel() == 0) {
         recordLevelZeroConflict(confl);
         ok_ = false;
+        // A level-0 conflict refutes the formula outright, so the failed
+        // assumption subset is empty and its proof is the empty clause —
+        // which subsumes every assumption clause a caller could ask about
+        // (the cube engine's early-pruning relies on this).
         finalConflict_.clear();
-        finalConflictId_ = proof::kNoClause;
+        finalConflictId_ = emptyClauseId_;
         return LBool::kFalse;
       }
 
@@ -995,7 +999,10 @@ LBool Solver::solveLimited(std::span<const Lit> assumptions,
                            std::int64_t conflictBudget) {
   model_.clear();
   finalConflict_.clear();
-  finalConflictId_ = proof::kNoClause;
+  // A solver already proved globally UNSAT reports the empty
+  // failed-assumption subset with the empty clause as its proof, exactly
+  // like the level-0-conflict path inside search().
+  finalConflictId_ = ok_ ? proof::kNoClause : emptyClauseId_;
   if (!ok_) return LBool::kFalse;
 
   const std::vector<Lit> assump(assumptions.begin(), assumptions.end());

@@ -187,11 +187,15 @@ class Solver {
 
   /// After UNSAT under assumptions: a clause over negated failed
   /// assumptions (possibly with the propagated literal first). Empty after
-  /// a global (assumption-free) UNSAT.
+  /// a *global* UNSAT — a conflict at decision level 0, with or without
+  /// assumptions pending — which reports the empty failed-assumption
+  /// subset: no assumption was needed, and the empty clause subsumes every
+  /// assumption clause (the cube engine prunes on exactly this).
   const std::vector<Lit>& conflictClause() const { return finalConflict_; }
 
-  /// Proof id of conflictClause(), or kNoClause when not logging or when
-  /// the conflict was tautological (complementary assumptions).
+  /// Proof id of conflictClause(): the derived failed-assumption clause,
+  /// or emptyClauseId() after a global UNSAT. kNoClause when not logging
+  /// or when the conflict was tautological (complementary assumptions).
   proof::ClauseId conflictProofId() const { return finalConflictId_; }
 
   /// Proof id of the empty clause after a global UNSAT (also set as the

@@ -70,7 +70,7 @@ bool isTerminal(JobState s) {
 BatchService::BatchService(const ServiceOptions& options)
     : options_(validated(options)),
       paused_(options.startPaused),
-      pool_(ThreadPool::resolveThreads(options.effectiveWorkers())) {
+      pool_(ThreadPool::resolveThreads(options.parallel.numThreads)) {
   if (options_.enableLemmaCache) {
     cache_ = std::make_unique<cec::LemmaCache>(options_.lemmaCache);
   }
@@ -220,6 +220,12 @@ void BatchService::runJob(std::uint64_t id) {
     // so this composes even on a single-worker pool).
     if (sweep->pool == nullptr) {
       sweep->pool = &pool_;
+    }
+  } else if (auto* cube = std::get_if<cube::CubeOptions>(&config.engine)) {
+    // Same composition for cube jobs: their cube fan-out drains on the
+    // service pool instead of oversubscribing with a private one.
+    if (cube->pool == nullptr) {
+      cube->pool = &pool_;
     }
   }
 

@@ -44,10 +44,6 @@
 
 namespace cp::serve {
 
-// Spans the struct so the synthesized constructors (which touch the
-// deprecated alias) compile warning-free under -Werror; uses of the alias
-// elsewhere still warn.
-CP_SUPPRESS_DEPRECATED_BEGIN
 struct ServiceOptions {
   /// Pool sizing (parallel.numThreads workers; ThreadPool::resolveThreads:
   /// 0 = one per hardware thread). The same pool serves job-level tasks
@@ -57,18 +53,6 @@ struct ServiceOptions {
   /// batchSize/deterministic of this block are ignored (configure in-sweep
   /// batching per job on the engine options).
   cp::ParallelOptions parallel{.numThreads = 0};
-  /// Deprecated alias for parallel.numThreads; honored when it is set and
-  /// parallel.numThreads is left at its default. Removed next release.
-  [[deprecated("use ServiceOptions.parallel.numThreads")]]
-  std::size_t numWorkers = 0;
-
-  /// The worker count after alias resolution.
-  std::uint32_t effectiveWorkers() const {
-    CP_SUPPRESS_DEPRECATED_BEGIN
-    return resolveDeprecatedAlias<std::uint32_t>(
-        parallel.numThreads, 0u, static_cast<std::uint32_t>(numWorkers), 0u);
-    CP_SUPPRESS_DEPRECATED_END
-  }
 
   /// Admission bound: submit() blocks (and trySubmit() fails) while this
   /// many jobs are queued and not yet running.
@@ -88,7 +72,6 @@ struct ServiceOptions {
   /// message (see base/options.h).
   std::string validate() const;
 };
-CP_SUPPRESS_DEPRECATED_END
 
 /// Aggregate service counters; a consistent snapshot at one instant.
 struct ServiceMetrics {

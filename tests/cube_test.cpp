@@ -1,0 +1,297 @@
+// Cube-and-conquer engine tests (src/cube/, cec/cube_cec.h): the verdict,
+// every aggregated statistic and the composed proof's exact bytes must be
+// identical at 1, 2, 4 and 8 threads; a SAT cube must surface a
+// counterexample that replays on the original miter at every thread
+// count; and an equivalent verdict's single composed proof must pass the
+// in-memory checker, the streaming CPF certifier and lint --werror.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/base/diagnostics.h"
+#include "src/base/rng.h"
+#include "src/cec/certify.h"
+#include "src/cec/cube_cec.h"
+#include "src/cec/miter.h"
+#include "src/cube/cut_select.h"
+#include "src/cube/cubes.h"
+#include "src/gen/arith.h"
+#include "src/proof/checker.h"
+#include "src/proof/lint.h"
+#include "src/proofio/reader.h"
+#include "src/proofio/writer.h"
+#include "src/rewrite/restructure.h"
+#include "src/serve/service.h"
+
+namespace cp::cec {
+namespace {
+
+using aig::Aig;
+
+cube::CubeOptions cubeConfig(std::uint32_t threads,
+                             std::uint32_t cutSize = 4) {
+  cube::CubeOptions options;
+  options.parallel.numThreads = threads;
+  options.cutSize = cutSize;
+  return options;
+}
+
+Aig restructuredAluMiter() {
+  const Aig base = gen::aluVariantA(3);
+  Rng rng(7);
+  return buildMiter(base, rewrite::restructure(base, rng));
+}
+
+Aig mulMiter(std::uint32_t bits) {
+  return buildMiter(gen::arrayMultiplier(bits), gen::wallaceMultiplier(bits));
+}
+
+/// One engine run with full proof capture: verdict + stats + the exact
+/// CPF bytes of the raw composed log (the determinism unit of account).
+struct RunCapture {
+  CecResult result;
+  std::string proofBytes;
+};
+
+RunCapture runCube(const Aig& miter, const cube::CubeOptions& options) {
+  proof::ProofLog log;
+  RunCapture capture;
+  capture.result = cubeCheck(miter, options, &log);
+  if (capture.result.verdict == Verdict::kEquivalent) {
+    std::ostringstream out;
+    proofio::writeProof(log, out);
+    capture.proofBytes = out.str();
+  }
+  return capture;
+}
+
+/// Every thread-count-invariant statistic (totalSeconds is wall time and
+/// exempt by design; everything else must match bit for bit).
+void expectSameStats(const CecStats& a, const CecStats& b,
+                     std::uint32_t threads) {
+  EXPECT_EQ(a.satCalls, b.satCalls) << threads << " threads";
+  EXPECT_EQ(a.satUnsat, b.satUnsat) << threads << " threads";
+  EXPECT_EQ(a.satSat, b.satSat) << threads << " threads";
+  EXPECT_EQ(a.satUndecided, b.satUndecided) << threads << " threads";
+  EXPECT_EQ(a.conflicts, b.conflicts) << threads << " threads";
+  EXPECT_EQ(a.propagations, b.propagations) << threads << " threads";
+  EXPECT_EQ(a.restarts, b.restarts) << threads << " threads";
+  EXPECT_EQ(a.proofStructuralSteps, b.proofStructuralSteps)
+      << threads << " threads";
+  EXPECT_EQ(a.cubeCutSize, b.cubeCutSize) << threads << " threads";
+  EXPECT_EQ(a.cubeCount, b.cubeCount) << threads << " threads";
+  EXPECT_EQ(a.cubesRefuted, b.cubesRefuted) << threads << " threads";
+  EXPECT_EQ(a.cubesPruned, b.cubesPruned) << threads << " threads";
+  EXPECT_EQ(a.cubeProbeConflicts, b.cubeProbeConflicts)
+      << threads << " threads";
+}
+
+void expectDeterministicAcrossThreadCounts(const Aig& miter,
+                                           std::uint32_t cutSize) {
+  const RunCapture baseline = runCube(miter, cubeConfig(1, cutSize));
+  ASSERT_EQ(baseline.result.verdict, Verdict::kEquivalent);
+  ASSERT_GT(baseline.result.stats.cubeCount, 1u);
+  ASSERT_FALSE(baseline.proofBytes.empty());
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const RunCapture run = runCube(miter, cubeConfig(threads, cutSize));
+    EXPECT_EQ(run.result.verdict, baseline.result.verdict)
+        << threads << " threads";
+    expectSameStats(run.result.stats, baseline.result.stats, threads);
+    EXPECT_EQ(run.proofBytes, baseline.proofBytes) << threads << " threads";
+  }
+}
+
+TEST(CubeOptions, ValidationNamesTheField) {
+  cube::CubeOptions options;
+  EXPECT_TRUE(options.validate().empty());
+
+  options = cube::CubeOptions();
+  options.cutSize = cube::CubeOptions::kMaxCutSize + 1;
+  EXPECT_NE(options.validate().find("CubeOptions.cutSize"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.simWords = 0;
+  EXPECT_NE(options.validate().find("CubeOptions.simWords"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.probePool = 0;
+  EXPECT_NE(options.validate().find("CubeOptions.probePool"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.probeConflictBudget = -1;
+  EXPECT_NE(options.validate().find("CubeOptions.probeConflictBudget"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.fullEnumerationLimit = cube::CubeOptions::kMaxFullEnumeration + 1;
+  EXPECT_NE(options.validate().find("CubeOptions.fullEnumerationLimit"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.maxCubes = 0;
+  EXPECT_NE(options.validate().find("CubeOptions.maxCubes"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.maxCubes = cube::CubeOptions::kMaxMaxCubes + 1;
+  EXPECT_NE(options.validate().find("CubeOptions.maxCubes"),
+            std::string::npos)
+      << options.validate();
+
+  options = cube::CubeOptions();
+  options.parallel.batchSize = ParallelOptions::kMaxBatchSize + 1;
+  EXPECT_NE(options.validate().find("CubeOptions.parallel"),
+            std::string::npos)
+      << options.validate();
+}
+
+TEST(CubeCut, ExplicitCutIsValidated) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(3),
+                               gen::carryLookaheadAdder(3, 3));
+  cube::CubeOptions options;
+  options.cutNodes = {miter.numNodes()};  // out of range
+  EXPECT_THROW((void)cube::selectCut(miter, options), std::invalid_argument);
+  options.cutNodes = {0};  // the constant node has no split value
+  EXPECT_THROW((void)cube::selectCut(miter, options), std::invalid_argument);
+  options.cutNodes = {1, 1};  // duplicate
+  EXPECT_THROW((void)cube::selectCut(miter, options), std::invalid_argument);
+}
+
+TEST(CubeEngine, DeterministicAcrossThreadCountsOnRestructuredAlu) {
+  expectDeterministicAcrossThreadCounts(restructuredAluMiter(),
+                                        /*cutSize=*/4);
+}
+
+TEST(CubeEngine, DeterministicAcrossThreadCountsOnMul5) {
+  expectDeterministicAcrossThreadCounts(mulMiter(5), /*cutSize=*/5);
+}
+
+TEST(CubeEngine, SatCubeCounterexampleReplaysAtEveryThreadCount) {
+  Aig broken = gen::wallaceMultiplier(4);
+  broken.setOutput(2, !broken.output(2));
+  const Aig miter = buildMiter(gen::arrayMultiplier(4), broken);
+  std::vector<bool> firstModel;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    EngineConfig config;
+    config.engine = cubeConfig(threads);
+    // checkMiter itself replays the counterexample on the miter and
+    // throws if it does not set the output; re-check here regardless.
+    const CertifyReport report = checkMiter(miter, config);
+    ASSERT_EQ(report.cec.verdict, Verdict::kInequivalent)
+        << threads << " threads";
+    EXPECT_TRUE(miter.evaluate(report.cec.counterexample).at(0))
+        << threads << " threads";
+    if (firstModel.empty()) {
+      firstModel = report.cec.counterexample;
+    } else {
+      EXPECT_EQ(report.cec.counterexample, firstModel)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(CubeEngine, ComposedProofPassesAllCheckersOnMul6) {
+  const Aig miter = mulMiter(6);
+  const std::string path = ::testing::TempDir() + "/cube_mul6.cpf";
+  EngineConfig config;
+  config.engine = cubeConfig(/*threads=*/0, /*cutSize=*/5);
+  config.proofPath = path;
+  proof::ProofLog raw;
+  const CertifyReport report = checkMiter(miter, config, &raw);
+  ASSERT_EQ(report.cec.verdict, Verdict::kEquivalent);
+  // proofChecked covers checkProof on the trimmed log (with the miter's
+  // CNF as the only admissible axioms) AND the streaming disk replay.
+  EXPECT_TRUE(report.proofChecked) << report.check.error;
+  EXPECT_TRUE(report.disk.written);
+  EXPECT_TRUE(report.disk.checked) << report.disk.check.error;
+
+  // The raw composed log must already be lint-clean under --werror: the
+  // composer's memo-dedup means no P103, and every spliced clause sits in
+  // the root's cone, so no P102 dead weight either.
+  diag::DiagnosticCollector lintSink;
+  proof::lint(raw, lintSink);
+  EXPECT_FALSE(lintSink.failed(/*werror=*/true));
+
+  // The container's footer carries the cube-metadata section: one span
+  // per cube, each a valid clause range of this container.
+  ASSERT_FALSE(report.cec.cubeSpans.empty());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  const proofio::ContainerInfo info = proofio::probeProof(in);
+  ASSERT_EQ(info.cubeSpans.size(), report.cec.cubeSpans.size());
+  for (std::size_t i = 0; i < info.cubeSpans.size(); ++i) {
+    EXPECT_EQ(info.cubeSpans[i].literals, report.cec.cubeSpans[i].literals);
+    EXPECT_EQ(info.cubeSpans[i].firstClause,
+              report.cec.cubeSpans[i].firstClause);
+    EXPECT_LE(info.cubeSpans[i].lastClause, info.clauses);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CubeEngine, EmptyCutFallsBackToOneMonolithicCube) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(4),
+                               gen::carrySelectAdder(4, 2));
+  const RunCapture run = runCube(miter, cubeConfig(2, /*cutSize=*/0));
+  EXPECT_EQ(run.result.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(run.result.stats.cubeCutSize, 0u);
+  EXPECT_EQ(run.result.stats.cubeCount, 1u);
+  EXPECT_FALSE(run.proofBytes.empty());
+}
+
+TEST(CubeEngine, ExplicitCutOfPrimaryInputsComposes) {
+  const Aig miter = buildMiter(gen::rippleCarryAdder(4),
+                               gen::carrySkipAdder(4, 2));
+  cube::CubeOptions options = cubeConfig(4);
+  // Splitting on primary inputs is the classic (if naive) cube shape:
+  // three inputs, eight fully enumerated cubes.
+  options.cutNodes = {miter.inputNode(0), miter.inputNode(1),
+                      miter.inputNode(2)};
+  proof::ProofLog log;
+  const CecResult result = cubeCheck(miter, options, &log);
+  EXPECT_EQ(result.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(result.stats.cubeCutSize, 3u);
+  EXPECT_EQ(result.stats.cubeCount, 8u);
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(CubeEngine, TinyBudgetYieldsUndecidedWithoutAnInvalidProof) {
+  cube::CubeOptions options = cubeConfig(2);
+  options.cubeConflictBudget = 1;
+  options.probeConflictBudget = 0;
+  const RunCapture run = runCube(mulMiter(5), options);
+  EXPECT_EQ(run.result.verdict, Verdict::kUndecided);
+  EXPECT_GT(run.result.stats.satUndecided, 0u);
+  EXPECT_TRUE(run.proofBytes.empty());  // no proof claimed, none emitted
+}
+
+TEST(CubeEngine, BatchServiceRoutesCubeJobs) {
+  serve::ServiceOptions serviceOptions;
+  serviceOptions.parallel.numThreads = 2;
+  serve::BatchService service(serviceOptions);
+  serve::JobOptions jobOptions;
+  cube::CubeOptions engine = cubeConfig(/*threads=*/2);
+  jobOptions.engine.engine = engine;  // service injects its own pool
+  const std::uint64_t id = service.submit(serve::makePairJob(
+      "cube_alu", gen::aluVariantA(3), gen::aluVariantB(3), jobOptions));
+  const serve::JobRecord record = service.wait(id);
+  ASSERT_EQ(record.state, serve::JobState::kDone) << record.error;
+  EXPECT_EQ(record.verdict, Verdict::kEquivalent);
+  EXPECT_TRUE(record.proofChecked);
+  EXPECT_GT(record.stats.cubeCount, 0u);
+}
+
+}  // namespace
+}  // namespace cp::cec

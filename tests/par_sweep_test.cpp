@@ -355,58 +355,5 @@ TEST(ParSweepValidation, NanDeadlineIsRejected) {
   EXPECT_TRUE(options.validate().empty());
 }
 
-// ---- deprecated aliases: one release of backward compatibility ---------
-// These deliberately touch the deprecated fields.
-
-CP_SUPPRESS_DEPRECATED_BEGIN
-
-TEST(DeprecatedAliases, OldFieldWinsOnlyWhenNewFieldIsDefault) {
-  proof::CheckOptions check;
-  check.numThreads = 3;
-  EXPECT_EQ(check.effectiveThreads(), 3u);
-  check.parallel.numThreads = 2;
-  EXPECT_EQ(check.effectiveThreads(), 2u);  // new field wins once set
-
-  proof::ProofLintOptions lintOptions;
-  lintOptions.numThreads = 5;
-  EXPECT_EQ(lintOptions.effectiveThreads(), 5u);
-
-  EngineConfig config;
-  config.checkThreads = 4;
-  EXPECT_EQ(config.effectiveCheckThreads(), 4u);
-  config.check.numThreads = 0;
-  EXPECT_EQ(config.effectiveCheckThreads(), 0u);
-
-  MultiCecOptions multi;
-  multi.numThreads = 6;
-  multi.checkThreads = 7;
-  EXPECT_EQ(multi.effectiveThreads(), 6u);
-  EXPECT_EQ(multi.effectiveCheckThreads(), 7u);
-  multi.parallel.numThreads = 2;
-  EXPECT_EQ(multi.effectiveThreads(), 2u);
-
-  serve::ServiceOptions service;
-  service.numWorkers = 3;
-  EXPECT_EQ(service.effectiveWorkers(), 3u);
-  service.parallel.numThreads = 1;
-  EXPECT_EQ(service.effectiveWorkers(), 1u);
-}
-
-TEST(DeprecatedAliases, OldCheckerThreadFieldStillDrivesTheReplay) {
-  // End to end through checkProof: the alias must still select the
-  // parallel replay until it is removed.
-  const Aig miter = buildMiter(gen::rippleCarryAdder(4),
-                               gen::sklanskyAdder(4));
-  proof::ProofLog log;
-  const CecResult result = sweepingCheck(miter, SweepOptions(), &log);
-  ASSERT_EQ(result.verdict, Verdict::kEquivalent);
-  proof::CheckOptions options;
-  options.axiomValidator = miterAxiomValidator(miter);
-  options.numThreads = 4;
-  EXPECT_TRUE(proof::checkProof(log, options).ok);
-}
-
-CP_SUPPRESS_DEPRECATED_END
-
 }  // namespace
 }  // namespace cp::cec

@@ -97,6 +97,39 @@ TEST(SatProof, AssumptionConflictProducesLemma) {
   EXPECT_TRUE(check.ok) << check.error;
 }
 
+TEST(SatProof, GlobalConflictUnderAssumptionsReportsEmptySubset) {
+  // The four clauses over {a, b} are unsatisfiable on their own, so a
+  // solve under an unrelated assumption must fail at decision level 0.
+  // Contract: the failed-assumption subset is EMPTY (no assumption is to
+  // blame) and the reported proof id is the derived empty clause itself —
+  // the strongest possible certificate, and the one cube-and-conquer
+  // relies on to close every remaining cube at once.
+  proof::ProofLog log;
+  Solver s(&log);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var unrelated = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({pos(a), neg(b)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(a), neg(b)}));
+  const Lit assume[1] = {pos(unrelated)};
+  ASSERT_EQ(s.solve(std::span<const Lit>(assume, 1)), LBool::kFalse);
+  EXPECT_TRUE(s.conflictClause().empty());
+  ASSERT_NE(s.emptyClauseId(), proof::kNoClause);
+  EXPECT_EQ(s.conflictProofId(), s.emptyClauseId());
+  ASSERT_TRUE(log.hasRoot());
+  EXPECT_TRUE(log.lits(log.root()).empty());
+  const auto check = proof::checkProof(log);
+  EXPECT_TRUE(check.ok) << check.error;
+  // Later limited calls on the now-inconsistent solver keep reporting the
+  // same empty-clause certificate instead of a stale assumption subset.
+  ASSERT_EQ(s.solveLimited(std::span<const Lit>(assume, 1), 10),
+            LBool::kFalse);
+  EXPECT_TRUE(s.conflictClause().empty());
+  EXPECT_EQ(s.conflictProofId(), s.emptyClauseId());
+}
+
 TEST(SatProof, LemmasAccumulateAcrossIncrementalCalls) {
   proof::ProofLog log;
   Solver s(&log);

@@ -413,6 +413,8 @@ TEST(ServeJson, RecordRendersOneCompactObject) {
             "\"satMerges\":0,\"structuralMerges\":0,\"foldMerges\":0,"
             "\"skippedCandidates\":0,\"counterexamples\":0,"
             "\"sweptNodes\":0,\"proofStructuralSteps\":0,"
+            "\"cubeCutSize\":0,\"cubeCount\":0,\"cubesRefuted\":0,"
+            "\"cubesPruned\":0,\"cubeProbeConflicts\":0,"
             "\"lemmaCacheHits\":1,\"lemmaCacheMisses\":2,"
             "\"lemmaCacheSpliced\":1,\"sweepBatches\":0,"
             "\"batchedPairs\":0,\"lemmaBufferHits\":0,"
