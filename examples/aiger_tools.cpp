@@ -6,13 +6,21 @@
 //   $ ./aiger_tools convert  a.aig out.aag        (binary <-> ascii by extension)
 //   $ ./aiger_tools miter    a.aig b.aig out.aig
 //   $ ./aiger_tools cec      a.aig b.aig          (certified sweeping CEC)
+//   $ ./aiger_tools encode   a.aig out.cnf [K]    (Tseitin CNF, output K asserted)
+//
+// `encode` writes the identity-mapped Tseitin encoding of the file as
+// read, so `proof_tools audit a.aig out.cnf` audits it clause-for-clause.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/aig/aiger.h"
 #include "src/cec/certify.h"
 #include "src/cec/miter.h"
+#include "src/cnf/cnf.h"
+#include "src/cnf/dimacs.h"
 
 namespace {
 
@@ -27,8 +35,9 @@ int usage(const char* argv0) {
                "  %s stats   a.aig\n"
                "  %s convert a.aig out.aag\n"
                "  %s miter   a.aig b.aig out.aig\n"
-               "  %s cec     a.aig b.aig\n",
-               argv0, argv0, argv0, argv0);
+               "  %s cec     a.aig b.aig\n"
+               "  %s encode  a.aig out.cnf [outputIndex]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -67,6 +76,22 @@ int main(int argc, char** argv) {
       cp::aig::writeAigerFile(miter, argv[4],
                               /*binary=*/!endsWith(argv[4], ".aag"));
       std::printf("wrote %s (%s)\n", argv[4], miter.statsString().c_str());
+      return 0;
+    }
+    if (command == "encode" && (argc == 4 || argc == 5)) {
+      const cp::aig::Aig g = cp::aig::readAigerFile(argv[2]);
+      const std::size_t outputIndex =
+          argc == 5 ? static_cast<std::size_t>(std::atoi(argv[4])) : 0;
+      const cp::cnf::Cnf cnf = cp::cnf::encodeWithOutputAssertion(g,
+                                                                  outputIndex);
+      std::ofstream out(argv[3]);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[3]);
+        return 2;
+      }
+      cp::cnf::writeDimacs(cnf, out);
+      std::printf("wrote %s (%u vars, %zu clauses, output %zu asserted)\n",
+                  argv[3], cnf.numVars, cnf.clauses.size(), outputIndex);
       return 0;
     }
     if (command == "cec" && argc == 4) {

@@ -22,17 +22,22 @@
 // as one JSON object on stderr (or --metrics-out FILE).
 //
 // Flags: --workers N (0 = hardware), --queue N (admission bound),
-// --engine sweep|mono|cube (route every job through that engine; `cube`
-// is the cube-and-conquer engine for hard miters — its per-cube fan-out
-// shares the service's worker pool), --no-cache, --proof-dir DIR,
-// --metrics-out FILE, --expect-cache-hits (fail unless the shared cache
-// hit at least once — the CI regression gate for cross-job sharing).
+// --engine sweep|mono|cube|bdd (route every job through that engine;
+// `cube` is the cube-and-conquer engine for hard miters — its per-cube
+// fan-out shares the service's worker pool; `bdd` decides without a
+// proof), --no-cache, --audit (run the static E1xx encoding audit on
+// every job's miter; an audit error spoils the job's goodness),
+// --proof-dir DIR, --miter-dir DIR (write each job's miter as ascii
+// AIGER jobN.aag, the companion artifact `proof_tools audit` matches
+// proofs and CNFs against), --metrics-out FILE, --expect-cache-hits
+// (fail unless the shared cache hit at least once — the CI regression
+// gate for cross-job sharing).
 //
 // Exit code: 0 when every job reached a terminal verdict that holds up
-// (equivalent => proof checked, inequivalent => counterexample validated
-// by checkMiter itself); 1 when any job failed, expired, stayed
-// undecided, or an equivalent verdict lost its certificate; 2 on usage or
-// I/O errors.
+// (equivalent => proof checked — or BDD-decided, inequivalent =>
+// counterexample validated by checkMiter itself, audit clean when
+// --audit); 1 when any job failed, expired, stayed undecided, or an
+// equivalent verdict lost its certificate; 2 on usage or I/O errors.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -64,12 +69,15 @@ using cp::serve::JobSpec;
       "  --workers N         worker threads (0 = hardware, default)\n"
       "  --queue N           admission bound (default 64)\n"
       "  --engine NAME       route every job through one engine:\n"
-      "                      sweep (default), mono, or cube\n"
+      "                      sweep (default), mono, cube\n"
       "                      (cube-and-conquer; cube fan-out runs on the\n"
-      "                      service pool)\n"
+      "                      service pool), or bdd (proofless)\n"
       "  --no-cache          disable the cross-job lemma cache\n"
+      "  --audit             statically audit every job's Tseitin encoding\n"
+      "                      (E1xx); audit errors spoil job goodness\n"
       "  --proof-dir DIR     stream per-job CPF proofs into DIR and\n"
       "                      re-certify each from disk\n"
+      "  --miter-dir DIR     write each job's miter into DIR as jobN.aag\n"
       "  --metrics-out FILE  write service metrics JSON to FILE\n"
       "  --expect-cache-hits fail unless the lemma cache hit > 0 times\n");
   std::exit(2);
@@ -181,11 +189,13 @@ std::vector<JobSpec> demoJobs(std::size_t count) {
 int main(int argc, char** argv) {
   std::string jobFile;
   std::string proofDir;
+  std::string miterDir;
   std::string metricsOut;
   std::string engineName;
   std::size_t demo = 0;
   bool useDemo = false;
   bool expectCacheHits = false;
+  bool audit = false;
   cp::serve::ServiceOptions service;
 
   for (int i = 1; i < argc; ++i) {
@@ -202,14 +212,19 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       engineName = argv[++i];
       if (engineName != "sweep" && engineName != "mono" &&
-          engineName != "cube") {
+          engineName != "cube" && engineName != "bdd") {
         usage();
       }
     } else if (arg == "--no-cache") {
       service.enableLemmaCache = false;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--proof-dir") {
       if (i + 1 >= argc) usage();
       proofDir = argv[++i];
+    } else if (arg == "--miter-dir") {
+      if (i + 1 >= argc) usage();
+      miterDir = argv[++i];
     } else if (arg == "--metrics-out") {
       if (i + 1 >= argc) usage();
       metricsOut = argv[++i];
@@ -239,9 +254,29 @@ int main(int argc, char** argv) {
         // Leave CubeOptions::pool unset: the service injects its own, so
         // job-level and in-cube parallelism share one worker budget.
         job.options.engine.engine = cp::cube::CubeOptions();
+      } else if (engineName == "bdd") {
+        job.options.engine.engine = cp::cec::BddCecOptions();
       } else {
         job.options.engine.engine = cp::cec::SweepOptions();
       }
+    }
+  }
+  if (audit) {
+    for (JobSpec& job : jobs) {
+      job.options.engine.auditEncoding = true;
+    }
+  }
+  if (!miterDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(miterDir, ec);
+    if (ec) fail(miterDir + ": " + ec.message());
+    // Ascii AIGER, named to pair with the proof containers (jobN.aag next
+    // to jobN.cpf): `aiger_tools encode` + `proof_tools audit` close the
+    // loop from the published miter back to the certified CNF.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      cp::aig::writeAigerFile(
+          jobs[i].miter, miterDir + "/job" + std::to_string(i + 1) + ".aag",
+          /*binary=*/false);
     }
   }
   if (!proofDir.empty()) {
@@ -269,11 +304,15 @@ int main(int argc, char** argv) {
     for (const cp::serve::JobRecord& record : batch.drain()) {
       cp::serve::writeRecord(record, records);
       records.finishLine();
+      // The BDD engine is proofless by design: its equivalent verdicts are
+      // accepted on canonicity, not on a checked refutation.
+      const bool bddEngine = engineName == "bdd";
       const bool good =
           record.state == cp::serve::JobState::kDone &&
           (record.verdict == cp::cec::Verdict::kInequivalent ||
            (record.verdict == cp::cec::Verdict::kEquivalent &&
-            record.proofChecked));
+            (record.proofChecked || bddEngine))) &&
+          (!record.auditRan || record.auditOk);
       allGood = allGood && good;
       // A container is only kept when it is a refutation: an inequivalent
       // job's certificate is its (re-evaluated) counterexample, and linting
@@ -284,7 +323,9 @@ int main(int argc, char** argv) {
       if (!proofDir.empty()) {
         const std::string path =
             proofDir + "/job" + std::to_string(record.id) + ".cpf";
-        if (record.verdict != cp::cec::Verdict::kEquivalent) {
+        if (record.verdict != cp::cec::Verdict::kEquivalent || bddEngine) {
+          // BDD containers hold no refutation (only the var-map footer),
+          // so they are dropped along with non-equivalent verdicts.
           std::error_code ec;
           std::filesystem::remove(path, ec);
         } else if (good) {
@@ -297,8 +338,13 @@ int main(int argc, char** argv) {
           // spans `proof_tools info` reports).
           if (info.cubeSpans.empty()) {
             const auto merged = cp::proof::mergeDuplicateClauses(streamed);
+            // The rewrite must not lose the var-map footer the engine
+            // recorded — it is what keeps the published artifact auditable
+            // against its jobN.aag miter.
+            cp::proofio::FooterSections sections;
+            sections.varMap = info.varMap;
             (void)cp::proofio::writeProofFile(
-                cp::proof::trimProof(merged.log).log, path);
+                cp::proof::trimProof(merged.log).log, path, {}, &sections);
           }
         }
       }

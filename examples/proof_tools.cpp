@@ -10,6 +10,7 @@
 //   $ ./proof_tools checkbin proof.cpf   [problem.cnf]
 //   $ ./proof_tools info     proof.cpf               (footer stats, no replay)
 //   $ ./proof_tools lint     <aiger|dimacs|tracecheck|cpf file> [flags]
+//   $ ./proof_tools audit    miter.aig problem.cnf [flags]
 //
 // With a DIMACS file, `check`/`checkbin` additionally validate every axiom
 // against the CNF -- the full trust chain for proofs produced elsewhere
@@ -23,6 +24,14 @@
 // (warnings gate the exit code), --threads N (proof lint parallelism),
 // --no-subsumption, --format aiger|dimacs|tracecheck|cpf. Exit code: 0
 // lint-clean, 1 gated findings, 2 usage or I/O error — made for CI.
+//
+// `audit` closes the encoding gap in that trust chain: it statically
+// matches a DIMACS file clause-for-clause against the Tseitin encoding of
+// a miter AIGER (DESIGN.md §11) and reports E1xx findings. Flags: --json,
+// --werror (warnings gate the exit code; errors always do), --threads N,
+// --output K (assert output K instead of 0), --no-assert (audit a bare
+// encoding with no output-assertion unit). Same exit-code contract as
+// `lint`.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -33,8 +42,10 @@
 #include <string>
 #include <vector>
 
+#include "src/aig/aiger.h"
 #include "src/aig/lint.h"
 #include "src/base/diagnostics.h"
+#include "src/cnf/audit.h"
 #include "src/cnf/dimacs.h"
 #include "src/cnf/lint.h"
 #include "src/proof/analysis.h"
@@ -94,8 +105,11 @@ int usage(const char* argv0) {
                "checkbin|info <proof> [extra]\n"
                "       %s lint <file> [--json] [--werror] [--threads N]\n"
                "                [--no-subsumption]"
-               " [--format aiger|dimacs|tracecheck|cpf]\n",
-               argv0, argv0);
+               " [--format aiger|dimacs|tracecheck|cpf]\n"
+               "       %s audit <miter.aig> <problem.cnf> [--json] [--werror]"
+               " [--threads N]\n"
+               "                [--output K] [--no-assert]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -229,6 +243,64 @@ int runLint(int argc, char** argv) {
   return collector.failed(werror) ? 1 : 0;
 }
 
+int runAudit(int argc, char** argv) {
+  std::string aigPath;
+  std::string cnfPath;
+  bool json = false;
+  bool werror = false;
+  cp::cnf::AuditOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-assert") {
+      options.expectOutputAssertion = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.parallel.numThreads =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--output" && i + 1 < argc) {
+      options.outputIndex = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown audit flag %s\n", arg.c_str());
+      return 2;
+    } else if (aigPath.empty()) {
+      aigPath = arg;
+    } else if (cnfPath.empty()) {
+      cnfPath = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (aigPath.empty() || cnfPath.empty()) return usage(argv[0]);
+
+  const cp::aig::Aig aig = cp::aig::readAigerFile(aigPath);
+  const cp::cnf::Cnf cnf = cp::cnf::readDimacsFile(cnfPath);
+  const cp::cnf::VarMap varMap = cp::cnf::VarMap::identity(aig.numNodes());
+
+  cp::diag::DiagnosticCollector collector;
+  const cp::cnf::AuditStats stats =
+      cp::cnf::auditEncoding(aig, cnf, varMap, collector, options);
+
+  if (json) {
+    cp::diag::renderJson(collector.diagnostics(), std::cout);
+  } else {
+    cp::diag::renderText(collector.diagnostics(), std::cout);
+  }
+  std::fprintf(stderr,
+               "%s vs %s: %llu/%llu expected clauses matched, "
+               "%llu error(s), %llu warning(s)%s\n",
+               cnfPath.c_str(), aigPath.c_str(),
+               (unsigned long long)stats.matchedClauses,
+               (unsigned long long)stats.expectedClauses,
+               (unsigned long long)stats.errors,
+               (unsigned long long)stats.warnings,
+               werror ? " [--werror]" : "");
+  return collector.failed(werror) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +308,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "lint") return runLint(argc, argv);
+    if (command == "audit") return runAudit(argc, argv);
 
     // ---- commands whose input is a CPF container --------------------------
     if (command == "info") {
@@ -271,6 +344,11 @@ int main(int argc, char** argv) {
                         span.literals, span.firstClause, span.lastClause);
           }
         }
+      }
+      if (!info.varMap.empty()) {
+        std::printf("var-map:     %zu nodes (encoder node -> variable map; "
+                    "auditable)\n",
+                    info.varMap.size());
       }
       return 0;
     }

@@ -1,0 +1,140 @@
+#include "src/analysis/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cp::analysis {
+namespace {
+
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+// One CSR direction: out[k] for node n lives in [start[n], start[n+1]).
+void buildCsr(std::uint32_t numNodes, const EdgeList& edges, bool bySource,
+              std::vector<std::uint32_t>& out,
+              std::vector<std::uint64_t>& start) {
+  start.assign(static_cast<std::size_t>(numNodes) + 1, 0);
+  for (const auto& [from, to] : edges) {
+    ++start[(bySource ? from : to) + 1];
+  }
+  for (std::size_t n = 1; n < start.size(); ++n) start[n] += start[n - 1];
+  out.resize(edges.size());
+  std::vector<std::uint64_t> cursor(start.begin(), start.end() - 1);
+  for (const auto& [from, to] : edges) {
+    const std::uint32_t key = bySource ? from : to;
+    out[cursor[key]++] = bySource ? to : from;
+  }
+  // Edges are pre-sorted by (from, to), so the bySource direction is
+  // already ascending; the other direction needs a per-bucket sort.
+  if (!bySource) {
+    for (std::uint32_t n = 0; n < numNodes; ++n) {
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(start[n]),
+                out.begin() + static_cast<std::ptrdiff_t>(start[n + 1]));
+    }
+  }
+}
+
+}  // namespace
+
+Dag Dag::fromEdges(std::uint32_t numNodes, EdgeList edges) {
+  for (const auto& [from, to] : edges) {
+    if (from >= numNodes || to >= numNodes) {
+      throw std::invalid_argument(
+          "analysis::Dag: edge (" + std::to_string(from) + ", " +
+          std::to_string(to) + ") references a node >= " +
+          std::to_string(numNodes));
+    }
+    if (from == to) {
+      throw std::invalid_argument("analysis::Dag: self-loop on node " +
+                                  std::to_string(from));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Dag dag;
+  buildCsr(numNodes, edges, /*bySource=*/true, dag.succOut_, dag.succStart_);
+  buildCsr(numNodes, edges, /*bySource=*/false, dag.predOut_, dag.predStart_);
+  return dag;
+}
+
+std::vector<std::uint32_t> levelize(const Dag& dag) {
+  const std::uint32_t n = dag.numNodes();
+  std::vector<std::uint32_t> level(n, 0);
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t node = 0; node < n; ++node) {
+    pending[node] = static_cast<std::uint32_t>(dag.preds(node).size());
+    if (pending[node] == 0) ready.push_back(node);
+  }
+  std::uint32_t placed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t node = ready.back();
+    ready.pop_back();
+    ++placed;
+    for (const std::uint32_t succ : dag.succs(node)) {
+      level[succ] = std::max(level[succ], level[node] + 1);
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (placed != n) {
+    throw std::invalid_argument("analysis::levelize: graph has a cycle (" +
+                                std::to_string(n - placed) +
+                                " node(s) unplaceable)");
+  }
+  return level;
+}
+
+std::vector<std::vector<std::uint32_t>> levelGroups(const Dag& dag) {
+  const std::vector<std::uint32_t> level = levelize(dag);
+  std::uint32_t depth = 0;
+  for (const std::uint32_t l : level) depth = std::max(depth, l + 1);
+  std::vector<std::vector<std::uint32_t>> groups(depth);
+  // Ascending node order within each level, by construction of this scan.
+  for (std::uint32_t node = 0; node < dag.numNodes(); ++node) {
+    groups[level[node]].push_back(node);
+  }
+  return groups;
+}
+
+Dag aigDag(const aig::Aig& graph) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(graph.numAnds()) * 2);
+  for (std::uint32_t node = 0; node < graph.numNodes(); ++node) {
+    if (!graph.isAnd(node)) continue;
+    edges.emplace_back(graph.fanin0(node).node(), node);
+    edges.emplace_back(graph.fanin1(node).node(), node);
+  }
+  return Dag::fromEdges(graph.numNodes(), std::move(edges));
+}
+
+Dag proofDag(const proof::ProofLog& log) {
+  EdgeList edges;
+  edges.reserve(log.numResolutions() + log.numDerived());
+  for (proof::ClauseId id = 1; id <= log.numClauses(); ++id) {
+    for (const proof::ClauseId antecedent : log.chain(id)) {
+      edges.emplace_back(antecedent, id);
+    }
+  }
+  return Dag::fromEdges(log.numClauses() + 1, std::move(edges));
+}
+
+Dag clauseVarDag(std::uint32_t numVars,
+                 const std::vector<std::vector<sat::Lit>>& clauses) {
+  EdgeList edges;
+  for (std::uint32_t ci = 0; ci < clauses.size(); ++ci) {
+    for (const sat::Lit lit : clauses[ci]) {
+      if (lit.var() >= numVars) {
+        throw std::invalid_argument(
+            "analysis::clauseVarDag: clause " + std::to_string(ci) +
+            " references variable " + std::to_string(lit.var()) +
+            " >= numVars " + std::to_string(numVars));
+      }
+      edges.emplace_back(lit.var(), clauseNode(numVars, ci));
+    }
+  }
+  return Dag::fromEdges(numVars + static_cast<std::uint32_t>(clauses.size()),
+                        std::move(edges));
+}
+
+}  // namespace cp::analysis

@@ -1,0 +1,114 @@
+// Reusable dataflow substrate over artifact DAGs.
+//
+// Every artifact this library certifies is, structurally, a DAG: an AIG is
+// a DAG of AND nodes over inputs, a resolution proof is a DAG of clauses
+// over axioms, and a CNF induces a bipartite variable/clause occurrence
+// graph. The analyses that walk them — cone membership, proof
+// reachability, the encoding auditor's per-node clause matching, future
+// inprocessing-legality and liveness passes (ROADMAP item 5) — all want
+// the same three primitives:
+//
+//   * a compact immutable graph with O(1) predecessor/successor spans
+//     (`Dag`, CSR in both directions),
+//   * longest-path levelization (`levelize`), which doubles as the cycle
+//     check and as the schedule for parallel sweeps, and
+//   * canonical builders from the three artifact families (`aigDag`,
+//     `proofDag`, `clauseVarDag`).
+//
+// The traversal engines (worklist fixpoint, reachability, parallel level
+// sweep) live in dataflow.h on top of this representation.
+//
+// Determinism: a Dag's edge arrays are fully determined by the input edge
+// list (duplicates removed, neighbors sorted ascending), never by memory
+// layout or iteration order of a hash container — the same bar as every
+// other artifact pass in the tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/proof/proof_log.h"
+#include "src/sat/types.h"
+
+namespace cp::analysis {
+
+/// Immutable DAG in compressed-sparse-row form, both directions. Node ids
+/// are dense [0, numNodes()); neighbor spans are sorted ascending and
+/// duplicate-free.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Builds from an explicit (from, to) edge list. Edges referencing nodes
+  /// >= numNodes throw std::invalid_argument; duplicate edges collapse.
+  /// Self-loops are rejected (an artifact DAG never has them, and they
+  /// would make levelize() report a spurious cycle).
+  static Dag fromEdges(
+      std::uint32_t numNodes,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(succStart_.empty()
+                                          ? 0
+                                          : succStart_.size() - 1);
+  }
+  std::uint64_t numEdges() const { return succOut_.size(); }
+
+  /// Nodes with an edge into `node`, ascending.
+  std::span<const std::uint32_t> preds(std::uint32_t node) const {
+    return {predOut_.data() + predStart_[node],
+            predOut_.data() + predStart_[node + 1]};
+  }
+  /// Nodes `node` has an edge to, ascending.
+  std::span<const std::uint32_t> succs(std::uint32_t node) const {
+    return {succOut_.data() + succStart_[node],
+            succOut_.data() + succStart_[node + 1]};
+  }
+
+ private:
+  std::vector<std::uint32_t> succOut_;
+  std::vector<std::uint64_t> succStart_;  // size numNodes + 1
+  std::vector<std::uint32_t> predOut_;
+  std::vector<std::uint64_t> predStart_;  // size numNodes + 1
+};
+
+/// Longest-path level per node: sources (no predecessors) are level 0,
+/// every other node is 1 + max over its predecessors. Throws
+/// std::invalid_argument if the graph has a cycle (levelization is the
+/// cycle check for every builder below). Every edge goes from a strictly
+/// smaller level to a larger one, so the levels can be processed as
+/// dependency-closed batches — the schedule parallelLevelSweep uses.
+std::vector<std::uint32_t> levelize(const Dag& dag);
+
+/// Nodes grouped by levelize() level, ascending node id within each level.
+std::vector<std::vector<std::uint32_t>> levelGroups(const Dag& dag);
+
+/// AIG structure graph: one Dag node per AIG node, one edge fanin -> AND
+/// node. Inputs and the constant node are sources; preds(n) of an AND node
+/// are its (deduplicated) fanin nodes.
+Dag aigDag(const aig::Aig& graph);
+
+/// Resolution-proof dependency graph: Dag node = ClauseId (node 0 is the
+/// unused kNoClause slot), one edge antecedent -> derived clause per chain
+/// reference. Axioms are sources.
+Dag proofDag(const proof::ProofLog& log);
+
+/// Bipartite variable/clause occurrence graph of a CNF: Dag nodes
+/// [0, numVars) are variables, [numVars, numVars + clauses.size()) are
+/// clauses, one edge var -> clause per occurrence (either polarity).
+/// Throws std::invalid_argument if a clause references var >= numVars.
+/// Takes raw clause vectors instead of cnf::Cnf so the analysis layer does
+/// not depend on the encoder.
+Dag clauseVarDag(std::uint32_t numVars,
+                 const std::vector<std::vector<sat::Lit>>& clauses);
+
+/// Dag node id of clause `clauseIndex` inside a clauseVarDag.
+inline constexpr std::uint32_t clauseNode(std::uint32_t numVars,
+                                          std::uint32_t clauseIndex) {
+  return numVars + clauseIndex;
+}
+
+}  // namespace cp::analysis

@@ -1,0 +1,124 @@
+#include "src/analysis/dataflow.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <memory>
+
+#include "src/base/thread_pool.h"
+
+namespace cp::analysis {
+namespace {
+
+/// Visits one level's nodes: fixed contiguous slices claimed off an atomic
+/// counter by the calling thread and `helpers` pool tasks. The caller
+/// drains too (coordinator help), and queued helpers that never started
+/// are cancelled instead of waited on — the submitCancellable idiom that
+/// keeps nested sweeps deadlock-free on a shared (even one-worker) pool.
+void sweepLevel(std::span<const std::uint32_t> nodes, std::size_t sliceSize,
+                std::size_t helpers, ThreadPool* pool,
+                const std::function<void(std::uint32_t)>& visit) {
+  if (helpers == 0 || nodes.size() <= sliceSize) {
+    for (const std::uint32_t node : nodes) visit(node);
+    return;
+  }
+  std::atomic<std::size_t> nextSlice{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t slice =
+          nextSlice.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t begin = slice * sliceSize;
+      if (begin >= nodes.size()) return;
+      const std::size_t end = std::min(begin + sliceSize, nodes.size());
+      for (std::size_t i = begin; i < end; ++i) visit(nodes[i]);
+    }
+  };
+  std::vector<std::pair<ThreadPool::TaskHandle, std::future<void>>> tasks;
+  tasks.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    tasks.push_back(pool->submitCancellable(0, drain));
+  }
+  std::exception_ptr error;
+  try {
+    drain();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& [handle, future] : tasks) {
+    if (pool->tryCancel(handle)) continue;
+    try {
+      future.get();
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::vector<char> reachable(const Dag& dag,
+                            std::span<const std::uint32_t> roots,
+                            Direction direction) {
+  const std::uint32_t n = dag.numNodes();
+  std::vector<char> mark(n, 0);
+  std::vector<std::uint32_t> stack;
+  for (const std::uint32_t root : roots) {
+    if (root >= n) {
+      throw std::invalid_argument("analysis::reachable: root " +
+                                  std::to_string(root) + " >= numNodes " +
+                                  std::to_string(n));
+    }
+    if (mark[root] == 0) {
+      mark[root] = 1;
+      stack.push_back(root);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    const std::span<const std::uint32_t> next =
+        direction == Direction::kForward ? dag.succs(node) : dag.preds(node);
+    for (const std::uint32_t neighbor : next) {
+      if (mark[neighbor] == 0) {
+        mark[neighbor] = 1;
+        stack.push_back(neighbor);
+      }
+    }
+  }
+  return mark;
+}
+
+void parallelLevelSweep(const Dag& dag, const SweepOptions& options,
+                        const std::function<void(std::uint32_t)>& visit) {
+  throwIfInvalid(options.validate(), "analysis::parallelLevelSweep");
+  const std::vector<std::vector<std::uint32_t>> levels = levelGroups(dag);
+  const std::size_t threads =
+      ThreadPool::resolveThreads(options.parallel.numThreads);
+  // Slice granularity is a pure scheduling knob: findings live in
+  // node-owned slots, so any partition yields bit-identical results.
+  const std::size_t sliceSize =
+      options.parallel.batchSize != 0 ? options.parallel.batchSize : 64;
+
+  if (threads <= 1) {
+    for (const std::vector<std::uint32_t>& level : levels) {
+      for (const std::uint32_t node : level) visit(node);
+    }
+    return;
+  }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(threads - 1);
+    pool = owned.get();
+  }
+  for (const std::vector<std::uint32_t>& level : levels) {
+    const std::size_t slices = (level.size() + sliceSize - 1) / sliceSize;
+    const std::size_t helpers =
+        std::min(threads - 1, slices > 0 ? slices - 1 : 0);
+    sweepLevel(level, sliceSize, helpers, pool, visit);
+  }
+}
+
+}  // namespace cp::analysis

@@ -1,0 +1,125 @@
+// Traversal engines over analysis::Dag: worklist fixpoint, reachability,
+// and the deterministic parallel level sweep.
+//
+// Three engines, three contracts:
+//
+//   * solve() — the classic iterative dataflow fixpoint. The caller owns
+//     the fact lattice (any Fact with operator==); the engine guarantees a
+//     deterministic evaluation order (ascending node id for forward
+//     problems, descending for backward) so a non-monotone transfer that
+//     still converges converges to the same answer on every run.
+//
+//   * reachable() — plain BFS closure from a root set, forward along
+//     successor edges or backward along predecessor edges. This is the
+//     cone-membership primitive (AIG cone of an output, proof cone of the
+//     root) and is also expressible through solve(); the direct form is
+//     O(V + E).
+//
+//   * parallelLevelSweep() — visits every node once, level by level
+//     (levelize() order), fanning each level's nodes out over the shared
+//     cp::ThreadPool under cp::ParallelOptions. A node is visited only
+//     after all of its predecessors' level has completed, so a visitor may
+//     read facts of its predecessors. Determinism bar: the visitor must
+//     write only state owned by the visited node (a per-node slot, or an
+//     order-independent atomic reduction) — then results are bit-identical
+//     at every thread count, the same contract proof::lint's parallel
+//     phases follow. Nested-parallelism safe: helpers are submitted with
+//     submitCancellable and the calling thread drains slices itself, so a
+//     sweep running *on* a pool worker (batch-service jobs, in-cube
+//     audits) never deadlocks, even on a one-worker pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/dag.h"
+#include "src/base/options.h"
+
+namespace cp {
+class ThreadPool;
+}  // namespace cp
+
+namespace cp::analysis {
+
+enum class Direction : std::uint8_t {
+  kForward,   ///< information flows source -> sink (along succ edges)
+  kBackward,  ///< information flows sink -> source (along pred edges)
+};
+
+/// Iterates `transfer` to a fixpoint. `facts` seeds the lattice (size must
+/// equal dag.numNodes()); transfer(node, facts) returns the node's new
+/// fact, reading whatever neighbor facts it needs via the dag. A node is
+/// re-evaluated whenever a dependency's fact changed (dependencies =
+/// preds for kForward, succs for kBackward). Scan order is deterministic:
+/// ascending node id for forward, descending for backward — one pass
+/// suffices when the dag's node ids are topologically ordered, as every
+/// builder in dag.h guarantees.
+template <typename Fact, typename Transfer>
+std::vector<Fact> solve(const Dag& dag, Direction direction,
+                        std::vector<Fact> facts, Transfer&& transfer) {
+  const std::uint32_t n = dag.numNodes();
+  if (facts.size() != n) {
+    throw std::invalid_argument("analysis::solve: facts size " +
+                                std::to_string(facts.size()) +
+                                " != numNodes " + std::to_string(n));
+  }
+  std::vector<char> queued(n, 1);
+  bool pending = n > 0;
+  while (pending) {
+    pending = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t node =
+          direction == Direction::kForward ? i : n - 1 - i;
+      if (queued[node] == 0) continue;
+      queued[node] = 0;
+      Fact next = transfer(node, std::as_const(facts));
+      if (next == facts[node]) continue;
+      facts[node] = std::move(next);
+      pending = true;  // rescan: a dependent may precede us in scan order
+      const std::span<const std::uint32_t> dependents =
+          direction == Direction::kForward ? dag.succs(node)
+                                           : dag.preds(node);
+      for (const std::uint32_t dependent : dependents) queued[dependent] = 1;
+    }
+  }
+  return facts;
+}
+
+/// Closure of `roots` along succ edges (kForward) or pred edges
+/// (kBackward): result[node] is 1 iff some root reaches it (roots
+/// included). Throws std::invalid_argument on an out-of-range root.
+std::vector<char> reachable(const Dag& dag,
+                            std::span<const std::uint32_t> roots,
+                            Direction direction);
+
+/// Parallelism knobs for parallelLevelSweep, following the library-wide
+/// injection pattern (cube::CubeOptions): a caller already running on a
+/// shared pool passes it in so nested sweeps share one worker budget; with
+/// pool == nullptr a transient pool is spun up when parallel.numThreads
+/// asks for more than one thread.
+struct SweepOptions {
+  ParallelOptions parallel;
+
+  /// Pool to fan out on; nullptr = owned transient pool. numWorkers of an
+  /// injected pool does not bound the sweep — parallel.numThreads does.
+  cp::ThreadPool* pool = nullptr;
+
+  std::string validate(const char* owner = "analysis::SweepOptions") const {
+    return parallel.validate(owner);
+  }
+};
+
+/// Calls visit(node) exactly once for every node, level by level in
+/// levelize() order. See the file comment for the determinism contract and
+/// the nested-parallelism guarantee. Exceptions thrown by visit propagate
+/// (first one in an unspecified order); the sweep still joins every helper
+/// before rethrowing.
+void parallelLevelSweep(const Dag& dag, const SweepOptions& options,
+                        const std::function<void(std::uint32_t)>& visit);
+
+}  // namespace cp::analysis

@@ -111,12 +111,33 @@ CertifyReport checkMiter(const aig::Aig& miter, const EngineConfig& config,
   const bool producesProof =
       !std::holds_alternative<BddCecOptions>(config.engine);
 
+  // Static encoding audit, up front: the exact CNF the axiom validator
+  // below admits is re-derived and matched clause-for-clause against the
+  // graph, so "encoding assumed correct" stops being an assumption.
+  if (config.auditEncoding) {
+    const cnf::Cnf cnf = cnf::encodeWithOutputAssertion(miter);
+    const cnf::VarMap varMap = cnf::VarMap::identity(miter.numNodes());
+    diag::DiagnosticCollector findings(diag::Severity::kWarning);
+    cnf::AuditOptions auditOptions;
+    auditOptions.parallel = config.check;
+    report.audit.stats =
+        cnf::auditEncoding(miter, cnf, varMap, findings, auditOptions);
+    report.audit.findings = findings.diagnostics();
+    report.audit.ran = true;
+    report.audit.ok = report.audit.stats.ok();
+  }
+
   // With a proofPath, the raw proof goes to disk *while* the engine derives
   // it: the writer observes every ProofLog record as the solver and the
   // composer append them, so serialization adds no post-hoc proof walk.
   std::unique_ptr<proofio::ProofWriter> writer;
   if (!config.proofPath.empty()) {
     writer = std::make_unique<proofio::ProofWriter>(config.proofPath);
+    // Every container records the encoder's node -> variable discipline in
+    // the footer's var-map section, keeping the stored refutation
+    // auditable against the miter AIGER after the fact.
+    const cnf::VarMap varMap = cnf::VarMap::identity(miter.numNodes());
+    writer->setVarMap(varMap.varOf);
   }
   {
     SinkGuard guard(*log, writer.get());

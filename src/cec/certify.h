@@ -18,10 +18,12 @@
 #include <variant>
 
 #include "src/aig/aig.h"
+#include "src/base/diagnostics.h"
 #include "src/cec/bdd_cec.h"
 #include "src/cec/monolithic_cec.h"
 #include "src/cec/result.h"
 #include "src/cec/sweeping_cec.h"
+#include "src/cnf/audit.h"
 #include "src/cube/options.h"
 #include "src/proof/checker.h"
 #include "src/proof/trim.h"
@@ -56,6 +58,15 @@ struct EngineConfig {
   /// cube::CubeOptions::parallel).
   cp::ParallelOptions check;
 
+  /// When true, the miter's Tseitin encoding is statically audited against
+  /// the graph before the engine runs (cnf::auditEncoding under the
+  /// identity var-map, parallelism from `check`): every expected clause
+  /// present, every present clause expected, findings as E1xx diagnostics
+  /// in CertifyReport::audit. This closes the "encoding assumed correct"
+  /// gap in the trust chain — a checked refutation of an audited encoding
+  /// certifies *this graph's* CNF, not merely some CNF.
+  bool auditEncoding = false;
+
   /// When non-empty: the engine's raw proof is streamed to this CPF
   /// container file *during* solving (proofio::ProofWriter attached as the
   /// log's sink), and an equivalent verdict is additionally certified from
@@ -82,8 +93,23 @@ struct DiskProofReport {
   double checkSeconds = 0.0;
 };
 
+/// Result of the optional static encoding audit (EngineConfig::
+/// auditEncoding). Deterministic: stats and findings are bit-identical at
+/// every thread count.
+struct EncodingAuditReport {
+  bool ran = false;
+  bool ok = false;  ///< ran with zero error-severity findings
+  cnf::AuditStats stats;
+  /// Warning- and error-severity findings in the analyzer's deterministic
+  /// emission order (E111 info summaries are counted in stats only).
+  std::vector<diag::Diagnostic> findings;
+};
+
 struct CertifyReport {
   CecResult cec;
+  /// Static encoding audit results (ran stays false unless
+  /// EngineConfig::auditEncoding was set).
+  EncodingAuditReport audit;
   /// Checker accepted (equivalent verdicts only). With a proofPath this
   /// additionally requires the on-disk streaming replay to accept.
   bool proofChecked = false;

@@ -1,0 +1,558 @@
+#include "src/cnf/audit.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+#include "src/analysis/dag.h"
+#include "src/analysis/dataflow.h"
+#include "src/base/thread_pool.h"
+
+namespace cp::cnf {
+namespace {
+
+using diag::Diagnostic;
+using diag::Severity;
+
+std::string nodeLoc(std::uint32_t node) {
+  return "node " + std::to_string(node);
+}
+std::string clauseLoc(std::uint32_t index) {
+  return "clause " + std::to_string(index + 1);  // cnf::lint's convention
+}
+std::string dimacsLit(sat::Lit l) {
+  return (l.negated() ? "-" : "") + std::to_string(l.var() + 1);
+}
+
+// splitmix64 finalizer over the sorted literal indices. Collisions are
+// resolved by comparing the literal vectors, so the hash only needs to
+// spread — it carries no correctness weight.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+std::uint64_t hashLits(std::span<const sat::Lit> sorted) {
+  std::uint64_t h = 0x51ed270b9f112a77ull;
+  for (const sat::Lit l : sorted) h = mix64(h ^ l.index());
+  return h;
+}
+
+/// Sorted + deduplicated copy (clause-as-set semantics, matching the
+/// checker's miterAxiomValidator).
+std::vector<sat::Lit> canonical(std::span<const sat::Lit> lits) {
+  std::vector<sat::Lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+/// Which member of a node's clause group an expected clause is. The enum
+/// order is the role-priority order: when one literal set is claimed by
+/// two roles (only possible for the constant unit vs. the output assertion
+/// when the asserted output is the constant-true edge), actual copies
+/// satisfy roles in this order.
+enum class Member : std::uint8_t {
+  kGate0 = 0,      ///< (~out | a)
+  kGate1 = 1,      ///< (~out | b)
+  kGate2 = 2,      ///< (out | ~a | ~b)
+  kConstUnit = 3,  ///< (~const)
+  kAssert = 4,     ///< (output)
+};
+
+const char* memberName(Member m) {
+  switch (m) {
+    case Member::kGate0: return "gate clause (~out | a)";
+    case Member::kGate1: return "gate clause (~out | b)";
+    case Member::kGate2: return "gate clause (out | ~a | ~b)";
+    case Member::kConstUnit: return "constant-false unit";
+    default: return "output assertion unit";
+  }
+}
+
+struct ExpectedRole {
+  std::uint32_t node = 0;
+  Member member = Member::kGate0;
+};
+
+// The full expected clause multiset, indexed for set-equality lookup.
+// Distinct nodes' gate clauses are always distinct literal sets (strash
+// forbids equal fanins, and "fanin < node" makes a cross-node collision
+// require a fanin cycle), so an entry carries more than one role only in
+// the constant-unit/assertion corner case — handled by rank matching.
+class ExpectedIndex {
+ public:
+  void add(std::vector<sat::Lit> lits, ExpectedRole role) {
+    const std::uint64_t hash = hashLits(lits);
+    // Distinct gate clauses never collide (see class comment), so the
+    // linear build-time probe is only needed for the two unit clauses —
+    // which CAN coincide when the asserted output is the constant-true
+    // edge.
+    if (lits.size() == 1) {
+      if (const int existing = find(lits, hash); existing >= 0) {
+        entries_[static_cast<std::size_t>(existing)].roles.push_back(role);
+        return;
+      }
+    }
+    Entry e;
+    e.hash = hash;
+    e.lits = std::move(lits);
+    e.roles.push_back(role);
+    byHash_.emplace_back(hash, static_cast<std::uint32_t>(entries_.size()));
+    entries_.push_back(std::move(e));
+    sorted_ = false;
+  }
+
+  void finalize() {
+    std::sort(byHash_.begin(), byHash_.end());
+    sorted_ = true;
+  }
+
+  /// Entry index with exactly these (canonical) literals, or -1.
+  int find(std::span<const sat::Lit> lits, std::uint64_t hash) const {
+    if (!sorted_) {  // build-time probe: linear over the few collisions
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].hash == hash && equalLits(entries_[i].lits, lits)) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    auto [lo, hi] = std::equal_range(
+        byHash_.begin(), byHash_.end(), std::make_pair(hash, 0u),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = lo; it != hi; ++it) {
+      if (equalLits(entries_[it->second].lits, lits)) {
+        return static_cast<int>(it->second);
+      }
+    }
+    return -1;
+  }
+
+  std::span<const ExpectedRole> roles(int entry) const {
+    return entries_[static_cast<std::size_t>(entry)].roles;
+  }
+  std::span<const sat::Lit> lits(int entry) const {
+    return entries_[static_cast<std::size_t>(entry)].lits;
+  }
+
+  /// Rank of (node, member) within its entry's role-priority list, or -1
+  /// when that role was never added.
+  int roleRank(int entry, std::uint32_t node, Member member) const {
+    const auto rs = roles(entry);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].node == node && rs[i].member == member) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static bool equalLits(std::span<const sat::Lit> a,
+                        std::span<const sat::Lit> b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<sat::Lit> lits;  // canonical
+    std::vector<ExpectedRole> roles;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> byHash_;
+  bool sorted_ = false;
+};
+
+// The CNF's clauses in canonical form, indexed so "how many clauses have
+// exactly this literal set, and which rank am I among them" is a sorted
+// range scan — no hash-container iteration anywhere (the determinism bar
+// tools/check_determinism.sh enforces).
+class ActualIndex {
+ public:
+  explicit ActualIndex(const std::vector<std::vector<sat::Lit>>& clauses) {
+    start_.reserve(clauses.size() + 1);
+    start_.push_back(0);
+    hash_.reserve(clauses.size());
+    byHash_.reserve(clauses.size());
+    for (std::uint32_t ci = 0; ci < clauses.size(); ++ci) {
+      const std::vector<sat::Lit> c = canonical(clauses[ci]);
+      pool_.insert(pool_.end(), c.begin(), c.end());
+      start_.push_back(pool_.size());
+      hash_.push_back(hashLits(c));
+      byHash_.emplace_back(hash_.back(), ci);
+    }
+    std::sort(byHash_.begin(), byHash_.end());
+  }
+
+  std::span<const sat::Lit> lits(std::uint32_t ci) const {
+    return {pool_.data() + start_[ci], pool_.data() + start_[ci + 1]};
+  }
+  std::uint64_t hash(std::uint32_t ci) const { return hash_[ci]; }
+
+  /// Clause ids with exactly these literals, below `limit`; counts all
+  /// when limit is the clause count. Ascending scan of the sorted range
+  /// keeps ranks deterministic.
+  std::uint32_t countEqual(std::span<const sat::Lit> lits,
+                           std::uint64_t hash, std::uint32_t limit) const {
+    auto [lo, hi] = std::equal_range(
+        byHash_.begin(), byHash_.end(), std::make_pair(hash, 0u),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint32_t count = 0;
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second >= limit) continue;
+      const auto other = this->lits(it->second);
+      if (other.size() == lits.size() &&
+          std::equal(other.begin(), other.end(), lits.begin())) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Smallest clause id with these literals (the original a duplicate
+  /// copies). Precondition: at least one exists.
+  std::uint32_t firstEqual(std::span<const sat::Lit> lits,
+                           std::uint64_t hash) const {
+    auto [lo, hi] = std::equal_range(
+        byHash_.begin(), byHash_.end(), std::make_pair(hash, 0u),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint32_t best = 0xFFFFFFFFu;
+    for (auto it = lo; it != hi; ++it) {
+      const auto other = this->lits(it->second);
+      if (other.size() == lits.size() &&
+          std::equal(other.begin(), other.end(), lits.begin())) {
+        best = std::min(best, it->second);
+      }
+    }
+    return best;
+  }
+
+  std::uint32_t numClauses() const {
+    return static_cast<std::uint32_t>(hash_.size());
+  }
+
+ private:
+  std::vector<sat::Lit> pool_;
+  std::vector<std::uint64_t> start_;
+  std::vector<std::uint64_t> hash_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> byHash_;
+};
+
+// Per-clause verdict from the matching sweep (one slot per clause, written
+// only by that clause's visit — the parallel-determinism contract).
+struct ClauseFinding {
+  enum Kind : std::uint8_t { kMatched, kDuplicate, kFlip, kForeign };
+  Kind kind = kMatched;
+  std::uint32_t duplicateOf = 0;  // kDuplicate: first clause id with the set
+  std::int32_t flipEntry = -1;    // kFlip: expected entry matched
+  std::uint32_t flipPos = 0;      // kFlip: index of the flipped literal
+};
+
+struct Tally {
+  AuditStats stats;
+  diag::DiagnosticSink* sink = nullptr;
+
+  void emit(Severity severity, const char* code, std::string location,
+            std::string message) {
+    if (severity == Severity::kError) ++stats.errors;
+    if (severity == Severity::kWarning) ++stats.warnings;
+    sink->report(
+        {severity, code, std::move(location), std::move(message)});
+  }
+};
+
+}  // namespace
+
+VarMap VarMap::identity(std::uint32_t numNodes) {
+  VarMap map;
+  map.varOf.resize(numNodes);
+  for (std::uint32_t n = 0; n < numNodes; ++n) map.varOf[n] = n;
+  return map;
+}
+
+AuditStats auditEncoding(const aig::Aig& graph, const Cnf& cnf,
+                         const VarMap& map, diag::DiagnosticSink& sink,
+                         const AuditOptions& options) {
+  throwIfInvalid(options.validate(), "cnf::auditEncoding");
+  if (options.expectOutputAssertion &&
+      options.outputIndex >= graph.numOutputs()) {
+    throw std::invalid_argument(
+        "cnf::auditEncoding: " +
+        optionError("AuditOptions.outputIndex",
+                    optionValue(std::uint64_t{options.outputIndex}),
+                    "[0, numOutputs)",
+                    "the audited output assertion must exist"));
+  }
+
+  const std::uint32_t numNodes = graph.numNodes();
+  Tally tally;
+  tally.sink = &sink;
+  tally.stats.nodesAudited = numNodes;
+
+  // ---- stage 1: the map itself (E101/E102/E103). A broken map makes
+  // clause matching meaningless, so these end the audit.
+  if (map.varOf.size() != numNodes) {
+    tally.emit(Severity::kError, "E101", "",
+               "var-map has " + std::to_string(map.varOf.size()) +
+                   " entries for " + std::to_string(numNodes) +
+                   " AIG nodes (stale or truncated map)");
+  } else {
+    for (std::uint32_t n = 0; n < numNodes; ++n) {
+      if (map.varOf[n] != sat::kNoVar && map.varOf[n] >= cnf.numVars) {
+        tally.emit(Severity::kError, "E101", nodeLoc(n),
+                   "mapped to variable " +
+                       std::to_string(map.varOf[n] + 1) +
+                       " but the CNF declares only " +
+                       std::to_string(cnf.numVars) + " variables");
+      }
+    }
+    // Double-mapping scan: sort (var, node), report the later owner.
+    std::vector<std::pair<sat::Var, std::uint32_t>> owners;
+    owners.reserve(numNodes);
+    for (std::uint32_t n = 0; n < numNodes; ++n) {
+      if (map.varOf[n] != sat::kNoVar) owners.emplace_back(map.varOf[n], n);
+    }
+    std::sort(owners.begin(), owners.end());
+    std::vector<std::pair<std::uint32_t, std::string>> doubled;
+    for (std::size_t i = 1; i < owners.size(); ++i) {
+      if (owners[i].first == owners[i - 1].first) {
+        doubled.emplace_back(
+            owners[i].second,
+            "variable " + std::to_string(owners[i].first + 1) +
+                " already maps node " +
+                std::to_string(owners[i - 1].second));
+      }
+    }
+    std::sort(doubled.begin(), doubled.end());
+    for (auto& [node, message] : doubled) {
+      tally.emit(Severity::kError, "E102", nodeLoc(node),
+                 std::move(message));
+    }
+    for (std::uint32_t n = 0; n < numNodes; ++n) {
+      if (map.varOf[n] == sat::kNoVar) {
+        tally.emit(Severity::kError, "E103", nodeLoc(n),
+                   "node has no mapped variable (stale var-map)");
+      }
+    }
+  }
+  for (std::uint32_t ci = 0; ci < cnf.clauses.size(); ++ci) {
+    for (const sat::Lit l : cnf.clauses[ci]) {
+      if (l.var() >= cnf.numVars) {
+        tally.emit(Severity::kError, "E101", clauseLoc(ci),
+                   "references variable " + std::to_string(l.var() + 1) +
+                       " beyond the declared " +
+                       std::to_string(cnf.numVars));
+        break;
+      }
+    }
+  }
+  if (tally.stats.errors > 0) {
+    tally.emit(Severity::kInfo, "E111", "",
+               "audit aborted: the node/variable correspondence is broken "
+               "(" + std::to_string(tally.stats.errors) + " map error(s))");
+    return tally.stats;
+  }
+
+  const auto mapLit = [&](aig::Edge e) {
+    return sat::Lit::make(map.varOf[e.node()], e.complemented());
+  };
+
+  // ---- stage 2a: the expected clause multiset, in role-priority order.
+  ExpectedIndex expected;
+  expected.add({~mapLit(aig::kFalse)}, {0, Member::kConstUnit});
+  for (std::uint32_t n = 0; n < numNodes; ++n) {
+    if (!graph.isAnd(n)) continue;
+    const auto group =
+        andGateClauses(sat::Lit::make(map.varOf[n], false),
+                       mapLit(graph.fanin0(n)), mapLit(graph.fanin1(n)));
+    for (std::size_t m = 0; m < group.size(); ++m) {
+      expected.add(canonical(group[m]),
+                   {n, static_cast<Member>(m)});
+    }
+  }
+  std::uint32_t assertNode = 0;
+  if (options.expectOutputAssertion) {
+    const aig::Edge out = graph.output(options.outputIndex);
+    assertNode = out.node();
+    expected.add({mapLit(out)}, {assertNode, Member::kAssert});
+  }
+  expected.finalize();
+  tally.stats.expectedClauses =
+      1 + std::uint64_t{3} * graph.numAnds() +
+      (options.expectOutputAssertion ? 1 : 0);
+
+  const ActualIndex actual(cnf.clauses);
+
+  // ---- stage 2b: cone membership (E104 vs E110) via backward
+  // reachability from the asserted output over the AIG structure dag.
+  const analysis::Dag structure = analysis::aigDag(graph);
+  std::vector<char> inCone;
+  if (options.expectOutputAssertion) {
+    const std::uint32_t roots[] = {assertNode};
+    inCone = analysis::reachable(structure, roots,
+                                 analysis::Direction::kBackward);
+  } else {
+    inCone.assign(numNodes, 1);  // unrooted audit: everything is in scope
+  }
+
+  analysis::SweepOptions sweep;
+  sweep.parallel = options.parallel;
+  sweep.pool = options.pool;
+
+  // ---- stage 2c: forward sweep over the AIG dag — every node checks its
+  // own clause group for missing members (per-node slot: a bitmask of
+  // missing Member values).
+  std::vector<std::uint8_t> missing(numNodes, 0);
+  analysis::parallelLevelSweep(structure, sweep, [&](std::uint32_t node) {
+    const auto checkMember = [&](std::span<const sat::Lit> lits, Member m) {
+      const std::uint64_t h = hashLits(lits);
+      const int entry = expected.find(lits, h);
+      const int rank = expected.roleRank(entry, node, m);
+      const std::uint32_t copies =
+          actual.countEqual(lits, h, actual.numClauses());
+      if (static_cast<std::uint32_t>(rank) >= copies) {
+        missing[node] |=
+            static_cast<std::uint8_t>(1u << static_cast<unsigned>(m));
+      }
+    };
+    if (node == 0) {
+      const sat::Lit constUnit[] = {~mapLit(aig::kFalse)};
+      checkMember(constUnit, Member::kConstUnit);
+      return;
+    }
+    if (!graph.isAnd(node)) return;
+    const auto group =
+        andGateClauses(sat::Lit::make(map.varOf[node], false),
+                       mapLit(graph.fanin0(node)), mapLit(graph.fanin1(node)));
+    for (std::size_t m = 0; m < group.size(); ++m) {
+      checkMember(canonical(group[m]), static_cast<Member>(m));
+    }
+  });
+  bool assertMissing = false;
+  if (options.expectOutputAssertion) {
+    const sat::Lit assertion[] = {mapLit(graph.output(options.outputIndex))};
+    const std::uint64_t h = hashLits(assertion);
+    const int entry = expected.find(assertion, h);
+    const int rank = expected.roleRank(entry, assertNode, Member::kAssert);
+    assertMissing = static_cast<std::uint32_t>(rank) >=
+                    actual.countEqual(assertion, h, actual.numClauses());
+  }
+
+  // ---- stage 2d: sweep over the variable/clause occurrence dag — every
+  // clause classifies itself (matched / duplicate / near-miss polarity
+  // flip / foreign) into its own slot.
+  std::vector<ClauseFinding> findings(cnf.clauses.size());
+  const analysis::Dag occurrence =
+      analysis::clauseVarDag(cnf.numVars, cnf.clauses);
+  analysis::parallelLevelSweep(occurrence, sweep, [&](std::uint32_t node) {
+    if (node < cnf.numVars) return;  // variable side: nothing to classify
+    const std::uint32_t ci = node - cnf.numVars;
+    ClauseFinding& f = findings[ci];
+    const auto lits = actual.lits(ci);
+    const std::uint64_t h = actual.hash(ci);
+    const int entry = expected.find(lits, h);
+    if (entry >= 0) {
+      // Rank among identical copies: ranks below the entry's role count
+      // satisfy roles; the rest are redundant duplicates of the first.
+      const std::uint32_t rank = actual.countEqual(lits, h, ci);
+      if (rank < expected.roles(entry).size()) {
+        f.kind = ClauseFinding::kMatched;
+      } else {
+        f.kind = ClauseFinding::kDuplicate;
+        f.duplicateOf = actual.firstEqual(lits, h);
+      }
+      return;
+    }
+    // Near-miss probe: flipping one literal's polarity keeps the sorted
+    // order (indices differ only in the low bit), so a single lookup per
+    // position suffices.
+    std::vector<sat::Lit> probe(lits.begin(), lits.end());
+    for (std::uint32_t p = 0; p < probe.size(); ++p) {
+      probe[p] = ~probe[p];
+      if (expected.find(probe, hashLits(probe)) >= 0) {
+        f.kind = ClauseFinding::kFlip;
+        f.flipEntry = expected.find(probe, hashLits(probe));
+        f.flipPos = p;
+        return;
+      }
+      probe[p] = ~probe[p];
+    }
+    f.kind = ClauseFinding::kForeign;
+  });
+
+  // ---- stage 3: deterministic emission, ascending location within
+  // ascending code group (the DiagnosticSink contract).
+  const auto describeMissing = [&](std::uint32_t node) {
+    std::string s;
+    for (unsigned m = 0; m <= 4; ++m) {
+      if ((missing[node] & (1u << m)) == 0) continue;
+      if (!s.empty()) s += ", ";
+      s += memberName(static_cast<Member>(m));
+    }
+    return s;
+  };
+  for (std::uint32_t n = 0; n < numNodes; ++n) {
+    if (missing[n] == 0 || !graph.isAnd(n) || inCone[n] == 0) continue;
+    tally.emit(Severity::kError, "E104", nodeLoc(n),
+               "in-cone AND node is missing " + describeMissing(n));
+  }
+  for (std::uint32_t ci = 0; ci < findings.size(); ++ci) {
+    const ClauseFinding& f = findings[ci];
+    if (f.kind != ClauseFinding::kFlip) continue;
+    const auto role = expected.roles(f.flipEntry)[0];
+    tally.emit(
+        Severity::kError, "E105", clauseLoc(ci),
+        "literal " + dimacsLit(actual.lits(ci)[f.flipPos]) +
+            " has flipped polarity relative to the " +
+            memberName(role.member) + " of node " +
+            std::to_string(role.node));
+  }
+  for (std::uint32_t ci = 0; ci < findings.size(); ++ci) {
+    if (findings[ci].kind != ClauseFinding::kForeign) continue;
+    tally.emit(Severity::kError, "E106", clauseLoc(ci),
+               "foreign clause: matches no node's Tseitin clause group");
+  }
+  if ((missing[0] & (1u << static_cast<unsigned>(Member::kConstUnit))) !=
+      0) {
+    tally.emit(Severity::kError, "E107", nodeLoc(0),
+               "constant-false unit clause (" +
+                   dimacsLit(~mapLit(aig::kFalse)) + ") is missing");
+  }
+  if (assertMissing) {
+    tally.emit(Severity::kError, "E108",
+               "output " + std::to_string(options.outputIndex),
+               "output-assertion unit clause (" +
+                   dimacsLit(mapLit(graph.output(options.outputIndex))) +
+                   ") is missing");
+  }
+  for (std::uint32_t ci = 0; ci < findings.size(); ++ci) {
+    const ClauseFinding& f = findings[ci];
+    if (f.kind != ClauseFinding::kDuplicate) continue;
+    tally.emit(Severity::kWarning, "E109", clauseLoc(ci),
+               "duplicate copy of " + clauseLoc(f.duplicateOf));
+  }
+  for (std::uint32_t n = 0; n < numNodes; ++n) {
+    if (missing[n] == 0 || !graph.isAnd(n) || inCone[n] != 0) continue;
+    tally.emit(Severity::kWarning, "E110", nodeLoc(n),
+               "out-of-cone AND node is missing " + describeMissing(n) +
+                   " (sound for the asserted output, but the CNF has "
+                   "drifted from the graph)");
+  }
+  for (const ClauseFinding& f : findings) {
+    if (f.kind == ClauseFinding::kMatched) ++tally.stats.matchedClauses;
+  }
+  tally.emit(
+      Severity::kInfo, "E111", "",
+      "audited " + std::to_string(numNodes) + " nodes: " +
+          std::to_string(tally.stats.matchedClauses) + "/" +
+          std::to_string(tally.stats.expectedClauses) +
+          " expected clauses matched, " +
+          std::to_string(tally.stats.errors) + " error(s), " +
+          std::to_string(tally.stats.warnings) + " warning(s)");
+  return tally.stats;
+}
+
+}  // namespace cp::cnf

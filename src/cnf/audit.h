@@ -1,0 +1,118 @@
+// Static Tseitin-encoding auditor: does this CNF really encode that AIG?
+//
+// checkProof certifies that the miter *CNF* is unsatisfiable; nothing else
+// in the trust chain verified that the CNF actually encodes the miter AIG
+// — a wrong encoding yields a perfectly checkable proof of the wrong
+// formula. auditEncoding closes that gap statically: under a node -> SAT
+// variable map it reconstructs the exact clause group every AIG node must
+// contribute (the constant-false unit, the three AND-gate clauses with
+// inverters folded into literals — which covers the miter XOR/OR stage,
+// since those are AND nodes after construction — and the output unit
+// assertion) and matches the CNF against it clause by clause, both ways:
+// every expected clause must be present, and every present clause must be
+// expected. Findings go through the cp::Diagnostic engine as the stable
+// E1xx taxonomy (DESIGN.md §7/§11):
+//
+//   E101  error    audit input malformed: var-map has the wrong size, maps
+//                  a node to a variable >= cnf.numVars, or a clause
+//                  references a variable >= cnf.numVars
+//   E102  error    two nodes mapped to the same variable
+//   E103  error    node mapped to sat::kNoVar (stale / partial var-map)
+//   E104  error    in-cone AND node is missing gate clause(s)
+//   E105  error    clause matches an expected clause except for exactly
+//                  one flipped literal polarity
+//   E106  error    foreign clause: matches no node's clause group
+//   E107  error    constant-false unit clause missing
+//   E108  error    output-assertion unit clause missing
+//   E109  warning  duplicate copy of an expected clause
+//   E110  warning  out-of-cone AND node is missing gate clause(s) (sound —
+//                  the assertion's cone is fully encoded — but the CNF has
+//                  drifted from the graph)
+//   E111  info     audit summary (nodes, expected/matched clauses)
+//
+// E101–E103 invalidate the node/variable correspondence itself, so the
+// auditor reports them and stops — clause matching against a broken map
+// would only produce noise. Like every diagnostic pass the audit is
+// deterministic: findings are bit-identical at every thread count
+// (parallel phases run as analysis::parallelLevelSweep with node-owned
+// finding slots; emission is a sequential ordered walk).
+//
+// What the audit does NOT cover (see DESIGN.md §11): that the AIG itself
+// is the miter of the two circuits the user asked about (buildMiter +
+// AIGER parsing stay trusted), and that the checker checks (checkProof's
+// own job). It is advisory like lint — but unlike lint it is *about* the
+// trust chain: a clean audit plus a checked refutation means "this very
+// graph's encoding is unsatisfiable".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/aig/aig.h"
+#include "src/base/diagnostics.h"
+#include "src/base/options.h"
+#include "src/cnf/cnf.h"
+#include "src/sat/types.h"
+
+namespace cp {
+class ThreadPool;
+}  // namespace cp
+
+namespace cp::cnf {
+
+/// Node -> SAT variable correspondence the audit checks the CNF against.
+/// varOf is indexed by AIG node id; an entry of sat::kNoVar marks the node
+/// unmapped (E103). The library's own encoder uses the identity map.
+struct VarMap {
+  std::vector<sat::Var> varOf;
+
+  /// The encoder's discipline: node v <-> variable v.
+  static VarMap identity(std::uint32_t numNodes);
+};
+
+struct AuditOptions {
+  ParallelOptions parallel;
+
+  /// Pool for the parallel sweeps; nullptr = transient pool when
+  /// parallel.numThreads asks for one (the cube::CubeOptions injection
+  /// pattern, so service-embedded audits share one worker budget).
+  cp::ThreadPool* pool = nullptr;
+
+  /// Which output's unit assertion the CNF is expected to carry, and whose
+  /// cone separates E104 (error) from E110 (warning).
+  std::size_t outputIndex = 0;
+
+  /// False audits a bare encode() with no output assertion; every node
+  /// then counts as in-cone (there is no rooted question to scope by).
+  bool expectOutputAssertion = true;
+
+  std::string validate(const char* owner = "AuditOptions") const {
+    return parallel.validate(owner);
+  }
+};
+
+struct AuditStats {
+  std::uint32_t nodesAudited = 0;
+  std::uint64_t expectedClauses = 0;
+  std::uint64_t matchedClauses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t warnings = 0;
+
+  /// True when the CNF is exactly the expected encoding (warnings allowed:
+  /// duplicates and out-of-cone drift do not change the encoded function).
+  bool ok() const { return errors == 0; }
+
+  bool operator==(const AuditStats&) const = default;
+};
+
+/// Audits `cnf` against `graph` under `map`, reporting E1xx findings to
+/// `sink` in deterministic order (ascending location within ascending code
+/// group) and returning the tallies. Throws std::invalid_argument on
+/// invalid options or outputIndex >= graph.numOutputs() (when an output
+/// assertion is expected).
+AuditStats auditEncoding(const aig::Aig& graph, const Cnf& cnf,
+                         const VarMap& map, diag::DiagnosticSink& sink,
+                         const AuditOptions& options = {});
+
+}  // namespace cp::cnf

@@ -77,6 +77,7 @@ void lint(const Cnf& cnf, diag::DiagnosticSink& sink) {
         outOfRange = true;
       } else {
         polarity[l.var()] |= l.negated() ? 2 : 1;
+        if (clause.size() == 1) polarity[l.var()] |= 4;
       }
       if (i > 0 && sorted[i - 1] == l && !duplicateLit) {
         sink.report({Severity::kWarning, "C103", clauseLoc(ci),
@@ -111,7 +112,11 @@ void lint(const Cnf& cnf, diag::DiagnosticSink& sink) {
   for (sat::Var v = 0; v < cnf.numVars; ++v) {
     if (polarity[v] == 0) {
       unused.push_back(v);
-    } else if (polarity[v] != 3) {
+    } else if ((polarity[v] & 3) != 3 && (polarity[v] & 4) == 0) {
+      // Single polarity AND not pinned by a unit clause: a deliberately
+      // pinned variable (the Tseitin constant node, an output assertion)
+      // is pure by design, while an unpinned pure variable in a miter
+      // encoding means a cone that constrains nothing — dead logic.
       pure.push_back(v);
     }
   }
@@ -122,10 +127,11 @@ void lint(const Cnf& cnf, diag::DiagnosticSink& sink) {
                      variableList(unused)});
   }
   if (!pure.empty()) {
-    sink.report({Severity::kInfo, "C106", "",
+    sink.report({Severity::kWarning, "C106", "",
                  std::to_string(pure.size()) +
-                     " variable(s) occur with a single polarity (pure "
-                     "literals): " +
+                     " variable(s) occur with a single polarity and are "
+                     "not pinned by a unit clause (pure literals — dead "
+                     "or disconnected cone): " +
                      variableList(pure)});
   }
 }

@@ -12,7 +12,10 @@
 //   C103 warning  duplicate literal inside one clause
 //   C104 warning  duplicate clause (same literal set as an earlier clause)
 //   C105 info     declared-but-unused variables (aggregate)
-//   C106 info     pure literals: variables with a single polarity (aggregate)
+//   C106 warning  pure literals: variables with a single polarity and no
+//                 pinning unit clause (aggregate). In a miter encoding a
+//                 pure variable marks a dead cone; deliberately pinned
+//                 variables (constant node, output assertion) are exempt.
 //   C107 info     empty clause present (formula trivially unsatisfiable)
 #pragma once
 

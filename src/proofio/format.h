@@ -52,6 +52,18 @@ struct CubeSpan {
   std::uint32_t lastClause = 0;   ///< last spliced clause id (0 = none)
 };
 
+// A second optional footer section, the *var-map*, may follow the cube
+// section: the AIG node -> SAT variable correspondence of the encoding the
+// proof's axioms were taken from (count:u32, then the first variable as a
+// varint and every further entry as a zigzag delta — one byte each for the
+// identity map the encoder uses). With it on disk, a CPF refutation plus
+// the miter AIGER is auditable later: cnf::auditEncoding can re-derive and
+// verify the exact axiom clause set without rerunning the engine. When the
+// var-map section is present the cube section is always written first
+// (with count 0 when there are no cubes) so the two remain
+// self-describing; like the cube section it is descriptive only and
+// ignored by the checkers.
+
 /// CRC32 (IEEE 802.3: reflected polynomial 0xEDB88320, init and final xor
 /// 0xFFFFFFFF). `seed` chains: crc32(b, crc32(a)) == crc32(a ++ b).
 std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);

@@ -151,6 +151,19 @@ Footer parseFooter(std::istream& in) {
       footer.info.cubeSpans.push_back(span);
     }
   }
+  // Optional var-map section (first entry varint, then zigzag deltas).
+  if (!r.atEnd()) {
+    const std::uint32_t varCount = r.u32();
+    footer.info.varMap.reserve(varCount);
+    std::int64_t value = 0;
+    for (std::uint32_t i = 0; i < varCount; ++i) {
+      value = i == 0 ? static_cast<std::int64_t>(r.var()) : value + r.zig();
+      if (value < 0 || value > 0xFFFFFFFFll) {
+        corrupt("var-map entry out of the 32-bit variable range");
+      }
+      footer.info.varMap.push_back(static_cast<std::uint32_t>(value));
+    }
+  }
   if (!r.atEnd()) corrupt("footer has trailing bytes");
   if (expectedFirst - 1 != footer.info.clauses) {
     corrupt("chunk index clause total disagrees with footer count");

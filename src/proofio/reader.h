@@ -53,6 +53,11 @@ struct ContainerInfo {
   /// cube-and-conquer composed proof, in cube order; empty for containers
   /// written by every other engine (see format.h).
   std::vector<CubeSpan> cubeSpans;
+  /// Optional var-map section: AIG node i of the certified miter maps to
+  /// SAT variable varMap[i] of the encoding the axioms came from — the
+  /// hook that keeps a stored refutation auditable (cnf::auditEncoding)
+  /// against the miter AIGER. Empty when the section is absent.
+  std::vector<std::uint32_t> varMap;
 };
 
 /// Parses and CRC-verifies only the footer. `in` must be seekable.

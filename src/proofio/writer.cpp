@@ -124,6 +124,13 @@ void ProofWriter::setCubeSpans(std::span<const CubeSpan> spans) {
   cubeSpans_.assign(spans.begin(), spans.end());
 }
 
+void ProofWriter::setVarMap(std::span<const std::uint32_t> varOf) {
+  if (finished_) {
+    throw std::logic_error("ProofWriter: setVarMap after finish()");
+  }
+  varMap_.assign(varOf.begin(), varOf.end());
+}
+
 void ProofWriter::flushChunk() {
   if (chunkClauses_ == 0) return;
   frame_.clear();
@@ -183,12 +190,24 @@ const WriteStats& ProofWriter::finish() {
   }
   // Optional cube-metadata section (see format.h): present only for
   // cube-composed proofs, covered by the footer CRC like everything else.
-  if (!cubeSpans_.empty()) {
+  // A var-map forces the cube section out (possibly with count 0) so the
+  // two optional sections stay positionally self-describing.
+  if (!cubeSpans_.empty() || !varMap_.empty()) {
     putU32(payload, static_cast<std::uint32_t>(cubeSpans_.size()));
     for (const CubeSpan& span : cubeSpans_) {
       putU32(payload, span.literals);
       putU32(payload, span.firstClause);
       putU32(payload, span.lastClause);
+    }
+  }
+  // Optional var-map section: first entry as a varint, then zigzag deltas
+  // (one byte per node for the encoder's identity map).
+  if (!varMap_.empty()) {
+    putU32(payload, static_cast<std::uint32_t>(varMap_.size()));
+    putVar(payload, varMap_[0]);
+    for (std::size_t i = 1; i < varMap_.size(); ++i) {
+      putZig(payload, static_cast<std::int64_t>(varMap_[i]) -
+                          static_cast<std::int64_t>(varMap_[i - 1]));
     }
   }
   frame_.clear();
@@ -209,7 +228,7 @@ const WriteStats& ProofWriter::finish() {
 }
 
 WriteStats writeProof(const proof::ProofLog& log, std::ostream& out,
-                      WriterOptions options) {
+                      WriterOptions options, const FooterSections* sections) {
   ProofWriter writer(out, options);
   for (proof::ClauseId id = 1; id <= log.numClauses(); ++id) {
     writer.onClause(id, log.lits(id), log.chain(id));
@@ -218,14 +237,18 @@ WriteStats writeProof(const proof::ProofLog& log, std::ostream& out,
     writer.onDelete(proof::kNoClause);
   }
   if (log.hasRoot()) writer.onRoot(log.root());
+  if (sections != nullptr) {
+    writer.setCubeSpans(sections->cubeSpans);
+    writer.setVarMap(sections->varMap);
+  }
   return writer.finish();
 }
 
 WriteStats writeProofFile(const proof::ProofLog& log, const std::string& path,
-                          WriterOptions options) {
+                          WriterOptions options, const FooterSections* sections) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cpf: cannot open " + path);
-  return writeProof(log, out, options);
+  return writeProof(log, out, options, sections);
 }
 
 }  // namespace cp::proofio

@@ -76,6 +76,13 @@ class ProofWriter final : public proof::ProofSink {
   /// the section absent, which is what every non-cube engine gets.
   void setCubeSpans(std::span<const CubeSpan> spans);
 
+  /// Declares the node -> variable map of the encoding the proof's axioms
+  /// came from; it is written into the footer's optional var-map section
+  /// (see format.h) so the container stays auditable against the miter
+  /// AIGER after the fact. Must be called before finish(); an empty span
+  /// keeps the section absent.
+  void setVarMap(std::span<const std::uint32_t> varOf);
+
   /// Flushes the open chunk and writes the last-use section and the footer.
   /// Idempotent; after the first call further clauses are rejected. Throws
   /// std::runtime_error if the underlying stream failed.
@@ -109,18 +116,30 @@ class ProofWriter final : public proof::ProofSink {
   };
   std::vector<ChunkIndexEntry> index_;
   std::vector<CubeSpan> cubeSpans_;
+  std::vector<std::uint32_t> varMap_;
 
   std::uint64_t offset_ = 0;  ///< bytes emitted so far
   WriteStats stats_;
   bool finished_ = false;
 };
 
+/// Optional footer sections to carry along when replaying a log (see
+/// format.h): rewrite paths (cec_batch's dedup+trim, proof_tools
+/// conversions) pass the sections probed from the source container so a
+/// rewrite never silently drops cube metadata or the var-map.
+struct FooterSections {
+  std::vector<CubeSpan> cubeSpans;
+  std::vector<std::uint32_t> varMap;
+};
+
 /// Replays an existing in-memory log through a ProofWriter: the bytes are
 /// identical to what streaming the same clause sequence during solving
 /// produces. This is the text→binary conversion path (proof_tools tobinary).
 WriteStats writeProof(const proof::ProofLog& log, std::ostream& out,
-                      WriterOptions options = {});
+                      WriterOptions options = {},
+                      const FooterSections* sections = nullptr);
 WriteStats writeProofFile(const proof::ProofLog& log, const std::string& path,
-                          WriterOptions options = {});
+                          WriterOptions options = {},
+                          const FooterSections* sections = nullptr);
 
 }  // namespace cp::proofio

@@ -51,6 +51,14 @@ void writeRecord(const JobRecord& record, json::Writer& writer) {
       .field("priority", record.priority)
       .field("verdict", cec::toString(record.verdict))
       .field("proofChecked", record.proofChecked);
+  if (record.auditRan) {
+    writer.key("audit");
+    writer.beginObject()
+        .field("ok", record.auditOk)
+        .field("errors", record.auditErrors)
+        .field("warnings", record.auditWarnings)
+        .endObject();
+  }
   writer.key("stats");
   cec::writeCecStats(record.stats, writer);
   writer.key("proof");

@@ -94,6 +94,14 @@ struct JobRecord {
   /// Proof checked by the independent checker — and, when the job set a
   /// proofPath, additionally re-certified from the CPF container on disk.
   bool proofChecked = false;
+  /// Static encoding audit (EngineConfig::auditEncoding): whether it ran,
+  /// whether it was error-free, and its finding tallies. A job with
+  /// auditRan && !auditOk certified some CNF, but not provably this
+  /// miter's encoding.
+  bool auditRan = false;
+  bool auditOk = false;
+  std::uint64_t auditErrors = 0;
+  std::uint64_t auditWarnings = 0;
   /// Full engine statistics, rendered under "stats" with the shared
   /// schema (cec/stats_json.h) — the same field names a standalone
   /// CertifyReport dump or a BENCH_*.json trajectory uses. This replaces

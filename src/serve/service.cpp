@@ -251,6 +251,10 @@ void BatchService::runJob(std::uint64_t id) {
     if (state == JobState::kDone) {
       r.verdict = report.cec.verdict;
       r.proofChecked = report.proofChecked;
+      r.auditRan = report.audit.ran;
+      r.auditOk = report.audit.ok;
+      r.auditErrors = report.audit.stats.errors;
+      r.auditWarnings = report.audit.stats.warnings;
       r.stats = report.cec.stats;
       r.proofClauses = report.trim.clausesAfter;
       r.proofResolutions = report.trim.resolutionsAfter;

@@ -86,6 +86,39 @@ TEST(CnfLint, UnusedAndPureVariables) {
   // Aggregates use DIMACS (1-based) numbering.
   EXPECT_NE(sink.diagnostics()[0].message.find(": 4"), std::string::npos);
   EXPECT_NE(sink.diagnostics()[1].message.find("2, 3"), std::string::npos);
+  // A pure variable is a dead-cone indicator: warning, so --werror gates.
+  EXPECT_EQ(sink.diagnostics()[1].severity, Severity::kWarning);
+  EXPECT_TRUE(sink.failed(/*werror=*/true));
+}
+
+TEST(CnfLint, UnitPinnedVariablesAreNotPure) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  // v0 is pure negative but pinned by a unit clause (the Tseitin constant
+  // node's shape); v1 is pure positive through a non-unit clause only;
+  // v2 sees both polarities.
+  cnf.clauses = {{neg(0)}, {pos(1), pos(2)}, {neg(2), pos(1)}};
+  DiagnosticCollector sink;
+  lint(cnf, sink);
+  ASSERT_EQ(sink.countOf("C106"), 1u);
+  const auto& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "C106");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  // Only v1 (DIMACS 2) is flagged; pinned v0 is exempt.
+  EXPECT_NE(d.message.find(": 2"), std::string::npos);
+  EXPECT_EQ(d.message.find("1,"), std::string::npos);
+}
+
+TEST(CnfLint, MiterEncodingWithAssertionIsWarningClean) {
+  // The full pipeline shape: constant unit + gate clauses + output
+  // assertion. The two deliberately pinned pure variables (constant node,
+  // asserted output) must not trip the dead-cone warning.
+  const auto graph = gen::rippleCarryAdder(4);
+  const Cnf cnf = encodeWithOutputAssertion(graph);
+  DiagnosticCollector sink;
+  lint(cnf, sink);
+  EXPECT_EQ(sink.count(Severity::kError), 0u);
+  EXPECT_EQ(sink.countOf("C106"), 0u);
 }
 
 TEST(CnfLint, TseitinEncodingIsClean) {

@@ -1,0 +1,262 @@
+// Tests for the analysis:: dataflow substrate (dag.h / dataflow.h): CSR
+// construction, levelization, the three artifact builders cross-checked
+// against the independent walkers they mirror (aig::Aig::levels,
+// proof::reachableFromRoot), the worklist fixpoint, and the determinism
+// contract of parallelLevelSweep at 1/2/4/8 threads, with an injected
+// pool, and nested on a pool worker.
+#include "src/analysis/dataflow.h"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/dag.h"
+#include "src/base/thread_pool.h"
+#include "src/cnf/cnf.h"
+#include "src/gen/arith.h"
+#include "src/proof/analysis.h"
+#include "src/proof/proof_log.h"
+#include "src/sat/types.h"
+
+namespace cp::analysis {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+std::vector<std::uint32_t> toVector(std::span<const std::uint32_t> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Dag, BuildsSortedDeduplicatedCsr) {
+  // Duplicate edge (0,2) collapses; neighbor spans come out ascending.
+  const Dag dag = Dag::fromEdges(4, {{2, 3}, {0, 2}, {1, 2}, {0, 2}, {0, 1}});
+  EXPECT_EQ(dag.numNodes(), 4u);
+  EXPECT_EQ(dag.numEdges(), 4u);
+  EXPECT_EQ(toVector(dag.succs(0)), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(toVector(dag.preds(2)), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(toVector(dag.preds(0)), std::vector<std::uint32_t>{});
+  EXPECT_EQ(toVector(dag.succs(3)), std::vector<std::uint32_t>{});
+}
+
+TEST(Dag, RejectsOutOfRangeAndSelfLoopEdges) {
+  EXPECT_THROW(Dag::fromEdges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Dag::fromEdges(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Dag, LevelizeIsLongestPath) {
+  // Diamond with a long arm: 0 -> {1, 2}, 1 -> 3, 2 -> 4 -> 3.
+  const Dag dag = Dag::fromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 3}});
+  const std::vector<std::uint32_t> levels = levelize(dag);
+  EXPECT_EQ(levels, (std::vector<std::uint32_t>{0, 1, 1, 3, 2}));
+
+  const auto groups = levelGroups(dag);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], std::vector<std::uint32_t>{0});
+  EXPECT_EQ(groups[1], (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(groups[2], std::vector<std::uint32_t>{4});
+  EXPECT_EQ(groups[3], std::vector<std::uint32_t>{3});
+}
+
+TEST(Dag, LevelizeThrowsOnCycle) {
+  const Dag cyclic = Dag::fromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_THROW(levelize(cyclic), std::invalid_argument);
+}
+
+TEST(Dag, AigDagLevelsMatchAigLevels) {
+  // The builder's levelization must agree with the AIG's own independent
+  // depth computation on a real arithmetic circuit.
+  const aig::Aig g = gen::carryLookaheadAdder(6, 3);
+  const Dag dag = aigDag(g);
+  ASSERT_EQ(dag.numNodes(), g.numNodes());
+  EXPECT_EQ(levelize(dag), g.levels());
+}
+
+TEST(Dag, ProofDagReachabilityMatchesProofCone) {
+  // (x), (~x | y), (~y) |- {} via two resolution steps, plus one clause
+  // ((z)) the root never touches.
+  proof::ProofLog log;
+  using sat::Lit;
+  const auto x = Lit::make(0, false);
+  const auto y = Lit::make(1, false);
+  const auto z = Lit::make(2, false);
+  const auto a1 = log.addAxiom(std::vector<Lit>{x});
+  const auto a2 = log.addAxiom(std::vector<Lit>{~x, y});
+  const auto a3 = log.addAxiom(std::vector<Lit>{~y});
+  const auto dead = log.addAxiom(std::vector<Lit>{z});
+  const auto d1 =
+      log.addDerived(std::vector<Lit>{y}, std::vector<proof::ClauseId>{a1, a2});
+  const auto root =
+      log.addDerived(std::vector<Lit>{}, std::vector<proof::ClauseId>{d1, a3});
+  log.setRoot(root);
+
+  const Dag dag = proofDag(log);
+  ASSERT_EQ(dag.numNodes(), log.numClauses() + 1);
+  const std::vector<std::uint32_t> roots{root};
+  const std::vector<char> cone = reachable(dag, roots, Direction::kBackward);
+  EXPECT_EQ(cone, proof::reachableFromRoot(log));
+  EXPECT_EQ(cone[dead], 0);
+  EXPECT_EQ(cone[a1], 1);
+}
+
+TEST(Dag, ClauseVarDagConnectsOccurrences) {
+  using sat::Lit;
+  const std::vector<std::vector<Lit>> clauses = {
+      {Lit::make(0, false), Lit::make(1, true)},
+      {Lit::make(1, false)},
+  };
+  const Dag dag = clauseVarDag(3, clauses);
+  ASSERT_EQ(dag.numNodes(), 5u);  // 3 vars + 2 clauses
+  EXPECT_EQ(toVector(dag.succs(1)),
+            (std::vector<std::uint32_t>{clauseNode(3, 0), clauseNode(3, 1)}));
+  EXPECT_EQ(toVector(dag.preds(clauseNode(3, 0))),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(toVector(dag.succs(2)), std::vector<std::uint32_t>{});
+
+  const std::vector<std::vector<Lit>> bad = {{Lit::make(3, false)}};
+  EXPECT_THROW(clauseVarDag(3, bad), std::invalid_argument);
+}
+
+TEST(Dataflow, SolveReachesForwardFixpoint) {
+  // Longest-path distance as a forward dataflow problem: the fixpoint must
+  // equal levelize() even though the transfer is evaluated iteratively.
+  const Dag dag = Dag::fromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 3}});
+  const auto facts = solve(
+      dag, Direction::kForward, std::vector<std::uint32_t>(5, 0),
+      [&dag](std::uint32_t node, const std::vector<std::uint32_t>& f) {
+        std::uint32_t level = 0;
+        for (const std::uint32_t p : dag.preds(node)) {
+          level = std::max(level, f[p] + 1);
+        }
+        return level;
+      });
+  EXPECT_EQ(facts, levelize(dag));
+}
+
+TEST(Dataflow, SolveReachesBackwardFixpoint) {
+  // Liveness-style: a node is "live" iff it reaches node 3.
+  const Dag dag = Dag::fromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}});
+  const auto live = solve(
+      dag, Direction::kBackward, std::vector<char>(5, 0),
+      [&dag](std::uint32_t node, const std::vector<char>& f) -> char {
+        if (node == 3) return 1;
+        for (const std::uint32_t s : dag.succs(node)) {
+          if (f[s] != 0) return 1;
+        }
+        return 0;
+      });
+  EXPECT_EQ(live, (std::vector<char>{1, 1, 0, 1, 0}));
+}
+
+TEST(Dataflow, SolveRejectsWrongFactsSize) {
+  const Dag dag = Dag::fromEdges(2, {{0, 1}});
+  EXPECT_THROW(
+      solve(dag, Direction::kForward, std::vector<int>(3, 0),
+            [](std::uint32_t, const std::vector<int>&) { return 0; }),
+      std::invalid_argument);
+}
+
+TEST(Dataflow, ReachableIncludesRootsAndValidates) {
+  const Dag dag = Dag::fromEdges(4, {{0, 1}, {1, 2}});
+  const std::vector<std::uint32_t> roots{1};
+  const std::vector<char> fwd = reachable(dag, roots, Direction::kForward);
+  EXPECT_EQ(fwd, (std::vector<char>{0, 1, 1, 0}));
+  const std::vector<char> bwd = reachable(dag, roots, Direction::kBackward);
+  EXPECT_EQ(bwd, (std::vector<char>{1, 1, 0, 0}));
+  const std::vector<std::uint32_t> bad{4};
+  EXPECT_THROW(reachable(dag, bad, Direction::kForward),
+               std::invalid_argument);
+}
+
+/// Runs the level sweep over a real circuit graph computing each node's
+/// level into a node-owned slot (the determinism contract), and returns
+/// the slots plus a visit counter total.
+std::vector<std::uint32_t> sweepLevels(const aig::Aig& g,
+                                       const SweepOptions& options,
+                                       std::uint64_t* visits = nullptr) {
+  const Dag dag = aigDag(g);
+  std::vector<std::uint32_t> level(dag.numNodes(), 0);
+  std::atomic<std::uint64_t> count{0};
+  parallelLevelSweep(dag, options, [&](std::uint32_t node) {
+    std::uint32_t l = 0;
+    for (const std::uint32_t p : dag.preds(node)) {
+      l = std::max(l, level[p] + 1);  // predecessors' level already done
+    }
+    level[node] = l;
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (visits != nullptr) *visits = count.load();
+  return level;
+}
+
+TEST(Dataflow, ParallelLevelSweepIsThreadCountInvariant) {
+  const aig::Aig g = gen::wallaceMultiplier(4);
+  SweepOptions base;
+  base.parallel.batchSize = 8;  // small slices so helpers really run
+  std::uint64_t visits = 0;
+  base.parallel.numThreads = 1;
+  const std::vector<std::uint32_t> reference = sweepLevels(g, base, &visits);
+  EXPECT_EQ(reference, g.levels());
+  EXPECT_EQ(visits, g.numNodes());
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    SweepOptions options = base;
+    options.parallel.numThreads = threads;
+    std::uint64_t n = 0;
+    EXPECT_EQ(sweepLevels(g, options, &n), reference)
+        << "divergence at " << threads << " threads";
+    EXPECT_EQ(n, g.numNodes());
+  }
+}
+
+TEST(Dataflow, ParallelLevelSweepSharesInjectedPool) {
+  const aig::Aig g = gen::rippleCarryAdder(8);
+  ThreadPool pool(2);
+  SweepOptions options;
+  options.parallel.numThreads = 4;
+  options.parallel.batchSize = 4;
+  options.pool = &pool;
+  EXPECT_EQ(sweepLevels(g, options), g.levels());
+}
+
+TEST(Dataflow, ParallelLevelSweepNestsOnPoolWorker) {
+  // A sweep launched from a task already running on the pool must drain
+  // without deadlock even when the pool has a single worker (the batch
+  // service runs audits exactly like this).
+  const aig::Aig g = gen::parityTree(10);
+  ThreadPool pool(1);
+  auto future = pool.submit(0, [&] {
+    SweepOptions options;
+    options.parallel.numThreads = 4;
+    options.parallel.batchSize = 4;
+    options.pool = &pool;
+    return sweepLevels(g, options);
+  });
+  EXPECT_EQ(future.get(), g.levels());
+}
+
+TEST(Dataflow, ParallelLevelSweepPropagatesVisitorExceptions) {
+  const Dag dag = Dag::fromEdges(3, {{0, 1}, {1, 2}});
+  SweepOptions options;
+  options.parallel.numThreads = 2;
+  EXPECT_THROW(parallelLevelSweep(dag, options,
+                                  [](std::uint32_t node) {
+                                    if (node == 2) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(Dataflow, SweepOptionsValidateRejectsOversizedBatch) {
+  SweepOptions options;
+  options.parallel.batchSize = ParallelOptions::kMaxBatchSize + 1;
+  EXPECT_FALSE(options.validate().empty());
+  const Dag dag = Dag::fromEdges(1, {});
+  EXPECT_THROW(parallelLevelSweep(dag, options, [](std::uint32_t) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::analysis

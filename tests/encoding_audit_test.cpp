@@ -1,0 +1,353 @@
+// Mutation self-test harness for the static Tseitin-encoding auditor
+// (cnf::auditEncoding, DESIGN.md §11): every supported corruption of a
+// CNF/var-map is injected deliberately and must come back as its exact
+// stable E1xx code — flipped literals, dropped/duplicated/foreign
+// clauses, missing units, stale and double-mapped var-maps, swapped
+// miter XOR inputs — plus the determinism bar (findings bit-identical at
+// 1/2/4/8 threads) and the end-to-end wiring through cec::checkMiter and
+// the batch service.
+#include "src/cnf/audit.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/aig/aig.h"
+#include "src/base/diagnostics.h"
+#include "src/cec/certify.h"
+#include "src/cec/miter.h"
+#include "src/cnf/cnf.h"
+#include "src/gen/arith.h"
+#include "src/serve/service.h"
+
+namespace cp::cnf {
+namespace {
+
+using diag::Diagnostic;
+using diag::Severity;
+
+/// One audit invocation's full observable output.
+struct AuditRun {
+  AuditStats stats;
+  std::vector<Diagnostic> findings;
+};
+
+AuditRun runAudit(const aig::Aig& graph, const Cnf& cnf, const VarMap& map,
+                  const AuditOptions& options = {}) {
+  diag::DiagnosticCollector collector;
+  AuditRun run;
+  run.stats = auditEncoding(graph, cnf, map, collector, options);
+  run.findings = collector.diagnostics();
+  return run;
+}
+
+AuditRun runAudit(const aig::Aig& graph, const Cnf& cnf,
+                  const AuditOptions& options = {}) {
+  return runAudit(graph, cnf, VarMap::identity(graph.numNodes()), options);
+}
+
+std::uint64_t countCode(const AuditRun& run, const std::string& code) {
+  std::uint64_t n = 0;
+  for (const Diagnostic& d : run.findings) n += d.code == code ? 1 : 0;
+  return n;
+}
+
+/// A two-input XOR as an AIG: constant + 2 inputs + 3 ANDs = 6 nodes,
+/// 11 clauses with the output assertion. Small enough that every clause
+/// index is predictable.
+aig::Aig xorGraph() {
+  aig::Aig g;
+  const aig::Edge a = g.addInput();
+  const aig::Edge b = g.addInput();
+  g.addOutput(g.addXor(a, b));
+  return g;
+}
+
+Cnf dropClause(Cnf cnf, std::size_t index) {
+  cnf.clauses.erase(cnf.clauses.begin() +
+                    static_cast<std::ptrdiff_t>(index));
+  return cnf;
+}
+
+/// Index of the first clause with exactly `width` literals.
+std::size_t firstClauseOfWidth(const Cnf& cnf, std::size_t width) {
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    if (cnf.clauses[i].size() == width) return i;
+  }
+  ADD_FAILURE() << "no clause of width " << width;
+  return 0;
+}
+
+TEST(EncodingAudit, CleanMiterEncodingIsFindingFree) {
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(4),
+                                         gen::carrySelectAdder(4, 2));
+  const AuditRun run = runAudit(miter, encodeWithOutputAssertion(miter));
+  EXPECT_TRUE(run.stats.ok());
+  EXPECT_EQ(run.stats.errors, 0u);
+  EXPECT_EQ(run.stats.warnings, 0u);
+  EXPECT_EQ(run.stats.nodesAudited, miter.numNodes());
+  EXPECT_EQ(run.stats.matchedClauses, run.stats.expectedClauses);
+  EXPECT_EQ(run.stats.expectedClauses,
+            std::uint64_t{2} + 3 * miter.numAnds());
+  // The only finding on a clean audit is the E111 summary.
+  ASSERT_EQ(run.findings.size(), 1u);
+  EXPECT_EQ(run.findings[0].code, "E111");
+  EXPECT_EQ(run.findings[0].severity, Severity::kInfo);
+}
+
+TEST(EncodingAudit, BareEncodeAuditsWithoutAssertion) {
+  const aig::Aig g = xorGraph();
+  AuditOptions options;
+  options.expectOutputAssertion = false;
+  const AuditRun run = runAudit(g, encode(g), options);
+  EXPECT_TRUE(run.stats.ok());
+  EXPECT_EQ(run.stats.warnings, 0u);
+  EXPECT_EQ(run.stats.expectedClauses, std::uint64_t{1} + 3 * g.numAnds());
+}
+
+TEST(EncodingAudit, FlippedLiteralIsE105) {
+  const aig::Aig g = xorGraph();
+  Cnf cnf = encodeWithOutputAssertion(g);
+  // Flip one literal of a two-literal gate clause (~out | a): the clause
+  // no longer matches, so the gate is also reported incomplete.
+  const std::size_t target = firstClauseOfWidth(cnf, 2);
+  cnf.clauses[target][1] = ~cnf.clauses[target][1];
+  const AuditRun run = runAudit(g, cnf);
+  EXPECT_FALSE(run.stats.ok());
+  EXPECT_EQ(countCode(run, "E105"), 1u);
+  EXPECT_EQ(countCode(run, "E104"), 1u);
+  EXPECT_EQ(run.stats.errors, 2u);
+}
+
+TEST(EncodingAudit, DroppedGateClauseIsE104) {
+  const aig::Aig g = xorGraph();
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  const AuditRun run =
+      runAudit(g, dropClause(cnf, firstClauseOfWidth(cnf, 3)));
+  EXPECT_FALSE(run.stats.ok());
+  EXPECT_EQ(countCode(run, "E104"), 1u);
+  EXPECT_EQ(run.stats.errors, 1u);
+  EXPECT_EQ(run.stats.matchedClauses, run.stats.expectedClauses - 1);
+}
+
+TEST(EncodingAudit, DroppedConstantUnitIsE107) {
+  const aig::Aig g = xorGraph();
+  // Clause 0 is the constant-false pin (encode() emits it first).
+  const AuditRun run = runAudit(g, dropClause(encodeWithOutputAssertion(g), 0));
+  EXPECT_EQ(countCode(run, "E107"), 1u);
+  EXPECT_EQ(run.stats.errors, 1u);
+}
+
+TEST(EncodingAudit, DroppedOutputAssertionIsE108) {
+  const aig::Aig g = xorGraph();
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  const AuditRun run = runAudit(g, dropClause(cnf, cnf.clauses.size() - 1));
+  EXPECT_EQ(countCode(run, "E108"), 1u);
+  EXPECT_EQ(run.stats.errors, 1u);
+}
+
+TEST(EncodingAudit, DuplicatedClauseIsE109Warning) {
+  const aig::Aig g = xorGraph();
+  Cnf cnf = encodeWithOutputAssertion(g);
+  cnf.clauses.push_back(cnf.clauses[firstClauseOfWidth(cnf, 3)]);
+  const AuditRun run = runAudit(g, cnf);
+  // A duplicate does not change the encoded function: ok() holds, but the
+  // warning gates --werror runs.
+  EXPECT_TRUE(run.stats.ok());
+  EXPECT_EQ(countCode(run, "E109"), 1u);
+  EXPECT_EQ(run.stats.warnings, 1u);
+  diag::DiagnosticCollector sink;
+  (void)auditEncoding(g, cnf, VarMap::identity(g.numNodes()), sink);
+  EXPECT_FALSE(sink.failed(/*werror=*/false));
+  EXPECT_TRUE(sink.failed(/*werror=*/true));
+}
+
+TEST(EncodingAudit, ForeignClauseIsE106) {
+  const aig::Aig g = xorGraph();
+  Cnf cnf = encodeWithOutputAssertion(g);
+  cnf.clauses.push_back({sat::Lit::make(1, false), sat::Lit::make(2, false),
+                         sat::Lit::make(4, true)});
+  const AuditRun run = runAudit(g, cnf);
+  EXPECT_EQ(countCode(run, "E106"), 1u);
+  EXPECT_EQ(run.stats.errors, 1u);
+}
+
+TEST(EncodingAudit, StaleVarMapSizeIsE101AndAbortsMatching) {
+  const aig::Aig g = xorGraph();
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  VarMap stale = VarMap::identity(g.numNodes() - 1);  // one node short
+  const AuditRun run = runAudit(g, cnf, stale);
+  EXPECT_FALSE(run.stats.ok());
+  EXPECT_GE(countCode(run, "E101"), 1u);
+  // Matching against a broken correspondence is skipped entirely: no
+  // clause-level findings, only the map error(s) and the summary.
+  EXPECT_EQ(countCode(run, "E104") + countCode(run, "E105") +
+                countCode(run, "E106"),
+            0u);
+  EXPECT_EQ(run.stats.matchedClauses, 0u);
+}
+
+TEST(EncodingAudit, ClauseVariableOutOfRangeIsE101) {
+  const aig::Aig g = xorGraph();
+  Cnf cnf = encodeWithOutputAssertion(g);
+  cnf.clauses.push_back({sat::Lit::make(cnf.numVars, false)});
+  const AuditRun run = runAudit(g, cnf);
+  EXPECT_GE(countCode(run, "E101"), 1u);
+}
+
+TEST(EncodingAudit, UnmappedNodeIsE103) {
+  const aig::Aig g = xorGraph();
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  VarMap map = VarMap::identity(g.numNodes());
+  map.varOf[3] = sat::kNoVar;
+  const AuditRun run = runAudit(g, cnf, map);
+  EXPECT_EQ(countCode(run, "E103"), 1u);
+  EXPECT_FALSE(run.stats.ok());
+}
+
+TEST(EncodingAudit, DoubleMappedNodesAreE102) {
+  const aig::Aig g = xorGraph();
+  const Cnf cnf = encodeWithOutputAssertion(g);
+  VarMap map = VarMap::identity(g.numNodes());
+  map.varOf[4] = map.varOf[3];
+  const AuditRun run = runAudit(g, cnf, map);
+  EXPECT_GE(countCode(run, "E102"), 1u);
+  EXPECT_FALSE(run.stats.ok());
+}
+
+TEST(EncodingAudit, OutOfConeMissingClauseIsE110Warning) {
+  // n3 = a & b drives the output; n4 = a & ~b dangles outside the cone.
+  aig::Aig g;
+  const aig::Edge a = g.addInput();
+  const aig::Edge b = g.addInput();
+  const aig::Edge n3 = g.addAnd(a, b);
+  (void)g.addAnd(a, !b);
+  g.addOutput(n3);
+  Cnf cnf = encodeWithOutputAssertion(g);
+  // Drop a gate clause of the dangling node 4 (its group is the last
+  // three-clause block before the assertion).
+  const AuditRun run = runAudit(g, dropClause(cnf, cnf.clauses.size() - 2));
+  EXPECT_TRUE(run.stats.ok());  // sound: the asserted cone is intact
+  EXPECT_EQ(countCode(run, "E110"), 1u);
+  EXPECT_EQ(countCode(run, "E104"), 0u);
+  EXPECT_EQ(run.stats.warnings, 1u);
+}
+
+TEST(EncodingAudit, SwappedMiterXorInputsAreDetected) {
+  // The classic encoding bug from the paper's setting: the CNF encodes the
+  // miter with its XOR-stage inputs swapped — same interface, same node
+  // count, different wiring. The audit must refuse to match it.
+  const aig::Aig left = gen::parityChain(4);
+  const aig::Aig right = gen::parityTree(4);
+  const aig::Aig miter = cec::buildMiter(left, right);
+  const aig::Aig swapped = cec::buildMiter(right, left);
+  ASSERT_EQ(miter.numNodes(), swapped.numNodes());
+  const AuditRun run = runAudit(miter, encodeWithOutputAssertion(swapped));
+  EXPECT_FALSE(run.stats.ok());
+  EXPECT_GE(countCode(run, "E104"), 1u);
+}
+
+TEST(EncodingAudit, AuditsSelectedOutputAssertion) {
+  aig::Aig g;
+  const aig::Edge a = g.addInput();
+  const aig::Edge b = g.addInput();
+  g.addOutput(g.addAnd(a, b));
+  g.addOutput(g.addAnd(a, !b));
+  AuditOptions options;
+  options.outputIndex = 1;
+  const AuditRun run =
+      runAudit(g, encodeWithOutputAssertion(g, 1), options);
+  EXPECT_TRUE(run.stats.ok());
+  EXPECT_EQ(run.stats.warnings, 0u);
+
+  options.outputIndex = 2;
+  diag::DiagnosticCollector sink;
+  EXPECT_THROW(auditEncoding(g, encodeWithOutputAssertion(g),
+                             VarMap::identity(g.numNodes()), sink, options),
+               std::invalid_argument);
+}
+
+TEST(EncodingAudit, FindingsAreThreadCountInvariant) {
+  // A corrupted CNF with every mutation class at once, audited at 1/2/4/8
+  // threads with small batches: stats and the full findings list must be
+  // bit-identical (the acceptance bar of DESIGN.md §11).
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(6),
+                                         gen::carrySkipAdder(6, 2));
+  Cnf cnf = encodeWithOutputAssertion(miter);
+  const std::size_t flip = firstClauseOfWidth(cnf, 2);
+  cnf.clauses[flip][1] = ~cnf.clauses[flip][1];
+  cnf.clauses.push_back(cnf.clauses[firstClauseOfWidth(cnf, 3)]);
+  cnf.clauses.push_back({sat::Lit::make(2, false), sat::Lit::make(5, false),
+                         sat::Lit::make(9, false), sat::Lit::make(11, true)});
+  cnf = dropClause(cnf, firstClauseOfWidth(cnf, 3));
+
+  AuditOptions base;
+  base.parallel.batchSize = 8;
+  base.parallel.numThreads = 1;
+  const AuditRun reference = runAudit(miter, cnf, base);
+  EXPECT_FALSE(reference.stats.ok());
+  EXPECT_GE(reference.findings.size(), 4u);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    AuditOptions options = base;
+    options.parallel.numThreads = threads;
+    const AuditRun run = runAudit(miter, cnf, options);
+    EXPECT_EQ(run.stats, reference.stats)
+        << "stats divergence at " << threads << " threads";
+    EXPECT_EQ(run.findings, reference.findings)
+        << "finding divergence at " << threads << " threads";
+  }
+}
+
+TEST(EncodingAudit, CheckMiterAuditsUnderEveryEngine) {
+  const aig::Aig miter = cec::buildMiter(gen::rippleCarryAdder(3),
+                                         gen::carryLookaheadAdder(3, 3));
+  const std::vector<cec::EngineOptions> engines = {
+      cec::SweepOptions{}, cec::MonolithicOptions{}, cube::CubeOptions{},
+      cec::BddCecOptions{}};
+  for (const auto& engine : engines) {
+    cec::EngineConfig config;
+    config.engine = engine;
+    config.auditEncoding = true;
+    const cec::CertifyReport report = cec::checkMiter(miter, config);
+    EXPECT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+    EXPECT_TRUE(report.audit.ran);
+    EXPECT_TRUE(report.audit.ok);
+    EXPECT_EQ(report.audit.stats.errors, 0u);
+    EXPECT_EQ(report.audit.stats.warnings, 0u);
+  }
+}
+
+TEST(EncodingAudit, CheckMiterAuditIsOptIn) {
+  const aig::Aig miter = cec::buildMiter(gen::parityChain(4),
+                                         gen::parityTree(4));
+  const cec::CertifyReport report = cec::checkMiter(miter);
+  EXPECT_FALSE(report.audit.ran);
+  EXPECT_TRUE(report.audit.findings.empty());
+}
+
+TEST(EncodingAudit, BatchServiceRecordsAuditOutcome) {
+  serve::ServiceOptions service;
+  service.parallel.numThreads = 2;
+  serve::BatchService batch(service);
+  serve::JobOptions withAudit;
+  withAudit.engine.auditEncoding = true;
+  const std::uint64_t audited = batch.submit(serve::makePairJob(
+      "audited", gen::rippleCarryAdder(3), gen::carrySelectAdder(3, 1),
+      withAudit));
+  const std::uint64_t plain = batch.submit(serve::makePairJob(
+      "plain", gen::parityChain(5), gen::parityTree(5)));
+
+  const serve::JobRecord auditedRecord = batch.wait(audited);
+  EXPECT_EQ(auditedRecord.state, serve::JobState::kDone);
+  EXPECT_TRUE(auditedRecord.auditRan);
+  EXPECT_TRUE(auditedRecord.auditOk);
+  EXPECT_EQ(auditedRecord.auditErrors, 0u);
+
+  const serve::JobRecord plainRecord = batch.wait(plain);
+  EXPECT_FALSE(plainRecord.auditRan);
+}
+
+}  // namespace
+}  // namespace cp::cnf

@@ -518,12 +518,20 @@ TEST_P(ProofIoCertify, CheckMiterCertifiesFromDisk) {
   EXPECT_LT(stats.liveClausesPeak, stats.container.clauses);
   EXPECT_LT(stats.liveLiteralsPeak, stats.totalLiterals);
 
-  // The file on disk equals a post-hoc serialization of the raw log: the
+  // The file on disk equals a post-hoc serialization of the raw log (with
+  // the same identity var-map footer checkMiter attaches): the
   // streamed-during-solving path loses nothing.
+  FooterSections sections;
+  sections.varMap.resize(miter.numNodes());
+  for (std::size_t i = 0; i < sections.varMap.size(); ++i) {
+    sections.varMap[i] = static_cast<std::uint32_t>(i);
+  }
+  std::ostringstream postHoc(std::ios::binary);
+  writeProof(raw, postHoc, {}, &sections);
   std::ifstream back(path, std::ios::binary);
   std::ostringstream fileBytes(std::ios::binary);
   fileBytes << back.rdbuf();
-  EXPECT_EQ(fileBytes.str(), toCpf(raw));
+  EXPECT_EQ(fileBytes.str(), postHoc.str());
 
   std::remove(path.c_str());
 }
@@ -574,6 +582,95 @@ TEST(ProofIoCertifyMore, BddEngineWritesEmptyContainer) {
     return probeProof(in);
   }();
   EXPECT_EQ(info.clauses, 0u);
+  std::remove(path.c_str());
+}
+
+// ---- var-map footer section -----------------------------------------------
+
+TEST(ProofIoVarMap, RoundTripsThroughFooter) {
+  Rng rng(7);
+  const ProofLog log = randomLog(rng, /*withRoot=*/true);
+  // A non-identity map with jumps in both directions exercises the zigzag
+  // delta coding.
+  const std::vector<std::uint32_t> varMap = {5, 0, 1000000, 3, 3, 17};
+  FooterSections sections;
+  sections.varMap = varMap;
+  std::ostringstream out(std::ios::binary);
+  writeProof(log, out, {}, &sections);
+  const std::string bytes = out.str();
+
+  std::istringstream probe(bytes, std::ios::binary);
+  EXPECT_EQ(probeProof(probe).varMap, varMap);
+  // The payload round-trips unchanged next to the new section.
+  expectLogsEqual(fromCpf(bytes), log);
+}
+
+TEST(ProofIoVarMap, CoexistsWithCubeSpans) {
+  Rng rng(11);
+  const ProofLog log = randomLog(rng, /*withRoot=*/true);
+  FooterSections sections;
+  sections.cubeSpans = {{2, 1, 3}, {1, 0, 0}};
+  sections.varMap = {0, 1, 2, 3};
+  std::ostringstream out(std::ios::binary);
+  writeProof(log, out, {}, &sections);
+  std::istringstream probe(out.str(), std::ios::binary);
+  const ContainerInfo info = probeProof(probe);
+  ASSERT_EQ(info.cubeSpans.size(), 2u);
+  EXPECT_EQ(info.cubeSpans[0].literals, 2u);
+  EXPECT_EQ(info.varMap, sections.varMap);
+}
+
+TEST(ProofIoVarMap, AbsentInPlainContainers) {
+  // Backward compatibility: a container written without the section (every
+  // pre-existing artifact) probes with an empty map.
+  Rng rng(3);
+  const std::string bytes = toCpf(randomLog(rng, /*withRoot=*/true));
+  std::istringstream probe(bytes, std::ios::binary);
+  EXPECT_TRUE(probeProof(probe).varMap.empty());
+}
+
+TEST(ProofIoVarMap, IdentityMapCostsAboutOneBytePerNode) {
+  Rng rng(19);
+  const ProofLog log = randomLog(rng, /*withRoot=*/true);
+  const std::string plain = toCpf(log);
+  std::vector<std::uint32_t> identity(4096);
+  for (std::uint32_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  FooterSections sections;
+  sections.varMap = identity;
+  std::ostringstream out(std::ios::binary);
+  writeProof(log, out, {}, &sections);
+  // Delta+zigzag makes the identity discipline ~1 byte per node (plus the
+  // count, the forced empty cube section, and the first entry's varint).
+  EXPECT_LE(out.str().size(), plain.size() + identity.size() + 16);
+}
+
+TEST(ProofIoVarMap, WriterRejectsSetAfterFinish) {
+  std::ostringstream out(std::ios::binary);
+  ProofWriter writer(out);
+  writer.onClause(1, std::vector<sat::Lit>{sat::Lit::make(0, false)}, {});
+  (void)writer.finish();
+  const std::vector<std::uint32_t> map = {0, 1};
+  EXPECT_THROW(writer.setVarMap(map), std::logic_error);
+}
+
+TEST(ProofIoVarMap, CheckMiterRecordsIdentityMap) {
+  // Every engine container published by checkMiter carries the encoder's
+  // node -> variable discipline, so stored refutations stay auditable.
+  const std::string path = testing::TempDir() + "cpf_varmap.cpf";
+  const aig::Aig miter =
+      cec::buildMiter(gen::rippleCarryAdder(4), gen::carrySelectAdder(4, 2));
+  cec::EngineConfig config;
+  config.proofPath = path;
+  const cec::CertifyReport report = cec::checkMiter(miter, config);
+  EXPECT_EQ(report.cec.verdict, cec::Verdict::kEquivalent);
+  const ContainerInfo info = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return probeProof(in);
+  }();
+  ASSERT_EQ(info.varMap.size(), miter.numNodes());
+  for (std::uint32_t i = 0; i < info.varMap.size(); ++i) {
+    EXPECT_EQ(info.varMap[i], i);
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Determinism source lint — the CI gate behind the library-wide contract
+# that every artifact, verdict and diagnostic finding is bit-identical at
+# every thread count and on every platform (DESIGN.md §11).
+#
+# Bans, across all of src/:
+#   * libc rand/srand, std::random_device, std::mt19937 — all randomness
+#     must flow through the seeded, portable cp::Rng;
+#   * wall-clock types (system_clock, high_resolution_clock) — timing uses
+#     the monotonic Stopwatch, and no result may depend on the clock;
+#   * std::unordered_{map,set,...} — their iteration order is
+#     implementation-defined, which is exactly how ordering bugs sneak
+#     into emission paths. Keyed lookup-only uses that never iterate into
+#     an artifact are exempted one by one in the allowlist.
+#
+# Allowlist: tools/determinism_allowlist.txt, "<path> <check-key>" per
+# line ('#' comments). An entry exempts every match of that check in that
+# file — deliberately file-granular, so adding a *new* banned construct
+# to an already-exempted file still needs a review of the entry's
+# rationale. New code is expected to need no entries (the analysis/ and
+# cnf/audit layers ship with none: sorted vectors + equal_range instead
+# of hash maps).
+#
+# Usage: tools/check_determinism.sh   (exit 0 clean, 1 on violations)
+set -u
+cd "$(dirname "$0")/.."
+
+allowlist=tools/determinism_allowlist.txt
+if [ ! -f "$allowlist" ]; then
+  echo "error: $allowlist missing" >&2
+  exit 2
+fi
+fail=0
+
+# check <key> <egrep-pattern> <why>
+check() {
+  key="$1"
+  pattern="$2"
+  why="$3"
+  matches=$(grep -rnE --include='*.h' --include='*.cpp' "$pattern" src/ || true)
+  [ -z "$matches" ] && return 0
+  while IFS= read -r line; do
+    file="${line%%:*}"
+    if grep -qE "^${file}[[:space:]]+${key}([[:space:]]|\$)" "$allowlist"; then
+      continue
+    fi
+    printf '%s\n  [%s] %s\n' "$line" "$key" "$why"
+    fail=1
+  done <<EOF
+$matches
+EOF
+  return 0
+}
+
+check rand '\b(srand|rand)[[:space:]]*\(' \
+  "libc randomness is unseeded and platform-varying; use cp::Rng"
+check random_device 'std::random_device' \
+  "nondeterministic seeding; thread a seeded cp::Rng instead"
+check mt19937 'mt19937' \
+  "use cp::Rng: one engine, one seeding discipline, portable streams"
+check wall_clock 'system_clock|high_resolution_clock' \
+  "results must not depend on wall-clock time; Stopwatch (steady_clock) for timing"
+check unordered 'std::unordered_(map|set|multimap|multiset)' \
+  "implementation-defined iteration order; sort before emission or use ordered/sorted structures"
+
+# Every allowlist entry must still match something, or it is stale.
+while IFS= read -r entry; do
+  case "$entry" in ''|'#'*) continue ;; esac
+  path=$(printf '%s' "$entry" | awk '{print $1}')
+  if [ ! -e "$path" ]; then
+    printf 'stale allowlist entry (file gone): %s\n' "$entry"
+    fail=1
+  fi
+done < "$allowlist"
+
+if [ "$fail" -ne 0 ]; then
+  echo "determinism lint: violations found (see above);" \
+       "fix or allowlist with a rationale" >&2
+  exit 1
+fi
+echo "determinism lint: clean"
